@@ -1,0 +1,104 @@
+"""Ablation: best-fit pooled allocation (Section V-C/V-D).
+
+TSPLIT's fine-grained scheduling allocates and frees micro-tensors
+intensively; the paper uses a pre-allocated pool with best-fit placement
+to keep micro-tensors contiguous. We replay a split-heavy execution's
+full allocation stream through the pool under the three placement
+strategies and report the *placement overhead*: the smallest pool
+headroom (capacity beyond the byte-accurate peak) each strategy needs to
+survive external fragmentation. Best-fit should need the least.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, render_table
+from repro.analysis.allocator_replay import replay_allocations
+from repro.analysis.runner import run_policy
+from repro.models.registry import build_model
+
+STRATEGIES = ["best_fit", "first_fit", "worst_fit", "segregated"]
+HEADROOMS = [1.00, 1.02, 1.05, 1.10, 1.15, 1.20, 1.30, 1.50, 2.00]
+
+
+@pytest.fixture(scope="module")
+def trace(rtx):
+    graph = build_model("vgg16", 640)  # over-subscribed: split-heavy plan
+    result = run_policy(graph, "tsplit", rtx)
+    assert result.feasible, result.failure
+    return result.trace
+
+
+def chronological_peak(trace) -> int:
+    """True time-ordered peak of the allocation stream.
+
+    The engine accounts memory in instruction-issue order (a documented
+    simplification); the pool replay is strictly chronological, so its
+    baseline is the time-ordered peak, which can exceed the engine's.
+    """
+    current = trace.persistent_bytes
+    peak = current
+    for _, _, nbytes in sorted(
+        trace.alloc_events, key=lambda e: (e[0], 0 if e[2] < 0 else 1),
+    ):
+        current += nbytes
+        peak = max(peak, current)
+    return peak
+
+
+@pytest.fixture(scope="module")
+def required_headroom(rtx, trace):
+    """Per strategy: the smallest capacity multiplier that replays OK."""
+    base = chronological_peak(trace)
+    needed: dict[str, tuple[float, object]] = {}
+    for strategy in STRATEGIES:
+        for multiplier in HEADROOMS:
+            result = replay_allocations(
+                trace, int(base * multiplier), strategy=strategy,
+            )
+            if result.succeeded:
+                needed[strategy] = (multiplier, result)
+                break
+        else:
+            needed[strategy] = (float("inf"), result)
+    return needed
+
+
+def test_abl_allocator_strategies(benchmark, rtx, trace, required_headroom):
+    benchmark.pedantic(lambda: required_headroom, rounds=1, iterations=1)
+    rows = []
+    for strategy in STRATEGIES:
+        multiplier, result = required_headroom[strategy]
+        rows.append([
+            strategy,
+            f"{multiplier:.2f}x" if multiplier != float("inf") else ">2x",
+            result.alloc_count,
+            f"{result.max_fragmentation:6.2%}",
+        ])
+    lines = render_table(
+        ["strategy", "needed headroom", "allocs", "max_frag"], rows,
+    )
+    lines.append(
+        f"(chronological byte peak of the stream: "
+        f"{chronological_peak(trace) / 2**30:.2f} GB; the headroom is "
+        f"purely placement overhead)"
+    )
+    emit("Ablation - pool placement strategy (TSPLIT VGG-16 b=640)", lines)
+
+    best, _ = required_headroom["best_fit"]
+    first, _ = required_headroom["first_fit"]
+    worst, _ = required_headroom["worst_fit"]
+    # Best-fit survives with no more headroom than the naive placements.
+    assert best <= first
+    assert best <= worst
+    # Measured finding (documented in EXPERIMENTS.md): even best-fit
+    # needs ~1.5x the byte-accurate peak on this fine-grained stream — a
+    # single pooled arena fragments badly when multi-GB long-lived
+    # buffers interleave with thousands of micro-tensors. This
+    # *qualifies* the paper's Section V-C contiguity claim rather than
+    # contradicting it: their runtime plans to ~90% of capacity, leaving
+    # exactly this kind of slack.
+    assert best <= 2.0
+    # The stream is genuinely micro-tensor intensive.
+    assert required_headroom["best_fit"][1].alloc_count > 500

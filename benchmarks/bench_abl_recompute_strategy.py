@@ -1,0 +1,72 @@
+"""Ablation: recomputation strategy (Section V-D).
+
+Memory-centric recomputation re-runs chains per backward layer (O(N^2)
+compute, O(1) memory); speed-centric runs each chain once and keeps its
+intermediates (O(N) compute, O(N) memory); the LRU hybrid interpolates.
+We measure all three on a recompute-heavy plan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, render_table
+from repro.analysis.runner import run_policy
+from repro.core.augment import AugmentOptions
+from repro.core.recompute import RecomputeStrategy
+from repro.models.registry import build_model
+from repro.units import MB
+
+STRATEGIES = [
+    RecomputeStrategy.MEMORY_CENTRIC,
+    RecomputeStrategy.SPEED_CENTRIC,
+    RecomputeStrategy.LRU,
+]
+
+
+@pytest.fixture(scope="module")
+def results(rtx):
+    graph = build_model("resnet101", 48)
+    out = {}
+    for strategy in STRATEGIES:
+        result = run_policy(
+            graph, "checkpoints", rtx,
+            augment_options=AugmentOptions(
+                recompute_strategy=strategy,
+                lru_budget_bytes=256 * MB,
+            ),
+        )
+        assert result.feasible, result.failure
+        out[strategy] = result.trace
+    return out
+
+
+def test_abl_recompute_strategy(benchmark, rtx, results):
+    benchmark.pedantic(lambda: results, rounds=1, iterations=1)
+    rows = [
+        [
+            strategy.value,
+            f"{trace.iteration_time * 1e3:9.1f}",
+            f"{trace.recompute_time * 1e3:9.1f}",
+            trace.recompute_ops,
+            f"{trace.peak_memory / 2**30:6.2f}",
+        ]
+        for strategy, trace in results.items()
+    ]
+    emit(
+        "Ablation - recomputation strategy (ResNet-101, checkpoints plan)",
+        render_table(
+            ["strategy", "iter_ms", "recompute_ms", "chain_ops", "peak_GB"],
+            rows,
+        ),
+    )
+    memory = results[RecomputeStrategy.MEMORY_CENTRIC]
+    speed = results[RecomputeStrategy.SPEED_CENTRIC]
+    lru = results[RecomputeStrategy.LRU]
+    # Speed-centric does strictly less recompute work...
+    assert speed.recompute_ops <= memory.recompute_ops
+    assert speed.recompute_time <= memory.recompute_time + 1e-9
+    # ...at a higher (or equal) memory peak.
+    assert speed.peak_memory >= memory.peak_memory
+    # LRU interpolates in compute work.
+    assert speed.recompute_ops <= lru.recompute_ops <= memory.recompute_ops

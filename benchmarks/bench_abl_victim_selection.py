@@ -1,0 +1,76 @@
+"""Ablation: the planner's greedy ΔT/ΔM victim selection.
+
+Algorithm 2 eliminates each bottleneck by evicting the tensor with the
+best time-per-byte ratio. We compare against two naive orderings —
+largest-ΔM-first and earliest-generated-first (FIFO) — on the planner's
+own estimated iteration time and on the executed result.
+
+The paper's "swap out an earlier generated tensor first" observation is
+implicit in the ratio: early tensors have longer eviction windows, hence
+cheaper swaps, so the greedy usually picks them anyway.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, render_table
+from repro.analysis.runner import run_policy
+from repro.core.planner import PlannerOptions, TsplitPlanner
+from repro.errors import PlanningError
+from repro.graph.scheduler import dfs_schedule
+from repro.models.registry import build_model
+from repro.policies.tsplit_policy import TsplitPolicy
+
+ORDERINGS = ["ratio", "largest", "fifo"]
+
+
+class _OrderedTsplit(TsplitPolicy):
+    def __init__(self, ordering: str) -> None:
+        super().__init__(PlannerOptions(ordering=ordering))
+        self.name = f"tsplit[{ordering}]"
+
+
+@pytest.fixture(scope="module")
+def results(rtx):
+    graph = build_model("vgg16", 640)
+    out = {}
+    for ordering in ORDERINGS:
+        try:
+            result = run_policy(graph, _OrderedTsplit(ordering), rtx)
+        except PlanningError:  # pragma: no cover - defensive
+            result = None
+        out[ordering] = result
+    return out
+
+
+def test_abl_victim_selection(benchmark, rtx, results):
+    benchmark.pedantic(lambda: results, rounds=1, iterations=1)
+    rows = []
+    for ordering in ORDERINGS:
+        result = results[ordering]
+        if result is None or not result.feasible:
+            rows.append([ordering, "infeasible", "-", "-"])
+            continue
+        trace = result.trace
+        rows.append([
+            ordering,
+            f"{trace.iteration_time * 1e3:9.1f}",
+            f"{trace.throughput:7.1f}",
+            f"{trace.pcie_utilization:6.1%}",
+        ])
+    emit(
+        "Ablation - victim selection ordering (VGG-16 b=640, RTX)",
+        render_table(["ordering", "iter_ms", "samples/s", "pcie"], rows),
+    )
+    ratio = results["ratio"]
+    assert ratio is not None and ratio.feasible
+    # The paper's greedy stays within a few percent of any naive
+    # ordering that also found a feasible plan. (FIFO — evict the
+    # earliest-generated tensor first — is precisely the paper's
+    # Section IV-C observation, so it is *expected* to be competitive;
+    # the ratio ordering generalises it by weighing actual costs.)
+    for other in ("largest", "fifo"):
+        result = results[other]
+        if result is not None and result.feasible:
+            assert ratio.iteration_time <= result.iteration_time * 1.10

@@ -1,0 +1,64 @@
+"""Extension bench: long-context GPT training.
+
+The paper motivates TSPLIT with "larger DNNs ... such as BERT, GPT-3";
+the decoder-only long-context regime is where the (N, heads, T, T)
+attention scores explode quadratically. This bench sweeps sequence
+length at a fixed batch and reports which policies can still train and
+at what throughput. Conv-based baselines are inapplicable throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, render_table
+from repro.analysis.runner import run_policy
+from repro.models import build_gpt
+
+POLICIES = ["base", "vdnn_all", "checkpoints", "tsplit"]
+SEQ_LENS = [512, 1024, 2048]
+BATCH = 16
+
+
+@pytest.fixture(scope="module")
+def sweep(rtx):
+    results = {}
+    for seq_len in SEQ_LENS:
+        graph = build_gpt(BATCH, seq_len=seq_len)
+        for policy in POLICIES:
+            results[(policy, seq_len)] = run_policy(graph, policy, rtx)
+    return results
+
+
+def test_ext_gpt_long_context(benchmark, rtx, sweep):
+    benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    rows = []
+    for policy in POLICIES:
+        cells = [policy]
+        for seq_len in SEQ_LENS:
+            result = sweep[(policy, seq_len)]
+            cells.append(
+                f"{result.throughput:.1f}/s" if result.feasible else "OOM"
+            )
+        rows.append(cells)
+    lines = render_table(
+        ["policy"] + [f"T={s}" for s in SEQ_LENS], rows,
+    )
+    lines.append(f"(GPT-2-small shapes, batch {BATCH}, TITAN RTX)")
+    emit("Extension - long-context GPT training", lines)
+
+    # TSPLIT trains at least as long a context as every baseline, and is
+    # at least as fast wherever both are feasible.
+    for seq_len in SEQ_LENS:
+        tsplit = sweep[("tsplit", seq_len)]
+        for policy in POLICIES:
+            rival = sweep[(policy, seq_len)]
+            if rival.feasible:
+                assert tsplit.feasible, (policy, seq_len)
+                assert tsplit.throughput >= rival.throughput * 0.95
+    # The longest context is TSPLIT-only or infeasible for some baseline.
+    longest = SEQ_LENS[-1]
+    assert sweep[("tsplit", longest)].feasible
+    assert not all(
+        sweep[(policy, longest)].feasible for policy in POLICIES
+    )

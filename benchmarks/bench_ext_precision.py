@@ -1,0 +1,55 @@
+"""Extension bench: mixed-precision training (fp16 activations).
+
+The paper's introduction frames its problem against ever-growing models
+trained with mixed precision. Halving activation bytes (master weights
+stay fp32) roughly doubles every policy's sample-scale frontier — and
+TSPLIT's *relative* advantage survives, since splitting is orthogonal to
+element width.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, render_table
+from repro.analysis.scaling import max_sample_scale
+
+POLICIES = ["base", "superneurons", "tsplit"]
+MODEL = "resnet50"
+
+
+@pytest.fixture(scope="module")
+def frontiers(rtx):
+    results = {}
+    for precision in ("fp32", "fp16"):
+        for policy in POLICIES:
+            results[(policy, precision)] = max_sample_scale(
+                MODEL, policy, rtx, start=64, cap=4096,
+                precision=precision,
+            )
+    return results
+
+
+def test_ext_mixed_precision_frontier(benchmark, rtx, frontiers):
+    benchmark.pedantic(lambda: frontiers, rounds=1, iterations=1)
+    rows = []
+    for policy in POLICIES:
+        fp32 = frontiers[(policy, "fp32")]
+        fp16 = frontiers[(policy, "fp16")]
+        gain = fp16 / fp32 if fp32 else float("nan")
+        rows.append([policy, fp32 or "x", fp16 or "x", f"{gain:4.2f}x"])
+    emit(
+        f"Extension - mixed precision max batch ({MODEL}, TITAN RTX)",
+        render_table(["policy", "fp32", "fp16", "gain"], rows),
+    )
+    for policy in POLICIES:
+        fp32 = frontiers[(policy, "fp32")]
+        fp16 = frontiers[(policy, "fp16")]
+        # Activations halve; parameters (fp32 masters) don't, so the
+        # gain is below 2x but well above 1.5x on this model.
+        assert fp16 > fp32 * 1.4, policy
+    # TSPLIT leads in both precisions.
+    for precision in ("fp32", "fp16"):
+        assert frontiers[("tsplit", precision)] >= max(
+            frontiers[(p, precision)] for p in POLICIES
+        ) * 0.9

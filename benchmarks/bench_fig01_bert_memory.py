@@ -1,0 +1,62 @@
+"""Figure 1: BERT-Large memory requirement vs model scale.
+
+The paper sweeps sample scale (batch 4..64) x parameter scale (hidden
+768..2560) and marks, per GPU, the largest trainable scale without
+memory optimisation. We regenerate the grid and the per-GPU frontiers.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, render_series
+from repro.hardware.gpu import P100, RTX_TITAN, V100_16GB, V100_32GB
+from repro.models.bert import build_bert_large
+from repro.units import GB
+
+BATCHES = [4, 8, 16, 32, 64]
+HIDDENS = [768, 1024, 1280, 1536, 2048]
+GPUS = [P100, V100_16GB, V100_32GB, RTX_TITAN]
+
+
+def full_grid() -> dict[tuple[int, int], int]:
+    result: dict[tuple[int, int], int] = {}
+    for hidden in HIDDENS:
+        for batch in BATCHES:
+            graph = build_bert_large(batch, hidden=hidden)
+            from repro.analysis.footprint import model_memory_requirement
+
+            result[(batch, hidden)] = model_memory_requirement(graph)
+    return result
+
+
+def test_fig01_bert_memory_requirement(benchmark):
+    grid = benchmark.pedantic(full_grid, rounds=1, iterations=1)
+    series = {
+        f"h={hidden}": [grid[(b, hidden)] / GB for b in BATCHES]
+        for hidden in HIDDENS
+    }
+    lines = render_series("batch", BATCHES, series, fmt="{:8.1f}")
+    lines.append("")
+    lines.append("max trainable scale (batch x hidden) without optimisation:")
+    for gpu in GPUS:
+        fit = [
+            (b, h) for (b, h), peak in grid.items()
+            if peak <= gpu.memory_bytes
+        ]
+        best = max(fit, key=lambda bh: bh[0] * bh[1], default=None)
+        lines.append(f"  {gpu.name:12s} ({gpu.memory_bytes / GB:.0f} GB): "
+                     f"{best[0]} x {best[1]}" if best else
+                     f"  {gpu.name:12s}: none")
+    emit("Figure 1 - BERT-Large memory requirement (GB)", lines)
+
+    # Shape assertions: memory grows along both axes; bigger GPUs train
+    # strictly larger scales.
+    assert grid[(64, 1024)] > grid[(4, 1024)]
+    assert grid[(16, 2048)] > grid[(16, 768)]
+    fits = {
+        gpu.name: sum(
+            1 for peak in grid.values() if peak <= gpu.memory_bytes
+        )
+        for gpu in GPUS
+    }
+    assert fits[V100_32GB.name] >= fits[V100_16GB.name] >= 0
+    assert fits[RTX_TITAN.name] >= fits[P100.name]

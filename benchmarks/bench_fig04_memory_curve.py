@@ -1,0 +1,77 @@
+"""Figure 4: memory requirement and live-tensor curves, with and
+without memory optimisation.
+
+The paper's toy graph (Figure 3) is a two-conv network; the optimised
+execution frees feature maps in the forward pass and re-generates them
+towards the tail, trading a lower peak for more live tensors late.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, render_series
+from repro.core.plan import MemOption, Plan, TensorConfig
+from repro.core.simulate import simulate_memory, tensor_timeline
+from repro.graph.autodiff import build_training_graph
+from repro.graph.liveness import compute_liveness, live_tensor_counts, memory_curve
+from repro.graph.scheduler import dfs_schedule
+from repro.models.layers import ModelBuilder
+
+
+def figure3_graph():
+    """The paper's Figure 3 pattern, deep enough for the forward sum of
+    feature maps (the Base peak) to exceed any one backward working set."""
+    builder = ModelBuilder("fig3", 32)
+    x = builder.input_image(3, 64, 64)
+    for block, channels in enumerate((32, 64, 96, 128), start=1):
+        x = builder.conv2d(x, channels, 3, name=f"conv{block}")
+        x = builder.relu(x, name=f"act{block}")
+        if block % 2 == 0:
+            x = builder.maxpool(x, 2, name=f"pool{block}")
+    flat = builder.flatten(x)
+    logits = builder.linear(flat, 10, name="fc")
+    loss = builder.cross_entropy_loss(logits)
+    return build_training_graph(builder.graph, loss)
+
+
+def curves():
+    graph = figure3_graph()
+    schedule = dfs_schedule(graph)
+    liveness = compute_liveness(graph, schedule)
+    base_curve = memory_curve(graph, schedule)
+    counts = live_tensor_counts(graph, schedule)
+    # Optimised: evict every feature map with a backward use.
+    plan = Plan(policy="optimised")
+    for tensor in graph.activations():
+        timeline = tensor_timeline(graph, liveness, tensor)
+        if timeline and timeline.bwd_uses:
+            plan.set(tensor.tensor_id, TensorConfig(opt=MemOption.SWAP))
+    opt_curve = simulate_memory(graph, schedule, plan)
+    return graph, schedule, base_curve, opt_curve, counts
+
+
+def test_fig04_memory_and_live_tensor_curves(benchmark):
+    graph, schedule, base_curve, opt_curve, counts = benchmark.pedantic(
+        curves, rounds=1, iterations=1,
+    )
+    xs = list(range(len(schedule)))
+    lines = render_series("step", xs, {
+        "M_base(MB)": list(base_curve / 2**20),
+        "M_opt(MB)": list(opt_curve / 2**20),
+        "live": [float(c) for c in counts],
+    }, fmt="{:10.2f}")
+    emit("Figure 4 - memory requirement and live tensors", lines)
+
+    # Shape: optimisation lowers the peak...
+    assert opt_curve.max() < base_curve.max()
+    # ...and the optimised curve's relative tail (re-generation) is
+    # heavier: the tail share of total memory-time grows.
+    split = len(schedule) * 2 // 3
+    base_tail_share = base_curve[split:].sum() / base_curve.sum()
+    opt_tail_share = opt_curve[split:].sum() / opt_curve.sum()
+    assert opt_tail_share > base_tail_share
+    # The peak sits mid-execution (rise through forward, fall through
+    # backward).
+    assert 0 < int(np.argmax(base_curve)) < len(schedule) - 1

@@ -1,0 +1,75 @@
+"""Figure 5: operator execution time vs partition number.
+
+Different operators exhibit different split-degradation patterns —
+compute-bound convolutions tolerate high part counts, memory-bound
+kernels pay mostly launch overhead, and small kernels degrade fastest.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, render_series
+from repro.graph.ops import Operator, OpType, conv2d_flops
+from repro.hardware.kernels import KernelModel
+from repro.units import MB
+
+P_NUMS = [1, 2, 4, 8, 16, 32]
+
+
+def operators() -> list[Operator]:
+    big_conv = Operator(
+        op_id=0, name="conv 64x224x224", op_type=OpType.CONV2D,
+        flops=conv2d_flops(32, 64, 64, 224, 224, 3, 3),
+        bytes_accessed=2 * 32 * 64 * 224 * 224 * 4,
+    )
+    small_conv = Operator(
+        op_id=1, name="conv 512x14x14", op_type=OpType.CONV2D,
+        flops=conv2d_flops(32, 512, 512, 14, 14, 3, 3),
+        bytes_accessed=2 * 32 * 512 * 14 * 14 * 4,
+    )
+    matmul = Operator(
+        op_id=2, name="matmul 4kx4k", op_type=OpType.MATMUL,
+        flops=2.0 * 4096 * 4096 * 4096,
+        bytes_accessed=3 * 4096 * 4096 * 4,
+    )
+    bn = Operator(
+        op_id=3, name="batchnorm 100MB", op_type=OpType.BATCHNORM,
+        flops=5 * 25 * 2**20, bytes_accessed=200 * MB,
+    )
+    pool = Operator(
+        op_id=4, name="pool 100MB", op_type=OpType.POOL_MAX,
+        flops=4 * 25 * 2**20, bytes_accessed=125 * MB,
+    )
+    return [big_conv, small_conv, matmul, bn, pool]
+
+
+def sweep(kernel_model: KernelModel):
+    results: dict[str, list[float]] = {}
+    for op in operators():
+        base = kernel_model.op_time(op)
+        results[op.name] = [
+            kernel_model.split_kernel_time(op, p) / base for p in P_NUMS
+        ]
+    return results
+
+
+def test_fig05_partition_time_patterns(benchmark, rtx):
+    kernel_model = KernelModel(rtx)
+    results = benchmark.pedantic(
+        sweep, args=(kernel_model,), rounds=1, iterations=1,
+    )
+    lines = render_series(
+        "p_num", P_NUMS, results, fmt="{:8.3f}",
+    )
+    lines.append("(values are time relative to the unsplit kernel)")
+    emit("Figure 5 - split execution time by partition count", lines)
+
+    # Shape assertions.
+    for series in results.values():
+        assert series[0] == 1.0
+        # Monotone non-decreasing in partition count.
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+    # Big compute-bound ops tolerate splitting better than small ones.
+    assert results["conv 64x224x224"][-1] < results["conv 512x14x14"][-1]
+    # Patterns genuinely differ between operator families.
+    finals = sorted(series[-1] for series in results.values())
+    assert finals[-1] / finals[0] > 1.01

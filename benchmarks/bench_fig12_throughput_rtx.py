@@ -1,0 +1,85 @@
+"""Figure 12: throughput vs sample size on the TITAN RTX.
+
+Four workloads (VGG-16, ResNet-50, Inception-V4, Transformer). The paper
+plots the speedup over vDNN; we print raw samples/second for every
+policy plus the speedups against vDNN-all (its weakest-throughput swap
+baseline). Expected shape: TSPLIT tracks Base while memory is ample,
+degrades gracefully under over-subscription, and stays above
+SuperNeurons / Checkpoints / vDNN at every feasible point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, render_series
+from repro.analysis.throughput import speedups_over, throughput_sweep
+
+POLICIES = [
+    "base", "vdnn_conv", "vdnn_all", "checkpoints", "superneurons", "tsplit",
+]
+
+SWEEPS = [
+    ("vgg16", [32, 64, 128, 256, 384, 512]),
+    ("resnet50", [64, 128, 256, 384, 512]),
+    ("inception_v4", [32, 64, 96, 128, 160]),
+    ("transformer", [16, 32, 48, 64, 96]),
+]
+
+
+@pytest.fixture(scope="module")
+def sweeps(rtx):
+    return {
+        model: throughput_sweep(model, POLICIES, batches, rtx)
+        for model, batches in SWEEPS
+    }
+
+
+def test_fig12_throughput_on_rtx(benchmark, rtx, sweeps):
+    benchmark.pedantic(lambda: sweeps, rounds=1, iterations=1)
+    for model, batches in SWEEPS:
+        points = sweeps[model]
+        series = {}
+        for policy in POLICIES:
+            series[policy] = [
+                next(
+                    (p.throughput for p in points
+                     if p.policy == policy and p.batch == b), 0.0,
+                )
+                for b in batches
+            ]
+        lines = render_series("batch", batches, series)
+        speedups = speedups_over(points, "vdnn_all")
+        tsplit_speedups = [
+            f"{speedups.get(('tsplit', b), float('nan')):.2f}x"
+            for b in batches if ("tsplit", b) in speedups
+        ]
+        lines.append(
+            "TSPLIT speedup over vDNN-all: " + " ".join(tsplit_speedups)
+        )
+        emit(f"Figure 12 - throughput on TITAN RTX: {model}", lines)
+
+    # Shape assertions per model.
+    for model, batches in SWEEPS:
+        points = {(p.policy, p.batch): p for p in sweeps[model]}
+        for batch in batches:
+            tsplit = points[("tsplit", batch)]
+            if not tsplit.feasible:
+                continue
+            for rival in ("vdnn_all", "checkpoints", "superneurons"):
+                rival_point = points.get((rival, batch))
+                if rival_point and rival_point.feasible:
+                    assert tsplit.throughput >= rival_point.throughput * 0.95, (
+                        model, batch, rival,
+                    )
+        # TSPLIT survives at least as far as every baseline.
+        for policy in POLICIES:
+            last_feasible = max(
+                (b for b in batches if points[(policy, b)].feasible),
+                default=0,
+            )
+            tsplit_last = max(
+                (b for b in batches if points[("tsplit", b)].feasible),
+                default=0,
+            )
+            assert tsplit_last >= last_feasible, (model, policy)

@@ -1,0 +1,82 @@
+"""Figure 13: throughput on the GTX 1080Ti (11 GB, ~70% of the RTX's
+FP32 throughput).
+
+The slower card lengthens kernel times, which *improves* the overlap
+between computation and PCIe transfers: vDNN's relative performance loss
+shrinks compared to the RTX, while TSPLIT stays best overall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, render_series
+from repro.analysis.throughput import throughput_sweep
+
+POLICIES = ["base", "vdnn_all", "superneurons", "tsplit"]
+
+SWEEPS = [
+    ("vgg16", [32, 64, 128, 192]),
+    ("resnet50", [32, 64, 128, 192]),
+    ("inception_v4", [16, 32, 48, 64]),
+    ("transformer", [8, 16, 32, 48]),
+]
+
+
+@pytest.fixture(scope="module")
+def sweeps(gtx_1080ti):
+    return {
+        model: throughput_sweep(model, POLICIES, batches, gtx_1080ti)
+        for model, batches in SWEEPS
+    }
+
+
+def test_fig13_throughput_on_1080ti(benchmark, rtx, gtx_1080ti, sweeps):
+    benchmark.pedantic(lambda: sweeps, rounds=1, iterations=1)
+    for model, batches in SWEEPS:
+        points = sweeps[model]
+        series = {
+            policy: [
+                next((p.throughput for p in points
+                      if p.policy == policy and p.batch == b), 0.0)
+                for b in batches
+            ]
+            for policy in POLICIES
+        }
+        emit(f"Figure 13 - throughput on GTX 1080Ti: {model}",
+             render_series("batch", batches, series))
+
+    # Shape: TSPLIT best-or-equal at every feasible point on the slower
+    # card too.
+    for model, batches in SWEEPS:
+        points = {(p.policy, p.batch): p for p in sweeps[model]}
+        for batch in batches:
+            tsplit = points[("tsplit", batch)]
+            if not tsplit.feasible:
+                continue
+            for rival in ("vdnn_all", "superneurons"):
+                rival_point = points.get((rival, batch))
+                if rival_point and rival_point.feasible:
+                    assert tsplit.throughput >= rival_point.throughput * 0.95
+
+
+def test_fig13_overlap_improves_on_slower_gpu(benchmark, rtx, gtx_1080ti):
+    """vDNN's relative loss vs Base is smaller on the 1080Ti than on the
+    RTX: slower compute hides transfers better (Section VI-C)."""
+    def measure():
+        from repro.analysis.runner import evaluate
+
+        losses = {}
+        for gpu in (rtx, gtx_1080ti):
+            base = evaluate("vgg16", "base", gpu, 64)
+            vdnn = evaluate("vgg16", "vdnn_all", gpu, 64)
+            losses[gpu.name] = (
+                vdnn.iteration_time / base.iteration_time
+            )
+        return losses
+
+    losses = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit("Figure 13 - vDNN-all slowdown factor vs Base", [
+        f"  {name}: {value:.3f}x" for name, value in losses.items()
+    ])
+    assert losses[gtx_1080ti.name] <= losses[rtx.name] + 1e-9

@@ -1,0 +1,58 @@
+"""Figure 15: throughput vs ZeRO-Offload and FairScale-Offload.
+
+Expected shape: TSPLIT >= ZeRO-Offload >= FairScale-Offload at common
+feasible batch sizes (FairScale's blanket parameter+activation motion is
+PCIe-bound; ZeRO-Offload's CPU update path costs less but still trails a
+plan that moves only what the memory budget requires).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, render_series
+from repro.analysis.throughput import throughput_sweep
+
+POLICIES = ["base", "zero_offload", "fairscale_offload", "tsplit"]
+
+SWEEPS = [
+    ("vgg16", [64, 128, 256]),
+    ("resnet50", [64, 128, 256]),
+    ("inception_v4", [32, 64, 96]),
+    ("transformer", [16, 32, 64]),
+]
+
+
+@pytest.fixture(scope="module")
+def sweeps(rtx):
+    return {
+        model: throughput_sweep(model, POLICIES, batches, rtx)
+        for model, batches in SWEEPS
+    }
+
+
+def test_fig15_pytorch_throughput(benchmark, rtx, sweeps):
+    benchmark.pedantic(lambda: sweeps, rounds=1, iterations=1)
+    for model, batches in SWEEPS:
+        points = sweeps[model]
+        series = {
+            policy: [
+                next((p.throughput for p in points
+                      if p.policy == policy and p.batch == b), 0.0)
+                for b in batches
+            ]
+            for policy in POLICIES
+        }
+        emit(f"Figure 15 - throughput vs offload baselines: {model}",
+             render_series("batch", batches, series))
+
+    for model, batches in SWEEPS:
+        points = {(p.policy, p.batch): p for p in sweeps[model]}
+        for batch in batches:
+            tsplit = points[("tsplit", batch)]
+            zero = points[("zero_offload", batch)]
+            fairscale = points[("fairscale_offload", batch)]
+            if tsplit.feasible and zero.feasible:
+                assert tsplit.throughput >= zero.throughput * 0.95
+            if zero.feasible and fairscale.feasible:
+                assert zero.throughput >= fairscale.throughput * 0.95

@@ -1,0 +1,54 @@
+"""Table V: maximum parameter scale (channel/hidden multiplier k) per
+model and policy, at batch 16 on a TITAN RTX.
+
+Channels of convolution kernels (CNNs) / hidden size (Transformer) are
+multiplied by an integer k; the table reports the largest trainable k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, render_table
+from repro.analysis.scaling import max_param_scale
+
+MODELS = [
+    ("vgg16", 64), ("vgg19", 64), ("resnet50", 64),
+    ("resnet101", 64), ("inception_v4", 32), ("transformer", 48),
+]
+
+POLICIES = [
+    "base", "vdnn_conv", "vdnn_all", "checkpoints",
+    "superneurons", "tsplit",
+]
+
+
+@pytest.fixture(scope="module")
+def table(rtx):
+    result: dict[str, dict[str, int]] = {}
+    for model, cap in MODELS:
+        result[model] = {
+            policy: max_param_scale(model, policy, rtx, cap=cap)
+            for policy in POLICIES
+        }
+    return result
+
+
+def test_tab05_max_parameter_scale(benchmark, rtx, table):
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    rows = [
+        [model] + [table[model][p] or "x" for p in POLICIES]
+        for model, _ in MODELS
+    ]
+    emit(
+        "Table V - max parameter scale at batch 16 on TITAN RTX",
+        render_table(["model"] + POLICIES, rows),
+    )
+
+    for model, _ in MODELS:
+        row = table[model]
+        best_prior = max(row[p] for p in POLICIES if p != "tsplit")
+        assert row["tsplit"] >= best_prior, model
+        assert row["tsplit"] >= row["base"] > 0, model
+    assert table["transformer"]["vdnn_conv"] == 0
+    assert table["transformer"]["superneurons"] == 0

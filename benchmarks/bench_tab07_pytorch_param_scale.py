@@ -1,0 +1,53 @@
+"""Table VII: max parameter scale vs ZeRO-Offload / FairScale-Offload
+at batch 16 (Section VI-D).
+
+On the parameter axis the offload baselines fare better (that is what
+they offload), but TSPLIT still leads by also attacking activations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, render_table
+from repro.analysis.scaling import max_param_scale
+
+MODELS = [
+    ("vgg16", 64), ("resnet50", 64), ("resnet101", 64), ("transformer", 48),
+]
+
+POLICIES = ["base", "zero_offload", "fairscale_offload", "tsplit"]
+
+
+@pytest.fixture(scope="module")
+def table(rtx):
+    return {
+        model: {
+            policy: max_param_scale(model, policy, rtx, cap=cap)
+            for policy in POLICIES
+        }
+        for model, cap in MODELS
+    }
+
+
+def test_tab07_pytorch_param_scale(benchmark, rtx, table):
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)
+    rows = [
+        [model] + [table[model][p] or "x" for p in POLICIES]
+        for model, _ in MODELS
+    ]
+    emit(
+        "Table VII - max parameter scale vs PyTorch offload baselines",
+        render_table(["model"] + POLICIES, rows),
+    )
+    for model, _ in MODELS:
+        row = table[model]
+        assert row["tsplit"] >= row["base"] > 0, model
+        assert row["tsplit"] >= row["zero_offload"], model
+        assert row["tsplit"] >= row["fairscale_offload"], model
+    # Offloading parameters helps the parameter axis somewhere.
+    assert any(
+        table[m]["fairscale_offload"] > table[m]["base"]
+        or table[m]["zero_offload"] > table[m]["base"]
+        for m, _ in MODELS
+    )

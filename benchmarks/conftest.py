@@ -1,0 +1,65 @@
+"""Shared benchmark fixtures and table-rendering helpers.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it; the ``benchmark`` fixture times the headline computation so
+``pytest benchmarks/ --benchmark-only`` reports a per-experiment cost.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.hardware.gpu import GTX_1080TI, RTX_TITAN
+
+
+@pytest.fixture(scope="session")
+def rtx():
+    return RTX_TITAN
+
+
+@pytest.fixture(scope="session")
+def gtx_1080ti():
+    return GTX_1080TI
+
+
+def emit(title: str, lines: list[str]) -> None:
+    """Print a rendered table/figure to the real stdout (past capture)."""
+    out = sys.__stdout__
+    print(f"\n=== {title} ===", file=out)
+    for line in lines:
+        print(line, file=out)
+    out.flush()
+
+
+def render_table(
+    header: list[str], rows: list[list], widths: list[int] | None = None,
+) -> list[str]:
+    """Fixed-width text table."""
+    if widths is None:
+        widths = [
+            max(len(str(header[i])),
+                max((len(str(r[i])) for r in rows), default=0)) + 2
+            for i in range(len(header))
+        ]
+    def fmt(cells):
+        return "".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt(header), fmt(["-" * (w - 1) for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return lines
+
+
+def render_series(
+    title_x: str, xs: list, series: dict[str, list], fmt: str = "{:8.1f}",
+) -> list[str]:
+    """Multi-series table: one row per x value, one column per series."""
+    header = [title_x] + list(series)
+    rows = []
+    for idx, x in enumerate(xs):
+        row = [x]
+        for name in series:
+            value = series[name][idx]
+            row.append(fmt.format(value) if isinstance(value, float) else value)
+        rows.append(row)
+    return render_table(header, rows)

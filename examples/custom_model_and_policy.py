@@ -1,0 +1,78 @@
+"""Scenario: bring your own model and your own memory policy.
+
+The library is not limited to the paper's six models or policies:
+``ModelBuilder`` assembles arbitrary dataflow graphs, and any
+``MemoryPolicy`` subclass can emit plans for the shared runtime. This
+example defines a small U-Net-ish segmentation network and a naive
+"swap the K largest activations" policy, then compares it against
+TSPLIT.
+
+Run:  python examples/custom_model_and_policy.py
+"""
+
+from __future__ import annotations
+
+from repro import RTX_TITAN, run_policy
+from repro.core.plan import MemOption, Plan, TensorConfig
+from repro.graph import build_training_graph
+from repro.models import ModelBuilder
+from repro.policies.base import MemoryPolicy
+from repro.units import format_bytes
+
+
+def build_segnet(batch: int = 96):
+    """Encoder-decoder CNN with a skip connection (U-Net flavour)."""
+    builder = ModelBuilder(f"segnet[b={batch}]", batch)
+    x = builder.input_image(3, 128, 128)
+    enc1 = builder.conv_bn_relu(x, 32, 3, name="enc1")
+    down = builder.maxpool(enc1, 2, name="down1")
+    enc2 = builder.conv_bn_relu(down, 64, 3, name="enc2")
+    bottleneck = builder.conv_bn_relu(enc2, 64, 3, name="bottleneck")
+    dec2 = builder.conv_bn_relu(bottleneck, 32, 3, name="dec2")
+    skip = builder.maxpool(enc1, 2, name="skip_pool")  # match resolution
+    merged = builder.concat([dec2, skip], name="skip_cat")
+    head = builder.conv2d(merged, 8, 1, padding=0, name="head")
+    pooled = builder.global_avgpool(head)
+    logits = builder.linear(pooled, 4, name="classifier")
+    loss = builder.cross_entropy_loss(logits)
+    return build_training_graph(builder.graph, loss)
+
+
+class SwapTopK(MemoryPolicy):
+    """Naive baseline: swap the K largest feature maps, nothing else."""
+
+    name = "swap_top_k"
+
+    def __init__(self, k: int = 8) -> None:
+        self.k = k
+
+    def _build(self, graph, gpu, *, schedule, profile):
+        plan = Plan(policy=self.name)
+        biggest = sorted(
+            (t for t in graph.activations() if t.producer is not None),
+            key=lambda t: t.size_bytes,
+            reverse=True,
+        )[: self.k]
+        for tensor in biggest:
+            plan.set(tensor.tensor_id, TensorConfig(opt=MemOption.SWAP))
+        return plan
+
+
+def main() -> None:
+    graph = build_segnet()
+    print(graph.summary())
+    print()
+    gpu = RTX_TITAN.with_memory(RTX_TITAN.memory_bytes // 4)  # 6 GB budget
+    print(f"GPU budget: {format_bytes(gpu.memory_bytes)}\n")
+    for policy in ("base", SwapTopK(k=8), "tsplit"):
+        result = run_policy(graph, policy, gpu)
+        name = policy if isinstance(policy, str) else policy.name
+        if result.feasible:
+            print(f"{name:12s} {result.trace.describe()}")
+        else:
+            print(f"{name:12s} infeasible: "
+                  f"{result.failure.splitlines()[0][:90]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Scenario: the same model planned for different GPUs.
+
+TSPLIT profiles the target hardware before planning, so the chosen
+strategy mix changes with the device (Figure 14b): on a slower GPU,
+recomputation costs relatively more compute time and the planner leans
+toward swapping; on a faster GPU with the same PCIe link, transfers are
+harder to hide and recomputation gains ground.
+
+Run:  python examples/hardware_aware_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import GTX_1080TI, RTX_TITAN, TsplitPlanner, build_model
+from repro.analysis.breakdown import strategy_breakdown
+from repro.analysis.runner import run_policy
+from repro.graph import dfs_schedule
+from repro.units import format_bytes
+
+
+def main() -> None:
+    for gpu, batch in ((RTX_TITAN, 640), (GTX_1080TI, 320)):
+        graph = build_model("vgg16", batch)
+        planner = TsplitPlanner(gpu)
+        result = planner.plan(graph, schedule=dfs_schedule(graph))
+        mix = strategy_breakdown(graph, result.plan)
+        total = mix["swap"] + mix["recompute"]
+        print(f"{gpu.name} ({gpu.memory_bytes // 2**30} GB, "
+              f"{gpu.peak_flops / 1e12:.1f} TFLOPS), vgg16 b={batch}:")
+        print(f"  {result.describe()}")
+        if total:
+            print(f"  swap:      {format_bytes(mix['swap']):>10s} "
+                  f"({mix['swap'] / total:5.1%})")
+            print(f"  recompute: {format_bytes(mix['recompute']):>10s} "
+                  f"({mix['recompute'] / total:5.1%})")
+        else:
+            print("  no evictions needed")
+
+        executed = run_policy(graph, "tsplit", gpu)
+        if executed.feasible:
+            print(f"  executed:  {executed.trace.describe()}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Scenario: inspect an execution — memory timeline and stream overlap.
+
+Renders the text reports (`repro.analysis.report`) for a GPT-style model
+under three policies, making the core TSPLIT claim visible in a
+terminal: the memory sparkline flattens while the D2H/H2D rows fill in
+*behind* a still-solid compute row.
+
+Run:  python examples/inspect_execution.py
+"""
+
+from __future__ import annotations
+
+from repro import RTX_TITAN, run_policy
+from repro.analysis.report import comparison_table, trace_report
+from repro.models import build_gpt
+
+
+def main() -> None:
+    graph = build_gpt(24, layers=12, seq_len=1024)
+    print(graph.summary())
+    print()
+
+    traces = {}
+    for policy in ("base", "vdnn_all", "tsplit"):
+        result = run_policy(graph, policy, RTX_TITAN)
+        traces[policy] = result.trace if result.feasible else None
+        if result.feasible:
+            print(f"===== {policy} =====")
+            print(trace_report(result.trace))
+            print()
+        else:
+            print(f"===== {policy}: infeasible =====")
+            print(f"  {result.failure.splitlines()[0][:100]}")
+            print()
+
+    print("===== summary =====")
+    print(comparison_table(traces))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Scenario: how large a batch can each memory policy train?
+
+The paper's Table IV question, as a script: for a CNN on a 24 GB TITAN
+RTX, search the maximum trainable batch under every policy and report
+the throughput at a shared over-subscribed batch.
+
+Run:  python examples/large_batch_cnn.py [model]
+      (model defaults to resnet50; any registry name works)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import RTX_TITAN
+from repro.analysis.runner import evaluate
+from repro.analysis.scaling import max_sample_scale
+from repro.errors import ReproError
+
+POLICIES = [
+    "base", "vdnn_conv", "vdnn_all", "checkpoints",
+    "superneurons", "tsplit_nosplit", "tsplit",
+]
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "resnet50"
+    print(f"model: {model}  GPU: {RTX_TITAN.name} "
+          f"({RTX_TITAN.memory_bytes // 2**30} GB)\n")
+
+    print(f"{'policy':18s} {'max batch':>10s}")
+    scales: dict[str, int] = {}
+    for policy in POLICIES:
+        try:
+            scales[policy] = max_sample_scale(
+                model, policy, RTX_TITAN, start=32, cap=4096,
+            )
+        except ReproError as exc:  # pragma: no cover - defensive
+            print(f"{policy:18s} error: {exc}")
+            continue
+        shown = scales[policy] if scales[policy] else "x"
+        print(f"{policy:18s} {shown!s:>10s}")
+
+    base_max = scales.get("base", 0)
+    probe = max(base_max + base_max // 2, 2)  # 1.5x over-subscription
+    print(f"\nthroughput at batch {probe} "
+          f"(~1.5x the Base limit of {base_max}):")
+    print(f"{'policy':18s} {'samples/s':>10s} {'pcie':>7s} {'peak GB':>8s}")
+    for policy in POLICIES:
+        result = evaluate(model, policy, RTX_TITAN, probe)
+        if not result.feasible:
+            print(f"{policy:18s} {'OOM':>10s}")
+            continue
+        trace = result.trace
+        print(f"{policy:18s} {trace.throughput:10.1f} "
+              f"{trace.pcie_utilization:7.1%} "
+              f"{trace.peak_memory / 2**30:8.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: train a model that does not fit in GPU memory.
+
+Builds VGG-16 at a batch size whose training footprint exceeds a TITAN
+RTX's 24 GB, shows that the Base policy fails, then lets TSPLIT plan a
+joint split + swap + recompute strategy and executes it on the simulated
+GPU.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import RTX_TITAN, build_model, run_policy
+from repro.graph import dfs_schedule, peak_memory
+from repro.units import format_bytes
+
+BATCH = 640  # ~32 GB unoptimised: 1.4x over-subscription on 24 GB
+
+
+def main() -> None:
+    graph = build_model("vgg16", BATCH)
+    schedule = dfs_schedule(graph)
+    requirement = peak_memory(graph, schedule)
+    print(graph.summary())
+    print(f"unoptimised peak requirement: {format_bytes(requirement)} "
+          f"on a {format_bytes(RTX_TITAN.memory_bytes)} GPU")
+    print()
+
+    base = run_policy(graph, "base", RTX_TITAN)
+    print(f"base:   {'feasible' if base.feasible else 'OUT OF MEMORY'}")
+    if not base.feasible:
+        print(f"        {base.failure.splitlines()[0][:100]}")
+
+    tsplit = run_policy(graph, "tsplit", RTX_TITAN)
+    if not tsplit.feasible:
+        raise SystemExit(f"tsplit failed: {tsplit.failure}")
+    trace = tsplit.trace
+    print(f"tsplit: feasible — {trace.describe()}")
+    print()
+    print("plan summary: ", tsplit.plan.summary(graph))
+    split_tensors = tsplit.plan.split_tensors()
+    print(f"split tensors: {len(split_tensors)}")
+    for tid in split_tensors[:8]:
+        tensor = graph.tensors[tid]
+        cfg = tsplit.plan.config_for(tid)
+        print(f"  {tensor.name:28s} {format_bytes(tensor.size_bytes):>10s} "
+              f"-> {cfg.describe()}")
+    print()
+    print(f"throughput:       {trace.throughput:8.1f} samples/s")
+    print(f"peak memory:      {format_bytes(trace.peak_memory)}")
+    print(f"PCIe utilisation: {trace.pcie_utilization:.1%}")
+    print(f"recompute time:   {trace.recompute_time * 1e3:.1f} ms "
+          f"({trace.recompute_ops} chain ops)")
+
+
+if __name__ == "__main__":
+    main()

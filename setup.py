@@ -1,0 +1,8 @@
+"""Legacy setup shim: enables `pip install -e . --no-use-pep517` in offline
+environments where the `wheel` package (needed by PEP 660 editable builds
+with older setuptools) is unavailable. Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

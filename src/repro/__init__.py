@@ -1,0 +1,65 @@
+"""TSPLIT reproduction: fine-grained GPU memory management for DNN
+training via tensor splitting (Nie et al., ICDE 2022), rebuilt on a
+simulated GPU substrate.
+
+Quickstart::
+
+    from repro import RTX_TITAN, build_model, run_policy
+
+    graph = build_model("vgg16", batch=512)
+    result = run_policy(graph, "tsplit", RTX_TITAN)
+    print(result.trace.describe())
+
+The package layers:
+
+* :mod:`repro.graph` — dataflow-graph DNN framework (tensors, operators,
+  autodiff, DFS scheduling, liveness);
+* :mod:`repro.models` — the six evaluation models of the paper;
+* :mod:`repro.hardware` — GPU/PCIe performance model, memory pool,
+  streams;
+* :mod:`repro.core` — the TSPLIT contribution: sTensor abstraction, cost
+  models (Eq. 2-6), planner (Algorithm 2), augmented-graph generation;
+* :mod:`repro.runtime` — discrete-event execution engine;
+* :mod:`repro.policies` — TSPLIT and every baseline (vDNN, Checkpoints,
+  SuperNeurons, ZeRO-Offload, FairScale-Offload);
+* :mod:`repro.analysis` — the experiment drivers behind every table and
+  figure;
+* :mod:`repro.numerics` — numpy validation of split/merge semantics.
+"""
+
+from repro.analysis.runner import EvalResult, evaluate, run_policy
+from repro.core.plan import MemOption, Plan, TensorConfig
+from repro.core.planner import PlannerOptions, TsplitPlanner
+from repro.core.stensor import STensor
+from repro.graph.graph import Graph
+from repro.hardware.gpu import (
+    GPU_PRESETS,
+    GTX_1080TI,
+    RTX_TITAN,
+    GPUSpec,
+)
+from repro.models.registry import build_model, model_names
+from repro.policies.base import get_policy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EvalResult",
+    "evaluate",
+    "run_policy",
+    "MemOption",
+    "Plan",
+    "TensorConfig",
+    "PlannerOptions",
+    "TsplitPlanner",
+    "STensor",
+    "Graph",
+    "GPU_PRESETS",
+    "GTX_1080TI",
+    "RTX_TITAN",
+    "GPUSpec",
+    "build_model",
+    "model_names",
+    "get_policy",
+    "__version__",
+]

@@ -1,0 +1,195 @@
+"""Command-line driver: run paper experiments without writing code.
+
+Examples
+--------
+Run one configuration and print the trace::
+
+    python -m repro run --model vgg16 --policy tsplit --batch 640
+
+Search the maximum trainable batch::
+
+    python -m repro scale --model resnet101 --policy superneurons
+
+Sweep throughput across batch sizes::
+
+    python -m repro sweep --model vgg16 --batches 64,128,256,512 \
+        --policies base,vdnn_all,tsplit
+
+Show the plan TSPLIT chooses::
+
+    python -m repro plan --model vgg16 --batch 640 --gpu gtx_1080ti
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.runner import evaluate
+from repro.analysis.scaling import max_param_scale, max_sample_scale
+from repro.analysis.throughput import throughput_sweep
+from repro.core.planner import TsplitPlanner
+from repro.graph.scheduler import dfs_schedule
+from repro.hardware.gpu import GPU_PRESETS
+from repro.models.registry import build_model, model_names
+from repro.policies.base import POLICY_REGISTRY, get_policy
+from repro.units import format_bytes
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model", default="vgg16",
+        help=f"model name ({', '.join(model_names())})",
+    )
+    parser.add_argument(
+        "--gpu", default="rtx_titan",
+        help=f"GPU preset ({', '.join(GPU_PRESETS)})",
+    )
+    parser.add_argument(
+        "--param-scale", type=float, default=1.0,
+        help="channel/hidden multiplier (paper's parameter scale)",
+    )
+    parser.add_argument(
+        "--precision", choices=("fp32", "fp16"), default="fp32",
+        help="activation precision (parameters stay fp32 masters)",
+    )
+
+
+def _gpu(name: str):
+    try:
+        return GPU_PRESETS[name]
+    except KeyError:
+        sys.exit(f"unknown GPU {name!r}; available: {', '.join(GPU_PRESETS)}")
+
+
+def cmd_run(args: argparse.Namespace) -> None:
+    """Execute one (model, policy, batch) configuration and report."""
+    gpu = _gpu(args.gpu)
+    result = evaluate(
+        args.model, args.policy, gpu, args.batch,
+        param_scale=args.param_scale, precision=args.precision,
+    )
+    if not result.feasible:
+        print(f"INFEASIBLE: {result.failure}")
+        sys.exit(1)
+    trace = result.trace
+    print(trace.describe())
+    print(f"  compute busy:   {trace.compute_busy * 1e3:9.1f} ms "
+          f"({trace.compute_utilization:.1%} of iteration)")
+    print(f"  memory stall:   {trace.memory_stall * 1e3:9.1f} ms")
+    print(f"  recompute:      {trace.recompute_time * 1e3:9.1f} ms "
+          f"({trace.recompute_ops} chain ops)")
+    print(f"  swapped out/in: {format_bytes(trace.swapped_out_bytes)} / "
+          f"{format_bytes(trace.swapped_in_bytes)}")
+    print(f"  split kernels:  {trace.split_kernels}")
+    if result.plan is not None:
+        graph = build_model(args.model, args.batch,
+                            param_scale=args.param_scale)
+        print(f"  plan: {result.plan.summary(graph)}")
+
+
+def cmd_scale(args: argparse.Namespace) -> None:
+    """Search the maximum trainable sample/parameter scale."""
+    gpu = _gpu(args.gpu)
+    if args.axis == "sample":
+        value = max_sample_scale(
+            args.model, args.policy, gpu,
+            param_scale=args.param_scale, cap=args.cap,
+            precision=args.precision,
+        )
+        print(f"max batch for {args.model} under {args.policy} "
+              f"on {gpu.name}: {value if value else 'x (inapplicable)'}")
+    else:
+        value = max_param_scale(
+            args.model, args.policy, gpu, cap=args.cap,
+        )
+        print(f"max parameter scale for {args.model} under {args.policy} "
+              f"on {gpu.name}: {value if value else 'x (inapplicable)'}")
+
+
+def cmd_sweep(args: argparse.Namespace) -> None:
+    """Print a throughput table across batch sizes and policies."""
+    gpu = _gpu(args.gpu)
+    policies = args.policies.split(",")
+    batches = [int(b) for b in args.batches.split(",")]
+    for policy in policies:
+        get_policy(policy)  # fail fast on typos
+    points = throughput_sweep(
+        args.model, policies, batches, gpu,
+        param_scale=args.param_scale, precision=args.precision,
+    )
+    width = max(len(p) for p in policies) + 2
+    print("batch".rjust(8) + "".join(p.rjust(max(width, 12)) for p in policies))
+    for batch in batches:
+        row = f"{batch:8d}"
+        for policy in policies:
+            point = next(
+                p for p in points if p.policy == policy and p.batch == batch
+            )
+            cell = f"{point.throughput:.1f}/s" if point.feasible else "OOM"
+            row += cell.rjust(max(width, 12))
+        print(row)
+
+
+def cmd_plan(args: argparse.Namespace) -> None:
+    """Run the TSPLIT planner and show its largest decisions."""
+    gpu = _gpu(args.gpu)
+    graph = build_model(
+        args.model, args.batch,
+        param_scale=args.param_scale, precision=args.precision,
+    )
+    planner = TsplitPlanner(gpu)
+    result = planner.plan(graph, schedule=dfs_schedule(graph))
+    print(result.describe())
+    print(f"configured tensors: {len(result.plan.configs)}")
+    for tid, cfg in sorted(
+        result.plan.configs.items(),
+        key=lambda kv: -graph.tensors[kv[0]].size_bytes,
+    )[: args.top]:
+        tensor = graph.tensors[tid]
+        print(f"  {tensor.name:32s} {format_bytes(tensor.size_bytes):>10s}"
+              f"  {cfg.describe()}")
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TSPLIT reproduction experiment driver",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="execute one configuration")
+    _add_common(run_parser)
+    run_parser.add_argument("--policy", default="tsplit",
+                            help=f"policy ({', '.join(sorted(POLICY_REGISTRY) or ['tsplit', 'base', '...'])})")
+    run_parser.add_argument("--batch", type=int, default=64)
+    run_parser.set_defaults(func=cmd_run)
+
+    scale_parser = sub.add_parser("scale", help="max trainable scale search")
+    _add_common(scale_parser)
+    scale_parser.add_argument("--policy", default="tsplit")
+    scale_parser.add_argument("--axis", choices=("sample", "parameter"),
+                              default="sample")
+    scale_parser.add_argument("--cap", type=int, default=4096)
+    scale_parser.set_defaults(func=cmd_scale)
+
+    sweep_parser = sub.add_parser("sweep", help="throughput sweep")
+    _add_common(sweep_parser)
+    sweep_parser.add_argument("--policies", default="base,vdnn_all,tsplit")
+    sweep_parser.add_argument("--batches", default="64,128,256")
+    sweep_parser.set_defaults(func=cmd_sweep)
+
+    plan_parser = sub.add_parser("plan", help="show TSPLIT's plan")
+    _add_common(plan_parser)
+    plan_parser.add_argument("--batch", type=int, default=64)
+    plan_parser.add_argument("--top", type=int, default=15,
+                             help="largest configured tensors to show")
+    plan_parser.set_defaults(func=cmd_plan)
+
+    args = parser.parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

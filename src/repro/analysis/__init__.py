@@ -1,0 +1,75 @@
+"""Experiment drivers: everything the evaluation section measures.
+
+* :mod:`repro.analysis.runner` — plan + augment + execute one
+  (model, policy, GPU) configuration.
+* :mod:`repro.analysis.scaling` — max sample / parameter scale searches
+  (Tables IV, V, VI, VII).
+* :mod:`repro.analysis.throughput` — throughput sweeps
+  (Figures 12, 13, 15).
+* :mod:`repro.analysis.footprint` — memory-requirement curves
+  (Figures 1, 2a, 4).
+* :mod:`repro.analysis.distribution` — tensor-size histograms (Table II).
+* :mod:`repro.analysis.breakdown` — strategy byte breakdowns and
+  throughput-constrained scale (Figure 14).
+* :mod:`repro.analysis.allocator_replay` — replay an execution's
+  alloc/free sequence through the memory pool (allocator ablation).
+"""
+
+from repro.analysis.runner import EvalResult, evaluate, run_iterations, run_policy
+from repro.analysis.scaling import (
+    max_sample_scale,
+    max_param_scale,
+    scale_table,
+)
+from repro.analysis.throughput import throughput_sweep, SweepPoint
+from repro.analysis.footprint import (
+    model_memory_requirement,
+    memory_requirement_grid,
+    max_trainable_scale,
+)
+from repro.analysis.distribution import tensor_size_distribution, SIZE_BUCKETS
+from repro.analysis.breakdown import (
+    strategy_breakdown,
+    max_scale_under_throughput,
+)
+from repro.analysis.allocator_replay import replay_allocations
+from repro.analysis.oversubscription import (
+    OversubscriptionPoint,
+    oversubscription_sweep,
+    survival_ratio,
+)
+from repro.analysis.report import (
+    comparison_table,
+    memory_timeline,
+    sparkline,
+    stream_gantt,
+    trace_report,
+)
+
+__all__ = [
+    "EvalResult",
+    "evaluate",
+    "run_policy",
+    "run_iterations",
+    "max_sample_scale",
+    "max_param_scale",
+    "scale_table",
+    "throughput_sweep",
+    "SweepPoint",
+    "model_memory_requirement",
+    "memory_requirement_grid",
+    "max_trainable_scale",
+    "tensor_size_distribution",
+    "SIZE_BUCKETS",
+    "strategy_breakdown",
+    "max_scale_under_throughput",
+    "replay_allocations",
+    "OversubscriptionPoint",
+    "oversubscription_sweep",
+    "survival_ratio",
+    "comparison_table",
+    "memory_timeline",
+    "sparkline",
+    "stream_gantt",
+    "trace_report",
+]

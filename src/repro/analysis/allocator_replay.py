@@ -1,0 +1,96 @@
+"""Replay an execution's allocation sequence through the memory pool.
+
+The engine accounts memory in bytes (capacity feasibility); this module
+replays the same allocate/free event stream through the
+:class:`~repro.hardware.memory_pool.MemoryPool` to measure *placement*
+effects — external fragmentation and failed allocations under best-fit
+versus first-fit/worst-fit — backing the Section V-C/V-D design claims
+(allocator ablation bench).
+
+The event stream comes from :attr:`ExecutionTrace.alloc_events`
+(recorded when engine tracing is on): chronological ``(time, label,
++/-bytes)`` entries covering compute outputs, workspaces, swap-ins and
+all releases. The persistent region (weights, optimizer state, inputs)
+is allocated once up front, as the paper's pre-allocated pool does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError, OutOfMemoryError
+from repro.hardware.memory_pool import MemoryPool
+from repro.runtime.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Pool behaviour over one execution's allocation stream."""
+
+    strategy: str
+    succeeded: bool
+    failed_at: str = ""
+    peak_used: int = 0
+    max_fragmentation: float = 0.0
+    alloc_count: int = 0
+
+
+def replay_allocations(
+    trace: ExecutionTrace,
+    capacity: int,
+    *,
+    strategy: str = "best_fit",
+) -> ReplayResult:
+    """Replay a trace's alloc/free events through a pool.
+
+    Events are ordered by time with releases applied before allocations
+    at equal timestamps (the engine's accounting commits pending frees
+    before allocating). Releases without a live handle (e.g. events
+    trimmed by tracing) are ignored.
+    """
+    events = sorted(
+        trace.alloc_events,
+        key=lambda e: (e[0], 0 if e[2] < 0 else 1),
+    )
+    pool = MemoryPool(capacity=capacity, strategy=strategy)
+    persistent_handle = None
+    if trace.persistent_bytes:
+        try:
+            persistent_handle = pool.alloc(trace.persistent_bytes)
+        except OutOfMemoryError:
+            return ReplayResult(
+                strategy=strategy, succeeded=False,
+                failed_at="<persistent region>",
+            )
+    handles: dict[str, list[int]] = {}
+    max_frag = 0.0
+    for _, label, nbytes in events:
+        if nbytes > 0:
+            try:
+                handle = pool.alloc(nbytes)
+            except OutOfMemoryError:
+                return ReplayResult(
+                    strategy=strategy,
+                    succeeded=False,
+                    failed_at=label,
+                    peak_used=pool.stats.peak_used,
+                    max_fragmentation=max_frag,
+                    alloc_count=pool.stats.alloc_count,
+                )
+            handles.setdefault(label, []).append(handle)
+        else:
+            pending = handles.get(label)
+            if pending:
+                try:
+                    pool.free(pending.pop(0))
+                except AllocationError:  # pragma: no cover - defensive
+                    pass
+        max_frag = max(max_frag, pool.fragmentation())
+    assert persistent_handle is None or persistent_handle >= 0
+    return ReplayResult(
+        strategy=strategy,
+        succeeded=True,
+        peak_used=pool.stats.peak_used,
+        max_fragmentation=max_frag,
+        alloc_count=pool.stats.alloc_count,
+    )

@@ -1,0 +1,115 @@
+"""Breakdown analyses (Figure 14).
+
+* :func:`strategy_breakdown` — total bytes the planner assigned to swap
+  versus recompute (Figure 14b: the mix shifts between GPUs because the
+  profiled cost ratios differ).
+* :func:`max_scale_under_throughput` — largest sample size a policy
+  sustains while keeping at least ``x%`` of the Base policy's reference
+  throughput (Figure 14a).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.analysis.runner import evaluate
+from repro.analysis.scaling import max_sample_scale
+from repro.core.plan import MemOption, Plan
+from repro.graph.graph import Graph
+from repro.hardware.gpu import GPUSpec
+from repro.policies.base import MemoryPolicy, get_policy
+from repro.runtime.engine import EngineOptions
+
+_FAST = EngineOptions(record_trace=False)
+
+
+def strategy_breakdown(graph: Graph, plan: Plan) -> dict[str, int]:
+    """Bytes assigned to each eviction mechanism by a plan."""
+    by_option = plan.option_bytes(graph)
+    return {
+        "swap": by_option[MemOption.SWAP],
+        "recompute": by_option[MemOption.RECOMPUTE],
+        "cpu": by_option[MemOption.CPU],
+    }
+
+
+def reference_throughput(
+    model: str | Callable,
+    gpu: GPUSpec,
+    *,
+    param_scale: float = 1.0,
+    **overrides,
+) -> tuple[int, float]:
+    """(max Base batch, Base throughput at that batch) on this GPU."""
+    base_batch = max_sample_scale(
+        model, "base", gpu, param_scale=param_scale, **overrides,
+    )
+    if base_batch == 0:
+        return 0, 0.0
+    result = evaluate(
+        model, "base", gpu, base_batch,
+        param_scale=param_scale, engine_options=_FAST, **overrides,
+    )
+    return base_batch, result.throughput
+
+
+def max_scale_under_throughput(
+    model: str | Callable,
+    policy: MemoryPolicy | str,
+    gpu: GPUSpec,
+    *,
+    fraction: float,
+    reference: float | None = None,
+    param_scale: float = 1.0,
+    cap: int = 4096,
+    **overrides,
+) -> int:
+    """Largest batch with throughput >= fraction * reference (Figure 14a).
+
+    ``reference`` defaults to the Base policy's throughput at its own
+    maximum feasible batch. Throughput is unimodal-ish in batch size but
+    not strictly monotone, so this scans feasible batches upward and
+    keeps the largest batch satisfying the constraint.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if isinstance(policy, str):
+        policy = get_policy(policy)
+    if reference is None:
+        _, reference = reference_throughput(
+            model, gpu, param_scale=param_scale, **overrides,
+        )
+    if reference <= 0:
+        return 0
+    target = fraction * reference
+
+    # Throughput rises with batch until memory management starts paying
+    # for scale, then falls; scan the doubling ladder to the feasibility
+    # edge and keep the largest batch that still met the target.
+    best = 0
+    batch = 1
+    while batch <= cap:
+        result = evaluate(
+            model, policy, gpu, batch,
+            param_scale=param_scale, engine_options=_FAST, **overrides,
+        )
+        if not result.feasible:
+            break
+        if result.throughput >= target:
+            best = batch
+        batch *= 2
+    if best == 0:
+        return 0
+    # Refine between best (ok) and 2*best (failed or untested).
+    lo, hi = best, min(cap, best * 2)
+    while hi - lo > max(1, lo // 16):
+        mid = (lo + hi) // 2
+        result = evaluate(
+            model, policy, gpu, mid,
+            param_scale=param_scale, engine_options=_FAST, **overrides,
+        )
+        if result.feasible and result.throughput >= target:
+            lo = mid
+        else:
+            hi = mid
+    return lo

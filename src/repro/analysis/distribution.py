@@ -1,0 +1,55 @@
+"""Tensor-size distributions (Table II).
+
+The paper motivates tensor splitting by showing BERT-Large carries many
+very large tensors (13.41% above 500 MB at their configuration). The
+bucket boundaries here are the paper's.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.graph.tensor import TensorKind
+from repro.units import MB
+
+#: (label, lower bound inclusive, upper bound exclusive), paper buckets.
+SIZE_BUCKETS: list[tuple[str, int, float]] = [
+    ("< 1MB", 0, 1 * MB),
+    ("1 ~ 10MB", 1 * MB, 10 * MB),
+    ("10 ~ 50MB", 10 * MB, 50 * MB),
+    ("50 ~ 100MB", 50 * MB, 100 * MB),
+    ("100 ~ 500MB", 100 * MB, 500 * MB),
+    ("> 500MB", 500 * MB, float("inf")),
+]
+
+#: Kinds counted as "tensors of the training workload" (weights,
+#: feature maps and their gradients — what the memory manager moves).
+_COUNTED_KINDS = frozenset({
+    TensorKind.PARAM,
+    TensorKind.ACTIVATION,
+    TensorKind.GRAD_ACTIVATION,
+    TensorKind.GRAD_PARAM,
+})
+
+
+def tensor_size_distribution(
+    graph: Graph, *, weight_by_bytes: bool = False,
+) -> dict[str, float]:
+    """Fraction of tensors (or bytes) falling in each size bucket."""
+    tensors = [
+        t for t in graph.tensors.values() if t.kind in _COUNTED_KINDS
+    ]
+    if not tensors:
+        return {label: 0.0 for label, _, _ in SIZE_BUCKETS}
+    totals = {label: 0.0 for label, _, _ in SIZE_BUCKETS}
+    denominator = 0.0
+    for tensor in tensors:
+        size = tensor.size_bytes
+        weight = float(size) if weight_by_bytes else 1.0
+        denominator += weight
+        for label, lo, hi in SIZE_BUCKETS:
+            if lo <= size < hi:
+                totals[label] += weight
+                break
+    return {
+        label: totals[label] / denominator for label, _, _ in SIZE_BUCKETS
+    }

@@ -1,0 +1,53 @@
+"""Memory-requirement analysis (Figures 1, 2a, 4).
+
+Figure 1 plots the raw (un-optimised) training memory requirement of
+BERT-Large over a (sample scale x parameter scale) grid, with per-GPU
+trainability frontiers. These need only graph construction + liveness —
+no execution — so full grids are cheap.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.graph.graph import Graph
+from repro.graph.liveness import memory_curve
+from repro.graph.scheduler import dfs_schedule
+from repro.hardware.gpu import GPUSpec
+
+
+def model_memory_requirement(graph: Graph) -> int:
+    """Peak un-optimised training memory requirement, in bytes."""
+    schedule = dfs_schedule(graph)
+    curve = memory_curve(graph, schedule)
+    return int(curve.max()) if len(curve) else 0
+
+
+def memory_requirement_grid(
+    builder: Callable[..., Graph],
+    sample_scales: Sequence[int],
+    param_scales: Sequence[float],
+    **overrides,
+) -> dict[tuple[int, float], int]:
+    """Peak memory for every (batch, param_scale) combination.
+
+    ``builder`` follows the registry signature
+    ``(batch, *, param_scale=..., **overrides)``.
+    """
+    grid: dict[tuple[int, float], int] = {}
+    for batch in sample_scales:
+        for scale in param_scales:
+            graph = builder(batch, param_scale=scale, **overrides)
+            grid[(batch, scale)] = model_memory_requirement(graph)
+    return grid
+
+
+def max_trainable_scale(
+    grid: dict[tuple[int, float], int],
+    gpu: GPUSpec,
+) -> list[tuple[int, float]]:
+    """Grid points trainable without optimisation on a GPU (Figure 1's
+    "below the black line" region)."""
+    return sorted(
+        key for key, peak in grid.items() if peak <= gpu.memory_bytes
+    )

@@ -1,0 +1,89 @@
+"""Memory over-subscription sweeps.
+
+The paper frames its headline results "under the same memory
+over-subscription" — the ratio of a workload's unoptimised requirement
+to the device capacity. This module fixes the workload and shrinks the
+device, tracing each policy's throughput as over-subscription deepens:
+where does it degrade, and where does it die? (The complementary view to
+Tables IV/V, which fix the device and grow the workload.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.analysis.runner import run_policy
+from repro.graph.graph import Graph
+from repro.graph.liveness import peak_memory
+from repro.graph.scheduler import dfs_schedule
+from repro.hardware.gpu import GPUSpec
+from repro.policies.base import MemoryPolicy
+from repro.runtime.engine import EngineOptions
+
+
+@dataclass(frozen=True)
+class OversubscriptionPoint:
+    """One (policy, over-subscription ratio) measurement."""
+
+    policy: str
+    ratio: float          # requirement / capacity (>= 1 means pressure)
+    capacity: int
+    feasible: bool
+    throughput: float
+    slowdown_vs_full: float  # iteration time / unconstrained iteration time
+
+
+def oversubscription_sweep(
+    graph: Graph,
+    policies: Sequence[str | MemoryPolicy],
+    gpu: GPUSpec,
+    ratios: Sequence[float] = (1.0, 1.25, 1.5, 2.0, 3.0, 4.0),
+) -> list[OversubscriptionPoint]:
+    """Measure each policy as the device shrinks below the requirement.
+
+    ``ratio`` r means capacity = requirement / r: r=1 exactly fits the
+    unoptimised execution, r=2 halves the device.
+    """
+    requirement = peak_memory(graph, dfs_schedule(graph))
+    options = EngineOptions(record_trace=False)
+
+    # Unconstrained reference time per policy (big enough device).
+    reference: dict[str, float] = {}
+    big = gpu.with_memory(int(requirement * 1.2))
+    for policy in policies:
+        result = run_policy(graph, policy, big, engine_options=options)
+        name = policy if isinstance(policy, str) else policy.name
+        reference[name] = result.iteration_time
+
+    points: list[OversubscriptionPoint] = []
+    for policy in policies:
+        name = policy if isinstance(policy, str) else policy.name
+        for ratio in ratios:
+            capacity = max(1, int(requirement / ratio))
+            shrunk = gpu.with_memory(capacity)
+            result = run_policy(
+                graph, policy, shrunk, engine_options=options,
+            )
+            slowdown = (
+                result.iteration_time / reference[name]
+                if result.feasible and reference[name] not in (0.0, float("inf"))
+                else float("inf")
+            )
+            points.append(OversubscriptionPoint(
+                policy=name,
+                ratio=ratio,
+                capacity=capacity,
+                feasible=result.feasible,
+                throughput=result.throughput,
+                slowdown_vs_full=slowdown,
+            ))
+    return points
+
+
+def survival_ratio(
+    points: list[OversubscriptionPoint], policy: str,
+) -> float:
+    """Deepest over-subscription ratio a policy survived (0 if none)."""
+    feasible = [p.ratio for p in points if p.policy == policy and p.feasible]
+    return max(feasible, default=0.0)

@@ -1,0 +1,129 @@
+"""Plain-text reporting: memory timelines, stream Gantt charts, tables.
+
+Everything renders to monospace text (no plotting dependencies), sized
+for terminals and logs. Used by the examples, handy when debugging plans
+("where does the peak sit?", "is the D2H stream actually busy?").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.trace import ExecutionTrace
+from repro.units import format_bytes
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 72) -> str:
+    """Downsample a series into a unicode sparkline of ``width`` chars."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return ""
+    if array.size > width:
+        edges = np.linspace(0, array.size, width + 1).astype(int)
+        array = np.array([
+            array[lo:hi].max() if hi > lo else array[min(lo, array.size - 1)]
+            for lo, hi in zip(edges[:-1], edges[1:])
+        ])
+    top = array.max()
+    if top <= 0:
+        return _BARS[0] * len(array)
+    scaled = np.clip((array / top) * (len(_BARS) - 1), 0, len(_BARS) - 1)
+    return "".join(_BARS[int(round(s))] for s in scaled)
+
+
+def memory_timeline(trace: ExecutionTrace, width: int = 72) -> str:
+    """Render a trace's device-memory usage over time.
+
+    One sparkline over the sampled usage, annotated with the peak and
+    where (as a fraction of the iteration) it occurs — the visual
+    equivalent of the paper's Figure 2(a) / Figure 4 curves.
+    """
+    curve = trace.memory_curve()
+    if curve.shape[0] == 0:
+        return "(no memory samples recorded)"
+    times, used = curve[:, 0], curve[:, 1]
+    peak_at = float(times[int(np.argmax(used))])
+    horizon = max(trace.iteration_time, 1e-12)
+    lines = [
+        sparkline(used, width),
+        f"peak {format_bytes(int(used.max()))} at "
+        f"{peak_at / horizon:.0%} of the iteration; "
+        f"final {format_bytes(int(used[-1]))}",
+    ]
+    return "\n".join(lines)
+
+
+def stream_gantt(
+    trace: ExecutionTrace, width: int = 72,
+) -> str:
+    """Busy/idle occupancy of each stream over the iteration.
+
+    Each row is one stream; a cell is '█' when the stream is busy during
+    that time slice, '·' when idle. Shows at a glance how well transfers
+    hide behind compute (the overlap Equation 3 is about).
+    """
+    horizon = trace.iteration_time
+    if horizon <= 0 or not trace.records:
+        return "(no records)"
+    streams = ["compute", "d2h", "h2d", "cpu"]
+    edges = np.linspace(0.0, horizon, width + 1)
+    rows = []
+    for stream in streams:
+        intervals = [
+            (r.start, r.end) for r in trace.records if r.stream == stream
+        ]
+        if not intervals:
+            continue
+        cells = []
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            busy = any(start < hi and end > lo for start, end in intervals)
+            cells.append("█" if busy else "·")
+        busy_total = sum(end - start for start, end in intervals)
+        rows.append(
+            f"{stream:>8s} |{''.join(cells)}| {busy_total / horizon:5.1%}"
+        )
+    return "\n".join(rows)
+
+
+def trace_report(trace: ExecutionTrace, width: int = 72) -> str:
+    """Full text report of one execution."""
+    sections = [
+        trace.describe(),
+        "",
+        "device memory:",
+        memory_timeline(trace, width),
+        "",
+        "stream occupancy:",
+        stream_gantt(trace, width),
+    ]
+    if trace.host_peak_bytes:
+        sections.append("")
+        sections.append(
+            f"host memory peak: {format_bytes(trace.host_peak_bytes)}"
+        )
+    return "\n".join(sections)
+
+
+def comparison_table(
+    rows: dict[str, ExecutionTrace | None],
+) -> str:
+    """One-line-per-policy comparison of executed traces."""
+    header = (
+        f"{'policy':>18s} {'iter_ms':>10s} {'samples/s':>10s} "
+        f"{'peak':>10s} {'pcie':>7s} {'recompute_ms':>13s}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, trace in rows.items():
+        if trace is None:
+            lines.append(f"{name:>18s} {'infeasible':>10s}")
+            continue
+        lines.append(
+            f"{name:>18s} {trace.iteration_time * 1e3:10.1f} "
+            f"{trace.throughput:10.1f} "
+            f"{format_bytes(trace.peak_memory):>10s} "
+            f"{trace.pcie_utilization:7.1%} "
+            f"{trace.recompute_time * 1e3:13.1f}"
+        )
+    return "\n".join(lines)

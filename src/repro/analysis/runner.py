@@ -1,0 +1,168 @@
+"""Run one (graph, policy, GPU) configuration end to end.
+
+The pipeline mirrors the paper's system flow: profile → plan (policy) →
+augment (sTensor graph generation) → execute (runtime engine). The
+result records feasibility: a configuration is *infeasible* when the
+policy itself gives up (:class:`~repro.errors.PlanningError` /
+:class:`~repro.errors.PolicyError`) or when the engine runs out of
+device memory executing the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.augment import AugmentOptions, augment_graph
+from repro.core.plan import Plan
+from repro.core.profiler import Profiler
+from repro.errors import OutOfMemoryError, PlanningError, PolicyError
+from repro.graph.graph import Graph
+from repro.graph.scheduler import dfs_schedule
+from repro.hardware.gpu import GPUSpec
+from repro.policies.base import MemoryPolicy, get_policy
+from repro.runtime.engine import Engine, EngineOptions
+from repro.runtime.trace import ExecutionTrace
+
+
+@dataclass
+class EvalResult:
+    """Outcome of one configuration run."""
+
+    policy: str
+    feasible: bool
+    plan: Plan | None = None
+    trace: ExecutionTrace | None = None
+    failure: str = ""
+
+    @property
+    def throughput(self) -> float:
+        return self.trace.throughput if self.trace else 0.0
+
+    @property
+    def iteration_time(self) -> float:
+        return self.trace.iteration_time if self.trace else float("inf")
+
+
+def run_policy(
+    graph: Graph,
+    policy: MemoryPolicy | str,
+    gpu: GPUSpec,
+    *,
+    augment_options: AugmentOptions | None = None,
+    engine_options: EngineOptions | None = None,
+    profiler: Profiler | None = None,
+) -> EvalResult:
+    """Plan, augment and execute; never raises for capacity failures."""
+    if isinstance(policy, str):
+        policy = get_policy(policy)
+    schedule = dfs_schedule(graph)
+    profiler = profiler or Profiler(gpu)
+    profile = profiler.profile(graph)
+    try:
+        plan = policy.build_plan(
+            graph, gpu, schedule=schedule, profile=profile,
+        )
+    except (PolicyError, PlanningError) as exc:
+        return EvalResult(policy=policy.name, feasible=False, failure=str(exc))
+
+    if augment_options is None and policy.recompute_strategy is not None:
+        from repro.core.recompute import RecomputeStrategy
+
+        augment_options = AugmentOptions(
+            recompute_strategy=RecomputeStrategy(policy.recompute_strategy),
+        )
+    augmented = augment_graph(
+        graph, plan, profile, schedule=schedule, options=augment_options,
+    )
+    engine = Engine(gpu, engine_options)
+    try:
+        trace = engine.execute(augmented.program)
+    except OutOfMemoryError as exc:
+        return EvalResult(
+            policy=policy.name, feasible=False, plan=plan, failure=str(exc),
+        )
+    return EvalResult(
+        policy=policy.name, feasible=True, plan=plan, trace=trace,
+    )
+
+
+def run_iterations(
+    graph: Graph,
+    policy: MemoryPolicy | str,
+    gpu: GPUSpec,
+    iterations: int,
+    *,
+    augment_options: AugmentOptions | None = None,
+    profiler: Profiler | None = None,
+) -> tuple[list[float], EvalResult]:
+    """Plan once, execute ``iterations`` back-to-back iterations.
+
+    Returns the per-iteration durations (warm-up visible in the first
+    entries) plus an :class:`EvalResult` whose trace aggregates the whole
+    run. Infeasible configurations return an empty duration list.
+    """
+    if isinstance(policy, str):
+        policy = get_policy(policy)
+    schedule = dfs_schedule(graph)
+    profiler = profiler or Profiler(gpu)
+    profile = profiler.profile(graph)
+    try:
+        plan = policy.build_plan(
+            graph, gpu, schedule=schedule, profile=profile,
+        )
+    except (PolicyError, PlanningError) as exc:
+        return [], EvalResult(
+            policy=policy.name, feasible=False, failure=str(exc),
+        )
+    if augment_options is None and policy.recompute_strategy is not None:
+        from repro.core.recompute import RecomputeStrategy
+
+        augment_options = AugmentOptions(
+            recompute_strategy=RecomputeStrategy(policy.recompute_strategy),
+        )
+    augmented = augment_graph(
+        graph, plan, profile, schedule=schedule, options=augment_options,
+    )
+    engine = Engine(gpu)
+    try:
+        durations, trace = engine.execute_iterations(
+            augmented.program, iterations,
+        )
+    except OutOfMemoryError as exc:
+        return [], EvalResult(
+            policy=policy.name, feasible=False, plan=plan, failure=str(exc),
+        )
+    return durations, EvalResult(
+        policy=policy.name, feasible=True, plan=plan, trace=trace,
+    )
+
+
+def evaluate(
+    model_builder,
+    policy: MemoryPolicy | str,
+    gpu: GPUSpec,
+    batch: int,
+    *,
+    param_scale: float = 1.0,
+    augment_options: AugmentOptions | None = None,
+    engine_options: EngineOptions | None = None,
+    **model_overrides,
+) -> EvalResult:
+    """Build the model at the given scale and run one policy on it.
+
+    ``model_builder`` is either a registry name or a callable with the
+    registry signature ``(batch, *, param_scale=..., **overrides)``.
+    """
+    if isinstance(model_builder, str):
+        from repro.models.registry import build_model
+
+        graph = build_model(
+            model_builder, batch, param_scale=param_scale, **model_overrides,
+        )
+    else:
+        graph = model_builder(batch, param_scale=param_scale, **model_overrides)
+    return run_policy(
+        graph, policy, gpu,
+        augment_options=augment_options,
+        engine_options=engine_options,
+    )

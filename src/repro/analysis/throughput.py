@@ -1,0 +1,96 @@
+"""Throughput sweeps over sample size (Figures 12, 13, 15).
+
+For each (policy, batch) point the sweep runs the full pipeline and
+records throughput in samples/second; infeasible points are kept in the
+series (throughput 0) so crossover and drop-out batch sizes are visible,
+exactly as the paper's figures show policies "failing to run".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.analysis.runner import evaluate
+from repro.hardware.gpu import GPUSpec
+from repro.runtime.engine import EngineOptions
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (policy, batch) measurement."""
+
+    policy: str
+    batch: int
+    feasible: bool
+    throughput: float       # samples / second
+    iteration_time: float   # seconds
+    pcie_utilization: float
+    peak_memory: int
+    failure: str = ""
+
+
+def throughput_sweep(
+    model: str | Callable,
+    policies: Sequence[str],
+    batches: Sequence[int],
+    gpu: GPUSpec,
+    *,
+    param_scale: float = 1.0,
+    **overrides,
+) -> list[SweepPoint]:
+    """Measure throughput of each policy at each sample size."""
+    points: list[SweepPoint] = []
+    options = EngineOptions(record_trace=False)
+    for policy in policies:
+        for batch in batches:
+            result = evaluate(
+                model, policy, gpu, batch,
+                param_scale=param_scale,
+                engine_options=options,
+                **overrides,
+            )
+            if result.feasible and result.trace is not None:
+                trace = result.trace
+                points.append(SweepPoint(
+                    policy=policy,
+                    batch=batch,
+                    feasible=True,
+                    throughput=trace.throughput,
+                    iteration_time=trace.iteration_time,
+                    pcie_utilization=trace.pcie_utilization,
+                    peak_memory=trace.peak_memory,
+                ))
+            else:
+                points.append(SweepPoint(
+                    policy=policy,
+                    batch=batch,
+                    feasible=False,
+                    throughput=0.0,
+                    iteration_time=float("inf"),
+                    pcie_utilization=0.0,
+                    peak_memory=0,
+                    failure=result.failure,
+                ))
+    return points
+
+
+def speedups_over(
+    points: list[SweepPoint], reference_policy: str,
+) -> dict[tuple[str, int], float]:
+    """Per-(policy, batch) speedup relative to a reference policy.
+
+    Matches the paper's Figure 12 y-axis ("speedup over vDNN"). Points
+    where the reference is infeasible are omitted.
+    """
+    reference = {
+        p.batch: p.throughput
+        for p in points
+        if p.policy == reference_policy and p.feasible and p.throughput > 0
+    }
+    speedups: dict[tuple[str, int], float] = {}
+    for point in points:
+        base = reference.get(point.batch)
+        if base and point.feasible:
+            speedups[(point.policy, point.batch)] = point.throughput / base
+    return speedups

@@ -1,0 +1,43 @@
+"""TSPLIT core: the paper's primary contribution.
+
+* :mod:`repro.core.plan` — per-tensor memory-strategy configuration
+  (reside / swap / recompute / CPU-pinned, plus split settings).
+* :mod:`repro.core.stensor` — the splittable-tensor abstraction
+  (Figure 9 interfaces: ``set_config`` / ``split`` / ``merge``).
+* :mod:`repro.core.profiler` — profiling-based estimation (Section V-B).
+* :mod:`repro.core.simulate` — static memory-requirement simulation of a
+  plan (the ``M_i`` the planner checks against GPU capacity).
+* :mod:`repro.core.cost_model` — the analytic ΔM / ΔT models
+  (Equations 2-6).
+* :mod:`repro.core.planner` — the model-guided greedy planner
+  (Algorithm 2).
+* :mod:`repro.core.augment` — augmented sTensor-graph generation
+  (Figure 10): inserts split/merge/swap/recompute operators and control
+  edges, producing the runtime program.
+"""
+
+from repro.core.plan import MemOption, Plan, TensorConfig
+from repro.core.stensor import MicroTensor, STensor
+from repro.core.profiler import Profiler, ProfileData
+from repro.core.simulate import simulate_memory, plan_peak_memory
+from repro.core.cost_model import CostModel, Candidate
+from repro.core.planner import TsplitPlanner, PlannerOptions
+from repro.core.augment import augment_graph, AugmentedProgram
+
+__all__ = [
+    "MemOption",
+    "Plan",
+    "TensorConfig",
+    "MicroTensor",
+    "STensor",
+    "Profiler",
+    "ProfileData",
+    "simulate_memory",
+    "plan_peak_memory",
+    "CostModel",
+    "Candidate",
+    "TsplitPlanner",
+    "PlannerOptions",
+    "augment_graph",
+    "AugmentedProgram",
+]

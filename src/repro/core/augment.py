@@ -1,0 +1,930 @@
+"""Augmented sTensor-graph generation (Figure 10).
+
+Lowers a (graph, plan) pair into the linear instruction
+:class:`~repro.runtime.instructions.Program` the runtime engine
+executes. The lowering inserts, per the paper:
+
+* split execution of operators whose tensors carry a split config
+  (micro-kernels interleaved with micro-tensor evictions),
+* merge operators where a consumer cannot execute split,
+* swap-out / swap-in operators with prefetch placement,
+* recompute chains at backward consumers, per the configured
+  recomputation strategy (memory-centric / speed-centric / LRU hybrid,
+  Section V-D),
+* host-side optimizer updates + parameter write-back for the
+  ZeRO-Offload-style plans,
+* ordinary allocation/free bookkeeping derived from liveness.
+
+The emission order of instructions encodes the control-flow edges of the
+augmented graph: the engine issues them in order, with data dependencies
+resolved through tensor ready-events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cost_model import op_supports_split
+from repro.core.plan import MemOption, Plan, TensorConfig
+from repro.core.profiler import ProfileData
+from repro.core.recompute import RecomputeStrategy, recompute_chain
+from repro.core.simulate import PREFETCH_OPS
+from repro.core.stensor import STensor
+from repro.errors import RuntimeExecutionError
+from repro.graph.graph import Graph
+from repro.graph.liveness import PERSISTENT_KINDS, compute_liveness
+from repro.graph.ops import Operator, Phase
+from repro.graph.tensor import TensorSpec
+from repro.core.simulate import TensorTimeline, tensor_timeline
+from repro.runtime.instructions import (
+    ComputeInstr,
+    Device,
+    FreeInstr,
+    Program,
+    SwapInInstr,
+    SwapOutInstr,
+    TensorRef,
+    WHOLE,
+    XferInstr,
+)
+from repro.units import TFLOPS
+
+#: micro_index marker for the zero-byte "parameter updated" event ref.
+UPDATED_MARKER = -2
+
+
+@dataclass(frozen=True)
+class AugmentOptions:
+    """Lowering knobs."""
+
+    prefetch_ops: int = PREFETCH_OPS
+    recompute_strategy: RecomputeStrategy = RecomputeStrategy.MEMORY_CENTRIC
+    #: Regenerated-intermediate cache budget for the LRU strategy.
+    lru_budget_bytes: int = 512 * 1024 * 1024
+    #: Host FP32 throughput for CPU-offloaded optimizer updates.
+    host_flops: float = 0.4 * TFLOPS
+    max_recompute_chain: int = 256
+
+
+@dataclass
+class _TensorState:
+    """Augmentation-time location tracking of one tensor."""
+
+    location: str = "unborn"  # unborn | gpu | host | freed | cpu
+    split: tuple[str, int] | None = None  # (dim, p_num) of GPU-resident form
+    regen: bool = False  # currently resident due to recomputation
+    host_copy: bool = False  # a swapped-out copy exists in host memory
+
+
+@dataclass
+class AugmentedProgram:
+    """The lowered program plus the structures used to build it."""
+
+    program: Program
+    plan: Plan
+    schedule: list[int]
+    #: tensor id -> effective split applied ((dim, p_num)), for reports.
+    applied_splits: dict[int, tuple[str, int]] = field(default_factory=dict)
+
+
+class _Augmenter:
+    def __init__(
+        self,
+        graph: Graph,
+        plan: Plan,
+        schedule: list[int],
+        profile: ProfileData,
+        options: AugmentOptions,
+    ) -> None:
+        self.graph = graph
+        self.plan = plan
+        self.schedule = schedule
+        self.profile = profile
+        self.options = options
+        self.liveness = compute_liveness(graph, schedule)
+        self.program = Program(name=graph.name)
+        self.state: dict[int, _TensorState] = {}
+        self.timelines: dict[int, TensorTimeline | None] = {}
+        self.applied_splits: dict[int, tuple[str, int]] = {}
+        self.lru_order: list[int] = []  # regen tensors, least recent first
+        # pos -> tensor ids whose swap-in prefetch is issued there
+        self.prefetch_at: dict[int, list[int]] = {}
+
+    # -- helpers --------------------------------------------------------------
+
+    def timeline(self, tensor_id: int) -> TensorTimeline | None:
+        """Cached phase-aware timeline of one tensor."""
+        if tensor_id not in self.timelines:
+            self.timelines[tensor_id] = tensor_timeline(
+                self.graph, self.liveness, self.graph.tensors[tensor_id],
+            )
+        return self.timelines[tensor_id]
+
+    def cfg(self, tensor_id: int) -> TensorConfig:
+        return self.plan.config_for(tensor_id)
+
+    def effective_split(self, tensor: TensorSpec) -> tuple[str, int] | None:
+        """Split actually applied: requires producer kernel support."""
+        cfg = self.cfg(tensor.tensor_id)
+        if not cfg.is_split:
+            return None
+        if cfg.dim not in tensor.split_axes:
+            return None
+        producer = tensor.producer
+        if producer is None:
+            return None
+        if not op_supports_split(self.graph.ops[producer].op_type, cfg.dim):
+            return None
+        axis = tensor.split_axes[cfg.dim]
+        if tensor.shape[axis] < cfg.p_num:
+            return None
+        return (cfg.dim, cfg.p_num)
+
+    def refs(self, tensor: TensorSpec) -> list[TensorRef]:
+        """Current GPU refs of a tensor (micro refs if split-resident)."""
+        state = self.state.get(tensor.tensor_id)
+        split = state.split if state else None
+        if split is None:
+            return [TensorRef(tensor.tensor_id, tensor.size_bytes,
+                              label=tensor.name)]
+        dim, p_num = split
+        stensor = STensor(tensor)
+        micros = stensor.split(dim, p_num)
+        return [
+            TensorRef(tensor.tensor_id, m.nbytes, m.index,
+                      label=f"{tensor.name}[{m.index}/{p_num}]")
+            for m in micros
+        ]
+
+    def whole_ref(self, tensor: TensorSpec) -> TensorRef:
+        return TensorRef(tensor.tensor_id, tensor.size_bytes, WHOLE,
+                         label=tensor.name)
+
+    def is_persistent_reside(self, tensor: TensorSpec) -> bool:
+        return (
+            tensor.kind in PERSISTENT_KINDS
+            and self.cfg(tensor.tensor_id).opt is MemOption.RESIDE
+        )
+
+    def tracked(self, tensor: TensorSpec) -> bool:
+        """Whether the engine tracks this tensor's residency at all."""
+        if self.cfg(tensor.tensor_id).opt is MemOption.CPU:
+            return False
+        return not self.is_persistent_reside(tensor)
+
+    # -- main walk --------------------------------------------------------------
+
+    def run(self) -> AugmentedProgram:
+        """Walk the schedule and emit the full instruction program."""
+        self._init_states()
+        self._build_prefetch_map()
+        pos = 0
+        while pos < len(self.schedule):
+            op = self.graph.ops[self.schedule[pos]]
+            device = (
+                Device.CPU
+                if self.plan.cpu_update and op.phase is Phase.UPDATE
+                else Device.GPU
+            )
+            exec_split = (
+                self._op_exec_split(op) if device is Device.GPU else None
+            )
+            if exec_split is None:
+                self._issue_prefetches(pos)
+                self._materialize_inputs(op)
+                self._emit_whole_op(pos, op, device)
+                self._post_op(pos, op)
+                pos += 1
+                continue
+            # Streaming region: a maximal run of consecutive ops sharing
+            # this split, chained through split tensors. Their
+            # micro-kernels are emitted interleaved (software-pipelined),
+            # so a produced micro-tensor is consumed — and evicted — before
+            # the next one materialises. This is what makes adjacent
+            # split producer/consumer pairs reuse memory (Section III-A).
+            positions = self._region_positions(pos, exec_split)
+            for q in positions:
+                self._issue_prefetches(q)
+            self._emit_split_region(positions, exec_split)
+            pos += len(positions)
+        return AugmentedProgram(
+            program=self.program,
+            plan=self.plan,
+            schedule=self.schedule,
+            applied_splits=self.applied_splits,
+        )
+
+    def _init_states(self) -> None:
+        persistent = 0
+        for tensor in self.graph.tensors.values():
+            cfg = self.cfg(tensor.tensor_id)
+            state = _TensorState()
+            if cfg.opt is MemOption.CPU:
+                state.location = "cpu"
+            elif tensor.kind in PERSISTENT_KINDS:
+                if cfg.opt is MemOption.SWAP:
+                    state.location = "host"  # sharded weights start on host
+                    self.program.initial_host.append(self.whole_ref(tensor))
+                else:
+                    state.location = "gpu"
+                    persistent += tensor.size_bytes
+            self.state[tensor.tensor_id] = state
+        self.program.persistent_bytes = persistent
+        self.program.batch = _graph_batch(self.graph)
+
+    def _build_prefetch_map(self) -> None:
+        position = self.liveness.position
+        for tensor in self.graph.tensors.values():
+            cfg = self.cfg(tensor.tensor_id)
+            if cfg.opt is not MemOption.SWAP:
+                continue
+            timeline = self.timeline(tensor.tensor_id)
+            if timeline is None:
+                continue
+            if tensor.kind in PERSISTENT_KINDS:
+                # Sharded parameter: swap in one op before every use
+                # (except uses by CPU-device ops).
+                for use in timeline.use_positions:
+                    if self._consumer_on_cpu(use):
+                        continue
+                    self.prefetch_at.setdefault(max(0, use - 1), []).append(
+                        tensor.tensor_id,
+                    )
+                continue
+            if not timeline.bwd_uses:
+                continue
+            first_bwd = timeline.bwd_uses[0]
+            if self._consumer_on_cpu(first_bwd):
+                continue
+            split = self.effective_split(tensor)
+            if split is not None:
+                consumer = self.graph.ops[self.schedule[first_bwd]]
+                if op_supports_split(consumer.op_type, split[0]):
+                    # Micro pieces stream just-in-time inside the
+                    # consumer's split region; no bulk prefetch.
+                    continue
+            pos = max(
+                timeline.fwd_end + 1, first_bwd - self.options.prefetch_ops,
+            )
+            self.prefetch_at.setdefault(pos, []).append(tensor.tensor_id)
+
+    def _consumer_on_cpu(self, pos: int) -> bool:
+        op = self.graph.ops[self.schedule[pos]]
+        return self.plan.cpu_update and op.phase is Phase.UPDATE
+
+    def _issue_prefetches(self, pos: int) -> None:
+        for tid in self.prefetch_at.get(pos, ()):
+            tensor = self.graph.tensors[tid]
+            state = self.state[tid]
+            if state.location != "host":
+                continue  # already resident (e.g. adjacent param uses)
+            for ref in self.refs(tensor):
+                self.program.append(SwapInInstr(ref))
+            state.location = "gpu"
+
+    # -- input materialisation ---------------------------------------------------
+
+    def _materialize_inputs(
+        self, op: Operator, skip: set[int] | None = None,
+    ) -> None:
+        if self.plan.cpu_update and op.phase is Phase.UPDATE:
+            # CPU-offloaded updates read host copies; nothing to stage.
+            return
+        exec_split = self._op_exec_split(op)
+        for tid in op.inputs:
+            if skip and tid in skip:
+                continue  # produced inside the streaming region itself
+            tensor = self.graph.tensors[tid]
+            if not self.tracked(tensor):
+                continue
+            state = self.state[tid]
+            if state.location == "host":
+                if state.split is not None and state.split == exec_split:
+                    continue  # streamed in micro-wise inside the region
+                # Missed prefetch (late eviction) — demand swap-in.
+                for ref in self.refs(tensor):
+                    self.program.append(SwapInInstr(ref))
+                state.location = "gpu"
+            elif state.location == "freed":
+                self._emit_recompute(tensor, keep=set(op.inputs))
+            elif state.location == "unborn":
+                raise RuntimeExecutionError(
+                    f"op {op.name!r} consumes unborn tensor {tensor.name!r}"
+                )
+            # Merge if resident split but this op can't use that split.
+            if state.split is not None and (
+                exec_split is None or exec_split != state.split
+            ):
+                self._emit_merge(tensor)
+
+    def _emit_merge(self, tensor: TensorSpec) -> None:
+        """Materialise the whole tensor from its resident micro pieces.
+
+        Section V-C: when the merge need not happen physically — the
+        pieces never left the device since production, so the pool holds
+        them contiguously — it is performed *in place* (pointer
+        arithmetic, zero copy time). Pieces that were re-materialised by
+        swap-ins or recomputation land at arbitrary pool addresses and
+        pay a real device copy.
+        """
+        state = self.state[tensor.tensor_id]
+        in_place = not state.host_copy and not state.regen
+        micro_refs = self.refs(tensor)
+        whole = self.whole_ref(tensor)
+        self.program.append(ComputeInstr(
+            label=f"merge({tensor.name})",
+            duration=0.0 if in_place
+            else self.profile.memcpy_time(tensor.size_bytes),
+            inputs=tuple(micro_refs),
+            outputs=(whole,),
+            tag="merge",
+        ))
+        state.split = None
+
+    def _emit_recompute(self, target: TensorSpec, keep: set[int]) -> None:
+        """Emit the forward chain regenerating ``target`` (and deps).
+
+        Under the memory-centric strategy the chain frees each
+        regenerated intermediate as soon as no remaining chain op needs
+        it (O(1) extra memory, Section V-D); ``keep`` lists tensors the
+        imminent consumer op still requires.
+        """
+        chain = recompute_chain(
+            self.graph,
+            target.tensor_id,
+            self._tensor_available,
+            max_len=self.options.max_recompute_chain,
+        )
+        # Remaining-use counts of each tensor among later chain ops.
+        remaining: dict[int, int] = {}
+        for op_id in chain:
+            for tid in self.graph.ops[op_id].inputs:
+                remaining[tid] = remaining.get(tid, 0) + 1
+        eager = (
+            self.options.recompute_strategy is RecomputeStrategy.MEMORY_CENTRIC
+        )
+        for op_id in chain:
+            chain_op = self.graph.ops[op_id]
+            inputs: list[TensorRef] = []
+            for tid in chain_op.inputs:
+                tensor = self.graph.tensors[tid]
+                if not self.tracked(tensor):
+                    continue
+                state = self.state[tid]
+                if state.location == "host":
+                    # A swapped checkpoint: demand swap-in before reuse.
+                    # Marked `regen` so the recomputation strategy frees
+                    # it again rather than letting it linger on device.
+                    for ref in self.refs(tensor):
+                        self.program.append(SwapInInstr(ref))
+                    state.location = "gpu"
+                    state.regen = True
+                    self._lru_touch(tid)
+                inputs.extend(self.refs(tensor))
+            outputs: list[TensorRef] = []
+            for tid in chain_op.outputs:
+                tensor = self.graph.tensors[tid]
+                state = self.state[tid]
+                state.location = "gpu"
+                state.split = None
+                state.regen = True
+                self._lru_touch(tid)
+                outputs.extend(self.refs(tensor))
+            self.program.append(ComputeInstr(
+                label=f"recompute({chain_op.name})",
+                duration=self.profile.op_time(op_id),
+                inputs=tuple(inputs),
+                outputs=tuple(outputs),
+                transient_bytes=chain_op.workspace_bytes,
+                op_id=op_id,
+                tag="recompute",
+            ))
+            if not eager:
+                continue
+            for tid in chain_op.inputs:
+                count = remaining.get(tid)
+                if count is None:
+                    continue
+                remaining[tid] = count - 1
+                if remaining[tid] > 0:
+                    continue
+                if tid in keep or tid == target.tensor_id:
+                    continue
+                tensor = self.graph.tensors[tid]
+                state = self.state[tid]
+                if not self.tracked(tensor) or state.location != "gpu":
+                    continue
+                if not (state.regen or self.cfg(tid).evicts):
+                    continue  # genuinely live tensors stay
+                for ref in self.refs(tensor):
+                    self.program.append(FreeInstr(ref, missing_ok=True))
+                if state.host_copy:
+                    # The host copy keeps whatever shape was swapped out
+                    # (micro pieces stay micro pieces).
+                    state.location = "host"
+                else:
+                    state.location = "freed"
+                    state.split = None
+                state.regen = False
+                self._lru_discard(tid)
+        self._lru_evict_over_budget(exclude=target.tensor_id)
+
+    def _tensor_available(self, tensor_id: int) -> bool:
+        """Available as a recompute source: on device, or re-loadable."""
+        return self.state[tensor_id].location in ("gpu", "host")
+
+    # -- op emission --------------------------------------------------------------
+
+    def _op_exec_split(self, op: Operator) -> tuple[str, int] | None:
+        """The (dim, p_num) this op executes with, if any.
+
+        Driven by its split output tensor if one exists, else by a split
+        input; the kernel must support the dimension.
+        """
+        for tid in list(op.outputs) + list(op.inputs):
+            tensor = self.graph.tensors[tid]
+            split = self.effective_split(tensor)
+            if split is None:
+                # An input may already be resident in split form even if
+                # its cfg split came from elsewhere.
+                state = self.state.get(tid)
+                split = state.split if (state and tid in op.inputs) else None
+            if split is not None and op_supports_split(op.op_type, split[0]):
+                return split
+        return None
+
+    def _region_positions(
+        self, pos: int, exec_split: tuple[str, int],
+    ) -> list[int]:
+        """Consecutive schedule positions forming one streaming region.
+
+        Each subsequent op must execute with the same (dim, p_num) and
+        consume a split tensor produced inside the region — the dataflow
+        chain the interleaved micro-kernels stream along.
+        """
+        positions = [pos]
+        split_outputs: set[int] = set()
+        produced: set[int] = set(self.graph.ops[self.schedule[pos]].outputs)
+        for tid in self.graph.ops[self.schedule[pos]].outputs:
+            if self.effective_split(self.graph.tensors[tid]) == exec_split:
+                split_outputs.add(tid)
+        while positions[-1] + 1 < len(self.schedule):
+            q = positions[-1] + 1
+            next_op = self.graph.ops[self.schedule[q]]
+            if self.plan.cpu_update and next_op.phase is Phase.UPDATE:
+                break
+            if self._op_exec_split(next_op) != exec_split:
+                break
+            if not (set(next_op.inputs) & split_outputs):
+                break
+            if set(next_op.inputs) & (produced - split_outputs):
+                # The op consumes a *whole* (unsplit) output of an
+                # in-region producer; that buffer only completes at the
+                # producer's last micro-kernel, so streaming across it
+                # is impossible.
+                break
+            if any(
+                self.state[tid].location == "freed"
+                for tid in next_op.inputs
+                if tid not in split_outputs
+                and self.tracked(self.graph.tensors[tid])
+            ):
+                # A recompute chain must stage a whole tensor before this
+                # op; regions cannot stream across that barrier.
+                break
+            positions.append(q)
+            produced.update(next_op.outputs)
+            for tid in next_op.outputs:
+                if self.effective_split(self.graph.tensors[tid]) == exec_split:
+                    split_outputs.add(tid)
+        return positions
+
+    def _duration(self, op: Operator, device: Device) -> float:
+        if device is Device.CPU:
+            return op.flops / self.options.host_flops if op.flops else 0.0
+        return self.profile.op_time(op.op_id)
+
+    def _emit_whole_op(self, pos: int, op: Operator, device: Device) -> None:
+        inputs: list[TensorRef] = []
+        for tid in op.inputs:
+            tensor = self.graph.tensors[tid]
+            if self.tracked(tensor) and self.state[tid].location in ("gpu", "host"):
+                inputs.extend(self.refs(tensor))
+        outputs: list[TensorRef] = []
+        for tid in op.outputs:
+            tensor = self.graph.tensors[tid]
+            state = self.state[tid]
+            state.location = "gpu"
+            state.split = None
+            outputs.append(self.whole_ref(tensor))
+        if op.phase is Phase.UPDATE and device is Device.CPU:
+            param_id = op.attrs.get("param")
+            marker = TensorRef(
+                param_id if param_id is not None else op.op_id,
+                0, UPDATED_MARKER, label=f"{op.name}/done",
+            )
+            outputs.append(marker)
+            self.program.append(ComputeInstr(
+                label=op.name,
+                duration=self._duration(op, device),
+                inputs=tuple(inputs),
+                outputs=tuple(outputs),
+                transient_bytes=0,
+                device=device,
+                op_id=op.op_id,
+                tag="update",
+            ))
+            if (
+                param_id is not None
+                and self.cfg(param_id).opt is MemOption.RESIDE
+            ):
+                # The GPU holds the live copy: stream the updated values
+                # back (ZeRO-Offload). Sharded (SWAP) parameters stay on
+                # the host until their next-iteration use.
+                nbytes = self.graph.tensors[param_id].size_bytes
+                self.program.append(XferInstr(
+                    nbytes=nbytes, direction="h2d",
+                    label=f"{op.name}/write_back", after=(marker,),
+                ))
+            return
+        self.program.append(ComputeInstr(
+            label=op.name,
+            duration=self._duration(op, device),
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+            transient_bytes=op.workspace_bytes,
+            device=device,
+            op_id=op.op_id,
+            tag=op.phase.value,
+        ))
+
+    def _classify_split_op(
+        self, op: Operator, exec_split: tuple[str, int],
+    ) -> dict:
+        """Partition an op's tensors into micro-streamed and whole sets.
+
+        Mutates tensor states for the op's outputs, so region
+        classification must run in schedule order. Micro inputs whose
+        pieces still live on the host are recorded in ``stream_in``: the
+        emitter swaps each piece in just before the micro-kernel that
+        consumes it.
+        """
+        dim, p_num = exec_split
+        micro_inputs: list[TensorSpec] = []
+        whole_inputs: list[TensorRef] = []
+        stream_in: set[int] = set()
+        for tid in op.inputs:
+            tensor = self.graph.tensors[tid]
+            if not self.tracked(tensor):
+                continue
+            state = self.state[tid]
+            if state.location not in ("gpu", "host"):
+                continue
+            if state.split == exec_split:
+                micro_inputs.append(tensor)
+                if state.location == "host":
+                    stream_in.add(tid)
+                    state.location = "gpu"
+            else:
+                whole_inputs.extend(self.refs(tensor))
+        micro_outputs: list[TensorSpec] = []
+        whole_outputs: list[TensorRef] = []
+        for tid in op.outputs:
+            tensor = self.graph.tensors[tid]
+            state = self.state[tid]
+            state.location = "gpu"
+            split = self.effective_split(tensor)
+            if split == exec_split and op_supports_split(op.op_type, dim):
+                state.split = exec_split
+                self.applied_splits[tid] = exec_split
+                micro_outputs.append(tensor)
+            else:
+                state.split = None
+                whole_outputs.append(self.whole_ref(tensor))
+        micro_in_refs = {}
+        for t in micro_inputs:
+            if t.tensor_id in stream_in:
+                # State already flipped to "gpu"; rebuild refs with the
+                # preserved split shape.
+                micro_in_refs[t.tensor_id] = self._split_refs(t, exec_split)
+            else:
+                micro_in_refs[t.tensor_id] = self.refs(t)
+        return {
+            "op": op,
+            "duration": self.profile.split_op_time(op.op_id, p_num) / p_num,
+            "micro_inputs": micro_inputs,
+            "whole_inputs": whole_inputs,
+            "micro_outputs": micro_outputs,
+            "whole_outputs": whole_outputs,
+            "stream_in": stream_in,
+            "micro_in_refs": micro_in_refs,
+            "micro_out_refs": {t.tensor_id: self.refs(t) for t in micro_outputs},
+        }
+
+    def _split_refs(
+        self, tensor: TensorSpec, split: tuple[str, int],
+    ) -> list[TensorRef]:
+        dim, p_num = split
+        micros = STensor(tensor).split(dim, p_num)
+        return [
+            TensorRef(tensor.tensor_id, m.nbytes, m.index,
+                      label=f"{tensor.name}[{m.index}/{p_num}]")
+            for m in micros
+        ]
+
+    def _emit_split_region(
+        self, positions: list[int], exec_split: tuple[str, int],
+    ) -> None:
+        """Emit the interleaved micro-kernels of one streaming region.
+
+        Micro index ``j`` of every region op runs before micro ``j + 1``
+        of any op, so each produced micro-tensor is consumed by its
+        downstream micro-kernel — and evicted, when its life ends in the
+        region — before the next piece materialises. With a region of
+        chained ops this bounds the region's live set to roughly one
+        micro-slice of each tensor instead of the full tensors.
+        """
+        _, p_num = exec_split
+        region_outputs: set[int] = set()
+        for pos in positions:
+            region_outputs.update(self.graph.ops[self.schedule[pos]].outputs)
+        remaining_inputs: dict[int, set[int]] = {
+            pos: set(self.graph.ops[self.schedule[pos]].inputs)
+            for pos in positions
+        }
+        entries: list[tuple[int, dict]] = []
+        for index in range(p_num):
+            for slot, pos in enumerate(positions):
+                if index == 0:
+                    # Materialise and classify this op only when its first
+                    # micro-kernel is about to issue, so earlier region
+                    # ops' releases have already been emitted.
+                    op = self.graph.ops[self.schedule[pos]]
+                    self._materialize_inputs(op, skip=region_outputs)
+                    entries.append(
+                        (pos, self._classify_split_op(op, exec_split)),
+                    )
+                pos, entry = entries[slot]
+                op = entry["op"]
+                inputs = list(entry["whole_inputs"]) if index == 0 else []
+                for t in entry["micro_inputs"]:
+                    ref = entry["micro_in_refs"][t.tensor_id][index]
+                    if t.tensor_id in entry["stream_in"]:
+                        # Just-in-time swap-in: the H2D transfer of piece
+                        # ``index`` overlaps the previous micro-kernel.
+                        self.program.append(SwapInInstr(ref))
+                    inputs.append(ref)
+                outputs = [
+                    entry["micro_out_refs"][t.tensor_id][index]
+                    for t in entry["micro_outputs"]
+                ]
+                whole_outputs = entry["whole_outputs"]
+                alloc_only = tuple(whole_outputs) if index == 0 else ()
+                finishes = tuple(whole_outputs) if index == p_num - 1 else ()
+                self.program.append(ComputeInstr(
+                    label=f"{op.name}[{index + 1}/{p_num}]",
+                    duration=entry["duration"],
+                    inputs=tuple(inputs),
+                    outputs=tuple(outputs),
+                    transient_bytes=op.workspace_bytes // p_num,
+                    op_id=op.op_id,
+                    tag=op.phase.value,
+                    alloc_only=alloc_only,
+                    finishes=finishes,
+                ))
+                # Interleaved micro evictions: pieces whose life ends at
+                # this op leave before the next micro materialises.
+                later_positions = [q for q in positions if q > pos]
+                self._micro_evictions(
+                    pos, op, index,
+                    entry["micro_inputs"], entry["micro_in_refs"],
+                    later_positions,
+                )
+                self._micro_evictions(
+                    pos, op, index,
+                    entry["micro_outputs"], entry["micro_out_refs"],
+                    later_positions,
+                )
+                if index == p_num - 1:
+                    # The op is complete: release its whole tensors and
+                    # run the recomputation-strategy cleanup, keeping
+                    # anything later region ops still consume.
+                    keep: set[int] = set()
+                    for later_pos in positions:
+                        if later_pos > pos:
+                            keep.update(remaining_inputs[later_pos])
+                    self._post_op(pos, op, keep=keep)
+
+    def _micro_evictions(
+        self,
+        pos: int,
+        op: Operator,
+        index: int,
+        tensors: list[TensorSpec],
+        refs: dict[int, list[TensorRef]],
+        later_positions: list[int] | None = None,
+    ) -> None:
+        later_positions = later_positions or []
+        for tensor in tensors:
+            tid = tensor.tensor_id
+            cfg = self.cfg(tid)
+            timeline = self.timeline(tid)
+            if timeline is None:
+                continue
+            op_pos = pos
+            ref = refs[tid][index]
+            if any(q in timeline.use_positions for q in later_positions):
+                # A later op of this same streaming region still consumes
+                # the piece; its own micro-kernel will release it.
+                continue
+            if timeline.free == op_pos and tid not in op.outputs:
+                # Last use ever (any phase): free the piece as soon as its
+                # micro-kernel consumed it.
+                self.program.append(FreeInstr(ref))
+                if index == len(refs[tid]) - 1:
+                    self.state[tid].location = "freed"
+                    self.state[tid].split = None
+            elif (
+                op.phase is Phase.FORWARD
+                and cfg.evicts
+                and timeline.fwd_end == op_pos
+            ):
+                if cfg.opt is MemOption.SWAP:
+                    self.program.append(SwapOutInstr(ref))
+                    if index == len(refs[tid]) - 1:
+                        # Keep the split shape: the host copy is held as
+                        # micro pieces and swapped back in micro-wise.
+                        self.state[tid].location = "host"
+                        self.state[tid].host_copy = True
+                else:
+                    self.program.append(FreeInstr(ref))
+                    if index == len(refs[tid]) - 1:
+                        self.state[tid].location = "freed"
+                        self.state[tid].split = None
+
+    # -- post-op bookkeeping ---------------------------------------------------
+
+    def _post_op(
+        self, pos: int, op: Operator, keep: set[int] | None = None,
+    ) -> None:
+        keep = keep or set()
+        touched = list(dict.fromkeys(list(op.inputs) + list(op.outputs)))
+        for tid in touched:
+            if tid in keep:
+                continue
+            tensor = self.graph.tensors[tid]
+            if not self.tracked(tensor):
+                continue
+            state = self.state[tid]
+            if state.location != "gpu":
+                continue
+            timeline = self.timeline(tid)
+            if timeline is None:
+                continue
+            cfg = self.cfg(tid)
+            if tensor.kind in PERSISTENT_KINDS:
+                # Sharded weights: swap out unless used by the next op.
+                if cfg.opt is MemOption.SWAP and not self._used_at(
+                    tid, pos + 1,
+                ):
+                    for ref in self.refs(tensor):
+                        self.program.append(SwapOutInstr(ref))
+                    state.location = "host"
+                continue
+            if (
+                cfg.opt is MemOption.SWAP
+                and timeline.fwd_end == pos
+                and not state.regen
+                and state.split is None
+            ):
+                # Swap out after the last forward use — even with no
+                # direct backward consumer, the host copy stays useful
+                # as a checkpoint for recompute chains (SuperNeurons
+                # keeps conv outputs reachable exactly this way).
+                for ref in self.refs(tensor):
+                    self.program.append(SwapOutInstr(ref))
+                state.location = "host"
+                state.host_copy = True
+                state.split = None
+            elif timeline.free == pos:
+                # Last use ever: plain free.
+                for ref in self.refs(tensor):
+                    self.program.append(FreeInstr(ref, missing_ok=True))
+                state.location = "freed"
+                state.split = None
+                state.regen = False
+                self._lru_discard(tid)
+            elif (
+                cfg.opt is MemOption.RECOMPUTE
+                and timeline.fwd_end == pos
+                and state.split is None
+            ):
+                for ref in self.refs(tensor):
+                    self.program.append(FreeInstr(ref))
+                state.location = "freed"
+                state.split = None
+        if op.phase is not Phase.FORWARD:
+            self._apply_recompute_strategy(pos, op, keep)
+
+    def _used_at(self, tensor_id: int, pos: int) -> bool:
+        if pos >= len(self.schedule):
+            return False
+        next_op = self.graph.ops[self.schedule[pos]]
+        return tensor_id in next_op.inputs or tensor_id in next_op.outputs
+
+    def _apply_recompute_strategy(
+        self, pos: int, op: Operator, keep: set[int] | None = None,
+    ) -> None:
+        """Drop regenerated intermediates per the configured strategy."""
+        keep = keep or set()
+        strategy = self.options.recompute_strategy
+        if strategy is RecomputeStrategy.SPEED_CENTRIC:
+            return  # intermediates die at their natural last use
+        consumed_regen = [
+            tid for tid in op.inputs
+            if self.state[self.graph.tensors[tid].tensor_id].regen
+        ]
+        if not consumed_regen and strategy is RecomputeStrategy.MEMORY_CENTRIC:
+            return
+        if strategy is RecomputeStrategy.MEMORY_CENTRIC:
+            for tid, state in self.state.items():
+                if tid in keep:
+                    continue
+                if not state.regen or state.location != "gpu":
+                    continue
+                tensor = self.graph.tensors[tid]
+                for ref in self.refs(tensor):
+                    self.program.append(FreeInstr(ref, missing_ok=True))
+                if state.host_copy:
+                    state.location = "host"
+                else:
+                    state.location = "freed"
+                    state.split = None
+                state.regen = False
+                self._lru_discard(tid)
+
+    # -- LRU strategy ---------------------------------------------------------
+
+    def _lru_touch(self, tensor_id: int) -> None:
+        self._lru_discard(tensor_id)
+        self.lru_order.append(tensor_id)
+
+    def _lru_discard(self, tensor_id: int) -> None:
+        try:
+            self.lru_order.remove(tensor_id)
+        except ValueError:
+            pass
+
+    def _lru_evict_over_budget(self, exclude: int) -> None:
+        if self.options.recompute_strategy is not RecomputeStrategy.LRU:
+            return
+        budget = self.options.lru_budget_bytes
+        resident = [
+            tid for tid in self.lru_order
+            if self.state[tid].location == "gpu" and self.state[tid].regen
+        ]
+        total = sum(self.graph.tensors[t].size_bytes for t in resident)
+        for tid in list(resident):
+            if total <= budget:
+                break
+            if tid == exclude:
+                continue
+            tensor = self.graph.tensors[tid]
+            for ref in self.refs(tensor):
+                self.program.append(FreeInstr(ref, missing_ok=True))
+            state = self.state[tid]
+            if state.host_copy:
+                state.location = "host"
+            else:
+                state.location = "freed"
+                state.split = None
+            state.regen = False
+            self._lru_discard(tid)
+            total -= tensor.size_bytes
+
+
+def _graph_batch(graph: Graph) -> int:
+    """Batch size inferred from the first graph input's sample axis."""
+    for tensor in graph.graph_inputs():
+        axis = tensor.split_axes.get("sample")
+        if axis is not None:
+            return tensor.shape[axis]
+    return 1
+
+
+def augment_graph(
+    graph: Graph,
+    plan: Plan,
+    profile: ProfileData,
+    schedule: list[int] | None = None,
+    options: AugmentOptions | None = None,
+) -> AugmentedProgram:
+    """Lower (graph, plan) into a runtime instruction program."""
+    if schedule is None:
+        from repro.graph.scheduler import dfs_schedule
+
+        schedule = dfs_schedule(graph)
+    augmenter = _Augmenter(
+        graph, plan, schedule, profile, options or AugmentOptions(),
+    )
+    return augmenter.run()

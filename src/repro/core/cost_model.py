@@ -1,0 +1,769 @@
+"""Analytic cost models for swap / recompute / split — Equations 2-6.
+
+For a memory bottleneck at operation ``Op_i``, the planner needs, for
+every candidate (tensor, strategy): the memory reduction ``ΔM_i`` at the
+bottleneck and the extra iteration time ``ΔT``. Three mechanisms:
+
+* **swap** (Eq. 2-3): ΔM is the tensor size; ΔT is the part of the PCIe
+  transfer that cannot hide behind idle link time — computed against a
+  simulated PCIe occupancy ``Oc_u`` per scheduled op (Section V-B: ideal
+  swap-out begins at generation time, ideal swap-in a few ops before the
+  backward use).
+* **recompute** (Eq. 2, 4): ΔM is the tensor size; ΔT is the profiled
+  time of the regeneration chain from the nearest resident checkpoints
+  (memory-centric accounting).
+* **split** (Eq. 5-6): applies to the bottleneck op's own input/output
+  tensors; ΔM is the reduction from streaming micro-tensors
+  (``size - 2*size/p``, plus the workspace shrink); ΔT combines the
+  micro-tensor swap/recompute cost (now overlappable with the split op's
+  own compute), the kernel-efficiency degradation of running ``p``
+  micro-kernels, and merge copies for consumers that cannot execute
+  split.
+
+The source text of the paper omits Equations 4-5 (OCR loss); they are
+reconstructed here from the surrounding prose and documented in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.plan import MemOption, Plan, TensorConfig
+from repro.core.profiler import ProfileData
+from repro.core.recompute import chain_compute_time, planning_chain
+from repro.core.simulate import (
+    PREFETCH_OPS,
+    TensorTimeline,
+    tensor_timeline,
+)
+from repro.errors import PlanningError
+from repro.graph.graph import Graph
+from repro.graph.liveness import LivenessInfo, compute_liveness
+from repro.graph.tensor import (
+    DIM_ATTRIBUTE,
+    DIM_PARAMETER,
+    DIM_SAMPLE,
+    TensorKind,
+    TensorSpec,
+)
+from repro.core.split_rules import op_exec_split, op_supports_split
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One strategy choice the planner can apply.
+
+    ``configs`` holds one or more (tensor id, config) assignments applied
+    atomically — a single-tensor swap/recompute decision, or a *group*
+    split aligning every tensor of the bottleneck op to one (dim, p_num).
+    """
+
+    configs: tuple[tuple[int, TensorConfig], ...]
+    delta_m: float
+    delta_t: float
+    #: Members' configs *before* this candidate (for the cycle guard: the
+    #: same assignment may be retried from a different starting state).
+    prior: tuple[tuple[int, TensorConfig], ...] = ()
+
+    @property
+    def ratio(self) -> float:
+        """The planner's greedy key ΔT / ΔM (lower is better)."""
+        if self.delta_m <= 0:
+            return float("inf")
+        return self.delta_t / self.delta_m
+
+    @property
+    def key(self) -> tuple[frozenset, frozenset]:
+        """Cycle-guard identity: the (before -> after) transition."""
+        return (frozenset(self.prior), frozenset(self.configs))
+
+    @property
+    def tensor_id(self) -> int:
+        """Primary tensor (first member), for reports."""
+        return self.configs[0][0]
+
+    @property
+    def config(self) -> TensorConfig:
+        """Primary config (first member), for reports."""
+        return self.configs[0][1]
+
+
+@dataclass(frozen=True)
+class CostModelOptions:
+    """Tuning knobs of the cost model / candidate generation."""
+
+    prefetch_ops: int = PREFETCH_OPS
+    split_p_nums: tuple[int, ...] = (2, 4, 8, 16, 32, 64, 128)
+    min_split_bytes: int = 8 * MB
+    min_evict_bytes: int = 1 * MB
+    max_recompute_chain: int = 96
+    allow_split: bool = True
+    allow_recompute: bool = True
+    allow_swap: bool = True
+
+
+class CostModel:
+    """ΔM / ΔT evaluation under a concrete plan state.
+
+    The model holds a per-op timeline (execution times under the current
+    split factors and op begin times) plus a simulated PCIe occupancy for
+    both link directions; these are refreshed via :meth:`refresh` after
+    every applied planner decision, so candidate evaluation itself is
+    O(1) per candidate (prefix sums).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        schedule: list[int],
+        profile: ProfileData,
+        options: CostModelOptions | None = None,
+    ) -> None:
+        self.graph = graph
+        self.schedule = list(schedule)
+        self.profile = profile
+        self.options = options or CostModelOptions()
+        self.liveness: LivenessInfo = compute_liveness(graph, schedule)
+        self._timelines: dict[int, TensorTimeline | None] = {}
+        # Filled by refresh():
+        self.op_times = np.zeros(len(schedule))
+        self.op_begin = np.zeros(len(schedule) + 1)
+        self._idle_d2h = np.zeros(len(schedule) + 1)
+        self._idle_h2d = np.zeros(len(schedule) + 1)
+
+    # -- timelines ------------------------------------------------------------
+
+    def timeline(self, tensor_id: int) -> TensorTimeline | None:
+        """Cached phase-aware timeline of one tensor."""
+        if tensor_id not in self._timelines:
+            self._timelines[tensor_id] = tensor_timeline(
+                self.graph, self.liveness, self.graph.tensors[tensor_id],
+            )
+        return self._timelines[tensor_id]
+
+    # -- refresh under a plan ----------------------------------------------------
+
+    def refresh(self, plan: Plan) -> None:
+        """Recompute op times, begin times and PCIe occupancy for a plan."""
+        steps = len(self.schedule)
+        times = np.empty(steps)
+        for idx, op_id in enumerate(self.schedule):
+            p_num = self._op_split_factor(plan, op_id)
+            times[idx] = self.profile.split_op_time(op_id, p_num)
+        self.op_times = times
+        begin = np.zeros(steps + 1)
+        np.cumsum(times, out=begin[1:])
+        self.op_begin = begin
+        self._simulate_pcie(plan)
+
+    def _op_split_factor(self, plan: Plan, op_id: int) -> int:
+        split = op_exec_split(self.graph, plan, self.graph.ops[op_id])
+        return split[1] if split else 1
+
+    def _simulate_pcie(self, plan: Plan) -> None:
+        """Simulate ideal transfer placement; build idle-time prefix sums.
+
+        Swap-outs queue on the D2H engine starting at the producing op's
+        end; swap-ins queue on the H2D engine starting ``prefetch_ops``
+        ops before their backward consumer. Each engine is serial. The
+        result is, per op interval, how much of the link is already
+        occupied (``Oc_u``) — stored as remaining-idle prefix sums.
+        """
+        steps = len(self.schedule)
+        busy_d2h = np.zeros(steps)
+        busy_h2d = np.zeros(steps)
+        out_requests: list[tuple[float, float]] = []  # (ready_time, duration)
+        in_requests: list[tuple[float, float]] = []
+        for tid, cfg in plan.configs.items():
+            if cfg.opt is not MemOption.SWAP:
+                continue
+            timeline = self.timeline(tid)
+            if timeline is None:
+                continue
+            tensor = self.graph.tensors[tid]
+            duration = self.profile.transfer_time(tensor.size_bytes)
+            out_ready = self.op_begin[min(timeline.fwd_end + 1, steps)]
+            out_requests.append((out_ready, duration))
+            if timeline.bwd_uses:
+                start_pos = max(0, timeline.bwd_uses[0] - self.options.prefetch_ops)
+                in_requests.append((self.op_begin[start_pos], duration))
+
+        for requests, busy in ((out_requests, busy_d2h), (in_requests, busy_h2d)):
+            requests.sort()
+            clock = 0.0
+            for ready, duration in requests:
+                start = max(clock, ready)
+                end = start + duration
+                clock = end
+                self._mark_busy(busy, start, end)
+
+        durations = self.op_times
+        idle_d2h = np.maximum(durations - busy_d2h, 0.0)
+        idle_h2d = np.maximum(durations - busy_h2d, 0.0)
+        self._idle_d2h = np.concatenate(([0.0], np.cumsum(idle_d2h)))
+        self._idle_h2d = np.concatenate(([0.0], np.cumsum(idle_h2d)))
+
+    def _mark_busy(self, busy: np.ndarray, start: float, end: float) -> None:
+        """Distribute a transfer interval over per-op busy accumulators."""
+        begin = self.op_begin
+        steps = len(busy)
+        lo = int(np.searchsorted(begin, start, side="right") - 1)
+        lo = max(0, min(lo, steps - 1))
+        pos = lo
+        while pos < steps and begin[pos] < end:
+            seg_start = max(start, begin[pos])
+            seg_end = min(end, begin[pos + 1])
+            if seg_end > seg_start:
+                busy[pos] += seg_end - seg_start
+            pos += 1
+
+    # -- idle-capacity queries ------------------------------------------------
+
+    def idle_d2h(self, lo: int, hi: int) -> float:
+        """Idle D2H seconds over op positions [lo, hi] inclusive."""
+        lo = max(lo, 0)
+        hi = min(hi, len(self.schedule) - 1)
+        if hi < lo:
+            return 0.0
+        return float(self._idle_d2h[hi + 1] - self._idle_d2h[lo])
+
+    def idle_h2d(self, lo: int, hi: int) -> float:
+        """Idle H2D seconds over op positions [lo, hi] inclusive."""
+        lo = max(lo, 0)
+        hi = min(hi, len(self.schedule) - 1)
+        if hi < lo:
+            return 0.0
+        return float(self._idle_h2d[hi + 1] - self._idle_h2d[lo])
+
+    # -- per-strategy ΔT -------------------------------------------------------
+
+    def swap_delta_t(self, tensor: TensorSpec, bottleneck: int) -> float:
+        """Equation 3: un-hidable part of swap-out + swap-in transfers."""
+        timeline = self.timeline(tensor.tensor_id)
+        assert timeline is not None
+        transfer = self.profile.transfer_time(tensor.size_bytes)
+        out_cost = max(
+            transfer - self.idle_d2h(timeline.fwd_end + 1, bottleneck - 1),
+            0.0,
+        )
+        in_cost = 0.0
+        if timeline.bwd_uses:
+            q = timeline.bwd_uses[0]
+            window_lo = max(bottleneck, q - self.options.prefetch_ops)
+            in_cost = max(transfer - self.idle_h2d(window_lo, q - 1), 0.0)
+        return out_cost + in_cost
+
+    def recompute_delta_t(self, tensor: TensorSpec, plan: Plan) -> float:
+        """Equation 4 (reconstructed): profiled chain regeneration time.
+
+        The chain is the one the augmenter will actually emit: swapped
+        tensors count as sources (their swap-in cost is charged to their
+        own configuration), RESIDE tensors only while still alive at the
+        regeneration step.
+        """
+        timeline = self.timeline(tensor.tensor_id)
+        regen = timeline.bwd_uses[0] if timeline and timeline.bwd_uses else 0
+        chain = planning_chain(
+            self.graph, tensor.tensor_id, plan,
+            self.liveness.free_step, regen,
+            max_len=self.options.max_recompute_chain,
+        )
+        return chain_compute_time(chain, self.profile.op_time)
+
+    def split_delta_t(
+        self,
+        tensor: TensorSpec,
+        cfg: TensorConfig,
+        plan: Plan,
+        bottleneck: int,
+    ) -> float:
+        """Equation 6: micro-tensor memory cost + split kernel overheads."""
+        timeline = self.timeline(tensor.tensor_id)
+        assert timeline is not None
+        p_num = cfg.p_num
+        producer = tensor.producer
+
+        # (1) micro-tensor swap/recompute cost, overlappable with the
+        # split op's own pipelined execution. RESIDE+split (streaming
+        # free at the last consumer) moves no bytes at all.
+        if cfg.opt is MemOption.RESIDE:
+            memory_cost = 0.0
+        elif cfg.opt is MemOption.SWAP:
+            transfer = self.profile.transfer_time(tensor.size_bytes)
+            pipeline = 0.0
+            if producer is not None:
+                pipeline = (
+                    self.profile.split_op_time(producer, p_num)
+                    * (p_num - 1) / p_num
+                )
+            out_cost = max(
+                transfer
+                - pipeline
+                - self.idle_d2h(timeline.fwd_end + 1, bottleneck - 1),
+                0.0,
+            )
+            in_cost = 0.0
+            if timeline.bwd_uses:
+                q = timeline.bwd_uses[0]
+                consumer = self.schedule[q]
+                back_pipeline = (
+                    self.profile.split_op_time(consumer, p_num)
+                    * (p_num - 1) / p_num
+                )
+                window_lo = max(bottleneck, q - self.options.prefetch_ops)
+                in_cost = max(
+                    transfer - back_pipeline - self.idle_h2d(window_lo, q - 1),
+                    0.0,
+                )
+            memory_cost = out_cost + in_cost
+        else:
+            memory_cost = self.recompute_delta_t(tensor, plan)
+
+        # (2) + (3) split/merge copies and kernel degradation.
+        overhead = 0.0
+        adjacent_ops: set[int] = set()
+        if producer is not None:
+            adjacent_ops.add(producer)
+        adjacent_ops.update(tensor.consumers)
+        for op_id in adjacent_ops:
+            op = self.graph.ops[op_id]
+            if op_supports_split(op.op_type, cfg.dim):
+                overhead += self.profile.split_overhead(op_id, p_num)
+            else:
+                # Consumer/producer cannot run split: materialise a merge
+                # (or split) copy of the full tensor.
+                overhead += self.profile.memcpy_time(tensor.size_bytes)
+        return memory_cost + overhead
+
+    # -- ΔM at the bottleneck ----------------------------------------------------
+
+    def contribution(self, tensor: TensorSpec, plan: Plan, step: int) -> float:
+        """Bytes ``tensor`` occupies at ``step`` under ``plan``.
+
+        Mirrors :func:`repro.core.simulate._contributions` — including
+        the recompute-chain transient and the streaming-region rules —
+        evaluated point-wise so candidates can be scored without a full
+        curve recomputation.
+        """
+        from repro.core.simulate import (
+            _contributions,
+            needs_whole_staging,
+            recompute_extra,
+        )
+        from repro.core.split_rules import effective_split
+
+        timeline = self.timeline(tensor.tensor_id)
+        if timeline is None:
+            return 0.0
+        cfg = plan.config_for(tensor.tensor_id)
+        if cfg.is_split and effective_split(self.graph, plan, tensor) is None:
+            cfg = TensorConfig(opt=cfg.opt)
+        chain_extra = 0
+        if cfg.opt is MemOption.RECOMPUTE:
+            chain_extra = recompute_extra(
+                self.graph, plan, self.liveness.free_step, tensor, timeline,
+            )
+
+        def exec_split_at(pos: int):
+            return op_exec_split(
+                self.graph, plan, self.graph.ops[self.schedule[pos]],
+            )
+
+        def breaks_at(pos: int):
+            return needs_whole_staging(
+                self.graph, plan, self.graph.ops[self.schedule[pos]],
+                pos, self.timeline,
+            )
+
+        total = 0.0
+        for start, end, nbytes in _contributions(
+            self.graph, tensor, timeline, cfg, len(self.schedule) - 1,
+            chain_extra, exec_split_at, breaks_at,
+        ):
+            if start <= step <= end:
+                total += nbytes
+        return total
+
+    def group_delta_m(
+        self,
+        members: list[tuple[TensorSpec, TensorConfig]],
+        plan: Plan,
+        probe: Plan,
+        step: int,
+    ) -> float:
+        """Memory reduction at ``step`` from applying a config group.
+
+        ``probe`` must already contain the group's configs. Includes the
+        workspace shrink of the op executing at ``step``.
+        """
+        reduction = 0.0
+        for tensor, _ in members:
+            reduction += self.contribution(tensor, plan, step)
+            reduction -= self.contribution(tensor, probe, step)
+        op = self.graph.ops[self.schedule[step]]
+        if op.workspace_bytes:
+            old_split = op_exec_split(self.graph, plan, op)
+            new_split = op_exec_split(self.graph, probe, op)
+            old_p = old_split[1] if old_split else 1
+            new_p = new_split[1] if new_split else 1
+            reduction += op.workspace_bytes * (1 / old_p - 1 / new_p)
+        return reduction
+
+    # -- candidate generation -------------------------------------------------
+
+    def persistent_swap_delta_t(self, tensor: TensorSpec) -> float:
+        """ΔT of sharding a parameter / optimizer-state tensor to host.
+
+        Conservative: one swap-in + swap-out round trip per use window,
+        with no overlap credit — the planner should only reach for
+        persistent tensors once activations are exhausted (which is when
+        the paper's parameter-scale experiments need it).
+        """
+        timeline = self.timeline(tensor.tensor_id)
+        if timeline is None:
+            return 0.0
+        transfer = self.profile.transfer_time(tensor.size_bytes)
+        windows = max(1, len(timeline.use_positions))
+        return 2.0 * windows * transfer
+
+    def nonsplit_candidates(
+        self, bottleneck: int, plan: Plan,
+    ) -> list[Candidate]:
+        """Step 1 of Algorithm 2: swap/recompute for live resident tensors."""
+        current_op = self.graph.ops[self.schedule[bottleneck]]
+        excluded = set(current_op.inputs) | set(current_op.outputs)
+        candidates: list[Candidate] = []
+        for tensor in self.graph.tensors.values():
+            tid = tensor.tensor_id
+            if tid in excluded:
+                continue
+            if tensor.size_bytes < self.options.min_evict_bytes:
+                continue
+            cfg = plan.config_for(tid)
+            if cfg.opt is not MemOption.RESIDE:
+                continue  # already evicted; upgrades happen via split path
+            if tensor.kind in (
+                TensorKind.PARAM, TensorKind.OPTIMIZER_STATE,
+                TensorKind.GRAD_PARAM,
+            ):
+                # Shard to host memory, resident only around uses —
+                # how parameter-dominated workloads keep scaling after
+                # every activation is already evicted. Includes
+                # ZeRO-style gradient offload: a parameter gradient is
+                # streamed out at production and back for the update.
+                # ΔM in closed form (mirrors the persistent-SWAP window
+                # rule of the static model): full size unless a use
+                # window covers the bottleneck.
+                if not self.options.allow_swap:
+                    continue
+                timeline = self.timeline(tid)
+                if timeline is None:
+                    continue
+                covered = any(
+                    use - 1 <= bottleneck <= use
+                    for use in timeline.use_positions
+                )
+                if tensor.kind is TensorKind.GRAD_PARAM:
+                    covered = covered or timeline.alloc == bottleneck
+                if covered:
+                    continue
+                new_cfg = TensorConfig(opt=MemOption.SWAP)
+                candidates.append(Candidate(
+                    ((tid, new_cfg),), float(tensor.size_bytes),
+                    self.persistent_swap_delta_t(tensor),
+                    prior=((tid, cfg),),
+                ))
+                continue
+            if tensor.kind is not TensorKind.ACTIVATION:
+                continue
+            timeline = self.timeline(tid)
+            if timeline is None or timeline.alloc >= bottleneck:
+                continue
+            if timeline.free <= bottleneck:
+                continue  # about to be freed anyway
+            if timeline.fwd_end >= bottleneck:
+                continue  # still needed in the forward region around here
+            for option in (MemOption.SWAP, MemOption.RECOMPUTE):
+                if option is MemOption.SWAP and not self.options.allow_swap:
+                    continue
+                if (
+                    option is MemOption.RECOMPUTE
+                    and not self.options.allow_recompute
+                ):
+                    continue
+                new_cfg = TensorConfig(opt=option, p_num=cfg.p_num, dim=cfg.dim)
+                probe = plan.copy()
+                probe.set(tid, new_cfg)
+                dm = self.group_delta_m(
+                    [(tensor, new_cfg)], plan, probe, bottleneck,
+                )
+                if dm <= 0:
+                    continue
+                try:
+                    dt = (
+                        self.swap_delta_t(tensor, bottleneck)
+                        if option is MemOption.SWAP
+                        else self.recompute_delta_t(tensor, plan)
+                    )
+                except PlanningError:
+                    continue
+                candidates.append(Candidate(
+                    ((tid, new_cfg),), dm, dt,
+                    prior=((tid, cfg),),
+                ))
+        return candidates
+
+    def split_candidates(
+        self, bottleneck: int, plan: Plan,
+    ) -> list[Candidate]:
+        """Step 2 of Algorithm 2: split the bottleneck op's tensors.
+
+        Splitting an operation splits its tensors *together*: a group
+        candidate aligns every eligible input/output of the bottleneck op
+        to one (dim, p_num), which is what lets the augmenter form a
+        coherent streaming region (mismatched part counts would force
+        merges and destroy the reuse the split is meant to buy).
+        """
+        if not self.options.allow_split:
+            return []
+        current_op = self.graph.ops[self.schedule[bottleneck]]
+        candidates: list[Candidate] = []
+        # One-hop window: include the chained neighbour ops so their
+        # shared tensors land in the same group and the streaming region
+        # extends across them with one coherent (dim, p_num).
+        window_ops = [current_op]
+        if bottleneck + 1 < len(self.schedule):
+            nxt = self.graph.ops[self.schedule[bottleneck + 1]]
+            if set(nxt.inputs) & set(current_op.outputs):
+                window_ops.append(nxt)
+        if bottleneck - 1 >= 0:
+            prv = self.graph.ops[self.schedule[bottleneck - 1]]
+            if set(prv.outputs) & set(current_op.inputs):
+                window_ops.append(prv)
+        eligible_map: dict[int, TensorSpec] = {}
+        for op in window_ops:
+            for tensor in self._split_eligible(op, plan):
+                eligible_map[tensor.tensor_id] = tensor
+        eligible = list(eligible_map.values())
+        if not eligible:
+            return []
+        touching: dict[int, list] = {
+            t.tensor_id: [
+                op for op in window_ops
+                if t.tensor_id in op.inputs or t.tensor_id in op.outputs
+            ]
+            for t in eligible
+        }
+        for dim in (DIM_SAMPLE, DIM_PARAMETER, DIM_ATTRIBUTE):
+            if not op_supports_split(current_op.op_type, dim):
+                continue
+            group_base = [
+                t for t in eligible
+                if dim in t.split_axes
+                and op_supports_split(
+                    self.graph.ops[t.producer].op_type, dim,
+                )
+                and all(
+                    op_supports_split(op.op_type, dim)
+                    for op in touching[t.tensor_id]
+                )
+            ]
+            if not group_base:
+                continue
+            evict_options: list[MemOption] = []
+            if self.options.allow_swap:
+                evict_options.append(MemOption.SWAP)
+            if self.options.allow_recompute:
+                evict_options.append(MemOption.RECOMPUTE)
+            if not evict_options:
+                evict_options = [MemOption.RESIDE]
+            for p_num in self.options.split_p_nums:
+                if all(
+                    tensor.shape[tensor.split_axes[dim]] < p_num
+                    for tensor in group_base
+                ):
+                    break
+                for evict_opt in evict_options:
+                    members: list[tuple[TensorSpec, TensorConfig]] = []
+                    changed = False
+                    for tensor in group_base:
+                        axis = tensor.split_axes[dim]
+                        if tensor.shape[axis] < p_num:
+                            continue
+                        cfg = self._member_config(
+                            tensor, plan, dim, p_num, evict_opt,
+                        )
+                        if cfg is None:
+                            continue
+                        members.append((tensor, cfg))
+                        if plan.config_for(tensor.tensor_id) != cfg:
+                            changed = True
+                    if not members or not changed:
+                        continue
+                    probe = plan.copy()
+                    for tensor, cfg in members:
+                        probe.set(tensor.tensor_id, cfg)
+                    dm = self.group_delta_m(members, plan, probe, bottleneck)
+                    if dm <= 0:
+                        continue
+                    dt = 0.0
+                    try:
+                        for tensor, cfg in members:
+                            dt += self.split_delta_t(
+                                tensor, cfg, plan, bottleneck,
+                            )
+                    except PlanningError:
+                        continue
+                    candidates.append(Candidate(
+                        tuple(
+                            (tensor.tensor_id, cfg)
+                            for tensor, cfg in members
+                        ),
+                        dm, dt,
+                        prior=tuple(
+                            (tensor.tensor_id,
+                             plan.config_for(tensor.tensor_id))
+                            for tensor, _ in members
+                        ),
+                    ))
+        return candidates
+
+    def regen_candidates(
+        self, bottleneck: int, plan: Plan,
+    ) -> list[Candidate]:
+        """Split upgrades for evicted tensors whose regeneration window
+        covers the bottleneck.
+
+        A whole-tensor swap is prefetched a few ops early and occupies
+        full size from the prefetch point; upgrading it to swap+split
+        streams the pieces just-in-time inside its backward consumer and
+        shrinks the window to the streaming depth.
+        """
+        if not self.options.allow_split or not self.options.allow_swap:
+            return []
+        candidates: list[Candidate] = []
+        current_op = self.graph.ops[self.schedule[bottleneck]]
+        local = set(current_op.inputs) | set(current_op.outputs)
+        for tensor in self.graph.tensors.values():
+            tid = tensor.tensor_id
+            if tid in local:
+                continue
+            if tensor.kind is not TensorKind.ACTIVATION:
+                continue
+            old_cfg = plan.config_for(tid)
+            if old_cfg.opt is not MemOption.SWAP:
+                continue
+            # Already-split tensors stay eligible: re-splitting to the
+            # consumer's part count repairs a mismatched alignment that
+            # would otherwise force whole-tensor regeneration.
+            if tensor.size_bytes < self.options.min_split_bytes:
+                continue
+            timeline = self.timeline(tid)
+            if timeline is None or not timeline.bwd_uses:
+                continue
+            first_bwd = timeline.bwd_uses[0]
+            if not (first_bwd - self.options.prefetch_ops
+                    <= bottleneck <= timeline.free):
+                continue
+            consumer = self.graph.ops[self.schedule[first_bwd]]
+            producer = tensor.producer
+            if producer is None:
+                continue
+            # Part counts worth trying: the backward consumer's and every
+            # forward consumer's established split (streaming requires
+            # agreement with all of them), then the generic ladder.
+            exec_ps: list[int] = []
+            for use in (first_bwd, *(
+                p for p in timeline.use_positions if p <= timeline.fwd_end
+            )):
+                use_exec = op_exec_split(
+                    self.graph, plan, self.graph.ops[self.schedule[use]],
+                )
+                if use_exec is not None and use_exec[1] not in exec_ps:
+                    exec_ps.append(use_exec[1])
+            for dim, axis in tensor.split_axes.items():
+                if not op_supports_split(consumer.op_type, dim):
+                    continue
+                if not op_supports_split(
+                    self.graph.ops[producer].op_type, dim,
+                ):
+                    continue
+                p_choices: tuple[int, ...] = tuple(
+                    dict.fromkeys((*exec_ps, *self.options.split_p_nums)),
+                )
+                for p_num in p_choices:
+                    if p_num > tensor.shape[axis]:
+                        continue
+                    new_cfg = TensorConfig(
+                        opt=MemOption.SWAP, p_num=p_num, dim=dim,
+                    )
+                    if new_cfg == old_cfg:
+                        continue
+                    probe = plan.copy()
+                    probe.set(tid, new_cfg)
+                    dm = self.group_delta_m(
+                        [(tensor, new_cfg)], plan, probe, bottleneck,
+                    )
+                    if dm <= 0:
+                        continue
+                    try:
+                        dt = self.split_delta_t(
+                            tensor, new_cfg, plan, bottleneck,
+                        )
+                    except PlanningError:
+                        continue
+                    candidates.append(Candidate(
+                        ((tid, new_cfg),), dm, dt,
+                        prior=((tid, old_cfg),),
+                    ))
+        return candidates
+
+    def _split_eligible(
+        self, op, plan: Plan,
+    ) -> list[TensorSpec]:
+        """Tensors of an op that may participate in a split group."""
+        eligible: list[TensorSpec] = []
+        for tid in dict.fromkeys(list(op.inputs) + list(op.outputs)):
+            tensor = self.graph.tensors[tid]
+            if tensor.kind not in (
+                TensorKind.ACTIVATION, TensorKind.GRAD_ACTIVATION,
+            ):
+                continue
+            if tensor.size_bytes < self.options.min_split_bytes:
+                continue
+            if tensor.producer is None:
+                continue
+            eligible.append(tensor)
+        return eligible
+
+    def _member_config(
+        self,
+        tensor: TensorSpec,
+        plan: Plan,
+        dim: str,
+        p_num: int,
+        evict_opt: MemOption,
+    ) -> TensorConfig | None:
+        """Config a tensor gets inside a split group, or None to skip.
+
+        Gradients stream in place (RESIDE); short-lived forward tensors
+        free as they are consumed; long-lived activations are evicted
+        micro-wise with ``evict_opt`` (the group generator proposes both
+        a swap-preferring and a recompute-preferring variant and lets the
+        ΔT/ΔM comparison decide).
+        """
+        if tensor.kind is TensorKind.GRAD_ACTIVATION:
+            return TensorConfig(opt=MemOption.RESIDE, p_num=p_num, dim=dim)
+        timeline = self.timeline(tensor.tensor_id)
+        if timeline is None:
+            return None
+        if not timeline.bwd_uses and timeline.free <= timeline.alloc + 1:
+            # Short-lived forward tensor: streaming free, no eviction.
+            return TensorConfig(opt=MemOption.RESIDE, p_num=p_num, dim=dim)
+        if evict_opt is MemOption.RESIDE:
+            return None
+        return TensorConfig(opt=evict_opt, p_num=p_num, dim=dim)

@@ -1,0 +1,183 @@
+"""Memory-management plans: per-tensor strategy configuration.
+
+A :class:`Plan` assigns each tensor a :class:`TensorConfig` — the
+``config`` struct of the paper's sTensor (Figure 9): a memory option
+(reside / swap / recompute, plus CPU-pinned for the offload baselines)
+and the split settings ``p_num`` / ``dim``. Plans are produced by the
+planner or by baseline policies and consumed by the graph augmenter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.graph.graph import Graph
+from repro.graph.tensor import TensorKind
+
+
+class MemOption(enum.Enum):
+    """Memory option of one (s)Tensor."""
+
+    RESIDE = "reside"        # keep on GPU for its whole lifetime
+    SWAP = "swap"            # evict to host after last forward use; swap in
+    RECOMPUTE = "recompute"  # free after last forward use; regenerate
+    CPU = "cpu"              # pinned in host memory, never on the GPU
+                             # (ZeRO-Offload optimizer state)
+
+
+@dataclass(frozen=True)
+class TensorConfig:
+    """Strategy configuration of one tensor (the sTensor ``config``).
+
+    ``p_num == 1`` means the tensor is not split; ``dim`` names the split
+    dimension (``"sample"``, ``"parameter"``, ``"attribute"``) and is
+    only meaningful when ``p_num > 1``.
+    """
+
+    opt: MemOption = MemOption.RESIDE
+    p_num: int = 1
+    dim: str = "sample"
+
+    def __post_init__(self) -> None:
+        if self.p_num < 1:
+            raise ValueError(f"p_num must be >= 1, got {self.p_num}")
+
+    @property
+    def is_split(self) -> bool:
+        return self.p_num > 1
+
+    @property
+    def evicts(self) -> bool:
+        """Whether the tensor leaves GPU memory mid-iteration."""
+        return self.opt in (MemOption.SWAP, MemOption.RECOMPUTE)
+
+    def describe(self) -> str:
+        """Short human-readable form ("swap+split(p=4, dim=sample)")."""
+        base = self.opt.value
+        if self.is_split:
+            base += f"+split(p={self.p_num}, dim={self.dim})"
+        return base
+
+
+RESIDE = TensorConfig()
+
+
+@dataclass
+class Plan:
+    """A complete memory-management plan for one graph.
+
+    Tensors not present in ``configs`` implicitly RESIDE unsplit.
+
+    Attributes
+    ----------
+    policy:
+        Name of the producing policy ("tsplit", "vdnn_all", ...), for
+        reports.
+    configs:
+        tensor id -> :class:`TensorConfig`.
+    cpu_update:
+        Whether optimizer-update ops run on the host CPU (ZeRO-Offload /
+        FairScale behaviour).
+    """
+
+    policy: str = "base"
+    configs: dict[int, TensorConfig] = field(default_factory=dict)
+    cpu_update: bool = False
+
+    def config_for(self, tensor_id: int) -> TensorConfig:
+        return self.configs.get(tensor_id, RESIDE)
+
+    def set(self, tensor_id: int, config: TensorConfig) -> None:
+        """Assign a config; RESIDE-unsplit clears the entry."""
+        if config == RESIDE:
+            self.configs.pop(tensor_id, None)
+        else:
+            self.configs[tensor_id] = config
+
+    def evicted_tensors(self) -> list[int]:
+        return [
+            tid for tid, cfg in self.configs.items() if cfg.evicts
+        ]
+
+    def option_bytes(self, graph: Graph) -> dict[MemOption, int]:
+        """Total bytes assigned to each memory option (Figure 14b).
+
+        RESIDE counts only tensors explicitly configured (implicit
+        resides are the default and not interesting to report).
+        """
+        totals = {option: 0 for option in MemOption}
+        for tid, cfg in self.configs.items():
+            totals[cfg.opt] += graph.tensors[tid].size_bytes
+        return totals
+
+    def split_tensors(self) -> list[int]:
+        return [tid for tid, cfg in self.configs.items() if cfg.is_split]
+
+    def summary(self, graph: Graph) -> str:
+        """One-line description used by benches and examples."""
+        by_option = self.option_bytes(graph)
+        parts = [f"plan[{self.policy}]"]
+        for option in (MemOption.SWAP, MemOption.RECOMPUTE, MemOption.CPU):
+            if by_option[option]:
+                parts.append(f"{option.value}={by_option[option] / 2**20:.0f}MB")
+        splits = self.split_tensors()
+        if splits:
+            parts.append(f"split_tensors={len(splits)}")
+        if self.cpu_update:
+            parts.append("cpu_update")
+        return " ".join(parts)
+
+    def copy(self) -> "Plan":
+        return Plan(
+            policy=self.policy,
+            configs=dict(self.configs),
+            cpu_update=self.cpu_update,
+        )
+
+
+def validate_plan(graph: Graph, plan: Plan) -> None:
+    """Reject configurations that are semantically impossible.
+
+    * RECOMPUTE applies only to activations (weights can't be recomputed).
+    * CPU applies only to optimizer state and parameter gradients.
+    * Splits must target a declared split dimension of the tensor.
+    * Graph inputs cannot be evicted (they have no producer to rerun and
+      live in host memory anyway).
+    """
+    from repro.errors import PolicyError
+
+    for tid, cfg in plan.configs.items():
+        tensor = graph.tensors.get(tid)
+        if tensor is None:
+            raise PolicyError(f"plan references unknown tensor id {tid}")
+        if cfg.opt is MemOption.RECOMPUTE and tensor.kind not in (
+            TensorKind.ACTIVATION,
+        ):
+            raise PolicyError(
+                f"cannot recompute {tensor.kind.value} tensor {tensor.name!r}"
+            )
+        if cfg.opt is MemOption.CPU and tensor.kind not in (
+            TensorKind.OPTIMIZER_STATE, TensorKind.GRAD_PARAM,
+        ):
+            raise PolicyError(
+                f"CPU pinning is only modelled for optimizer state and "
+                f"parameter gradients, not {tensor.kind.value} "
+                f"({tensor.name!r})"
+            )
+        if cfg.opt is MemOption.SWAP and tensor.kind is TensorKind.INPUT:
+            raise PolicyError(
+                f"graph input {tensor.name!r} cannot be swapped"
+            )
+        if cfg.is_split:
+            if cfg.dim not in tensor.split_axes:
+                raise PolicyError(
+                    f"tensor {tensor.name!r} has no {cfg.dim!r} split "
+                    f"dimension (has {sorted(tensor.split_axes)})"
+                )
+            axis = tensor.split_axes[cfg.dim]
+            if tensor.shape[axis] < cfg.p_num:
+                raise PolicyError(
+                    f"tensor {tensor.name!r} axis {axis} (extent "
+                    f"{tensor.shape[axis]}) cannot split {cfg.p_num} ways"
+                )

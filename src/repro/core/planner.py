@@ -1,0 +1,236 @@
+"""The model-guided planner — Algorithm 2 of the paper.
+
+Given an operation schedule and a GPU memory budget, the planner
+simulates the memory requirement ``M_i`` at every op and, whenever it
+exceeds the budget (a *memory bottleneck*), greedily applies the
+candidate strategy with the smallest ``ΔT / ΔM``:
+
+* **Step 1** — non-split strategies (swap / recompute) on live tensors
+  that are not the current op's inputs/outputs;
+* **Step 2** — split strategies on the current op's input/output tensors
+  (including upgrading an already-evicted tensor to an evicted *split*
+  tensor, which shrinks its regeneration footprint);
+* **Step 3** — the better of the two is committed.
+
+Planning terminates when every bottleneck is eliminated, or raises
+:class:`~repro.errors.PlanningError` when no candidate remains (the
+paper's "fail because of no more available tensors").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cost_model import Candidate, CostModel, CostModelOptions
+from repro.core.plan import Plan
+from repro.core.profiler import ProfileData, Profiler
+from repro.core.recompute import RecomputeStrategy
+from repro.core.simulate import simulate_memory
+from repro.errors import PlanningError
+from repro.graph.graph import Graph
+from repro.graph.scheduler import dfs_schedule
+from repro.hardware.gpu import GPUSpec
+from repro.units import format_bytes
+
+
+@dataclass(frozen=True)
+class PlannerOptions:
+    """Planner tuning knobs.
+
+    ``memory_margin`` reserves a slice of device memory for allocator
+    slack (fragmentation, alignment); the planner plans against
+    ``capacity * (1 - memory_margin)``.
+    """
+
+    memory_margin: float = 0.02
+    max_decisions: int = 20_000
+    cost: CostModelOptions = field(default_factory=CostModelOptions)
+    recompute_strategy: RecomputeStrategy = RecomputeStrategy.MEMORY_CENTRIC
+    #: Victim-selection ordering: "ratio" (the paper's ΔT/ΔM greedy),
+    #: "largest" (biggest ΔM first) or "fifo" (earliest-generated tensor
+    #: first) — the latter two exist for the victim-selection ablation.
+    ordering: str = "ratio"
+
+
+@dataclass
+class PlanResult:
+    """Outcome of a planning run."""
+
+    plan: Plan
+    schedule: list[int]
+    peak_memory: int
+    baseline_peak: int
+    estimated_time: float
+    baseline_time: float
+    decisions: list[Candidate]
+
+    @property
+    def estimated_overhead(self) -> float:
+        """ΔT(C) / T — the planner's own estimate of the slowdown."""
+        if self.baseline_time <= 0:
+            return 0.0
+        return (self.estimated_time - self.baseline_time) / self.baseline_time
+
+    def describe(self) -> str:
+        return (
+            f"plan[{self.plan.policy}]: peak "
+            f"{format_bytes(self.baseline_peak)} -> "
+            f"{format_bytes(self.peak_memory)}, est. time "
+            f"{self.baseline_time * 1e3:.1f} -> "
+            f"{self.estimated_time * 1e3:.1f} ms, "
+            f"{len(self.decisions)} decisions"
+        )
+
+
+class TsplitPlanner:
+    """Profiling-based planner (Algorithm 2).
+
+    Parameters
+    ----------
+    gpu:
+        Target device (capacity + performance model).
+    options:
+        Planner options; ``options.cost.allow_split=False`` yields the
+        "TSPLIT w/o Split" ablation of Figure 14a.
+    policy_name:
+        Recorded on the produced plan.
+    """
+
+    def __init__(
+        self,
+        gpu: GPUSpec,
+        options: PlannerOptions | None = None,
+        *,
+        policy_name: str = "tsplit",
+        profiler: Profiler | None = None,
+    ) -> None:
+        self.gpu = gpu
+        self.options = options or PlannerOptions()
+        self.policy_name = policy_name
+        self.profiler = profiler or Profiler(gpu)
+
+    def plan(
+        self,
+        graph: Graph,
+        schedule: list[int] | None = None,
+        profile: ProfileData | None = None,
+    ) -> PlanResult:
+        """Search a strategy combination that fits the GPU memory budget.
+
+        Raises
+        ------
+        PlanningError
+            If some bottleneck cannot be eliminated with the available
+            tensors and strategies.
+        """
+        if schedule is None:
+            schedule = dfs_schedule(graph)
+        if profile is None:
+            profile = self.profiler.profile(graph)
+
+        budget = self.gpu.memory_bytes * (1.0 - self.options.memory_margin)
+        plan = Plan(policy=self.policy_name)
+        cost_model = CostModel(graph, schedule, profile, self.options.cost)
+        cost_model.refresh(plan)
+
+        curve = simulate_memory(graph, schedule, plan, cost_model.liveness)
+        baseline_peak = int(curve.max()) if len(curve) else 0
+        baseline_time = profile.total_compute_time(schedule)
+        extra_time = 0.0
+        decisions: list[Candidate] = []
+        # Cycle guard: a (tensor, config) pair is applied at most once, so
+        # reconfiguration (upgrading an earlier choice) cannot oscillate.
+        tried: set[tuple[frozenset, frozenset]] = set()
+
+        while True:
+            over_budget = np.nonzero(curve > budget)[0]
+            if len(over_budget) == 0:
+                break
+            if len(decisions) >= self.options.max_decisions:
+                raise PlanningError(
+                    f"{graph.name}: exceeded {self.options.max_decisions} "
+                    f"planning decisions; giving up"
+                )
+            # Attack the earliest bottleneck with remaining candidates.
+            # A later bottleneck may be reducible (e.g. by re-aligning a
+            # backward region's split) even when the earliest one is
+            # only a side effect of it.
+            candidate = None
+            bottleneck = int(over_budget[0])
+            for step in over_budget:
+                candidate = self._best_candidate(
+                    cost_model, int(step), plan, tried,
+                )
+                if candidate is not None:
+                    bottleneck = int(step)
+                    break
+            if candidate is None:
+                raise PlanningError(
+                    f"{graph.name}: memory bottleneck at op "
+                    f"{graph.ops[schedule[bottleneck]].name!r} (step "
+                    f"{bottleneck}, needs {format_bytes(curve[bottleneck])}, "
+                    f"budget {format_bytes(budget)}) has no remaining "
+                    f"candidates"
+                )
+            for tid, config in candidate.configs:
+                plan.set(tid, config)
+            tried.add(candidate.key)
+            extra_time += candidate.delta_t
+            decisions.append(candidate)
+            cost_model.refresh(plan)
+            curve = simulate_memory(graph, schedule, plan, cost_model.liveness)
+
+        return PlanResult(
+            plan=plan,
+            schedule=schedule,
+            peak_memory=int(curve.max()) if len(curve) else 0,
+            baseline_peak=baseline_peak,
+            estimated_time=baseline_time + extra_time,
+            baseline_time=baseline_time,
+            decisions=decisions,
+        )
+
+    def _best_candidate(
+        self,
+        cost_model: CostModel,
+        bottleneck: int,
+        plan: Plan,
+        tried: set[tuple[frozenset, frozenset]],
+    ) -> Candidate | None:
+        """Steps 1-3 of Algorithm 2: propose, compare, select."""
+        best: Candidate | None = None
+        step1 = cost_model.nonsplit_candidates(bottleneck, plan)
+        step2 = cost_model.split_candidates(bottleneck, plan)
+        step2b = cost_model.regen_candidates(bottleneck, plan)
+        for candidate in step1 + step2 + step2b:
+            if candidate.key in tried:
+                continue
+            if best is None or _better(candidate, best, self.options.ordering):
+                best = candidate
+        return best
+
+
+def _better(a: Candidate, b: Candidate, ordering: str = "ratio") -> bool:
+    """Candidate ordering under the configured victim-selection rule."""
+    if ordering == "largest":
+        if a.delta_m != b.delta_m:
+            return a.delta_m > b.delta_m
+        return a.delta_t < b.delta_t
+    if ordering == "fifo":
+        if a.tensor_id != b.tensor_id:
+            return a.tensor_id < b.tensor_id
+        return a.ratio < b.ratio
+    # The paper's greedy: smaller ΔT/ΔM wins; ties go to larger ΔM.
+    if a.ratio != b.ratio:
+        return a.ratio < b.ratio
+    return a.delta_m > b.delta_m
+
+
+def _first_bottleneck(curve: np.ndarray, budget: float) -> int | None:
+    """Index of the earliest op whose requirement exceeds the budget."""
+    over = np.nonzero(curve > budget)[0]
+    if len(over) == 0:
+        return None
+    return int(over[0])

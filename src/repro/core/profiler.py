@@ -1,0 +1,148 @@
+"""Profiling-based estimation (Section V-B).
+
+Before planning, TSPLIT profiles every operator of the graph while
+monopolising the hardware: computation kernels are timed with CUDA
+events, and swap transfers are derived from ``size / bandwidth`` at full
+PCIe utilisation. Here the "hardware" is the analytic kernel model, with
+optional multiplicative measurement noise (deterministic, seeded) that is
+averaged away over ``samples`` repetitions — mirroring how the real
+profiler exploits the low-variance, data-independent execution times of
+DNN operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ProfilingError
+from repro.graph.graph import Graph
+from repro.graph.ops import ComputeClass, Operator
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.kernels import KernelModel
+from repro.hardware.pcie import PCIeModel
+
+
+@dataclass
+class ProfileData:
+    """Per-operator timing data for one (graph, GPU) pair.
+
+    ``op_times`` holds profiled execution times of unsplit operators;
+    split execution times are estimated on demand through the kernel
+    model and cached (profiling every (op, p_num) pair on hardware would
+    be quadratic; the paper profiles split kernels for candidate part
+    counts the same way).
+    """
+
+    gpu: GPUSpec
+    op_times: dict[int, float]
+    kernel_model: KernelModel
+    pcie: PCIeModel
+    _split_cache: dict[tuple[int, int], float] = field(default_factory=dict)
+    _ops: dict[int, Operator] = field(default_factory=dict)
+
+    def op_time(self, op_id: int) -> float:
+        """Profiled execution time of an (unsplit) operator."""
+        try:
+            return self.op_times[op_id]
+        except KeyError:
+            raise ProfilingError(f"op {op_id} was not profiled") from None
+
+    def split_op_time(self, op_id: int, p_num: int) -> float:
+        """Execution time of op ``op_id`` run as ``p_num`` micro-kernels."""
+        if p_num <= 1:
+            return self.op_time(op_id)
+        key = (op_id, p_num)
+        cached = self._split_cache.get(key)
+        if cached is not None:
+            return cached
+        op = self._ops.get(op_id)
+        if op is None:
+            raise ProfilingError(f"op {op_id} was not profiled")
+        base = self.op_time(op_id)
+        overhead = self.kernel_model.split_overhead(op, p_num)
+        time = base + overhead
+        self._split_cache[key] = time
+        return time
+
+    def split_overhead(self, op_id: int, p_num: int) -> float:
+        """Extra kernel time incurred by running the op split p_num ways."""
+        return self.split_op_time(op_id, p_num) - self.op_time(op_id)
+
+    def transfer_time(self, nbytes: int) -> float:
+        """One-direction PCIe transfer time of ``nbytes``."""
+        return self.pcie.transfer_time(nbytes)
+
+    def memcpy_time(self, nbytes: int) -> float:
+        """Device-to-device copy (physical split/merge materialisation)."""
+        return self.kernel_model.memcpy_time(nbytes)
+
+    @property
+    def bandwidth(self) -> float:
+        """The ``B`` of Equation 3."""
+        return self.pcie.bandwidth()
+
+    def total_compute_time(self, schedule: list[int]) -> float:
+        """Sum of profiled times over a schedule (the baseline ``T``)."""
+        return sum(self.op_times.get(op_id, 0.0) for op_id in schedule)
+
+
+class Profiler:
+    """Profiles a graph's operators on a (simulated) GPU.
+
+    Parameters
+    ----------
+    gpu:
+        Target device.
+    noise_sigma:
+        Relative standard deviation of each simulated measurement; 0
+        disables noise entirely.
+    samples:
+        Measurements per operator; the mean is recorded.
+    seed:
+        RNG seed for reproducible noise.
+    """
+
+    def __init__(
+        self,
+        gpu: GPUSpec,
+        *,
+        noise_sigma: float = 0.0,
+        samples: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if noise_sigma < 0:
+            raise ProfilingError(f"negative noise sigma {noise_sigma}")
+        if samples < 1:
+            raise ProfilingError(f"samples must be >= 1, got {samples}")
+        self.gpu = gpu
+        self.noise_sigma = noise_sigma
+        self.samples = samples
+        self.seed = seed
+        self.kernel_model = KernelModel(gpu)
+        self.pcie = PCIeModel(gpu)
+
+    def profile(self, graph: Graph) -> ProfileData:
+        """Measure every non-transfer operator of the graph."""
+        rng = np.random.default_rng(self.seed)
+        op_times: dict[int, float] = {}
+        ops: dict[int, Operator] = {}
+        for op in graph.ops.values():
+            if op.op_type.compute_class is ComputeClass.TRANSFER:
+                continue
+            true_time = self.kernel_model.op_time(op)
+            if self.noise_sigma > 0 and true_time > 0:
+                factors = rng.normal(1.0, self.noise_sigma, size=self.samples)
+                measured = float(np.mean(np.abs(factors))) * true_time
+            else:
+                measured = true_time
+            op_times[op.op_id] = measured
+            ops[op.op_id] = op
+        return ProfileData(
+            gpu=self.gpu,
+            op_times=op_times,
+            kernel_model=self.kernel_model,
+            pcie=self.pcie,
+            _ops=ops,
+        )

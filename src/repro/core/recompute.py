@@ -1,0 +1,168 @@
+"""Recomputation chains and strategies (Section V-D).
+
+A RECOMPUTE tensor is freed after its last forward use; before its
+backward consumer runs, the forward sub-graph between the nearest
+*resident* ancestors (checkpoints) and the tensor is re-executed. When a
+chain of consecutive tensors is evicted, the paper describes two
+strategies:
+
+* **speed-centric** (one pass): recompute the whole chain once, keep all
+  intermediates — O(N) compute, O(N) extra memory;
+* **memory-centric**: re-run the chain from the checkpoint for *every*
+  backward layer, keeping only the tensor needed next — O(N^2) compute,
+  O(1) extra memory (SuperNeurons' choice, and TSPLIT's default);
+* **LRU hybrid**: run speed-centric but drop the least-recently-used
+  intermediate whenever memory runs short.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+
+from repro.errors import PlanningError
+from repro.graph.graph import Graph
+from repro.graph.ops import Phase
+from repro.graph.tensor import TensorKind
+
+
+class RecomputeStrategy(enum.Enum):
+    """How chains of recomputed tensors are regenerated at runtime."""
+
+    MEMORY_CENTRIC = "memory_centric"
+    SPEED_CENTRIC = "speed_centric"
+    LRU = "lru"
+
+
+def recompute_chain(
+    graph: Graph,
+    tensor_id: int,
+    is_resident: Callable[[int], bool],
+    *,
+    max_len: int = 256,
+) -> list[int]:
+    """Forward op ids needed to regenerate ``tensor_id``, in execution order.
+
+    Walks producer edges backwards from the target until every required
+    input is resident (a checkpoint, a parameter, or the graph input).
+    Parameters and graph inputs are always considered available.
+
+    Raises
+    ------
+    PlanningError
+        If the tensor has no producer (cannot be recomputed) or the chain
+        exceeds ``max_len`` ops.
+    """
+    target = graph.tensors[tensor_id]
+    if target.producer is None:
+        raise PlanningError(
+            f"tensor {target.name!r} has no producer; cannot recompute"
+        )
+
+    chain: list[int] = []
+    seen_ops: set[int] = set()
+    stack = [target.producer]
+    while stack:
+        op_id = stack.pop()
+        if op_id in seen_ops:
+            continue
+        op = graph.ops[op_id]
+        if op.phase is not Phase.FORWARD:
+            raise PlanningError(
+                f"recompute chain of {target.name!r} reaches non-forward "
+                f"op {op.name!r}"
+            )
+        seen_ops.add(op_id)
+        chain.append(op_id)
+        if len(chain) > max_len:
+            raise PlanningError(
+                f"recompute chain of {target.name!r} exceeds {max_len} ops"
+            )
+        for tid in op.inputs:
+            tensor = graph.tensors[tid]
+            if tensor.kind in (
+                TensorKind.PARAM, TensorKind.INPUT, TensorKind.OPTIMIZER_STATE,
+            ):
+                continue
+            if is_resident(tid):
+                continue
+            producer = tensor.producer
+            if producer is None:
+                raise PlanningError(
+                    f"recompute chain of {target.name!r} needs tensor "
+                    f"{tensor.name!r} which has no producer"
+                )
+            stack.append(producer)
+    # Execution order = topological = ascending op id for front-to-back
+    # built graphs.
+    chain.sort()
+    return chain
+
+
+def chain_compute_time(
+    chain: list[int],
+    op_time: Callable[[int], float],
+) -> float:
+    """Total execution time of a recompute chain."""
+    return sum(op_time(op_id) for op_id in chain)
+
+
+def planning_chain(
+    graph: Graph,
+    tensor_id: int,
+    plan,
+    free_step: dict[int, int],
+    regen_step: int,
+    *,
+    max_len: int = 256,
+) -> list[int]:
+    """The chain the *augmenter* will emit, predicted at planning time.
+
+    A tensor is available as a chain source at the regeneration step iff
+    it is swap-configured (host copy exists), or it resides and its live
+    interval still covers the regeneration step. A RESIDE tensor that
+    died before the backward pass (e.g. a conv output only consumed in
+    the forward) must itself be regenerated — the transient the static
+    memory model has to charge.
+    """
+    from repro.core.plan import MemOption  # local: avoid import cycle
+
+    def available(tid: int) -> bool:
+        cfg = plan.config_for(tid)
+        if cfg.opt is MemOption.SWAP:
+            return True
+        if cfg.opt is MemOption.RECOMPUTE:
+            return False
+        return free_step.get(tid, -1) >= regen_step
+
+    return recompute_chain(graph, tensor_id, available, max_len=max_len)
+
+
+def chain_extra_bytes(graph: Graph, chain: list[int], target_id: int) -> int:
+    """Transient bytes a free-as-you-go chain adds beyond the target.
+
+    Free-as-you-go (memory-centric) execution keeps, at any moment, at
+    most one chain op's inputs + outputs + workspace plus the target
+    itself; the extra charge is that peak minus the target's own size
+    (which the regeneration window already accounts for).
+    """
+    target_size = graph.tensors[target_id].size_bytes
+    return max(0, chain_transient_bytes(graph, chain) - target_size)
+
+
+def chain_transient_bytes(graph: Graph, chain: list[int]) -> int:
+    """Peak extra memory of a memory-centric chain execution.
+
+    Memory-centric recomputation keeps at most the largest op's inputs +
+    outputs + workspace alive at once.
+    """
+    peak = 0
+    for op_id in chain:
+        op = graph.ops[op_id]
+        need = op.workspace_bytes
+        for tid in op.inputs + op.outputs:
+            tensor = graph.tensors[tid]
+            if tensor.kind is TensorKind.ACTIVATION:
+                need += tensor.size_bytes
+        peak = max(peak, need)
+    return peak

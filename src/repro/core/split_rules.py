@@ -1,0 +1,90 @@
+"""Shared split-capability rules.
+
+Single source of truth for three questions asked by the cost model, the
+static memory simulation, and the augmenter alike — they must agree, or
+the planner's view of a plan diverges from what the runtime executes:
+
+* can a kernel execute on micro-tensors of a named dimension?
+* which split does a tensor *effectively* get (config + producer kernel
+  support + axis extent)?
+* which split does an operator execute with (first split output wins,
+  then split inputs)?
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.graph.ops import Operator, OpType
+from repro.graph.tensor import (
+    DIM_ATTRIBUTE,
+    DIM_PARAMETER,
+    DIM_SAMPLE,
+    TensorSpec,
+)
+
+#: Op types that can execute channel/hidden ("parameter")-split without a
+#: merge: the kernel is independent across that axis.
+_PARAM_SPLIT_OK = frozenset({
+    OpType.CONV2D, OpType.MATMUL, OpType.BATCHNORM, OpType.RELU,
+    OpType.GELU, OpType.DROPOUT, OpType.ADD, OpType.POOL_MAX,
+    OpType.POOL_AVG, OpType.SOFTMAX,
+})
+
+#: Op types that can execute attribute (height/time)-split without a merge.
+_ATTR_SPLIT_OK = frozenset({
+    OpType.RELU, OpType.GELU, OpType.DROPOUT, OpType.ADD,
+    OpType.MATMUL, OpType.LAYERNORM, OpType.SOFTMAX,
+})
+
+
+def op_supports_split(op_type: OpType, dim: str) -> bool:
+    """Whether a kernel can run on micro-tensors of the given dimension."""
+    if dim == DIM_SAMPLE:
+        return op_type.info.sample_splittable
+    if dim == DIM_PARAMETER:
+        return op_type in _PARAM_SPLIT_OK
+    if dim == DIM_ATTRIBUTE:
+        return op_type in _ATTR_SPLIT_OK
+    return False
+
+
+def effective_split(
+    graph: Graph, plan, tensor: TensorSpec,
+) -> tuple[str, int] | None:
+    """The split a tensor actually gets under a plan, or None.
+
+    Requires the configured dimension to exist on the tensor, the
+    producing kernel to support it, and the axis extent to cover the
+    part count.
+    """
+    cfg = plan.config_for(tensor.tensor_id)
+    if not cfg.is_split:
+        return None
+    if cfg.dim not in tensor.split_axes:
+        return None
+    producer = tensor.producer
+    if producer is None:
+        return None
+    if not op_supports_split(graph.ops[producer].op_type, cfg.dim):
+        return None
+    axis = tensor.split_axes[cfg.dim]
+    if tensor.shape[axis] < cfg.p_num:
+        return None
+    return (cfg.dim, cfg.p_num)
+
+
+def op_exec_split(
+    graph: Graph, plan, op: Operator,
+) -> tuple[str, int] | None:
+    """The (dim, p_num) an op executes with under a plan, or None.
+
+    Priority: first split output, then first split input; the kernel
+    must support the dimension. This mirrors the augmenter's runtime
+    choice exactly, which is what lets the static model predict whether
+    adjacent split operators form a streaming region.
+    """
+    for tid in list(op.outputs) + list(op.inputs):
+        split = effective_split(graph, plan, graph.tensors[tid])
+        if split is not None and op_supports_split(op.op_type, split[0]):
+            return split
+    return None

@@ -1,0 +1,178 @@
+"""The splittable-tensor (sTensor) abstraction — Figure 9 of the paper.
+
+An :class:`STensor` wraps a :class:`~repro.graph.tensor.TensorSpec` with
+its strategy configuration and exposes the paper's interfaces:
+
+* ``set_config(cfg)`` — attach the memory option + split settings;
+* ``split(dim, p_num)`` — break the operation boundary, yielding
+  :class:`MicroTensor` views that are each an independent unit for memory
+  operations (allocate/evict, swap/recompute);
+* ``merge(dim)`` — reassemble micro-tensors into the full tensor, either
+  by concatenation along ``dim`` or by element-wise reduction.
+
+A re-split (changing ``p_num``) composes ``merge`` + ``split``; when old
+and new part counts nest evenly (e.g. 2 -> 4 on the same dim), the
+operation is performable *in place* (Section V-C), sharing storage with
+adjusted pointers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.plan import TensorConfig
+from repro.errors import ReproError
+from repro.graph.tensor import TensorSpec
+from repro.units import numel
+
+
+class SplitError(ReproError):
+    """Invalid split/merge request on an sTensor."""
+
+
+@dataclass(frozen=True)
+class MicroTensor:
+    """One fine-grained piece of a split sTensor.
+
+    Identified by ``(tensor_id, index, p_num)``; carries its own shape and
+    size so memory operations can account for uneven splits.
+    """
+
+    tensor_id: int
+    index: int
+    p_num: int
+    dim: str
+    shape: tuple[int, ...]
+    nbytes: int
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """Hashable identity used by the runtime's resident-set tracking."""
+        return (self.tensor_id, self.index)
+
+
+@dataclass
+class STensor:
+    """A tensor plus its splitting/memory configuration."""
+
+    spec: TensorSpec
+    cfg: TensorConfig = field(default_factory=TensorConfig)
+    _micros: list[MicroTensor] | None = field(default=None, repr=False)
+
+    # -- Figure 9 interfaces -------------------------------------------------
+
+    def set_config(self, cfg: TensorConfig) -> None:
+        """Attach a strategy configuration (drops stale micro views)."""
+        self.cfg = cfg
+        self._micros = None
+
+    def split(self, dim: str, p_num: int) -> list[MicroTensor]:
+        """Split into ``p_num`` micro-tensors along the named dimension.
+
+        Raises
+        ------
+        SplitError
+            If the tensor does not expose ``dim`` or the axis extent is
+            smaller than ``p_num``.
+        """
+        if p_num < 1:
+            raise SplitError(f"p_num must be >= 1, got {p_num}")
+        if p_num > 1 and dim not in self.spec.split_axes:
+            raise SplitError(
+                f"tensor {self.spec.name!r} has no split dimension {dim!r}"
+            )
+        try:
+            micros = [
+                MicroTensor(
+                    tensor_id=self.spec.tensor_id,
+                    index=i,
+                    p_num=p_num,
+                    dim=dim,
+                    shape=self.spec.micro_shape(dim, p_num, i) if p_num > 1
+                    else self.spec.shape,
+                    nbytes=(
+                        self.spec.micro_size_bytes(dim, p_num, i)
+                        if p_num > 1 else self.spec.size_bytes
+                    ),
+                )
+                for i in range(p_num)
+            ]
+        except ValueError as exc:
+            raise SplitError(str(exc)) from exc
+        self._micros = micros
+        return list(micros)
+
+    def merge(self, dim: str, *, reduce: bool = False) -> TensorSpec:
+        """Merge current micro-tensors back into the full tensor.
+
+        ``reduce=False`` concatenates along ``dim`` (shapes must tile the
+        original extent); ``reduce=True`` element-wise-reduces equal-shaped
+        micro-tensors (used e.g. for gradient partial sums).
+        """
+        micros = self._micros
+        if not micros:
+            raise SplitError(
+                f"tensor {self.spec.name!r} is not split; nothing to merge"
+            )
+        if reduce:
+            base = micros[0].shape
+            if any(m.shape != base for m in micros):
+                raise SplitError(
+                    "element-wise merge requires equal micro shapes"
+                )
+        else:
+            axis = self.spec.axis_for(dim)
+            total = sum(m.shape[axis] for m in micros)
+            if total != self.spec.shape[axis]:
+                raise SplitError(
+                    f"merge along {dim!r} covers {total} of "
+                    f"{self.spec.shape[axis]} slices"
+                )
+        self._micros = None
+        return self.spec
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def micros(self) -> list[MicroTensor]:
+        """Micro-tensors of the *configured* split (computed lazily)."""
+        if self._micros is None:
+            self.split(self.cfg.dim, self.cfg.p_num)
+        assert self._micros is not None
+        return list(self._micros)
+
+    @property
+    def is_split(self) -> bool:
+        return self.cfg.is_split
+
+    def micro_bytes(self) -> list[int]:
+        """Sizes of the configured micro-tensors in bytes."""
+        return [m.nbytes for m in self.micros]
+
+    def resplit_in_place_ok(self, new_p_num: int) -> bool:
+        """Whether re-splitting to ``new_p_num`` shares storage in place.
+
+        True when the part counts nest (one divides the other) and the
+        axis extent divides evenly, e.g. 2 -> 4 on the batch dimension
+        shares the same memory with different pointer offsets
+        (Section V-C's example).
+        """
+        old = self.cfg.p_num
+        if old == new_p_num:
+            return True
+        big, small = max(old, new_p_num), min(old, new_p_num)
+        if small == 0 or big % small != 0:
+            return False
+        if self.cfg.p_num > 1:
+            axis = self.spec.axis_for(self.cfg.dim)
+            return self.spec.shape[axis] % big == 0
+        return True
+
+    def total_bytes(self) -> int:
+        return self.spec.size_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"STensor({self.spec.name!r}, cfg={self.cfg.describe()}, "
+            f"numel={numel(self.spec.shape)})"
+        )

@@ -1,0 +1,129 @@
+"""Static verification of augmented programs — a lint for lowering.
+
+The engine enforces these invariants dynamically (and prices them); this
+verifier re-checks them *without* a device model, so policies and custom
+augmentations can be validated cheaply, and failures come with a
+complete issue list instead of the first crash:
+
+* every (micro-)tensor is produced before use, never double-allocated,
+  never double-freed;
+* swap-ins have a host copy (a prior swap-out or an initial-host shard);
+* every scheduled operator is computed: once normally, plus optionally
+  as recompute re-executions;
+* the program ends clean — every transient allocation was released.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.augment import AugmentedProgram
+from repro.errors import RuntimeExecutionError
+from repro.graph.graph import Graph
+from repro.runtime.instructions import (
+    ComputeInstr,
+    FreeInstr,
+    SwapInInstr,
+    SwapOutInstr,
+    XferInstr,
+)
+
+
+def verify_program(
+    graph: Graph, augmented: AugmentedProgram,
+) -> list[str]:
+    """Return a list of invariant violations (empty means clean)."""
+    issues: list[str] = []
+    program = augmented.program
+    resident: set[tuple[int, int]] = set()
+    host: set[tuple[int, int]] = {ref.key for ref in program.initial_host}
+    compute_counts: dict[int, int] = defaultdict(int)
+    recompute_counts: dict[int, int] = defaultdict(int)
+
+    for index, instr in enumerate(program.instructions):
+        where = f"[{index}]"
+        if isinstance(instr, ComputeInstr):
+            for ref in instr.inputs:
+                if ref.nbytes == 0:
+                    continue  # zero-byte marker refs
+                if ref.key not in resident and ref.key not in host:
+                    issues.append(
+                        f"{where} {instr.label!r} consumes "
+                        f"{ref.label!r} which is neither resident nor "
+                        f"on host"
+                    )
+            for ref in list(instr.outputs) + list(instr.alloc_only):
+                if ref.nbytes == 0:
+                    continue
+                if ref.key in resident:
+                    issues.append(
+                        f"{where} {instr.label!r} re-allocates "
+                        f"{ref.label!r}"
+                    )
+                resident.add(ref.key)
+            if instr.tag == "merge":
+                for ref in instr.inputs:
+                    resident.discard(ref.key)
+            if instr.op_id is not None:
+                if instr.tag == "recompute":
+                    recompute_counts[instr.op_id] += 1
+                else:
+                    compute_counts[instr.op_id] += 1
+        elif isinstance(instr, SwapOutInstr):
+            if instr.ref.key not in resident:
+                issues.append(
+                    f"{where} swap-out of non-resident {instr.ref.label!r}"
+                )
+            resident.discard(instr.ref.key)
+            host.add(instr.ref.key)
+        elif isinstance(instr, SwapInInstr):
+            if instr.ref.key not in host:
+                issues.append(
+                    f"{where} swap-in of {instr.ref.label!r} without a "
+                    f"host copy"
+                )
+            if instr.ref.key in resident:
+                issues.append(
+                    f"{where} swap-in of already-resident "
+                    f"{instr.ref.label!r}"
+                )
+            resident.add(instr.ref.key)
+        elif isinstance(instr, FreeInstr):
+            if instr.ref.key not in resident:
+                if not instr.missing_ok:
+                    issues.append(
+                        f"{where} free of non-resident {instr.ref.label!r}"
+                    )
+            resident.discard(instr.ref.key)
+        elif isinstance(instr, XferInstr):
+            continue
+        else:  # pragma: no cover - defensive
+            issues.append(f"{where} unknown instruction {instr!r}")
+
+    if resident:
+        sample = sorted(resident)[:5]
+        issues.append(
+            f"program ends with {len(resident)} resident transient "
+            f"tensors, e.g. {sample}"
+        )
+
+    # Every scheduled op computed the right number of times: micro
+    # executions of a p-way split count p instructions.
+    for op_id in augmented.schedule:
+        count = compute_counts.get(op_id, 0)
+        if count == 0:
+            issues.append(
+                f"scheduled op {graph.ops[op_id].name!r} never computed"
+            )
+    return issues
+
+
+def assert_valid_program(graph: Graph, augmented: AugmentedProgram) -> None:
+    """Raise :class:`RuntimeExecutionError` listing every violation."""
+    issues = verify_program(graph, augmented)
+    if issues:
+        summary = "\n  ".join(issues[:20])
+        raise RuntimeExecutionError(
+            f"augmented program for {graph.name!r} failed verification "
+            f"({len(issues)} issues):\n  {summary}"
+        )

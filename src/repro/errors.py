@@ -1,0 +1,92 @@
+"""Exception hierarchy for the TSPLIT reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. The hierarchy mirrors the major failure surfaces of the
+system: graph construction, memory (simulated GPU OOM), planning, and
+runtime execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(ReproError):
+    """Invalid dataflow-graph construction or inconsistent graph state."""
+
+
+class ShapeError(GraphError):
+    """Operator input shapes are incompatible with the operator contract."""
+
+
+class SchedulingError(GraphError):
+    """The graph cannot be scheduled (e.g. cycles, unreachable operators)."""
+
+
+class HardwareError(ReproError):
+    """Invalid hardware description or misuse of the hardware simulator."""
+
+
+class OutOfMemoryError(HardwareError):
+    """The simulated GPU ran out of device memory.
+
+    Attributes
+    ----------
+    requested:
+        Number of bytes whose allocation failed.
+    available:
+        Free bytes in the pool at the time of the failure.
+    capacity:
+        Total pool capacity in bytes.
+    """
+
+    def __init__(self, requested: int, available: int, capacity: int,
+                 message: str | None = None) -> None:
+        self.requested = requested
+        self.available = available
+        self.capacity = capacity
+        if message is None:
+            message = (
+                f"simulated GPU out of memory: requested {requested} B, "
+                f"available {available} B of {capacity} B"
+            )
+        super().__init__(message)
+
+
+class AllocationError(HardwareError):
+    """Invalid allocator usage (double free, unknown handle, ...)."""
+
+
+class PlanningError(ReproError):
+    """The planner could not produce a feasible plan.
+
+    Raised by Algorithm 2 when a memory bottleneck remains and no candidate
+    tensor/strategy can reduce it further (paper: "fail because of no more
+    available tensors").
+    """
+
+
+class InfeasiblePlanError(PlanningError):
+    """A specific plan was proven infeasible for the given device memory."""
+
+
+class PolicyError(ReproError):
+    """A memory policy cannot be applied to the given model.
+
+    Used for the paper's "x" table entries, e.g. vDNN-conv on a Transformer
+    (no convolution layers to offload).
+    """
+
+
+class RuntimeExecutionError(ReproError):
+    """The runtime engine encountered an inconsistent execution state."""
+
+
+class ProfilingError(ReproError):
+    """Profiling could not measure or estimate an operator."""
+
+
+class NumericsError(ReproError):
+    """Numeric reference execution failed or diverged."""

@@ -1,0 +1,55 @@
+"""Dataflow-graph DNN framework substrate.
+
+This package implements the computation-graph layer the paper's system is
+built on (Section II): tensors as edges, operators as nodes, a DFS
+execution scheduler (Algorithm 1), automatic construction of the backward
+graph, and liveness/memory-requirement analysis (Figure 4).
+"""
+
+from repro.graph.tensor import TensorKind, TensorSpec
+from repro.graph.ops import OpType, Operator, Phase
+from repro.graph.graph import Graph
+from repro.graph.scheduler import dfs_schedule, memory_aware_schedule
+from repro.graph.autodiff import build_training_graph
+from repro.graph.serialize import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_graph,
+    save_plan,
+)
+from repro.graph.liveness import (
+    LivenessInfo,
+    compute_liveness,
+    memory_curve,
+    live_tensor_counts,
+    peak_memory,
+)
+
+__all__ = [
+    "TensorKind",
+    "TensorSpec",
+    "OpType",
+    "Operator",
+    "Phase",
+    "Graph",
+    "dfs_schedule",
+    "memory_aware_schedule",
+    "build_training_graph",
+    "LivenessInfo",
+    "compute_liveness",
+    "memory_curve",
+    "live_tensor_counts",
+    "peak_memory",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_graph",
+    "load_plan",
+    "plan_from_dict",
+    "plan_to_dict",
+    "save_graph",
+    "save_plan",
+]

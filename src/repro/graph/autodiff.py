@@ -1,0 +1,213 @@
+"""Backward-graph construction (reverse-mode autodiff over the DFG).
+
+Given a forward-only graph and its loss tensor, :func:`build_training_graph`
+appends the backward operators (one per differentiable forward operator,
+plus explicit gradient-accumulation nodes where a tensor feeds several
+consumers) and the optimizer-update operators. The result is a full
+training-iteration graph matching Figure 3 of the paper: feature maps stay
+live from their forward producer until their backward consumer, which is
+exactly the memory pattern the memory manager attacks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.graph.ops import Operator, OpType, Phase
+from repro.graph.tensor import TensorKind, TensorSpec
+
+#: Optimizer name -> number of per-parameter state tensors.
+OPTIMIZER_STATE_SLOTS = {
+    "sgd": 0,
+    "sgd_momentum": 1,
+    "adam": 2,
+}
+
+
+def build_training_graph(
+    graph: Graph,
+    loss: TensorSpec | int,
+    *,
+    optimizer: str = "sgd_momentum",
+) -> Graph:
+    """Append backward and update phases to a forward graph, in place.
+
+    Parameters
+    ----------
+    graph:
+        Forward-only graph (will be mutated and also returned).
+    loss:
+        The scalar-ish loss tensor the backward pass starts from.
+    optimizer:
+        ``"sgd"``, ``"sgd_momentum"`` or ``"adam"``; controls how many
+        optimizer-state tensors each parameter carries and the update-op
+        cost.
+
+    Returns
+    -------
+    Graph
+        The same graph object, now containing FORWARD + BACKWARD + UPDATE
+        phases.
+    """
+    if optimizer not in OPTIMIZER_STATE_SLOTS:
+        raise ValueError(
+            f"unknown optimizer {optimizer!r}; "
+            f"expected one of {sorted(OPTIMIZER_STATE_SLOTS)}"
+        )
+    loss_id = loss.tensor_id if isinstance(loss, TensorSpec) else int(loss)
+    if loss_id not in graph.tensors:
+        raise GraphError(f"loss tensor id {loss_id} not in graph")
+    if graph.tensors[loss_id].producer is None:
+        raise GraphError("loss tensor has no producer op")
+    if graph.ops_in_phase(Phase.BACKWARD):
+        raise GraphError("graph already has a backward phase")
+
+    forward_ops = graph.ops_in_phase(Phase.FORWARD)
+    builder = _BackwardBuilder(graph, loss_id)
+    for op in reversed(forward_ops):
+        builder.add_backward_for(op)
+    _add_update_phase(graph, builder, optimizer)
+    return graph
+
+
+class _BackwardBuilder:
+    """Tracks gradient contributions while emitting backward ops."""
+
+    def __init__(self, graph: Graph, loss_id: int) -> None:
+        self.graph = graph
+        self.loss_id = loss_id
+        # tensor id -> finalized gradient tensor id
+        self.grad_of: dict[int, int] = {}
+        # tensor id -> list of partial-gradient tensor ids to accumulate
+        self.contributions: dict[int, list[int]] = {}
+
+    def add_backward_for(self, op: Operator) -> None:
+        """Emit the backward op for one forward op, if it is on the loss path."""
+        graph = self.graph
+        is_loss_op = self.loss_id in op.outputs
+
+        out_grads: list[int] = []
+        if not is_loss_op:
+            for tid in op.outputs:
+                grad = self._materialize_grad(tid)
+                if grad is not None:
+                    out_grads.append(grad)
+            if not out_grads:
+                return  # op does not contribute to the loss
+
+        saved: list[int] = []
+        spec = op.op_type.saved_for_backward
+        if "inputs" in spec:
+            saved.extend(op.inputs)
+        if "outputs" in spec:
+            saved.extend(op.outputs)
+        # Parameters are always needed by the backward kernel (dgrad uses
+        # the weights) even when the type spec only saves activations.
+        for tid in op.inputs:
+            if graph.tensors[tid].kind is TensorKind.PARAM and tid not in saved:
+                saved.append(tid)
+
+        grad_outputs: list[int] = []
+        for tid in op.inputs:
+            tensor = graph.tensors[tid]
+            if tensor.kind is TensorKind.INPUT:
+                continue  # data inputs receive no gradient
+            if tensor.kind is TensorKind.WORKSPACE:
+                continue
+            kind = (
+                TensorKind.GRAD_PARAM
+                if tensor.kind is TensorKind.PARAM
+                else TensorKind.GRAD_ACTIVATION
+            )
+            grad = graph.add_tensor(
+                f"grad({tensor.name})~{op.name}",
+                tensor.shape,
+                dtype=tensor.dtype,
+                kind=kind,
+                split_axes=dict(tensor.split_axes),
+            )
+            self.contributions.setdefault(tid, []).append(grad.tensor_id)
+            grad_outputs.append(grad.tensor_id)
+
+        if not grad_outputs:
+            return
+
+        ratio = op.op_type.info.backward_flops_ratio
+        graph.add_op(
+            f"d_{op.name}",
+            op.op_type,
+            inputs=out_grads + saved,
+            outputs=grad_outputs,
+            attrs={"forward_op": op.op_id, **_backward_attrs(op)},
+            phase=Phase.BACKWARD,
+            flops=op.flops * ratio,
+            workspace_bytes=op.workspace_bytes,
+        )
+
+    def _materialize_grad(self, tensor_id: int) -> int | None:
+        """Finalize grad(tensor): accumulate partials if there are several."""
+        if tensor_id in self.grad_of:
+            return self.grad_of[tensor_id]
+        partials = self.contributions.get(tensor_id, [])
+        if not partials:
+            return None
+        if len(partials) == 1:
+            self.grad_of[tensor_id] = partials[0]
+            return partials[0]
+        graph = self.graph
+        tensor = graph.tensors[tensor_id]
+        total = graph.add_tensor(
+            f"grad({tensor.name})",
+            tensor.shape,
+            dtype=tensor.dtype,
+            kind=graph.tensors[partials[0]].kind,
+            split_axes=dict(tensor.split_axes),
+        )
+        graph.add_op(
+            f"accum_grad({tensor.name})",
+            OpType.GRAD_ACCUM,
+            inputs=partials,
+            outputs=[total],
+            phase=Phase.BACKWARD,
+            flops=float(tensor.numel * (len(partials) - 1)),
+        )
+        self.grad_of[tensor_id] = total.tensor_id
+        return total.tensor_id
+
+
+def _backward_attrs(op: Operator) -> dict:
+    """Attributes propagated from forward to backward ops."""
+    keep = ("stride", "padding", "kernel", "axis")
+    return {k: op.attrs[k] for k in keep if k in op.attrs}
+
+
+def _add_update_phase(
+    graph: Graph, builder: _BackwardBuilder, optimizer: str,
+) -> None:
+    """Append one update op per parameter that received a gradient."""
+    slots = OPTIMIZER_STATE_SLOTS[optimizer]
+    op_type = OpType.ADAM_UPDATE if optimizer == "adam" else OpType.SGD_UPDATE
+    for param in graph.parameters():
+        grad = builder._materialize_grad(param.tensor_id)
+        if grad is None:
+            continue
+        states = [
+            graph.add_tensor(
+                f"opt_state{i}({param.name})",
+                param.shape,
+                dtype=param.dtype,
+                kind=TensorKind.OPTIMIZER_STATE,
+                split_axes=dict(param.split_axes),
+            )
+            for i in range(slots)
+        ]
+        flops_per_elem = {"sgd": 2.0, "sgd_momentum": 4.0, "adam": 10.0}[optimizer]
+        graph.add_op(
+            f"update({param.name})",
+            op_type,
+            inputs=[param, grad, *states],
+            outputs=[],
+            attrs={"param": param.tensor_id, "optimizer": optimizer},
+            phase=Phase.UPDATE,
+            flops=param.numel * flops_per_elem,
+        )

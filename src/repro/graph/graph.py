@@ -1,0 +1,237 @@
+"""The dataflow graph: tensors as edges, operators as nodes.
+
+The graph is append-only during construction; model builders create
+tensors and operators through :meth:`Graph.add_tensor` /
+:meth:`Graph.add_op`, which maintain producer/consumer wiring and default
+work estimates. Once built, graphs are treated as immutable by the
+scheduler, planner and runtime (the augmenter produces a *new* graph).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import GraphError
+from repro.graph.ops import ComputeClass, Operator, OpType, Phase
+from repro.graph.tensor import TensorKind, TensorSpec
+from repro.units import DType, format_bytes
+
+
+class Graph:
+    """A training-iteration dataflow graph.
+
+    Attributes
+    ----------
+    name:
+        Model name, e.g. ``"vgg16[b=64]"``.
+    tensors:
+        Mapping of tensor id to :class:`TensorSpec`.
+    ops:
+        Mapping of op id to :class:`Operator`, in insertion order (Python
+        dicts preserve it), which is also a valid topological order for
+        graphs built front-to-back.
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self.tensors: dict[int, TensorSpec] = {}
+        self.ops: dict[int, Operator] = {}
+        self._next_tensor_id = 0
+        self._next_op_id = 0
+
+    # -- construction -------------------------------------------------------
+
+    def add_tensor(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        *,
+        dtype: DType = DType.FLOAT32,
+        kind: TensorKind = TensorKind.ACTIVATION,
+        split_axes: dict[str, int] | None = None,
+    ) -> TensorSpec:
+        """Create a tensor and register it with the graph."""
+        tensor = TensorSpec(
+            tensor_id=self._next_tensor_id,
+            name=name,
+            shape=tuple(shape),
+            dtype=dtype,
+            kind=kind,
+            split_axes=dict(split_axes or {}),
+        )
+        self.tensors[tensor.tensor_id] = tensor
+        self._next_tensor_id += 1
+        return tensor
+
+    def add_op(
+        self,
+        name: str,
+        op_type: OpType,
+        inputs: Iterable[TensorSpec | int],
+        outputs: Iterable[TensorSpec | int],
+        *,
+        attrs: dict | None = None,
+        phase: Phase = Phase.FORWARD,
+        flops: float | None = None,
+        bytes_accessed: int | None = None,
+        workspace_bytes: int = 0,
+    ) -> Operator:
+        """Create an operator, wiring tensor producer/consumer links.
+
+        ``flops`` defaults to 0 (callers building compute ops should pass
+        an analytic estimate); ``bytes_accessed`` defaults to the sum of
+        input and output tensor sizes, the natural traffic of a one-pass
+        kernel.
+        """
+        input_ids = [self._tensor_id(t) for t in inputs]
+        output_ids = [self._tensor_id(t) for t in outputs]
+        op = Operator(
+            op_id=self._next_op_id,
+            name=name,
+            op_type=op_type,
+            inputs=input_ids,
+            outputs=output_ids,
+            attrs=dict(attrs or {}),
+            phase=phase,
+            flops=float(flops or 0.0),
+            workspace_bytes=int(workspace_bytes),
+        )
+        if bytes_accessed is None:
+            bytes_accessed = sum(
+                self.tensors[t].size_bytes for t in input_ids + output_ids
+            )
+        op.bytes_accessed = int(bytes_accessed)
+
+        for tid in output_ids:
+            tensor = self.tensors[tid]
+            if tensor.producer is not None:
+                raise GraphError(
+                    f"tensor {tensor.name!r} already has producer op "
+                    f"{tensor.producer}; op {name!r} cannot produce it too"
+                )
+            tensor.producer = op.op_id
+        for tid in input_ids:
+            self.tensors[tid].consumers.append(op.op_id)
+
+        self.ops[op.op_id] = op
+        self._next_op_id += 1
+        return op
+
+    def _tensor_id(self, tensor: TensorSpec | int) -> int:
+        tid = tensor.tensor_id if isinstance(tensor, TensorSpec) else int(tensor)
+        if tid not in self.tensors:
+            raise GraphError(f"unknown tensor id {tid} in graph {self.name!r}")
+        return tid
+
+    # -- queries -------------------------------------------------------------
+
+    def tensor(self, tensor_id: int) -> TensorSpec:
+        return self.tensors[tensor_id]
+
+    def op(self, op_id: int) -> Operator:
+        return self.ops[op_id]
+
+    def ops_in_phase(self, phase: Phase) -> list[Operator]:
+        return [op for op in self.ops.values() if op.phase is phase]
+
+    def tensors_of_kind(self, kind: TensorKind) -> list[TensorSpec]:
+        return [t for t in self.tensors.values() if t.kind is kind]
+
+    def parameters(self) -> list[TensorSpec]:
+        return self.tensors_of_kind(TensorKind.PARAM)
+
+    def activations(self) -> list[TensorSpec]:
+        return self.tensors_of_kind(TensorKind.ACTIVATION)
+
+    def graph_inputs(self) -> list[TensorSpec]:
+        return self.tensors_of_kind(TensorKind.INPUT)
+
+    def parameter_bytes(self) -> int:
+        return sum(t.size_bytes for t in self.parameters())
+
+    def activation_bytes(self) -> int:
+        return sum(t.size_bytes for t in self.activations())
+
+    def total_flops(self) -> float:
+        return sum(op.flops for op in self.ops.values())
+
+    def has_conv(self) -> bool:
+        """Whether the model contains any convolution (vDNN-conv target)."""
+        return any(op.op_type.is_conv for op in self.ops.values())
+
+    def consumers_of(self, tensor_id: int) -> list[Operator]:
+        return [self.ops[oid] for oid in self.tensors[tensor_id].consumers]
+
+    def producer_of(self, tensor_id: int) -> Operator | None:
+        """The op producing a tensor, or None for sources."""
+        producer = self.tensors[tensor_id].producer
+        return None if producer is None else self.ops[producer]
+
+    def __iter__(self) -> Iterator[Operator]:
+        return iter(self.ops.values())
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`GraphError` on failure.
+
+        Invariants: every non-source tensor has a producer; every op
+        references known tensors; insertion order is a topological order
+        (producers appear before consumers); no op lists a tensor as both
+        input and output.
+        """
+        for tensor in self.tensors.values():
+            source = tensor.kind in (
+                TensorKind.INPUT, TensorKind.PARAM, TensorKind.OPTIMIZER_STATE,
+            )
+            if tensor.producer is None and not source and tensor.consumers:
+                raise GraphError(
+                    f"tensor {tensor.name!r} is consumed but never produced"
+                )
+        for op in self.ops.values():
+            overlap = set(op.inputs) & set(op.outputs)
+            if overlap and op.op_type not in (
+                OpType.SGD_UPDATE, OpType.ADAM_UPDATE,
+            ):
+                names = [self.tensors[t].name for t in overlap]
+                raise GraphError(
+                    f"op {op.name!r} uses tensors {names} as both input "
+                    f"and output"
+                )
+            for tid in op.inputs:
+                producer = self.tensors[tid].producer
+                if producer is not None and producer >= op.op_id:
+                    raise GraphError(
+                        f"op {op.name!r} (id {op.op_id}) consumes tensor "
+                        f"{self.tensors[tid].name!r} produced by later op "
+                        f"{producer}; insertion order is not topological"
+                    )
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary of the graph."""
+        phases = {phase: 0 for phase in Phase}
+        for op in self.ops.values():
+            phases[op.phase] += 1
+        transfer_ops = sum(
+            1 for op in self.ops.values()
+            if op.op_type.compute_class is ComputeClass.TRANSFER
+        )
+        lines = [
+            f"Graph {self.name!r}: {len(self.ops)} ops, "
+            f"{len(self.tensors)} tensors",
+            f"  forward={phases[Phase.FORWARD]} backward={phases[Phase.BACKWARD]}"
+            f" update={phases[Phase.UPDATE]} memory={phases[Phase.MEMORY]}"
+            f" (transfer={transfer_ops})",
+            f"  parameters: {format_bytes(self.parameter_bytes())}",
+            f"  activations: {format_bytes(self.activation_bytes())}",
+            f"  total FLOPs: {self.total_flops():.3e}",
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(name={self.name!r}, ops={len(self.ops)}, tensors={len(self.tensors)})"

@@ -1,0 +1,149 @@
+"""Tensor liveness and memory-requirement analysis.
+
+The paper (Section IV-A) predicts the GPU memory requirement ``M_i`` at
+each scheduled operation as the total size of live tensors, where a tensor
+lives from the start of its producing operation to the end of its last
+consuming operation, and persistent tensors (parameters, optimizer state,
+the input batch) live for the whole iteration. This module computes those
+curves; Figure 4 and every OOM/bottleneck decision are built on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.tensor import TensorKind
+
+#: Tensors of these kinds are resident for the entire iteration.
+PERSISTENT_KINDS = frozenset({
+    TensorKind.PARAM,
+    TensorKind.OPTIMIZER_STATE,
+    TensorKind.INPUT,
+})
+
+
+@dataclass
+class LivenessInfo:
+    """Liveness intervals of every tensor against a schedule.
+
+    Attributes
+    ----------
+    schedule:
+        The op-id schedule the analysis was computed against.
+    position:
+        Maps op id -> index in ``schedule``.
+    alloc_step / free_step:
+        For each tensor id, the schedule indices of its allocation and its
+        last use. Persistent tensors get ``(0, len(schedule) - 1)``.
+        Tensors that are never produced nor consumed are absent.
+    """
+
+    schedule: list[int]
+    position: dict[int, int]
+    alloc_step: dict[int, int]
+    free_step: dict[int, int]
+
+    def interval(self, tensor_id: int) -> tuple[int, int]:
+        """(alloc, free) schedule indices of a tensor, inclusive."""
+        return self.alloc_step[tensor_id], self.free_step[tensor_id]
+
+    def is_live_at(self, tensor_id: int, step: int) -> bool:
+        """Whether the tensor occupies memory at a schedule step."""
+        if tensor_id not in self.alloc_step:
+            return False
+        return self.alloc_step[tensor_id] <= step <= self.free_step[tensor_id]
+
+    def live_tensors_at(self, step: int) -> list[int]:
+        """Tensor ids live at a schedule step (ascending id order)."""
+        return [
+            tid for tid in self.alloc_step
+            if self.alloc_step[tid] <= step <= self.free_step[tid]
+        ]
+
+
+def compute_liveness(graph: Graph, schedule: list[int]) -> LivenessInfo:
+    """Compute per-tensor live intervals against a schedule."""
+    position = {op_id: idx for idx, op_id in enumerate(schedule)}
+    last = len(schedule) - 1
+    alloc_step: dict[int, int] = {}
+    free_step: dict[int, int] = {}
+
+    for tensor in graph.tensors.values():
+        if tensor.kind in PERSISTENT_KINDS:
+            alloc_step[tensor.tensor_id] = 0
+            free_step[tensor.tensor_id] = last
+            continue
+        producer = tensor.producer
+        if producer is None or producer not in position:
+            continue  # dangling tensor: never materialized
+        alloc = position[producer]
+        uses = [
+            position[c] for c in tensor.consumers if c in position
+        ]
+        free = max(uses) if uses else alloc
+        alloc_step[tensor.tensor_id] = alloc
+        free_step[tensor.tensor_id] = free
+
+    return LivenessInfo(
+        schedule=list(schedule),
+        position=position,
+        alloc_step=alloc_step,
+        free_step=free_step,
+    )
+
+
+def memory_curve(
+    graph: Graph,
+    schedule: list[int],
+    liveness: LivenessInfo | None = None,
+    *,
+    include_workspace: bool = True,
+) -> np.ndarray:
+    """``M_i`` for every schedule step, in bytes (float64 array).
+
+    ``M_i`` is the sum of sizes of tensors live at step ``i`` plus, when
+    ``include_workspace`` is set, the transient workspace of the op
+    executing at step ``i``.
+    """
+    if liveness is None:
+        liveness = compute_liveness(graph, schedule)
+    steps = len(schedule)
+    delta = np.zeros(steps + 1, dtype=np.float64)
+    for tid, alloc in liveness.alloc_step.items():
+        size = graph.tensors[tid].size_bytes
+        delta[alloc] += size
+        delta[liveness.free_step[tid] + 1] -= size
+    curve = np.cumsum(delta[:steps])
+    if include_workspace:
+        for idx, op_id in enumerate(schedule):
+            curve[idx] += graph.ops[op_id].workspace_bytes
+    return curve
+
+
+def live_tensor_counts(
+    graph: Graph,
+    schedule: list[int],
+    liveness: LivenessInfo | None = None,
+) -> np.ndarray:
+    """Number of live tensors at each schedule step (Figure 4b)."""
+    if liveness is None:
+        liveness = compute_liveness(graph, schedule)
+    steps = len(schedule)
+    delta = np.zeros(steps + 1, dtype=np.int64)
+    for tid, alloc in liveness.alloc_step.items():
+        delta[alloc] += 1
+        delta[liveness.free_step[tid] + 1] -= 1
+    return np.cumsum(delta[:steps])
+
+
+def peak_memory(graph: Graph, schedule: list[int] | None = None) -> int:
+    """Peak memory requirement of the unoptimized execution, in bytes."""
+    if schedule is None:
+        from repro.graph.scheduler import dfs_schedule
+
+        schedule = dfs_schedule(graph)
+    curve = memory_curve(graph, schedule)
+    return int(curve.max()) if len(curve) else 0

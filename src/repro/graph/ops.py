@@ -1,0 +1,258 @@
+"""Operator taxonomy: the nodes of the dataflow graph.
+
+Each :class:`Operator` references input/output tensors by id and carries an
+analytic work estimate (FLOPs and bytes touched) that the hardware model
+(``repro.hardware.kernels``) converts into execution time. The per-type
+metadata here also drives policy decisions: which operators SuperNeurons
+treats as convolutions to swap around, which are "cheap to recompute", and
+which tensor dimensions survive a split.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Phase(enum.Enum):
+    """Training phase an operator belongs to."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+    UPDATE = "update"
+    MEMORY = "memory"  # augmented-graph ops: split/merge/swap
+
+
+class ComputeClass(enum.Enum):
+    """Coarse roofline position of a kernel.
+
+    COMPUTE_BOUND kernels (conv, matmul) are limited by FLOP throughput and
+    keep high GPU utilisation even for moderately small inputs.
+    MEMORY_BOUND kernels (elementwise, normalisation, pooling) are limited
+    by device memory bandwidth; splitting them mostly adds launch overhead.
+    TRANSFER ops move bytes over PCIe and run on copy streams.
+    """
+
+    COMPUTE_BOUND = "compute_bound"
+    MEMORY_BOUND = "memory_bound"
+    TRANSFER = "transfer"
+    FREE = "free"  # zero-cost bookkeeping (reshape views)
+
+
+@dataclass(frozen=True)
+class OpTypeInfo:
+    """Static metadata attached to each :class:`OpType` member.
+
+    ``kernel`` is a unique kernel-family name; it also guarantees every
+    enum member has a distinct value (Python enums alias members with
+    equal values, which would silently merge op types).
+    """
+
+    kernel: str
+    compute_class: ComputeClass
+    # Which forward tensors the backward op needs ("inputs", "outputs").
+    saved_for_backward: frozenset[str]
+    # SuperNeurons' classification: cheap ops are recomputed, not swapped.
+    cheap_to_recompute: bool = False
+    is_conv: bool = False
+    # Ratio of backward FLOPs to forward FLOPs (dgrad + wgrad ~ 2x).
+    backward_flops_ratio: float = 2.0
+    # Whether executing the op split along the sample axis is semantically
+    # safe without cross-sample communication (BN is the exception).
+    sample_splittable: bool = True
+
+
+_SAVE_NONE: frozenset[str] = frozenset()
+_SAVE_IN = frozenset({"inputs"})
+_SAVE_OUT = frozenset({"outputs"})
+_SAVE_BOTH = frozenset({"inputs", "outputs"})
+
+
+class OpType(enum.Enum):
+    """All operator types known to the framework."""
+
+    # -- forward compute ---------------------------------------------------
+    CONV2D = OpTypeInfo(
+        "conv2d", ComputeClass.COMPUTE_BOUND, _SAVE_IN, is_conv=True)
+    MATMUL = OpTypeInfo(
+        "matmul", ComputeClass.COMPUTE_BOUND, _SAVE_IN)
+    BATCHNORM = OpTypeInfo(
+        "batchnorm", 
+        ComputeClass.MEMORY_BOUND, _SAVE_IN, cheap_to_recompute=True,
+        backward_flops_ratio=1.5, sample_splittable=False,
+    )
+    LAYERNORM = OpTypeInfo(
+        "layernorm", 
+        ComputeClass.MEMORY_BOUND, _SAVE_IN, cheap_to_recompute=True,
+        backward_flops_ratio=1.5,
+    )
+    RELU = OpTypeInfo(
+        "relu", 
+        ComputeClass.MEMORY_BOUND, _SAVE_OUT, cheap_to_recompute=True,
+        backward_flops_ratio=1.0,
+    )
+    GELU = OpTypeInfo(
+        "gelu", 
+        ComputeClass.MEMORY_BOUND, _SAVE_IN, cheap_to_recompute=True,
+        backward_flops_ratio=1.0,
+    )
+    ADD = OpTypeInfo(
+        "add", 
+        ComputeClass.MEMORY_BOUND, _SAVE_NONE, cheap_to_recompute=True,
+        backward_flops_ratio=0.5,
+    )
+    POOL_MAX = OpTypeInfo(
+        "pool_max", 
+        ComputeClass.MEMORY_BOUND, _SAVE_BOTH, cheap_to_recompute=True,
+        backward_flops_ratio=1.0,
+    )
+    POOL_AVG = OpTypeInfo(
+        "pool_avg", 
+        ComputeClass.MEMORY_BOUND, _SAVE_NONE, cheap_to_recompute=True,
+        backward_flops_ratio=1.0,
+    )
+    SOFTMAX = OpTypeInfo(
+        "softmax", 
+        ComputeClass.MEMORY_BOUND, _SAVE_OUT, cheap_to_recompute=True,
+        backward_flops_ratio=1.0,
+    )
+    DROPOUT = OpTypeInfo(
+        "dropout", 
+        ComputeClass.MEMORY_BOUND, _SAVE_OUT, cheap_to_recompute=True,
+        backward_flops_ratio=1.0,
+    )
+    EMBEDDING = OpTypeInfo(
+        "embedding", 
+        ComputeClass.MEMORY_BOUND, _SAVE_IN, backward_flops_ratio=1.0,
+    )
+    CONCAT = OpTypeInfo(
+        "concat", 
+        ComputeClass.MEMORY_BOUND, _SAVE_NONE, cheap_to_recompute=True,
+        backward_flops_ratio=1.0,
+    )
+    RESHAPE = OpTypeInfo(
+        "reshape", 
+        ComputeClass.FREE, _SAVE_NONE, cheap_to_recompute=True,
+        backward_flops_ratio=1.0,
+    )
+    CROSS_ENTROPY = OpTypeInfo(
+        "cross_entropy", 
+        ComputeClass.MEMORY_BOUND, _SAVE_BOTH, backward_flops_ratio=1.0,
+    )
+
+    # -- backward / update -------------------------------------------------
+    BACKWARD = OpTypeInfo(
+        "backward", ComputeClass.COMPUTE_BOUND, _SAVE_NONE)
+    GRAD_ACCUM = OpTypeInfo(
+        "grad_accum", 
+        ComputeClass.MEMORY_BOUND, _SAVE_NONE, backward_flops_ratio=1.0,
+    )
+    SGD_UPDATE = OpTypeInfo(
+        "sgd_update", 
+        ComputeClass.MEMORY_BOUND, _SAVE_NONE, backward_flops_ratio=1.0,
+    )
+    ADAM_UPDATE = OpTypeInfo(
+        "adam_update", 
+        ComputeClass.MEMORY_BOUND, _SAVE_NONE, backward_flops_ratio=1.0,
+    )
+
+    # -- augmented-graph memory operators (Figure 10) ----------------------
+    SPLIT = OpTypeInfo(
+        "split", ComputeClass.MEMORY_BOUND, _SAVE_NONE)
+    MERGE = OpTypeInfo(
+        "merge", ComputeClass.MEMORY_BOUND, _SAVE_NONE)
+    SWAP_OUT = OpTypeInfo(
+        "swap_out", ComputeClass.TRANSFER, _SAVE_NONE)
+    SWAP_IN = OpTypeInfo(
+        "swap_in", ComputeClass.TRANSFER, _SAVE_NONE)
+
+    @property
+    def info(self) -> OpTypeInfo:
+        return self.value
+
+    @property
+    def compute_class(self) -> ComputeClass:
+        return self.value.compute_class
+
+    @property
+    def is_conv(self) -> bool:
+        return self.value.is_conv
+
+    @property
+    def cheap_to_recompute(self) -> bool:
+        return self.value.cheap_to_recompute
+
+    @property
+    def saved_for_backward(self) -> frozenset[str]:
+        return self.value.saved_for_backward
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OpType.{self.name}"
+
+
+@dataclass
+class Operator:
+    """One node of the dataflow graph.
+
+    Parameters
+    ----------
+    op_id:
+        Unique id within the owning graph.
+    name:
+        Human-readable name (``"conv1_1"`` or ``"d_conv1_1"``).
+    op_type:
+        Member of :class:`OpType`.
+    inputs / outputs:
+        Tensor ids, in positional order. For backward ops the convention is
+        ``[output_grad(s)..., saved forward tensors..., params...]``.
+    attrs:
+        Free-form attributes (stride, padding, axis, ...). Backward ops
+        store ``forward_op``; memory ops store their target tensor.
+    phase:
+        Which training phase the op belongs to.
+    flops:
+        Analytic FLOP count for this op (already includes the backward
+        multiplier for backward ops).
+    bytes_accessed:
+        Bytes read + written by the kernel; used for memory-bound timing.
+    workspace_bytes:
+        Transient scratch the kernel needs while running (e.g. im2col /
+        FFT convolution workspace). Allocated at op start, freed at end.
+    """
+
+    op_id: int
+    name: str
+    op_type: OpType
+    inputs: list[int] = field(default_factory=list)
+    outputs: list[int] = field(default_factory=list)
+    attrs: dict = field(default_factory=dict)
+    phase: Phase = Phase.FORWARD
+    flops: float = 0.0
+    bytes_accessed: int = 0
+    workspace_bytes: int = 0
+
+    @property
+    def is_backward(self) -> bool:
+        return self.phase is Phase.BACKWARD
+
+    @property
+    def forward_op(self) -> int | None:
+        """For backward ops: the op id of the forward op they differentiate."""
+        return self.attrs.get("forward_op")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Operator(id={self.op_id}, name={self.name!r}, "
+            f"type={self.op_type.name}, phase={self.phase.value})"
+        )
+
+
+def conv2d_flops(batch: int, in_channels: int, out_channels: int,
+                 out_h: int, out_w: int, kernel_h: int, kernel_w: int) -> float:
+    """FLOPs of a direct 2-D convolution (multiply-accumulate counted as 2)."""
+    return 2.0 * batch * out_channels * out_h * out_w * in_channels * kernel_h * kernel_w
+
+
+def matmul_flops(m: int, n: int, k: int) -> float:
+    """FLOPs of an (m, k) x (k, n) matrix multiplication."""
+    return 2.0 * m * n * k

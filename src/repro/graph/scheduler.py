@@ -1,0 +1,150 @@
+"""Execution scheduling — Algorithm 1 of the paper.
+
+The paper constructs the operation schedule with a depth-first topological
+sort: an operator is pushed onto the schedule as soon as its last
+dependency is satisfied, and its successors are then explored
+depth-first. Multi-branch networks (ResNet, Inception) admit several valid
+topological orders; DFS keeps branches contiguous, which minimises the
+number of simultaneously-live branch outputs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+from repro.graph.graph import Graph
+
+
+def dfs_schedule(graph: Graph) -> list[int]:
+    """Return op ids in DFS topological order (Algorithm 1).
+
+    An op is *ready* when every input tensor produced by another op has
+    been scheduled. Source ops (all inputs are graph inputs / parameters)
+    seed the traversal in insertion order. Implemented iteratively so deep
+    chains (e.g. 24-layer transformers with long backward chains) do not
+    hit the recursion limit.
+    """
+    ref_cnt: dict[int, int] = {}
+    for op in graph.ops.values():
+        deps = 0
+        for tid in op.inputs:
+            producer = graph.tensors[tid].producer
+            if producer is not None and producer != op.op_id:
+                deps += 1
+        ref_cnt[op.op_id] = deps
+
+    # Successor map: consumers of each op's outputs.
+    successors: dict[int, list[int]] = {op_id: [] for op_id in graph.ops}
+    for op in graph.ops.values():
+        seen: set[int] = set()
+        for tid in op.outputs:
+            for consumer in graph.tensors[tid].consumers:
+                if consumer != op.op_id and consumer not in seen:
+                    seen.add(consumer)
+                    successors[op.op_id].append(consumer)
+
+    schedule: list[int] = []
+    scheduled: set[int] = set()
+
+    roots = [op_id for op_id, cnt in ref_cnt.items() if cnt == 0]
+    # Stack of ops to visit; reversed so earlier-inserted roots run first.
+    stack = list(reversed(roots))
+    while stack:
+        op_id = stack.pop()
+        if op_id in scheduled:
+            continue
+        schedule.append(op_id)
+        scheduled.add(op_id)
+        ready: list[int] = []
+        for succ in successors[op_id]:
+            ref_cnt[succ] -= 1
+            if ref_cnt[succ] == 0:
+                ready.append(succ)
+        # Depth-first: the first ready successor is explored next, so push
+        # it last (LIFO).
+        for succ in reversed(ready):
+            stack.append(succ)
+
+    if len(schedule) != len(graph.ops):
+        missing = [
+            graph.ops[op_id].name
+            for op_id in graph.ops
+            if op_id not in scheduled
+        ]
+        raise SchedulingError(
+            f"graph {graph.name!r}: {len(missing)} ops unschedulable "
+            f"(cycle or dangling dependency): {missing[:8]}"
+        )
+    return schedule
+
+
+def memory_aware_schedule(graph: Graph) -> list[int]:
+    """Greedy memory-aware topological order.
+
+    At every step, among the ready operators, run the one with the best
+    immediate memory delta: bytes it frees (inputs at their last use)
+    minus bytes it allocates (outputs + workspace). A classic
+    Sethi-Ullman-flavoured heuristic: branches that release big tensors
+    run first, which often lowers the peak on branchy graphs compared to
+    plain DFS. Ties break on insertion order, keeping the schedule
+    deterministic.
+
+    Still a valid topological order — interchangeable with
+    :func:`dfs_schedule` everywhere a schedule is accepted.
+    """
+    remaining_deps: dict[int, int] = {}
+    for op in graph.ops.values():
+        deps = 0
+        for tid in op.inputs:
+            producer = graph.tensors[tid].producer
+            if producer is not None and producer != op.op_id:
+                deps += 1
+        remaining_deps[op.op_id] = deps
+
+    remaining_uses: dict[int, int] = {
+        tid: len(t.consumers) for tid, t in graph.tensors.items()
+    }
+
+    def delta(op_id: int) -> int:
+        op = graph.ops[op_id]
+        allocated = op.workspace_bytes + sum(
+            graph.tensors[t].size_bytes for t in op.outputs
+        )
+        freed = sum(
+            graph.tensors[t].size_bytes
+            for t in set(op.inputs)
+            if remaining_uses.get(t, 0) == 1
+            and graph.tensors[t].producer is not None
+        )
+        return allocated - freed
+
+    ready = sorted(
+        op_id for op_id, count in remaining_deps.items() if count == 0
+    )
+    schedule: list[int] = []
+    scheduled: set[int] = set()
+    while ready:
+        best_index = min(
+            range(len(ready)), key=lambda i: (delta(ready[i]), ready[i]),
+        )
+        op_id = ready.pop(best_index)
+        schedule.append(op_id)
+        scheduled.add(op_id)
+        op = graph.ops[op_id]
+        for tid in set(op.inputs):
+            remaining_uses[tid] = remaining_uses.get(tid, 1) - 1
+        seen: set[int] = set()
+        for tid in op.outputs:
+            for consumer in graph.tensors[tid].consumers:
+                if consumer in seen or consumer == op_id:
+                    continue
+                seen.add(consumer)
+                remaining_deps[consumer] -= 1
+                if remaining_deps[consumer] == 0:
+                    ready.append(consumer)
+
+    if len(schedule) != len(graph.ops):
+        raise SchedulingError(
+            f"graph {graph.name!r}: memory-aware scheduling left "
+            f"{len(graph.ops) - len(schedule)} ops unscheduled"
+        )
+    return schedule

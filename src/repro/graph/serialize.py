@@ -1,0 +1,168 @@
+"""Graph and plan (de)serialization to plain JSON-compatible dicts.
+
+Lets users persist a model's dataflow graph and a planner's decisions,
+diff plans across hardware, or ship a plan to another process — the
+"augmented dataflow graph that can be converted into the executable
+model" workflow of the paper's Section VI-D, minus the framework
+conversion.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.graph.ops import OpType, Phase
+from repro.graph.tensor import TensorKind
+from repro.units import DType
+
+_DTYPES = {d.type_name: d for d in DType}
+_KINDS = {k.value: k for k in TensorKind}
+_PHASES = {p.value: p for p in Phase}
+_OPTYPES = {t.name: t for t in OpType}
+
+
+def graph_to_dict(graph: Graph) -> dict:
+    """Serialize a graph to a JSON-compatible dict."""
+    return {
+        "name": graph.name,
+        "tensors": [
+            {
+                "id": t.tensor_id,
+                "name": t.name,
+                "shape": list(t.shape),
+                "dtype": t.dtype.type_name,
+                "kind": t.kind.value,
+                "split_axes": dict(t.split_axes),
+            }
+            for t in graph.tensors.values()
+        ],
+        "ops": [
+            {
+                "id": op.op_id,
+                "name": op.name,
+                "type": op.op_type.name,
+                "inputs": list(op.inputs),
+                "outputs": list(op.outputs),
+                "attrs": {
+                    k: v for k, v in op.attrs.items()
+                    if isinstance(v, (int, float, str, bool))
+                },
+                "phase": op.phase.value,
+                "flops": op.flops,
+                "bytes_accessed": op.bytes_accessed,
+                "workspace_bytes": op.workspace_bytes,
+            }
+            for op in graph.ops.values()
+        ],
+    }
+
+
+def graph_from_dict(data: dict) -> Graph:
+    """Rebuild a graph from :func:`graph_to_dict` output.
+
+    Raises
+    ------
+    GraphError
+        On unknown enum names or non-contiguous ids.
+    """
+    graph = Graph(data.get("name", "graph"))
+    for entry in sorted(data["tensors"], key=lambda e: e["id"]):
+        tensor = graph.add_tensor(
+            entry["name"],
+            tuple(entry["shape"]),
+            dtype=_lookup(_DTYPES, entry["dtype"], "dtype"),
+            kind=_lookup(_KINDS, entry["kind"], "tensor kind"),
+            split_axes={k: int(v) for k, v in entry["split_axes"].items()},
+        )
+        if tensor.tensor_id != entry["id"]:
+            raise GraphError(
+                f"non-contiguous tensor ids: expected {tensor.tensor_id}, "
+                f"got {entry['id']}"
+            )
+    for entry in sorted(data["ops"], key=lambda e: e["id"]):
+        op = graph.add_op(
+            entry["name"],
+            _lookup(_OPTYPES, entry["type"], "op type"),
+            inputs=entry["inputs"],
+            outputs=entry["outputs"],
+            attrs=dict(entry.get("attrs", {})),
+            phase=_lookup(_PHASES, entry["phase"], "phase"),
+            flops=entry.get("flops", 0.0),
+            bytes_accessed=entry.get("bytes_accessed"),
+            workspace_bytes=entry.get("workspace_bytes", 0),
+        )
+        if op.op_id != entry["id"]:
+            raise GraphError(
+                f"non-contiguous op ids: expected {op.op_id}, "
+                f"got {entry['id']}"
+            )
+    return graph
+
+
+def plan_to_dict(plan) -> dict:
+    """Serialize a plan to a JSON-compatible dict."""
+    return {
+        "policy": plan.policy,
+        "cpu_update": plan.cpu_update,
+        "configs": [
+            {
+                "tensor": tid,
+                "opt": cfg.opt.value,
+                "p_num": cfg.p_num,
+                "dim": cfg.dim,
+            }
+            for tid, cfg in sorted(plan.configs.items())
+        ],
+    }
+
+
+def plan_from_dict(data: dict):
+    """Rebuild a plan from :func:`plan_to_dict` output."""
+    # Imported lazily: repro.core.plan itself imports this package.
+    from repro.core.plan import MemOption, Plan, TensorConfig
+
+    options = {o.value: o for o in MemOption}
+    plan = Plan(
+        policy=data.get("policy", "imported"),
+        cpu_update=bool(data.get("cpu_update", False)),
+    )
+    for entry in data.get("configs", []):
+        plan.set(int(entry["tensor"]), TensorConfig(
+            opt=_lookup(options, entry["opt"], "memory option"),
+            p_num=int(entry.get("p_num", 1)),
+            dim=entry.get("dim", "sample"),
+        ))
+    return plan
+
+
+def save_graph(graph: Graph, path: str) -> None:
+    """Write a graph to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(graph_to_dict(graph), handle)
+
+
+def load_graph(path: str) -> Graph:
+    """Read a graph from a JSON file."""
+    with open(path) as handle:
+        return graph_from_dict(json.load(handle))
+
+
+def save_plan(plan, path: str) -> None:
+    """Write a plan to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(plan_to_dict(plan), handle, indent=1)
+
+
+def load_plan(path: str):
+    """Read a plan from a JSON file."""
+    with open(path) as handle:
+        return plan_from_dict(json.load(handle))
+
+
+def _lookup(table: dict, key: str, what: str):
+    try:
+        return table[key]
+    except KeyError:
+        raise GraphError(f"unknown {what} {key!r}") from None

@@ -1,0 +1,156 @@
+"""Tensor specifications: the edges of the dataflow graph.
+
+A :class:`TensorSpec` is a *description* of a tensor — shape, dtype, role —
+not a container of values. Planning and simulation only need descriptions;
+numeric execution (``repro.numerics``) attaches real arrays separately.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.units import DType, format_bytes, numel
+
+
+class TensorKind(enum.Enum):
+    """Role of a tensor in the training iteration.
+
+    The paper's memory accounting (Section II) distinguishes model
+    parameters, feature maps (forward activations) and gradient maps; we
+    additionally model optimizer state (for the ZeRO-Offload comparison)
+    and per-operator workspace (e.g. FFT convolution scratch).
+    """
+
+    INPUT = "input"                    # training batch (X, labels)
+    PARAM = "param"                    # model weights, live all iteration
+    ACTIVATION = "activation"          # forward feature map
+    GRAD_ACTIVATION = "grad_activation"  # gradient of a feature map
+    GRAD_PARAM = "grad_param"          # gradient of a weight
+    OPTIMIZER_STATE = "optimizer_state"  # momentum / Adam moments
+    WORKSPACE = "workspace"            # transient operator scratch
+
+    @property
+    def is_gradient(self) -> bool:
+        return self in (TensorKind.GRAD_ACTIVATION, TensorKind.GRAD_PARAM)
+
+    @property
+    def is_persistent(self) -> bool:
+        """Persistent tensors live across iterations (weights, opt state)."""
+        return self in (TensorKind.PARAM, TensorKind.OPTIMIZER_STATE)
+
+
+# Named split dimensions (Figure 6: sample dimension vs parameter dimension).
+# The mapping from a named dimension to a shape axis is per-tensor.
+DIM_SAMPLE = "sample"
+DIM_PARAMETER = "parameter"
+DIM_ATTRIBUTE = "attribute"
+
+
+@dataclass
+class TensorSpec:
+    """Description of one tensor (one edge) in the dataflow graph.
+
+    Parameters
+    ----------
+    tensor_id:
+        Unique id within the owning :class:`~repro.graph.graph.Graph`.
+    name:
+        Human-readable name (``"conv1_1/out"``).
+    shape:
+        Dense shape. Convention: CNN activations are NCHW, linear layer
+        activations are (N, T, H) or (N, H).
+    dtype:
+        Element type, FLOAT32 by default (the paper trains in FP32).
+    kind:
+        Role of the tensor (see :class:`TensorKind`).
+    split_axes:
+        Maps named split dimensions (``"sample"``, ``"parameter"``,
+        ``"attribute"``) to an axis index of ``shape``. Only dimensions
+        listed here may be targeted by the tensor-split primitive; e.g.
+        model parameters have no sample dimension.
+    producer:
+        Op id of the producing operator, or ``None`` for graph inputs,
+        parameters and optimizer state.
+    consumers:
+        Op ids of all consuming operators, in graph-construction order.
+    """
+
+    tensor_id: int
+    name: str
+    shape: tuple[int, ...]
+    dtype: DType = DType.FLOAT32
+    kind: TensorKind = TensorKind.ACTIVATION
+    split_axes: dict[str, int] = field(default_factory=dict)
+    producer: int | None = None
+    consumers: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.shape = tuple(int(d) for d in self.shape)
+        for dim in self.shape:
+            if dim <= 0:
+                raise ValueError(
+                    f"tensor {self.name!r}: non-positive dim in {self.shape}"
+                )
+        for dim_name, axis in self.split_axes.items():
+            if not 0 <= axis < len(self.shape):
+                raise ValueError(
+                    f"tensor {self.name!r}: split axis {axis} for "
+                    f"{dim_name!r} out of range for shape {self.shape}"
+                )
+
+    @property
+    def numel(self) -> int:
+        return numel(self.shape)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.numel * self.dtype.nbytes
+
+    def splittable_dims(self) -> tuple[str, ...]:
+        """Named dimensions on which this tensor may be split."""
+        return tuple(self.split_axes)
+
+    def axis_for(self, dim_name: str) -> int:
+        """Shape axis backing the named split dimension."""
+        try:
+            return self.split_axes[dim_name]
+        except KeyError:
+            raise KeyError(
+                f"tensor {self.name!r} has no split dimension {dim_name!r}; "
+                f"available: {sorted(self.split_axes)}"
+            ) from None
+
+    def micro_shape(self, dim_name: str, p_num: int, index: int) -> tuple[int, ...]:
+        """Shape of micro-tensor ``index`` after splitting ``p_num`` ways.
+
+        Uneven splits follow numpy's ``array_split`` convention: the first
+        ``extent % p_num`` micro-tensors get one extra slice.
+        """
+        if p_num < 1:
+            raise ValueError(f"p_num must be >= 1, got {p_num}")
+        if not 0 <= index < p_num:
+            raise ValueError(f"micro index {index} out of range for p_num {p_num}")
+        axis = self.axis_for(dim_name)
+        extent = self.shape[axis]
+        if p_num > extent:
+            raise ValueError(
+                f"cannot split tensor {self.name!r} axis {axis} "
+                f"(extent {extent}) into {p_num} parts"
+            )
+        base, extra = divmod(extent, p_num)
+        part = base + (1 if index < extra else 0)
+        shape = list(self.shape)
+        shape[axis] = part
+        return tuple(shape)
+
+    def micro_size_bytes(self, dim_name: str, p_num: int, index: int) -> int:
+        """Size in bytes of one micro-tensor of a ``p_num``-way split."""
+        return numel(self.micro_shape(dim_name, p_num, index)) * self.dtype.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TensorSpec(id={self.tensor_id}, name={self.name!r}, "
+            f"shape={self.shape}, kind={self.kind.value}, "
+            f"size={format_bytes(self.size_bytes)})"
+        )

@@ -1,0 +1,45 @@
+"""Simulated GPU hardware substrate.
+
+Everything the paper measures on real silicon is modelled here: device
+specifications (:mod:`repro.hardware.gpu`), an analytic kernel-timing
+model reproducing the Figure-5 partition/time patterns
+(:mod:`repro.hardware.kernels`), a PCIe transfer model
+(:mod:`repro.hardware.pcie`), a best-fit pooled device allocator
+(:mod:`repro.hardware.memory_pool`) and CUDA-like streams with events
+(:mod:`repro.hardware.streams`).
+"""
+
+from repro.hardware.gpu import (
+    GPUSpec,
+    GTX_1080TI,
+    P100,
+    RTX_TITAN,
+    T4,
+    V100_16GB,
+    V100_32GB,
+    A100_40GB,
+    GPU_PRESETS,
+)
+from repro.hardware.kernels import KernelModel
+from repro.hardware.pcie import PCIeModel
+from repro.hardware.memory_pool import MemoryPool, PoolStats
+from repro.hardware.streams import Stream, StreamSet, Event
+
+__all__ = [
+    "GPUSpec",
+    "GTX_1080TI",
+    "P100",
+    "RTX_TITAN",
+    "T4",
+    "V100_16GB",
+    "V100_32GB",
+    "A100_40GB",
+    "GPU_PRESETS",
+    "KernelModel",
+    "PCIeModel",
+    "MemoryPool",
+    "PoolStats",
+    "Stream",
+    "StreamSet",
+    "Event",
+]

@@ -1,0 +1,137 @@
+"""GPU device specifications and the presets used in the paper.
+
+The two evaluation machines (Section VI-A) are a TITAN RTX (24 GB,
+16.3 FP32 TFLOPS) and a GTX 1080Ti (11 GB, 11.34 TFLOPS), both on
+PCIe 3.0. Figure 1 additionally references P100 and V100 cards. Effective
+PCIe 3.0 x16 bandwidth is ~12 GB/s after protocol overhead, which is what
+`cudaMemcpyAsync` on pinned memory achieves in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import HardwareError
+from repro.units import GB, TFLOPS
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a (simulated) GPU and its host link.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, used in reports.
+    memory_bytes:
+        Device memory capacity available to the framework's pool.
+    peak_flops:
+        Peak FP32 throughput, FLOP/s.
+    mem_bandwidth:
+        Device memory bandwidth, bytes/s (drives memory-bound kernels).
+    pcie_bandwidth:
+        Effective host<->device bandwidth, bytes/s, per direction.
+    kernel_launch_overhead:
+        Fixed per-kernel launch cost, seconds. This is what makes many
+        micro-kernels slower than one big kernel (Figure 5).
+    pcie_latency:
+        Fixed per-transfer setup latency, seconds.
+    max_efficiency:
+        Fraction of peak FLOPs a large, well-shaped kernel reaches.
+    flops_half_efficiency:
+        Kernel FLOP count at which efficiency reaches half of
+        ``max_efficiency``; smaller kernels under-utilise the GPU.
+    """
+
+    name: str
+    memory_bytes: int
+    peak_flops: float
+    mem_bandwidth: float
+    pcie_bandwidth: float = 12.0 * 1e9
+    kernel_launch_overhead: float = 5e-6
+    pcie_latency: float = 15e-6
+    max_efficiency: float = 0.65
+    flops_half_efficiency: float = 2e8
+    #: Host (CPU) memory backing swapped tensors. The paper's machines
+    #: carry 256 GB (RTX box) and 128 GB (1080Ti box); offload policies
+    #: are bounded by it.
+    host_memory_bytes: int = 256 * GB
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise HardwareError(f"{self.name}: non-positive memory capacity")
+        if self.peak_flops <= 0 or self.mem_bandwidth <= 0:
+            raise HardwareError(f"{self.name}: non-positive throughput")
+        if not 0 < self.max_efficiency <= 1:
+            raise HardwareError(
+                f"{self.name}: max_efficiency must be in (0, 1]"
+            )
+
+    def with_memory(self, memory_bytes: int) -> "GPUSpec":
+        """Copy of this spec with a different memory capacity.
+
+        Useful for over-subscription sweeps ("x% of required memory").
+        """
+        return replace(self, memory_bytes=int(memory_bytes))
+
+
+RTX_TITAN = GPUSpec(
+    name="TITAN RTX",
+    memory_bytes=24 * GB,
+    peak_flops=16.3 * TFLOPS,
+    mem_bandwidth=672e9,
+)
+
+GTX_1080TI = GPUSpec(
+    name="GTX 1080Ti",
+    memory_bytes=11 * GB,
+    peak_flops=11.34 * TFLOPS,
+    mem_bandwidth=484e9,
+    host_memory_bytes=128 * GB,
+)
+
+P100 = GPUSpec(
+    name="P100",
+    memory_bytes=16 * GB,
+    peak_flops=10.6 * TFLOPS,
+    mem_bandwidth=732e9,
+)
+
+V100_16GB = GPUSpec(
+    name="V100 16GB",
+    memory_bytes=16 * GB,
+    peak_flops=15.7 * TFLOPS,
+    mem_bandwidth=900e9,
+)
+
+V100_32GB = GPUSpec(
+    name="V100 32GB",
+    memory_bytes=32 * GB,
+    peak_flops=15.7 * TFLOPS,
+    mem_bandwidth=900e9,
+)
+
+T4 = GPUSpec(
+    name="T4",
+    memory_bytes=16 * GB,
+    peak_flops=8.1 * TFLOPS,
+    mem_bandwidth=300e9,
+)
+
+A100_40GB = GPUSpec(
+    name="A100 40GB",
+    memory_bytes=40 * GB,
+    peak_flops=19.5 * TFLOPS,
+    mem_bandwidth=1555e9,
+    pcie_bandwidth=24e9,  # PCIe 4.0
+)
+
+GPU_PRESETS: dict[str, GPUSpec] = {
+    "rtx_titan": RTX_TITAN,
+    "gtx_1080ti": GTX_1080TI,
+    "p100": P100,
+    "v100_16gb": V100_16GB,
+    "v100_32gb": V100_32GB,
+    "t4": T4,
+    "a100_40gb": A100_40GB,
+}

@@ -1,0 +1,127 @@
+"""Analytic kernel execution-time model.
+
+Converts an operator's work estimate (FLOPs + bytes accessed) into
+simulated wall time on a :class:`~repro.hardware.gpu.GPUSpec`:
+
+* **Compute-bound** kernels (conv, matmul) run at
+  ``peak_flops * efficiency(flops)``, where efficiency saturates for
+  large kernels and collapses for tiny ones — this produces the Figure-5
+  behaviour where a convolution tolerates splitting but a small kernel
+  drowns in launch overhead.
+* **Memory-bound** kernels (elementwise, normalisation, pooling) run at
+  device memory bandwidth.
+* Each kernel additionally pays the fixed launch overhead, so a tensor
+  split into ``p`` micro-tensors pays ``p`` launches.
+
+The same model doubles as the "profiler" ground truth: the paper profiles
+each operator on hardware before planning (Section V-B); here profiling
+queries this model, with optional multiplicative noise to exercise the
+profiling machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.graph.ops import ComputeClass, Operator
+from repro.hardware.gpu import GPUSpec
+
+
+@dataclass(frozen=True)
+class KernelModel:
+    """Maps operators to execution time on a given GPU."""
+
+    gpu: GPUSpec
+
+    def efficiency(self, flops: float) -> float:
+        """GPU utilisation of a compute kernel of the given FLOP count.
+
+        Saturating curve ``eff_max * flops / (flops + flops_half)``: a
+        kernel at ``flops_half`` achieves half the asymptotic efficiency.
+        """
+        if flops <= 0:
+            return self.gpu.max_efficiency
+        return self.gpu.max_efficiency * flops / (flops + self.gpu.flops_half_efficiency)
+
+    def compute_time(self, flops: float) -> float:
+        """Time of a compute-bound kernel, launch overhead included."""
+        if flops < 0:
+            raise HardwareError(f"negative flops: {flops}")
+        if flops == 0:
+            return self.gpu.kernel_launch_overhead
+        rate = self.gpu.peak_flops * self.efficiency(flops)
+        return self.gpu.kernel_launch_overhead + flops / rate
+
+    def bandwidth_time(self, bytes_accessed: int) -> float:
+        """Time of a memory-bound kernel, launch overhead included."""
+        if bytes_accessed < 0:
+            raise HardwareError(f"negative bytes: {bytes_accessed}")
+        return (
+            self.gpu.kernel_launch_overhead
+            + bytes_accessed / self.gpu.mem_bandwidth
+        )
+
+    def op_time(self, op: Operator) -> float:
+        """Simulated execution time of one operator."""
+        compute_class = op.op_type.compute_class
+        if compute_class is ComputeClass.FREE:
+            return 0.0
+        if compute_class is ComputeClass.COMPUTE_BOUND:
+            # A compute kernel can never beat its own memory traffic.
+            return max(
+                self.compute_time(op.flops),
+                self.bandwidth_time(op.bytes_accessed),
+            )
+        if compute_class is ComputeClass.MEMORY_BOUND:
+            return self.bandwidth_time(op.bytes_accessed)
+        if compute_class is ComputeClass.TRANSFER:
+            raise HardwareError(
+                f"transfer op {op.name!r} is timed by PCIeModel, "
+                f"not the kernel model"
+            )
+        raise HardwareError(f"unknown compute class {compute_class}")
+
+    def split_kernel_time(
+        self, op: Operator, p_num: int,
+    ) -> float:
+        """Total compute time of an op executed as ``p_num`` micro-kernels.
+
+        Work divides evenly; each micro-kernel pays its own launch and
+        runs at the (lower) efficiency of its smaller FLOP count. This is
+        the "performance degradation of the GPU kernels" term of
+        Equation 6.
+        """
+        if p_num < 1:
+            raise HardwareError(f"p_num must be >= 1, got {p_num}")
+        if p_num == 1:
+            return self.op_time(op)
+        compute_class = op.op_type.compute_class
+        if compute_class is ComputeClass.FREE:
+            return 0.0
+        if compute_class is ComputeClass.COMPUTE_BOUND:
+            micro_flops = op.flops / p_num
+            micro_bytes = op.bytes_accessed // p_num
+            per_kernel = max(
+                self.compute_time(micro_flops),
+                self.bandwidth_time(micro_bytes),
+            )
+            return p_num * per_kernel
+        if compute_class is ComputeClass.MEMORY_BOUND:
+            micro_bytes = op.bytes_accessed // p_num
+            return p_num * self.bandwidth_time(micro_bytes)
+        raise HardwareError(
+            f"cannot split-time op {op.name!r} of class {compute_class}"
+        )
+
+    def split_overhead(self, op: Operator, p_num: int) -> float:
+        """Extra time from running ``op`` as ``p_num`` micro-kernels."""
+        return max(0.0, self.split_kernel_time(op, p_num) - self.op_time(op))
+
+    def memcpy_time(self, nbytes: int) -> float:
+        """Device-to-device copy time (split/merge materialisation)."""
+        if nbytes < 0:
+            raise HardwareError(f"negative copy size: {nbytes}")
+        # Read + write traffic.
+        return self.gpu.kernel_launch_overhead + 2 * nbytes / self.gpu.mem_bandwidth
+

@@ -1,0 +1,216 @@
+"""Pooled device-memory allocator.
+
+The paper pre-allocates one large region and manages it with a runtime
+pool using a *best-fit* placement strategy to keep micro-tensors in
+contiguous chunks (Section V-C/V-D). This module implements that pool
+over a simulated address space, with first-fit and worst-fit variants for
+the allocator ablation bench, full coalescing of adjacent free blocks,
+and fragmentation statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError, OutOfMemoryError
+
+_STRATEGIES = ("best_fit", "first_fit", "worst_fit", "segregated")
+
+#: Allocation granularity; real pools round to 256-byte aligned chunks.
+ALIGNMENT = 256
+
+#: "segregated" strategy: allocations below this size are carved from
+#: the *top* of the highest free block, keeping micro-tensors away from
+#: the large long-lived buffers at the bottom of the address space and
+#: preserving big contiguous holes.
+SEGREGATION_THRESHOLD = 32 * 1024 * 1024
+
+
+def _align(nbytes: int) -> int:
+    return (nbytes + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+@dataclass
+class PoolStats:
+    """Counters accumulated over a pool's lifetime."""
+
+    alloc_count: int = 0
+    free_count: int = 0
+    failed_allocs: int = 0
+    peak_used: int = 0
+    bytes_allocated_total: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "alloc_count": self.alloc_count,
+            "free_count": self.free_count,
+            "failed_allocs": self.failed_allocs,
+            "peak_used": self.peak_used,
+            "bytes_allocated_total": self.bytes_allocated_total,
+        }
+
+
+@dataclass
+class _Block:
+    offset: int
+    size: int
+
+
+@dataclass
+class MemoryPool:
+    """Contiguous-address-space allocator with pluggable placement.
+
+    Parameters
+    ----------
+    capacity:
+        Pool size in bytes (the GPU memory handed to the framework).
+    strategy:
+        ``"best_fit"`` (paper default), ``"first_fit"`` or ``"worst_fit"``.
+    """
+
+    capacity: int
+    strategy: str = "best_fit"
+    _free: list[_Block] = field(default_factory=list, repr=False)
+    _allocated: dict[int, _Block] = field(default_factory=dict, repr=False)
+    _next_handle: int = 0
+    stats: PoolStats = field(default_factory=PoolStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise AllocationError(f"non-positive pool capacity {self.capacity}")
+        if self.strategy not in _STRATEGIES:
+            raise AllocationError(
+                f"unknown strategy {self.strategy!r}; expected {_STRATEGIES}"
+            )
+        self._free = [_Block(0, self.capacity)]
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(b.size for b in self._allocated.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used_bytes
+
+    @property
+    def largest_free_block(self) -> int:
+        return max((b.size for b in self._free), default=0)
+
+    def fragmentation(self) -> float:
+        """1 - largest_free / total_free; 0 means perfectly coalesced."""
+        free = self.free_bytes
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free_block / free
+
+    def can_alloc(self, nbytes: int) -> bool:
+        return self.largest_free_block >= _align(nbytes)
+
+    # -- allocation --------------------------------------------------------------
+
+    def alloc(self, nbytes: int) -> int:
+        """Allocate ``nbytes``; returns an opaque handle.
+
+        Raises
+        ------
+        OutOfMemoryError
+            If no free block is large enough (even if total free space
+            would suffice — external fragmentation is real in the pool).
+        """
+        if nbytes <= 0:
+            raise AllocationError(f"non-positive allocation of {nbytes} B")
+        size = _align(nbytes)
+        index = self._pick_block(size)
+        if index is None:
+            self.stats.failed_allocs += 1
+            raise OutOfMemoryError(
+                requested=size,
+                available=self.largest_free_block,
+                capacity=self.capacity,
+            )
+        block = self._free[index]
+        carve_from_top = (
+            self.strategy == "segregated" and size < SEGREGATION_THRESHOLD
+        )
+        if block.size == size:
+            offset = block.offset
+            del self._free[index]
+        elif carve_from_top:
+            block.size -= size
+            offset = block.offset + block.size
+        else:
+            offset = block.offset
+            block.offset += size
+            block.size -= size
+        handle = self._next_handle
+        self._next_handle += 1
+        self._allocated[handle] = _Block(offset, size)
+        self.stats.alloc_count += 1
+        self.stats.bytes_allocated_total += size
+        self.stats.peak_used = max(self.stats.peak_used, self.used_bytes)
+        return handle
+
+    def free(self, handle: int) -> None:
+        """Release an allocation and coalesce with adjacent free blocks."""
+        try:
+            block = self._allocated.pop(handle)
+        except KeyError:
+            raise AllocationError(f"unknown or double-freed handle {handle}") from None
+        self.stats.free_count += 1
+        self._insert_free(block)
+
+    def _pick_block(self, size: int) -> int | None:
+        """Index into the free list per the placement strategy."""
+        if self.strategy == "segregated":
+            if size < SEGREGATION_THRESHOLD:
+                # Highest-offset hole that fits: micro-tensors cluster
+                # at the top of the address space.
+                for index in range(len(self._free) - 1, -1, -1):
+                    if self._free[index].size >= size:
+                        return index
+                return None
+            # Large buffers: best fit among the low holes.
+            strategy = "best_fit"
+        else:
+            strategy = self.strategy
+        best_index: int | None = None
+        best_size: int | None = None
+        for index, block in enumerate(self._free):
+            if block.size < size:
+                continue
+            if strategy == "first_fit":
+                return index
+            better = (
+                best_size is None
+                or (strategy == "best_fit" and block.size < best_size)
+                or (strategy == "worst_fit" and block.size > best_size)
+            )
+            if better:
+                best_index, best_size = index, block.size
+        return best_index
+
+    def _insert_free(self, block: _Block) -> None:
+        """Insert into the (offset-sorted) free list, coalescing neighbours."""
+        free = self._free
+        lo, hi = 0, len(free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if free[mid].offset < block.offset:
+                lo = mid + 1
+            else:
+                hi = mid
+        free.insert(lo, block)
+        # Coalesce with successor, then predecessor.
+        if lo + 1 < len(free) and block.offset + block.size == free[lo + 1].offset:
+            block.size += free[lo + 1].size
+            del free[lo + 1]
+        if lo > 0 and free[lo - 1].offset + free[lo - 1].size == block.offset:
+            free[lo - 1].size += block.size
+            del free[lo]
+
+    def reset(self) -> None:
+        """Free everything (end of iteration); stats are preserved."""
+        self._allocated.clear()
+        self._free = [_Block(0, self.capacity)]

@@ -1,0 +1,46 @@
+"""PCIe transfer-time model.
+
+Swap operations move tensors between device and host over PCIe. The model
+is latency + size/bandwidth per transfer, one transfer at a time per
+direction (matching the D2H / H2D copy engines of real GPUs). The paper's
+cost model (Equation 3) uses exactly ``size(s_j) / B`` for the transfer
+term; the extra fixed latency models `cudaMemcpyAsync` setup and makes
+many tiny transfers measurably worse than one large transfer — the
+trade-off that bounds useful split counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hardware.gpu import GPUSpec
+
+
+@dataclass(frozen=True)
+class PCIeModel:
+    """Transfer timing over the host<->device link of one GPU."""
+
+    gpu: GPUSpec
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` in one direction."""
+        if nbytes < 0:
+            raise HardwareError(f"negative transfer size: {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.gpu.pcie_latency + nbytes / self.gpu.pcie_bandwidth
+
+    def bandwidth(self) -> float:
+        """Effective bandwidth ``B`` used by the planner's Equation 3."""
+        return self.gpu.pcie_bandwidth
+
+    def effective_rate(self, nbytes: int) -> float:
+        """Achieved bytes/s for a transfer of the given size.
+
+        Small transfers amortise the setup latency poorly; this is the
+        PCIe-utilisation number reported in Figure 2(b).
+        """
+        if nbytes <= 0:
+            return 0.0
+        return nbytes / self.transfer_time(nbytes)

@@ -1,0 +1,35 @@
+"""Model zoo: the six DNN workloads of the paper's evaluation.
+
+Every builder returns a full training-iteration :class:`repro.graph.Graph`
+(forward + backward + update) with realistic tensor shapes, parameterised
+by *sample scale* (batch size) and *parameter scale* (channel / hidden
+multiplier), matching Section VI-A: VGG-16/19, ResNet-50/101, Inception-V4
+(ImageNet shapes) and Transformer (IWSLT2016 shapes), plus BERT-Large for
+Figure 1 / Table II.
+"""
+
+from repro.models.layers import ModelBuilder
+from repro.models.vgg import build_vgg16, build_vgg19
+from repro.models.resnet import build_resnet50, build_resnet101
+from repro.models.inception import build_inception_v4
+from repro.models.transformer import build_transformer
+from repro.models.bert import build_bert_large
+from repro.models.densenet import build_densenet121
+from repro.models.gpt import build_gpt
+from repro.models.registry import MODEL_REGISTRY, build_model, model_names
+
+__all__ = [
+    "ModelBuilder",
+    "build_vgg16",
+    "build_vgg19",
+    "build_resnet50",
+    "build_resnet101",
+    "build_inception_v4",
+    "build_transformer",
+    "build_bert_large",
+    "build_gpt",
+    "build_densenet121",
+    "MODEL_REGISTRY",
+    "build_model",
+    "model_names",
+]

@@ -1,0 +1,65 @@
+"""BERT-Large (Devlin et al.): 24-layer Transformer encoder.
+
+Used by Figure 1 (memory requirement vs model scale) and Table II (tensor
+size distribution). ``hidden`` is the *parameter scale* axis of Figure 1
+(768 ... 2560) and ``batch`` the sample axis (4 ... 64).
+"""
+
+from __future__ import annotations
+
+from repro.graph.autodiff import build_training_graph
+from repro.graph.graph import Graph
+from repro.graph.ops import OpType
+from repro.models.layers import ModelBuilder
+from repro.models.transformer import _encoder_layer
+
+BERT_LARGE_LAYERS = 24
+BERT_LARGE_HIDDEN = 1024
+BERT_HEAD_DIM = 64
+BERT_VOCAB = 30_522
+
+
+def build_bert_large(
+    batch: int = 32,
+    *,
+    hidden: int = BERT_LARGE_HIDDEN,
+    layers: int = BERT_LARGE_LAYERS,
+    seq_len: int = 128,
+    vocab: int = BERT_VOCAB,
+    num_classes: int = 2,
+    optimizer: str = "adam",
+    precision: str = "fp32",
+) -> Graph:
+    """BERT-Large fine-tuning graph (sequence classification head, MRPC-style).
+
+    Heads scale with hidden size at a fixed 64-dim head (BERT convention),
+    so increasing ``hidden`` grows both parameter and attention-score
+    tensors — the Figure 1 parameter-scale axis.
+    """
+    if hidden % BERT_HEAD_DIM != 0:
+        raise ValueError(
+            f"hidden ({hidden}) must be a multiple of {BERT_HEAD_DIM}"
+        )
+    heads = hidden // BERT_HEAD_DIM
+    builder = ModelBuilder(
+        f"bert_large[b={batch},h={hidden}]", batch, precision=precision,
+    )
+
+    tokens = builder.input_tokens(seq_len)
+    x = builder.embedding(tokens, vocab, hidden, name="embed")
+    x = builder.layernorm(x, name="embed_ln")
+    x = builder.dropout(x, name="embed_drop")
+    for i in range(layers):
+        x = _encoder_layer(builder, x, heads, 4 * hidden, name=f"layer{i + 1}")
+
+    # [CLS] selection: (N, T, H) -> (N, H), a zero-cost view.
+    cls = builder.graph.add_tensor(
+        "cls", (batch, hidden), dtype=builder.activation_dtype,
+        split_axes={"sample": 0, "parameter": 1},
+    )
+    builder.graph.add_op("cls_select", OpType.RESHAPE, inputs=[x], outputs=[cls])
+    pooled = builder.linear(cls, hidden, name="pooler")
+    logits = builder.linear(pooled, num_classes, name="classifier")
+    # Classification loss over the pooled representation.
+    loss = builder.cross_entropy_loss(logits)
+    return build_training_graph(builder.graph, loss, optimizer=optimizer)

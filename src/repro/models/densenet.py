@@ -1,0 +1,89 @@
+"""DenseNet-121 (Huang et al.): dense connectivity.
+
+Every layer's output is concatenated into the input of *all* later
+layers in its block, so early feature maps stay live through the whole
+block — the most adversarial liveness pattern for a memory manager, and
+a popular subject of recomputation papers (the "memory-efficient
+DenseNets" line of work). Not in the paper's table, included as a
+stress workload.
+"""
+
+from __future__ import annotations
+
+from repro.graph.autodiff import build_training_graph
+from repro.graph.graph import Graph
+from repro.graph.tensor import TensorSpec
+from repro.models.layers import ModelBuilder
+
+#: Dense-block sizes of DenseNet-121.
+_BLOCKS = (6, 12, 24, 16)
+_GROWTH = 32
+
+
+def _dense_layer(
+    builder: ModelBuilder, x: TensorSpec, growth: int, name: str,
+) -> TensorSpec:
+    """BN -> ReLU -> 1x1 conv -> BN -> ReLU -> 3x3 conv (bottleneck)."""
+    y = builder.batchnorm(x, name=f"{name}/bn1")
+    y = builder.relu(y, name=f"{name}/relu1")
+    y = builder.conv2d(y, 4 * growth, 1, padding=0, name=f"{name}/conv1")
+    y = builder.batchnorm(y, name=f"{name}/bn2")
+    y = builder.relu(y, name=f"{name}/relu2")
+    return builder.conv2d(y, growth, 3, name=f"{name}/conv2")
+
+
+def _transition(
+    builder: ModelBuilder, x: TensorSpec, name: str,
+) -> TensorSpec:
+    """Compression transition: BN -> 1x1 conv (halve channels) -> pool."""
+    y = builder.batchnorm(x, name=f"{name}/bn")
+    y = builder.conv2d(y, x.shape[1] // 2, 1, padding=0, name=f"{name}/conv")
+    return builder.avgpool(y, 2, name=f"{name}/pool")
+
+
+def build_densenet121(
+    batch: int = 32,
+    *,
+    param_scale: float = 1.0,
+    image_size: int = 224,
+    num_classes: int = 1000,
+    optimizer: str = "sgd_momentum",
+    precision: str = "fp32",
+) -> Graph:
+    """DenseNet-121 training graph at the given sample/parameter scale."""
+    growth = max(1, round(_GROWTH * param_scale))
+    builder = ModelBuilder(
+        f"densenet121[b={batch},k={param_scale:g}]", batch,
+        precision=precision,
+    )
+    x = builder.input_image(3, image_size, image_size)
+    x = builder.conv2d(x, 2 * growth, 7, stride=2, name="stem/conv")
+    x = builder.batchnorm(x, name="stem/bn")
+    x = builder.relu(x, name="stem/relu")
+    x = builder.maxpool(x, 3, stride=2, padding=1, name="stem/pool")
+
+    for block_index, layers in enumerate(_BLOCKS, start=1):
+        features = [x]
+        for layer_index in range(layers):
+            concat_in = (
+                features[0] if len(features) == 1
+                else builder.concat(
+                    features,
+                    name=f"block{block_index}/cat{layer_index}",
+                )
+            )
+            new = _dense_layer(
+                builder, concat_in, growth,
+                name=f"block{block_index}/layer{layer_index + 1}",
+            )
+            features.append(new)
+        x = builder.concat(features, name=f"block{block_index}/out")
+        if block_index < len(_BLOCKS):
+            x = _transition(builder, x, name=f"trans{block_index}")
+
+    x = builder.batchnorm(x, name="head/bn")
+    x = builder.relu(x, name="head/relu")
+    x = builder.global_avgpool(x)
+    logits = builder.linear(x, num_classes, name="head/fc")
+    loss = builder.cross_entropy_loss(logits)
+    return build_training_graph(builder.graph, loss, optimizer=optimizer)

@@ -1,0 +1,68 @@
+"""GPT-style decoder-only causal language model.
+
+Not part of the paper's benchmark table, but squarely in its motivation
+("the basic module of the current state-of-the-art large NLP models
+(e.g., BERT, GPT-3)"). Useful for exercising the planner on long-context
+workloads where the (N, heads, T, T) score tensors dominate.
+"""
+
+from __future__ import annotations
+
+from repro.graph.autodiff import build_training_graph
+from repro.graph.graph import Graph
+from repro.graph.ops import OpType
+from repro.models.layers import ModelBuilder
+from repro.models.transformer import _encoder_layer
+
+#: GPT-2 small configuration.
+GPT2_LAYERS = 12
+GPT2_HIDDEN = 768
+GPT2_HEADS = 12
+GPT2_VOCAB = 50_257
+
+
+def build_gpt(
+    batch: int = 8,
+    *,
+    param_scale: float = 1.0,
+    layers: int = GPT2_LAYERS,
+    hidden: int = GPT2_HIDDEN,
+    heads: int = GPT2_HEADS,
+    seq_len: int = 1024,
+    vocab: int = GPT2_VOCAB,
+    optimizer: str = "adam",
+    precision: str = "fp32",
+) -> Graph:
+    """GPT-2-style causal LM training graph.
+
+    The causal mask does not change tensor shapes or memory behaviour
+    (masked scores are still materialised), so the decoder block reuses
+    the encoder-layer builder; the distinguishing workload property is
+    the long sequence length making (N, heads, T, T) tensors enormous.
+    """
+    scaled_hidden = max(heads, round(hidden * param_scale / heads) * heads)
+    builder = ModelBuilder(
+        f"gpt[b={batch},k={param_scale:g}]", batch, precision=precision,
+    )
+    tokens = builder.input_tokens(seq_len)
+    x = builder.embedding(tokens, vocab, scaled_hidden, name="wte")
+    x = builder.dropout(x, name="embed_drop")
+    for i in range(layers):
+        x = _encoder_layer(
+            builder, x, heads, 4 * scaled_hidden, name=f"block{i + 1}",
+        )
+    x = builder.layernorm(x, name="ln_f")
+    logits = builder.linear(x, vocab, name="lm_head")
+    loss = builder.graph.add_tensor(
+        "loss", (batch,), dtype=builder.activation_dtype,
+        split_axes={"sample": 0},
+    )
+    labels = builder.input_tokens(seq_len, name="target_tokens")
+    builder.graph.add_op(
+        "loss_op",
+        OpType.CROSS_ENTROPY,
+        inputs=[logits, labels],
+        outputs=[loss],
+        flops=5.0 * logits.numel,
+    )
+    return build_training_graph(builder.graph, loss, optimizer=optimizer)

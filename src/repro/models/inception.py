@@ -1,0 +1,156 @@
+"""Inception-V4 (Szegedy et al.) at ImageNet shapes.
+
+The most branch-heavy model in the paper's benchmark set: wide
+multi-branch inception blocks with channel concatenation, so many branch
+outputs are simultaneously live. The paper reports TSPLIT's largest
+sample-scale win (38x over Base) on this model.
+
+The block structure follows the original paper (stem, 4x Inception-A,
+Reduction-A, 7x Inception-B, Reduction-B, 3x Inception-C); 1xn/nx1
+factorised convolutions are modelled as kxk convs with equivalent FLOPs
+and channel widths, which preserves tensor sizes and arithmetic intensity.
+"""
+
+from __future__ import annotations
+
+from repro.graph.autodiff import build_training_graph
+from repro.graph.graph import Graph
+from repro.graph.tensor import TensorSpec
+from repro.models.layers import ModelBuilder
+
+
+def _scaled(channels: int, k: float) -> int:
+    return max(1, round(channels * k))
+
+
+def _stem(builder: ModelBuilder, x: TensorSpec, k: float) -> TensorSpec:
+    x = builder.conv_bn_relu(x, _scaled(32, k), 3, stride=2, padding=0, name="stem/c1")
+    x = builder.conv_bn_relu(x, _scaled(32, k), 3, padding=0, name="stem/c2")
+    x = builder.conv_bn_relu(x, _scaled(64, k), 3, name="stem/c3")
+
+    branch_pool = builder.maxpool(x, kernel=3, stride=2, name="stem/pool1")
+    branch_conv = builder.conv_bn_relu(
+        x, _scaled(96, k), 3, stride=2, padding=0, name="stem/c4",
+    )
+    # Align spatial dims: maxpool without padding to match conv output.
+    x = builder.concat([_match(builder, branch_pool, branch_conv), branch_conv],
+                       name="stem/cat1")
+
+    b1 = builder.conv_bn_relu(x, _scaled(64, k), 1, padding=0, name="stem/b1a")
+    b1 = builder.conv_bn_relu(b1, _scaled(96, k), 3, padding=0, name="stem/b1b")
+    b2 = builder.conv_bn_relu(x, _scaled(64, k), 1, padding=0, name="stem/b2a")
+    b2 = builder.conv_bn_relu(b2, _scaled(64, k), 7, name="stem/b2b")
+    b2 = builder.conv_bn_relu(b2, _scaled(96, k), 3, padding=0, name="stem/b2c")
+    x = builder.concat([b1, b2], name="stem/cat2")
+
+    branch_conv = builder.conv_bn_relu(
+        x, _scaled(192, k), 3, stride=2, padding=0, name="stem/c5",
+    )
+    branch_pool = builder.maxpool(x, kernel=3, stride=2, name="stem/pool2")
+    return builder.concat(
+        [_match(builder, branch_pool, branch_conv), branch_conv], name="stem/cat3",
+    )
+
+
+def _match(builder: ModelBuilder, x: TensorSpec, ref: TensorSpec) -> TensorSpec:
+    """Crop-pool ``x`` so its spatial dims match ``ref`` (stem alignment)."""
+    if x.shape[2:] == ref.shape[2:]:
+        return x
+    return builder.avgpool(
+        x, kernel=x.shape[2] - ref.shape[2] + 1, stride=1,
+        name=builder.unique("stem/align"),
+    )
+
+
+def _inception_a(builder: ModelBuilder, x: TensorSpec, k: float, name: str) -> TensorSpec:
+    b1 = builder.conv_bn_relu(x, _scaled(96, k), 1, padding=0, name=f"{name}/b1")
+    b2 = builder.conv_bn_relu(x, _scaled(64, k), 1, padding=0, name=f"{name}/b2a")
+    b2 = builder.conv_bn_relu(b2, _scaled(96, k), 3, name=f"{name}/b2b")
+    b3 = builder.conv_bn_relu(x, _scaled(64, k), 1, padding=0, name=f"{name}/b3a")
+    b3 = builder.conv_bn_relu(b3, _scaled(96, k), 3, name=f"{name}/b3b")
+    b3 = builder.conv_bn_relu(b3, _scaled(96, k), 3, name=f"{name}/b3c")
+    b4 = builder.avgpool(x, kernel=3, stride=1, padding=1, name=f"{name}/pool")
+    b4 = builder.conv_bn_relu(b4, _scaled(96, k), 1, padding=0, name=f"{name}/b4")
+    return builder.concat([b1, b2, b3, b4], name=f"{name}/cat")
+
+
+def _reduction_a(builder: ModelBuilder, x: TensorSpec, k: float, name: str) -> TensorSpec:
+    b1 = builder.maxpool(x, kernel=3, stride=2, name=f"{name}/pool")
+    b2 = builder.conv_bn_relu(x, _scaled(384, k), 3, stride=2, padding=0, name=f"{name}/b2")
+    b3 = builder.conv_bn_relu(x, _scaled(192, k), 1, padding=0, name=f"{name}/b3a")
+    b3 = builder.conv_bn_relu(b3, _scaled(224, k), 3, name=f"{name}/b3b")
+    b3 = builder.conv_bn_relu(b3, _scaled(256, k), 3, stride=2, padding=0, name=f"{name}/b3c")
+    b1 = _match(builder, b1, b2)
+    return builder.concat([b1, b2, b3], name=f"{name}/cat")
+
+
+def _inception_b(builder: ModelBuilder, x: TensorSpec, k: float, name: str) -> TensorSpec:
+    b1 = builder.conv_bn_relu(x, _scaled(384, k), 1, padding=0, name=f"{name}/b1")
+    b2 = builder.conv_bn_relu(x, _scaled(192, k), 1, padding=0, name=f"{name}/b2a")
+    b2 = builder.conv_bn_relu(b2, _scaled(224, k), 7, name=f"{name}/b2b")
+    b2 = builder.conv_bn_relu(b2, _scaled(256, k), 7, name=f"{name}/b2c")
+    b3 = builder.conv_bn_relu(x, _scaled(192, k), 1, padding=0, name=f"{name}/b3a")
+    b3 = builder.conv_bn_relu(b3, _scaled(192, k), 7, name=f"{name}/b3b")
+    b3 = builder.conv_bn_relu(b3, _scaled(224, k), 7, name=f"{name}/b3c")
+    b3 = builder.conv_bn_relu(b3, _scaled(224, k), 7, name=f"{name}/b3d")
+    b3 = builder.conv_bn_relu(b3, _scaled(256, k), 7, name=f"{name}/b3e")
+    b4 = builder.avgpool(x, kernel=3, stride=1, padding=1, name=f"{name}/pool")
+    b4 = builder.conv_bn_relu(b4, _scaled(128, k), 1, padding=0, name=f"{name}/b4")
+    return builder.concat([b1, b2, b3, b4], name=f"{name}/cat")
+
+
+def _reduction_b(builder: ModelBuilder, x: TensorSpec, k: float, name: str) -> TensorSpec:
+    b1 = builder.maxpool(x, kernel=3, stride=2, name=f"{name}/pool")
+    b2 = builder.conv_bn_relu(x, _scaled(192, k), 1, padding=0, name=f"{name}/b2a")
+    b2 = builder.conv_bn_relu(b2, _scaled(192, k), 3, stride=2, padding=0, name=f"{name}/b2b")
+    b3 = builder.conv_bn_relu(x, _scaled(256, k), 1, padding=0, name=f"{name}/b3a")
+    b3 = builder.conv_bn_relu(b3, _scaled(320, k), 7, name=f"{name}/b3b")
+    b3 = builder.conv_bn_relu(b3, _scaled(320, k), 3, stride=2, padding=0, name=f"{name}/b3c")
+    b1 = _match(builder, b1, b2)
+    return builder.concat([b1, b2, b3], name=f"{name}/cat")
+
+
+def _inception_c(builder: ModelBuilder, x: TensorSpec, k: float, name: str) -> TensorSpec:
+    b1 = builder.conv_bn_relu(x, _scaled(256, k), 1, padding=0, name=f"{name}/b1")
+    b2 = builder.conv_bn_relu(x, _scaled(384, k), 1, padding=0, name=f"{name}/b2a")
+    b2a = builder.conv_bn_relu(b2, _scaled(256, k), 3, name=f"{name}/b2b")
+    b2b = builder.conv_bn_relu(b2, _scaled(256, k), 3, name=f"{name}/b2c")
+    b3 = builder.conv_bn_relu(x, _scaled(384, k), 1, padding=0, name=f"{name}/b3a")
+    b3 = builder.conv_bn_relu(b3, _scaled(448, k), 3, name=f"{name}/b3b")
+    b3 = builder.conv_bn_relu(b3, _scaled(512, k), 3, name=f"{name}/b3c")
+    b3a = builder.conv_bn_relu(b3, _scaled(256, k), 3, name=f"{name}/b3d")
+    b3b = builder.conv_bn_relu(b3, _scaled(256, k), 3, name=f"{name}/b3e")
+    b4 = builder.avgpool(x, kernel=3, stride=1, padding=1, name=f"{name}/pool")
+    b4 = builder.conv_bn_relu(b4, _scaled(256, k), 1, padding=0, name=f"{name}/b4")
+    return builder.concat([b1, b2a, b2b, b3a, b3b, b4], name=f"{name}/cat")
+
+
+def build_inception_v4(
+    batch: int = 32,
+    *,
+    param_scale: float = 1.0,
+    image_size: int = 299,
+    num_classes: int = 1000,
+    optimizer: str = "sgd_momentum",
+    precision: str = "fp32",
+) -> Graph:
+    """Inception-V4 training graph at the given sample/parameter scale."""
+    builder = ModelBuilder(
+        f"inception_v4[b={batch},k={param_scale:g}]", batch,
+        precision=precision,
+    )
+    x = builder.input_image(3, image_size, image_size)
+    x = _stem(builder, x, param_scale)
+    for i in range(4):
+        x = _inception_a(builder, x, param_scale, name=f"incA{i + 1}")
+    x = _reduction_a(builder, x, param_scale, name="redA")
+    for i in range(7):
+        x = _inception_b(builder, x, param_scale, name=f"incB{i + 1}")
+    x = _reduction_b(builder, x, param_scale, name="redB")
+    for i in range(3):
+        x = _inception_c(builder, x, param_scale, name=f"incC{i + 1}")
+    x = builder.global_avgpool(x)
+    x = builder.dropout(x, name="head/drop")
+    logits = builder.linear(x, num_classes, name="head/fc")
+    loss = builder.cross_entropy_loss(logits)
+    return build_training_graph(builder.graph, loss, optimizer=optimizer)

@@ -1,0 +1,488 @@
+"""Layer-level builder API over the raw dataflow graph.
+
+:class:`ModelBuilder` offers the familiar layer vocabulary (conv2d, batch
+norm, linear, attention, ...) and takes care of shape inference, FLOP
+estimation, split-axis annotation and unique naming, so model definitions
+in this package read like ordinary DNN code.
+
+Shape conventions
+-----------------
+* CNN activations are NCHW; ``sample`` is axis 0, ``parameter`` (channels)
+  axis 1, ``attribute`` (height) axis 2.
+* Sequence activations are (N, T, H); ``sample`` axis 0, ``attribute``
+  (time) axis 1, ``parameter`` (hidden) axis 2.
+* Conv weights are (O, I, kh, kw) and linear weights (O, I); ``parameter``
+  is axis 0.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ShapeError
+from repro.graph.graph import Graph
+from repro.graph.ops import OpType, conv2d_flops, matmul_flops
+from repro.graph.tensor import (
+    DIM_ATTRIBUTE,
+    DIM_PARAMETER,
+    DIM_SAMPLE,
+    TensorKind,
+    TensorSpec,
+)
+from repro.units import DType
+
+#: Fraction of (input + output) bytes a convolution kernel needs as
+#: transient workspace (im2col / FFT scratch). Splitting an operator
+#: shrinks its workspace proportionally — one of the split benefits the
+#: paper calls out in Section III-A.
+CONV_WORKSPACE_FRACTION = 0.25
+
+_IMAGE_AXES = {DIM_SAMPLE: 0, DIM_PARAMETER: 1, DIM_ATTRIBUTE: 2}
+_SEQ_AXES = {DIM_SAMPLE: 0, DIM_ATTRIBUTE: 1, DIM_PARAMETER: 2}
+_FLAT_AXES = {DIM_SAMPLE: 0, DIM_PARAMETER: 1}
+_WEIGHT_AXES = {DIM_PARAMETER: 0}
+
+
+#: Precision name -> activation element type. Parameters and optimizer
+#: state stay FP32 (master weights), matching mixed-precision practice.
+PRECISIONS = {
+    "fp32": DType.FLOAT32,
+    "fp16": DType.FLOAT16,
+}
+
+
+class ModelBuilder:
+    """Builds a forward graph one layer at a time.
+
+    Parameters
+    ----------
+    name:
+        Graph name.
+    batch:
+        Batch size; used for FLOP estimates and stored on the graph for
+        throughput accounting (samples per iteration).
+    precision:
+        ``"fp32"`` (default) or ``"fp16"``: element type of activations
+        (and hence their gradients). Parameters and optimizer state stay
+        FP32 — the master-weight convention of mixed-precision training,
+        which is exactly why parameter-offload baselines look better
+        under fp16 while activation pressure halves.
+    """
+
+    def __init__(
+        self, name: str, batch: int, *, precision: str = "fp32",
+    ) -> None:
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if precision not in PRECISIONS:
+            raise ValueError(
+                f"unknown precision {precision!r}; "
+                f"expected one of {sorted(PRECISIONS)}"
+            )
+        self.graph = Graph(name)
+        self.batch = batch
+        self.precision = precision
+        self.activation_dtype = PRECISIONS[precision]
+        self._name_counts: dict[str, int] = {}
+
+    # -- naming ---------------------------------------------------------------
+
+    def unique(self, prefix: str) -> str:
+        """Return ``prefix``, ``prefix_2``, ``prefix_3``, ... as needed."""
+        count = self._name_counts.get(prefix, 0) + 1
+        self._name_counts[prefix] = count
+        return prefix if count == 1 else f"{prefix}_{count}"
+
+    # -- graph inputs ---------------------------------------------------------
+
+    def input_image(
+        self, channels: int, height: int, width: int, name: str = "input",
+    ) -> TensorSpec:
+        """Register the image batch input (NCHW)."""
+        return self.graph.add_tensor(
+            name,
+            (self.batch, channels, height, width),
+            kind=TensorKind.INPUT,
+            split_axes=dict(_IMAGE_AXES),
+        )
+
+    def input_tokens(self, seq_len: int, name: str = "tokens") -> TensorSpec:
+        """Register a token-id batch input (N, T)."""
+        return self.graph.add_tensor(
+            name,
+            (self.batch, seq_len),
+            dtype=DType.INT64,
+            kind=TensorKind.INPUT,
+            split_axes={DIM_SAMPLE: 0, DIM_ATTRIBUTE: 1},
+        )
+
+    def labels(self, name: str = "labels") -> TensorSpec:
+        return self.graph.add_tensor(
+            name,
+            (self.batch,),
+            dtype=DType.INT64,
+            kind=TensorKind.INPUT,
+            split_axes={DIM_SAMPLE: 0},
+        )
+
+    def _param(self, name: str, shape: tuple[int, ...]) -> TensorSpec:
+        return self.graph.add_tensor(
+            name, shape, kind=TensorKind.PARAM, split_axes=dict(_WEIGHT_AXES),
+        )
+
+    # -- CNN layers -----------------------------------------------------------
+
+    def conv2d(
+        self,
+        x: TensorSpec,
+        out_channels: int,
+        kernel: int,
+        *,
+        stride: int = 1,
+        padding: int | None = None,
+        name: str | None = None,
+    ) -> TensorSpec:
+        """2-D convolution (+ bias folded in), NCHW."""
+        if len(x.shape) != 4:
+            raise ShapeError(f"conv2d expects NCHW input, got {x.shape}")
+        if padding is None:
+            padding = kernel // 2
+        n, c, h, w = x.shape
+        out_h = (h + 2 * padding - kernel) // stride + 1
+        out_w = (w + 2 * padding - kernel) // stride + 1
+        if out_h < 1 or out_w < 1:
+            raise ShapeError(
+                f"conv2d output collapsed: input {x.shape}, kernel {kernel}, "
+                f"stride {stride}, padding {padding}"
+            )
+        name = self.unique(name or "conv")
+        weight = self._param(f"{name}/weight", (out_channels, c, kernel, kernel))
+        out = self.graph.add_tensor(
+            f"{name}/out",
+            (n, out_channels, out_h, out_w),
+            dtype=self.activation_dtype,
+            split_axes=dict(_IMAGE_AXES),
+        )
+        workspace = int(
+            CONV_WORKSPACE_FRACTION * (x.size_bytes + out.size_bytes)
+        )
+        self.graph.add_op(
+            name,
+            OpType.CONV2D,
+            inputs=[x, weight],
+            outputs=[out],
+            attrs={"stride": stride, "padding": padding, "kernel": kernel},
+            flops=conv2d_flops(n, c, out_channels, out_h, out_w, kernel, kernel),
+            workspace_bytes=workspace,
+        )
+        return out
+
+    def batchnorm(self, x: TensorSpec, name: str | None = None) -> TensorSpec:
+        """Batch normalisation over NCHW channels (gamma/beta params)."""
+        name = self.unique(name or "bn")
+        channels = x.shape[1]
+        scale = self._param(f"{name}/scale", (2, channels))  # gamma + beta
+        out = self._like(x, f"{name}/out")
+        self.graph.add_op(
+            name,
+            OpType.BATCHNORM,
+            inputs=[x, scale],
+            outputs=[out],
+            flops=5.0 * x.numel,
+        )
+        return out
+
+    def relu(self, x: TensorSpec, name: str | None = None) -> TensorSpec:
+        """Elementwise ReLU (output saved for backward)."""
+        name = self.unique(name or "relu")
+        out = self._like(x, f"{name}/out")
+        self.graph.add_op(
+            name, OpType.RELU, inputs=[x], outputs=[out], flops=float(x.numel),
+        )
+        return out
+
+    def maxpool(
+        self, x: TensorSpec, kernel: int, stride: int | None = None,
+        padding: int = 0, name: str | None = None,
+    ) -> TensorSpec:
+        return self._pool(x, OpType.POOL_MAX, kernel, stride, padding, name or "maxpool")
+
+    def avgpool(
+        self, x: TensorSpec, kernel: int, stride: int | None = None,
+        padding: int = 0, name: str | None = None,
+    ) -> TensorSpec:
+        return self._pool(x, OpType.POOL_AVG, kernel, stride, padding, name or "avgpool")
+
+    def _pool(
+        self, x: TensorSpec, op_type: OpType, kernel: int,
+        stride: int | None, padding: int, name: str,
+    ) -> TensorSpec:
+        if len(x.shape) != 4:
+            raise ShapeError(f"pool expects NCHW input, got {x.shape}")
+        stride = stride or kernel
+        n, c, h, w = x.shape
+        out_h = (h + 2 * padding - kernel) // stride + 1
+        out_w = (w + 2 * padding - kernel) // stride + 1
+        if out_h < 1 or out_w < 1:
+            raise ShapeError(
+                f"pool output collapsed: input {x.shape}, kernel {kernel}"
+            )
+        name = self.unique(name)
+        out = self.graph.add_tensor(
+            f"{name}/out", (n, c, out_h, out_w),
+            dtype=self.activation_dtype, split_axes=dict(_IMAGE_AXES),
+        )
+        self.graph.add_op(
+            name,
+            op_type,
+            inputs=[x],
+            outputs=[out],
+            attrs={"stride": stride, "padding": padding, "kernel": kernel},
+            flops=float(out.numel * kernel * kernel),
+        )
+        return out
+
+    def global_avgpool(self, x: TensorSpec, name: str | None = None) -> TensorSpec:
+        """Spatial global average pooling to (N, C)."""
+        name = self.unique(name or "gap")
+        n, c = x.shape[0], x.shape[1]
+        out = self.graph.add_tensor(
+            f"{name}/out", (n, c),
+            dtype=self.activation_dtype, split_axes=dict(_FLAT_AXES),
+        )
+        self.graph.add_op(
+            name, OpType.POOL_AVG, inputs=[x], outputs=[out],
+            flops=float(x.numel),
+        )
+        return out
+
+    def flatten(self, x: TensorSpec, name: str | None = None) -> TensorSpec:
+        """Collapse all non-batch axes into one (a free reshape view)."""
+        name = self.unique(name or "flatten")
+        n = x.shape[0]
+        rest = x.numel // n
+        out = self.graph.add_tensor(
+            f"{name}/out", (n, rest),
+            dtype=self.activation_dtype, split_axes=dict(_FLAT_AXES),
+        )
+        self.graph.add_op(name, OpType.RESHAPE, inputs=[x], outputs=[out])
+        return out
+
+    def add(self, x: TensorSpec, y: TensorSpec, name: str | None = None) -> TensorSpec:
+        """Elementwise/broadcast addition (residual connections)."""
+        if x.numel < y.numel:
+            x, y = y, x
+        if x.numel % y.numel != 0:
+            raise ShapeError(f"cannot broadcast add {x.shape} + {y.shape}")
+        name = self.unique(name or "add")
+        out = self._like(x, f"{name}/out")
+        self.graph.add_op(
+            name, OpType.ADD, inputs=[x, y], outputs=[out],
+            flops=float(x.numel),
+        )
+        return out
+
+    def concat(
+        self, xs: list[TensorSpec], axis: int = 1, name: str | None = None,
+    ) -> TensorSpec:
+        """Concatenate along ``axis`` (channel concat in Inception blocks)."""
+        if not xs:
+            raise ShapeError("concat of zero tensors")
+        base = xs[0].shape
+        for x in xs[1:]:
+            if len(x.shape) != len(base):
+                raise ShapeError(f"concat rank mismatch: {base} vs {x.shape}")
+            for ax, (a, b) in enumerate(zip(base, x.shape)):
+                if ax != axis and a != b:
+                    raise ShapeError(
+                        f"concat non-axis dims differ: {base} vs {x.shape}"
+                    )
+        name = self.unique(name or "concat")
+        shape = list(base)
+        shape[axis] = sum(x.shape[axis] for x in xs)
+        out = self.graph.add_tensor(
+            f"{name}/out", tuple(shape),
+            dtype=self.activation_dtype, split_axes=dict(xs[0].split_axes),
+        )
+        self.graph.add_op(
+            name, OpType.CONCAT, inputs=list(xs), outputs=[out],
+            attrs={"axis": axis},
+        )
+        return out
+
+    # -- dense / sequence layers ----------------------------------------------
+
+    def linear(
+        self, x: TensorSpec, out_features: int, name: str | None = None,
+    ) -> TensorSpec:
+        """Fully-connected layer on the last axis of (N, F) or (N, T, F)."""
+        in_features = x.shape[-1]
+        name = self.unique(name or "fc")
+        weight = self._param(f"{name}/weight", (out_features, in_features))
+        out_shape = x.shape[:-1] + (out_features,)
+        axes = _FLAT_AXES if len(out_shape) == 2 else _SEQ_AXES
+        out = self.graph.add_tensor(
+            f"{name}/out", out_shape,
+            dtype=self.activation_dtype, split_axes=dict(axes),
+        )
+        rows = x.numel // in_features
+        self.graph.add_op(
+            name,
+            OpType.MATMUL,
+            inputs=[x, weight],
+            outputs=[out],
+            flops=matmul_flops(rows, out_features, in_features),
+        )
+        return out
+
+    def layernorm(self, x: TensorSpec, name: str | None = None) -> TensorSpec:
+        """Layer normalisation over the last (hidden) axis."""
+        name = self.unique(name or "ln")
+        scale = self._param(f"{name}/scale", (2, x.shape[-1]))
+        out = self._like(x, f"{name}/out")
+        self.graph.add_op(
+            name, OpType.LAYERNORM, inputs=[x, scale], outputs=[out],
+            flops=5.0 * x.numel,
+        )
+        return out
+
+    def gelu(self, x: TensorSpec, name: str | None = None) -> TensorSpec:
+        """Elementwise GELU activation."""
+        name = self.unique(name or "gelu")
+        out = self._like(x, f"{name}/out")
+        self.graph.add_op(
+            name, OpType.GELU, inputs=[x], outputs=[out],
+            flops=8.0 * x.numel,
+        )
+        return out
+
+    def dropout(self, x: TensorSpec, name: str | None = None) -> TensorSpec:
+        """Dropout (mask saved for backward; identity in numerics)."""
+        name = self.unique(name or "dropout")
+        out = self._like(x, f"{name}/out")
+        self.graph.add_op(
+            name, OpType.DROPOUT, inputs=[x], outputs=[out],
+            flops=float(x.numel),
+        )
+        return out
+
+    def softmax(self, x: TensorSpec, name: str | None = None) -> TensorSpec:
+        """Softmax over the last axis (output saved for backward)."""
+        name = self.unique(name or "softmax")
+        out = self._like(x, f"{name}/out")
+        self.graph.add_op(
+            name, OpType.SOFTMAX, inputs=[x], outputs=[out],
+            flops=5.0 * x.numel,
+        )
+        return out
+
+    def embedding(
+        self, ids: TensorSpec, vocab: int, hidden: int, name: str | None = None,
+    ) -> TensorSpec:
+        """Token embedding lookup: (N, T) int -> (N, T, H)."""
+        name = self.unique(name or "embed")
+        table = self._param(f"{name}/table", (vocab, hidden))
+        n, t = ids.shape
+        out = self.graph.add_tensor(
+            f"{name}/out", (n, t, hidden),
+            dtype=self.activation_dtype, split_axes=dict(_SEQ_AXES),
+        )
+        self.graph.add_op(
+            name, OpType.EMBEDDING, inputs=[ids, table], outputs=[out],
+            flops=float(out.numel),
+        )
+        return out
+
+    def attention(
+        self,
+        x: TensorSpec,
+        heads: int,
+        *,
+        kv: TensorSpec | None = None,
+        name: str | None = None,
+    ) -> TensorSpec:
+        """Multi-head (self or cross) attention block, pre-projection in.
+
+        Materialises the (N, heads, Tq, Tk) score tensors — the gigantic
+        activations that motivate attribute-dimension splitting in
+        Transformers (Figure 6).
+        """
+        name = self.unique(name or "attn")
+        kv = kv if kv is not None else x
+        n, t_q, hidden = x.shape
+        t_k = kv.shape[1]
+        if hidden % heads != 0:
+            raise ShapeError(f"hidden {hidden} not divisible by heads {heads}")
+        head_dim = hidden // heads
+
+        q = self.linear(x, hidden, name=f"{name}/q_proj")
+        k = self.linear(kv, hidden, name=f"{name}/k_proj")
+        v = self.linear(kv, hidden, name=f"{name}/v_proj")
+
+        score_axes = {DIM_SAMPLE: 0, DIM_PARAMETER: 1, DIM_ATTRIBUTE: 2}
+        scores = self.graph.add_tensor(
+            f"{name}/scores", (n, heads, t_q, t_k),
+            dtype=self.activation_dtype, split_axes=dict(score_axes),
+        )
+        self.graph.add_op(
+            f"{name}/qk",
+            OpType.MATMUL,
+            inputs=[q, k],
+            outputs=[scores],
+            flops=matmul_flops(n * heads * t_q, t_k, head_dim),
+        )
+        probs = self.softmax(scores, name=f"{name}/probs")
+        probs = self.dropout(probs, name=f"{name}/attn_drop")
+        context = self.graph.add_tensor(
+            f"{name}/context", (n, t_q, hidden),
+            dtype=self.activation_dtype, split_axes=dict(_SEQ_AXES),
+        )
+        self.graph.add_op(
+            f"{name}/av",
+            OpType.MATMUL,
+            inputs=[probs, v],
+            outputs=[context],
+            flops=matmul_flops(n * heads * t_q, head_dim, t_k),
+        )
+        return self.linear(context, hidden, name=f"{name}/out_proj")
+
+    # -- loss -----------------------------------------------------------------
+
+    def cross_entropy_loss(
+        self, logits: TensorSpec, labels: TensorSpec | None = None,
+        name: str = "loss",
+    ) -> TensorSpec:
+        """Softmax cross-entropy; returns the per-batch loss tensor."""
+        if labels is None:
+            labels = self.labels(name=self.unique("labels"))
+        loss = self.graph.add_tensor(
+            self.unique(name), (logits.shape[0],),
+            dtype=self.activation_dtype, split_axes={DIM_SAMPLE: 0},
+        )
+        self.graph.add_op(
+            self.unique(f"{name}_op"),
+            OpType.CROSS_ENTROPY,
+            inputs=[logits, labels],
+            outputs=[loss],
+            flops=5.0 * logits.numel,
+        )
+        return loss
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _like(self, x: TensorSpec, name: str) -> TensorSpec:
+        return self.graph.add_tensor(
+            name, x.shape, dtype=x.dtype, kind=TensorKind.ACTIVATION,
+            split_axes=dict(x.split_axes),
+        )
+
+    def conv_bn_relu(
+        self, x: TensorSpec, out_channels: int, kernel: int,
+        *, stride: int = 1, padding: int | None = None, name: str | None = None,
+    ) -> TensorSpec:
+        """The ubiquitous conv → batchnorm → relu block."""
+        name = self.unique(name or "cbr")
+        x = self.conv2d(
+            x, out_channels, kernel, stride=stride, padding=padding,
+            name=f"{name}/conv",
+        )
+        x = self.batchnorm(x, name=f"{name}/bn")
+        return self.relu(x, name=f"{name}/relu")

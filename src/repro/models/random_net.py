@@ -1,0 +1,65 @@
+"""Random-but-valid model generator, for fuzzing the whole pipeline.
+
+Generates seeded random CNNs (chains with occasional residual fan-out
+and pooling) whose training graphs exercise the planner, augmenter and
+engine on shapes nobody hand-picked. Used by the property-based
+integration tests; also handy for stress experiments.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.autodiff import build_training_graph
+from repro.graph.graph import Graph
+from repro.models.layers import ModelBuilder
+
+
+def build_random_cnn(
+    seed: int,
+    *,
+    batch: int | None = None,
+    max_blocks: int = 6,
+    optimizer: str = "sgd_momentum",
+) -> Graph:
+    """A seeded random CNN training graph.
+
+    Structure: input -> [conv (+ optional bn) + activation, optional
+    residual add, occasional pooling] x N -> head. All shape choices are
+    drawn from ranges that keep graphs small and always valid.
+    """
+    rng = random.Random(seed)
+    batch = batch or rng.choice([2, 4, 8, 16])
+    image = rng.choice([8, 16, 32])
+    builder = ModelBuilder(f"random_cnn[seed={seed}]", batch)
+    x = builder.input_image(rng.choice([1, 3]), image, image)
+
+    blocks = rng.randint(1, max_blocks)
+    for index in range(blocks):
+        channels = rng.choice([4, 8, 12, 16])
+        kernel = rng.choice([1, 3])
+        y = builder.conv2d(
+            x, channels, kernel,
+            padding=kernel // 2,
+            name=f"conv{index}",
+        )
+        if rng.random() < 0.4:
+            y = builder.batchnorm(y, name=f"bn{index}")
+        y = (
+            builder.relu(y, name=f"act{index}")
+            if rng.random() < 0.7
+            else builder.gelu(y, name=f"act{index}")
+        )
+        if y.shape == x.shape and rng.random() < 0.35:
+            y = builder.add(x, y, name=f"res{index}")
+        x = y
+        if x.shape[2] >= 4 and rng.random() < 0.35:
+            x = builder.maxpool(x, 2, name=f"pool{index}")
+
+    flat = builder.flatten(x)
+    if rng.random() < 0.5:
+        flat = builder.linear(flat, rng.choice([16, 32]), name="hidden")
+        flat = builder.relu(flat, name="hidden_act")
+    logits = builder.linear(flat, rng.choice([2, 10]), name="logits")
+    loss = builder.cross_entropy_loss(logits)
+    return build_training_graph(builder.graph, loss, optimizer=optimizer)

@@ -1,0 +1,69 @@
+"""Model registry: name -> builder, for benchmarks and CLI-style drivers.
+
+Every builder shares the signature
+``build(batch, *, param_scale=1.0, **overrides) -> Graph``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.graph.graph import Graph
+from repro.models.bert import build_bert_large
+from repro.models.densenet import build_densenet121
+from repro.models.gpt import build_gpt
+from repro.models.inception import build_inception_v4
+from repro.models.resnet import build_resnet50, build_resnet101
+from repro.models.transformer import build_transformer
+from repro.models.vgg import build_vgg16, build_vgg19
+
+
+def _bert_adapter(
+    batch: int, *, param_scale: float = 1.0, **overrides,
+) -> Graph:
+    """Adapt BERT's ``hidden`` knob to the common ``param_scale`` interface."""
+    from repro.models.bert import BERT_HEAD_DIM, BERT_LARGE_HIDDEN
+
+    hidden = overrides.pop("hidden", None)
+    if hidden is None:
+        hidden = round(BERT_LARGE_HIDDEN * param_scale / BERT_HEAD_DIM)
+        hidden = max(1, hidden) * BERT_HEAD_DIM
+    return build_bert_large(batch, hidden=hidden, **overrides)
+
+
+#: The six evaluation models of the paper (Table IV ordering) plus BERT.
+MODEL_REGISTRY: dict[str, Callable[..., Graph]] = {
+    "vgg16": build_vgg16,
+    "vgg19": build_vgg19,
+    "resnet50": build_resnet50,
+    "resnet101": build_resnet101,
+    "inception_v4": build_inception_v4,
+    "transformer": build_transformer,
+    "bert_large": _bert_adapter,
+    "gpt": build_gpt,
+    "densenet121": build_densenet121,
+}
+
+
+def model_names() -> list[str]:
+    """Registered model names, in the paper's table order."""
+    return list(MODEL_REGISTRY)
+
+
+def build_model(
+    name: str, batch: int, *, param_scale: float = 1.0, **overrides,
+) -> Graph:
+    """Build a registered model's training graph.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not registered.
+    """
+    try:
+        builder = MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {model_names()}"
+        ) from None
+    return builder(batch, param_scale=param_scale, **overrides)

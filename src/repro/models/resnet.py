@@ -1,0 +1,121 @@
+"""ResNet-50 / ResNet-101 (He et al.) with bottleneck blocks.
+
+Multi-branch residual architecture: every block input feeds both the
+residual branch and the shortcut, so gradient accumulation nodes appear in
+the backward graph and liveness has genuinely overlapping branches — the
+"complexity of multi-branch model architecture" the paper credits for
+TSPLIT's large wins on ResNet-101 (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from repro.graph.autodiff import build_training_graph
+from repro.graph.graph import Graph
+from repro.graph.tensor import TensorSpec
+from repro.models.layers import ModelBuilder
+
+#: (block counts per stage) for each variant.
+_STAGES = {
+    "resnet50": (3, 4, 6, 3),
+    "resnet101": (3, 4, 23, 3),
+}
+_STAGE_CHANNELS = (64, 128, 256, 512)  # bottleneck inner widths
+_EXPANSION = 4
+
+
+def _bottleneck(
+    builder: ModelBuilder,
+    x: TensorSpec,
+    inner: int,
+    stride: int,
+    name: str,
+) -> TensorSpec:
+    """1x1 -> 3x3 -> 1x1 bottleneck with projection shortcut when needed."""
+    out_channels = inner * _EXPANSION
+    shortcut = x
+    if stride != 1 or x.shape[1] != out_channels:
+        shortcut = builder.conv2d(
+            x, out_channels, kernel=1, stride=stride, padding=0,
+            name=f"{name}/proj",
+        )
+        shortcut = builder.batchnorm(shortcut, name=f"{name}/proj_bn")
+
+    y = builder.conv2d(x, inner, kernel=1, padding=0, name=f"{name}/conv1")
+    y = builder.batchnorm(y, name=f"{name}/bn1")
+    y = builder.relu(y, name=f"{name}/relu1")
+    y = builder.conv2d(y, inner, kernel=3, stride=stride, name=f"{name}/conv2")
+    y = builder.batchnorm(y, name=f"{name}/bn2")
+    y = builder.relu(y, name=f"{name}/relu2")
+    y = builder.conv2d(y, out_channels, kernel=1, padding=0, name=f"{name}/conv3")
+    y = builder.batchnorm(y, name=f"{name}/bn3")
+    y = builder.add(y, shortcut, name=f"{name}/residual")
+    return builder.relu(y, name=f"{name}/relu3")
+
+
+def _build_resnet(
+    variant: str,
+    batch: int,
+    param_scale: float,
+    image_size: int,
+    num_classes: int,
+    optimizer: str,
+    precision: str,
+) -> Graph:
+    stages = _STAGES[variant]
+    builder = ModelBuilder(
+        f"{variant}[b={batch},k={param_scale:g}]", batch,
+        precision=precision,
+    )
+    x = builder.input_image(3, image_size, image_size)
+
+    stem = max(1, round(64 * param_scale))
+    x = builder.conv2d(x, stem, kernel=7, stride=2, name="stem/conv")
+    x = builder.batchnorm(x, name="stem/bn")
+    x = builder.relu(x, name="stem/relu")
+    x = builder.maxpool(x, kernel=3, stride=2, padding=1, name="stem/pool")
+
+    for stage_idx, (blocks, channels) in enumerate(zip(stages, _STAGE_CHANNELS)):
+        inner = max(1, round(channels * param_scale))
+        for block_idx in range(blocks):
+            stride = 2 if (block_idx == 0 and stage_idx > 0) else 1
+            x = _bottleneck(
+                builder, x, inner, stride,
+                name=f"stage{stage_idx + 1}/block{block_idx + 1}",
+            )
+
+    x = builder.global_avgpool(x)
+    logits = builder.linear(x, num_classes, name="fc")
+    loss = builder.cross_entropy_loss(logits)
+    return build_training_graph(builder.graph, loss, optimizer=optimizer)
+
+
+def build_resnet50(
+    batch: int = 32,
+    *,
+    param_scale: float = 1.0,
+    image_size: int = 224,
+    num_classes: int = 1000,
+    optimizer: str = "sgd_momentum",
+    precision: str = "fp32",
+) -> Graph:
+    """ResNet-50 training graph at the given sample/parameter scale."""
+    return _build_resnet(
+        "resnet50", batch, param_scale, image_size, num_classes,
+        optimizer, precision,
+    )
+
+
+def build_resnet101(
+    batch: int = 32,
+    *,
+    param_scale: float = 1.0,
+    image_size: int = 224,
+    num_classes: int = 1000,
+    optimizer: str = "sgd_momentum",
+    precision: str = "fp32",
+) -> Graph:
+    """ResNet-101 training graph at the given sample/parameter scale."""
+    return _build_resnet(
+        "resnet101", batch, param_scale, image_size, num_classes,
+        optimizer, precision,
+    )

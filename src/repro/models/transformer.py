@@ -1,0 +1,105 @@
+"""Transformer encoder-decoder (Vaswani et al.) at IWSLT2016 shapes.
+
+This is the "no convolution layers" workload of Tables IV/V: vDNN-conv has
+nothing to offload and SuperNeurons has no checkpoints, so both are marked
+inapplicable in the paper, while TSPLIT splits the giant attention-score
+tensors along sample or attribute dimensions.
+
+``param_scale`` multiplies the hidden size (and proportionally the FFN
+width), matching the paper's parameter-dimension scaling for Transformers.
+"""
+
+from __future__ import annotations
+
+from repro.graph.autodiff import build_training_graph
+from repro.graph.ops import OpType
+from repro.graph.graph import Graph
+from repro.graph.tensor import TensorSpec
+from repro.models.layers import ModelBuilder
+
+
+def _encoder_layer(
+    builder: ModelBuilder, x: TensorSpec, heads: int, ffn: int, name: str,
+) -> TensorSpec:
+    attn = builder.attention(x, heads, name=f"{name}/self_attn")
+    x = builder.add(x, attn, name=f"{name}/res1")
+    x = builder.layernorm(x, name=f"{name}/ln1")
+    y = builder.linear(x, ffn, name=f"{name}/ffn1")
+    y = builder.gelu(y, name=f"{name}/gelu")
+    y = builder.linear(y, x.shape[-1], name=f"{name}/ffn2")
+    x = builder.add(x, y, name=f"{name}/res2")
+    return builder.layernorm(x, name=f"{name}/ln2")
+
+
+def _decoder_layer(
+    builder: ModelBuilder, x: TensorSpec, memory: TensorSpec,
+    heads: int, ffn: int, name: str,
+) -> TensorSpec:
+    attn = builder.attention(x, heads, name=f"{name}/self_attn")
+    x = builder.add(x, attn, name=f"{name}/res1")
+    x = builder.layernorm(x, name=f"{name}/ln1")
+    cross = builder.attention(x, heads, kv=memory, name=f"{name}/cross_attn")
+    x = builder.add(x, cross, name=f"{name}/res2")
+    x = builder.layernorm(x, name=f"{name}/ln2")
+    y = builder.linear(x, ffn, name=f"{name}/ffn1")
+    y = builder.gelu(y, name=f"{name}/gelu")
+    y = builder.linear(y, x.shape[-1], name=f"{name}/ffn2")
+    x = builder.add(x, y, name=f"{name}/res3")
+    return builder.layernorm(x, name=f"{name}/ln3")
+
+
+def build_transformer(
+    batch: int = 32,
+    *,
+    param_scale: float = 1.0,
+    layers: int = 6,
+    hidden: int = 512,
+    heads: int = 8,
+    ffn_multiplier: int = 4,
+    seq_len: int = 256,
+    vocab: int = 32_000,
+    optimizer: str = "adam",
+    precision: str = "fp32",
+) -> Graph:
+    """Transformer (``layers`` encoder + ``layers`` decoder) training graph.
+
+    Hidden size is scaled to a multiple of ``heads`` so the per-head
+    dimension stays integral when ``param_scale`` is fractional.
+    """
+    scaled_hidden = max(heads, round(hidden * param_scale / heads) * heads)
+    ffn = scaled_hidden * ffn_multiplier
+    builder = ModelBuilder(
+        f"transformer[b={batch},k={param_scale:g}]", batch,
+        precision=precision,
+    )
+
+    src = builder.input_tokens(seq_len, name="src_tokens")
+    tgt = builder.input_tokens(seq_len, name="tgt_tokens")
+
+    x = builder.embedding(src, vocab, scaled_hidden, name="src_embed")
+    x = builder.dropout(x, name="src_embed_drop")
+    for i in range(layers):
+        x = _encoder_layer(builder, x, heads, ffn, name=f"enc{i + 1}")
+    memory = x
+
+    y = builder.embedding(tgt, vocab, scaled_hidden, name="tgt_embed")
+    y = builder.dropout(y, name="tgt_embed_drop")
+    for i in range(layers):
+        y = _decoder_layer(builder, y, memory, heads, ffn, name=f"dec{i + 1}")
+
+    logits = builder.linear(y, vocab, name="generator")
+    # Sequence-level cross entropy: labels are the shifted target tokens.
+    loss = builder.graph.add_tensor(
+        "loss", (batch,), dtype=builder.activation_dtype,
+        split_axes={"sample": 0},
+    )
+    labels = builder.input_tokens(seq_len, name="gold_tokens")
+    builder.graph.add_op(
+        "loss_op",
+        OpType.CROSS_ENTROPY,
+        inputs=[logits, labels],
+        outputs=[loss],
+        flops=5.0 * logits.numel,
+    )
+    return build_training_graph(builder.graph, loss, optimizer=optimizer)
+

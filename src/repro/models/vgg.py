@@ -1,0 +1,84 @@
+"""VGG-16 / VGG-19 (Simonyan & Zisserman) at ImageNet shapes.
+
+Classic conv+ReLU stacks with max-pooling; the paper uses VGG as the
+canonical "huge early feature maps" workload (Figure 2a). ``param_scale``
+multiplies every convolution's channel count, reproducing the parameter-
+dimension scaling of Table V.
+"""
+
+from __future__ import annotations
+
+from repro.graph.autodiff import build_training_graph
+from repro.graph.graph import Graph
+from repro.models.layers import ModelBuilder
+
+_VGG16_BLOCKS = [[64, 64], [128, 128], [256, 256, 256],
+                 [512, 512, 512], [512, 512, 512]]
+_VGG19_BLOCKS = [[64, 64], [128, 128], [256, 256, 256, 256],
+                 [512, 512, 512, 512], [512, 512, 512, 512]]
+
+
+def _build_vgg(
+    name: str,
+    blocks: list[list[int]],
+    batch: int,
+    param_scale: float,
+    image_size: int,
+    num_classes: int,
+    optimizer: str,
+    precision: str,
+) -> Graph:
+    builder = ModelBuilder(
+        f"{name}[b={batch},k={param_scale:g}]", batch, precision=precision,
+    )
+    x = builder.input_image(3, image_size, image_size)
+    for block_idx, channels_list in enumerate(blocks, start=1):
+        for conv_idx, channels in enumerate(channels_list, start=1):
+            scaled = max(1, round(channels * param_scale))
+            x = builder.conv2d(
+                x, scaled, kernel=3, name=f"conv{block_idx}_{conv_idx}",
+            )
+            x = builder.relu(x, name=f"relu{block_idx}_{conv_idx}")
+        x = builder.maxpool(x, kernel=2, name=f"pool{block_idx}")
+    x = builder.flatten(x)
+    x = builder.linear(x, 4096, name="fc6")
+    x = builder.relu(x, name="relu6")
+    x = builder.dropout(x, name="drop6")
+    x = builder.linear(x, 4096, name="fc7")
+    x = builder.relu(x, name="relu7")
+    x = builder.dropout(x, name="drop7")
+    logits = builder.linear(x, num_classes, name="fc8")
+    loss = builder.cross_entropy_loss(logits)
+    return build_training_graph(builder.graph, loss, optimizer=optimizer)
+
+
+def build_vgg16(
+    batch: int = 32,
+    *,
+    param_scale: float = 1.0,
+    image_size: int = 224,
+    num_classes: int = 1000,
+    optimizer: str = "sgd_momentum",
+    precision: str = "fp32",
+) -> Graph:
+    """VGG-16 training graph at the given sample/parameter scale."""
+    return _build_vgg(
+        "vgg16", _VGG16_BLOCKS, batch, param_scale, image_size,
+        num_classes, optimizer, precision,
+    )
+
+
+def build_vgg19(
+    batch: int = 32,
+    *,
+    param_scale: float = 1.0,
+    image_size: int = 224,
+    num_classes: int = 1000,
+    optimizer: str = "sgd_momentum",
+    precision: str = "fp32",
+) -> Graph:
+    """VGG-19 training graph at the given sample/parameter scale."""
+    return _build_vgg(
+        "vgg19", _VGG19_BLOCKS, batch, param_scale, image_size,
+        num_classes, optimizer, precision,
+    )

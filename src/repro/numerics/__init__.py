@@ -1,0 +1,21 @@
+"""Numeric reference execution: proving split/merge semantics.
+
+The simulator treats micro-tensor execution as equivalent to whole-tensor
+execution; this package backs that assumption with real numbers. It
+implements a small numpy reference for the forward operators, executes a
+graph whole and as micro-tensors along a split dimension, and checks the
+results agree — the correctness argument behind the sTensor abstraction.
+"""
+
+from repro.numerics.reference import ReferenceExecutor, random_inputs
+from repro.numerics.split_exec import (
+    run_split_op,
+    split_equivalence_error,
+)
+
+__all__ = [
+    "ReferenceExecutor",
+    "random_inputs",
+    "run_split_op",
+    "split_equivalence_error",
+]

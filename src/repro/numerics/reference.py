@@ -1,0 +1,173 @@
+"""Numpy reference implementations of the forward operators.
+
+Forward-only and deliberately simple: these exist to validate the
+*splitting semantics* (a kernel run on micro-tensors must reproduce the
+whole-tensor result), not to train models fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NumericsError
+from repro.graph.graph import Graph
+from repro.graph.ops import Operator, OpType, Phase
+from repro.graph.tensor import TensorKind
+
+
+def _conv2d(x: np.ndarray, w: np.ndarray, stride: int, padding: int) -> np.ndarray:
+    """Direct NCHW convolution, accumulated per kernel offset."""
+    out_c, _, kh, kw = w.shape
+    if padding:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+        )
+    n = x.shape[0]
+    out_h = (x.shape[2] - kh) // stride + 1
+    out_w = (x.shape[3] - kw) // stride + 1
+    out = np.zeros((n, out_c, out_h, out_w), dtype=np.float64)
+    for i in range(kh):
+        for j in range(kw):
+            patch = x[:, :, i:i + stride * out_h:stride,
+                      j:j + stride * out_w:stride]
+            out += np.einsum("nchw,oc->nohw", patch, w[:, :, i, j])
+    return out
+
+
+def _pool(x: np.ndarray, kernel: int, stride: int, padding: int,
+          reduce_fn) -> np.ndarray:
+    n, c, h, w = x.shape
+    if padding:
+        fill = -np.inf if reduce_fn is np.max else 0.0
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            constant_values=fill,
+        )
+    out_h = (x.shape[2] - kernel) // stride + 1
+    out_w = (x.shape[3] - kernel) // stride + 1
+    out = np.empty((n, c, out_h, out_w), dtype=x.dtype)
+    for i in range(out_h):
+        for j in range(out_w):
+            window = x[:, :, i * stride:i * stride + kernel,
+                       j * stride:j * stride + kernel]
+            out[:, :, i, j] = reduce_fn(window, axis=(2, 3))
+    return out
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+class ReferenceExecutor:
+    """Executes the forward phase of a graph on numpy arrays."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+
+    def run_forward(self, inputs: dict[int, np.ndarray]) -> dict[int, np.ndarray]:
+        """Run every forward op; returns tensor id -> value for all tensors."""
+        values = dict(inputs)
+        for op in self.graph.ops.values():
+            if op.phase is not Phase.FORWARD:
+                continue
+            self.run_op(op, values)
+        return values
+
+    def run_op(self, op: Operator, values: dict[int, np.ndarray]) -> None:
+        """Execute one forward op, writing outputs into ``values``."""
+        args = []
+        for tid in op.inputs:
+            if tid not in values:
+                raise NumericsError(
+                    f"op {op.name!r} input tensor {tid} has no value"
+                )
+            args.append(values[tid])
+        outs = self._dispatch(op, args)
+        for tid, value in zip(op.outputs, outs):
+            expected = self.graph.tensors[tid].shape
+            if tuple(value.shape) != expected:
+                raise NumericsError(
+                    f"op {op.name!r} produced shape {value.shape}, "
+                    f"spec says {expected}"
+                )
+            values[tid] = value
+
+    def _dispatch(self, op: Operator, args: list[np.ndarray]) -> list[np.ndarray]:
+        kind = op.op_type
+        if kind is OpType.CONV2D:
+            return [_conv2d(args[0], args[1],
+                            op.attrs["stride"], op.attrs["padding"])]
+        if kind is OpType.MATMUL:
+            x, w = args[0], args[1]
+            if x.ndim == w.ndim == 3:  # attention matmuls handled upstream
+                raise NumericsError("raw 3D matmul needs attention context")
+            return [x @ w.T]
+        if kind is OpType.RELU:
+            return [np.maximum(args[0], 0.0)]
+        if kind is OpType.GELU:
+            x = args[0]
+            return [0.5 * x * (1.0 + np.tanh(0.7978845608 * (x + 0.044715 * x ** 3)))]
+        if kind is OpType.ADD:
+            return [args[0] + args[1]]
+        if kind is OpType.POOL_MAX:
+            return [_pool(args[0], op.attrs["kernel"], op.attrs["stride"],
+                          op.attrs.get("padding", 0), np.max)]
+        if kind is OpType.POOL_AVG:
+            if len(self.graph.tensors[op.outputs[0]].shape) == 2:
+                return [args[0].mean(axis=(2, 3))]
+            return [_pool(args[0], op.attrs["kernel"], op.attrs["stride"],
+                          op.attrs.get("padding", 0), np.mean)]
+        if kind is OpType.SOFTMAX:
+            return [_softmax(args[0])]
+        if kind is OpType.DROPOUT:
+            return [args[0]]  # identity: eval-mode semantics for equivalence
+        if kind is OpType.RESHAPE:
+            shape = self.graph.tensors[op.outputs[0]].shape
+            return [args[0].reshape(shape)]
+        if kind is OpType.CONCAT:
+            return [np.concatenate(args, axis=op.attrs.get("axis", 1))]
+        if kind is OpType.BATCHNORM:
+            x = args[0]
+            axes = tuple(i for i in range(x.ndim) if i != 1)
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            return [(x - mean) / np.sqrt(var + 1e-5)]
+        if kind is OpType.LAYERNORM:
+            x = args[0]
+            mean = x.mean(axis=-1, keepdims=True)
+            var = x.var(axis=-1, keepdims=True)
+            return [(x - mean) / np.sqrt(var + 1e-5)]
+        if kind is OpType.EMBEDDING:
+            ids, table = args
+            return [table[ids.astype(np.int64)]]
+        if kind is OpType.CROSS_ENTROPY:
+            logits, labels = args
+            probs = _softmax(logits.reshape(logits.shape[0], -1))
+            index = labels.reshape(labels.shape[0], -1)[:, 0].astype(np.int64)
+            index = np.clip(index, 0, probs.shape[1] - 1)
+            picked = probs[np.arange(probs.shape[0]), index]
+            return [-np.log(np.clip(picked, 1e-12, None))]
+        raise NumericsError(f"no reference implementation for {kind.name}")
+
+
+def random_inputs(graph: Graph, seed: int = 0) -> dict[int, np.ndarray]:
+    """Random values for graph inputs and parameters."""
+    rng = np.random.default_rng(seed)
+    values: dict[int, np.ndarray] = {}
+    for tensor in graph.tensors.values():
+        if tensor.kind is TensorKind.INPUT:
+            if tensor.dtype.type_name.startswith("int"):
+                values[tensor.tensor_id] = rng.integers(
+                    0, 7, size=tensor.shape,
+                )
+            else:
+                values[tensor.tensor_id] = rng.standard_normal(
+                    tensor.shape,
+                ).astype(np.float64)
+        elif tensor.kind is TensorKind.PARAM:
+            values[tensor.tensor_id] = 0.1 * rng.standard_normal(
+                tensor.shape,
+            ).astype(np.float64)
+    return values

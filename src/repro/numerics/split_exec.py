@@ -1,0 +1,127 @@
+"""Numeric validation of micro-tensor execution.
+
+``run_split_op`` executes a single operator as ``p_num`` micro-kernels
+along a named dimension and merges the pieces;
+``split_equivalence_error`` compares that against whole-tensor execution.
+A near-zero error is the correctness foundation of the sTensor split
+primitive: any operator the capability table
+(:func:`repro.core.split_rules.op_supports_split`) marks splittable must
+pass this check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.split_rules import op_supports_split
+from repro.errors import NumericsError
+from repro.graph.graph import Graph
+from repro.graph.ops import Operator, OpType
+from repro.graph.tensor import DIM_PARAMETER, DIM_SAMPLE, TensorSpec
+from repro.numerics.reference import ReferenceExecutor
+
+
+def _split_array(
+    value: np.ndarray, axis: int, p_num: int,
+) -> list[np.ndarray]:
+    return np.array_split(value, p_num, axis=axis)
+
+
+def _axis_of(tensor: TensorSpec, dim: str) -> int | None:
+    return tensor.split_axes.get(dim)
+
+
+def run_split_op(
+    graph: Graph,
+    op: Operator,
+    values: dict[int, np.ndarray],
+    dim: str,
+    p_num: int,
+) -> dict[int, np.ndarray]:
+    """Execute one op as micro-kernels; returns output id -> merged value.
+
+    Inputs that expose the split dimension are sliced; others (weights,
+    broadcast operands) are passed whole to every micro-kernel. Outputs
+    are concatenated along their own split axis.
+
+    Raises
+    ------
+    NumericsError
+        If the operator does not support the dimension, or a micro-kernel
+        output cannot be merged back.
+    """
+    if not op_supports_split(op.op_type, dim):
+        raise NumericsError(
+            f"op {op.name!r} ({op.op_type.name}) does not support "
+            f"{dim!r}-dimension splitting"
+        )
+    executor = ReferenceExecutor(graph)
+
+    input_pieces: dict[int, list[np.ndarray]] = {}
+    for tid in op.inputs:
+        tensor = graph.tensors[tid]
+        axis = _axis_of(tensor, dim)
+        value = values[tid]
+        splittable = axis is not None and value.shape[axis] >= p_num
+        if dim == DIM_PARAMETER and op.op_type in (OpType.CONV2D, OpType.MATMUL):
+            # Channel-split conv/matmul splits the weight, not the input.
+            from repro.graph.tensor import TensorKind
+
+            if tensor.kind is TensorKind.PARAM:
+                input_pieces[tid] = _split_array(value, 0, p_num)
+                continue
+            input_pieces[tid] = [value] * p_num
+            continue
+        if splittable:
+            input_pieces[tid] = _split_array(value, axis, p_num)
+        else:
+            input_pieces[tid] = [value] * p_num
+
+    merged: dict[int, list[np.ndarray]] = {tid: [] for tid in op.outputs}
+    for index in range(p_num):
+        scope = dict(values)
+        for tid in op.inputs:
+            scope[tid] = input_pieces[tid][index]
+        # Shape checks are for the whole tensor; run the kernel manually.
+        args = [scope[tid] for tid in op.inputs]
+        outs = executor._dispatch(op, args)
+        for tid, piece in zip(op.outputs, outs):
+            merged[tid].append(piece)
+
+    results: dict[int, np.ndarray] = {}
+    for tid, pieces in merged.items():
+        tensor = graph.tensors[tid]
+        axis = _axis_of(tensor, dim)
+        if axis is None:
+            raise NumericsError(
+                f"output {tensor.name!r} has no {dim!r} axis to merge on"
+            )
+        value = np.concatenate(pieces, axis=axis)
+        if tuple(value.shape) != tensor.shape:
+            raise NumericsError(
+                f"merged output {tensor.name!r} has shape {value.shape}, "
+                f"expected {tensor.shape}"
+            )
+        results[tid] = value
+    return results
+
+
+def split_equivalence_error(
+    graph: Graph,
+    op: Operator,
+    values: dict[int, np.ndarray],
+    dim: str = DIM_SAMPLE,
+    p_num: int = 4,
+) -> float:
+    """Max |whole - split| over the op's outputs (should be ~0)."""
+    executor = ReferenceExecutor(graph)
+    whole_scope = dict(values)
+    executor.run_op(op, whole_scope)
+    split_out = run_split_op(graph, op, values, dim, p_num)
+    error = 0.0
+    for tid in op.outputs:
+        error = max(
+            error,
+            float(np.max(np.abs(whole_scope[tid] - split_out[tid]))),
+        )
+    return error

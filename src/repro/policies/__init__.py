@@ -1,0 +1,37 @@
+"""Memory-management policies: TSPLIT and every baseline of the paper.
+
+Each policy maps a training graph to a :class:`~repro.core.plan.Plan`:
+
+* ``base`` — keep everything resident (TensorFlow/PyTorch default);
+* ``vdnn_conv`` / ``vdnn_all`` — vDNN: swap conv-layer inputs / all
+  feature maps;
+* ``checkpoints`` — Chen et al. sqrt(N) recomputation;
+* ``superneurons`` — swap conv outputs, recompute cheap layers;
+* ``tsplit`` / ``tsplit_nosplit`` — the paper's planner, with and
+  without the tensor-split mechanism (Figure 14a ablation);
+* ``zero_offload`` / ``fairscale_offload`` — the PyTorch-ecosystem
+  baselines of Section VI-D, reproduced as plans on the same substrate.
+"""
+
+from repro.policies.base import MemoryPolicy, BasePolicy, POLICY_REGISTRY, get_policy
+from repro.policies.vdnn import VdnnConvPolicy, VdnnAllPolicy
+from repro.policies.checkpoints import CheckpointsPolicy
+from repro.policies.superneurons import SuperNeuronsPolicy
+from repro.policies.tsplit_policy import TsplitPolicy, TsplitNoSplitPolicy
+from repro.policies.zero_offload import ZeroOffloadPolicy
+from repro.policies.fairscale_offload import FairscaleOffloadPolicy
+
+__all__ = [
+    "MemoryPolicy",
+    "BasePolicy",
+    "POLICY_REGISTRY",
+    "get_policy",
+    "VdnnConvPolicy",
+    "VdnnAllPolicy",
+    "CheckpointsPolicy",
+    "SuperNeuronsPolicy",
+    "TsplitPolicy",
+    "TsplitNoSplitPolicy",
+    "ZeroOffloadPolicy",
+    "FairscaleOffloadPolicy",
+]

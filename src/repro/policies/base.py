@@ -1,0 +1,115 @@
+"""Policy interface, the Base (no-optimisation) policy, and the registry."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.plan import Plan, validate_plan
+from repro.core.profiler import ProfileData
+from repro.graph.graph import Graph
+from repro.hardware.gpu import GPUSpec
+
+
+class MemoryPolicy(abc.ABC):
+    """Maps a training graph to a memory-management plan.
+
+    Subclasses must set ``name`` and implement :meth:`_build`. Policies
+    that need profiled timings or the device spec receive them; static
+    baselines ignore them. ``recompute_strategy`` names the
+    recomputation execution style the policy's original system uses
+    (``None`` keeps the runtime default, memory-centric).
+    """
+
+    name: str = "abstract"
+    recompute_strategy: str | None = None
+
+    def build_plan(
+        self,
+        graph: Graph,
+        gpu: GPUSpec,
+        *,
+        schedule: list[int] | None = None,
+        profile: ProfileData | None = None,
+    ) -> Plan:
+        """Build and validate the plan for one graph.
+
+        Raises
+        ------
+        PolicyError
+            When the policy is inapplicable to the model (the paper's
+            "x" entries, e.g. vDNN-conv on a Transformer).
+        PlanningError
+            When a search-based policy cannot find a feasible plan.
+        """
+        plan = self._build(graph, gpu, schedule=schedule, profile=profile)
+        validate_plan(graph, plan)
+        return plan
+
+    @abc.abstractmethod
+    def _build(
+        self,
+        graph: Graph,
+        gpu: GPUSpec,
+        *,
+        schedule: list[int] | None,
+        profile: ProfileData | None,
+    ) -> Plan:
+        ...
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class BasePolicy(MemoryPolicy):
+    """Common DL-system behaviour: everything stays resident."""
+
+    name = "base"
+
+    def _build(
+        self,
+        graph: Graph,
+        gpu: GPUSpec,
+        *,
+        schedule: list[int] | None,
+        profile: ProfileData | None,
+    ) -> Plan:
+        return Plan(policy=self.name)
+
+
+def _build_registry() -> dict[str, MemoryPolicy]:
+    # Imported here to avoid import cycles with the policy modules.
+    from repro.policies.checkpoints import CheckpointsPolicy
+    from repro.policies.fairscale_offload import FairscaleOffloadPolicy
+    from repro.policies.superneurons import SuperNeuronsPolicy
+    from repro.policies.tsplit_policy import TsplitNoSplitPolicy, TsplitPolicy
+    from repro.policies.vdnn import VdnnAllPolicy, VdnnConvPolicy
+    from repro.policies.zero_offload import ZeroOffloadPolicy
+
+    policies: list[MemoryPolicy] = [
+        BasePolicy(),
+        VdnnConvPolicy(),
+        VdnnAllPolicy(),
+        CheckpointsPolicy(),
+        SuperNeuronsPolicy(),
+        TsplitPolicy(),
+        TsplitNoSplitPolicy(),
+        ZeroOffloadPolicy(),
+        FairscaleOffloadPolicy(),
+    ]
+    return {policy.name: policy for policy in policies}
+
+
+POLICY_REGISTRY: dict[str, MemoryPolicy] = {}
+
+
+def get_policy(name: str) -> MemoryPolicy:
+    """Look up a policy by its registry name."""
+    if not POLICY_REGISTRY:
+        POLICY_REGISTRY.update(_build_registry())
+    try:
+        return POLICY_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: "
+            f"{sorted(POLICY_REGISTRY)}"
+        ) from None

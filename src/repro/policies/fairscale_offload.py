@@ -1,0 +1,53 @@
+"""FairScale OffloadModel, reproduced as a plan.
+
+FairScale's offload wrapper shards the model parameters on the host and
+moves each shard to the GPU only around its use — in the forward pass,
+again in the backward pass, and for the (CPU-side) optimizer update — and
+additionally copies intermediate activations between CPU and GPU while
+training. Pure swapping with no recomputation and no cost model: it
+scales far (Table VI/VII) but the PCIe link throttles it (Figure 15).
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import MemOption, Plan, TensorConfig
+from repro.core.profiler import ProfileData
+from repro.core.simulate import tensor_timeline
+from repro.graph.graph import Graph
+from repro.graph.liveness import compute_liveness
+from repro.graph.scheduler import dfs_schedule
+from repro.graph.tensor import TensorKind
+from repro.hardware.gpu import GPUSpec
+from repro.policies.base import MemoryPolicy
+
+_SWAP = TensorConfig(opt=MemOption.SWAP)
+
+
+class FairscaleOffloadPolicy(MemoryPolicy):
+    """Shard parameters to host; swap activations; update on CPU."""
+
+    name = "fairscale_offload"
+
+    def _build(
+        self,
+        graph: Graph,
+        gpu: GPUSpec,
+        *,
+        schedule: list[int] | None,
+        profile: ProfileData | None,
+    ) -> Plan:
+        schedule = schedule or dfs_schedule(graph)
+        liveness = compute_liveness(graph, schedule)
+        plan = Plan(policy=self.name, cpu_update=True)
+        for tensor in graph.tensors.values():
+            if tensor.kind is TensorKind.PARAM:
+                plan.set(tensor.tensor_id, _SWAP)
+            elif tensor.kind is TensorKind.OPTIMIZER_STATE:
+                plan.set(tensor.tensor_id, TensorConfig(opt=MemOption.CPU))
+            elif tensor.kind is TensorKind.GRAD_PARAM:
+                plan.set(tensor.tensor_id, _SWAP)
+            elif tensor.kind is TensorKind.ACTIVATION:
+                timeline = tensor_timeline(graph, liveness, tensor)
+                if timeline and timeline.bwd_uses:
+                    plan.set(tensor.tensor_id, _SWAP)
+        return plan

@@ -1,0 +1,69 @@
+"""SuperNeurons (Wang et al., PPoPP'18): layer-type-driven swap + recompute.
+
+The strongest prior baseline of the paper. Its static rule: convolution
+outputs (expensive to recompute, big) are *swapped* to host memory; the
+outputs of cheap-to-recompute layers (pooling, batch norm, activation
+functions, dropout, ...) are *freed and recomputed* in the backward pass
+using the swapped conv outputs as checkpoints; everything else resides.
+
+Without convolution layers there are neither swap targets nor recompute
+checkpoints, so the policy is inapplicable to Transformers — the paper's
+"x" entries in Tables IV/V.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import MemOption, Plan, TensorConfig
+from repro.core.profiler import ProfileData
+from repro.core.simulate import tensor_timeline
+from repro.errors import PolicyError
+from repro.graph.graph import Graph
+from repro.graph.liveness import compute_liveness
+from repro.graph.scheduler import dfs_schedule
+from repro.graph.tensor import TensorKind
+from repro.hardware.gpu import GPUSpec
+from repro.policies.base import MemoryPolicy
+
+_SWAP = TensorConfig(opt=MemOption.SWAP)
+_RECOMPUTE = TensorConfig(opt=MemOption.RECOMPUTE)
+
+
+class SuperNeuronsPolicy(MemoryPolicy):
+    """Swap conv outputs; recompute cheap-layer outputs."""
+
+    name = "superneurons"
+
+    def _build(
+        self,
+        graph: Graph,
+        gpu: GPUSpec,
+        *,
+        schedule: list[int] | None,
+        profile: ProfileData | None,
+    ) -> Plan:
+        if not graph.has_conv():
+            raise PolicyError(
+                f"{graph.name}: SuperNeurons has no convolution layers to "
+                f"swap and no checkpoints for recomputation"
+            )
+        schedule = schedule or dfs_schedule(graph)
+        liveness = compute_liveness(graph, schedule)
+        plan = Plan(policy=self.name)
+        for op in graph.ops.values():
+            if op.is_backward:
+                continue
+            for tid in op.outputs:
+                tensor = graph.tensors[tid]
+                if tensor.kind is not TensorKind.ACTIVATION:
+                    continue
+                timeline = tensor_timeline(graph, liveness, tensor)
+                if timeline is None:
+                    continue
+                # No backward-use filter: a swapped conv output with no
+                # direct backward consumer still serves as the recompute
+                # checkpoint for the cheap layers stacked on top of it.
+                if op.op_type.is_conv:
+                    plan.set(tid, _SWAP)
+                elif op.op_type.cheap_to_recompute:
+                    plan.set(tid, _RECOMPUTE)
+        return plan

@@ -1,0 +1,50 @@
+"""TSPLIT as a policy: the model-guided planner, with ablation variant.
+
+``TsplitPolicy`` wraps :class:`~repro.core.planner.TsplitPlanner`
+(Algorithm 2, full split + swap + recompute joint search).
+``TsplitNoSplitPolicy`` disables the split mechanism, yielding the
+"TSPLIT w/o Split" system of Figure 14a — still cost-model-guided
+swap/recompute selection, but tensor-wise only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.plan import Plan
+from repro.core.planner import PlannerOptions, TsplitPlanner
+from repro.core.profiler import ProfileData
+from repro.graph.graph import Graph
+from repro.hardware.gpu import GPUSpec
+from repro.policies.base import MemoryPolicy
+
+
+class TsplitPolicy(MemoryPolicy):
+    """The paper's planner: joint split + swap + recompute."""
+
+    name = "tsplit"
+    allow_split = True
+
+    def __init__(self, options: PlannerOptions | None = None) -> None:
+        self.options = options or PlannerOptions()
+
+    def _build(
+        self,
+        graph: Graph,
+        gpu: GPUSpec,
+        *,
+        schedule: list[int] | None,
+        profile: ProfileData | None,
+    ) -> Plan:
+        cost = replace(self.options.cost, allow_split=self.allow_split)
+        options = replace(self.options, cost=cost)
+        planner = TsplitPlanner(gpu, options, policy_name=self.name)
+        result = planner.plan(graph, schedule=schedule, profile=profile)
+        return result.plan
+
+
+class TsplitNoSplitPolicy(TsplitPolicy):
+    """Ablation: cost-model-guided swap/recompute without splitting."""
+
+    name = "tsplit_nosplit"
+    allow_split = False

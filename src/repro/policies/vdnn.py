@@ -1,0 +1,97 @@
+"""vDNN (Rhu et al., MICRO'16): layer-wise feature-map swapping.
+
+vDNN virtualises DNN memory by offloading feature maps to host memory on
+a fixed, layer-type-driven rule — no cost model, no recomputation:
+
+* **vDNN-conv** swaps only the *inputs of convolution layers* (the
+  biggest feature maps in CNNs). It has nothing to offload in models
+  without convolutions, hence the "x" entries for Transformer in
+  Tables IV/V.
+* **vDNN-all** swaps *every* feature map, regardless of need — which is
+  why its throughput is flat and poor (Figure 12) but its trainable
+  scale is large.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import MemOption, Plan, TensorConfig
+from repro.core.profiler import ProfileData
+from repro.core.simulate import tensor_timeline
+from repro.errors import PolicyError
+from repro.graph.graph import Graph
+from repro.graph.liveness import compute_liveness
+from repro.graph.scheduler import dfs_schedule
+from repro.graph.tensor import TensorKind
+from repro.hardware.gpu import GPUSpec
+from repro.policies.base import MemoryPolicy
+
+_SWAP = TensorConfig(opt=MemOption.SWAP)
+
+
+def _activations(graph: Graph, schedule: list[int]) -> list[int]:
+    """Activation tensor ids that are actually materialised."""
+    liveness = compute_liveness(graph, schedule)
+    result: list[int] = []
+    for tensor in graph.tensors.values():
+        if tensor.kind is not TensorKind.ACTIVATION:
+            continue
+        if tensor_timeline(graph, liveness, tensor) is not None:
+            result.append(tensor.tensor_id)
+    return result
+
+
+class VdnnConvPolicy(MemoryPolicy):
+    """Swap the input feature maps of convolution layers."""
+
+    name = "vdnn_conv"
+
+    def _build(
+        self,
+        graph: Graph,
+        gpu: GPUSpec,
+        *,
+        schedule: list[int] | None,
+        profile: ProfileData | None,
+    ) -> Plan:
+        if not graph.has_conv():
+            raise PolicyError(
+                f"{graph.name}: vDNN-conv has no convolution layers to "
+                f"offload"
+            )
+        schedule = schedule or dfs_schedule(graph)
+        materialised = set(_activations(graph, schedule))
+        plan = Plan(policy=self.name)
+        for op in graph.ops.values():
+            if not op.op_type.is_conv or op.is_backward:
+                continue
+            for tid in op.inputs:
+                tensor = graph.tensors[tid]
+                if (
+                    tensor.kind is TensorKind.ACTIVATION
+                    and tid in materialised
+                ):
+                    plan.set(tid, _SWAP)
+        return plan
+
+
+class VdnnAllPolicy(MemoryPolicy):
+    """Swap every feature map with a backward use."""
+
+    name = "vdnn_all"
+
+    def _build(
+        self,
+        graph: Graph,
+        gpu: GPUSpec,
+        *,
+        schedule: list[int] | None,
+        profile: ProfileData | None,
+    ) -> Plan:
+        schedule = schedule or dfs_schedule(graph)
+        plan = Plan(policy=self.name)
+        # vDNN-all swaps every feature map on its fixed rule, useful or
+        # not — the wasted round-trips are exactly the inefficiency the
+        # paper measures against it.
+        for tid in _activations(graph, schedule):
+            plan.set(tid, _SWAP)
+        return plan

@@ -1,0 +1,37 @@
+"""Deep-learning runtime: discrete-event execution of augmented programs.
+
+The augmenter (:mod:`repro.core.augment`) lowers a (graph, plan) pair
+into a linear instruction program; the engine here
+(:mod:`repro.runtime.engine`) executes that program against the
+simulated GPU — one compute stream, D2H and H2D copy streams, a host
+"stream" for CPU-offloaded updates, event-based dependencies and
+byte-accurate device-memory accounting — and produces an
+:class:`~repro.runtime.trace.ExecutionTrace` with iteration time,
+throughput, memory timeline, stall and PCIe-utilisation statistics.
+"""
+
+from repro.runtime.instructions import (
+    ComputeInstr,
+    FreeInstr,
+    Instruction,
+    SwapInInstr,
+    SwapOutInstr,
+    TensorRef,
+    XferInstr,
+)
+from repro.runtime.engine import Engine, EngineOptions
+from repro.runtime.trace import ExecutionTrace, MemorySample
+
+__all__ = [
+    "TensorRef",
+    "Instruction",
+    "ComputeInstr",
+    "SwapOutInstr",
+    "SwapInInstr",
+    "FreeInstr",
+    "XferInstr",
+    "Engine",
+    "EngineOptions",
+    "ExecutionTrace",
+    "MemorySample",
+]

@@ -1,0 +1,461 @@
+"""The discrete-event execution engine.
+
+Executes an augmented instruction program against a simulated GPU:
+
+* one serial **compute** stream, serial **D2H** / **H2D** copy streams
+  (the paper's three CUDA streams), plus a **host** stream for
+  CPU-offloaded optimizer updates;
+* event-based dependencies: a compute kernel starts only when its input
+  (micro-)tensors are ready, a swap-in only when its host copy exists;
+* byte-accurate device-memory accounting: allocations wait for enough
+  pending frees (swap-out completions) to land — the stall the paper's
+  Equation 3 models — and raise
+  :class:`~repro.errors.OutOfMemoryError` when no amount of waiting can
+  ever satisfy them.
+
+The engine is deliberately *not* given the plan or the graph: everything
+it needs is in the instruction stream, which keeps the augmenter honest
+(any bookkeeping bug shows up as an engine error, not silent drift).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import OutOfMemoryError, RuntimeExecutionError
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.pcie import PCIeModel
+from repro.hardware.streams import Stream, StreamSet
+from repro.runtime.instructions import (
+    ComputeInstr,
+    Device,
+    FreeInstr,
+    Program,
+    SwapInInstr,
+    SwapOutInstr,
+    XferInstr,
+)
+from repro.runtime.trace import ExecutionTrace, InstrRecord, MemorySample
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Engine knobs."""
+
+    #: Record per-instruction timing and memory samples (disable for
+    #: large parameter sweeps where only aggregates matter).
+    record_trace: bool = True
+
+
+class Engine:
+    """Executes programs on one simulated GPU."""
+
+    def __init__(self, gpu: GPUSpec, options: EngineOptions | None = None) -> None:
+        self.gpu = gpu
+        self.options = options or EngineOptions()
+        self.pcie = PCIeModel(gpu)
+
+    def execute(self, program: Program) -> ExecutionTrace:
+        """Run a program to completion and return its trace.
+
+        Raises
+        ------
+        OutOfMemoryError
+            When an allocation cannot be satisfied even after every
+            pending eviction completes.
+        RuntimeExecutionError
+            On inconsistent programs (use of non-resident tensors,
+            double allocation, ...).
+        """
+        run = _Run(self.gpu, self.pcie, program, self.options)
+        return run.execute()
+
+    def execute_iterations(
+        self, program: Program, iterations: int,
+    ) -> tuple[list[float], ExecutionTrace]:
+        """Run the same iteration program back to back.
+
+        Streams, host copies and sharded-parameter state carry across
+        iterations, so the result shows the warm-up effect (iteration 1
+        pays cold prefetches; later iterations reach steady state). The
+        returned trace aggregates all iterations; the list holds each
+        iteration's duration.
+
+        Raises the same errors as :meth:`execute`.
+        """
+        if iterations < 1:
+            raise RuntimeExecutionError(
+                f"iterations must be >= 1, got {iterations}"
+            )
+        run = _Run(self.gpu, self.pcie, program, self.options)
+        durations: list[float] = []
+        previous = 0.0
+        for _ in range(iterations):
+            run.execute_instructions()
+            makespan = max(run.streams.makespan, run.cpu.clock)
+            durations.append(makespan - previous)
+            previous = makespan
+        return durations, run.finalize()
+
+
+class _Run:
+    """Mutable state of one engine execution."""
+
+    def __init__(
+        self,
+        gpu: GPUSpec,
+        pcie: PCIeModel,
+        program: Program,
+        options: EngineOptions,
+    ) -> None:
+        self.gpu = gpu
+        self.pcie = pcie
+        self.program = program
+        self.options = options
+        self.streams = StreamSet()
+        self.cpu = Stream("cpu")
+        self.capacity = gpu.memory_bytes
+        self.used = program.persistent_bytes
+        if self.used > self.capacity:
+            raise OutOfMemoryError(
+                requested=self.used,
+                available=self.capacity,
+                capacity=self.capacity,
+                message=(
+                    f"{program.name}: persistent tensors "
+                    f"({self.used} B) exceed device memory "
+                    f"({self.capacity} B)"
+                ),
+            )
+        self.resident: dict[tuple[int, int], int] = {}
+        self.ready: dict[tuple[int, int], float] = {}
+        self.host_copy: dict[tuple[int, int], float] = {
+            ref.key: 0.0 for ref in program.initial_host
+        }
+        self.pending_frees: list[tuple[float, int]] = []  # min-heap by time
+        self.peak = self.used
+        self.host_used = sum(ref.nbytes for ref in program.initial_host)
+        self.host_peak = self.host_used
+        self.memory_stall = 0.0
+        self.swapped_out = 0
+        self.swapped_in = 0
+        self.recompute_time = 0.0
+        self.recompute_ops = 0
+        self.split_kernels = 0
+        self.records: list[InstrRecord] = []
+        self.samples: list[MemorySample] = []
+        self.alloc_events: list[tuple[float, str, int]] = []
+        self._key_labels: dict[tuple[int, int], str] = {}
+
+    # -- memory accounting -------------------------------------------------------
+
+    def _commit_frees(self, now: float) -> None:
+        while self.pending_frees and self.pending_frees[0][0] <= now:
+            _, nbytes = heapq.heappop(self.pending_frees)
+            self.used -= nbytes
+
+    def _earliest_fit(self, need: int, not_before: float, label: str) -> float:
+        """Earliest time >= not_before at which ``need`` bytes fit."""
+        self._commit_frees(not_before)
+        if self.used + need <= self.capacity:
+            return not_before
+        # Walk pending frees chronologically until the allocation fits.
+        future = sorted(self.pending_frees)
+        freed = 0
+        for time, nbytes in future:
+            freed += nbytes
+            if self.used - freed + need <= self.capacity:
+                return max(time, not_before)
+        raise OutOfMemoryError(
+            requested=need,
+            available=self.capacity - (self.used - freed),
+            capacity=self.capacity,
+            message=(
+                f"{self.program.name}: {label!r} needs {need} B; only "
+                f"{self.capacity - (self.used - freed)} B can ever free up "
+                f"(capacity {self.capacity} B)"
+            ),
+        )
+
+    def _allocate(self, need: int, at: float) -> None:
+        self._commit_frees(at)
+        self.used += need
+        self.peak = max(self.peak, self.used)
+        if self.options.record_trace:
+            self.samples.append(MemorySample(at, self.used))
+
+    def _log_alloc(self, at: float, label: str, nbytes: int) -> None:
+        if self.options.record_trace and nbytes:
+            self.alloc_events.append((at, label, nbytes))
+
+    def _schedule_free(self, nbytes: int, at: float) -> None:
+        heapq.heappush(self.pending_frees, (at, nbytes))
+
+    # -- dependency resolution -----------------------------------------------------
+
+    def _ready_time(self, key: tuple[int, int], label: str) -> float:
+        time = self.ready.get(key)
+        if time is None:
+            raise RuntimeExecutionError(
+                f"{self.program.name}: {label!r} uses tensor {key} which "
+                f"is not resident"
+            )
+        return time
+
+    def _any_time(self, key: tuple[int, int]) -> float:
+        """Ready time on device or host (for CPU consumers / xfer deps)."""
+        device = self.ready.get(key)
+        host = self.host_copy.get(key)
+        times = [t for t in (device, host) if t is not None]
+        if not times:
+            raise RuntimeExecutionError(
+                f"{self.program.name}: dependency {key} exists nowhere"
+            )
+        return min(times)
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self) -> ExecutionTrace:
+        """One pass over the program, then aggregate the trace."""
+        self.execute_instructions()
+        return self.finalize()
+
+    def execute_instructions(self) -> None:
+        """Dispatch one pass over the program's instruction list."""
+        for instr in self.program.instructions:
+            if isinstance(instr, ComputeInstr):
+                self._run_compute(instr)
+            elif isinstance(instr, SwapOutInstr):
+                self._run_swap_out(instr)
+            elif isinstance(instr, SwapInInstr):
+                self._run_swap_in(instr)
+            elif isinstance(instr, FreeInstr):
+                self._run_free(instr)
+            elif isinstance(instr, XferInstr):
+                self._run_xfer(instr)
+            else:  # pragma: no cover - defensive
+                raise RuntimeExecutionError(f"unknown instruction {instr!r}")
+
+    def finalize(self) -> ExecutionTrace:
+        """Aggregate stream/memory statistics into a trace."""
+        makespan = max(self.streams.makespan, self.cpu.clock)
+        return ExecutionTrace(
+            name=self.program.name,
+            batch=self.program.batch,
+            iteration_time=makespan,
+            compute_busy=self.streams.compute.busy_time(),
+            cpu_busy=self.cpu.busy_time(),
+            d2h_busy=self.streams.d2h.busy_time(),
+            h2d_busy=self.streams.h2d.busy_time(),
+            memory_stall=self.memory_stall,
+            peak_memory=self.peak,
+            persistent_bytes=self.program.persistent_bytes,
+            swapped_out_bytes=self.swapped_out,
+            swapped_in_bytes=self.swapped_in,
+            recompute_time=self.recompute_time,
+            recompute_ops=self.recompute_ops,
+            split_kernels=self.split_kernels,
+            host_peak_bytes=self.host_peak,
+            records=self.records,
+            memory_samples=self.samples,
+            alloc_events=self.alloc_events,
+        )
+
+    def _run_compute(self, instr: ComputeInstr) -> None:
+        if instr.device is Device.CPU:
+            self._run_cpu_compute(instr)
+            return
+        deps = 0.0
+        for ref in instr.inputs:
+            deps = max(deps, self._ready_time(ref.key, instr.label))
+        stream = self.streams.compute
+        not_before = max(stream.clock, deps)
+        if instr.tag == "merge":
+            # Merge aliases its pieces: the whole buffer replaces the
+            # micro pieces, so only the size delta is genuinely new
+            # memory. Release the pieces as the merge begins.
+            for ref in instr.inputs:
+                self._release(ref.key, not_before, instr.label)
+        need = instr.transient_bytes
+        for ref in list(instr.outputs) + list(instr.alloc_only):
+            if ref.key in self.resident:
+                raise RuntimeExecutionError(
+                    f"{self.program.name}: {instr.label!r} re-allocates "
+                    f"resident tensor {ref.label!r}"
+                )
+            need += ref.nbytes
+        start = self._earliest_fit(need, not_before, instr.label)
+        self.memory_stall += start - not_before
+        self._allocate(need, start)
+        event = stream.schedule(
+            instr.duration, after=start, label=instr.label,
+        )
+        if instr.transient_bytes:
+            self._schedule_free(instr.transient_bytes, event.time)
+            self._log_alloc(start, f"{instr.label}/workspace",
+                            instr.transient_bytes)
+            self._log_alloc(event.time, f"{instr.label}/workspace",
+                            -instr.transient_bytes)
+        for ref in instr.outputs:
+            self.resident[ref.key] = ref.nbytes
+            self.ready[ref.key] = event.time
+            self._key_labels[ref.key] = ref.label
+            self._log_alloc(start, ref.label, ref.nbytes)
+        for ref in instr.alloc_only:
+            self.resident[ref.key] = ref.nbytes
+            self._key_labels[ref.key] = ref.label
+            self._log_alloc(start, ref.label, ref.nbytes)
+            # Not ready yet: a later instruction `finishes` it.
+        for ref in instr.finishes:
+            if ref.key not in self.resident:
+                raise RuntimeExecutionError(
+                    f"{self.program.name}: {instr.label!r} finishes "
+                    f"unallocated tensor {ref.label!r}"
+                )
+            self.ready[ref.key] = event.time
+        if instr.tag == "recompute":
+            self.recompute_time += instr.duration
+            self.recompute_ops += 1
+        if "[" in instr.label:
+            self.split_kernels += 1
+        self._record(instr.label, "compute", "compute", start, event.time,
+                     tag=instr.tag)
+
+    def _run_cpu_compute(self, instr: ComputeInstr) -> None:
+        deps = 0.0
+        for ref in instr.inputs:
+            deps = max(deps, self._any_time(ref.key))
+        start = max(self.cpu.clock, deps)
+        event = self.cpu.schedule(instr.duration, after=start, label=instr.label)
+        for ref in instr.outputs:
+            if ref.nbytes == 0:
+                self.ready[ref.key] = event.time  # zero-byte marker
+            else:
+                raise RuntimeExecutionError(
+                    f"CPU op {instr.label!r} cannot allocate GPU tensor "
+                    f"{ref.label!r}"
+                )
+        self._record(instr.label, "compute", "cpu", start, event.time,
+                     tag=instr.tag)
+
+    def _run_swap_out(self, instr: SwapOutInstr) -> None:
+        key = instr.ref.key
+        dep = self._ready_time(key, f"swap_out({instr.ref.label})")
+        stream = self.streams.d2h
+        duration = self.pcie.transfer_time(instr.ref.nbytes)
+        event = stream.schedule(
+            duration, after=dep, label=f"d2h({instr.ref.label})",
+        )
+        self._release(key, event.time, f"swap_out({instr.ref.label})")
+        if key not in self.host_copy:
+            self.host_used += instr.ref.nbytes
+            self.host_peak = max(self.host_peak, self.host_used)
+            if self.host_used > self.gpu.host_memory_bytes:
+                raise OutOfMemoryError(
+                    requested=instr.ref.nbytes,
+                    available=self.gpu.host_memory_bytes - self.host_used
+                    + instr.ref.nbytes,
+                    capacity=self.gpu.host_memory_bytes,
+                    message=(
+                        f"{self.program.name}: host memory exhausted "
+                        f"swapping out {instr.ref.label!r} "
+                        f"({self.host_used} B of "
+                        f"{self.gpu.host_memory_bytes} B host RAM)"
+                    ),
+                )
+        self.host_copy[key] = event.time
+        self.swapped_out += instr.ref.nbytes
+        self._record(
+            instr.ref.label, "swap_out", "d2h",
+            event.time - duration, event.time, nbytes=instr.ref.nbytes,
+        )
+
+    def _run_swap_in(self, instr: SwapInInstr) -> None:
+        key = instr.ref.key
+        host_ready = self.host_copy.get(key)
+        if host_ready is None:
+            raise RuntimeExecutionError(
+                f"{self.program.name}: swap-in of {instr.ref.label!r} "
+                f"without a host copy"
+            )
+        if key in self.resident:
+            raise RuntimeExecutionError(
+                f"{self.program.name}: swap-in of already-resident "
+                f"{instr.ref.label!r}"
+            )
+        stream = self.streams.h2d
+        not_before = max(stream.clock, host_ready)
+        start = self._earliest_fit(
+            instr.ref.nbytes, not_before, f"swap_in({instr.ref.label})",
+        )
+        self._allocate(instr.ref.nbytes, start)
+        duration = self.pcie.transfer_time(instr.ref.nbytes)
+        event = stream.schedule(
+            duration, after=start, label=f"h2d({instr.ref.label})",
+        )
+        self.resident[key] = instr.ref.nbytes
+        self.ready[key] = event.time
+        self._key_labels[key] = instr.ref.label
+        self._log_alloc(start, instr.ref.label, instr.ref.nbytes)
+        self.swapped_in += instr.ref.nbytes
+        self._record(
+            instr.ref.label, "swap_in", "h2d", start, event.time,
+            nbytes=instr.ref.nbytes,
+        )
+
+    def _run_free(self, instr: FreeInstr) -> None:
+        key = instr.ref.key
+        if key not in self.resident:
+            if instr.missing_ok:
+                return
+            raise RuntimeExecutionError(
+                f"{self.program.name}: free of non-resident "
+                f"{instr.ref.label!r}"
+            )
+        # The buffer dies when the compute stream has passed its last
+        # consumer — which is the compute clock at emission point.
+        at = max(self.ready.get(key, 0.0), self.streams.compute.clock)
+        self._release(key, at, f"free({instr.ref.label})")
+
+    def _release(self, key: tuple[int, int], at: float, label: str) -> None:
+        nbytes = self.resident.pop(key, None)
+        if nbytes is None:
+            raise RuntimeExecutionError(
+                f"{self.program.name}: {label} releases non-resident {key}"
+            )
+        self.ready.pop(key, None)
+        self._schedule_free(nbytes, at)
+        self._log_alloc(at, self._key_labels.pop(key, label), -nbytes)
+
+    def _run_xfer(self, instr: XferInstr) -> None:
+        deps = 0.0
+        for ref in instr.after:
+            deps = max(deps, self._any_time(ref.key))
+        stream = self.streams.h2d if instr.direction == "h2d" else self.streams.d2h
+        duration = self.pcie.transfer_time(instr.nbytes)
+        event = stream.schedule(duration, after=deps, label=instr.label)
+        if instr.direction == "h2d":
+            self.swapped_in += instr.nbytes
+        else:
+            self.swapped_out += instr.nbytes
+        self._record(
+            instr.label, "xfer", instr.direction,
+            event.time - duration, event.time, nbytes=instr.nbytes,
+        )
+
+    def _record(
+        self,
+        label: str,
+        kind: str,
+        stream: str,
+        start: float,
+        end: float,
+        *,
+        nbytes: int = 0,
+        tag: str = "",
+    ) -> None:
+        if self.options.record_trace:
+            self.records.append(
+                InstrRecord(label, kind, stream, start, end, nbytes, tag),
+            )

@@ -1,0 +1,148 @@
+"""Instruction IR executed by the runtime engine.
+
+The augmenter lowers the sTensor graph (Figure 10) into a *linear*
+program of instructions; ordering in the list is issue order, and data
+dependencies are expressed through :class:`TensorRef` ready-events that
+the engine tracks. Micro-tensors are first-class: a ref with
+``micro_index is not None`` names one piece of a split tensor, and is an
+independent unit of allocation, transfer and eviction — exactly the
+fine granularity the paper's design introduces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+WHOLE = -1  # micro_index value denoting the un-split tensor
+
+
+@dataclass(frozen=True)
+class TensorRef:
+    """A (micro-)tensor as seen by the runtime.
+
+    ``key`` identifies the storage unit; a whole tensor and its micro
+    pieces never coexist (a merge replaces the pieces with the whole).
+    """
+
+    tensor_id: int
+    nbytes: int
+    micro_index: int = WHOLE
+    label: str = ""
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.tensor_id, self.micro_index)
+
+    @property
+    def is_micro(self) -> bool:
+        return self.micro_index != WHOLE
+
+
+class Device(enum.Enum):
+    """Where a compute instruction runs."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+
+
+@dataclass(frozen=True)
+class ComputeInstr:
+    """Run a kernel: wait for inputs, allocate outputs, occupy a stream.
+
+    ``duration`` is pre-computed by the augmenter from the profile (for
+    GPU kernels) or the host-speed model (for CPU-offloaded updates).
+    ``transient_bytes`` is workspace: allocated at start, released at end.
+    """
+
+    label: str
+    duration: float
+    inputs: tuple[TensorRef, ...] = ()
+    outputs: tuple[TensorRef, ...] = ()
+    transient_bytes: int = 0
+    device: Device = Device.GPU
+    op_id: int | None = None
+    tag: str = ""  # "forward" / "backward" / "update" / "recompute" / "merge"
+    #: Allocated at start but *not* ready at end (a whole buffer written
+    #: incrementally by a sequence of micro-kernels).
+    alloc_only: tuple[TensorRef, ...] = ()
+    #: Marked ready at end without allocation (the last micro-kernel
+    #: finishing a buffer allocated by an earlier ``alloc_only``).
+    finishes: tuple[TensorRef, ...] = ()
+
+
+@dataclass(frozen=True)
+class SwapOutInstr:
+    """D2H transfer of a resident (micro-)tensor; frees GPU memory on
+    completion. The host copy is retained for a later swap-in."""
+
+    ref: TensorRef
+
+
+@dataclass(frozen=True)
+class SwapInInstr:
+    """H2D transfer re-materialising a previously swapped (micro-)tensor.
+
+    Allocates GPU memory when the transfer starts; the ref becomes ready
+    (usable by compute) when it completes.
+    """
+
+    ref: TensorRef
+
+
+@dataclass(frozen=True)
+class FreeInstr:
+    """Release a (micro-)tensor's GPU memory without any transfer.
+
+    Used for ordinary end-of-life frees and for recompute evictions.
+    """
+
+    ref: TensorRef
+    missing_ok: bool = False
+
+
+@dataclass(frozen=True)
+class XferInstr:
+    """A bare PCIe transfer with no allocation effect (e.g. copying
+    CPU-updated parameters back over a resident GPU buffer)."""
+
+    nbytes: int
+    direction: str  # "d2h" | "h2d"
+    label: str = ""
+    after: tuple[TensorRef, ...] = ()
+
+
+Instruction = ComputeInstr | SwapOutInstr | SwapInInstr | FreeInstr | XferInstr
+
+
+@dataclass
+class Program:
+    """A lowered instruction program plus bookkeeping metadata."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+    #: Bytes resident before the iteration starts (weights, optimizer
+    #: state, input batch) — charged to the pool up front.
+    persistent_bytes: int = 0
+    #: Tensors whose host copy exists before the iteration starts
+    #: (sharded parameters living in CPU memory between uses).
+    initial_host: list[TensorRef] = field(default_factory=list)
+    #: Samples processed per iteration (for throughput).
+    batch: int = 0
+    name: str = ""
+
+    def append(self, instr: Instruction) -> None:
+        self.instructions.append(instr)
+
+    def extend(self, instrs: list[Instruction]) -> None:
+        self.instructions.extend(instrs)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def counts(self) -> dict[str, int]:
+        """Instruction histogram, for tests and reports."""
+        histogram: dict[str, int] = {}
+        for instr in self.instructions:
+            key = type(instr).__name__
+            histogram[key] = histogram.get(key, 0) + 1
+        return histogram

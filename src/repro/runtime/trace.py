@@ -1,0 +1,120 @@
+"""Execution traces: what the engine measured.
+
+An :class:`ExecutionTrace` is the simulated analogue of everything the
+paper measures on hardware: iteration time and throughput (Figures 12,
+13, 15), the memory-usage timeline (Figures 2a and 4), PCIe utilisation
+(Figure 2b), stall and recomputation overheads, and transfer volumes
+(Figure 14b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.units import format_bytes, format_time
+
+
+@dataclass(frozen=True)
+class MemorySample:
+    """Device memory in use at a point in simulated time."""
+
+    time: float
+    used_bytes: int
+
+
+@dataclass(frozen=True)
+class InstrRecord:
+    """Timing record of one executed instruction."""
+
+    label: str
+    kind: str     # compute | swap_out | swap_in | free | xfer
+    stream: str   # compute | d2h | h2d | cpu
+    start: float
+    end: float
+    nbytes: int = 0
+    tag: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """Aggregate results of executing one augmented program."""
+
+    name: str
+    batch: int
+    iteration_time: float
+    compute_busy: float
+    cpu_busy: float
+    d2h_busy: float
+    h2d_busy: float
+    memory_stall: float
+    peak_memory: int
+    persistent_bytes: int
+    swapped_out_bytes: int
+    swapped_in_bytes: int
+    recompute_time: float
+    recompute_ops: int
+    split_kernels: int
+    #: Peak host (CPU) memory holding swapped-out copies.
+    host_peak_bytes: int = 0
+    records: list[InstrRecord] = field(default_factory=list)
+    memory_samples: list[MemorySample] = field(default_factory=list)
+    #: Chronologically-ordered (time, label, +/-bytes) allocation events,
+    #: recorded when tracing is on; consumed by the allocator-replay
+    #: analysis to study pool placement and fragmentation.
+    alloc_events: list[tuple[float, str, int]] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Samples per second of this configuration."""
+        if self.iteration_time <= 0:
+            return 0.0
+        return self.batch / self.iteration_time
+
+    @property
+    def pcie_utilization(self) -> float:
+        """Busy fraction of the (full-duplex) PCIe link, as Figure 2b."""
+        if self.iteration_time <= 0:
+            return 0.0
+        return min(
+            1.0,
+            (self.d2h_busy + self.h2d_busy) / (2.0 * self.iteration_time),
+        )
+
+    @property
+    def compute_utilization(self) -> float:
+        """Busy fraction of the compute stream."""
+        if self.iteration_time <= 0:
+            return 0.0
+        return min(1.0, self.compute_busy / self.iteration_time)
+
+    @property
+    def overhead_vs_compute(self) -> float:
+        """Iteration-time overhead relative to pure compute time."""
+        if self.compute_busy <= 0:
+            return 0.0
+        return self.iteration_time / self.compute_busy - 1.0
+
+    def memory_curve(self) -> np.ndarray:
+        """(time, used_bytes) samples as a 2-column array."""
+        if not self.memory_samples:
+            return np.zeros((0, 2))
+        return np.array(
+            [(s.time, s.used_bytes) for s in self.memory_samples],
+            dtype=np.float64,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: iter {format_time(self.iteration_time)} "
+            f"({self.throughput:.1f} samples/s), peak "
+            f"{format_bytes(self.peak_memory)}, pcie "
+            f"{self.pcie_utilization:.1%}, stall "
+            f"{format_time(self.memory_stall)}, recompute "
+            f"{format_time(self.recompute_time)}"
+        )

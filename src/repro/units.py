@@ -1,0 +1,71 @@
+"""Units, data types, and size helpers shared across the library.
+
+Sizes are always tracked in *bytes* as plain ``int``; times in *seconds*
+as ``float``; bandwidths in *bytes per second*. These helpers exist so the
+rest of the code never hand-rolls ``1024 ** 3`` arithmetic.
+"""
+
+from __future__ import annotations
+
+import enum
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+# Floating point operation counts are plain floats; throughputs in FLOP/s.
+TFLOPS = 1e12
+GBPS = 1e9
+
+
+class DType(enum.Enum):
+    """Element types supported by the simulated framework."""
+
+    FLOAT16 = ("float16", 2)
+    FLOAT32 = ("float32", 4)
+    FLOAT64 = ("float64", 8)
+    INT32 = ("int32", 4)
+    INT64 = ("int64", 8)
+
+    def __init__(self, type_name: str, nbytes: int) -> None:
+        self.type_name = type_name
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType.{self.name}"
+
+
+def format_bytes(num_bytes: int | float) -> str:
+    """Render a byte count in human units (``"1.50 GB"``)."""
+    size = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(size) < 1024.0 or unit == "TB":
+            return f"{size:.2f} {unit}"
+        size /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration in the most readable unit (``"12.3 ms"``)."""
+    if seconds < 0:
+        raise ValueError(f"negative duration: {seconds}")
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.3f} us"
+
+
+def numel(shape: tuple[int, ...]) -> int:
+    """Number of elements of a tensor with the given shape."""
+    count = 1
+    for dim in shape:
+        if dim < 0:
+            raise ValueError(f"negative dimension in shape {shape}")
+        count *= dim
+    return count
+
+
+def size_bytes(shape: tuple[int, ...], dtype: DType = DType.FLOAT32) -> int:
+    """Size in bytes of a dense tensor with the given shape and dtype."""
+    return numel(shape) * dtype.nbytes

@@ -1,0 +1,115 @@
+"""Shared fixtures: small models and small GPUs for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.autodiff import build_training_graph
+from repro.graph.graph import Graph
+from repro.graph.scheduler import dfs_schedule
+from repro.hardware.gpu import GPUSpec
+from repro.models.layers import ModelBuilder
+from repro.units import GB, MB, TFLOPS
+
+
+def build_tiny_cnn(
+    batch: int = 8, *, channels: int = 8, image: int = 16,
+    optimizer: str = "sgd_momentum", param_scale: float = 1.0,
+) -> Graph:
+    """conv-relu-conv-relu-pool-fc: the smallest interesting CNN."""
+    channels = max(1, round(channels * param_scale))
+    builder = ModelBuilder(f"tiny_cnn[b={batch}]", batch)
+    x = builder.input_image(3, image, image)
+    x = builder.conv2d(x, channels, 3, name="conv1")
+    x = builder.relu(x, name="relu1")
+    x = builder.conv2d(x, channels * 2, 3, name="conv2")
+    x = builder.relu(x, name="relu2")
+    x = builder.maxpool(x, 2, name="pool")
+    x = builder.flatten(x)
+    logits = builder.linear(x, 10, name="fc")
+    loss = builder.cross_entropy_loss(logits)
+    return build_training_graph(builder.graph, loss, optimizer=optimizer)
+
+
+def build_tiny_resnet(batch: int = 4) -> Graph:
+    """One residual block: exercises gradient accumulation."""
+    builder = ModelBuilder(f"tiny_resnet[b={batch}]", batch)
+    x = builder.input_image(3, 8, 8)
+    x = builder.conv2d(x, 4, 3, name="stem")
+    y = builder.conv2d(x, 4, 3, name="branch1")
+    y = builder.relu(y, name="branch_relu")
+    y = builder.conv2d(y, 4, 3, name="branch2")
+    x = builder.add(x, y, name="residual")
+    x = builder.relu(x, name="out_relu")
+    x = builder.global_avgpool(x)
+    logits = builder.linear(x, 10, name="fc")
+    loss = builder.cross_entropy_loss(logits)
+    return build_training_graph(builder.graph, loss)
+
+
+def build_tiny_transformer(batch: int = 4) -> Graph:
+    """A 2-layer encoder at toy sizes."""
+    from repro.models.transformer import _encoder_layer
+
+    builder = ModelBuilder(f"tiny_tf[b={batch}]", batch)
+    tokens = builder.input_tokens(8)
+    x = builder.embedding(tokens, 50, 16, name="embed")
+    for i in range(2):
+        x = _encoder_layer(builder, x, heads=2, ffn=32, name=f"layer{i}")
+    from repro.graph.ops import OpType
+
+    loss = builder.graph.add_tensor("loss", (batch,), split_axes={"sample": 0})
+    labels = builder.input_tokens(8, name="gold")
+    builder.graph.add_op(
+        "loss_op", OpType.CROSS_ENTROPY, inputs=[x, labels], outputs=[loss],
+        flops=float(x.numel),
+    )
+    return build_training_graph(builder.graph, loss, optimizer="adam")
+
+
+#: A deliberately small GPU so tiny models hit memory pressure.
+TINY_GPU = GPUSpec(
+    name="tiny-gpu",
+    memory_bytes=8 * MB,
+    peak_flops=1.0 * TFLOPS,
+    mem_bandwidth=100e9,
+    pcie_bandwidth=4e9,
+)
+
+BIG_GPU = GPUSpec(
+    name="big-gpu",
+    memory_bytes=4 * GB,
+    peak_flops=10.0 * TFLOPS,
+    mem_bandwidth=500e9,
+    pcie_bandwidth=12e9,
+)
+
+
+@pytest.fixture
+def tiny_cnn() -> Graph:
+    return build_tiny_cnn()
+
+
+@pytest.fixture
+def tiny_resnet() -> Graph:
+    return build_tiny_resnet()
+
+
+@pytest.fixture
+def tiny_transformer() -> Graph:
+    return build_tiny_transformer()
+
+
+@pytest.fixture
+def tiny_cnn_schedule(tiny_cnn) -> tuple[Graph, list[int]]:
+    return tiny_cnn, dfs_schedule(tiny_cnn)
+
+
+@pytest.fixture
+def tiny_gpu() -> GPUSpec:
+    return TINY_GPU
+
+
+@pytest.fixture
+def big_gpu() -> GPUSpec:
+    return BIG_GPU

@@ -1,0 +1,52 @@
+"""Allocator replay: pool placement effects on real traces."""
+
+from repro.analysis.allocator_replay import replay_allocations
+from repro.analysis.runner import run_policy
+from repro.units import GB
+from tests.conftest import BIG_GPU, build_tiny_cnn
+
+
+def swap_heavy_trace():
+    graph = build_tiny_cnn(batch=32, image=32)
+    result = run_policy(graph, "vdnn_all", BIG_GPU)
+    assert result.feasible
+    return result.trace
+
+
+class TestReplay:
+    def test_best_fit_succeeds_on_feasible_trace(self):
+        trace = swap_heavy_trace()
+        result = replay_allocations(trace, BIG_GPU.memory_bytes)
+        assert result.succeeded
+        assert result.alloc_count > 0
+
+    def test_peak_bounded_by_capacity(self):
+        trace = swap_heavy_trace()
+        result = replay_allocations(trace, BIG_GPU.memory_bytes)
+        assert result.peak_used <= BIG_GPU.memory_bytes
+
+    def test_fragmentation_reported(self):
+        trace = swap_heavy_trace()
+        result = replay_allocations(trace, BIG_GPU.memory_bytes)
+        assert 0.0 <= result.max_fragmentation <= 1.0
+
+    def test_strategies_comparable(self):
+        trace = swap_heavy_trace()
+        best = replay_allocations(trace, 2 * GB, strategy="best_fit")
+        first = replay_allocations(trace, 2 * GB, strategy="first_fit")
+        worst = replay_allocations(trace, 2 * GB, strategy="worst_fit")
+        assert best.succeeded and first.succeeded and worst.succeeded
+
+    def test_tiny_capacity_fails_gracefully(self):
+        trace = swap_heavy_trace()
+        result = replay_allocations(trace, 64 * 1024)
+        assert not result.succeeded
+        assert result.failed_at
+
+    def test_base_trace_replays_compute_allocations(self):
+        graph = build_tiny_cnn(batch=4)
+        trace = run_policy(graph, "base", BIG_GPU).trace
+        result = replay_allocations(trace, BIG_GPU.memory_bytes)
+        assert result.succeeded
+        # Base has no transfers but every compute output is allocated.
+        assert result.alloc_count > 0

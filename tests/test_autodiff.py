@@ -1,0 +1,127 @@
+"""Backward-graph construction."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.autodiff import build_training_graph
+from repro.graph.graph import Graph
+from repro.graph.ops import OpType, Phase
+from repro.graph.tensor import TensorKind
+from repro.models.layers import ModelBuilder
+from tests.conftest import build_tiny_cnn
+
+
+class TestStructure:
+    def test_phases_present(self, tiny_cnn):
+        assert tiny_cnn.ops_in_phase(Phase.FORWARD)
+        assert tiny_cnn.ops_in_phase(Phase.BACKWARD)
+        assert tiny_cnn.ops_in_phase(Phase.UPDATE)
+
+    def test_one_update_per_param(self, tiny_cnn):
+        updates = tiny_cnn.ops_in_phase(Phase.UPDATE)
+        assert len(updates) == len(tiny_cnn.parameters())
+
+    def test_every_param_gets_gradient(self, tiny_cnn):
+        grads = tiny_cnn.tensors_of_kind(TensorKind.GRAD_PARAM)
+        # After accumulation, at least one grad per parameter.
+        assert len(grads) >= len(tiny_cnn.parameters())
+
+    def test_backward_links_forward_op(self, tiny_cnn):
+        for op in tiny_cnn.ops_in_phase(Phase.BACKWARD):
+            if op.op_type is OpType.GRAD_ACCUM:
+                continue
+            assert op.forward_op in tiny_cnn.ops
+
+    def test_backward_flops_scaled(self, tiny_cnn):
+        for op in tiny_cnn.ops_in_phase(Phase.BACKWARD):
+            fwd = op.forward_op
+            if fwd is None:
+                continue
+            forward = tiny_cnn.ops[fwd]
+            ratio = forward.op_type.info.backward_flops_ratio
+            assert op.flops == pytest.approx(forward.flops * ratio)
+
+    def test_result_is_valid_graph(self, tiny_cnn):
+        tiny_cnn.validate()
+
+    def test_momentum_state_allocated(self, tiny_cnn):
+        states = tiny_cnn.tensors_of_kind(TensorKind.OPTIMIZER_STATE)
+        assert len(states) == len(tiny_cnn.parameters())
+
+    def test_adam_allocates_two_states(self):
+        g = build_tiny_cnn(optimizer="adam")
+        states = g.tensors_of_kind(TensorKind.OPTIMIZER_STATE)
+        assert len(states) == 2 * len(g.parameters())
+
+    def test_plain_sgd_allocates_none(self):
+        g = build_tiny_cnn(optimizer="sgd")
+        assert g.tensors_of_kind(TensorKind.OPTIMIZER_STATE) == []
+
+
+class TestGradAccumulation:
+    def test_residual_input_grad_accumulated(self, tiny_resnet):
+        accums = [
+            op for op in tiny_resnet.ops.values()
+            if op.op_type is OpType.GRAD_ACCUM
+        ]
+        assert accums, "residual fan-out must create a GRAD_ACCUM node"
+
+    def test_accum_inputs_are_partials(self, tiny_resnet):
+        for op in tiny_resnet.ops.values():
+            if op.op_type is not OpType.GRAD_ACCUM:
+                continue
+            assert len(op.inputs) >= 2
+            for tid in op.inputs:
+                assert tiny_resnet.tensors[tid].kind.is_gradient
+
+
+class TestSavedTensors:
+    def test_conv_backward_sees_forward_input(self, tiny_cnn):
+        conv = next(
+            op for op in tiny_cnn.ops.values()
+            if op.name == "conv1" and op.phase is Phase.FORWARD
+        )
+        d_conv = next(
+            op for op in tiny_cnn.ops.values()
+            if op.phase is Phase.BACKWARD and op.forward_op == conv.op_id
+        )
+        assert set(conv.inputs) <= set(d_conv.inputs)
+
+    def test_relu_backward_sees_forward_output(self, tiny_cnn):
+        relu = next(
+            op for op in tiny_cnn.ops.values()
+            if op.name == "relu1" and op.phase is Phase.FORWARD
+        )
+        d_relu = next(
+            op for op in tiny_cnn.ops.values()
+            if op.phase is Phase.BACKWARD and op.forward_op == relu.op_id
+        )
+        assert relu.outputs[0] in d_relu.inputs
+
+
+class TestErrors:
+    def test_unknown_optimizer(self):
+        builder = ModelBuilder("m", 2)
+        x = builder.input_image(1, 4, 4)
+        y = builder.relu(x)
+        loss = builder.cross_entropy_loss(builder.flatten(y))
+        with pytest.raises(ValueError, match="optimizer"):
+            build_training_graph(builder.graph, loss, optimizer="bogus")
+
+    def test_loss_without_producer(self):
+        g = Graph()
+        loose = g.add_tensor("loose", (2,))
+        with pytest.raises(GraphError):
+            build_training_graph(g, loose)
+
+    def test_double_backward_rejected(self, tiny_cnn):
+        loss = next(
+            t for t in tiny_cnn.tensors.values() if t.name.startswith("loss")
+        )
+        with pytest.raises(GraphError, match="already has a backward"):
+            build_training_graph(tiny_cnn, loss)
+
+    def test_unknown_loss_id(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            build_training_graph(g, 99)

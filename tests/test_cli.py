@@ -1,0 +1,60 @@
+"""The `python -m repro` command-line driver."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestRun:
+    def test_run_feasible(self, capsys):
+        main(["run", "--model", "vgg16", "--policy", "base",
+              "--batch", "2"])
+        out = capsys.readouterr().out
+        assert "iter" in out
+        assert "compute busy" in out
+
+    def test_run_infeasible_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--model", "vgg16", "--policy", "base",
+                  "--batch", "4096"])
+        assert excinfo.value.code == 1
+        assert "INFEASIBLE" in capsys.readouterr().out
+
+    def test_unknown_gpu_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--gpu", "quantum9000", "--batch", "2"])
+
+
+class TestScale:
+    def test_sample_axis(self, capsys):
+        main(["scale", "--model", "vgg16", "--policy", "base",
+              "--cap", "8"])
+        out = capsys.readouterr().out
+        assert "max batch" in out
+
+    def test_inapplicable_reports_x(self, capsys):
+        main(["scale", "--model", "transformer", "--policy", "vdnn_conv",
+              "--cap", "8"])
+        out = capsys.readouterr().out
+        assert "x (inapplicable)" in out
+
+
+class TestSweep:
+    def test_sweep_table(self, capsys):
+        main(["sweep", "--model", "vgg16",
+              "--policies", "base,vdnn_all", "--batches", "2,4"])
+        out = capsys.readouterr().out
+        assert "base" in out and "vdnn_all" in out
+        assert "/s" in out
+
+    def test_bad_policy_fails_fast(self):
+        with pytest.raises(KeyError):
+            main(["sweep", "--policies", "base,nonsense", "--batches", "2"])
+
+
+class TestPlan:
+    def test_plan_listing(self, capsys):
+        main(["plan", "--model", "vgg16", "--batch", "512", "--top", "3"])
+        out = capsys.readouterr().out
+        assert "configured tensors" in out
+        assert "plan[tsplit]" in out

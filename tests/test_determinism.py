@@ -1,0 +1,68 @@
+"""Determinism: identical inputs must give identical results.
+
+The planner, augmenter and engine are all deterministic (the only RNG in
+the system is the profiler's optional, seeded noise) — a property both
+reproducibility and the planner's static/dynamic contract depend on.
+"""
+
+from repro.analysis.runner import run_policy
+from repro.core.augment import augment_graph
+from repro.core.planner import TsplitPlanner
+from repro.core.profiler import Profiler
+from repro.graph.scheduler import dfs_schedule
+from tests.conftest import BIG_GPU, build_tiny_cnn
+
+
+class TestDeterminism:
+    def test_schedule_stable(self):
+        a = dfs_schedule(build_tiny_cnn(batch=8))
+        b = dfs_schedule(build_tiny_cnn(batch=8))
+        assert a == b
+
+    def test_planner_stable(self):
+        from repro.core.cost_model import CostModelOptions
+        from repro.core.planner import PlannerOptions
+
+        options = PlannerOptions(
+            cost=CostModelOptions(min_split_bytes=0, min_evict_bytes=0),
+        )
+        baseline = TsplitPlanner(BIG_GPU).plan(
+            build_tiny_cnn(batch=64, image=32),
+        ).baseline_peak
+        gpu = BIG_GPU.with_memory(int(baseline * 0.7))
+        plans = []
+        for _ in range(2):
+            graph = build_tiny_cnn(batch=64, image=32)
+            result = TsplitPlanner(gpu, options).plan(graph)
+            plans.append(sorted(
+                (tid, cfg.opt.value, cfg.p_num, cfg.dim)
+                for tid, cfg in result.plan.configs.items()
+            ))
+        assert plans[0] == plans[1]
+        assert plans[0]  # pressure actually forced decisions
+
+    def test_program_stable(self):
+        graph = build_tiny_cnn(batch=16)
+        profile = Profiler(BIG_GPU).profile(graph)
+        schedule = dfs_schedule(graph)
+        from repro.core.plan import MemOption, Plan, TensorConfig
+
+        plan = Plan()
+        act = graph.activations()[2]
+        plan.set(act.tensor_id, TensorConfig(opt=MemOption.SWAP))
+        first = augment_graph(graph, plan, profile, schedule=schedule)
+        second = augment_graph(graph, plan, profile, schedule=schedule)
+        assert first.program.counts() == second.program.counts()
+        labels_a = [getattr(i, "label", "") for i in first.program.instructions]
+        labels_b = [getattr(i, "label", "") for i in second.program.instructions]
+        assert labels_a == labels_b
+
+    def test_end_to_end_trace_stable(self):
+        graph_a = build_tiny_cnn(batch=16)
+        graph_b = build_tiny_cnn(batch=16)
+        trace_a = run_policy(graph_a, "superneurons", BIG_GPU).trace
+        trace_b = run_policy(graph_b, "superneurons", BIG_GPU).trace
+        assert trace_a.iteration_time == trace_b.iteration_time
+        assert trace_a.peak_memory == trace_b.peak_memory
+        assert trace_a.swapped_out_bytes == trace_b.swapped_out_bytes
+        assert len(trace_a.records) == len(trace_b.records)

@@ -1,0 +1,233 @@
+"""The discrete-event execution engine."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError, RuntimeExecutionError
+from repro.runtime.engine import Engine
+from repro.runtime.instructions import (
+    ComputeInstr,
+    Device,
+    FreeInstr,
+    Program,
+    SwapInInstr,
+    SwapOutInstr,
+    TensorRef,
+    XferInstr,
+)
+from repro.units import MB
+from tests.conftest import TINY_GPU
+
+
+def ref(tid: int, nbytes: int = MB, micro: int = -1) -> TensorRef:
+    return TensorRef(tid, nbytes, micro, label=f"t{tid}")
+
+
+def run(instructions, gpu=TINY_GPU, persistent=0, initial_host=()):
+    program = Program(
+        instructions=list(instructions),
+        persistent_bytes=persistent,
+        batch=1,
+        name="test",
+        initial_host=list(initial_host),
+    )
+    return Engine(gpu).execute(program)
+
+
+class TestCompute:
+    def test_durations_accumulate(self):
+        trace = run([
+            ComputeInstr("a", 1.0, outputs=(ref(0),)),
+            ComputeInstr("b", 2.0, inputs=(ref(0),)),
+        ])
+        assert trace.iteration_time == pytest.approx(3.0)
+        assert trace.compute_busy == pytest.approx(3.0)
+
+    def test_dependency_must_be_resident(self):
+        with pytest.raises(RuntimeExecutionError, match="not resident"):
+            run([ComputeInstr("a", 1.0, inputs=(ref(0),))])
+
+    def test_double_allocation_rejected(self):
+        with pytest.raises(RuntimeExecutionError, match="re-allocates"):
+            run([
+                ComputeInstr("a", 1.0, outputs=(ref(0),)),
+                ComputeInstr("b", 1.0, outputs=(ref(0),)),
+            ])
+
+    def test_peak_memory_tracked(self):
+        trace = run([
+            ComputeInstr("a", 1.0, outputs=(ref(0, 2 * MB),)),
+            ComputeInstr("b", 1.0, outputs=(ref(1, 3 * MB),)),
+        ])
+        assert trace.peak_memory == 5 * MB
+
+    def test_transient_workspace_released(self):
+        trace = run([
+            ComputeInstr("a", 1.0, outputs=(ref(0, MB),),
+                         transient_bytes=4 * MB),
+            ComputeInstr("b", 1.0, outputs=(ref(1, 3 * MB),)),
+        ])
+        # 1 + 4 transient during a, then 1 + 3 during b: peak 5 MB.
+        assert trace.peak_memory == 5 * MB
+
+    def test_oom_when_never_fits(self):
+        with pytest.raises(OutOfMemoryError):
+            run([ComputeInstr("a", 1.0, outputs=(ref(0, 100 * MB),))])
+
+    def test_persistent_bytes_oom(self):
+        with pytest.raises(OutOfMemoryError, match="persistent"):
+            run([], persistent=TINY_GPU.memory_bytes + 1)
+
+    def test_alloc_only_and_finishes(self):
+        trace = run([
+            ComputeInstr("m0", 1.0, alloc_only=(ref(0, 2 * MB),)),
+            ComputeInstr("m1", 1.0, finishes=(ref(0, 2 * MB),)),
+            ComputeInstr("use", 1.0, inputs=(ref(0, 2 * MB),)),
+        ])
+        records = {r.label: r for r in trace.records}
+        assert records["use"].start >= records["m1"].end
+
+    def test_finish_unallocated_rejected(self):
+        with pytest.raises(RuntimeExecutionError, match="finishes"):
+            run([ComputeInstr("m", 1.0, finishes=(ref(0),))])
+
+
+class TestSwap:
+    def test_round_trip(self):
+        trace = run([
+            ComputeInstr("a", 1.0, outputs=(ref(0, 2 * MB),)),
+            SwapOutInstr(ref(0, 2 * MB)),
+            SwapInInstr(ref(0, 2 * MB)),
+            ComputeInstr("b", 1.0, inputs=(ref(0, 2 * MB),)),
+        ])
+        assert trace.swapped_out_bytes == 2 * MB
+        assert trace.swapped_in_bytes == 2 * MB
+
+    def test_swap_out_frees_memory(self):
+        trace = run([
+            ComputeInstr("a", 0.1, outputs=(ref(0, 5 * MB),)),
+            SwapOutInstr(ref(0, 5 * MB)),
+            ComputeInstr("b", 0.1, outputs=(ref(1, 5 * MB),)),
+        ])
+        # 8 MB device: b fits only after the swap-out completes.
+        assert trace.peak_memory <= TINY_GPU.memory_bytes
+
+    def test_compute_waits_for_pending_free(self):
+        trace = run([
+            ComputeInstr("a", 0.001, outputs=(ref(0, 5 * MB),)),
+            SwapOutInstr(ref(0, 5 * MB)),
+            ComputeInstr("b", 0.001, outputs=(ref(1, 5 * MB),)),
+        ])
+        records = {r.label: r for r in trace.records}
+        swap = next(r for r in trace.records if r.kind == "swap_out")
+        assert records["b"].start >= swap.end - 1e-12
+        assert trace.memory_stall > 0
+
+    def test_swap_in_without_host_copy_rejected(self):
+        with pytest.raises(RuntimeExecutionError, match="host copy"):
+            run([SwapInInstr(ref(0))])
+
+    def test_swap_in_of_resident_rejected(self):
+        with pytest.raises(RuntimeExecutionError, match="already-resident"):
+            run([
+                ComputeInstr("a", 1.0, outputs=(ref(0),)),
+                SwapOutInstr(ref(0)),
+                SwapInInstr(ref(0)),
+                SwapInInstr(ref(0)),
+            ])
+
+    def test_initial_host_enables_swap_in(self):
+        trace = run(
+            [SwapInInstr(ref(0, MB)),
+             ComputeInstr("use", 1.0, inputs=(ref(0, MB),))],
+            initial_host=[ref(0, MB)],
+        )
+        assert trace.swapped_in_bytes == MB
+
+    def test_transfers_overlap_compute(self):
+        """A swap-out behind a long kernel adds no iteration time."""
+        trace = run([
+            ComputeInstr("a", 0.001, outputs=(ref(0, MB),)),
+            SwapOutInstr(ref(0, MB)),
+            ComputeInstr("b", 10.0, outputs=(ref(1, MB),)),
+        ])
+        assert trace.iteration_time == pytest.approx(10.001, rel=1e-3)
+
+
+class TestFree:
+    def test_free_releases(self):
+        trace = run([
+            ComputeInstr("a", 1.0, outputs=(ref(0, 5 * MB),)),
+            FreeInstr(ref(0, 5 * MB)),
+            ComputeInstr("b", 1.0, outputs=(ref(1, 5 * MB),)),
+        ])
+        assert trace.peak_memory <= TINY_GPU.memory_bytes
+
+    def test_double_free_rejected(self):
+        with pytest.raises(RuntimeExecutionError):
+            run([
+                ComputeInstr("a", 1.0, outputs=(ref(0),)),
+                FreeInstr(ref(0)),
+                FreeInstr(ref(0)),
+            ])
+
+    def test_missing_ok_tolerated(self):
+        run([FreeInstr(ref(0), missing_ok=True)])
+
+
+class TestCpuAndXfer:
+    def test_cpu_compute_does_not_use_gpu_stream(self):
+        trace = run([
+            ComputeInstr("upd", 2.0, device=Device.CPU, tag="update"),
+        ])
+        assert trace.compute_busy == 0.0
+        assert trace.cpu_busy == pytest.approx(2.0)
+
+    def test_cpu_waits_on_host_copy(self):
+        trace = run([
+            ComputeInstr("a", 1.0, outputs=(ref(0, MB),)),
+            SwapOutInstr(ref(0, MB)),
+            ComputeInstr("upd", 1.0, device=Device.CPU,
+                         inputs=(ref(0, MB),), tag="update"),
+        ])
+        swap = next(r for r in trace.records if r.kind == "swap_out")
+        upd = next(r for r in trace.records if r.label == "upd")
+        assert upd.start >= swap.end - 1e-12
+
+    def test_xfer_counts_bytes(self):
+        trace = run([XferInstr(nbytes=MB, direction="h2d", label="wb")])
+        assert trace.swapped_in_bytes == MB
+
+    def test_merge_aliases_pieces(self):
+        """Merging micros into a whole adds only the size delta."""
+        trace = run([
+            ComputeInstr("a0", 0.1, outputs=(ref(0, 3 * MB, micro=0),)),
+            ComputeInstr("a1", 0.1, outputs=(ref(0, 3 * MB, micro=1),)),
+            ComputeInstr(
+                "merge", 0.1,
+                inputs=(ref(0, 3 * MB, micro=0), ref(0, 3 * MB, micro=1)),
+                outputs=(ref(0, 6 * MB),),
+                tag="merge",
+            ),
+        ])
+        assert trace.peak_memory <= 7 * MB
+
+
+class TestTraceMetrics:
+    def test_throughput(self):
+        program = Program(
+            instructions=[ComputeInstr("a", 2.0)],
+            batch=10, name="t",
+        )
+        trace = Engine(TINY_GPU).execute(program)
+        assert trace.throughput == pytest.approx(5.0)
+
+    def test_pcie_utilization_bounded(self):
+        trace = run([
+            ComputeInstr("a", 0.5, outputs=(ref(0, MB),)),
+            SwapOutInstr(ref(0, MB)),
+        ])
+        assert 0.0 <= trace.pcie_utilization <= 1.0
+
+    def test_describe_runs(self):
+        trace = run([ComputeInstr("a", 1.0)])
+        assert "iter" in trace.describe()

@@ -1,0 +1,77 @@
+"""Engine allocation-event log: balance and chronology."""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.analysis.runner import run_policy
+from repro.runtime.engine import Engine, EngineOptions
+from repro.runtime.instructions import ComputeInstr, Program, TensorRef
+from repro.units import MB
+from tests.conftest import BIG_GPU, build_tiny_cnn
+
+
+@pytest.fixture(scope="module")
+def traced():
+    graph = build_tiny_cnn(batch=16)
+    result = run_policy(graph, "superneurons", BIG_GPU)
+    assert result.feasible
+    return result.trace
+
+
+class TestBalance:
+    def test_events_balance_to_zero(self, traced):
+        """Every transient allocation is eventually released."""
+        net = defaultdict(int)
+        for _, label, nbytes in traced.alloc_events:
+            net[label] += nbytes
+        leaks = {label: b for label, b in net.items() if b != 0}
+        assert leaks == {}
+
+    def test_chronological_peak_at_least_engine_view(self, traced):
+        """The time-ordered peak can only exceed the engine's issue-order
+        accounting (which commits frees optimistically)."""
+        current = traced.persistent_bytes
+        peak = current
+        for _, _, nbytes in sorted(
+            traced.alloc_events, key=lambda e: (e[0], 0 if e[2] < 0 else 1),
+        ):
+            current += nbytes
+            peak = max(peak, current)
+        assert peak >= traced.persistent_bytes
+        assert current == traced.persistent_bytes  # all released by the end
+
+    def test_positive_events_match_traffic(self, traced):
+        swap_ins = sum(
+            nbytes for _, label, nbytes in traced.alloc_events
+            if nbytes > 0 and label.startswith("h2d") is False
+        )
+        assert swap_ins > 0
+
+
+class TestTracingToggle:
+    def test_disabled_tracing_records_nothing(self):
+        program = Program(
+            instructions=[ComputeInstr(
+                "a", 1.0, outputs=(TensorRef(0, MB, label="t0"),),
+            )],
+            batch=1, name="t",
+        )
+        trace = Engine(
+            BIG_GPU, EngineOptions(record_trace=False),
+        ).execute(program)
+        assert trace.alloc_events == []
+        assert trace.records == []
+
+    def test_enabled_tracing_records_alloc(self):
+        program = Program(
+            instructions=[ComputeInstr(
+                "a", 1.0, outputs=(TensorRef(0, MB, label="t0"),),
+            )],
+            batch=1, name="t",
+        )
+        trace = Engine(BIG_GPU).execute(program)
+        assert any(
+            label == "t0" and nbytes == MB
+            for _, label, nbytes in trace.alloc_events
+        )

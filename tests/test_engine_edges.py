@@ -1,0 +1,90 @@
+"""Engine edge cases not covered by the happy-path suites."""
+
+import pytest
+
+from repro.errors import RuntimeExecutionError
+from repro.runtime.engine import Engine
+from repro.runtime.instructions import (
+    ComputeInstr,
+    Device,
+    Program,
+    SwapOutInstr,
+    TensorRef,
+    XferInstr,
+)
+from repro.units import MB
+from tests.conftest import BIG_GPU
+
+
+def run(instructions, **program_kwargs):
+    program = Program(
+        instructions=list(instructions), batch=1, name="edge",
+        **program_kwargs,
+    )
+    return Engine(BIG_GPU).execute(program)
+
+
+class TestDependencies:
+    def test_cpu_dependency_nowhere_raises(self):
+        instr = ComputeInstr(
+            "upd", 1.0, device=Device.CPU,
+            inputs=(TensorRef(9, MB, label="ghost"),),
+        )
+        with pytest.raises(RuntimeExecutionError, match="exists nowhere"):
+            run([instr])
+
+    def test_xfer_waits_on_host_copy(self):
+        trace = run([
+            ComputeInstr("a", 1.0, outputs=(TensorRef(0, MB, label="t"),)),
+            SwapOutInstr(TensorRef(0, MB, label="t")),
+            XferInstr(nbytes=MB, direction="d2h", label="extra",
+                      after=(TensorRef(0, MB, label="t"),)),
+        ])
+        swap = next(r for r in trace.records if r.kind == "swap_out")
+        xfer = next(r for r in trace.records if r.label == "extra")
+        assert xfer.start >= swap.end - 1e-12
+
+    def test_d2h_xfer_counts_outbound(self):
+        trace = run([XferInstr(nbytes=2 * MB, direction="d2h", label="x")])
+        assert trace.swapped_out_bytes == 2 * MB
+
+
+class TestZeroWork:
+    def test_zero_duration_compute(self):
+        trace = run([ComputeInstr("free_op", 0.0)])
+        assert trace.iteration_time == 0.0
+
+    def test_empty_program(self):
+        trace = run([])
+        assert trace.iteration_time == 0.0
+        assert trace.peak_memory == 0
+
+    def test_zero_byte_marker_outputs(self):
+        marker = TensorRef(1, 0, -2, label="done")
+        trace = run([
+            ComputeInstr("upd", 1.0, device=Device.CPU, outputs=(marker,)),
+            XferInstr(nbytes=MB, direction="h2d", label="wb",
+                      after=(marker,)),
+        ])
+        wb = next(r for r in trace.records if r.label == "wb")
+        assert wb.start >= 1.0 - 1e-12
+
+
+class TestStallAccounting:
+    def test_dependency_wait_is_not_memory_stall(self):
+        """Waiting on a transfer dependency is overlap, not a memory
+        stall; the stall counter only covers allocation waits."""
+        trace = run([
+            ComputeInstr("a", 0.001, outputs=(TensorRef(0, MB, label="t"),)),
+            SwapOutInstr(TensorRef(0, MB, label="t")),
+            ComputeInstr("b", 0.001),  # independent: no stall
+        ])
+        assert trace.memory_stall == 0.0
+
+    def test_compute_packs_streams_back_to_back(self):
+        trace = run([
+            ComputeInstr("a", 0.5),
+            ComputeInstr("b", 0.25),
+        ])
+        records = {r.label: r for r in trace.records}
+        assert records["b"].start == pytest.approx(records["a"].end)

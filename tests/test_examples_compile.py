@@ -1,0 +1,52 @@
+"""Examples stay importable: syntax and imports resolve.
+
+The examples run full experiments (minutes), so tests only compile them
+and import their module-level dependencies — enough to catch signature
+drift against the library.
+"""
+
+import ast
+import importlib
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(pathlib.Path("examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    source = path.read_text()
+    compile(source, str(path), "exec")
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Every `from repro...` / `import repro...` the example uses exists."""
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if not node.module.startswith("repro"):
+                continue
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module}.{alias.name} missing"
+                )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro"):
+                    importlib.import_module(alias.name)
+
+
+def test_every_example_has_main():
+    for path in EXAMPLES:
+        tree = ast.parse(path.read_text())
+        names = {
+            n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)
+        }
+        assert "main" in names, path.name
+
+
+def test_at_least_five_examples():
+    assert len(EXAMPLES) >= 5

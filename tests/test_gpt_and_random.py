@@ -1,0 +1,73 @@
+"""GPT model and the random-model generator."""
+
+import pytest
+
+from repro.graph.scheduler import dfs_schedule
+from repro.models import build_gpt, build_model
+from repro.models.random_net import build_random_cnn
+from repro.units import GB
+
+
+class TestGPT:
+    def test_structure(self):
+        graph = build_gpt(2, layers=2, seq_len=64)
+        graph.validate()
+        assert not graph.has_conv()
+        scores = [
+            t for t in graph.tensors.values() if t.name.endswith("/scores")
+        ]
+        assert len(scores) == 2  # one attention per block
+
+    def test_gpt2_small_parameter_count(self):
+        """GPT-2 small is ~124M parameters (~0.5 GB fp32)."""
+        graph = build_gpt(1)
+        assert 0.3 * GB < graph.parameter_bytes() < 0.8 * GB
+
+    def test_long_context_dominates_memory(self):
+        short = build_gpt(2, layers=2, seq_len=128)
+        long = build_gpt(2, layers=2, seq_len=1024)
+        # Attention scores grow quadratically with sequence length.
+        assert long.activation_bytes() > 8 * short.activation_bytes()
+
+    def test_registered(self):
+        graph = build_model("gpt", 2, layers=2, seq_len=64)
+        assert graph.name.startswith("gpt")
+
+    def test_param_scale_rounds_to_heads(self):
+        graph = build_gpt(1, layers=1, seq_len=32, param_scale=1.05)
+        table = next(
+            t for t in graph.tensors.values() if t.name == "wte/table"
+        )
+        assert table.shape[1] % 12 == 0
+
+
+class TestRandomNet:
+    def test_seed_determinism(self):
+        a = build_random_cnn(42)
+        b = build_random_cnn(42)
+        assert len(a.ops) == len(b.ops)
+        assert [op.name for op in a] == [op.name for op in b]
+
+    def test_seeds_differ(self):
+        shapes = {
+            tuple(sorted(op.name for op in build_random_cnn(seed)))
+            for seed in range(6)
+        }
+        assert len(shapes) > 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_always_valid_and_schedulable(self, seed):
+        graph = build_random_cnn(seed)
+        graph.validate()
+        assert len(dfs_schedule(graph)) == len(graph.ops)
+
+    def test_batch_override(self):
+        graph = build_random_cnn(7, batch=4)
+        assert graph.graph_inputs()[0].shape[0] == 4
+
+    def test_contains_training_phases(self):
+        from repro.graph.ops import Phase
+
+        graph = build_random_cnn(3)
+        assert graph.ops_in_phase(Phase.BACKWARD)
+        assert graph.ops_in_phase(Phase.UPDATE)

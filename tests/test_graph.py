@@ -1,0 +1,133 @@
+"""Graph construction, wiring and validation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.graph.ops import OpType, Phase
+from repro.graph.tensor import TensorKind
+
+
+def two_op_graph() -> Graph:
+    g = Graph("two")
+    x = g.add_tensor("x", (4, 4), kind=TensorKind.INPUT)
+    w = g.add_tensor("w", (4, 4), kind=TensorKind.PARAM)
+    h = g.add_tensor("h", (4, 4))
+    y = g.add_tensor("y", (4, 4))
+    g.add_op("mm", OpType.MATMUL, inputs=[x, w], outputs=[h], flops=128)
+    g.add_op("act", OpType.RELU, inputs=[h], outputs=[y], flops=16)
+    return g
+
+
+class TestConstruction:
+    def test_tensor_ids_sequential(self):
+        g = two_op_graph()
+        assert sorted(g.tensors) == [0, 1, 2, 3]
+
+    def test_producer_consumer_wiring(self):
+        g = two_op_graph()
+        h = g.tensors[2]
+        assert h.producer == 0
+        assert h.consumers == [1]
+
+    def test_multiple_consumers_recorded(self):
+        g = Graph()
+        a = g.add_tensor("a", (2,), kind=TensorKind.INPUT)
+        b = g.add_tensor("b", (2,))
+        c = g.add_tensor("c", (2,))
+        g.add_op("r1", OpType.RELU, inputs=[a], outputs=[b])
+        g.add_op("r2", OpType.GELU, inputs=[a], outputs=[c])
+        assert a.consumers == [0, 1]
+
+    def test_double_producer_rejected(self):
+        g = Graph()
+        a = g.add_tensor("a", (2,), kind=TensorKind.INPUT)
+        b = g.add_tensor("b", (2,))
+        g.add_op("r1", OpType.RELU, inputs=[a], outputs=[b])
+        with pytest.raises(GraphError):
+            g.add_op("r2", OpType.GELU, inputs=[a], outputs=[b])
+
+    def test_unknown_tensor_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_op("bad", OpType.RELU, inputs=[42], outputs=[])
+
+    def test_default_bytes_accessed(self):
+        g = two_op_graph()
+        mm = g.ops[0]
+        assert mm.bytes_accessed == 3 * 4 * 4 * 4  # x + w + h
+
+
+class TestQueries:
+    def test_parameter_bytes(self):
+        g = two_op_graph()
+        assert g.parameter_bytes() == 64
+
+    def test_activation_bytes(self):
+        g = two_op_graph()
+        assert g.activation_bytes() == 128
+
+    def test_total_flops(self):
+        assert two_op_graph().total_flops() == 144
+
+    def test_has_conv_false(self):
+        assert not two_op_graph().has_conv()
+
+    def test_ops_in_phase(self):
+        g = two_op_graph()
+        assert len(g.ops_in_phase(Phase.FORWARD)) == 2
+        assert g.ops_in_phase(Phase.BACKWARD) == []
+
+    def test_len_and_iter(self):
+        g = two_op_graph()
+        assert len(g) == 2
+        assert [op.name for op in g] == ["mm", "act"]
+
+    def test_consumers_of(self):
+        g = two_op_graph()
+        assert [op.name for op in g.consumers_of(2)] == ["act"]
+
+    def test_producer_of_source_is_none(self):
+        g = two_op_graph()
+        assert g.producer_of(0) is None
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        two_op_graph().validate()
+
+    def test_consumed_but_never_produced(self):
+        g = Graph()
+        orphan = g.add_tensor("orphan", (2,))  # ACTIVATION, no producer
+        out = g.add_tensor("out", (2,))
+        g.add_op("r", OpType.RELU, inputs=[orphan], outputs=[out])
+        with pytest.raises(GraphError, match="never produced"):
+            g.validate()
+
+    def test_input_output_overlap_rejected(self):
+        g = Graph()
+        a = g.add_tensor("a", (2,), kind=TensorKind.INPUT)
+        b = g.add_tensor("b", (2,))
+        g.add_op("r", OpType.RELU, inputs=[a], outputs=[b])
+        op = g.ops[0]
+        op.inputs.append(b.tensor_id)
+        with pytest.raises(GraphError, match="both input"):
+            g.validate()
+
+    def test_update_op_may_alias(self):
+        g = Graph()
+        w = g.add_tensor("w", (2,), kind=TensorKind.PARAM)
+        seed = g.add_tensor("seed", (2,), kind=TensorKind.INPUT)
+        gw = g.add_tensor("gw", (2,), kind=TensorKind.GRAD_PARAM)
+        g.add_op("produce_grad", OpType.RELU, inputs=[seed], outputs=[gw])
+        up = g.add_op(
+            "upd", OpType.SGD_UPDATE, inputs=[w, gw], outputs=[],
+            phase=Phase.UPDATE,
+        )
+        up.outputs.append(w.tensor_id)
+        g.validate()  # exemption for update ops
+
+    def test_summary_mentions_counts(self):
+        text = two_op_graph().summary()
+        assert "2 ops" in text
+        assert "4 tensors" in text

@@ -1,0 +1,152 @@
+"""GPU specs, kernel-time model (Figure 5 patterns), PCIe model."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.graph.ops import Operator, OpType
+from repro.hardware.gpu import (
+    GPU_PRESETS,
+    GTX_1080TI,
+    RTX_TITAN,
+    GPUSpec,
+)
+from repro.hardware.kernels import KernelModel
+from repro.hardware.pcie import PCIeModel
+from repro.units import GB, MB
+
+
+def conv_op(flops=1e10, nbytes=64 * MB) -> Operator:
+    return Operator(
+        op_id=0, name="conv", op_type=OpType.CONV2D,
+        flops=flops, bytes_accessed=int(nbytes),
+    )
+
+
+def relu_op(nbytes=64 * MB) -> Operator:
+    return Operator(
+        op_id=1, name="relu", op_type=OpType.RELU,
+        flops=nbytes / 8, bytes_accessed=int(nbytes),
+    )
+
+
+class TestGPUSpec:
+    def test_paper_presets_exist(self):
+        assert RTX_TITAN.memory_bytes == 24 * GB
+        assert GTX_1080TI.memory_bytes == 11 * GB
+
+    def test_1080ti_is_slower(self):
+        # "FP32 FLOPS is about 70% of TITAN RTX" (Figure 13 caption).
+        ratio = GTX_1080TI.peak_flops / RTX_TITAN.peak_flops
+        assert 0.65 < ratio < 0.75
+
+    def test_preset_registry_complete(self):
+        assert {"rtx_titan", "gtx_1080ti", "p100", "v100_16gb"} <= set(GPU_PRESETS)
+
+    def test_with_memory(self):
+        half = RTX_TITAN.with_memory(12 * GB)
+        assert half.memory_bytes == 12 * GB
+        assert half.peak_flops == RTX_TITAN.peak_flops
+
+    def test_invalid_memory_rejected(self):
+        with pytest.raises(HardwareError):
+            GPUSpec(name="bad", memory_bytes=0, peak_flops=1e12,
+                    mem_bandwidth=1e11)
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(HardwareError):
+            GPUSpec(name="bad", memory_bytes=GB, peak_flops=1e12,
+                    mem_bandwidth=1e11, max_efficiency=1.5)
+
+
+class TestKernelModel:
+    def setup_method(self):
+        self.model = KernelModel(RTX_TITAN)
+
+    def test_efficiency_monotone_in_flops(self):
+        effs = [self.model.efficiency(f) for f in (1e6, 1e8, 1e10, 1e12)]
+        assert effs == sorted(effs)
+
+    def test_efficiency_bounded(self):
+        assert self.model.efficiency(1e15) <= RTX_TITAN.max_efficiency
+
+    def test_compute_time_includes_launch(self):
+        assert self.model.compute_time(0) == RTX_TITAN.kernel_launch_overhead
+
+    def test_conv_time_reasonable(self):
+        # 1e10 FLOPs at ~10 TFLOP/s effective -> about a millisecond.
+        t = self.model.op_time(conv_op(flops=1e10))
+        assert 0.5e-3 < t < 5e-3
+
+    def test_memory_bound_op_uses_bandwidth(self):
+        t = self.model.op_time(relu_op(nbytes=672e6))  # 1ms at 672 GB/s
+        assert t == pytest.approx(1e-3, rel=0.1)
+
+    def test_compute_op_floored_by_bandwidth(self):
+        # Tiny FLOPs but huge traffic: bandwidth governs.
+        op = conv_op(flops=1e3, nbytes=672e6)
+        assert self.model.op_time(op) >= 0.9e-3
+
+    def test_split_monotone_overhead(self):
+        """Figure 5: total time never decreases with partition count."""
+        op = conv_op()
+        times = [self.model.split_kernel_time(op, p) for p in (1, 2, 4, 8, 16)]
+        for earlier, later in zip(times, times[1:]):
+            assert later >= earlier - 1e-12
+
+    def test_split_overhead_small_for_big_conv(self):
+        """A large convolution tolerates splitting (Figure 5 conv curve)."""
+        op = conv_op(flops=1e11)
+        overhead = self.model.split_overhead(op, 8)
+        assert overhead / self.model.op_time(op) < 0.15
+
+    def test_split_overhead_large_for_small_kernel(self):
+        """A small kernel drowns in launch overhead when split."""
+        op = conv_op(flops=1e7, nbytes=1 * MB)
+        overhead = self.model.split_overhead(op, 32)
+        assert overhead / self.model.op_time(op) > 0.2
+
+    def test_different_op_classes_have_different_patterns(self):
+        """Figure 5: different operators exhibit different split curves."""
+        conv = conv_op(flops=2e10, nbytes=100 * MB)
+        relu = relu_op(nbytes=100 * MB)
+        conv_ratio = self.model.split_kernel_time(conv, 16) / self.model.op_time(conv)
+        relu_ratio = self.model.split_kernel_time(relu, 16) / self.model.op_time(relu)
+        assert conv_ratio != pytest.approx(relu_ratio, rel=1e-3)
+
+    def test_transfer_op_rejected(self):
+        op = Operator(op_id=2, name="x", op_type=OpType.SWAP_OUT)
+        with pytest.raises(HardwareError):
+            self.model.op_time(op)
+
+    def test_memcpy_time_scales(self):
+        assert self.model.memcpy_time(2 * MB) > self.model.memcpy_time(1 * MB)
+
+    def test_invalid_p_num(self):
+        with pytest.raises(HardwareError):
+            self.model.split_kernel_time(conv_op(), 0)
+
+
+class TestPCIeModel:
+    def setup_method(self):
+        self.pcie = PCIeModel(RTX_TITAN)
+
+    def test_zero_transfer_free(self):
+        assert self.pcie.transfer_time(0) == 0.0
+
+    def test_transfer_time_linear_plus_latency(self):
+        one = self.pcie.transfer_time(1 * GB)
+        two = self.pcie.transfer_time(2 * GB)
+        assert two - one == pytest.approx(GB / RTX_TITAN.pcie_bandwidth)
+
+    def test_gigabyte_takes_fraction_of_second(self):
+        # ~12 GB/s effective: 1 GB in ~90 ms.
+        assert 0.05 < self.pcie.transfer_time(1 * GB) < 0.15
+
+    def test_effective_rate_penalises_small_transfers(self):
+        small = self.pcie.effective_rate(64 * 1024)
+        large = self.pcie.effective_rate(1 * GB)
+        assert small < large
+
+    def test_negative_rejected(self):
+        with pytest.raises(HardwareError):
+            self.pcie.transfer_time(-1)

@@ -1,0 +1,64 @@
+"""Host (CPU) memory accounting for swapped tensors."""
+
+import pytest
+
+from repro.analysis.runner import run_policy
+from repro.errors import OutOfMemoryError
+from repro.runtime.engine import Engine
+from repro.runtime.instructions import (
+    ComputeInstr,
+    Program,
+    SwapOutInstr,
+    TensorRef,
+)
+from repro.units import MB
+from tests.conftest import BIG_GPU, build_tiny_cnn
+
+
+class TestHostAccounting:
+    def test_swap_heavy_run_reports_host_peak(self):
+        graph = build_tiny_cnn(batch=32, image=32)
+        result = run_policy(graph, "vdnn_all", BIG_GPU)
+        assert result.feasible
+        trace = result.trace
+        assert trace.host_peak_bytes > 0
+        assert trace.host_peak_bytes <= BIG_GPU.host_memory_bytes
+
+    def test_base_run_uses_no_host(self):
+        graph = build_tiny_cnn(batch=8)
+        trace = run_policy(graph, "base", BIG_GPU).trace
+        assert trace.host_peak_bytes == 0
+
+    def test_host_oom_raised(self):
+        gpu = BIG_GPU
+        import dataclasses
+
+        tiny_host = dataclasses.replace(gpu, host_memory_bytes=1 * MB)
+        program = Program(
+            instructions=[
+                ComputeInstr("a", 0.1, outputs=(TensorRef(0, 4 * MB, label="t"),)),
+                SwapOutInstr(TensorRef(0, 4 * MB, label="t")),
+            ],
+            batch=1, name="t",
+        )
+        with pytest.raises(OutOfMemoryError, match="host memory"):
+            Engine(tiny_host).execute(program)
+
+    def test_repeated_swap_of_same_tensor_counts_once(self):
+        """Re-swapping a tensor whose host copy already exists reuses it."""
+        program = Program(
+            instructions=[
+                ComputeInstr("a", 0.1, outputs=(TensorRef(0, 4 * MB, label="t"),)),
+                SwapOutInstr(TensorRef(0, 4 * MB, label="t")),
+            ],
+            batch=1, name="t",
+        )
+        trace = Engine(BIG_GPU).execute(program)
+        assert trace.host_peak_bytes == 4 * MB
+
+    def test_paper_machine_host_sizes(self):
+        from repro.hardware.gpu import GTX_1080TI, RTX_TITAN
+        from repro.units import GB
+
+        assert RTX_TITAN.host_memory_bytes == 256 * GB
+        assert GTX_1080TI.host_memory_bytes == 128 * GB

@@ -1,0 +1,66 @@
+"""Instruction IR data model."""
+
+from repro.runtime.instructions import (
+    ComputeInstr,
+    Device,
+    FreeInstr,
+    Program,
+    SwapInInstr,
+    SwapOutInstr,
+    TensorRef,
+    WHOLE,
+    XferInstr,
+)
+
+
+class TestTensorRef:
+    def test_whole_marker(self):
+        ref = TensorRef(5, 1024)
+        assert ref.micro_index == WHOLE
+        assert not ref.is_micro
+        assert ref.key == (5, WHOLE)
+
+    def test_micro_identity(self):
+        a = TensorRef(5, 512, 0)
+        b = TensorRef(5, 512, 1)
+        assert a.is_micro and b.is_micro
+        assert a.key != b.key
+
+    def test_refs_hashable_and_equal(self):
+        assert TensorRef(1, 10, 2) == TensorRef(1, 10, 2)
+        assert hash(TensorRef(1, 10, 2)) == hash(TensorRef(1, 10, 2))
+
+
+class TestProgram:
+    def test_append_and_len(self):
+        program = Program(name="p")
+        program.append(ComputeInstr("a", 1.0))
+        program.extend([
+            SwapOutInstr(TensorRef(0, 1)),
+            SwapInInstr(TensorRef(0, 1)),
+            FreeInstr(TensorRef(1, 1)),
+            XferInstr(nbytes=1, direction="h2d"),
+        ])
+        assert len(program) == 5
+
+    def test_counts_histogram(self):
+        program = Program(name="p")
+        program.append(ComputeInstr("a", 1.0))
+        program.append(ComputeInstr("b", 1.0))
+        program.append(FreeInstr(TensorRef(0, 1)))
+        counts = program.counts()
+        assert counts["ComputeInstr"] == 2
+        assert counts["FreeInstr"] == 1
+
+    def test_devices(self):
+        gpu_instr = ComputeInstr("a", 1.0)
+        cpu_instr = ComputeInstr("b", 1.0, device=Device.CPU)
+        assert gpu_instr.device is Device.GPU
+        assert cpu_instr.device is Device.CPU
+
+    def test_defaults(self):
+        instr = ComputeInstr("a", 1.0)
+        assert instr.inputs == ()
+        assert instr.alloc_only == ()
+        assert instr.finishes == ()
+        assert instr.transient_bytes == 0

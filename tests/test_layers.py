@@ -1,0 +1,180 @@
+"""ModelBuilder layer vocabulary: shape inference and annotations."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.graph.ops import OpType, conv2d_flops, matmul_flops
+from repro.graph.tensor import DIM_PARAMETER, DIM_SAMPLE
+from repro.models.layers import ModelBuilder
+
+
+@pytest.fixture
+def builder():
+    return ModelBuilder("t", 4)
+
+
+class TestConv:
+    def test_same_padding_preserves_spatial(self, builder):
+        x = builder.input_image(3, 16, 16)
+        y = builder.conv2d(x, 8, 3)
+        assert y.shape == (4, 8, 16, 16)
+
+    def test_stride_halves(self, builder):
+        x = builder.input_image(3, 16, 16)
+        y = builder.conv2d(x, 8, 3, stride=2)
+        assert y.shape[2] == 8
+
+    def test_valid_padding(self, builder):
+        x = builder.input_image(3, 16, 16)
+        y = builder.conv2d(x, 8, 3, padding=0)
+        assert y.shape[2] == 14
+
+    def test_flops_formula(self, builder):
+        x = builder.input_image(3, 16, 16)
+        builder.conv2d(x, 8, 3, name="c")
+        op = next(o for o in builder.graph.ops.values() if o.name == "c")
+        assert op.flops == conv2d_flops(4, 3, 8, 16, 16, 3, 3)
+
+    def test_workspace_attached(self, builder):
+        x = builder.input_image(3, 16, 16)
+        builder.conv2d(x, 8, 3, name="c")
+        op = next(o for o in builder.graph.ops.values() if o.name == "c")
+        assert op.workspace_bytes > 0
+
+    def test_collapsed_output_rejected(self, builder):
+        x = builder.input_image(3, 4, 4)
+        with pytest.raises(ShapeError):
+            builder.conv2d(x, 8, 7, padding=0)
+
+    def test_non_nchw_rejected(self, builder):
+        tokens = builder.input_tokens(6)
+        with pytest.raises(ShapeError):
+            builder.conv2d(tokens, 8, 3)
+
+    def test_split_axes_annotated(self, builder):
+        x = builder.input_image(3, 16, 16)
+        y = builder.conv2d(x, 8, 3)
+        assert y.split_axes[DIM_SAMPLE] == 0
+        assert y.split_axes[DIM_PARAMETER] == 1
+
+
+class TestPoolAndShape:
+    def test_maxpool_defaults_stride_to_kernel(self, builder):
+        x = builder.input_image(3, 16, 16)
+        y = builder.maxpool(x, 2)
+        assert y.shape[2:] == (8, 8)
+
+    def test_global_avgpool_flattens_spatial(self, builder):
+        x = builder.input_image(3, 16, 16)
+        y = builder.global_avgpool(x)
+        assert y.shape == (4, 3)
+
+    def test_flatten(self, builder):
+        x = builder.input_image(3, 4, 4)
+        y = builder.flatten(x)
+        assert y.shape == (4, 48)
+
+    def test_concat_channel(self, builder):
+        x = builder.input_image(3, 8, 8)
+        a = builder.conv2d(x, 4, 1, padding=0)
+        b = builder.conv2d(x, 6, 1, padding=0)
+        y = builder.concat([a, b])
+        assert y.shape[1] == 10
+
+    def test_concat_mismatched_spatial_rejected(self, builder):
+        x = builder.input_image(3, 8, 8)
+        a = builder.conv2d(x, 4, 1, padding=0)
+        b = builder.conv2d(x, 4, 3, padding=0)
+        with pytest.raises(ShapeError):
+            builder.concat([a, b])
+
+    def test_empty_concat_rejected(self, builder):
+        with pytest.raises(ShapeError):
+            builder.concat([])
+
+
+class TestAdd:
+    def test_same_shape(self, builder):
+        x = builder.input_image(3, 8, 8)
+        a = builder.relu(x)
+        y = builder.add(x, a)
+        assert y.shape == x.shape
+
+    def test_broadcast_allowed(self, builder):
+        tokens = builder.input_tokens(6)
+        x = builder.embedding(tokens, 10, 8)
+        bias = builder.graph.add_tensor("bias", (6, 8))
+        seed = builder.graph.add_tensor(
+            "seed", (6, 8),
+        )
+        # give bias a producer so validation holds
+        builder.graph.add_op("mk", OpType.RELU, inputs=[seed], outputs=[bias])
+        y = builder.add(x, bias)
+        assert y.shape == (4, 6, 8)
+
+    def test_incompatible_rejected(self, builder):
+        x = builder.input_image(3, 8, 8)
+        tokens = builder.input_tokens(7)
+        with pytest.raises(ShapeError):
+            builder.add(x, tokens)
+
+
+class TestDenseAndAttention:
+    def test_linear_2d(self, builder):
+        x = builder.input_image(3, 4, 4)
+        flat = builder.flatten(x)
+        y = builder.linear(flat, 10)
+        assert y.shape == (4, 10)
+
+    def test_linear_3d_keeps_sequence(self, builder):
+        tokens = builder.input_tokens(6)
+        x = builder.embedding(tokens, 10, 8)
+        y = builder.linear(x, 16)
+        assert y.shape == (4, 6, 16)
+
+    def test_linear_flops(self, builder):
+        x = builder.input_image(3, 4, 4)
+        flat = builder.flatten(x)
+        builder.linear(flat, 10, name="fc")
+        op = next(o for o in builder.graph.ops.values() if o.name == "fc")
+        assert op.flops == matmul_flops(4, 10, 48)
+
+    def test_attention_shapes(self, builder):
+        tokens = builder.input_tokens(6)
+        x = builder.embedding(tokens, 10, 8)
+        y = builder.attention(x, heads=2)
+        assert y.shape == (4, 6, 8)
+        scores = next(
+            t for t in builder.graph.tensors.values()
+            if t.name.endswith("/scores")
+        )
+        assert scores.shape == (4, 2, 6, 6)
+
+    def test_cross_attention_uses_kv_length(self, builder):
+        q_tokens = builder.input_tokens(6)
+        kv_tokens = builder.input_tokens(9, name="kv")
+        q = builder.embedding(q_tokens, 10, 8, name="qe")
+        kv = builder.embedding(kv_tokens, 10, 8, name="kve")
+        builder.attention(q, heads=2, kv=kv, name="cross")
+        scores = next(
+            t for t in builder.graph.tensors.values()
+            if t.name == "cross/scores"
+        )
+        assert scores.shape == (4, 2, 6, 9)
+
+    def test_indivisible_heads_rejected(self, builder):
+        tokens = builder.input_tokens(6)
+        x = builder.embedding(tokens, 10, 9)
+        with pytest.raises(ShapeError):
+            builder.attention(x, heads=2)
+
+
+class TestNaming:
+    def test_unique_names(self, builder):
+        assert builder.unique("conv") == "conv"
+        assert builder.unique("conv") == "conv_2"
+        assert builder.unique("conv") == "conv_3"
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            ModelBuilder("bad", 0)

@@ -1,0 +1,142 @@
+"""Liveness intervals and memory curves (Figure 4)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.autodiff import build_training_graph
+from repro.graph.liveness import (
+    compute_liveness,
+    live_tensor_counts,
+    memory_curve,
+    peak_memory,
+)
+from repro.graph.scheduler import dfs_schedule
+from repro.graph.tensor import TensorKind
+from repro.models.layers import ModelBuilder
+from tests.conftest import build_tiny_cnn
+
+
+class TestIntervals:
+    def test_persistent_tensors_live_whole_iteration(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        liveness = compute_liveness(graph, schedule)
+        for param in graph.parameters():
+            assert liveness.interval(param.tensor_id) == (0, len(schedule) - 1)
+
+    def test_activation_lives_from_producer_to_last_use(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        liveness = compute_liveness(graph, schedule)
+        for tensor in graph.activations():
+            alloc, free = liveness.interval(tensor.tensor_id)
+            assert alloc == liveness.position[tensor.producer]
+            uses = [
+                liveness.position[c] for c in tensor.consumers
+                if c in liveness.position
+            ]
+            assert free == (max(uses) if uses else alloc)
+
+    def test_is_live_at(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        liveness = compute_liveness(graph, schedule)
+        some_act = graph.activations()[0]
+        alloc, free = liveness.interval(some_act.tensor_id)
+        assert liveness.is_live_at(some_act.tensor_id, alloc)
+        assert liveness.is_live_at(some_act.tensor_id, free)
+        assert not liveness.is_live_at(some_act.tensor_id, free + 1)
+
+    def test_live_tensors_at_first_step(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        liveness = compute_liveness(graph, schedule)
+        live0 = set(liveness.live_tensors_at(0))
+        for param in graph.parameters():
+            assert param.tensor_id in live0
+
+
+class TestMemoryCurve:
+    def test_curve_length_matches_schedule(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        assert len(memory_curve(graph, schedule)) == len(schedule)
+
+    def test_curve_positive_everywhere(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        assert (memory_curve(graph, schedule) > 0).all()
+
+    def test_initial_step_at_least_persistents(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        curve = memory_curve(graph, schedule)
+        persistent = sum(
+            t.size_bytes for t in graph.tensors.values()
+            if t.kind in (TensorKind.PARAM, TensorKind.INPUT,
+                          TensorKind.OPTIMIZER_STATE)
+        )
+        assert curve[0] >= persistent
+
+    def test_peak_is_curve_max(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        assert peak_memory(graph, schedule) == int(
+            memory_curve(graph, schedule).max()
+        )
+
+    def test_workspace_included_by_default(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        with_ws = memory_curve(graph, schedule, include_workspace=True)
+        without = memory_curve(graph, schedule, include_workspace=False)
+        assert with_ws.sum() > without.sum()
+
+    def test_fig4_pattern_peak_in_middle(self, tiny_cnn_schedule):
+        """The memory curve rises through forward and falls through
+        backward: the peak is not at either end."""
+        graph, schedule = tiny_cnn_schedule
+        curve = memory_curve(graph, schedule)
+        peak_at = int(np.argmax(curve))
+        assert 0 < peak_at < len(curve) - 1
+
+    def test_peak_scales_with_batch(self):
+        small = build_tiny_cnn(batch=4)
+        large = build_tiny_cnn(batch=16)
+        assert peak_memory(large) > 2 * peak_memory(small)
+
+
+class TestLiveCounts:
+    def test_counts_positive(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        counts = live_tensor_counts(graph, schedule)
+        assert (counts >= 1).all()
+
+    def test_counts_bounded_by_tensor_total(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        counts = live_tensor_counts(graph, schedule)
+        assert counts.max() <= len(graph.tensors)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    batch=st.integers(min_value=1, max_value=8),
+    depth=st.integers(min_value=1, max_value=4),
+)
+def test_memory_conservation_property(batch, depth):
+    """Sum of (curve deltas) returns to the persistent baseline: all
+    transient tensors are freed by the end of the iteration."""
+    builder = ModelBuilder("chain", batch)
+    x = builder.input_image(2, 8, 8)
+    for i in range(depth):
+        x = builder.conv2d(x, 4, 3, name=f"conv{i}")
+        x = builder.relu(x, name=f"relu{i}")
+    loss = builder.cross_entropy_loss(builder.linear(builder.flatten(x), 4))
+    graph = build_training_graph(builder.graph, loss)
+    schedule = dfs_schedule(graph)
+    curve = memory_curve(graph, schedule, include_workspace=False)
+    persistent = sum(
+        t.size_bytes for t in graph.tensors.values()
+        if t.kind in (TensorKind.PARAM, TensorKind.INPUT,
+                      TensorKind.OPTIMIZER_STATE)
+    )
+    # The final step holds the persistents plus at most the last op's
+    # tensors (freed at step end by convention).
+    last_op = graph.ops[schedule[-1]]
+    slack = sum(
+        graph.tensors[t].size_bytes
+        for t in set(last_op.inputs) | set(last_op.outputs)
+    )
+    assert curve[-1] <= persistent + slack
+    assert curve[-1] >= persistent

@@ -1,0 +1,157 @@
+"""Best-fit memory pool: allocation, coalescing, fragmentation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocationError, OutOfMemoryError
+from repro.hardware.memory_pool import ALIGNMENT, MemoryPool
+from repro.units import KB, MB
+
+
+class TestBasics:
+    def test_alloc_free_roundtrip(self):
+        pool = MemoryPool(capacity=1 * MB)
+        handle = pool.alloc(100 * KB)
+        assert pool.used_bytes >= 100 * KB
+        pool.free(handle)
+        assert pool.used_bytes == 0
+
+    def test_alignment(self):
+        pool = MemoryPool(capacity=1 * MB)
+        pool.alloc(1)
+        assert pool.used_bytes == ALIGNMENT
+
+    def test_oom_raises_with_context(self):
+        pool = MemoryPool(capacity=64 * KB)
+        with pytest.raises(OutOfMemoryError) as excinfo:
+            pool.alloc(128 * KB)
+        assert excinfo.value.capacity == 64 * KB
+
+    def test_double_free_rejected(self):
+        pool = MemoryPool(capacity=1 * MB)
+        handle = pool.alloc(KB)
+        pool.free(handle)
+        with pytest.raises(AllocationError):
+            pool.free(handle)
+
+    def test_zero_alloc_rejected(self):
+        pool = MemoryPool(capacity=1 * MB)
+        with pytest.raises(AllocationError):
+            pool.alloc(0)
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(AllocationError):
+            MemoryPool(capacity=1 * MB, strategy="wishful")
+
+    def test_reset(self):
+        pool = MemoryPool(capacity=1 * MB)
+        pool.alloc(KB)
+        pool.reset()
+        assert pool.used_bytes == 0
+        assert pool.largest_free_block == 1 * MB
+
+
+class TestCoalescing:
+    def test_free_neighbours_merge(self):
+        pool = MemoryPool(capacity=1 * MB)
+        handles = [pool.alloc(100 * KB) for _ in range(3)]
+        for handle in handles:
+            pool.free(handle)
+        assert pool.largest_free_block == 1 * MB
+        assert pool.fragmentation() == 0.0
+
+    def test_hole_between_allocations(self):
+        pool = MemoryPool(capacity=1 * MB)
+        a = pool.alloc(100 * KB)
+        b = pool.alloc(100 * KB)
+        c = pool.alloc(100 * KB)
+        pool.free(b)
+        # A hole exists: total free larger than largest block.
+        assert pool.fragmentation() > 0.0
+        pool.free(a)
+        pool.free(c)
+        assert pool.fragmentation() == 0.0
+
+    def test_external_fragmentation_blocks_alloc(self):
+        pool = MemoryPool(capacity=400 * KB)
+        handles = [pool.alloc(100 * KB) for _ in range(4)]
+        pool.free(handles[0])
+        pool.free(handles[2])
+        # 200 KB free, but no 150 KB contiguous block.
+        assert not pool.can_alloc(150 * KB)
+        with pytest.raises(OutOfMemoryError):
+            pool.alloc(150 * KB)
+
+
+class TestStrategies:
+    @staticmethod
+    def _two_hole_pool(strategy: str) -> MemoryPool:
+        """Fully-packed 200 KB pool with a 100 KB and a 30 KB hole."""
+        pool = MemoryPool(capacity=200 * KB, strategy=strategy)
+        a = pool.alloc(100 * KB)
+        pool.alloc(10 * KB)  # pinned separator
+        b = pool.alloc(30 * KB)
+        pool.alloc(60 * KB)  # pinned tail
+        pool.free(a)
+        pool.free(b)
+        return pool
+
+    def test_best_fit_prefers_tight_hole(self):
+        pool = self._two_hole_pool("best_fit")
+        pool.alloc(30 * KB)  # exactly fills the 30 KB hole
+        assert pool.largest_free_block == 100 * KB
+
+    def test_first_fit_takes_earliest_hole(self):
+        pool = self._two_hole_pool("first_fit")
+        pool.alloc(30 * KB)  # lands at offset 0, fragmenting the big hole
+        assert pool.largest_free_block == 70 * KB
+
+    def test_worst_fit_takes_biggest_hole(self):
+        pool = self._two_hole_pool("worst_fit")
+        pool.alloc(10 * KB)
+        assert pool.largest_free_block == 90 * KB
+
+    def test_stats_accumulate(self):
+        pool = MemoryPool(capacity=MB)
+        handle = pool.alloc(KB)
+        pool.free(handle)
+        try:
+            pool.alloc(2 * MB)
+        except OutOfMemoryError:
+            pass
+        snap = pool.stats.snapshot()
+        assert snap["alloc_count"] == 1
+        assert snap["free_count"] == 1
+        assert snap["failed_allocs"] == 1
+        assert snap["peak_used"] >= KB
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=1, max_value=64 * KB)),
+        min_size=1, max_size=60,
+    ),
+    strategy=st.sampled_from(["best_fit", "first_fit", "worst_fit"]),
+)
+def test_pool_invariants_under_random_workload(ops, strategy):
+    """Accounting invariants hold for any alloc/free sequence."""
+    pool = MemoryPool(capacity=512 * KB, strategy=strategy)
+    live: list[int] = []
+    for is_alloc, size in ops:
+        if is_alloc or not live:
+            try:
+                live.append(pool.alloc(size))
+            except OutOfMemoryError:
+                pass
+        else:
+            pool.free(live.pop(0))
+    # Invariants: used + free == capacity; largest block <= free total.
+    assert pool.used_bytes + pool.free_bytes == pool.capacity
+    assert pool.largest_free_block <= pool.free_bytes
+    assert 0.0 <= pool.fragmentation() <= 1.0
+    # Free everything: pool returns to one block.
+    for handle in live:
+        pool.free(handle)
+    assert pool.used_bytes == 0
+    assert pool.largest_free_block == pool.capacity

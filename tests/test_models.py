@@ -1,0 +1,197 @@
+"""Model zoo: architecture shapes, scaling knobs, registry."""
+
+import pytest
+
+from repro.graph.liveness import peak_memory
+from repro.graph.ops import OpType
+from repro.graph.scheduler import dfs_schedule
+from repro.models import (
+    MODEL_REGISTRY,
+    build_bert_large,
+    build_inception_v4,
+    build_model,
+    build_resnet50,
+    build_resnet101,
+    build_transformer,
+    build_vgg16,
+    build_vgg19,
+    model_names,
+)
+from repro.units import GB, MB
+
+
+class TestVGG:
+    def test_vgg16_conv_count(self):
+        g = build_vgg16(2)
+        convs = [op for op in g.ops.values()
+                 if op.op_type is OpType.CONV2D and not op.is_backward]
+        assert len(convs) == 13
+
+    def test_vgg19_has_more_convs(self):
+        g16 = build_vgg16(2)
+        g19 = build_vgg19(2)
+        count = lambda g: sum(
+            1 for op in g.ops.values()
+            if op.op_type is OpType.CONV2D and not op.is_backward
+        )
+        assert count(g19) == 16
+        assert count(g19) > count(g16)
+
+    def test_param_bytes_near_reference(self):
+        """VGG-16 has ~138M parameters (~528 MB fp32)."""
+        g = build_vgg16(1)
+        assert 450 * MB < g.parameter_bytes() < 600 * MB
+
+    def test_param_scale_grows_channels(self):
+        base = build_vgg16(2, param_scale=1.0)
+        double = build_vgg16(2, param_scale=2.0)
+        assert double.parameter_bytes() > 2 * base.parameter_bytes()
+
+    def test_batch_scales_activations(self):
+        small = build_vgg16(2)
+        large = build_vgg16(8)
+        assert large.activation_bytes() == pytest.approx(
+            4 * small.activation_bytes(), rel=0.01,
+        )
+
+
+class TestResNet:
+    def test_resnet50_conv_count(self):
+        g = build_resnet50(2)
+        convs = [op for op in g.ops.values()
+                 if op.op_type is OpType.CONV2D and not op.is_backward]
+        # 53 convolutions (1 stem + 16 blocks x 3 + 4 projections).
+        assert len(convs) == 53
+
+    def test_resnet101_deeper(self):
+        assert len(build_resnet101(2)) > len(build_resnet50(2))
+
+    def test_resnet50_param_bytes_near_reference(self):
+        """ResNet-50 has ~25.6M parameters (~102 MB fp32)."""
+        g = build_resnet50(1)
+        assert 80 * MB < g.parameter_bytes() < 130 * MB
+
+    def test_residual_adds_present(self):
+        g = build_resnet50(2)
+        adds = [op for op in g.ops.values()
+                if op.op_type is OpType.ADD and not op.is_backward]
+        assert len(adds) == 16  # one per bottleneck block
+
+
+class TestInception:
+    def test_branchy_structure(self):
+        g = build_inception_v4(1, image_size=299)
+        concats = [op for op in g.ops.values()
+                   if op.op_type is OpType.CONCAT and not op.is_backward]
+        assert len(concats) >= 17  # stem(3) + 4A + redA + 7B + redB + 3C
+
+    def test_validates_and_schedules(self):
+        g = build_inception_v4(1)
+        g.validate()
+        assert len(dfs_schedule(g)) == len(g.ops)
+
+
+class TestTransformer:
+    def test_no_convolutions(self):
+        assert not build_transformer(2, seq_len=16).has_conv()
+
+    def test_attention_scores_materialised(self):
+        g = build_transformer(2, seq_len=16)
+        scores = [t for t in g.tensors.values() if t.name.endswith("/scores")]
+        assert len(scores) == 18  # 6 enc self + 6 dec self + 6 dec cross
+
+    def test_param_scale_rounds_to_heads(self):
+        g = build_transformer(2, param_scale=1.1, seq_len=16)
+        embed = next(t for t in g.tensors.values()
+                     if t.name == "src_embed/table")
+        assert embed.shape[1] % 8 == 0
+
+    def test_adam_default(self):
+        from repro.graph.tensor import TensorKind
+
+        g = build_transformer(2, seq_len=16)
+        states = g.tensors_of_kind(TensorKind.OPTIMIZER_STATE)
+        assert len(states) == 2 * len(g.parameters())
+
+
+class TestBert:
+    def test_bert_large_parameter_count(self):
+        """BERT-Large is ~335M params (~1.3 GB fp32)."""
+        g = build_bert_large(1)
+        assert 1.0 * GB < g.parameter_bytes() < 1.8 * GB
+
+    def test_hidden_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            build_bert_large(1, hidden=1000)
+
+    def test_layers_knob(self):
+        small = build_bert_large(1, layers=2)
+        assert len(small) < len(build_bert_large(1, layers=4))
+
+    def test_memory_grows_with_hidden(self):
+        a = peak_memory(build_bert_large(2, hidden=256, layers=2))
+        b = peak_memory(build_bert_large(2, hidden=512, layers=2))
+        assert b > a
+
+
+class TestDenseNet:
+    def test_parameter_count_near_reference(self):
+        """DenseNet-121 has ~8M parameters (~32 MB fp32)."""
+        from repro.models import build_densenet121
+
+        g = build_densenet121(1)
+        assert 25 * MB < g.parameter_bytes() < 45 * MB
+
+    def test_dense_connectivity_concats(self):
+        from repro.models import build_densenet121
+
+        g = build_densenet121(2)
+        concats = [op for op in g.ops.values()
+                   if op.op_type is OpType.CONCAT and not op.is_backward]
+        # Every layer past the first in each block concatenates, plus
+        # block outputs: 5+11+23+15 + 4.
+        assert len(concats) == 58
+
+    def test_early_features_live_long(self):
+        """The dense pattern keeps the stem output alive until the end
+        of block 1 — the adversarial liveness DenseNet is known for."""
+        from repro.graph.liveness import compute_liveness
+        from repro.models import build_densenet121
+
+        g = build_densenet121(2)
+        schedule = dfs_schedule(g)
+        liveness = compute_liveness(g, schedule)
+        stem_pool = next(
+            t for t in g.tensors.values() if t.name == "stem/pool/out"
+        )
+        alloc, free = liveness.interval(stem_pool.tensor_id)
+        # It is consumed by every concat of block 1 and its backward.
+        assert free - alloc > 50
+
+
+class TestRegistry:
+    def test_six_paper_models_registered(self):
+        assert {"vgg16", "vgg19", "resnet50", "resnet101",
+                "inception_v4", "transformer"} <= set(model_names())
+
+    def test_build_model_dispatch(self):
+        g = build_model("vgg16", 2)
+        assert g.name.startswith("vgg16")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            build_model("alexnet", 2)
+
+    def test_bert_param_scale_adapter(self):
+        g = build_model("bert_large", 1, param_scale=0.5, layers=2)
+        embed = next(t for t in g.tensors.values() if t.name == "embed/table")
+        assert embed.shape[1] == 512
+
+    def test_all_registered_models_build_and_validate(self):
+        for name in MODEL_REGISTRY:
+            kwargs = {"layers": 2} if "bert" in name else {}
+            if name == "transformer":
+                kwargs = {"seq_len": 16, "layers": 2}
+            graph = build_model(name, 2, **kwargs)
+            graph.validate()
+            assert len(dfs_schedule(graph)) == len(graph.ops)

@@ -1,0 +1,63 @@
+"""Multi-iteration (steady-state) execution."""
+
+import pytest
+
+from repro.core.augment import augment_graph
+from repro.core.plan import Plan
+from repro.core.profiler import Profiler
+from repro.errors import RuntimeExecutionError
+from repro.policies.base import get_policy
+from repro.runtime.engine import Engine
+from tests.conftest import BIG_GPU, build_tiny_cnn
+
+
+def lowered(policy_name: str):
+    graph = build_tiny_cnn(batch=16)
+    profile = Profiler(BIG_GPU).profile(graph)
+    if policy_name == "base":
+        plan = Plan()
+    else:
+        plan = get_policy(policy_name).build_plan(graph, BIG_GPU)
+    return augment_graph(graph, plan, profile)
+
+
+class TestIterations:
+    @pytest.mark.parametrize(
+        "policy", ["base", "vdnn_all", "superneurons", "zero_offload",
+                   "fairscale_offload"],
+    )
+    def test_iterations_reach_steady_state(self, policy):
+        augmented = lowered(policy)
+        durations, trace = Engine(BIG_GPU).execute_iterations(
+            augmented.program, 4,
+        )
+        assert len(durations) == 4
+        # Later iterations are identical (the workload is periodic).
+        assert durations[2] == pytest.approx(durations[3], rel=1e-9)
+        assert trace.iteration_time == pytest.approx(sum(durations))
+
+    def test_aggregate_traffic_scales_with_iterations(self):
+        augmented = lowered("vdnn_all")
+        _, single = Engine(BIG_GPU).execute_iterations(augmented.program, 1)
+        _, triple = Engine(BIG_GPU).execute_iterations(augmented.program, 3)
+        assert triple.swapped_out_bytes == 3 * single.swapped_out_bytes
+
+    def test_single_iteration_matches_execute(self):
+        augmented = lowered("superneurons")
+        durations, _ = Engine(BIG_GPU).execute_iterations(
+            augmented.program, 1,
+        )
+        direct = Engine(BIG_GPU).execute(augmented.program)
+        assert durations[0] == pytest.approx(direct.iteration_time)
+
+    def test_invalid_count_rejected(self):
+        augmented = lowered("base")
+        with pytest.raises(RuntimeExecutionError):
+            Engine(BIG_GPU).execute_iterations(augmented.program, 0)
+
+    def test_host_memory_stable_across_iterations(self):
+        """Host copies are reused, not duplicated, across iterations."""
+        augmented = lowered("vdnn_all")
+        _, single = Engine(BIG_GPU).execute_iterations(augmented.program, 1)
+        _, many = Engine(BIG_GPU).execute_iterations(augmented.program, 3)
+        assert many.host_peak_bytes == single.host_peak_bytes

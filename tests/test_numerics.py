@@ -1,0 +1,189 @@
+"""Numeric validation: split execution == whole execution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.split_rules import op_supports_split
+from repro.errors import NumericsError
+from repro.graph.ops import OpType, Phase
+from repro.graph.tensor import DIM_ATTRIBUTE, DIM_PARAMETER, DIM_SAMPLE
+from repro.models.layers import ModelBuilder
+from repro.numerics import (
+    ReferenceExecutor,
+    random_inputs,
+    run_split_op,
+    split_equivalence_error,
+)
+
+
+def small_cnn_forward():
+    builder = ModelBuilder("numcnn", 8)
+    x = builder.input_image(3, 12, 12)
+    x = builder.conv2d(x, 6, 3, name="c1")
+    x = builder.relu(x, name="r1")
+    x = builder.maxpool(x, 2, name="p1")
+    x = builder.conv2d(x, 8, 3, stride=2, name="c2")
+    x = builder.gelu(x, name="g1")
+    return builder.graph
+
+
+class TestReferenceExecutor:
+    def test_forward_produces_all_activations(self):
+        graph = small_cnn_forward()
+        values = ReferenceExecutor(graph).run_forward(random_inputs(graph))
+        for tensor in graph.activations():
+            assert tensor.tensor_id in values
+            assert values[tensor.tensor_id].shape == tensor.shape
+
+    def test_conv_matches_brute_force(self):
+        graph = small_cnn_forward()
+        values = random_inputs(graph, seed=3)
+        executor = ReferenceExecutor(graph)
+        conv = next(op for op in graph.ops.values() if op.name == "c1")
+        executor.run_op(conv, values)
+        x = values[conv.inputs[0]]
+        w = values[conv.inputs[1]]
+        out = values[conv.outputs[0]]
+        # Spot-check one output element by direct summation.
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        expected = float(
+            (padded[0, :, 0:3, 0:3] * w[2]).sum()
+        )
+        assert out[0, 2, 0, 0] == pytest.approx(expected)
+
+    def test_relu_nonnegative(self):
+        graph = small_cnn_forward()
+        values = ReferenceExecutor(graph).run_forward(random_inputs(graph))
+        relu = next(op for op in graph.ops.values() if op.name == "r1")
+        assert (values[relu.outputs[0]] >= 0).all()
+
+    def test_softmax_rows_sum_to_one(self):
+        builder = ModelBuilder("soft", 4)
+        tokens = builder.input_tokens(6)
+        x = builder.embedding(tokens, 11, 8)
+        y = builder.softmax(x)
+        graph = builder.graph
+        values = ReferenceExecutor(graph).run_forward(random_inputs(graph))
+        out = values[y.tensor_id]
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_missing_input_rejected(self):
+        graph = small_cnn_forward()
+        conv = next(op for op in graph.ops.values() if op.name == "c1")
+        with pytest.raises(NumericsError):
+            ReferenceExecutor(graph).run_op(conv, {})
+
+
+class TestSplitEquivalence:
+    @pytest.fixture(scope="class")
+    def forward_values(self):
+        graph = small_cnn_forward()
+        values = ReferenceExecutor(graph).run_forward(random_inputs(graph, 7))
+        return graph, values
+
+    @pytest.mark.parametrize("op_name", ["c1", "r1", "p1", "c2", "g1"])
+    def test_sample_split_equivalent(self, forward_values, op_name):
+        graph, values = forward_values
+        op = next(o for o in graph.ops.values() if o.name == op_name)
+        err = split_equivalence_error(graph, op, values, DIM_SAMPLE, p_num=4)
+        assert err < 1e-9
+
+    @pytest.mark.parametrize("op_name", ["c1", "r1", "c2"])
+    def test_parameter_split_equivalent(self, forward_values, op_name):
+        graph, values = forward_values
+        op = next(o for o in graph.ops.values() if o.name == op_name)
+        err = split_equivalence_error(graph, op, values, DIM_PARAMETER, p_num=3)
+        assert err < 1e-9
+
+    def test_uneven_split_equivalent(self, forward_values):
+        graph, values = forward_values
+        op = next(o for o in graph.ops.values() if o.name == "c1")
+        err = split_equivalence_error(graph, op, values, DIM_SAMPLE, p_num=3)
+        assert err < 1e-9
+
+    def test_unsupported_dim_rejected(self, forward_values):
+        graph, values = forward_values
+        # BN is not sample-splittable; build one to check the guard.
+        builder = ModelBuilder("bn", 4)
+        x = builder.input_image(2, 6, 6)
+        builder.batchnorm(x)
+        bn_graph = builder.graph
+        bn = next(op for op in bn_graph.ops.values())
+        with pytest.raises(NumericsError, match="does not support"):
+            run_split_op(bn_graph, bn, {}, DIM_SAMPLE, 2)
+
+    def test_layernorm_attribute_split_equivalent(self):
+        builder = ModelBuilder("ln", 4)
+        tokens = builder.input_tokens(8)
+        x = builder.embedding(tokens, 13, 6)
+        builder.layernorm(x)
+        graph = builder.graph
+        values = ReferenceExecutor(graph).run_forward(random_inputs(graph, 2))
+        ln = next(op for op in graph.ops.values()
+                  if op.op_type is OpType.LAYERNORM)
+        err = split_equivalence_error(graph, ln, values, DIM_ATTRIBUTE, 4)
+        assert err < 1e-9
+
+    def test_batchnorm_sample_split_actually_diverges(self):
+        """Sanity of the capability table itself: BN run per-sample-group
+        produces different statistics, so the merge rule is required."""
+        builder = ModelBuilder("bn2", 8)
+        x = builder.input_image(2, 6, 6)
+        y = builder.batchnorm(x)
+        graph = builder.graph
+        values = ReferenceExecutor(graph).run_forward(random_inputs(graph, 5))
+        bn = next(op for op in graph.ops.values())
+        # Bypass the guard to demonstrate the divergence it protects from.
+        executor = ReferenceExecutor(graph)
+        whole = dict(values)
+        x_val = values[bn.inputs[0]]
+        halves = np.array_split(x_val, 2, axis=0)
+        pieces = []
+        for half in halves:
+            scope = dict(values)
+            scope[bn.inputs[0]] = half
+            pieces.append(executor._dispatch(bn, [half, values[bn.inputs[1]]])[0])
+        split_result = np.concatenate(pieces, axis=0)
+        assert not np.allclose(split_result, whole[y.tensor_id] if y.tensor_id in whole else executor._dispatch(bn, [x_val, values[bn.inputs[1]]])[0])
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    batch=st.integers(min_value=2, max_value=10),
+    p_num=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_elementwise_sample_split_property(batch, p_num, seed):
+    """For any batch size and part count, relu splits losslessly."""
+    if p_num > batch:
+        return
+    builder = ModelBuilder("prop", batch)
+    x = builder.input_image(2, 5, 5)
+    builder.relu(x)
+    graph = builder.graph
+    values = ReferenceExecutor(graph).run_forward(random_inputs(graph, seed))
+    relu = next(op for op in graph.ops.values())
+    err = split_equivalence_error(graph, relu, values, DIM_SAMPLE, p_num)
+    assert err == 0.0
+
+
+def test_capability_table_consistent_with_numerics():
+    """Every (op in the toy CNN, dim) pair the capability table blesses
+    passes numeric equivalence."""
+    graph = small_cnn_forward()
+    values = ReferenceExecutor(graph).run_forward(random_inputs(graph, 11))
+    for op in graph.ops.values():
+        if op.phase is not Phase.FORWARD:
+            continue
+        for dim in (DIM_SAMPLE, DIM_PARAMETER):
+            if not op_supports_split(op.op_type, dim):
+                continue
+            out = graph.tensors[op.outputs[0]]
+            if dim not in out.split_axes:
+                continue
+            axis = out.split_axes[dim]
+            if out.shape[axis] < 2:
+                continue
+            err = split_equivalence_error(graph, op, values, dim, 2)
+            assert err < 1e-9, f"{op.name} diverges on {dim}"

@@ -1,0 +1,83 @@
+"""Operator taxonomy metadata (the tables the policies depend on)."""
+
+from repro.graph.ops import (
+    ComputeClass,
+    Operator,
+    OpType,
+    Phase,
+    conv2d_flops,
+    matmul_flops,
+)
+
+
+class TestEnumIntegrity:
+    def test_all_members_distinct(self):
+        """Equal-valued members would silently alias (a real bug we hit):
+        every OpType must be its own member."""
+        assert len(list(OpType)) == 23
+        kernels = [m.value.kernel for m in OpType]
+        assert len(set(kernels)) == len(kernels)
+
+    def test_forward_backward_update_memory_phases(self):
+        assert {p.value for p in Phase} == {
+            "forward", "backward", "update", "memory",
+        }
+
+
+class TestClassification:
+    def test_conv_flags(self):
+        assert OpType.CONV2D.is_conv
+        assert OpType.CONV2D.compute_class is ComputeClass.COMPUTE_BOUND
+        assert not OpType.MATMUL.is_conv
+
+    def test_superneurons_cheap_set(self):
+        cheap = {m for m in OpType if m.cheap_to_recompute}
+        assert OpType.POOL_MAX in cheap
+        assert OpType.BATCHNORM in cheap
+        assert OpType.RELU in cheap
+        assert OpType.CONV2D not in cheap
+        assert OpType.MATMUL not in cheap
+
+    def test_transfer_ops(self):
+        assert OpType.SWAP_OUT.compute_class is ComputeClass.TRANSFER
+        assert OpType.SWAP_IN.compute_class is ComputeClass.TRANSFER
+
+    def test_reshape_is_free(self):
+        assert OpType.RESHAPE.compute_class is ComputeClass.FREE
+
+    def test_saved_for_backward_conventions(self):
+        assert OpType.CONV2D.saved_for_backward == frozenset({"inputs"})
+        assert OpType.RELU.saved_for_backward == frozenset({"outputs"})
+        assert OpType.POOL_MAX.saved_for_backward == frozenset(
+            {"inputs", "outputs"},
+        )
+        assert OpType.ADD.saved_for_backward == frozenset()
+
+    def test_batchnorm_not_sample_splittable(self):
+        assert not OpType.BATCHNORM.info.sample_splittable
+        assert OpType.CONV2D.info.sample_splittable
+
+
+class TestFlopsFormulas:
+    def test_conv2d_flops(self):
+        # 2 * N * K * H * W * C * kh * kw
+        assert conv2d_flops(2, 3, 4, 5, 5, 3, 3) == 2 * 2 * 4 * 5 * 5 * 3 * 9
+
+    def test_matmul_flops(self):
+        assert matmul_flops(4, 5, 6) == 2 * 4 * 5 * 6
+
+
+class TestOperator:
+    def test_backward_flag(self):
+        op = Operator(op_id=0, name="d", op_type=OpType.CONV2D,
+                      phase=Phase.BACKWARD)
+        assert op.is_backward
+
+    def test_forward_op_attr(self):
+        op = Operator(op_id=0, name="d", op_type=OpType.CONV2D,
+                      attrs={"forward_op": 7})
+        assert op.forward_op == 7
+
+    def test_forward_op_default_none(self):
+        op = Operator(op_id=0, name="f", op_type=OpType.CONV2D)
+        assert op.forward_op is None

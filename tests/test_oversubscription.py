@@ -1,0 +1,71 @@
+"""Memory over-subscription sweeps."""
+
+import pytest
+
+from repro.analysis.oversubscription import (
+    oversubscription_sweep,
+    survival_ratio,
+)
+from repro.graph.autodiff import build_training_graph
+from repro.models.layers import ModelBuilder
+from tests.conftest import BIG_GPU
+
+
+def deep_chain_cnn(batch: int = 32, blocks: int = 8):
+    """Deep enough that the activation sum dwarfs any one op's working
+    set — the regime where eviction buys real over-subscription."""
+    builder = ModelBuilder(f"chain[{blocks}]", batch)
+    x = builder.input_image(3, 32, 32)
+    for index in range(blocks):
+        x = builder.conv2d(x, 16, 3, name=f"conv{index}")
+        x = builder.relu(x, name=f"relu{index}")
+    logits = builder.linear(builder.flatten(x), 10)
+    loss = builder.cross_entropy_loss(logits)
+    return build_training_graph(builder.graph, loss)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    graph = deep_chain_cnn()
+    return oversubscription_sweep(
+        graph,
+        ["base", "vdnn_all", "superneurons"],
+        BIG_GPU,
+        ratios=(1.0, 1.5, 2.0, 3.0),
+    )
+
+
+class TestSweep:
+    def test_grid_complete(self, sweep):
+        assert len(sweep) == 3 * 4
+
+    def test_base_dies_first(self, sweep):
+        """Base cannot survive any genuine over-subscription."""
+        assert survival_ratio(sweep, "base") <= 1.0
+
+    def test_eviction_policies_survive_deeper(self, sweep):
+        assert survival_ratio(sweep, "vdnn_all") > survival_ratio(sweep, "base")
+
+    def test_slowdown_grows_with_pressure(self, sweep):
+        """Deeper over-subscription never speeds a policy up."""
+        for policy in ("vdnn_all", "superneurons"):
+            series = sorted(
+                (p.ratio, p.slowdown_vs_full)
+                for p in sweep if p.policy == policy and p.feasible
+            )
+            for (_, earlier), (_, later) in zip(series, series[1:]):
+                assert later >= earlier * 0.999
+
+    def test_infeasible_points_marked(self, sweep):
+        deep_base = [
+            p for p in sweep if p.policy == "base" and p.ratio >= 1.5
+        ]
+        assert all(not p.feasible for p in deep_base)
+
+    def test_slowdown_reference_is_one(self, sweep):
+        eligible = [
+            p for p in sweep
+            if p.policy == "superneurons" and p.ratio == 1.0 and p.feasible
+        ]
+        if eligible:
+            assert eligible[0].slowdown_vs_full == pytest.approx(1.0, rel=0.05)

@@ -1,0 +1,139 @@
+"""Plan / TensorConfig data model and validation."""
+
+import pytest
+
+from repro.core.plan import MemOption, Plan, TensorConfig, validate_plan
+from repro.errors import PolicyError
+from repro.graph.tensor import TensorKind
+
+
+class TestTensorConfig:
+    def test_defaults_reside_unsplit(self):
+        cfg = TensorConfig()
+        assert cfg.opt is MemOption.RESIDE
+        assert not cfg.is_split
+        assert not cfg.evicts
+
+    def test_swap_evicts(self):
+        assert TensorConfig(opt=MemOption.SWAP).evicts
+        assert TensorConfig(opt=MemOption.RECOMPUTE).evicts
+        assert not TensorConfig(opt=MemOption.CPU).evicts
+
+    def test_split_flag(self):
+        assert TensorConfig(p_num=4).is_split
+
+    def test_invalid_p_num(self):
+        with pytest.raises(ValueError):
+            TensorConfig(p_num=0)
+
+    def test_describe(self):
+        cfg = TensorConfig(opt=MemOption.SWAP, p_num=4, dim="sample")
+        assert "swap" in cfg.describe()
+        assert "p=4" in cfg.describe()
+
+    def test_hashable_for_cycle_guard(self):
+        a = TensorConfig(opt=MemOption.SWAP, p_num=4)
+        b = TensorConfig(opt=MemOption.SWAP, p_num=4)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestPlan:
+    def test_default_config_is_reside(self):
+        assert Plan().config_for(7) == TensorConfig()
+
+    def test_set_and_get(self):
+        plan = Plan()
+        cfg = TensorConfig(opt=MemOption.SWAP)
+        plan.set(3, cfg)
+        assert plan.config_for(3) == cfg
+
+    def test_set_reside_removes_entry(self):
+        plan = Plan()
+        plan.set(3, TensorConfig(opt=MemOption.SWAP))
+        plan.set(3, TensorConfig())
+        assert 3 not in plan.configs
+
+    def test_evicted_tensors(self):
+        plan = Plan()
+        plan.set(1, TensorConfig(opt=MemOption.SWAP))
+        plan.set(2, TensorConfig(opt=MemOption.RECOMPUTE))
+        plan.set(3, TensorConfig(opt=MemOption.CPU))
+        assert sorted(plan.evicted_tensors()) == [1, 2]
+
+    def test_copy_is_independent(self):
+        plan = Plan()
+        plan.set(1, TensorConfig(opt=MemOption.SWAP))
+        clone = plan.copy()
+        clone.set(2, TensorConfig(opt=MemOption.RECOMPUTE))
+        assert 2 not in plan.configs
+
+    def test_option_bytes(self, tiny_cnn):
+        plan = Plan()
+        act = tiny_cnn.activations()[0]
+        plan.set(act.tensor_id, TensorConfig(opt=MemOption.SWAP))
+        totals = plan.option_bytes(tiny_cnn)
+        assert totals[MemOption.SWAP] == act.size_bytes
+        assert totals[MemOption.RECOMPUTE] == 0
+
+    def test_summary_mentions_policy(self, tiny_cnn):
+        plan = Plan(policy="unittest")
+        assert "unittest" in plan.summary(tiny_cnn)
+
+
+class TestValidation:
+    def test_valid_plan_passes(self, tiny_cnn):
+        plan = Plan()
+        act = tiny_cnn.activations()[0]
+        plan.set(act.tensor_id, TensorConfig(opt=MemOption.SWAP))
+        validate_plan(tiny_cnn, plan)
+
+    def test_unknown_tensor_rejected(self, tiny_cnn):
+        plan = Plan()
+        plan.set(10_000, TensorConfig(opt=MemOption.SWAP))
+        with pytest.raises(PolicyError):
+            validate_plan(tiny_cnn, plan)
+
+    def test_recompute_param_rejected(self, tiny_cnn):
+        plan = Plan()
+        param = tiny_cnn.parameters()[0]
+        plan.set(param.tensor_id, TensorConfig(opt=MemOption.RECOMPUTE))
+        with pytest.raises(PolicyError, match="recompute"):
+            validate_plan(tiny_cnn, plan)
+
+    def test_cpu_activation_rejected(self, tiny_cnn):
+        plan = Plan()
+        act = tiny_cnn.activations()[0]
+        plan.set(act.tensor_id, TensorConfig(opt=MemOption.CPU))
+        with pytest.raises(PolicyError, match="CPU"):
+            validate_plan(tiny_cnn, plan)
+
+    def test_swap_input_rejected(self, tiny_cnn):
+        plan = Plan()
+        graph_input = tiny_cnn.graph_inputs()[0]
+        plan.set(graph_input.tensor_id, TensorConfig(opt=MemOption.SWAP))
+        with pytest.raises(PolicyError, match="swapped"):
+            validate_plan(tiny_cnn, plan)
+
+    def test_split_unknown_dim_rejected(self, tiny_cnn):
+        plan = Plan()
+        act = tiny_cnn.activations()[0]
+        plan.set(act.tensor_id, TensorConfig(p_num=2, dim="bogus"))
+        with pytest.raises(PolicyError, match="split"):
+            validate_plan(tiny_cnn, plan)
+
+    def test_split_wider_than_extent_rejected(self, tiny_cnn):
+        plan = Plan()
+        act = tiny_cnn.activations()[0]
+        plan.set(
+            act.tensor_id,
+            TensorConfig(p_num=100_000, dim="sample"),
+        )
+        with pytest.raises(PolicyError, match="cannot split"):
+            validate_plan(tiny_cnn, plan)
+
+    def test_cpu_optimizer_state_allowed(self, tiny_cnn):
+        plan = Plan()
+        state = tiny_cnn.tensors_of_kind(TensorKind.OPTIMIZER_STATE)[0]
+        plan.set(state.tensor_id, TensorConfig(opt=MemOption.CPU))
+        validate_plan(tiny_cnn, plan)

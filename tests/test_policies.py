@@ -1,0 +1,161 @@
+"""Baseline policies: rule fidelity and applicability."""
+
+import pytest
+
+from repro.core.plan import MemOption
+from repro.errors import PolicyError
+from repro.graph.ops import OpType
+from repro.graph.tensor import TensorKind
+from repro.policies import (
+    CheckpointsPolicy,
+    FairscaleOffloadPolicy,
+    SuperNeuronsPolicy,
+    TsplitNoSplitPolicy,
+    TsplitPolicy,
+    VdnnAllPolicy,
+    VdnnConvPolicy,
+    ZeroOffloadPolicy,
+)
+from repro.policies.base import BasePolicy, get_policy
+from tests.conftest import BIG_GPU
+
+
+class TestRegistry:
+    def test_all_paper_policies_available(self):
+        for name in ("base", "vdnn_conv", "vdnn_all", "checkpoints",
+                     "superneurons", "tsplit", "tsplit_nosplit",
+                     "zero_offload", "fairscale_offload"):
+            assert get_policy(name).name == name
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError):
+            get_policy("magic")
+
+
+class TestBase:
+    def test_empty_plan(self, tiny_cnn):
+        plan = BasePolicy().build_plan(tiny_cnn, BIG_GPU)
+        assert plan.configs == {}
+
+
+class TestVdnn:
+    def test_conv_swaps_only_conv_inputs(self, tiny_cnn):
+        plan = VdnnConvPolicy().build_plan(tiny_cnn, BIG_GPU)
+        conv_inputs = set()
+        for op in tiny_cnn.ops.values():
+            if op.op_type is OpType.CONV2D and not op.is_backward:
+                conv_inputs.update(
+                    t for t in op.inputs
+                    if tiny_cnn.tensors[t].kind is TensorKind.ACTIVATION
+                )
+        assert set(plan.configs) == conv_inputs
+        assert all(c.opt is MemOption.SWAP for c in plan.configs.values())
+
+    def test_conv_rejects_transformer(self, tiny_transformer):
+        with pytest.raises(PolicyError, match="no convolution"):
+            VdnnConvPolicy().build_plan(tiny_transformer, BIG_GPU)
+
+    def test_all_swaps_every_activation(self, tiny_cnn):
+        plan = VdnnAllPolicy().build_plan(tiny_cnn, BIG_GPU)
+        activations = {
+            t.tensor_id for t in tiny_cnn.activations()
+            if t.producer is not None
+        }
+        assert set(plan.configs) == activations
+
+    def test_all_works_on_transformer(self, tiny_transformer):
+        plan = VdnnAllPolicy().build_plan(tiny_transformer, BIG_GPU)
+        assert plan.configs
+
+
+class TestCheckpoints:
+    def test_mixes_checkpoints_and_recompute(self, tiny_cnn):
+        plan = CheckpointsPolicy().build_plan(tiny_cnn, BIG_GPU)
+        recomputed = [
+            c for c in plan.configs.values()
+            if c.opt is MemOption.RECOMPUTE
+        ]
+        assert recomputed
+        # Not everything is recomputed: checkpoints remain.
+        backbone_size = len([
+            t for t in tiny_cnn.activations() if t.producer is not None
+        ])
+        assert len(recomputed) < backbone_size
+
+    def test_segment_scale_controls_density(self, tiny_cnn):
+        """Larger segment_scale means more segments, hence more
+        checkpoints and fewer recomputed tensors."""
+        few_segments = CheckpointsPolicy(segment_scale=0.5).build_plan(
+            tiny_cnn, BIG_GPU,
+        )
+        many_segments = CheckpointsPolicy(segment_scale=3.0).build_plan(
+            tiny_cnn, BIG_GPU,
+        )
+        assert len(many_segments.configs) <= len(few_segments.configs)
+
+    def test_speed_centric_strategy_declared(self):
+        assert CheckpointsPolicy().recompute_strategy == "speed_centric"
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            CheckpointsPolicy(segment_scale=0)
+
+
+class TestSuperNeurons:
+    def test_conv_outputs_swapped_cheap_recomputed(self, tiny_cnn):
+        plan = SuperNeuronsPolicy().build_plan(tiny_cnn, BIG_GPU)
+        for op in tiny_cnn.ops.values():
+            if op.is_backward:
+                continue
+            for tid in op.outputs:
+                tensor = tiny_cnn.tensors[tid]
+                if tensor.kind is not TensorKind.ACTIVATION:
+                    continue
+                cfg = plan.config_for(tid)
+                if op.op_type.is_conv:
+                    assert cfg.opt is MemOption.SWAP
+                elif op.op_type.cheap_to_recompute:
+                    assert cfg.opt is MemOption.RECOMPUTE
+
+    def test_rejects_transformer(self, tiny_transformer):
+        with pytest.raises(PolicyError):
+            SuperNeuronsPolicy().build_plan(tiny_transformer, BIG_GPU)
+
+
+class TestTsplitPolicies:
+    def test_nosplit_variant_flag(self):
+        assert TsplitPolicy.allow_split
+        assert not TsplitNoSplitPolicy.allow_split
+
+    def test_names(self):
+        assert TsplitPolicy().name == "tsplit"
+        assert TsplitNoSplitPolicy().name == "tsplit_nosplit"
+
+    def test_no_pressure_empty_plan(self, tiny_cnn):
+        plan = TsplitPolicy().build_plan(tiny_cnn, BIG_GPU)
+        assert plan.configs == {}
+
+
+class TestOffloadPolicies:
+    def test_zero_offload_targets(self, tiny_cnn):
+        plan = ZeroOffloadPolicy().build_plan(tiny_cnn, BIG_GPU)
+        assert plan.cpu_update
+        for t in tiny_cnn.tensors.values():
+            cfg = plan.config_for(t.tensor_id)
+            if t.kind is TensorKind.OPTIMIZER_STATE:
+                assert cfg.opt is MemOption.CPU
+            elif t.kind is TensorKind.GRAD_PARAM:
+                assert cfg.opt is MemOption.SWAP
+            elif t.kind is TensorKind.ACTIVATION:
+                assert cfg.opt is MemOption.RESIDE
+
+    def test_fairscale_shards_params_and_activations(self, tiny_cnn):
+        plan = FairscaleOffloadPolicy().build_plan(tiny_cnn, BIG_GPU)
+        assert plan.cpu_update
+        for t in tiny_cnn.parameters():
+            assert plan.config_for(t.tensor_id).opt is MemOption.SWAP
+        swapped_acts = [
+            t for t in tiny_cnn.activations()
+            if plan.config_for(t.tensor_id).opt is MemOption.SWAP
+        ]
+        assert swapped_acts

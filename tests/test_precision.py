@@ -1,0 +1,80 @@
+"""Mixed-precision (fp16 activations, fp32 master weights)."""
+
+import pytest
+
+from repro.analysis.runner import run_policy
+from repro.analysis.scaling import max_sample_scale
+from repro.graph.tensor import TensorKind
+from repro.models import build_model, build_vgg16
+from repro.models.layers import ModelBuilder
+from tests.conftest import BIG_GPU
+
+
+class TestDtypePropagation:
+    def test_activations_halve(self):
+        fp32 = build_vgg16(2, precision="fp32")
+        fp16 = build_vgg16(2, precision="fp16")
+        assert fp16.activation_bytes() == pytest.approx(
+            fp32.activation_bytes() / 2, rel=0.01,
+        )
+
+    def test_master_weights_stay_fp32(self):
+        fp16 = build_vgg16(2, precision="fp16")
+        for param in fp16.parameters():
+            assert param.dtype.nbytes == 4
+        for state in fp16.tensors_of_kind(TensorKind.OPTIMIZER_STATE):
+            assert state.dtype.nbytes == 4
+
+    def test_gradients_follow_activations(self):
+        fp16 = build_vgg16(2, precision="fp16")
+        grads = fp16.tensors_of_kind(TensorKind.GRAD_ACTIVATION)
+        assert grads
+        assert all(g.dtype.nbytes == 2 for g in grads)
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValueError, match="precision"):
+            ModelBuilder("m", 2, precision="fp8")
+
+    def test_all_registry_models_accept_precision(self):
+        for name in ("vgg16", "resnet50", "transformer", "gpt",
+                     "densenet121", "bert_large"):
+            kwargs = {"layers": 2} if name in ("bert_large", "gpt") else {}
+            if name in ("transformer", "gpt"):
+                kwargs["seq_len"] = 16
+                kwargs.setdefault("layers", 2)
+            graph = build_model(name, 2, precision="fp16", **kwargs)
+            graph.validate()
+
+
+def small_cnn(batch, *, param_scale=1.0, precision="fp32"):
+    """Activation-dominated toy (tiny params) for precision scaling."""
+    from repro.graph.autodiff import build_training_graph
+
+    builder = ModelBuilder(f"pcnn[{precision}]", batch, precision=precision)
+    x = builder.input_image(3, 32, 32)
+    for i in range(4):
+        x = builder.conv2d(x, 8, 3, name=f"conv{i}")
+        x = builder.relu(x, name=f"relu{i}")
+    logits = builder.linear(builder.flatten(x), 10)
+    loss = builder.cross_entropy_loss(logits)
+    return build_training_graph(builder.graph, loss)
+
+
+class TestPrecisionScaling:
+    def test_fp16_roughly_doubles_max_batch(self):
+        gpu = BIG_GPU.with_memory(64 * 1024 * 1024)
+        fp32_max = max_sample_scale(
+            lambda b, param_scale=1.0: small_cnn(b, precision="fp32"),
+            "base", gpu, cap=2048,
+        )
+        fp16_max = max_sample_scale(
+            lambda b, param_scale=1.0: small_cnn(b, precision="fp16"),
+            "base", gpu, cap=2048,
+        )
+        assert fp32_max > 0
+        assert fp16_max > fp32_max * 1.5
+
+    def test_fp16_executes_under_tsplit(self):
+        graph = build_vgg16(8, image_size=64, precision="fp16")
+        result = run_policy(graph, "tsplit", BIG_GPU)
+        assert result.feasible

@@ -1,0 +1,93 @@
+"""Profiling-based estimation (Section V-B)."""
+
+import pytest
+
+from repro.core.profiler import Profiler
+from repro.errors import ProfilingError
+from repro.graph.ops import ComputeClass
+from repro.hardware.kernels import KernelModel
+
+
+class TestProfile:
+    def test_every_compute_op_profiled(self, tiny_cnn, big_gpu):
+        profile = Profiler(big_gpu).profile(tiny_cnn)
+        for op in tiny_cnn.ops.values():
+            if op.op_type.compute_class is not ComputeClass.TRANSFER:
+                assert op.op_id in profile.op_times
+
+    def test_noiseless_profile_matches_model(self, tiny_cnn, big_gpu):
+        profile = Profiler(big_gpu, noise_sigma=0.0).profile(tiny_cnn)
+        model = KernelModel(big_gpu)
+        for op in tiny_cnn.ops.values():
+            if op.op_id in profile.op_times:
+                assert profile.op_times[op.op_id] == pytest.approx(
+                    model.op_time(op),
+                )
+
+    def test_noise_is_deterministic_per_seed(self, tiny_cnn, big_gpu):
+        a = Profiler(big_gpu, noise_sigma=0.05, seed=7).profile(tiny_cnn)
+        b = Profiler(big_gpu, noise_sigma=0.05, seed=7).profile(tiny_cnn)
+        assert a.op_times == b.op_times
+
+    def test_noise_changes_with_seed(self, tiny_cnn, big_gpu):
+        a = Profiler(big_gpu, noise_sigma=0.05, seed=1).profile(tiny_cnn)
+        b = Profiler(big_gpu, noise_sigma=0.05, seed=2).profile(tiny_cnn)
+        assert a.op_times != b.op_times
+
+    def test_noisy_mean_close_to_truth(self, tiny_cnn, big_gpu):
+        truth = Profiler(big_gpu).profile(tiny_cnn)
+        noisy = Profiler(
+            big_gpu, noise_sigma=0.03, samples=20, seed=0,
+        ).profile(tiny_cnn)
+        for op_id, t in truth.op_times.items():
+            if t > 0:
+                assert noisy.op_times[op_id] == pytest.approx(t, rel=0.1)
+
+    def test_invalid_options(self, big_gpu):
+        with pytest.raises(ProfilingError):
+            Profiler(big_gpu, noise_sigma=-1)
+        with pytest.raises(ProfilingError):
+            Profiler(big_gpu, samples=0)
+
+
+class TestProfileData:
+    def test_unknown_op_rejected(self, tiny_cnn, big_gpu):
+        profile = Profiler(big_gpu).profile(tiny_cnn)
+        with pytest.raises(ProfilingError):
+            profile.op_time(99_999)
+
+    def test_split_time_at_least_whole(self, tiny_cnn, big_gpu):
+        profile = Profiler(big_gpu).profile(tiny_cnn)
+        conv = next(op for op in tiny_cnn.ops.values() if op.name == "conv1")
+        assert profile.split_op_time(conv.op_id, 4) >= profile.op_time(conv.op_id)
+
+    def test_split_time_cached(self, tiny_cnn, big_gpu):
+        profile = Profiler(big_gpu).profile(tiny_cnn)
+        conv = next(op for op in tiny_cnn.ops.values() if op.name == "conv1")
+        first = profile.split_op_time(conv.op_id, 4)
+        assert profile.split_op_time(conv.op_id, 4) == first
+        assert (conv.op_id, 4) in profile._split_cache
+
+    def test_split_overhead_nonnegative(self, tiny_cnn, big_gpu):
+        profile = Profiler(big_gpu).profile(tiny_cnn)
+        for op in tiny_cnn.ops.values():
+            if op.op_id in profile.op_times:
+                assert profile.split_overhead(op.op_id, 2) >= 0
+
+    def test_transfer_time_uses_pcie(self, tiny_cnn, big_gpu):
+        profile = Profiler(big_gpu).profile(tiny_cnn)
+        assert profile.transfer_time(big_gpu.pcie_bandwidth) == pytest.approx(
+            1.0, rel=0.01,
+        )
+
+    def test_total_compute_time_sums_schedule(
+        self, tiny_cnn_schedule, big_gpu,
+    ):
+        graph, schedule = tiny_cnn_schedule
+        profile = Profiler(big_gpu).profile(graph)
+        total = profile.total_compute_time(schedule)
+        assert total == pytest.approx(sum(profile.op_times.values()))
+
+    def test_bandwidth_property(self, tiny_cnn, big_gpu):
+        profile = Profiler(big_gpu).profile(tiny_cnn)
+        assert profile.bandwidth == big_gpu.pcie_bandwidth

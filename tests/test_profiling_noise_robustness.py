@@ -1,0 +1,47 @@
+"""Planner robustness to profiling noise.
+
+The paper's planner relies on the predictability of DNN op times; real
+profilers still measure with some jitter. Plans built from noisy
+profiles must stay feasible — the memory side of planning is
+noise-independent, only ΔT rankings wobble.
+"""
+
+import pytest
+
+from repro.core.cost_model import CostModelOptions
+from repro.core.planner import PlannerOptions, TsplitPlanner
+from repro.core.profiler import Profiler
+from repro.core.simulate import simulate_memory
+from tests.conftest import BIG_GPU, build_tiny_cnn
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_noisy_profiles_still_plan_feasibly(seed):
+    graph = build_tiny_cnn(batch=64, image=32)
+    baseline = TsplitPlanner(BIG_GPU).plan(graph).baseline_peak
+    gpu = BIG_GPU.with_memory(int(baseline * 0.7))
+    options = PlannerOptions(
+        cost=CostModelOptions(min_split_bytes=0, min_evict_bytes=0),
+    )
+    profiler = Profiler(gpu, noise_sigma=0.05, seed=seed)
+    planner = TsplitPlanner(gpu, options, profiler=profiler)
+    result = planner.plan(graph)
+    curve = simulate_memory(graph, result.schedule, result.plan)
+    assert curve.max() <= gpu.memory_bytes
+
+
+def test_noise_changes_only_time_estimates():
+    """Same budget, different noise: the plans may differ in ΔT ranking,
+    but every produced plan meets the memory budget."""
+    graph = build_tiny_cnn(batch=64, image=32)
+    baseline = TsplitPlanner(BIG_GPU).plan(graph).baseline_peak
+    gpu = BIG_GPU.with_memory(int(baseline * 0.75))
+    options = PlannerOptions(
+        cost=CostModelOptions(min_split_bytes=0, min_evict_bytes=0),
+    )
+    peaks = []
+    for seed in (0, 7):
+        profiler = Profiler(gpu, noise_sigma=0.1, seed=seed)
+        result = TsplitPlanner(gpu, options, profiler=profiler).plan(graph)
+        peaks.append(result.peak_memory)
+    assert all(peak <= gpu.memory_bytes for peak in peaks)

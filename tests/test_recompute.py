@@ -1,0 +1,114 @@
+"""Recompute chains and strategies (Section V-D)."""
+
+import pytest
+
+from repro.core.plan import MemOption, Plan, TensorConfig
+from repro.core.recompute import (
+    RecomputeStrategy,
+    chain_compute_time,
+    chain_extra_bytes,
+    chain_transient_bytes,
+    planning_chain,
+    recompute_chain,
+)
+from repro.errors import PlanningError
+from repro.graph.liveness import compute_liveness
+from repro.graph.scheduler import dfs_schedule
+
+
+def find(graph, name):
+    return next(t for t in graph.tensors.values() if t.name == name)
+
+
+class TestChainDiscovery:
+    def test_single_op_chain_when_input_resident(self, tiny_cnn):
+        relu_out = find(tiny_cnn, "relu1/out")
+        chain = recompute_chain(tiny_cnn, relu_out.tensor_id, lambda t: True)
+        assert len(chain) == 1
+        assert tiny_cnn.ops[chain[0]].name == "relu1"
+
+    def test_chain_extends_through_missing_ancestors(self, tiny_cnn):
+        relu_out = find(tiny_cnn, "relu2/out")
+        conv2_out = find(tiny_cnn, "conv2/out")
+        relu1_out = find(tiny_cnn, "relu1/out")
+        missing = {conv2_out.tensor_id, relu1_out.tensor_id}
+        chain = recompute_chain(
+            tiny_cnn, relu_out.tensor_id, lambda t: t not in missing,
+        )
+        names = [tiny_cnn.ops[op].name for op in chain]
+        assert names == ["relu1", "conv2", "relu2"]
+
+    def test_chain_order_is_topological(self, tiny_cnn):
+        relu_out = find(tiny_cnn, "relu2/out")
+        chain = recompute_chain(tiny_cnn, relu_out.tensor_id, lambda t: False)
+        assert chain == sorted(chain)
+
+    def test_unproducible_tensor_rejected(self, tiny_cnn):
+        graph_input = tiny_cnn.graph_inputs()[0]
+        with pytest.raises(PlanningError):
+            recompute_chain(tiny_cnn, graph_input.tensor_id, lambda t: True)
+
+    def test_chain_length_cap(self, tiny_cnn):
+        relu_out = find(tiny_cnn, "relu2/out")
+        with pytest.raises(PlanningError, match="exceeds"):
+            recompute_chain(
+                tiny_cnn, relu_out.tensor_id, lambda t: False, max_len=1,
+            )
+
+
+class TestPlanningChain:
+    def test_swap_sources_terminate_chain(self, tiny_cnn):
+        schedule = dfs_schedule(tiny_cnn)
+        liveness = compute_liveness(tiny_cnn, schedule)
+        relu2 = find(tiny_cnn, "relu2/out")
+        conv2 = find(tiny_cnn, "conv2/out")
+        plan = Plan()
+        plan.set(relu2.tensor_id, TensorConfig(opt=MemOption.RECOMPUTE))
+        plan.set(conv2.tensor_id, TensorConfig(opt=MemOption.SWAP))
+        chain = planning_chain(
+            tiny_cnn, relu2.tensor_id, plan, liveness.free_step,
+            regen_step=len(schedule) - 1,
+        )
+        assert [tiny_cnn.ops[o].name for o in chain] == ["relu2"]
+
+    def test_dead_reside_ancestor_joins_chain(self, tiny_cnn):
+        """conv2/out (RESIDE) dies at relu2 in the forward; a chain
+        regenerating relu2/out late in the backward must rebuild it."""
+        schedule = dfs_schedule(tiny_cnn)
+        liveness = compute_liveness(tiny_cnn, schedule)
+        relu2 = find(tiny_cnn, "relu2/out")
+        conv2 = find(tiny_cnn, "conv2/out")
+        plan = Plan()
+        plan.set(relu2.tensor_id, TensorConfig(opt=MemOption.RECOMPUTE))
+        conv2_free = liveness.free_step[conv2.tensor_id]
+        chain = planning_chain(
+            tiny_cnn, relu2.tensor_id, plan, liveness.free_step,
+            regen_step=conv2_free + 1,
+        )
+        assert conv2.producer in chain
+
+
+class TestChainCosts:
+    def test_compute_time_sums(self, tiny_cnn):
+        chain = [0, 1, 2]
+        assert chain_compute_time(chain, lambda op: 2.0) == 6.0
+
+    def test_transient_bytes_is_worst_op(self, tiny_cnn):
+        relu2 = find(tiny_cnn, "relu2/out")
+        chain = recompute_chain(tiny_cnn, relu2.tensor_id, lambda t: False)
+        transient = chain_transient_bytes(tiny_cnn, chain)
+        # At least the largest activation in the chain.
+        assert transient >= relu2.size_bytes
+
+    def test_extra_bytes_subtracts_target(self, tiny_cnn):
+        relu2 = find(tiny_cnn, "relu2/out")
+        chain = recompute_chain(tiny_cnn, relu2.tensor_id, lambda t: True)
+        extra = chain_extra_bytes(tiny_cnn, chain, relu2.tensor_id)
+        assert extra == chain_transient_bytes(tiny_cnn, chain) - relu2.size_bytes
+
+
+class TestStrategyEnum:
+    def test_three_strategies(self):
+        assert {s.value for s in RecomputeStrategy} == {
+            "memory_centric", "speed_centric", "lru",
+        }

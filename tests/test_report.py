@@ -1,0 +1,83 @@
+"""Text reporting: sparklines, timelines, gantt charts."""
+
+import pytest
+
+from repro.analysis.report import (
+    comparison_table,
+    memory_timeline,
+    sparkline,
+    stream_gantt,
+    trace_report,
+)
+from repro.analysis.runner import run_policy
+from tests.conftest import BIG_GPU, build_tiny_cnn
+
+
+@pytest.fixture(scope="module")
+def trace():
+    graph = build_tiny_cnn(batch=32, image=32)
+    result = run_policy(graph, "superneurons", BIG_GPU)
+    assert result.feasible
+    return result.trace
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_zero(self):
+        assert set(sparkline([0, 0, 0])) == {" "}
+
+    def test_peak_is_full_block(self):
+        line = sparkline([1, 2, 8, 2, 1])
+        assert "█" in line
+
+    def test_downsampled_to_width(self):
+        assert len(sparkline(range(1000), width=40)) == 40
+
+    def test_short_series_kept(self):
+        assert len(sparkline([1, 2, 3], width=40)) == 3
+
+
+class TestTimeline:
+    def test_mentions_peak(self, trace):
+        text = memory_timeline(trace)
+        assert "peak" in text
+
+    def test_empty_trace_handled(self):
+        from repro.runtime.trace import ExecutionTrace
+
+        empty = ExecutionTrace(
+            name="e", batch=1, iteration_time=0.0, compute_busy=0.0,
+            cpu_busy=0.0, d2h_busy=0.0, h2d_busy=0.0, memory_stall=0.0,
+            peak_memory=0, persistent_bytes=0, swapped_out_bytes=0,
+            swapped_in_bytes=0, recompute_time=0.0, recompute_ops=0,
+            split_kernels=0,
+        )
+        assert "no memory samples" in memory_timeline(empty)
+
+
+class TestGantt:
+    def test_compute_row_present(self, trace):
+        text = stream_gantt(trace)
+        assert "compute" in text
+
+    def test_transfer_rows_for_swapping_policy(self, trace):
+        text = stream_gantt(trace)
+        assert "d2h" in text
+        assert "h2d" in text
+
+    def test_occupancy_percent_shown(self, trace):
+        assert "%" in stream_gantt(trace)
+
+
+class TestReports:
+    def test_full_report_sections(self, trace):
+        text = trace_report(trace)
+        assert "device memory" in text
+        assert "stream occupancy" in text
+
+    def test_comparison_table(self, trace):
+        table = comparison_table({"superneurons": trace, "broken": None})
+        assert "superneurons" in table
+        assert "infeasible" in table

@@ -1,0 +1,172 @@
+"""Analysis drivers: runner, scaling search, throughput sweep, breakdowns."""
+
+import pytest
+
+from repro.analysis.breakdown import max_scale_under_throughput, strategy_breakdown
+from repro.analysis.distribution import SIZE_BUCKETS, tensor_size_distribution
+from repro.analysis.footprint import (
+    max_trainable_scale,
+    memory_requirement_grid,
+    model_memory_requirement,
+)
+from repro.analysis.runner import evaluate, run_policy
+from repro.analysis.scaling import _search_max, max_sample_scale
+from repro.analysis.throughput import speedups_over, throughput_sweep
+from repro.core.plan import MemOption, Plan, TensorConfig
+from tests.conftest import BIG_GPU, TINY_GPU, build_tiny_cnn
+
+
+def scaled_gpu(graph, fraction):
+    base = model_memory_requirement(graph)
+    return BIG_GPU.with_memory(int(base * fraction))
+
+
+class TestRunner:
+    def test_feasible_run_has_trace(self, tiny_cnn):
+        result = run_policy(tiny_cnn, "base", BIG_GPU)
+        assert result.feasible
+        assert result.trace is not None
+        assert result.throughput > 0
+
+    def test_oom_reported_not_raised(self, tiny_cnn):
+        gpu = BIG_GPU.with_memory(256 * 1024)
+        result = run_policy(tiny_cnn, "base", gpu)
+        assert not result.feasible
+        assert result.failure
+
+    def test_policy_error_reported(self, tiny_transformer):
+        result = run_policy(tiny_transformer, "vdnn_conv", BIG_GPU)
+        assert not result.feasible
+        assert "convolution" in result.failure
+
+    def test_evaluate_builds_model(self):
+        result = evaluate("vgg16", "base", BIG_GPU, 2, image_size=32)
+        assert result.feasible
+
+    def test_infeasible_iteration_time_infinite(self, tiny_cnn):
+        gpu = BIG_GPU.with_memory(256 * 1024)
+        result = run_policy(tiny_cnn, "base", gpu)
+        assert result.iteration_time == float("inf")
+        assert result.throughput == 0.0
+
+
+class TestSearchMax:
+    def test_simple_threshold(self):
+        assert _search_max(lambda n: n <= 37, start=4, cap=1000) == 37
+
+    def test_all_feasible_hits_cap(self):
+        assert _search_max(lambda n: True, start=4, cap=64) == 64
+
+    def test_nothing_feasible(self):
+        assert _search_max(lambda n: False, start=4, cap=64) == 0
+
+    def test_only_one(self):
+        assert _search_max(lambda n: n <= 1, start=8, cap=64) == 1
+
+    def test_threshold_below_start(self):
+        assert _search_max(lambda n: n <= 5, start=32, cap=1000) == 5
+
+
+class TestMaxSampleScale:
+    def test_monotone_in_memory(self):
+        small = max_sample_scale(
+            build_tiny_cnn, "base",
+            BIG_GPU.with_memory(4 * 1024 * 1024), cap=512,
+        )
+        large = max_sample_scale(
+            build_tiny_cnn, "base",
+            BIG_GPU.with_memory(8 * 1024 * 1024), cap=512,
+        )
+        assert large > small > 0
+
+    def test_zero_when_hopeless(self):
+        assert max_sample_scale(
+            build_tiny_cnn, "base", BIG_GPU.with_memory(64 * 1024), cap=16,
+        ) == 0
+
+
+class TestThroughputSweep:
+    def test_sweep_covers_grid(self):
+        points = throughput_sweep(
+            build_tiny_cnn, ["base", "vdnn_all"], [2, 4], BIG_GPU,
+        )
+        assert len(points) == 4
+        assert all(p.feasible for p in points)
+
+    def test_infeasible_points_present_with_zero_throughput(self):
+        gpu = BIG_GPU.with_memory(2 * 1024 * 1024)
+        points = throughput_sweep(build_tiny_cnn, ["base"], [64], gpu)
+        assert len(points) == 1
+        assert not points[0].feasible
+        assert points[0].throughput == 0.0
+
+    def test_speedups_relative_to_reference(self):
+        points = throughput_sweep(
+            build_tiny_cnn, ["base", "vdnn_all"], [4], BIG_GPU,
+        )
+        speedups = speedups_over(points, "vdnn_all")
+        assert speedups[("vdnn_all", 4)] == pytest.approx(1.0)
+        assert ("base", 4) in speedups
+
+
+class TestFootprint:
+    def test_requirement_positive(self, tiny_cnn):
+        assert model_memory_requirement(tiny_cnn) > 0
+
+    def test_grid_monotone_in_batch(self):
+        grid = memory_requirement_grid(
+            lambda b, param_scale=1.0: build_tiny_cnn(batch=b),
+            sample_scales=[2, 4, 8],
+            param_scales=[1.0],
+        )
+        assert grid[(2, 1.0)] < grid[(4, 1.0)] < grid[(8, 1.0)]
+
+    def test_trainable_frontier(self):
+        grid = memory_requirement_grid(
+            lambda b, param_scale=1.0: build_tiny_cnn(batch=b),
+            sample_scales=[2, 256],
+            param_scales=[1.0],
+        )
+        frontier = max_trainable_scale(grid, TINY_GPU)
+        assert (2, 1.0) in frontier
+        assert (256, 1.0) not in frontier
+
+
+class TestDistribution:
+    def test_fractions_sum_to_one(self, tiny_cnn):
+        dist = tensor_size_distribution(tiny_cnn)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_bucket_labels_are_papers(self, tiny_cnn):
+        dist = tensor_size_distribution(tiny_cnn)
+        assert list(dist) == [label for label, _, _ in SIZE_BUCKETS]
+
+    def test_byte_weighting_shifts_mass_up(self):
+        graph = build_tiny_cnn(batch=32)
+        by_count = tensor_size_distribution(graph)
+        by_bytes = tensor_size_distribution(graph, weight_by_bytes=True)
+        assert by_bytes["< 1MB"] <= by_count["< 1MB"]
+
+
+class TestBreakdown:
+    def test_strategy_breakdown_counts_bytes(self, tiny_cnn):
+        plan = Plan()
+        act = tiny_cnn.activations()[0]
+        plan.set(act.tensor_id, TensorConfig(opt=MemOption.SWAP))
+        breakdown = strategy_breakdown(tiny_cnn, plan)
+        assert breakdown["swap"] == act.size_bytes
+        assert breakdown["recompute"] == 0
+
+    def test_max_scale_under_throughput_bounds(self):
+        gpu = BIG_GPU.with_memory(8 * 1024 * 1024)
+        unconstrained = max_sample_scale(build_tiny_cnn, "base", gpu, cap=256)
+        constrained = max_scale_under_throughput(
+            build_tiny_cnn, "base", gpu, fraction=0.5, cap=256,
+        )
+        assert 0 < constrained <= max(unconstrained, 1)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            max_scale_under_throughput(
+                build_tiny_cnn, "base", BIG_GPU, fraction=0.0,
+            )

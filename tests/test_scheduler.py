@@ -1,0 +1,148 @@
+"""Algorithm 1: DFS topological scheduling."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.graph.graph import Graph
+from repro.graph.liveness import memory_curve
+from repro.graph.ops import OpType
+from repro.graph.scheduler import dfs_schedule, memory_aware_schedule
+from repro.graph.tensor import TensorKind
+from tests.conftest import build_tiny_cnn, build_tiny_resnet
+
+
+def diamond_graph() -> Graph:
+    """x -> (a, b) -> join: two branches that must both precede the join."""
+    g = Graph("diamond")
+    x = g.add_tensor("x", (4,), kind=TensorKind.INPUT)
+    a = g.add_tensor("a", (4,))
+    b = g.add_tensor("b", (4,))
+    j = g.add_tensor("j", (4,))
+    g.add_op("left", OpType.RELU, inputs=[x], outputs=[a])
+    g.add_op("right", OpType.GELU, inputs=[x], outputs=[b])
+    g.add_op("join", OpType.ADD, inputs=[a, b], outputs=[j])
+    return g
+
+
+class TestTopologicalOrder:
+    def test_all_ops_scheduled_once(self):
+        g = build_tiny_cnn()
+        schedule = dfs_schedule(g)
+        assert sorted(schedule) == sorted(g.ops)
+
+    def test_producers_precede_consumers(self):
+        g = build_tiny_resnet()
+        schedule = dfs_schedule(g)
+        position = {op_id: i for i, op_id in enumerate(schedule)}
+        for op in g.ops.values():
+            for tid in op.inputs:
+                producer = g.tensors[tid].producer
+                if producer is not None:
+                    assert position[producer] < position[op.op_id]
+
+    def test_diamond_join_last(self):
+        g = diamond_graph()
+        schedule = dfs_schedule(g)
+        names = [g.ops[i].name for i in schedule]
+        assert names[-1] == "join"
+        assert set(names[:2]) == {"left", "right"}
+
+    def test_dfs_keeps_branches_contiguous(self):
+        """In a 2-branch fork where each branch has 2 ops, DFS finishes
+        one branch before starting the other."""
+        g = Graph("fork")
+        x = g.add_tensor("x", (4,), kind=TensorKind.INPUT)
+        a1 = g.add_tensor("a1", (4,))
+        a2 = g.add_tensor("a2", (4,))
+        b1 = g.add_tensor("b1", (4,))
+        b2 = g.add_tensor("b2", (4,))
+        g.add_op("a_first", OpType.RELU, inputs=[x], outputs=[a1])
+        g.add_op("b_first", OpType.RELU, inputs=[x], outputs=[b1])
+        g.add_op("a_second", OpType.GELU, inputs=[a1], outputs=[a2])
+        g.add_op("b_second", OpType.GELU, inputs=[b1], outputs=[b2])
+        names = [g.ops[i].name for i in dfs_schedule(g)]
+        a_positions = [names.index("a_first"), names.index("a_second")]
+        b_positions = [names.index("b_first"), names.index("b_second")]
+        # One branch's ops are adjacent.
+        assert (
+            a_positions[1] - a_positions[0] == 1
+            or b_positions[1] - b_positions[0] == 1
+        )
+
+    def test_cycle_detected(self):
+        g = Graph("cyclic")
+        a = g.add_tensor("a", (2,))
+        b = g.add_tensor("b", (2,))
+        g.add_op("f", OpType.RELU, inputs=[b], outputs=[a])
+        g.add_op("g", OpType.RELU, inputs=[a], outputs=[b])
+        with pytest.raises(SchedulingError):
+            dfs_schedule(g)
+
+    def test_empty_graph(self):
+        assert dfs_schedule(Graph("empty")) == []
+
+    def test_deep_chain_no_recursion_error(self):
+        g = Graph("deep")
+        prev = g.add_tensor("x", (2,), kind=TensorKind.INPUT)
+        for i in range(3000):
+            nxt = g.add_tensor(f"t{i}", (2,))
+            g.add_op(f"op{i}", OpType.RELU, inputs=[prev], outputs=[nxt])
+            prev = nxt
+        assert len(dfs_schedule(g)) == 3000
+
+    def test_training_graph_forward_before_its_backward(self):
+        g = build_tiny_cnn()
+        schedule = dfs_schedule(g)
+        position = {op_id: i for i, op_id in enumerate(schedule)}
+        for op in g.ops.values():
+            fwd = op.forward_op
+            if fwd is not None:
+                assert position[fwd] < position[op.op_id]
+
+
+class TestMemoryAwareSchedule:
+    def test_valid_topological_order(self):
+        g = build_tiny_resnet()
+        schedule = memory_aware_schedule(g)
+        assert sorted(schedule) == sorted(g.ops)
+        position = {op_id: i for i, op_id in enumerate(schedule)}
+        for op in g.ops.values():
+            for tid in op.inputs:
+                producer = g.tensors[tid].producer
+                if producer is not None:
+                    assert position[producer] < position[op.op_id]
+
+    def test_never_catastrophically_worse_than_dfs(self):
+        for builder in (build_tiny_cnn, build_tiny_resnet):
+            g = builder()
+            dfs_peak = memory_curve(g, dfs_schedule(g)).max()
+            aware_peak = memory_curve(g, memory_aware_schedule(g)).max()
+            assert aware_peak <= dfs_peak * 1.05
+
+    def test_improves_real_model(self):
+        """On VGG-16 the free-early ordering measurably lowers the
+        unoptimised peak versus plain DFS."""
+        from repro.models import build_vgg16
+
+        g = build_vgg16(8)
+        aware_peak = memory_curve(g, memory_aware_schedule(g)).max()
+        dfs_peak = memory_curve(g, dfs_schedule(g)).max()
+        assert aware_peak < dfs_peak
+
+    def test_deterministic(self):
+        a = memory_aware_schedule(build_tiny_resnet())
+        b = memory_aware_schedule(build_tiny_resnet())
+        assert a == b
+
+    def test_works_through_whole_pipeline(self):
+        """The planner and runner accept the alternative schedule."""
+        from repro.analysis.runner import run_policy
+        from tests.conftest import BIG_GPU
+
+        g = build_tiny_cnn(batch=8)
+        # run_policy uses dfs internally; drive planner directly instead.
+        from repro.core.planner import TsplitPlanner
+
+        schedule = memory_aware_schedule(g)
+        result = TsplitPlanner(BIG_GPU).plan(g, schedule=schedule)
+        assert result.schedule == schedule

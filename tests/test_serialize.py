@@ -1,0 +1,108 @@
+"""Graph / plan JSON serialization round trips."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.plan import MemOption, Plan, TensorConfig
+from repro.errors import GraphError
+from repro.graph.liveness import memory_curve
+from repro.graph.scheduler import dfs_schedule
+from repro.graph.serialize import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_graph,
+    save_plan,
+)
+from tests.conftest import build_tiny_cnn, build_tiny_resnet
+
+
+class TestGraphRoundTrip:
+    def test_structure_preserved(self):
+        graph = build_tiny_cnn(batch=4)
+        clone = graph_from_dict(graph_to_dict(graph))
+        assert len(clone.ops) == len(graph.ops)
+        assert len(clone.tensors) == len(graph.tensors)
+        clone.validate()
+
+    def test_schedule_identical(self):
+        graph = build_tiny_resnet()
+        clone = graph_from_dict(graph_to_dict(graph))
+        assert dfs_schedule(clone) == dfs_schedule(graph)
+
+    def test_memory_curve_identical(self):
+        graph = build_tiny_cnn(batch=4)
+        clone = graph_from_dict(graph_to_dict(graph))
+        schedule = dfs_schedule(graph)
+        assert (
+            memory_curve(graph, schedule) == memory_curve(clone, schedule)
+        ).all()
+
+    def test_json_serializable(self):
+        graph = build_tiny_cnn(batch=2)
+        text = json.dumps(graph_to_dict(graph))
+        clone = graph_from_dict(json.loads(text))
+        assert clone.name == graph.name
+
+    def test_file_round_trip(self, tmp_path):
+        graph = build_tiny_cnn(batch=2)
+        path = tmp_path / "graph.json"
+        save_graph(graph, str(path))
+        clone = load_graph(str(path))
+        assert clone.total_flops() == graph.total_flops()
+
+    def test_unknown_op_type_rejected(self):
+        data = graph_to_dict(build_tiny_cnn(batch=2))
+        data["ops"][0]["type"] = "QUANTUM_CONV"
+        with pytest.raises(GraphError, match="unknown op type"):
+            graph_from_dict(data)
+
+    def test_unknown_dtype_rejected(self):
+        data = graph_to_dict(build_tiny_cnn(batch=2))
+        data["tensors"][0]["dtype"] = "float128"
+        with pytest.raises(GraphError, match="unknown dtype"):
+            graph_from_dict(data)
+
+
+class TestPlanRoundTrip:
+    def test_configs_preserved(self):
+        plan = Plan(policy="test", cpu_update=True)
+        plan.set(3, TensorConfig(opt=MemOption.SWAP, p_num=4, dim="sample"))
+        plan.set(7, TensorConfig(opt=MemOption.RECOMPUTE))
+        clone = plan_from_dict(plan_to_dict(plan))
+        assert clone.policy == "test"
+        assert clone.cpu_update
+        assert clone.config_for(3) == plan.config_for(3)
+        assert clone.config_for(7) == plan.config_for(7)
+
+    def test_file_round_trip(self, tmp_path):
+        plan = Plan(policy="disk")
+        plan.set(1, TensorConfig(opt=MemOption.SWAP))
+        path = tmp_path / "plan.json"
+        save_plan(plan, str(path))
+        assert load_plan(str(path)).configs == plan.configs
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=50),
+            st.sampled_from(list(MemOption)),
+            st.integers(min_value=1, max_value=16),
+            st.sampled_from(["sample", "parameter", "attribute"]),
+        ),
+        max_size=12,
+    ),
+)
+def test_plan_round_trip_property(entries):
+    plan = Plan(policy="prop")
+    for tid, opt, p_num, dim in entries:
+        plan.set(tid, TensorConfig(opt=opt, p_num=p_num, dim=dim))
+    clone = plan_from_dict(plan_to_dict(plan))
+    assert clone.configs == plan.configs

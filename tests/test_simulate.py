@@ -1,0 +1,171 @@
+"""Static plan-memory simulation: the planner's M_i."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import MemOption, Plan, TensorConfig
+from repro.core.simulate import (
+    PREFETCH_OPS,
+    plan_peak_memory,
+    simulate_memory,
+    tensor_timeline,
+)
+from repro.graph.liveness import compute_liveness, memory_curve
+from repro.graph.tensor import DIM_SAMPLE, TensorKind
+
+
+def biggest_activation(graph, liveness):
+    """Largest activation with a backward use."""
+    best = None
+    for t in graph.activations():
+        timeline = tensor_timeline(graph, liveness, t)
+        if timeline and timeline.bwd_uses:
+            if best is None or t.size_bytes > best.size_bytes:
+                best = t
+    assert best is not None
+    return best
+
+
+class TestBasePlan:
+    def test_empty_plan_matches_liveness_curve(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        base = memory_curve(graph, schedule)
+        sim = simulate_memory(graph, schedule, Plan())
+        assert np.allclose(base, sim)
+
+    def test_peak_helper(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        assert plan_peak_memory(graph, schedule, Plan()) == int(
+            simulate_memory(graph, schedule, Plan()).max()
+        )
+
+
+class TestSwap:
+    def test_swap_reduces_memory_between_uses(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        liveness = compute_liveness(graph, schedule)
+        tensor = biggest_activation(graph, liveness)
+        timeline = tensor_timeline(graph, liveness, tensor)
+        plan = Plan()
+        plan.set(tensor.tensor_id, TensorConfig(opt=MemOption.SWAP))
+        base = simulate_memory(graph, schedule, Plan())
+        swapped = simulate_memory(graph, schedule, plan)
+        # In the gap between eviction and prefetch, memory is lower.
+        gap_lo = timeline.fwd_end + 1
+        gap_hi = timeline.bwd_uses[0] - PREFETCH_OPS - 1
+        if gap_hi >= gap_lo:
+            assert (swapped[gap_lo:gap_hi + 1]
+                    <= base[gap_lo:gap_hi + 1] - tensor.size_bytes + 1).all()
+
+    def test_swap_prefetch_window_restores_memory(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        liveness = compute_liveness(graph, schedule)
+        tensor = biggest_activation(graph, liveness)
+        timeline = tensor_timeline(graph, liveness, tensor)
+        plan = Plan()
+        plan.set(tensor.tensor_id, TensorConfig(opt=MemOption.SWAP))
+        swapped = simulate_memory(graph, schedule, plan)
+        base = simulate_memory(graph, schedule, Plan())
+        # At the backward use itself, the tensor is resident again.
+        q = timeline.bwd_uses[0]
+        assert swapped[q] == pytest.approx(base[q])
+
+
+class TestRecompute:
+    def test_recompute_frees_gap_and_charges_chain(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        liveness = compute_liveness(graph, schedule)
+        tensor = biggest_activation(graph, liveness)
+        timeline = tensor_timeline(graph, liveness, tensor)
+        plan = Plan()
+        plan.set(tensor.tensor_id, TensorConfig(opt=MemOption.RECOMPUTE))
+        sim = simulate_memory(graph, schedule, plan)
+        base = simulate_memory(graph, schedule, Plan())
+        mid = (timeline.fwd_end + 1 + timeline.bwd_uses[0] - 1) // 2
+        if timeline.fwd_end + 1 <= mid < timeline.bwd_uses[0]:
+            assert sim[mid] < base[mid]
+
+    def test_chain_extra_appears_at_regen(self, tiny_cnn_schedule):
+        """Evicting a tensor whose chain needs a dead ancestor charges the
+        ancestor's regeneration at the backward step."""
+        graph, schedule = tiny_cnn_schedule
+        liveness = compute_liveness(graph, schedule)
+        # relu2 output saves via RELU (output); conv2 out is a dead RESIDE
+        # ancestor once relu2 out is evicted... pick relu outputs.
+        relu_out = next(
+            t for t in graph.activations() if t.name.startswith("relu2")
+        )
+        plan = Plan()
+        plan.set(relu_out.tensor_id, TensorConfig(opt=MemOption.RECOMPUTE))
+        timeline = tensor_timeline(graph, liveness, relu_out)
+        sim = simulate_memory(graph, schedule, plan)
+        base = simulate_memory(graph, schedule, Plan())
+        q = timeline.bwd_uses[0]
+        # At the regen step the requirement is at least the base (tensor
+        # resident again) and may exceed it by the chain transient.
+        assert sim[q] >= base[q] - 1
+
+
+class TestCpuOption:
+    def test_cpu_tensor_never_counted(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        state = graph.tensors_of_kind(TensorKind.OPTIMIZER_STATE)[0]
+        plan = Plan()
+        plan.set(state.tensor_id, TensorConfig(opt=MemOption.CPU))
+        sim = simulate_memory(graph, schedule, plan)
+        base = simulate_memory(graph, schedule, Plan())
+        assert (sim <= base - state.size_bytes + 1).all()
+
+
+class TestSplit:
+    def test_ineffective_split_treated_as_unsplit(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        # BATCHNORM-free graph: pick a tensor and give it a bogus split
+        # config on a dim its producer cannot stream; the curve must
+        # equal the unsplit eviction curve.
+        liveness = compute_liveness(graph, schedule)
+        tensor = biggest_activation(graph, liveness)
+        huge_p = TensorConfig(
+            opt=MemOption.SWAP, p_num=10_000_000, dim=DIM_SAMPLE,
+        )
+        plan_bad = Plan()
+        plan_bad.set(tensor.tensor_id, huge_p)
+        plan_plain = Plan()
+        plan_plain.set(tensor.tensor_id, TensorConfig(opt=MemOption.SWAP))
+        assert np.allclose(
+            simulate_memory(graph, schedule, plan_bad),
+            simulate_memory(graph, schedule, plan_plain),
+        )
+
+    def test_aligned_split_reduces_peak(self, tiny_cnn_schedule):
+        """Splitting conv1 out + relu1 out together on the sample dim
+        lowers the forward peak (streaming region forms)."""
+        graph, schedule = tiny_cnn_schedule
+        conv_out = next(t for t in graph.activations() if t.name == "conv1/out")
+        relu_out = next(t for t in graph.activations() if t.name == "relu1/out")
+        plan = Plan()
+        plan.set(conv_out.tensor_id,
+                 TensorConfig(opt=MemOption.RESIDE, p_num=4, dim=DIM_SAMPLE))
+        plan.set(relu_out.tensor_id,
+                 TensorConfig(opt=MemOption.SWAP, p_num=4, dim=DIM_SAMPLE))
+        pos = compute_liveness(graph, schedule).position[conv_out.producer]
+        split_curve = simulate_memory(graph, schedule, plan)
+        base_curve = simulate_memory(graph, schedule, Plan())
+        assert split_curve[pos] < base_curve[pos]
+
+
+class TestTimeline:
+    def test_forward_end_before_backward_uses(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        liveness = compute_liveness(graph, schedule)
+        for tensor in graph.activations():
+            timeline = tensor_timeline(graph, liveness, tensor)
+            if timeline is None or not timeline.bwd_uses:
+                continue
+            assert timeline.fwd_end < timeline.bwd_uses[0]
+
+    def test_dead_tensor_returns_none(self, tiny_cnn_schedule):
+        graph, schedule = tiny_cnn_schedule
+        orphan = graph.add_tensor("orphan", (4,))
+        liveness = compute_liveness(graph, schedule)
+        assert tensor_timeline(graph, liveness, orphan) is None

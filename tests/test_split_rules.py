@@ -1,0 +1,97 @@
+"""Shared split-capability rules."""
+
+from repro.core.plan import Plan, TensorConfig
+from repro.core.split_rules import (
+    effective_split,
+    op_exec_split,
+    op_supports_split,
+)
+from repro.graph.ops import OpType
+from repro.graph.tensor import DIM_ATTRIBUTE, DIM_PARAMETER, DIM_SAMPLE
+
+
+class TestOpSupport:
+    def test_conv_sample_splittable(self):
+        assert op_supports_split(OpType.CONV2D, DIM_SAMPLE)
+
+    def test_batchnorm_not_sample_splittable(self):
+        """BN statistics couple samples: the paper's merge example."""
+        assert not op_supports_split(OpType.BATCHNORM, DIM_SAMPLE)
+
+    def test_batchnorm_parameter_splittable(self):
+        assert op_supports_split(OpType.BATCHNORM, DIM_PARAMETER)
+
+    def test_layernorm_not_parameter_splittable(self):
+        """LayerNorm normalises over the hidden axis."""
+        assert not op_supports_split(OpType.LAYERNORM, DIM_PARAMETER)
+
+    def test_layernorm_attribute_splittable(self):
+        assert op_supports_split(OpType.LAYERNORM, DIM_ATTRIBUTE)
+
+    def test_unknown_dim(self):
+        assert not op_supports_split(OpType.RELU, "bogus")
+
+    def test_elementwise_splits_everywhere(self):
+        for dim in (DIM_SAMPLE, DIM_PARAMETER, DIM_ATTRIBUTE):
+            assert op_supports_split(OpType.RELU, dim)
+
+
+class TestEffectiveSplit:
+    def test_plain_config_effective(self, tiny_cnn):
+        conv_out = next(
+            t for t in tiny_cnn.activations() if t.name == "conv1/out"
+        )
+        plan = Plan()
+        plan.set(conv_out.tensor_id, TensorConfig(p_num=4, dim=DIM_SAMPLE))
+        assert effective_split(tiny_cnn, plan, conv_out) == (DIM_SAMPLE, 4)
+
+    def test_unsplit_config_none(self, tiny_cnn):
+        conv_out = next(
+            t for t in tiny_cnn.activations() if t.name == "conv1/out"
+        )
+        assert effective_split(tiny_cnn, Plan(), conv_out) is None
+
+    def test_extent_too_small_none(self, tiny_cnn):
+        conv_out = next(
+            t for t in tiny_cnn.activations() if t.name == "conv1/out"
+        )
+        plan = Plan()
+        plan.set(
+            conv_out.tensor_id,
+            TensorConfig(p_num=conv_out.shape[0] + 1, dim=DIM_SAMPLE),
+        )
+        assert effective_split(tiny_cnn, plan, conv_out) is None
+
+    def test_sourceless_tensor_none(self, tiny_cnn):
+        param = tiny_cnn.parameters()[0]
+        plan = Plan()
+        plan.set(param.tensor_id, TensorConfig(p_num=2, dim="parameter"))
+        assert effective_split(tiny_cnn, plan, param) is None
+
+
+class TestOpExecSplit:
+    def test_output_split_drives_op(self, tiny_cnn):
+        conv = next(op for op in tiny_cnn.ops.values() if op.name == "conv1")
+        out_id = conv.outputs[0]
+        plan = Plan()
+        plan.set(out_id, TensorConfig(p_num=2, dim=DIM_SAMPLE))
+        assert op_exec_split(tiny_cnn, plan, conv) == (DIM_SAMPLE, 2)
+
+    def test_input_split_drives_consumer(self, tiny_cnn):
+        conv = next(op for op in tiny_cnn.ops.values() if op.name == "conv1")
+        relu = next(op for op in tiny_cnn.ops.values() if op.name == "relu1")
+        plan = Plan()
+        plan.set(conv.outputs[0], TensorConfig(p_num=2, dim=DIM_SAMPLE))
+        assert op_exec_split(tiny_cnn, plan, relu) == (DIM_SAMPLE, 2)
+
+    def test_output_priority_over_input(self, tiny_cnn):
+        conv = next(op for op in tiny_cnn.ops.values() if op.name == "conv1")
+        relu = next(op for op in tiny_cnn.ops.values() if op.name == "relu1")
+        plan = Plan()
+        plan.set(conv.outputs[0], TensorConfig(p_num=2, dim=DIM_SAMPLE))
+        plan.set(relu.outputs[0], TensorConfig(p_num=8, dim=DIM_SAMPLE))
+        assert op_exec_split(tiny_cnn, plan, relu) == (DIM_SAMPLE, 8)
+
+    def test_no_split_none(self, tiny_cnn):
+        conv = next(op for op in tiny_cnn.ops.values() if op.name == "conv1")
+        assert op_exec_split(tiny_cnn, Plan(), conv) is None

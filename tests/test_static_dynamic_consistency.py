@@ -1,0 +1,99 @@
+"""Property test: the static plan model bounds the engine's behaviour.
+
+The planner trusts ``simulate_memory``; the engine executes the
+augmented program. For random (valid) plans the engine must execute
+without OOM whenever it is given comfortably more memory than the
+static model predicts — otherwise the planner would emit plans that die
+at runtime, which is exactly the class of bug this suite guards.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.augment import augment_graph
+from repro.core.plan import MemOption, Plan, TensorConfig, validate_plan
+from repro.core.profiler import Profiler
+from repro.core.simulate import simulate_memory, tensor_timeline
+from repro.errors import OutOfMemoryError, PolicyError
+from repro.graph.liveness import compute_liveness
+from repro.graph.scheduler import dfs_schedule
+from repro.runtime.engine import Engine
+from tests.conftest import BIG_GPU, build_tiny_cnn
+from repro.units import MB
+
+GRAPH = build_tiny_cnn(batch=32, image=32)
+SCHEDULE = dfs_schedule(GRAPH)
+LIVENESS = compute_liveness(GRAPH, SCHEDULE)
+PROFILE = Profiler(BIG_GPU).profile(GRAPH)
+CANDIDATE_TENSORS = [
+    t for t in GRAPH.activations()
+    if tensor_timeline(GRAPH, LIVENESS, t) is not None
+]
+
+OPTIONS = [MemOption.RESIDE, MemOption.SWAP, MemOption.RECOMPUTE]
+P_NUMS = [1, 2, 4, 8]
+
+
+@st.composite
+def random_plans(draw):
+    plan = Plan(policy="random")
+    count = draw(st.integers(min_value=0, max_value=8))
+    for _ in range(count):
+        tensor = draw(st.sampled_from(CANDIDATE_TENSORS))
+        option = draw(st.sampled_from(OPTIONS))
+        p_num = draw(st.sampled_from(P_NUMS))
+        dim = draw(st.sampled_from(["sample", "parameter"]))
+        cfg = TensorConfig(opt=option, p_num=p_num, dim=dim)
+        try:
+            probe = plan.copy()
+            probe.set(tensor.tensor_id, cfg)
+            validate_plan(GRAPH, probe)
+        except PolicyError:
+            continue
+        plan.set(tensor.tensor_id, cfg)
+    return plan
+
+
+@settings(max_examples=60, deadline=None)
+@given(plan=random_plans())
+def test_engine_fits_within_static_bound(plan):
+    """With 1.5x the statically-predicted peak (+ slack), any valid plan
+    executes without OOM — the planner's feasibility check is sound."""
+    curve = simulate_memory(GRAPH, SCHEDULE, plan, LIVENESS)
+    static_peak = int(curve.max())
+    capacity = int(static_peak * 1.5) + 4 * MB
+    gpu = BIG_GPU.with_memory(capacity)
+    augmented = augment_graph(GRAPH, plan, PROFILE, schedule=SCHEDULE)
+    engine = Engine(gpu)
+    try:
+        trace = engine.execute(augmented.program)
+    except OutOfMemoryError as exc:  # pragma: no cover - the failure mode
+        pytest.fail(
+            f"engine OOM despite 1.5x static bound "
+            f"(static {static_peak}, capacity {capacity}): {exc}\n"
+            f"plan: {plan.configs}"
+        )
+    # And the run must be complete: compute happened, nothing negative.
+    assert trace.iteration_time > 0
+    assert trace.peak_memory <= capacity
+
+
+@settings(max_examples=30, deadline=None)
+@given(plan=random_plans())
+def test_eviction_only_reduces_static_peak_vs_base(plan):
+    """No plan should *raise* the forward-region requirement above the
+    base curve by more than the streaming slack (regen tails may move
+    memory later, but the pre-bottleneck region only loses tensors)."""
+    from repro.graph.ops import Phase
+
+    base = simulate_memory(GRAPH, SCHEDULE, Plan(), LIVENESS)
+    curve = simulate_memory(GRAPH, SCHEDULE, plan, LIVENESS)
+    # Strictly-forward region: before the first backward op (recompute
+    # chain transients and regen windows only appear at backward uses).
+    forward_end = next(
+        i for i, op_id in enumerate(SCHEDULE)
+        if GRAPH.ops[op_id].phase is not Phase.FORWARD
+    )
+    assert (curve[:forward_end] <= base[:forward_end] + 1.0).all()

@@ -1,0 +1,125 @@
+"""The sTensor abstraction (Figure 9 interfaces)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.plan import MemOption, TensorConfig
+from repro.core.stensor import STensor, SplitError
+from repro.graph.tensor import DIM_PARAMETER, DIM_SAMPLE, TensorSpec
+
+
+def spec(shape=(8, 4), axes=None) -> TensorSpec:
+    return TensorSpec(
+        tensor_id=0, name="t", shape=shape,
+        split_axes=axes if axes is not None else {DIM_SAMPLE: 0, DIM_PARAMETER: 1},
+    )
+
+
+class TestSplitInterface:
+    def test_split_returns_p_num_micros(self):
+        micros = STensor(spec()).split(DIM_SAMPLE, 4)
+        assert len(micros) == 4
+
+    def test_micro_sizes_tile_tensor(self):
+        s = STensor(spec(shape=(10, 4)))
+        micros = s.split(DIM_SAMPLE, 3)
+        assert sum(m.nbytes for m in micros) == s.total_bytes()
+
+    def test_micro_keys_unique(self):
+        micros = STensor(spec()).split(DIM_SAMPLE, 4)
+        assert len({m.key for m in micros}) == 4
+
+    def test_unknown_dim_rejected(self):
+        with pytest.raises(SplitError):
+            STensor(spec(axes={DIM_SAMPLE: 0})).split(DIM_PARAMETER, 2)
+
+    def test_oversplit_rejected(self):
+        with pytest.raises(SplitError):
+            STensor(spec(shape=(2, 4))).split(DIM_SAMPLE, 5)
+
+    def test_p1_is_whole_tensor(self):
+        micros = STensor(spec()).split(DIM_SAMPLE, 1)
+        assert len(micros) == 1
+        assert micros[0].nbytes == spec().size_bytes
+
+
+class TestMergeInterface:
+    def test_merge_after_split(self):
+        s = STensor(spec())
+        s.split(DIM_SAMPLE, 4)
+        merged = s.merge(DIM_SAMPLE)
+        assert merged.shape == (8, 4)
+        assert not s.is_split or s.cfg.p_num == 1
+
+    def test_merge_without_split_rejected(self):
+        with pytest.raises(SplitError):
+            STensor(spec()).merge(DIM_SAMPLE)
+
+    def test_elementwise_merge_requires_equal_shapes(self):
+        s = STensor(spec(shape=(9, 4)))
+        s.split(DIM_SAMPLE, 2)  # 5 + 4: unequal
+        with pytest.raises(SplitError):
+            s.merge(DIM_SAMPLE, reduce=True)
+
+    def test_elementwise_merge_equal_shapes_ok(self):
+        s = STensor(spec(shape=(8, 4)))
+        s.split(DIM_SAMPLE, 2)
+        s.merge(DIM_SAMPLE, reduce=True)
+
+
+class TestConfig:
+    def test_set_config_drops_stale_micros(self):
+        s = STensor(spec())
+        s.split(DIM_SAMPLE, 4)
+        s.set_config(TensorConfig(opt=MemOption.SWAP, p_num=2, dim=DIM_SAMPLE))
+        assert len(s.micros) == 2
+
+    def test_micros_follow_config(self):
+        s = STensor(spec())
+        s.set_config(TensorConfig(p_num=4, dim=DIM_SAMPLE))
+        assert len(s.micros) == 4
+        assert s.is_split
+
+    def test_micro_bytes(self):
+        s = STensor(spec())
+        s.set_config(TensorConfig(p_num=2, dim=DIM_SAMPLE))
+        assert s.micro_bytes() == [64, 64]
+
+
+class TestInPlaceResplit:
+    def test_nested_counts_share_storage(self):
+        s = STensor(spec(shape=(8, 4)))
+        s.set_config(TensorConfig(p_num=2, dim=DIM_SAMPLE))
+        assert s.resplit_in_place_ok(4)  # 2 -> 4 nests on extent 8
+
+    def test_same_count_trivially_ok(self):
+        s = STensor(spec())
+        assert s.resplit_in_place_ok(1)
+
+    def test_non_nesting_counts_need_copy(self):
+        s = STensor(spec(shape=(12, 4)))
+        s.set_config(TensorConfig(p_num=2, dim=DIM_SAMPLE))
+        assert not s.resplit_in_place_ok(3)
+
+    def test_uneven_extent_needs_copy(self):
+        s = STensor(spec(shape=(6, 4)))
+        s.set_config(TensorConfig(p_num=2, dim=DIM_SAMPLE))
+        assert not s.resplit_in_place_ok(4)  # 6 % 4 != 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    extent=st.integers(min_value=1, max_value=128),
+    p_num=st.integers(min_value=1, max_value=128),
+)
+def test_split_merge_roundtrip_property(extent, p_num):
+    """Any legal split merges back to the exact original tensor."""
+    s = STensor(spec(shape=(extent, 3), axes={DIM_SAMPLE: 0}))
+    if p_num > extent:
+        with pytest.raises(SplitError):
+            s.split(DIM_SAMPLE, p_num)
+        return
+    micros = s.split(DIM_SAMPLE, p_num)
+    assert sum(m.shape[0] for m in micros) == extent
+    merged = s.merge(DIM_SAMPLE)
+    assert merged.shape == (extent, 3)

@@ -1,0 +1,76 @@
+"""Stream timelines and event-based synchronisation."""
+
+import pytest
+
+from repro.hardware.streams import Stream, StreamSet
+
+
+class TestStream:
+    def test_serial_scheduling(self):
+        s = Stream("compute")
+        first = s.schedule(1.0)
+        second = s.schedule(2.0)
+        assert first.time == 1.0
+        assert second.time == 3.0
+
+    def test_after_constraint_delays_start(self):
+        s = Stream("compute")
+        event = s.schedule(1.0, after=5.0)
+        assert event.time == 6.0
+
+    def test_after_in_past_ignored(self):
+        s = Stream("compute")
+        s.schedule(3.0)
+        event = s.schedule(1.0, after=1.0)
+        assert event.time == 4.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Stream("s").schedule(-1.0)
+
+    def test_busy_time(self):
+        s = Stream("s")
+        s.schedule(1.0)
+        s.schedule(2.0, after=5.0)  # idle gap from 1 to 5
+        assert s.busy_time() == pytest.approx(3.0)
+
+    def test_busy_time_clipped(self):
+        s = Stream("s")
+        s.schedule(4.0)
+        assert s.busy_time(until=2.0) == pytest.approx(2.0)
+
+    def test_utilization(self):
+        s = Stream("s")
+        s.schedule(1.0)
+        assert s.utilization(4.0) == pytest.approx(0.25)
+
+    def test_utilization_zero_horizon(self):
+        assert Stream("s").utilization(0.0) == 0.0
+
+
+class TestStreamSet:
+    def test_makespan_is_latest_clock(self):
+        streams = StreamSet()
+        streams.compute.schedule(3.0)
+        streams.d2h.schedule(5.0)
+        assert streams.makespan == 5.0
+
+    def test_pcie_utilization_counts_both_directions(self):
+        streams = StreamSet()
+        streams.compute.schedule(10.0)
+        streams.d2h.schedule(4.0)
+        streams.h2d.schedule(6.0)
+        # (4 + 6) / (2 * 10)
+        assert streams.pcie_utilization() == pytest.approx(0.5)
+
+    def test_pcie_utilization_empty(self):
+        assert StreamSet().pcie_utilization() == 0.0
+
+    def test_overlap_model(self):
+        """Transfers scheduled behind compute overlap for free — the key
+        property swap relies on."""
+        streams = StreamSet()
+        compute_done = streams.compute.schedule(2.0)
+        xfer = streams.d2h.schedule(1.0)  # concurrent with compute
+        assert xfer.time < compute_done.time
+        assert streams.makespan == 2.0

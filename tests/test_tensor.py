@@ -1,0 +1,118 @@
+"""TensorSpec: shapes, split axes, micro-tensor geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.tensor import (
+    DIM_PARAMETER,
+    DIM_SAMPLE,
+    TensorKind,
+    TensorSpec,
+)
+from repro.units import DType
+
+
+def make_tensor(shape=(8, 4, 16, 16), **kwargs) -> TensorSpec:
+    defaults = dict(
+        tensor_id=0,
+        name="t",
+        shape=shape,
+        split_axes={DIM_SAMPLE: 0, DIM_PARAMETER: 1},
+    )
+    defaults.update(kwargs)
+    return TensorSpec(**defaults)
+
+
+class TestBasics:
+    def test_numel(self):
+        assert make_tensor().numel == 8 * 4 * 16 * 16
+
+    def test_size_bytes_fp32(self):
+        assert make_tensor().size_bytes == 8 * 4 * 16 * 16 * 4
+
+    def test_size_bytes_int64(self):
+        t = make_tensor(shape=(4, 4), dtype=DType.INT64, split_axes={})
+        assert t.size_bytes == 16 * 8
+
+    def test_nonpositive_dim_rejected(self):
+        with pytest.raises(ValueError):
+            make_tensor(shape=(0, 3))
+
+    def test_split_axis_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_tensor(shape=(4,), split_axes={DIM_SAMPLE: 3})
+
+
+class TestKinds:
+    def test_gradient_flags(self):
+        assert TensorKind.GRAD_PARAM.is_gradient
+        assert TensorKind.GRAD_ACTIVATION.is_gradient
+        assert not TensorKind.ACTIVATION.is_gradient
+
+    def test_persistent_flags(self):
+        assert TensorKind.PARAM.is_persistent
+        assert TensorKind.OPTIMIZER_STATE.is_persistent
+        assert not TensorKind.ACTIVATION.is_persistent
+
+
+class TestSplitGeometry:
+    def test_splittable_dims(self):
+        assert set(make_tensor().splittable_dims()) == {
+            DIM_SAMPLE, DIM_PARAMETER,
+        }
+
+    def test_axis_for_known_dim(self):
+        assert make_tensor().axis_for(DIM_PARAMETER) == 1
+
+    def test_axis_for_unknown_dim(self):
+        with pytest.raises(KeyError):
+            make_tensor().axis_for("bogus")
+
+    def test_even_micro_shape(self):
+        t = make_tensor()
+        assert t.micro_shape(DIM_SAMPLE, 4, 0) == (2, 4, 16, 16)
+
+    def test_uneven_micro_shapes_follow_array_split(self):
+        t = make_tensor(shape=(7, 4), split_axes={DIM_SAMPLE: 0})
+        parts = [t.micro_shape(DIM_SAMPLE, 3, i)[0] for i in range(3)]
+        assert parts == [3, 2, 2]
+
+    def test_micro_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_tensor().micro_shape(DIM_SAMPLE, 2, 5)
+
+    def test_split_wider_than_extent_rejected(self):
+        t = make_tensor(shape=(2, 4), split_axes={DIM_SAMPLE: 0})
+        with pytest.raises(ValueError):
+            t.micro_shape(DIM_SAMPLE, 3, 0)
+
+    def test_micro_sizes_sum_to_whole(self):
+        t = make_tensor(shape=(10, 6), split_axes={DIM_SAMPLE: 0})
+        total = sum(t.micro_size_bytes(DIM_SAMPLE, 4, i) for i in range(4))
+        assert total == t.size_bytes
+
+
+@given(
+    extent=st.integers(min_value=1, max_value=64),
+    other=st.integers(min_value=1, max_value=8),
+    p_num=st.integers(min_value=1, max_value=64),
+)
+def test_micro_partition_properties(extent, other, p_num):
+    """Splitting always tiles the tensor exactly, never loses elements."""
+    if p_num > extent:
+        return
+    t = TensorSpec(
+        tensor_id=0, name="t", shape=(extent, other),
+        split_axes={DIM_SAMPLE: 0},
+    )
+    shapes = [t.micro_shape(DIM_SAMPLE, p_num, i) for i in range(p_num)]
+    # Partition covers the axis exactly.
+    assert sum(s[0] for s in shapes) == extent
+    # Sizes are balanced within one slice.
+    extents = [s[0] for s in shapes]
+    assert max(extents) - min(extents) <= 1
+    # Non-split axes untouched.
+    assert all(s[1] == other for s in shapes)
+    # Byte sizes add up.
+    total = sum(t.micro_size_bytes(DIM_SAMPLE, p_num, i) for i in range(p_num))
+    assert total == t.size_bytes

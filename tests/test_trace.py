@@ -1,0 +1,81 @@
+"""ExecutionTrace metrics and derived quantities."""
+
+import pytest
+
+from repro.runtime.trace import ExecutionTrace, InstrRecord, MemorySample
+
+
+def make_trace(**overrides) -> ExecutionTrace:
+    defaults = dict(
+        name="t",
+        batch=10,
+        iteration_time=2.0,
+        compute_busy=1.5,
+        cpu_busy=0.0,
+        d2h_busy=0.5,
+        h2d_busy=0.3,
+        memory_stall=0.1,
+        peak_memory=1000,
+        persistent_bytes=100,
+        swapped_out_bytes=400,
+        swapped_in_bytes=300,
+        recompute_time=0.2,
+        recompute_ops=3,
+        split_kernels=8,
+    )
+    defaults.update(overrides)
+    return ExecutionTrace(**defaults)
+
+
+class TestDerivedMetrics:
+    def test_throughput(self):
+        assert make_trace().throughput == pytest.approx(5.0)
+
+    def test_throughput_zero_time(self):
+        assert make_trace(iteration_time=0.0).throughput == 0.0
+
+    def test_pcie_utilization_full_duplex(self):
+        trace = make_trace()
+        assert trace.pcie_utilization == pytest.approx((0.5 + 0.3) / 4.0)
+
+    def test_pcie_utilization_capped(self):
+        trace = make_trace(d2h_busy=10.0, h2d_busy=10.0)
+        assert trace.pcie_utilization == 1.0
+
+    def test_compute_utilization(self):
+        assert make_trace().compute_utilization == pytest.approx(0.75)
+
+    def test_overhead_vs_compute(self):
+        assert make_trace().overhead_vs_compute == pytest.approx(
+            2.0 / 1.5 - 1.0,
+        )
+
+    def test_overhead_zero_compute(self):
+        assert make_trace(compute_busy=0.0).overhead_vs_compute == 0.0
+
+
+class TestMemoryCurve:
+    def test_empty(self):
+        assert make_trace().memory_curve().shape == (0, 2)
+
+    def test_samples_roundtrip(self):
+        trace = make_trace(memory_samples=[
+            MemorySample(0.0, 100), MemorySample(1.0, 250),
+        ])
+        curve = trace.memory_curve()
+        assert curve.shape == (2, 2)
+        assert curve[1, 1] == 250
+
+
+class TestInstrRecord:
+    def test_duration(self):
+        record = InstrRecord("x", "compute", "compute", 1.0, 3.5)
+        assert record.duration == 2.5
+
+
+class TestDescribe:
+    def test_mentions_key_numbers(self):
+        text = make_trace().describe()
+        assert "samples/s" in text
+        assert "peak" in text
+        assert "recompute" in text

@@ -1,0 +1,82 @@
+"""Units, dtypes and formatting helpers."""
+
+import pytest
+
+from repro.units import (
+    DType,
+    GB,
+    KB,
+    MB,
+    format_bytes,
+    format_time,
+    numel,
+    size_bytes,
+)
+
+
+class TestConstants:
+    def test_scale_chain(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+
+class TestDType:
+    def test_float32_width(self):
+        assert DType.FLOAT32.nbytes == 4
+
+    def test_float16_width(self):
+        assert DType.FLOAT16.nbytes == 2
+
+    def test_int64_width(self):
+        assert DType.INT64.nbytes == 8
+
+    def test_names(self):
+        assert DType.FLOAT32.type_name == "float32"
+
+
+class TestNumel:
+    def test_scalar_like(self):
+        assert numel(()) == 1
+
+    def test_vector(self):
+        assert numel((7,)) == 7
+
+    def test_nd(self):
+        assert numel((2, 3, 4)) == 24
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            numel((2, -1))
+
+
+class TestSizeBytes:
+    def test_default_dtype(self):
+        assert size_bytes((10, 10)) == 400
+
+    def test_fp16(self):
+        assert size_bytes((10, 10), DType.FLOAT16) == 200
+
+
+class TestFormatting:
+    def test_bytes_small(self):
+        assert format_bytes(512) == "512.00 B"
+
+    def test_bytes_mb(self):
+        assert format_bytes(3 * MB) == "3.00 MB"
+
+    def test_bytes_gb(self):
+        assert format_bytes(int(2.5 * GB)) == "2.50 GB"
+
+    def test_time_seconds(self):
+        assert format_time(2.0) == "2.000 s"
+
+    def test_time_millis(self):
+        assert format_time(0.0123) == "12.300 ms"
+
+    def test_time_micros(self):
+        assert format_time(1e-5) == "10.000 us"
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            format_time(-1.0)

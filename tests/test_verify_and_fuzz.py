@@ -1,0 +1,103 @@
+"""Static program verification + whole-pipeline fuzzing on random models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.runner import run_policy
+from repro.core.augment import augment_graph
+from repro.core.plan import MemOption, Plan, TensorConfig
+from repro.core.profiler import Profiler
+from repro.core.verify import assert_valid_program, verify_program
+from repro.errors import RuntimeExecutionError
+from repro.models.random_net import build_random_cnn
+from repro.runtime.instructions import ComputeInstr, TensorRef
+from tests.conftest import BIG_GPU
+
+
+def lower(graph, plan):
+    profile = Profiler(BIG_GPU).profile(graph)
+    return augment_graph(graph, plan, profile)
+
+
+class TestVerifier:
+    def test_clean_base_program(self, tiny_cnn):
+        augmented = lower(tiny_cnn, Plan())
+        assert verify_program(tiny_cnn, augmented) == []
+
+    def test_clean_eviction_program(self, tiny_cnn):
+        plan = Plan()
+        for tensor in tiny_cnn.activations()[:4]:
+            plan.set(tensor.tensor_id, TensorConfig(opt=MemOption.SWAP))
+        augmented = lower(tiny_cnn, plan)
+        assert_valid_program(tiny_cnn, augmented)
+
+    def test_clean_split_program(self, tiny_cnn):
+        plan = Plan()
+        conv_out = next(
+            t for t in tiny_cnn.activations() if t.name == "conv1/out"
+        )
+        plan.set(conv_out.tensor_id,
+                 TensorConfig(opt=MemOption.SWAP, p_num=4, dim="sample"))
+        augmented = lower(tiny_cnn, plan)
+        assert verify_program(tiny_cnn, augmented) == []
+
+    def test_corrupted_program_detected(self, tiny_cnn):
+        augmented = lower(tiny_cnn, Plan())
+        # Inject a use of a tensor that is never produced.
+        bogus = ComputeInstr(
+            "bogus", 1.0,
+            inputs=(TensorRef(99_999, 1024, label="ghost"),),
+        )
+        augmented.program.instructions.insert(0, bogus)
+        issues = verify_program(tiny_cnn, augmented)
+        assert any("ghost" in issue for issue in issues)
+        with pytest.raises(RuntimeExecutionError, match="verification"):
+            assert_valid_program(tiny_cnn, augmented)
+
+    def test_missing_op_detected(self, tiny_cnn):
+        augmented = lower(tiny_cnn, Plan())
+        # Drop the last compute instruction (trailing frees may follow).
+        instructions = augmented.program.instructions
+        last_compute = max(
+            i for i, instr in enumerate(instructions)
+            if isinstance(instr, ComputeInstr)
+        )
+        instructions.pop(last_compute)
+        issues = verify_program(tiny_cnn, augmented)
+        assert any("never computed" in issue for issue in issues)
+
+
+class TestRandomModels:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_models_build_and_run(self, seed):
+        graph = build_random_cnn(seed)
+        graph.validate()
+        result = run_policy(graph, "base", BIG_GPU)
+        assert result.feasible, result.failure
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_models_verify_under_policies(self, seed):
+        graph = build_random_cnn(seed, batch=8)
+        for policy in ("vdnn_all", "checkpoints"):
+            result = run_policy(graph, policy, BIG_GPU)
+            assert result.feasible, (seed, policy, result.failure)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_fuzz_pipeline_end_to_end(seed):
+    """Any random model must lower to a verifiable program and execute,
+    under both the do-nothing plan and a swap-everything plan."""
+    graph = build_random_cnn(seed, batch=4, max_blocks=4)
+    profile = Profiler(BIG_GPU).profile(graph)
+    base = augment_graph(graph, Plan(), profile)
+    assert verify_program(graph, base) == []
+
+    swap_all = Plan(policy="swap_all")
+    for tensor in graph.activations():
+        if tensor.producer is not None:
+            swap_all.set(tensor.tensor_id, TensorConfig(opt=MemOption.SWAP))
+    augmented = augment_graph(graph, swap_all, profile)
+    assert verify_program(graph, augmented) == []
+    result = run_policy(graph, "base", BIG_GPU)
+    assert result.feasible
