@@ -18,6 +18,10 @@ Sweep throughput across batch sizes::
 Show the plan TSPLIT chooses::
 
     python -m repro plan --model vgg16 --batch 640 --gpu gtx_1080ti
+
+Export a Chrome trace (open in chrome://tracing or ui.perfetto.dev)::
+
+    python -m repro trace vgg16 tsplit --batch 256 --out trace.json
 """
 
 from __future__ import annotations
@@ -151,6 +155,28 @@ def cmd_plan(args: argparse.Namespace) -> None:
               f"  {cfg.describe()}")
 
 
+def cmd_trace(args: argparse.Namespace) -> None:
+    """Execute one configuration and export a Chrome trace-event file."""
+    from repro.runtime.observers import ChromeTraceObserver
+
+    gpu = _gpu(args.gpu)
+    observer = ChromeTraceObserver()
+    result = evaluate(
+        args.model, args.policy, gpu, args.batch,
+        param_scale=args.param_scale, precision=args.precision,
+        observers=(observer,),
+    )
+    if not result.feasible:
+        print(f"INFEASIBLE: {result.failure}")
+        sys.exit(1)
+    observer.write(args.out)
+    trace = result.trace
+    print(f"wrote {len(observer.events)} trace events to {args.out}")
+    print(f"  iteration: {trace.iteration_time * 1e3:.1f} ms, "
+          f"peak memory: {format_bytes(trace.peak_memory)}, "
+          f"stall: {trace.memory_stall * 1e3:.1f} ms")
+
+
 def main(argv: list[str] | None = None) -> None:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -186,6 +212,23 @@ def main(argv: list[str] | None = None) -> None:
     plan_parser.add_argument("--top", type=int, default=15,
                              help="largest configured tensors to show")
     plan_parser.set_defaults(func=cmd_plan)
+
+    trace_parser = sub.add_parser(
+        "trace", help="export a Chrome trace-event JSON of one run",
+    )
+    trace_parser.add_argument("model",
+                              help=f"model name ({', '.join(model_names())})")
+    trace_parser.add_argument("policy",
+                              help=f"policy ({', '.join(sorted(POLICY_REGISTRY) or ['tsplit'])})")
+    trace_parser.add_argument("--batch", type=int, default=64)
+    trace_parser.add_argument("--gpu", default="rtx_titan",
+                              help=f"GPU preset ({', '.join(GPU_PRESETS)})")
+    trace_parser.add_argument("--param-scale", type=float, default=1.0)
+    trace_parser.add_argument("--precision", choices=("fp32", "fp16"),
+                              default="fp32")
+    trace_parser.add_argument("--out", default="trace.json",
+                              help="output path for the trace JSON")
+    trace_parser.set_defaults(func=cmd_trace)
 
     args = parser.parse_args(argv)
     args.func(args)

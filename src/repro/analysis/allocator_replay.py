@@ -8,10 +8,17 @@ versus first-fit/worst-fit — backing the Section V-C/V-D design claims
 (allocator ablation bench).
 
 The event stream comes from :attr:`ExecutionTrace.alloc_events`
-(recorded when engine tracing is on): chronological ``(time, label,
-+/-bytes)`` entries covering compute outputs, workspaces, swap-ins and
-all releases. The persistent region (weights, optimizer state, inputs)
-is allocated once up front, as the paper's pre-allocated pool does.
+(recorded when engine tracing is on): exact chronological ``(time,
+label, +/-bytes)`` entries covering compute outputs, workspaces,
+swap-ins and all releases. The persistent region (weights, optimizer
+state, inputs) is allocated once up front, as the paper's pre-allocated
+pool does.
+
+The engine itself dispatches in chronological order, so its
+``peak_memory`` *is* the chronological peak; :func:`chronological_peak`
+re-derives the same number from the allocation log as an independent
+cross-check (it is an invariant, not a correction — the two must agree
+byte-for-byte).
 """
 
 from __future__ import annotations
@@ -33,6 +40,29 @@ class ReplayResult:
     peak_used: int = 0
     max_fragmentation: float = 0.0
     alloc_count: int = 0
+
+
+def chronological_peak(trace: ExecutionTrace) -> int:
+    """Peak bytes live at any instant, re-derived from the allocation log.
+
+    Sorts ``alloc_events`` by time (releases before allocations at equal
+    timestamps, mirroring how the engine's ledger commits pending frees
+    before applying an allocation at the same instant) and accumulates
+    on top of the persistent region. Cross-checks the engine's
+    chronologically-exact ``peak_memory``: the two are equal for every
+    traced run.
+    """
+    events = sorted(
+        trace.alloc_events,
+        key=lambda e: (e[0], 0 if e[2] < 0 else 1),
+    )
+    used = trace.persistent_bytes
+    peak = used
+    for _, _, nbytes in events:
+        used += nbytes
+        if used > peak:
+            peak = used
+    return peak
 
 
 def replay_allocations(

@@ -21,6 +21,7 @@ from repro.graph.scheduler import dfs_schedule
 from repro.hardware.gpu import GPUSpec
 from repro.policies.base import MemoryPolicy, get_policy
 from repro.runtime.engine import Engine, EngineOptions
+from repro.runtime.observers import EngineObserver
 from repro.runtime.trace import ExecutionTrace
 
 
@@ -51,8 +52,14 @@ def run_policy(
     augment_options: AugmentOptions | None = None,
     engine_options: EngineOptions | None = None,
     profiler: Profiler | None = None,
+    observers: tuple[EngineObserver, ...] | list[EngineObserver] = (),
 ) -> EvalResult:
-    """Plan, augment and execute; never raises for capacity failures."""
+    """Plan, augment and execute; never raises for capacity failures.
+
+    ``observers`` are attached to the engine run (e.g. a
+    :class:`~repro.runtime.observers.ChromeTraceObserver` for the CLI's
+    ``trace`` command).
+    """
     if isinstance(policy, str):
         policy = get_policy(policy)
     schedule = dfs_schedule(graph)
@@ -76,7 +83,7 @@ def run_policy(
     )
     engine = Engine(gpu, engine_options)
     try:
-        trace = engine.execute(augmented.program)
+        trace = engine.execute(augmented.program, observers=observers)
     except OutOfMemoryError as exc:
         return EvalResult(
             policy=policy.name, feasible=False, plan=plan, failure=str(exc),
@@ -146,6 +153,7 @@ def evaluate(
     param_scale: float = 1.0,
     augment_options: AugmentOptions | None = None,
     engine_options: EngineOptions | None = None,
+    observers: tuple[EngineObserver, ...] | list[EngineObserver] = (),
     **model_overrides,
 ) -> EvalResult:
     """Build the model at the given scale and run one policy on it.
@@ -165,4 +173,5 @@ def evaluate(
         graph, policy, gpu,
         augment_options=augment_options,
         engine_options=engine_options,
+        observers=observers,
     )

@@ -233,7 +233,6 @@ class _Augmenter:
         self.program.batch = _graph_batch(self.graph)
 
     def _build_prefetch_map(self) -> None:
-        position = self.liveness.position
         for tensor in self.graph.tensors.values():
             cfg = self.cfg(tensor.tensor_id)
             if cfg.opt is not MemOption.SWAP:

@@ -20,9 +20,12 @@ augmenter's behaviour:
 * Operator workspace is charged at the op's step, divided by the split
   count when the op runs as micro-kernels.
 
-The dynamic engine (``repro.runtime``) adds transfer timing and stalls on
-top; byte-feasibility here is designed to be a faithful upper bound of
-the engine's accounting.
+The dynamic engine (``repro.runtime``) adds transfer timing and stalls
+on top, dispatching in chronological order so its ``peak_memory`` is the
+exact chronological peak — including the window where a buffer stays
+live until both its eviction transfer and its last consumer finish;
+byte-feasibility here is designed to be a faithful upper bound of that
+chronologically-exact accounting.
 """
 
 from __future__ import annotations

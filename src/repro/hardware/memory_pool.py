@@ -10,6 +10,7 @@ and fragmentation statistics.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.errors import AllocationError, OutOfMemoryError
@@ -48,6 +49,95 @@ class PoolStats:
             "peak_used": self.peak_used,
             "bytes_allocated_total": self.bytes_allocated_total,
         }
+
+
+class DeviceMemoryLedger:
+    """Chronological byte accounting of device memory.
+
+    The discrete-event engine dispatches work in non-decreasing start
+    time; the ledger mirrors that order exactly. ``used`` is the number
+    of bytes live at the ledger clock (``time``), allocations are
+    applied at their start instant, and frees — which land in the future
+    when a transfer or kernel completes — wait in a pending queue until
+    the clock advances past them. Because events are applied in
+    chronological order, ``peak`` *is* the chronological peak: no
+    post-hoc replay of the allocation log is needed to recover it.
+    """
+
+    __slots__ = ("capacity", "used", "peak", "time", "_pending", "_seq")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.used = 0
+        self.peak = 0
+        self.time = 0.0
+        #: Min-heap of (free time, sequence, nbytes, label).
+        self._pending: list[tuple[float, int, int, str]] = []
+        self._seq = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes scheduled to free at some future instant."""
+        return sum(entry[2] for entry in self._pending)
+
+    def charge(self, nbytes: int) -> None:
+        """Apply an untimed allocation (the persistent region, at t=0)."""
+        self.used += nbytes
+        self.peak = max(self.peak, self.used)
+
+    def allocate(self, nbytes: int, at: float, on_free=None) -> None:
+        """Apply an allocation at instant ``at``.
+
+        Frees due at or before ``at`` are committed first (frees-first at
+        equal timestamps, matching the allocator-replay convention), so
+        ``used`` and ``peak`` stay chronologically exact.
+        """
+        self.commit(at, on_free)
+        self.time = max(self.time, at)
+        self.used += nbytes
+        self.peak = max(self.peak, self.used)
+
+    def schedule_free(self, nbytes: int, at: float, label: str = "") -> None:
+        """Register ``nbytes`` to be released at instant ``at``."""
+        heapq.heappush(self._pending, (at, self._seq, nbytes, label))
+        self._seq += 1
+
+    def commit(self, now: float, on_free=None) -> None:
+        """Apply every pending free due at or before ``now``."""
+        while self._pending and self._pending[0][0] <= now:
+            at, _, nbytes, label = heapq.heappop(self._pending)
+            self.used -= nbytes
+            self.time = max(self.time, at)
+            if on_free is not None:
+                on_free(at, label, nbytes, self.used)
+
+    def drain(self, on_free=None) -> None:
+        """Commit every remaining pending free (end of execution)."""
+        self.commit(float("inf"), on_free)
+
+    def earliest_fit(
+        self, need: int, not_before: float, *, credit: int = 0,
+    ) -> float | None:
+        """Earliest instant >= ``not_before`` at which ``need`` bytes fit.
+
+        A pure probe: no state changes. ``credit`` discounts bytes the
+        caller will release at the same instant (a merge consuming its
+        micro pieces). Returns ``None`` when no amount of waiting on the
+        currently-scheduled frees can ever satisfy the request.
+        """
+        base = self.used - credit
+        if base + need <= self.capacity:
+            return not_before
+        freed = 0
+        for at, _, nbytes, _ in sorted(self._pending):
+            freed += nbytes
+            if base - freed + need <= self.capacity:
+                return max(at, not_before)
+        return None
+
+    def best_case_free(self, *, credit: int = 0) -> int:
+        """Bytes available once every scheduled free has landed."""
+        return self.capacity - (self.used - credit - self.pending_bytes)
 
 
 @dataclass

@@ -59,6 +59,15 @@ class Stream:
         self.intervals.append(Interval(start, end, label))
         return Event(time=end, label=label)
 
+    def earliest_start(self, after: float = 0.0) -> float:
+        """When work queued now, waiting on ``after``, would begin.
+
+        A pure query used by the engine's dispatcher to rank lane heads
+        by candidate start time; :meth:`schedule` applies the same
+        ``max(clock, after)`` rule when the work is actually dispatched.
+        """
+        return max(self.clock, after)
+
     def busy_time(self, until: float | None = None) -> float:
         """Total busy seconds on this stream (optionally clipped)."""
         total = 0.0

@@ -4,10 +4,14 @@ The augmenter (:mod:`repro.core.augment`) lowers a (graph, plan) pair
 into a linear instruction program; the engine here
 (:mod:`repro.runtime.engine`) executes that program against the
 simulated GPU — one compute stream, D2H and H2D copy streams, a host
-"stream" for CPU-offloaded updates, event-based dependencies and
-byte-accurate device-memory accounting — and produces an
+"stream" for CPU-offloaded updates, event-based dependencies, and a
+chronological dispatcher that applies allocation/free/swap-completion
+events to the device-memory ledger in time order, so peak memory and
+stall accounting are exact by construction — and produces an
 :class:`~repro.runtime.trace.ExecutionTrace` with iteration time,
 throughput, memory timeline, stall and PCIe-utilisation statistics.
+Pluggable :mod:`~repro.runtime.observers` watch the same event stream
+for per-instruction tracing, memory timelines, or Chrome trace export.
 """
 
 from repro.runtime.instructions import (
@@ -20,6 +24,12 @@ from repro.runtime.instructions import (
     XferInstr,
 )
 from repro.runtime.engine import Engine, EngineOptions
+from repro.runtime.observers import (
+    ChromeTraceObserver,
+    EngineObserver,
+    MemoryTimelineObserver,
+    TraceObserver,
+)
 from repro.runtime.trace import ExecutionTrace, MemorySample
 
 __all__ = [
@@ -32,6 +42,10 @@ __all__ = [
     "XferInstr",
     "Engine",
     "EngineOptions",
+    "EngineObserver",
+    "TraceObserver",
+    "MemoryTimelineObserver",
+    "ChromeTraceObserver",
     "ExecutionTrace",
     "MemorySample",
 ]

@@ -1,17 +1,32 @@
 """The discrete-event execution engine.
 
-Executes an augmented instruction program against a simulated GPU:
+Executes an augmented instruction program against a simulated GPU as a
+true discrete-event system:
 
 * one serial **compute** stream, serial **D2H** / **H2D** copy streams
   (the paper's three CUDA streams), plus a **host** stream for
   CPU-offloaded optimizer updates;
+* a global dispatcher that always advances the lane whose head
+  instruction starts earliest (ties broken by issue order), so
+  allocation, free and swap-completion events are applied to the
+  :class:`~repro.hardware.memory_pool.DeviceMemoryLedger` in
+  chronological order — ``used``, ``peak_memory`` and the Equation-3
+  memory stalls are exact by construction, with no post-hoc replay of
+  the allocation log needed to recover the true peak;
 * event-based dependencies: a compute kernel starts only when its input
-  (micro-)tensors are ready, a swap-in only when its host copy exists;
+  (micro-)tensors are ready, a swap-in only when its host copy exists,
+  and a buffer is reclaimed only once *both* its eviction transfer and
+  every previously-issued consumer have finished (the CUDA-event
+  ordering a real runtime enforces before returning memory to the pool);
 * byte-accurate device-memory accounting: allocations wait for enough
   pending frees (swap-out completions) to land — the stall the paper's
   Equation 3 models — and raise
   :class:`~repro.errors.OutOfMemoryError` when no amount of waiting can
-  ever satisfy them.
+  ever satisfy them;
+* pluggable :class:`~repro.runtime.observers.EngineObserver` instances
+  that watch the chronological event stream (instruction start/end,
+  alloc/free, stall begin/end, OOM) — tracing cost is opt-in per
+  observer.
 
 The engine is deliberately *not* given the plan or the graph: everything
 it needs is in the instruction stream, which keeps the augmenter honest
@@ -20,32 +35,42 @@ it needs is in the instruction stream, which keeps the augmenter honest
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import OutOfMemoryError, RuntimeExecutionError
 from repro.hardware.gpu import GPUSpec
+from repro.hardware.memory_pool import DeviceMemoryLedger
 from repro.hardware.pcie import PCIeModel
 from repro.hardware.streams import Stream, StreamSet
 from repro.runtime.instructions import (
     ComputeInstr,
     Device,
     FreeInstr,
+    Instruction,
     Program,
     SwapInInstr,
     SwapOutInstr,
     XferInstr,
+    instr_reads,
+    instr_stream,
 )
-from repro.runtime.trace import ExecutionTrace, InstrRecord, MemorySample
+from repro.runtime.observers import EngineObserver, TraceObserver
+from repro.runtime.trace import ExecutionTrace
 
 
 @dataclass(frozen=True)
 class EngineOptions:
     """Engine knobs."""
 
-    #: Record per-instruction timing and memory samples (disable for
-    #: large parameter sweeps where only aggregates matter).
+    #: Record per-instruction timing and memory samples by implicitly
+    #: attaching a :class:`~repro.runtime.observers.TraceObserver`
+    #: (disable for large parameter sweeps where only aggregates matter;
+    #: aggregate numbers are identical either way).
     record_trace: bool = True
+    #: Observers attached to every run of this engine, in addition to
+    #: any passed per-call to :meth:`Engine.execute`.
+    observers: tuple[EngineObserver, ...] = ()
 
 
 class Engine:
@@ -56,7 +81,11 @@ class Engine:
         self.options = options or EngineOptions()
         self.pcie = PCIeModel(gpu)
 
-    def execute(self, program: Program) -> ExecutionTrace:
+    def execute(
+        self,
+        program: Program,
+        observers: tuple[EngineObserver, ...] | list[EngineObserver] = (),
+    ) -> ExecutionTrace:
         """Run a program to completion and return its trace.
 
         Raises
@@ -68,11 +97,14 @@ class Engine:
             On inconsistent programs (use of non-resident tensors,
             double allocation, ...).
         """
-        run = _Run(self.gpu, self.pcie, program, self.options)
+        run = _Run(self.gpu, self.pcie, program, self.options, observers)
         return run.execute()
 
     def execute_iterations(
-        self, program: Program, iterations: int,
+        self,
+        program: Program,
+        iterations: int,
+        observers: tuple[EngineObserver, ...] | list[EngineObserver] = (),
     ) -> tuple[list[float], ExecutionTrace]:
         """Run the same iteration program back to back.
 
@@ -80,7 +112,9 @@ class Engine:
         iterations, so the result shows the warm-up effect (iteration 1
         pays cold prefetches; later iterations reach steady state). The
         returned trace aggregates all iterations; the list holds each
-        iteration's duration.
+        iteration's duration, read off the event clock (latest completion
+        event dispatched so far), so the durations sum exactly to the
+        aggregate makespan.
 
         Raises the same errors as :meth:`execute`.
         """
@@ -88,15 +122,64 @@ class Engine:
             raise RuntimeExecutionError(
                 f"iterations must be >= 1, got {iterations}"
             )
-        run = _Run(self.gpu, self.pcie, program, self.options)
+        run = _Run(self.gpu, self.pcie, program, self.options, observers)
         durations: list[float] = []
         previous = 0.0
         for _ in range(iterations):
             run.execute_instructions()
-            makespan = max(run.streams.makespan, run.cpu.clock)
-            durations.append(makespan - previous)
-            previous = makespan
+            durations.append(run.clock - previous)
+            previous = run.clock
         return durations, run.finalize()
+
+
+class _Lane:
+    """One serial dispatch queue (a CUDA stream or the host)."""
+
+    __slots__ = ("name", "stream", "queue")
+
+    def __init__(self, name: str, stream: Stream) -> None:
+        self.name = name
+        self.stream = stream
+        self.queue: deque[tuple[int, Instruction]] = deque()
+
+
+class _Candidate:
+    """A dispatchable lane head with its resolved start time."""
+
+    __slots__ = ("start", "issue", "lane", "instr", "not_before", "need")
+
+    def __init__(
+        self,
+        start: float,
+        issue: int,
+        lane: _Lane,
+        instr: Instruction,
+        not_before: float = 0.0,
+        need: int = 0,
+    ) -> None:
+        self.start = start
+        self.issue = issue
+        self.lane = lane
+        self.instr = instr
+        self.not_before = not_before
+        self.need = need
+
+
+class _Blocked:
+    """A lane head that cannot dispatch yet.
+
+    Carries the error to raise if the whole machine turns out to be
+    stuck on it; transient blocks (a dependency produced by a not yet
+    dispatched earlier instruction) clear on their own as other lanes
+    advance, so the error only surfaces when no lane can move.
+    """
+
+    __slots__ = ("issue", "error", "label")
+
+    def __init__(self, issue: int, error: Exception, label: str = "") -> None:
+        self.issue = issue
+        self.error = error
+        self.label = label
 
 
 class _Run:
@@ -108,6 +191,7 @@ class _Run:
         pcie: PCIeModel,
         program: Program,
         options: EngineOptions,
+        extra_observers: tuple[EngineObserver, ...] | list[EngineObserver] = (),
     ) -> None:
         self.gpu = gpu
         self.pcie = pcie
@@ -116,25 +200,24 @@ class _Run:
         self.streams = StreamSet()
         self.cpu = Stream("cpu")
         self.capacity = gpu.memory_bytes
-        self.used = program.persistent_bytes
-        if self.used > self.capacity:
+        self.ledger = DeviceMemoryLedger(self.capacity)
+        if program.persistent_bytes > self.capacity:
             raise OutOfMemoryError(
-                requested=self.used,
+                requested=program.persistent_bytes,
                 available=self.capacity,
                 capacity=self.capacity,
                 message=(
                     f"{program.name}: persistent tensors "
-                    f"({self.used} B) exceed device memory "
+                    f"({program.persistent_bytes} B) exceed device memory "
                     f"({self.capacity} B)"
                 ),
             )
+        self.ledger.charge(program.persistent_bytes)
         self.resident: dict[tuple[int, int], int] = {}
         self.ready: dict[tuple[int, int], float] = {}
         self.host_copy: dict[tuple[int, int], float] = {
             ref.key: 0.0 for ref in program.initial_host
         }
-        self.pending_frees: list[tuple[float, int]] = []  # min-heap by time
-        self.peak = self.used
         self.host_used = sum(ref.nbytes for ref in program.initial_host)
         self.host_peak = self.host_used
         self.memory_stall = 0.0
@@ -143,76 +226,116 @@ class _Run:
         self.recompute_time = 0.0
         self.recompute_ops = 0
         self.split_kernels = 0
-        self.records: list[InstrRecord] = []
-        self.samples: list[MemorySample] = []
-        self.alloc_events: list[tuple[float, str, int]] = []
+        #: Latest completion event dispatched so far (the event clock).
+        self.clock = 0.0
         self._key_labels: dict[tuple[int, int], str] = {}
+        self.lanes = {
+            "compute": _Lane("compute", self.streams.compute),
+            "d2h": _Lane("d2h", self.streams.d2h),
+            "h2d": _Lane("h2d", self.streams.h2d),
+            "cpu": _Lane("cpu", self.cpu),
+        }
+        #: Latest finish time of any dispatched reader, per key; an
+        #: eviction reclaims memory no earlier than this (CUDA-event
+        #: ordering with the buffer's consumers).
+        self._read_end: dict[tuple[int, int], float] = {}
+        #: Reads dispatched so far, per key (guard progress).
+        self._reads_done: dict[tuple[int, int], int] = {}
+        self._dispatched: list[bool] = []
+        self._read_guard: dict[int, int] = {}
+        self._dep_guard: dict[int, tuple[int, ...]] = {}
+        self._precompute_guards()
+        observers: list[EngineObserver] = [
+            *options.observers, *extra_observers,
+        ]
+        self._tracer: TraceObserver | None = None
+        if options.record_trace:
+            self._tracer = TraceObserver()
+            observers.append(self._tracer)
+        self.observers: tuple[EngineObserver, ...] = tuple(observers)
+        self._free_hook = self._on_ledger_free if self.observers else None
+        for observer in self.observers:
+            observer.on_run_begin(program, gpu)
 
-    # -- memory accounting -------------------------------------------------------
+    @staticmethod
+    def _guard_keys(instr: Instruction) -> tuple[tuple[int, int], ...]:
+        """Keys whose issue-order state an instruction depends on."""
+        if isinstance(instr, ComputeInstr):
+            refs = (*instr.inputs, *instr.outputs, *instr.alloc_only,
+                    *instr.finishes)
+        elif isinstance(instr, XferInstr):
+            refs = instr.after
+        else:
+            refs = (instr.ref,)
+        return tuple(ref.key for ref in refs)
 
-    def _commit_frees(self, now: float) -> None:
-        while self.pending_frees and self.pending_frees[0][0] <= now:
-            _, nbytes = heapq.heappop(self.pending_frees)
-            self.used -= nbytes
+    def _precompute_guards(self) -> None:
+        """Issue-order guards that keep per-key state transitions sane.
 
-    def _earliest_fit(self, need: int, not_before: float, label: str) -> float:
-        """Earliest time >= not_before at which ``need`` bytes fit."""
-        self._commit_frees(not_before)
-        if self.used + need <= self.capacity:
-            return not_before
-        # Walk pending frees chronologically until the allocation fits.
-        future = sorted(self.pending_frees)
-        freed = 0
-        for time, nbytes in future:
-            freed += nbytes
-            if self.used - freed + need <= self.capacity:
-                return max(time, not_before)
-        raise OutOfMemoryError(
-            requested=need,
-            available=self.capacity - (self.used - freed),
-            capacity=self.capacity,
-            message=(
-                f"{self.program.name}: {label!r} needs {need} B; only "
-                f"{self.capacity - (self.used - freed)} B can ever free up "
-                f"(capacity {self.capacity} B)"
-            ),
-        )
+        Dispatch is chronological, but the *state machine* of each key
+        (produced, evicted, re-materialised, ...) must follow issue
+        order, or a backward-pass swap-in could run before the forward
+        pass re-produces and re-evicts the tensor in iteration two. Two
+        guards enforce this without constraining timing:
 
-    def _allocate(self, need: int, at: float) -> None:
-        self._commit_frees(at)
-        self.used += need
-        self.peak = max(self.peak, self.used)
-        if self.options.record_trace:
-            self.samples.append(MemorySample(at, self.used))
+        * every instruction waits until the **latest earlier-issued
+          writer** of each key it touches (producer or eviction — the
+          key's "changer") has dispatched, so it observes the state its
+          issue position implies;
+        * an eviction additionally waits until every earlier-issued
+          **reader** of its key has dispatched, so the finish times of
+          the buffer's consumers are known when the release instant
+          ``max(transfer end, last read end)`` is computed.
+        """
+        counts: dict[tuple[int, int], int] = {}
+        changer: dict[tuple[int, int], int] = {}
+        for issue, instr in enumerate(self.program.instructions):
+            if isinstance(instr, (SwapOutInstr, FreeInstr)):
+                self._read_guard[issue] = counts.get(instr.ref.key, 0)
+            guards = {
+                changer[key] for key in self._guard_keys(instr)
+                if key in changer
+            }
+            if guards:
+                self._dep_guard[issue] = tuple(guards)
+            for ref in instr_reads(instr):
+                counts[ref.key] = counts.get(ref.key, 0) + 1
+            if isinstance(instr, ComputeInstr):
+                for ref in (*instr.outputs, *instr.alloc_only,
+                            *instr.finishes):
+                    changer[ref.key] = issue
+            elif isinstance(instr, (SwapInInstr, SwapOutInstr, FreeInstr)):
+                changer[instr.ref.key] = issue
 
-    def _log_alloc(self, at: float, label: str, nbytes: int) -> None:
-        if self.options.record_trace and nbytes:
-            self.alloc_events.append((at, label, nbytes))
+    # -- observer notification ---------------------------------------------------
 
-    def _schedule_free(self, nbytes: int, at: float) -> None:
-        heapq.heappush(self.pending_frees, (at, nbytes))
+    def _on_ledger_free(self, at: float, label: str, nbytes: int,
+                        used: int) -> None:
+        """Ledger commit hook: fan a free event out to the observers."""
+        for observer in self.observers:
+            observer.on_free(at, label, nbytes, used)
 
-    # -- dependency resolution -----------------------------------------------------
+    def _notify_alloc(self, at: float, label: str, nbytes: int) -> None:
+        if not self.observers:
+            return
+        used = self.ledger.used
+        for observer in self.observers:
+            observer.on_alloc(at, label, nbytes, used)
 
-    def _ready_time(self, key: tuple[int, int], label: str) -> float:
-        time = self.ready.get(key)
-        if time is None:
-            raise RuntimeExecutionError(
-                f"{self.program.name}: {label!r} uses tensor {key} which "
-                f"is not resident"
-            )
-        return time
-
-    def _any_time(self, key: tuple[int, int]) -> float:
-        """Ready time on device or host (for CPU consumers / xfer deps)."""
-        device = self.ready.get(key)
-        host = self.host_copy.get(key)
-        times = [t for t in (device, host) if t is not None]
-        if not times:
-            raise RuntimeExecutionError(
-                f"{self.program.name}: dependency {key} exists nowhere"
-            )
-        return min(times)
+    def _notify_instr(
+        self,
+        label: str,
+        kind: str,
+        stream: str,
+        start: float,
+        end: float,
+        *,
+        nbytes: int = 0,
+        tag: str = "",
+    ) -> None:
+        for observer in self.observers:
+            observer.on_instr_start(label, kind, stream, start, nbytes, tag)
+            observer.on_instr_end(label, kind, stream, start, end, nbytes, tag)
 
     # -- execution ---------------------------------------------------------------
 
@@ -222,34 +345,76 @@ class _Run:
         return self.finalize()
 
     def execute_instructions(self) -> None:
-        """Dispatch one pass over the program's instruction list."""
-        for instr in self.program.instructions:
-            if isinstance(instr, ComputeInstr):
-                self._run_compute(instr)
-            elif isinstance(instr, SwapOutInstr):
-                self._run_swap_out(instr)
-            elif isinstance(instr, SwapInInstr):
-                self._run_swap_in(instr)
-            elif isinstance(instr, FreeInstr):
-                self._run_free(instr)
-            elif isinstance(instr, XferInstr):
-                self._run_xfer(instr)
-            else:  # pragma: no cover - defensive
-                raise RuntimeExecutionError(f"unknown instruction {instr!r}")
+        """Dispatch one pass over the program in chronological order.
+
+        Each instruction joins the FIFO queue of its lane (stream); the
+        dispatcher repeatedly resolves every lane head's candidate start
+        time and dispatches the earliest-starting head, ties broken by
+        issue order. Because every state change a dispatch makes lands at
+        or after its start time, dispatch order is chronological and the
+        memory ledger sees allocation and free events in time order.
+
+        A head blocked on a dependency that an undispatched earlier
+        instruction will produce simply waits; if no head at all can
+        dispatch, the block at the lowest issue position is a genuine
+        program error (or OOM) and its error is raised.
+        """
+        self._reads_done = {}
+        self._dispatched = [False] * len(self.program.instructions)
+        for issue, instr in enumerate(self.program.instructions):
+            self.lanes[instr_stream(instr)].queue.append((issue, instr))
+        remaining = len(self.program.instructions)
+        while remaining:
+            best: _Candidate | None = None
+            stuck: _Blocked | None = None
+            for lane in self.lanes.values():
+                if not lane.queue:
+                    continue
+                head = self._prepare_head(lane)
+                if isinstance(head, _Blocked):
+                    if stuck is None or head.issue < stuck.issue:
+                        stuck = head
+                    continue
+                if best is None or (head.start, head.issue) < (
+                    best.start, best.issue,
+                ):
+                    best = head
+            if best is None:
+                if stuck is None:  # pragma: no cover - defensive
+                    raise RuntimeExecutionError(
+                        f"{self.program.name}: dispatcher wedged with "
+                        f"{remaining} instructions left"
+                    )
+                error = stuck.error
+                if isinstance(error, OutOfMemoryError):
+                    for observer in self.observers:
+                        observer.on_oom(
+                            self.ledger.time, stuck.label,
+                            error.requested, error.available,
+                        )
+                raise error
+            best.lane.queue.popleft()
+            self._dispatch(best)
+            self._dispatched[best.issue] = True
+            for ref in instr_reads(best.instr):
+                key = ref.key
+                self._reads_done[key] = self._reads_done.get(key, 0) + 1
+            remaining -= 1
 
     def finalize(self) -> ExecutionTrace:
         """Aggregate stream/memory statistics into a trace."""
-        makespan = max(self.streams.makespan, self.cpu.clock)
-        return ExecutionTrace(
+        self.ledger.drain(self._free_hook)
+        tracer = self._tracer
+        trace = ExecutionTrace(
             name=self.program.name,
             batch=self.program.batch,
-            iteration_time=makespan,
+            iteration_time=self.clock,
             compute_busy=self.streams.compute.busy_time(),
             cpu_busy=self.cpu.busy_time(),
             d2h_busy=self.streams.d2h.busy_time(),
             h2d_busy=self.streams.h2d.busy_time(),
             memory_stall=self.memory_stall,
-            peak_memory=self.peak,
+            peak_memory=self.ledger.peak,
             persistent_bytes=self.program.persistent_bytes,
             swapped_out_bytes=self.swapped_out,
             swapped_in_bytes=self.swapped_in,
@@ -257,77 +422,275 @@ class _Run:
             recompute_ops=self.recompute_ops,
             split_kernels=self.split_kernels,
             host_peak_bytes=self.host_peak,
-            records=self.records,
-            memory_samples=self.samples,
-            alloc_events=self.alloc_events,
+            records=tracer.records if tracer else [],
+            memory_samples=tracer.samples if tracer else [],
+            alloc_events=tracer.alloc_events if tracer else [],
+        )
+        for observer in self.observers:
+            observer.on_run_end(trace)
+        return trace
+
+    # -- head preparation --------------------------------------------------------
+
+    def _prepare_head(self, lane: _Lane) -> _Candidate | _Blocked:
+        """Resolve a lane head into a candidate start time, or a block."""
+        issue, instr = lane.queue[0]
+        for guard in self._dep_guard.get(issue, ()):
+            if not self._dispatched[guard]:
+                return _Blocked(issue, RuntimeExecutionError(
+                    f"{self.program.name}: instruction {issue} deadlocked "
+                    f"waiting for instruction {guard}"
+                ))
+        if isinstance(instr, ComputeInstr):
+            if instr.device is Device.CPU:
+                return self._prepare_cpu(issue, instr, lane)
+            return self._prepare_compute(issue, instr, lane)
+        if isinstance(instr, SwapOutInstr):
+            return self._prepare_swap_out(issue, instr, lane)
+        if isinstance(instr, SwapInInstr):
+            return self._prepare_swap_in(issue, instr, lane)
+        if isinstance(instr, FreeInstr):
+            return self._prepare_free(issue, instr, lane)
+        if isinstance(instr, XferInstr):
+            return self._prepare_xfer(issue, instr, lane)
+        raise RuntimeExecutionError(  # pragma: no cover - defensive
+            f"unknown instruction {instr!r}"
         )
 
-    def _run_compute(self, instr: ComputeInstr) -> None:
-        if instr.device is Device.CPU:
-            self._run_cpu_compute(instr)
-            return
+    def _eviction_guard(
+        self, issue: int, instr: SwapOutInstr | FreeInstr,
+    ) -> _Blocked | None:
+        """Hold an eviction until its earlier consumers have dispatched."""
+        key = instr.ref.key
+        if self._reads_done.get(key, 0) < self._read_guard[issue]:
+            return _Blocked(issue, RuntimeExecutionError(
+                f"{self.program.name}: eviction of {instr.ref.label!r} "
+                f"deadlocked waiting for earlier consumers"
+            ), instr.ref.label)
+        return None
+
+    def _prepare_compute(
+        self, issue: int, instr: ComputeInstr, lane: _Lane,
+    ) -> _Candidate | _Blocked:
         deps = 0.0
         for ref in instr.inputs:
-            deps = max(deps, self._ready_time(ref.key, instr.label))
-        stream = self.streams.compute
-        not_before = max(stream.clock, deps)
-        if instr.tag == "merge":
-            # Merge aliases its pieces: the whole buffer replaces the
-            # micro pieces, so only the size delta is genuinely new
-            # memory. Release the pieces as the merge begins.
-            for ref in instr.inputs:
-                self._release(ref.key, not_before, instr.label)
+            time = self.ready.get(ref.key)
+            if time is None:
+                return _Blocked(issue, RuntimeExecutionError(
+                    f"{self.program.name}: {instr.label!r} uses tensor "
+                    f"{ref.key} which is not resident"
+                ), instr.label)
+            deps = max(deps, time)
         need = instr.transient_bytes
-        for ref in list(instr.outputs) + list(instr.alloc_only):
+        for ref in (*instr.outputs, *instr.alloc_only):
             if ref.key in self.resident:
-                raise RuntimeExecutionError(
+                return _Blocked(issue, RuntimeExecutionError(
                     f"{self.program.name}: {instr.label!r} re-allocates "
                     f"resident tensor {ref.label!r}"
-                )
+                ), instr.label)
             need += ref.nbytes
-        start = self._earliest_fit(need, not_before, instr.label)
-        self.memory_stall += start - not_before
-        self._allocate(need, start)
-        event = stream.schedule(
+        for ref in instr.finishes:
+            if ref.key not in self.resident:
+                return _Blocked(issue, RuntimeExecutionError(
+                    f"{self.program.name}: {instr.label!r} finishes "
+                    f"unallocated tensor {ref.label!r}"
+                ), instr.label)
+        # A merge aliases its micro pieces: the whole buffer replaces
+        # them at its start instant, so only the size delta is new.
+        credit = (
+            sum(ref.nbytes for ref in instr.inputs)
+            if instr.tag == "merge" else 0
+        )
+        # Ledger floor: an instruction issued after already-applied
+        # events cannot allocate in their past (keeps accounting exact).
+        not_before = max(lane.stream.earliest_start(deps), self.ledger.time)
+        start = self.ledger.earliest_fit(need, not_before, credit=credit)
+        if start is None:
+            return _Blocked(issue, self._device_oom(instr.label, need, credit),
+                            instr.label)
+        return _Candidate(start, issue, lane, instr, not_before, need)
+
+    def _prepare_cpu(
+        self, issue: int, instr: ComputeInstr, lane: _Lane,
+    ) -> _Candidate | _Blocked:
+        deps = 0.0
+        for ref in instr.inputs:
+            time = self._any_time(ref.key)
+            if time is None:
+                return _Blocked(issue, RuntimeExecutionError(
+                    f"{self.program.name}: dependency {ref.key} exists nowhere"
+                ), instr.label)
+            deps = max(deps, time)
+        return _Candidate(
+            lane.stream.earliest_start(deps), issue, lane, instr,
+        )
+
+    def _prepare_swap_out(
+        self, issue: int, instr: SwapOutInstr, lane: _Lane,
+    ) -> _Candidate | _Blocked:
+        held = self._eviction_guard(issue, instr)
+        if held is not None:
+            return held
+        time = self.ready.get(instr.ref.key)
+        if time is None:
+            return _Blocked(issue, RuntimeExecutionError(
+                f"{self.program.name}: 'swap_out({instr.ref.label})' uses "
+                f"tensor {instr.ref.key} which is not resident"
+            ), instr.ref.label)
+        return _Candidate(
+            lane.stream.earliest_start(time), issue, lane, instr,
+        )
+
+    def _prepare_swap_in(
+        self, issue: int, instr: SwapInInstr, lane: _Lane,
+    ) -> _Candidate | _Blocked:
+        key = instr.ref.key
+        host_ready = self.host_copy.get(key)
+        if host_ready is None:
+            return _Blocked(issue, RuntimeExecutionError(
+                f"{self.program.name}: swap-in of {instr.ref.label!r} "
+                f"without a host copy"
+            ), instr.ref.label)
+        if key in self.resident:
+            return _Blocked(issue, RuntimeExecutionError(
+                f"{self.program.name}: swap-in of already-resident "
+                f"{instr.ref.label!r}"
+            ), instr.ref.label)
+        # Ledger floor: a re-fetch issued after its predecessor's free
+        # cannot start the transfer in the ledger's past.
+        not_before = max(
+            lane.stream.earliest_start(host_ready), self.ledger.time,
+        )
+        start = self.ledger.earliest_fit(instr.ref.nbytes, not_before)
+        if start is None:
+            label = f"swap_in({instr.ref.label})"
+            return _Blocked(
+                issue, self._device_oom(label, instr.ref.nbytes, 0), label,
+            )
+        return _Candidate(
+            start, issue, lane, instr, not_before, instr.ref.nbytes,
+        )
+
+    def _prepare_free(
+        self, issue: int, instr: FreeInstr, lane: _Lane,
+    ) -> _Candidate | _Blocked:
+        held = self._eviction_guard(issue, instr)
+        if held is not None:
+            return held
+        if instr.ref.key not in self.resident and not instr.missing_ok:
+            return _Blocked(issue, RuntimeExecutionError(
+                f"{self.program.name}: free of non-resident "
+                f"{instr.ref.label!r}"
+            ), instr.ref.label)
+        return _Candidate(lane.stream.clock, issue, lane, instr)
+
+    def _prepare_xfer(
+        self, issue: int, instr: XferInstr, lane: _Lane,
+    ) -> _Candidate | _Blocked:
+        deps = 0.0
+        for ref in instr.after:
+            time = self._any_time(ref.key)
+            if time is None:
+                return _Blocked(issue, RuntimeExecutionError(
+                    f"{self.program.name}: dependency {ref.key} exists nowhere"
+                ), instr.label)
+            deps = max(deps, time)
+        return _Candidate(
+            lane.stream.earliest_start(deps), issue, lane, instr,
+        )
+
+    def _any_time(self, key: tuple[int, int]) -> float | None:
+        """Ready time on device or host (for CPU consumers / xfer deps)."""
+        device = self.ready.get(key)
+        host = self.host_copy.get(key)
+        times = [t for t in (device, host) if t is not None]
+        return min(times) if times else None
+
+    def _device_oom(self, label: str, need: int, credit: int) -> OutOfMemoryError:
+        """The terminal allocation failure: waiting can never help."""
+        available = self.ledger.best_case_free(credit=credit)
+        return OutOfMemoryError(
+            requested=need,
+            available=available,
+            capacity=self.capacity,
+            message=(
+                f"{self.program.name}: {label!r} needs {need} B; only "
+                f"{available} B can ever free up "
+                f"(capacity {self.capacity} B)"
+            ),
+        )
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _dispatch(self, cand: _Candidate) -> None:
+        """Apply one instruction's effects at its resolved start time."""
+        instr = cand.instr
+        if isinstance(instr, ComputeInstr):
+            if instr.device is Device.CPU:
+                self._dispatch_cpu(cand, instr)
+            else:
+                self._dispatch_compute(cand, instr)
+        elif isinstance(instr, SwapOutInstr):
+            self._dispatch_swap_out(cand, instr)
+        elif isinstance(instr, SwapInInstr):
+            self._dispatch_swap_in(cand, instr)
+        elif isinstance(instr, FreeInstr):
+            self._dispatch_free(cand, instr)
+        else:
+            self._dispatch_xfer(cand, instr)
+
+    def _dispatch_compute(self, cand: _Candidate, instr: ComputeInstr) -> None:
+        start, not_before, need = cand.start, cand.not_before, cand.need
+        stall = start - not_before
+        if stall > 0:
+            self.memory_stall += stall
+            for observer in self.observers:
+                observer.on_stall_begin(not_before, instr.label, need)
+                observer.on_stall_end(start, instr.label, stall)
+        if instr.tag == "merge":
+            for ref in instr.inputs:
+                self._release(ref.key, start, instr.label)
+        self.ledger.allocate(need, start, self._free_hook)
+        event = cand.lane.stream.schedule(
             instr.duration, after=start, label=instr.label,
         )
+        self.clock = max(self.clock, event.time)
         if instr.transient_bytes:
-            self._schedule_free(instr.transient_bytes, event.time)
-            self._log_alloc(start, f"{instr.label}/workspace",
-                            instr.transient_bytes)
-            self._log_alloc(event.time, f"{instr.label}/workspace",
-                            -instr.transient_bytes)
+            self.ledger.schedule_free(
+                instr.transient_bytes, event.time, f"{instr.label}/workspace",
+            )
+            self._notify_alloc(
+                start, f"{instr.label}/workspace", instr.transient_bytes,
+            )
         for ref in instr.outputs:
             self.resident[ref.key] = ref.nbytes
             self.ready[ref.key] = event.time
             self._key_labels[ref.key] = ref.label
-            self._log_alloc(start, ref.label, ref.nbytes)
+            self._notify_alloc(start, ref.label, ref.nbytes)
         for ref in instr.alloc_only:
             self.resident[ref.key] = ref.nbytes
             self._key_labels[ref.key] = ref.label
-            self._log_alloc(start, ref.label, ref.nbytes)
+            self._notify_alloc(start, ref.label, ref.nbytes)
             # Not ready yet: a later instruction `finishes` it.
         for ref in instr.finishes:
-            if ref.key not in self.resident:
-                raise RuntimeExecutionError(
-                    f"{self.program.name}: {instr.label!r} finishes "
-                    f"unallocated tensor {ref.label!r}"
-                )
             self.ready[ref.key] = event.time
+        for ref in instr.inputs:
+            key = ref.key
+            if event.time > self._read_end.get(key, 0.0):
+                self._read_end[key] = event.time
         if instr.tag == "recompute":
             self.recompute_time += instr.duration
             self.recompute_ops += 1
         if "[" in instr.label:
             self.split_kernels += 1
-        self._record(instr.label, "compute", "compute", start, event.time,
-                     tag=instr.tag)
+        self._notify_instr(instr.label, "compute", "compute", start,
+                           event.time, tag=instr.tag)
 
-    def _run_cpu_compute(self, instr: ComputeInstr) -> None:
-        deps = 0.0
-        for ref in instr.inputs:
-            deps = max(deps, self._any_time(ref.key))
-        start = max(self.cpu.clock, deps)
-        event = self.cpu.schedule(instr.duration, after=start, label=instr.label)
+    def _dispatch_cpu(self, cand: _Candidate, instr: ComputeInstr) -> None:
+        event = cand.lane.stream.schedule(
+            instr.duration, after=cand.start, label=instr.label,
+        )
+        self.clock = max(self.clock, event.time)
         for ref in instr.outputs:
             if ref.nbytes == 0:
                 self.ready[ref.key] = event.time  # zero-byte marker
@@ -336,18 +699,27 @@ class _Run:
                     f"CPU op {instr.label!r} cannot allocate GPU tensor "
                     f"{ref.label!r}"
                 )
-        self._record(instr.label, "compute", "cpu", start, event.time,
-                     tag=instr.tag)
+        for ref in instr.inputs:
+            key = ref.key
+            if event.time > self._read_end.get(key, 0.0):
+                self._read_end[key] = event.time
+        self._notify_instr(instr.label, "compute", "cpu", cand.start,
+                           event.time, tag=instr.tag)
 
-    def _run_swap_out(self, instr: SwapOutInstr) -> None:
+    def _dispatch_swap_out(self, cand: _Candidate, instr: SwapOutInstr) -> None:
         key = instr.ref.key
-        dep = self._ready_time(key, f"swap_out({instr.ref.label})")
-        stream = self.streams.d2h
         duration = self.pcie.transfer_time(instr.ref.nbytes)
-        event = stream.schedule(
-            duration, after=dep, label=f"d2h({instr.ref.label})",
+        event = cand.lane.stream.schedule(
+            duration, after=cand.start, label=f"d2h({instr.ref.label})",
         )
-        self._release(key, event.time, f"swap_out({instr.ref.label})")
+        self.clock = max(self.clock, event.time)
+        # The buffer dies when both the transfer and every earlier
+        # consumer are done (its eviction guard made those ends known);
+        # never in the past of already-applied ledger events.
+        release_at = max(
+            event.time, self._read_end.get(key, 0.0), self.ledger.time,
+        )
+        self._release(key, release_at, f"swap_out({instr.ref.label})")
         if key not in self.host_copy:
             self.host_used += instr.ref.nbytes
             self.host_peak = max(self.host_peak, self.host_used)
@@ -366,96 +738,73 @@ class _Run:
                 )
         self.host_copy[key] = event.time
         self.swapped_out += instr.ref.nbytes
-        self._record(
+        self._notify_instr(
             instr.ref.label, "swap_out", "d2h",
             event.time - duration, event.time, nbytes=instr.ref.nbytes,
         )
 
-    def _run_swap_in(self, instr: SwapInInstr) -> None:
+    def _dispatch_swap_in(self, cand: _Candidate, instr: SwapInInstr) -> None:
         key = instr.ref.key
-        host_ready = self.host_copy.get(key)
-        if host_ready is None:
-            raise RuntimeExecutionError(
-                f"{self.program.name}: swap-in of {instr.ref.label!r} "
-                f"without a host copy"
-            )
-        if key in self.resident:
-            raise RuntimeExecutionError(
-                f"{self.program.name}: swap-in of already-resident "
-                f"{instr.ref.label!r}"
-            )
-        stream = self.streams.h2d
-        not_before = max(stream.clock, host_ready)
-        start = self._earliest_fit(
-            instr.ref.nbytes, not_before, f"swap_in({instr.ref.label})",
-        )
-        self._allocate(instr.ref.nbytes, start)
+        start = cand.start
+        self.ledger.allocate(instr.ref.nbytes, start, self._free_hook)
         duration = self.pcie.transfer_time(instr.ref.nbytes)
-        event = stream.schedule(
+        event = cand.lane.stream.schedule(
             duration, after=start, label=f"h2d({instr.ref.label})",
         )
+        self.clock = max(self.clock, event.time)
         self.resident[key] = instr.ref.nbytes
         self.ready[key] = event.time
         self._key_labels[key] = instr.ref.label
-        self._log_alloc(start, instr.ref.label, instr.ref.nbytes)
+        self._notify_alloc(start, instr.ref.label, instr.ref.nbytes)
         self.swapped_in += instr.ref.nbytes
-        self._record(
+        self._notify_instr(
             instr.ref.label, "swap_in", "h2d", start, event.time,
             nbytes=instr.ref.nbytes,
         )
 
-    def _run_free(self, instr: FreeInstr) -> None:
+    def _dispatch_free(self, cand: _Candidate, instr: FreeInstr) -> None:
         key = instr.ref.key
         if key not in self.resident:
-            if instr.missing_ok:
-                return
-            raise RuntimeExecutionError(
-                f"{self.program.name}: free of non-resident "
-                f"{instr.ref.label!r}"
-            )
+            return  # missing_ok; _prepare_free rejected the other case
         # The buffer dies when the compute stream has passed its last
-        # consumer — which is the compute clock at emission point.
-        at = max(self.ready.get(key, 0.0), self.streams.compute.clock)
+        # consumer — no earlier than its ready time, the compute clock,
+        # the finish of any dispatched reader on another lane, or the
+        # ledger's already-applied past.
+        at = max(
+            self.ready.get(key, 0.0),
+            self.streams.compute.clock,
+            self._read_end.get(key, 0.0),
+            self.ledger.time,
+        )
         self._release(key, at, f"free({instr.ref.label})")
 
+    def _dispatch_xfer(self, cand: _Candidate, instr: XferInstr) -> None:
+        duration = self.pcie.transfer_time(instr.nbytes)
+        event = cand.lane.stream.schedule(
+            duration, after=cand.start, label=instr.label,
+        )
+        self.clock = max(self.clock, event.time)
+        if instr.direction == "h2d":
+            self.swapped_in += instr.nbytes
+        else:
+            self.swapped_out += instr.nbytes
+        for ref in instr.after:
+            key = ref.key
+            if event.time > self._read_end.get(key, 0.0):
+                self._read_end[key] = event.time
+        self._notify_instr(
+            instr.label, "xfer", instr.direction,
+            event.time - duration, event.time, nbytes=instr.nbytes,
+        )
+
     def _release(self, key: tuple[int, int], at: float, label: str) -> None:
+        """Schedule a resident (micro-)tensor's bytes to free at ``at``."""
         nbytes = self.resident.pop(key, None)
         if nbytes is None:
             raise RuntimeExecutionError(
                 f"{self.program.name}: {label} releases non-resident {key}"
             )
         self.ready.pop(key, None)
-        self._schedule_free(nbytes, at)
-        self._log_alloc(at, self._key_labels.pop(key, label), -nbytes)
-
-    def _run_xfer(self, instr: XferInstr) -> None:
-        deps = 0.0
-        for ref in instr.after:
-            deps = max(deps, self._any_time(ref.key))
-        stream = self.streams.h2d if instr.direction == "h2d" else self.streams.d2h
-        duration = self.pcie.transfer_time(instr.nbytes)
-        event = stream.schedule(duration, after=deps, label=instr.label)
-        if instr.direction == "h2d":
-            self.swapped_in += instr.nbytes
-        else:
-            self.swapped_out += instr.nbytes
-        self._record(
-            instr.label, "xfer", instr.direction,
-            event.time - duration, event.time, nbytes=instr.nbytes,
+        self.ledger.schedule_free(
+            nbytes, at, self._key_labels.pop(key, label),
         )
-
-    def _record(
-        self,
-        label: str,
-        kind: str,
-        stream: str,
-        start: float,
-        end: float,
-        *,
-        nbytes: int = 0,
-        tag: str = "",
-    ) -> None:
-        if self.options.record_trace:
-            self.records.append(
-                InstrRecord(label, kind, stream, start, end, nbytes, tag),
-            )

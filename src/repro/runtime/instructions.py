@@ -115,6 +115,43 @@ class XferInstr:
 Instruction = ComputeInstr | SwapOutInstr | SwapInInstr | FreeInstr | XferInstr
 
 
+def instr_stream(instr: Instruction) -> str:
+    """Which serial stream an instruction occupies.
+
+    ``FreeInstr`` is bookkeeping tied to the compute stream's position
+    (a buffer dies when compute has passed its last consumer), so it
+    rides the compute lane with zero duration.
+    """
+    if isinstance(instr, ComputeInstr):
+        return "cpu" if instr.device is Device.CPU else "compute"
+    if isinstance(instr, SwapOutInstr):
+        return "d2h"
+    if isinstance(instr, SwapInInstr):
+        return "h2d"
+    if isinstance(instr, FreeInstr):
+        return "compute"
+    if isinstance(instr, XferInstr):
+        return instr.direction
+    raise TypeError(f"unknown instruction {instr!r}")
+
+
+def instr_reads(instr: Instruction) -> tuple[TensorRef, ...]:
+    """The (micro-)tensors an instruction reads.
+
+    Used by the engine to order evictions after every previously-issued
+    consumer (the CUDA-event semantics a real runtime enforces before
+    reclaiming a buffer): compute inputs, a swap-out's source, and the
+    ordering dependencies of bare transfers all count as reads.
+    """
+    if isinstance(instr, ComputeInstr):
+        return instr.inputs
+    if isinstance(instr, SwapOutInstr):
+        return (instr.ref,)
+    if isinstance(instr, XferInstr):
+        return instr.after
+    return ()
+
+
 @dataclass
 class Program:
     """A lowered instruction program plus bookkeeping metadata."""

@@ -1,0 +1,254 @@
+"""Pluggable execution observers for the discrete-event engine.
+
+The engine dispatches work in chronological start order and exposes that
+event stream through :class:`EngineObserver` callbacks — instruction
+start/end, allocation/free, stall begin/end, OOM. Tracing cost is opt-in
+per observer: a run with no observers attached computes only the
+aggregate scalars (iteration time, peak memory, stalls), while attaching
+observers buys progressively richer views of the same execution:
+
+* :class:`TraceObserver` — the classic :class:`~repro.runtime.trace.
+  ExecutionTrace` payload (per-instruction records, memory samples,
+  the chronological allocation log);
+* :class:`MemoryTimelineObserver` — the exact chronological
+  device-memory curve and its peak (Figures 2a and 4);
+* :class:`ChromeTraceObserver` — a Chrome trace-event JSON file viewable
+  in ``chrome://tracing`` or Perfetto, one track per stream plus a
+  device-memory counter track.
+
+Observer callbacks fire in non-decreasing event time for allocation,
+free and instruction-*start* events (the engine's dispatch order);
+instruction-*end* callbacks fire at dispatch, when the completion time
+is already known.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.runtime.trace import ExecutionTrace, InstrRecord, MemorySample
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.hardware.gpu import GPUSpec
+    from repro.runtime.instructions import Program
+
+
+class EngineObserver:
+    """Base observer: every callback is a no-op; override what you need.
+
+    Subclass and attach via ``Engine(gpu).execute(program,
+    observers=[...])`` (or :class:`~repro.runtime.engine.EngineOptions.
+    observers` to attach for every run of an engine). Callbacks must not
+    mutate engine state; they see an exact chronological account of the
+    execution.
+    """
+
+    def on_run_begin(self, program: "Program", gpu: "GPUSpec") -> None:
+        """Called once before the first instruction is dispatched."""
+
+    def on_instr_start(
+        self, label: str, kind: str, stream: str, time: float,
+        nbytes: int = 0, tag: str = "",
+    ) -> None:
+        """An instruction began occupying its stream at ``time``."""
+
+    def on_instr_end(
+        self, label: str, kind: str, stream: str, start: float, end: float,
+        nbytes: int = 0, tag: str = "",
+    ) -> None:
+        """An instruction's completion time is known (fires at dispatch)."""
+
+    def on_alloc(
+        self, time: float, label: str, nbytes: int, used: int,
+    ) -> None:
+        """``nbytes`` were allocated at ``time``; ``used`` is the total after."""
+
+    def on_free(
+        self, time: float, label: str, nbytes: int, used: int,
+    ) -> None:
+        """``nbytes`` were released at ``time``; ``used`` is the total after."""
+
+    def on_stall_begin(self, time: float, label: str, nbytes: int) -> None:
+        """An allocation of ``nbytes`` started waiting for memory."""
+
+    def on_stall_end(self, time: float, label: str, stalled: float) -> None:
+        """The stalled allocation proceeded after ``stalled`` seconds."""
+
+    def on_oom(
+        self, time: float, label: str, requested: int, available: int,
+    ) -> None:
+        """No amount of waiting can satisfy ``requested`` bytes."""
+
+    def on_run_end(self, trace: ExecutionTrace) -> None:
+        """Called once with the finalized trace."""
+
+
+class TraceObserver(EngineObserver):
+    """Collects the payload carried by a fully-traced ExecutionTrace.
+
+    Per-instruction timing records, memory samples at every allocation
+    and free, and the chronological ``(time, label, +/-bytes)``
+    allocation log the allocator-replay analysis consumes. This is what
+    ``EngineOptions(record_trace=True)`` attaches implicitly.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[InstrRecord] = []
+        self.samples: list[MemorySample] = []
+        self.alloc_events: list[tuple[float, str, int]] = []
+
+    def on_instr_end(
+        self, label: str, kind: str, stream: str, start: float, end: float,
+        nbytes: int = 0, tag: str = "",
+    ) -> None:
+        """Append one InstrRecord per dispatched instruction."""
+        self.records.append(
+            InstrRecord(label, kind, stream, start, end, nbytes, tag),
+        )
+
+    def on_alloc(
+        self, time: float, label: str, nbytes: int, used: int,
+    ) -> None:
+        """Log the allocation event and sample the memory level."""
+        if nbytes:
+            self.alloc_events.append((time, label, nbytes))
+        self.samples.append(MemorySample(time, used))
+
+    def on_free(
+        self, time: float, label: str, nbytes: int, used: int,
+    ) -> None:
+        """Log the release event and sample the memory level."""
+        if nbytes:
+            self.alloc_events.append((time, label, -nbytes))
+        self.samples.append(MemorySample(time, used))
+
+
+class MemoryTimelineObserver(EngineObserver):
+    """Exact chronological device-memory timeline.
+
+    Point ``i`` is the memory in use immediately after the ``i``-th
+    ledger event; because the engine applies events in time order, the
+    running maximum of this curve equals the engine's ``peak_memory``
+    by construction.
+    """
+
+    def __init__(self) -> None:
+        self.points: list[tuple[float, int]] = []
+        self.peak = 0
+
+    def on_run_begin(self, program: "Program", gpu: "GPUSpec") -> None:
+        """Seed the curve with the persistent region at t=0."""
+        self.points.append((0.0, program.persistent_bytes))
+        self.peak = max(self.peak, program.persistent_bytes)
+
+    def _sample(self, time: float, used: int) -> None:
+        self.points.append((time, used))
+        self.peak = max(self.peak, used)
+
+    def on_alloc(
+        self, time: float, label: str, nbytes: int, used: int,
+    ) -> None:
+        """Record the post-allocation memory level."""
+        self._sample(time, used)
+
+    def on_free(
+        self, time: float, label: str, nbytes: int, used: int,
+    ) -> None:
+        """Record the post-release memory level."""
+        self._sample(time, used)
+
+    def curve(self) -> np.ndarray:
+        """(time, used_bytes) as a 2-column array, chronological."""
+        if not self.points:
+            return np.zeros((0, 2))
+        return np.array(self.points, dtype=np.float64)
+
+
+#: Stable Chrome-trace thread ids for the engine's streams.
+_CHROME_TIDS = {"compute": 0, "d2h": 1, "h2d": 2, "cpu": 3}
+_STALL_TID = 4
+
+
+class ChromeTraceObserver(EngineObserver):
+    """Exports the execution as Chrome trace-event JSON.
+
+    Open the written file in ``chrome://tracing`` or
+    https://ui.perfetto.dev: one track per stream (compute, D2H, H2D,
+    CPU), a track for memory stalls, and a counter track with the
+    chronological device-memory level. Timestamps are microseconds, as
+    the format requires.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self._pid = 0
+
+    def on_run_begin(self, program: "Program", gpu: "GPUSpec") -> None:
+        """Emit process/thread metadata naming the tracks."""
+        self.events.append({
+            "ph": "M", "name": "process_name", "pid": self._pid,
+            "args": {"name": f"{program.name or 'program'} on {gpu.name}"},
+        })
+        names = dict(_CHROME_TIDS)
+        for stream, tid in sorted(names.items(), key=lambda kv: kv[1]):
+            self.events.append({
+                "ph": "M", "name": "thread_name", "pid": self._pid,
+                "tid": tid, "args": {"name": stream},
+            })
+        self.events.append({
+            "ph": "M", "name": "thread_name", "pid": self._pid,
+            "tid": _STALL_TID, "args": {"name": "memory stalls"},
+        })
+
+    def on_instr_end(
+        self, label: str, kind: str, stream: str, start: float, end: float,
+        nbytes: int = 0, tag: str = "",
+    ) -> None:
+        """Emit one complete ("X") slice on the instruction's stream."""
+        self.events.append({
+            "ph": "X", "name": label, "cat": tag or kind,
+            "pid": self._pid, "tid": _CHROME_TIDS.get(stream, 9),
+            "ts": start * 1e6, "dur": (end - start) * 1e6,
+            "args": {"kind": kind, "nbytes": nbytes},
+        })
+
+    def on_stall_end(self, time: float, label: str, stalled: float) -> None:
+        """Emit the stall as a slice on the dedicated stall track."""
+        self.events.append({
+            "ph": "X", "name": f"stall({label})", "cat": "stall",
+            "pid": self._pid, "tid": _STALL_TID,
+            "ts": (time - stalled) * 1e6, "dur": stalled * 1e6,
+            "args": {},
+        })
+
+    def _counter(self, time: float, used: int) -> None:
+        self.events.append({
+            "ph": "C", "name": "device memory", "pid": self._pid,
+            "ts": time * 1e6, "args": {"used_bytes": used},
+        })
+
+    def on_alloc(
+        self, time: float, label: str, nbytes: int, used: int,
+    ) -> None:
+        """Update the device-memory counter track."""
+        self._counter(time, used)
+
+    def on_free(
+        self, time: float, label: str, nbytes: int, used: int,
+    ) -> None:
+        """Update the device-memory counter track."""
+        self._counter(time, used)
+
+    def to_json(self) -> str:
+        """The trace as a JSON string in Chrome trace-event format."""
+        return json.dumps(
+            {"traceEvents": self.events, "displayTimeUnit": "ms"},
+        )
+
+    def write(self, path) -> None:
+        """Write the trace JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())

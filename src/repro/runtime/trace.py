@@ -4,7 +4,11 @@ An :class:`ExecutionTrace` is the simulated analogue of everything the
 paper measures on hardware: iteration time and throughput (Figures 12,
 13, 15), the memory-usage timeline (Figures 2a and 4), PCIe utilisation
 (Figure 2b), stall and recomputation overheads, and transfer volumes
-(Figure 14b).
+(Figure 14b). The engine dispatches in chronological order, so
+``peak_memory`` is the exact chronological peak, ``memory_samples`` are
+time-sorted, and ``alloc_events`` is an exact chronological allocation
+log — the allocator-replay analysis consumes it as ground truth rather
+than as a correction of issue-ordered accounting.
 """
 
 from __future__ import annotations

@@ -237,7 +237,6 @@ class TestInPlaceMerge:
     def test_never_evicted_pieces_merge_in_place(self, tiny_cnn):
         """Section V-C: pieces still resident since production merge with
         zero copy time (pointer arithmetic)."""
-        conv_out = find_tensor(tiny_cnn, "conv1/out")
         pool_in = find_tensor(tiny_cnn, "relu2/out")
         plan = Plan()
         # Split a tensor whose consumer (maxpool after relu2? use conv1

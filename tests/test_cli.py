@@ -52,6 +52,29 @@ class TestSweep:
             main(["sweep", "--policies", "base,nonsense", "--batches", "2"])
 
 
+class TestTrace:
+    def test_trace_writes_chrome_json(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        main(["trace", "vgg16", "base", "--batch", "2",
+              "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert "trace events" in out
+        import json
+
+        data = json.loads(out_path.read_text())
+        events = data["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)  # instruction slices
+        assert any(e["ph"] == "C" for e in events)  # memory counter
+        assert any(e["ph"] == "M" for e in events)  # track names
+
+    def test_trace_infeasible_exits_nonzero(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "vgg16", "base", "--batch", "4096",
+                  "--out", str(tmp_path / "t.json")])
+        assert excinfo.value.code == 1
+        assert not (tmp_path / "t.json").exists()
+
+
 class TestPlan:
     def test_plan_listing(self, capsys):
         main(["plan", "--model", "vgg16", "--batch", "512", "--top", "3"])

@@ -28,18 +28,16 @@ class TestBalance:
         leaks = {label: b for label, b in net.items() if b != 0}
         assert leaks == {}
 
-    def test_chronological_peak_at_least_engine_view(self, traced):
-        """The time-ordered peak can only exceed the engine's issue-order
-        accounting (which commits frees optimistically)."""
+    def test_chronological_peak_equals_engine_view(self, traced):
+        """The engine dispatches chronologically, so its peak *is* the
+        time-ordered peak of the allocation log, byte for byte."""
+        from repro.analysis.allocator_replay import chronological_peak
+
         current = traced.persistent_bytes
-        peak = current
-        for _, _, nbytes in sorted(
-            traced.alloc_events, key=lambda e: (e[0], 0 if e[2] < 0 else 1),
-        ):
+        for _, _, nbytes in traced.alloc_events:
             current += nbytes
-            peak = max(peak, current)
-        assert peak >= traced.persistent_bytes
         assert current == traced.persistent_bytes  # all released by the end
+        assert chronological_peak(traced) == traced.peak_memory
 
     def test_positive_events_match_traffic(self, traced):
         swap_ins = sum(

@@ -1,0 +1,182 @@
+"""The discrete-event core: chronological accounting, exact peaks/stalls.
+
+These tests pin the behaviour the event-driven refactor exists for — the
+cases issue-ordered accounting got wrong: a swap-out whose free lands
+*after* a later-issued allocation must start, buffers that stay live
+until their last consumer finishes, per-iteration durations read off the
+event clock, and byte-for-byte agreement between the engine's peak and
+the chronological peak re-derived from the allocation log.
+"""
+
+import pytest
+
+from repro.analysis.allocator_replay import chronological_peak
+from repro.analysis.runner import run_policy
+from repro.hardware.gpu import GPUSpec
+from repro.policies.base import get_policy
+from repro.runtime.engine import Engine
+from repro.runtime.instructions import (
+    ComputeInstr,
+    Program,
+    SwapInInstr,
+    SwapOutInstr,
+    TensorRef,
+)
+from repro.units import MB, TFLOPS
+from tests.conftest import (
+    BIG_GPU,
+    TINY_GPU,
+    build_tiny_cnn,
+    build_tiny_resnet,
+    build_tiny_transformer,
+)
+
+#: PCIe so slow (1 MB/s, no setup latency) that transfer completions
+#: land far in the future relative to compute — maximal cross-stream
+#: time skew, the regime where issue-ordered accounting was wrong.
+SLOW_PCIE_GPU = GPUSpec(
+    name="slow-pcie",
+    memory_bytes=8 * MB,
+    peak_flops=1.0 * TFLOPS,
+    mem_bandwidth=100e9,
+    pcie_bandwidth=float(MB),
+    pcie_latency=0.0,
+)
+
+
+class TestChronologicalStall:
+    """The hand-built case issue-ordered accounting got wrong."""
+
+    def build(self) -> Program:
+        """Swap-out free lands after a later-issued allocation must start.
+
+        C1 produces A (4 MB, done at t=1); its swap-out occupies D2H over
+        [1, 5]. C2 (4 MB output) is ready to start at t=1, but with the
+        4 MB swap-in of H landing at t=0 the device holds A + H = 8 MB —
+        full — until A's bytes free at t=5. Issue-ordered accounting
+        committed A's free while "at" instruction C2, so C2 started at
+        t=1 with no stall and the true interleaving peaked at 12 MB on
+        an 8 MB device. The event core must stall C2 until t=5 and peak
+        at exactly 8 MB.
+        """
+        a = TensorRef(0, 4 * MB, label="a")
+        b = TensorRef(1, 4 * MB, label="b")
+        h = TensorRef(2, 4 * MB, label="h")
+        return Program(
+            instructions=[
+                ComputeInstr("c1", 1.0, outputs=(a,)),
+                SwapOutInstr(a),
+                ComputeInstr("c2", 1.0, outputs=(b,)),
+                SwapInInstr(h),
+            ],
+            initial_host=[h],
+            batch=1,
+            name="stall_case",
+        )
+
+    def test_stall_and_peak_are_exact(self):
+        trace = Engine(SLOW_PCIE_GPU).execute(self.build())
+        # C2 waits from t=1 until A's bytes land at t=5.
+        assert trace.memory_stall == pytest.approx(4.0)
+        # Exactly full, never oversubscribed: A+H, then (A replaced by B)+H.
+        assert trace.peak_memory == 8 * MB
+        assert chronological_peak(trace) == trace.peak_memory
+        c2 = next(r for r in trace.records if r.label == "c2")
+        assert c2.start == pytest.approx(5.0)
+        assert c2.end == pytest.approx(6.0)
+        assert trace.iteration_time == pytest.approx(6.0)
+
+    def test_allocation_log_shows_the_wait(self):
+        trace = Engine(SLOW_PCIE_GPU).execute(self.build())
+        free_a = next(
+            (t, n) for t, label, n in trace.alloc_events
+            if label == "a" and n < 0
+        )
+        alloc_b = next(
+            (t, n) for t, label, n in trace.alloc_events
+            if label == "b" and n > 0
+        )
+        assert free_a[0] == pytest.approx(5.0)
+        assert alloc_b[0] == pytest.approx(5.0)  # b starts the instant a dies
+
+
+class TestReleaseAfterLastConsumer:
+    def test_swap_out_free_waits_for_reader(self):
+        """A buffer dies only when both its eviction transfer and every
+        previously-issued consumer have finished (CUDA-event ordering);
+        the old engine freed at transfer end, before the reader ran."""
+        t = TensorRef(0, 2 * MB, label="t")
+        marker = TensorRef(1, MB, label="m")
+        program = Program(
+            instructions=[
+                ComputeInstr("produce", 1.0, outputs=(t,)),
+                ComputeInstr("consume", 10.0, inputs=(t,), outputs=(marker,)),
+                SwapOutInstr(t),
+            ],
+            batch=1,
+            name="release_case",
+        )
+        trace = Engine(BIG_GPU).execute(program)
+        free_t = next(
+            time for time, label, n in trace.alloc_events
+            if label == "t" and n < 0
+        )
+        consume = next(r for r in trace.records if r.label == "consume")
+        xfer = next(r for r in trace.records if r.kind == "swap_out")
+        # The transfer overlaps the consumer (it only reads), but the
+        # bytes are not reclaimed until the consumer is done at t=11.
+        assert xfer.end < consume.end
+        assert free_t == pytest.approx(consume.end)
+
+
+class TestEventClockIterations:
+    def test_iteration_durations_sum_to_makespan(self):
+        """Per-iteration durations come from the event clock and sum
+        exactly to the aggregate makespan."""
+        graph = build_tiny_cnn(batch=16)
+        plan = get_policy("vdnn_all").build_plan(graph, BIG_GPU)
+        from repro.core.augment import augment_graph
+        from repro.core.profiler import Profiler
+
+        augmented = augment_graph(graph, plan, Profiler(BIG_GPU).profile(graph))
+        durations, trace = Engine(BIG_GPU).execute_iterations(
+            augmented.program, 5,
+        )
+        assert len(durations) == 5
+        assert all(d > 0 for d in durations)
+        assert sum(durations) == pytest.approx(trace.iteration_time)
+
+    def test_slow_pcie_durations_still_sum(self):
+        """Even with transfers running far behind compute, the event
+        clock keeps per-iteration splits consistent with the total."""
+        program = TestChronologicalStall().build()
+        durations, trace = Engine(SLOW_PCIE_GPU).execute_iterations(
+            program, 1,
+        )
+        assert sum(durations) == pytest.approx(trace.iteration_time)
+
+
+MODELS = {
+    "tiny_cnn": lambda: build_tiny_cnn(batch=16),
+    "tiny_resnet": lambda: build_tiny_resnet(batch=4),
+    "tiny_transformer": lambda: build_tiny_transformer(batch=4),
+}
+POLICIES = [
+    "base", "checkpoints", "vdnn_conv", "vdnn_all", "superneurons",
+    "zero_offload", "fairscale_offload", "tsplit_nosplit", "tsplit",
+]
+
+
+class TestPeakMatchesReplayEverywhere:
+    """Acceptance: engine peak == chronological peak, whole test matrix."""
+
+    @pytest.mark.parametrize("model", sorted(MODELS))
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("gpu", [TINY_GPU, BIG_GPU],
+                             ids=["tiny_gpu", "big_gpu"])
+    def test_peak_equals_chronological_peak(self, model, policy, gpu):
+        result = run_policy(MODELS[model](), policy, gpu)
+        if not result.feasible:
+            pytest.skip(f"{policy} infeasible on {model}/{gpu.name}")
+        trace = result.trace
+        assert chronological_peak(trace) == trace.peak_memory

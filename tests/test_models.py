@@ -30,10 +30,11 @@ class TestVGG:
     def test_vgg19_has_more_convs(self):
         g16 = build_vgg16(2)
         g19 = build_vgg19(2)
-        count = lambda g: sum(
-            1 for op in g.ops.values()
-            if op.op_type is OpType.CONV2D and not op.is_backward
-        )
+        def count(g):
+            return sum(
+                1 for op in g.ops.values()
+                if op.op_type is OpType.CONV2D and not op.is_backward
+            )
         assert count(g19) == 16
         assert count(g19) > count(g16)
 

@@ -1,0 +1,259 @@
+"""The pluggable observer layer on the discrete-event engine.
+
+Covers the observer contract (chronological callbacks, opt-in cost),
+the built-in observers, and the fast path: a run with tracing disabled
+must produce byte- and second-identical aggregate results, because
+observers watch the dispatch — they never steer it.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.hardware.gpu import GPU_PRESETS, GPUSpec
+from repro.models import build_vgg16
+from repro.analysis.runner import run_policy
+from repro.runtime.engine import Engine, EngineOptions
+from repro.runtime.instructions import (
+    ComputeInstr,
+    Program,
+    SwapInInstr,
+    SwapOutInstr,
+    TensorRef,
+)
+from repro.runtime.observers import (
+    ChromeTraceObserver,
+    EngineObserver,
+    MemoryTimelineObserver,
+    TraceObserver,
+)
+from repro.units import MB, TFLOPS
+from tests.conftest import BIG_GPU, TINY_GPU, build_tiny_cnn
+
+#: 11 GB card shrunk to 3.5 GB: tight enough that SuperNeurons offloads
+#: every conv output while both policies stay feasible at batch 32.
+TIGHT_GPU = GPU_PRESETS["gtx_1080ti"].with_memory(3584 * MB)
+
+SLOW_PCIE_GPU = GPUSpec(
+    name="slow-pcie",
+    memory_bytes=8 * MB,
+    peak_flops=1.0 * TFLOPS,
+    mem_bandwidth=100e9,
+    pcie_bandwidth=float(MB),
+    pcie_latency=0.0,
+)
+
+
+def _stall_program() -> Program:
+    """4 MB swap-out frees memory a later-issued 4 MB compute needs."""
+    a = TensorRef(0, 4 * MB, label="a")
+    b = TensorRef(1, 4 * MB, label="b")
+    h = TensorRef(2, 4 * MB, label="h")
+    return Program(
+        instructions=[
+            ComputeInstr("c1", 1.0, outputs=(a,)),
+            SwapOutInstr(a),
+            ComputeInstr("c2", 1.0, outputs=(b,)),
+            SwapInInstr(h),
+        ],
+        initial_host=[h],
+        batch=1,
+        name="stall_case",
+    )
+
+
+class TestFastPathIdentity:
+    """Observers are read-only: disabling them changes nothing measured."""
+
+    @pytest.mark.parametrize("policy", ["tsplit", "superneurons"])
+    def test_untraced_run_matches_traced_run_on_vgg16(self, policy):
+        graph = build_vgg16(32)
+        traced = run_policy(graph, policy, TIGHT_GPU)
+        untraced = run_policy(
+            graph, policy, TIGHT_GPU,
+            engine_options=EngineOptions(record_trace=False),
+        )
+        assert traced.feasible and untraced.feasible
+        assert untraced.trace.iteration_time == traced.trace.iteration_time
+        assert untraced.trace.peak_memory == traced.trace.peak_memory
+        assert untraced.trace.memory_stall == traced.trace.memory_stall
+        # The fast path really skipped the bookkeeping...
+        assert untraced.trace.records == []
+        assert untraced.trace.alloc_events == []
+        # ...which the traced run performed.
+        assert traced.trace.records
+
+
+class TestObserverContract:
+    def test_callbacks_fire_in_chronological_time(self):
+        """alloc/free/instr-start events arrive in non-decreasing time."""
+
+        class Recorder(EngineObserver):
+            def __init__(self):
+                self.event_times = []
+                self.start_times = []
+
+            def on_alloc(self, time, label, nbytes, used):
+                self.event_times.append(time)
+
+            def on_free(self, time, label, nbytes, used):
+                self.event_times.append(time)
+
+            def on_instr_start(self, label, kind, stream, time,
+                               nbytes=0, tag=""):
+                self.start_times.append(time)
+
+        recorder = Recorder()
+        graph = build_tiny_cnn(batch=16)
+        result = run_policy(
+            graph, "superneurons", BIG_GPU, observers=(recorder,),
+        )
+        assert result.feasible
+        assert recorder.event_times
+        assert recorder.event_times == sorted(recorder.event_times)
+        assert recorder.start_times == sorted(recorder.start_times)
+
+    def test_counts_match_the_trace(self):
+        """One start and one end per executed instruction record."""
+
+        class Counter(EngineObserver):
+            def __init__(self):
+                self.starts = 0
+                self.ends = 0
+                self.runs = 0
+
+            def on_run_begin(self, program, gpu):
+                self.runs += 1
+
+            def on_instr_start(self, label, kind, stream, time,
+                               nbytes=0, tag=""):
+                self.starts += 1
+
+            def on_instr_end(self, label, kind, stream, start, end,
+                             nbytes=0, tag=""):
+                self.ends += 1
+
+        counter = Counter()
+        graph = build_tiny_cnn(batch=16)
+        result = run_policy(graph, "vdnn_all", BIG_GPU, observers=(counter,))
+        assert result.feasible
+        assert counter.runs == 1
+        assert counter.starts == counter.ends == len(result.trace.records)
+
+    def test_stall_callbacks_bracket_the_wait(self):
+        """on_stall_begin/on_stall_end report the exact Eq. 3 stall."""
+        stalls = []
+
+        class StallWatcher(EngineObserver):
+            def on_stall_end(self, time, label, stalled):
+                stalls.append((label, time, stalled))
+
+        Engine(SLOW_PCIE_GPU).execute(
+            _stall_program(), observers=(StallWatcher(),),
+        )
+        assert len(stalls) == 1
+        label, time, stalled = stalls[0]
+        assert label == "c2"
+        assert stalled == pytest.approx(4.0)
+        assert time == pytest.approx(5.0)  # c2 proceeds when a's bytes land
+
+    def test_on_oom_fires_before_the_raise(self):
+        ooms = []
+
+        class OomWatcher(EngineObserver):
+            def on_oom(self, time, label, requested, available):
+                ooms.append((label, requested, available))
+
+        huge = TensorRef(0, 16 * MB, label="huge")
+        program = Program(
+            instructions=[ComputeInstr("big", 1.0, outputs=(huge,))],
+            batch=1, name="oom_case",
+        )
+        with pytest.raises(OutOfMemoryError):
+            Engine(TINY_GPU).execute(program, observers=(OomWatcher(),))
+        assert len(ooms) == 1
+        label, requested, available = ooms[0]
+        assert label == "big"
+        assert requested == 16 * MB
+        assert available <= TINY_GPU.memory_bytes
+
+
+class TestMemoryTimelineObserver:
+    def test_peak_matches_engine(self):
+        timeline = MemoryTimelineObserver()
+        graph = build_tiny_cnn(batch=16)
+        result = run_policy(
+            graph, "superneurons", BIG_GPU, observers=(timeline,),
+        )
+        assert result.feasible
+        assert timeline.peak == result.trace.peak_memory
+
+    def test_curve_is_chronological_and_bounded(self):
+        timeline = MemoryTimelineObserver()
+        Engine(SLOW_PCIE_GPU).execute(
+            _stall_program(), observers=(timeline,),
+        )
+        curve = timeline.curve()
+        assert curve.shape[1] == 2
+        times, used = curve[:, 0], curve[:, 1]
+        assert list(times) == sorted(times)
+        assert used.max() == timeline.peak == 8 * MB
+
+
+class TestChromeTraceObserver:
+    def test_export_is_valid_trace_event_json(self):
+        chrome = ChromeTraceObserver()
+        graph = build_tiny_cnn(batch=16)
+        result = run_policy(
+            graph, "superneurons", BIG_GPU, observers=(chrome,),
+        )
+        assert result.feasible
+        payload = json.loads(chrome.to_json())
+        events = payload["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        counters = [e for e in events if e["ph"] == "C"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(slices) == len(result.trace.records)
+        assert counters and meta
+        assert all(e["dur"] >= 0 for e in slices)
+        track_names = {e["args"]["name"] for e in meta
+                       if e["name"] == "thread_name"}
+        assert {"compute", "d2h", "h2d", "cpu"} <= track_names
+
+    def test_write_round_trips(self, tmp_path):
+        chrome = ChromeTraceObserver()
+        Engine(SLOW_PCIE_GPU).execute(
+            _stall_program(), observers=(chrome,),
+        )
+        path = tmp_path / "trace.json"
+        chrome.write(path)
+        payload = json.loads(path.read_text())
+        stall_slices = [
+            e for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "stall"
+        ]
+        assert len(stall_slices) == 1
+        assert stall_slices[0]["dur"] == pytest.approx(4.0 * 1e6)
+
+
+class TestTraceObserverStandalone:
+    def test_explicit_trace_observer_with_fast_path_engine(self):
+        """A hand-attached TraceObserver collects even when the engine's
+        implicit tracing is off."""
+        tracer = TraceObserver()
+        program = Program(
+            instructions=[ComputeInstr(
+                "a", 1.0, outputs=(TensorRef(0, MB, label="t0"),),
+            )],
+            batch=1, name="t",
+        )
+        trace = Engine(
+            BIG_GPU, EngineOptions(record_trace=False),
+        ).execute(program, observers=(tracer,))
+        # The engine's own trace stays empty on the fast path...
+        assert trace.records == []
+        # ...but the explicit observer saw everything.
+        assert [r.label for r in tracer.records] == ["a"]
+        assert any(label == "t0" and n == MB
+                   for _, label, n in tracer.alloc_events)

@@ -7,7 +7,6 @@ from repro.core.augment import AugmentOptions, augment_graph
 from repro.core.plan import MemOption, Plan, TensorConfig
 from repro.core.profiler import Profiler
 from repro.core.recompute import RecomputeStrategy
-from repro.graph.scheduler import dfs_schedule
 from repro.policies.base import get_policy
 from repro.runtime.engine import Engine
 from repro.runtime.instructions import ComputeInstr, SwapInInstr, SwapOutInstr

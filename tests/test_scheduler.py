@@ -136,7 +136,6 @@ class TestMemoryAwareSchedule:
 
     def test_works_through_whole_pipeline(self):
         """The planner and runner accept the alternative schedule."""
-        from repro.analysis.runner import run_policy
         from tests.conftest import BIG_GPU
 
         g = build_tiny_cnn(batch=8)
