@@ -1,0 +1,156 @@
+"""Planner wall-time benchmark: incremental vs reference cost model.
+
+An infrastructure extension rather than a paper table: it tracks the
+planning cost that bounds every sweep in EXPERIMENTS.md.
+
+Runs the TSPLIT greedy planner twice per (model, batch, GPU)
+configuration — once with the incremental memory-curve / cost-model
+caching (``PlannerOptions(incremental=True)``, the default) and once
+with the reference implementation that recomputes curves from scratch —
+and verifies the two produce byte-identical plans before reporting the
+speedup. Results land in ``BENCH_planner.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_planner.py            # full matrix
+    PYTHONPATH=src python benchmarks/bench_planner.py --smoke    # CI-sized
+
+Not a pytest benchmark: the point is a machine-readable artifact CI can
+upload and compare across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.planner import PlannerOptions, TsplitPlanner  # noqa: E402
+from repro.hardware.gpu import GPU_PRESETS  # noqa: E402
+from repro.models.registry import build_model  # noqa: E402
+
+#: (model, batch, GPU preset). Batches are chosen so the raw graph
+#: over-subscribes the device and the planner has real work to do.
+FULL_MATRIX = [
+    ("vgg16", 2048, "rtx_titan"),
+    ("resnet50", 256, "v100_16gb"),
+    ("resnet101", 512, "gtx_1080ti"),
+    ("gpt", 64, "v100_16gb"),
+    ("bert_large", 256, "v100_16gb"),
+    ("inception_v4", 256, "v100_16gb"),
+]
+
+SMOKE_MATRIX = [
+    ("vgg16", 512, "gtx_1080ti"),
+    ("resnet50", 256, "v100_16gb"),
+]
+
+
+def _plan_once(graph, gpu, incremental: bool):
+    """One timed planning run; returns (seconds, flat decisions, peak)."""
+    planner = TsplitPlanner(gpu, PlannerOptions(incremental=incremental))
+    start = time.perf_counter()
+    result = planner.plan(graph)
+    elapsed = time.perf_counter() - start
+    decisions = [
+        (tid, (cfg.opt.value, cfg.p_num, cfg.dim))
+        for decision in result.decisions
+        for tid, cfg in decision.configs
+    ]
+    return elapsed, decisions, result.peak_memory
+
+
+def bench_config(model: str, batch: int, gpu_name: str, repeats: int) -> dict:
+    """Benchmark one configuration in both planner modes.
+
+    Takes the best of ``repeats`` runs per mode (standard wall-time
+    practice: the minimum is the least load-contaminated sample) and
+    asserts the modes agree decision for decision.
+    """
+    graph = build_model(model, batch)
+    gpu = GPU_PRESETS[gpu_name]
+    times: dict[bool, float] = {}
+    plans: dict[bool, tuple] = {}
+    for incremental in (True, False):
+        best = float("inf")
+        for _ in range(repeats):
+            elapsed, decisions, peak = _plan_once(graph, gpu, incremental)
+            best = min(best, elapsed)
+        times[incremental] = best
+        plans[incremental] = (decisions, peak)
+
+    identical = plans[True] == plans[False]
+    if not identical:
+        raise AssertionError(
+            f"{model} b={batch} {gpu_name}: incremental planner diverged "
+            f"from the reference implementation"
+        )
+    decisions, peak = plans[True]
+    n = len(decisions)
+    return {
+        "model": model,
+        "batch": batch,
+        "gpu": gpu_name,
+        "ops": len(graph.ops),
+        "decisions": n,
+        "peak_memory": peak,
+        "identical": identical,
+        "incremental_s": times[True],
+        "reference_s": times[False],
+        "speedup": times[False] / times[True] if times[True] > 0 else 0.0,
+        "decisions_per_sec_incremental": n / times[True] if times[True] else 0.0,
+        "decisions_per_sec_reference": n / times[False] if times[False] else 0.0,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast matrix for CI (seconds, not minutes)")
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing runs per mode (default: 1 for --smoke, 2 otherwise)")
+    parser.add_argument("--out", default="BENCH_planner.json")
+    args = parser.parse_args(argv)
+
+    matrix = SMOKE_MATRIX if args.smoke else FULL_MATRIX
+    repeats = args.repeats or (1 if args.smoke else 2)
+
+    results = []
+    for model, batch, gpu_name in matrix:
+        entry = bench_config(model, batch, gpu_name, repeats)
+        results.append(entry)
+        print(
+            f"{model:14s} b={batch:<5d} {gpu_name:12s} "
+            f"decisions={entry['decisions']:4d} "
+            f"inc={entry['incremental_s']:.2f}s "
+            f"ref={entry['reference_s']:.2f}s "
+            f"speedup={entry['speedup']:.2f}x",
+            flush=True,
+        )
+
+    largest = max(results, key=lambda e: e["ops"])
+    payload = {
+        "benchmark": "planner",
+        "mode": "smoke" if args.smoke else "full",
+        "repeats": repeats,
+        "results": results,
+        "summary": {
+            "largest_model": largest["model"],
+            "largest_model_speedup": largest["speedup"],
+            "all_identical": all(e["identical"] for e in results),
+        },
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}: largest model {largest['model']} "
+          f"speedup {largest['speedup']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -121,6 +121,7 @@ def cmd_sweep(args: argparse.Namespace) -> None:
     points = throughput_sweep(
         args.model, policies, batches, gpu,
         param_scale=args.param_scale, precision=args.precision,
+        parallel=args.parallel,
     )
     width = max(len(p) for p in policies) + 2
     print("batch".rjust(8) + "".join(p.rjust(max(width, 12)) for p in policies))
@@ -204,6 +205,9 @@ def main(argv: list[str] | None = None) -> None:
     _add_common(sweep_parser)
     sweep_parser.add_argument("--policies", default="base,vdnn_all,tsplit")
     sweep_parser.add_argument("--batches", default="64,128,256")
+    sweep_parser.add_argument(
+        "--parallel", type=int, default=0, metavar="N",
+        help="fan sweep points out over N worker threads (0 = serial)")
     sweep_parser.set_defaults(func=cmd_sweep)
 
     plan_parser = sub.add_parser("plan", help="show TSPLIT's plan")

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
+from repro.analysis.parallel import parallel_map
 from repro.graph.graph import Graph
 from repro.graph.liveness import memory_curve
 from repro.graph.scheduler import dfs_schedule
@@ -27,19 +28,29 @@ def memory_requirement_grid(
     builder: Callable[..., Graph],
     sample_scales: Sequence[int],
     param_scales: Sequence[float],
+    *,
+    parallel: int | bool | None = None,
     **overrides,
 ) -> dict[tuple[int, float], int]:
     """Peak memory for every (batch, param_scale) combination.
 
     ``builder`` follows the registry signature
-    ``(batch, *, param_scale=..., **overrides)``.
+    ``(batch, *, param_scale=..., **overrides)``. Grid cells are
+    independent (build + liveness, no execution) and fan out over
+    threads with ``parallel=``.
     """
-    grid: dict[tuple[int, float], int] = {}
-    for batch in sample_scales:
-        for scale in param_scales:
-            graph = builder(batch, param_scale=scale, **overrides)
-            grid[(batch, scale)] = model_memory_requirement(graph)
-    return grid
+    cells = [
+        (batch, scale)
+        for batch in sample_scales
+        for scale in param_scales
+    ]
+
+    def run_cell(cell: tuple[int, float]) -> int:
+        batch, scale = cell
+        graph = builder(batch, param_scale=scale, **overrides)
+        return model_memory_requirement(graph)
+
+    return dict(zip(cells, parallel_map(run_cell, cells, parallel)))
 
 
 def max_trainable_scale(

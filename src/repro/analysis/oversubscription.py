@@ -13,11 +13,13 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.analysis.parallel import parallel_map
 from repro.analysis.runner import run_policy
 from repro.graph.graph import Graph
 from repro.graph.liveness import peak_memory
 from repro.graph.scheduler import dfs_schedule
 from repro.hardware.gpu import GPUSpec
+from repro.pipeline import CompileCache
 from repro.policies.base import MemoryPolicy
 from repro.runtime.engine import EngineOptions
 
@@ -39,46 +41,63 @@ def oversubscription_sweep(
     policies: Sequence[str | MemoryPolicy],
     gpu: GPUSpec,
     ratios: Sequence[float] = (1.0, 1.25, 1.5, 2.0, 3.0, 4.0),
+    *,
+    parallel: int | bool | None = None,
+    cache: CompileCache | None = None,
 ) -> list[OversubscriptionPoint]:
     """Measure each policy as the device shrinks below the requirement.
 
     ``ratio`` r means capacity = requirement / r: r=1 exactly fits the
     unoptimised execution, r=2 halves the device.
+
+    The shrunk devices differ only in capacity, which the pipeline's
+    profile keys ignore — with the shared ``cache`` the graph is
+    profiled exactly once for the whole sweep, and each run re-plans
+    against the cached profile.
     """
     requirement = peak_memory(graph, dfs_schedule(graph))
     options = EngineOptions(record_trace=False)
+    if cache is None:
+        cache = CompileCache()
 
     # Unconstrained reference time per policy (big enough device).
-    reference: dict[str, float] = {}
     big = gpu.with_memory(int(requirement * 1.2))
-    for policy in policies:
-        result = run_policy(graph, policy, big, engine_options=options)
-        name = policy if isinstance(policy, str) else policy.name
-        reference[name] = result.iteration_time
 
-    points: list[OversubscriptionPoint] = []
-    for policy in policies:
+    def run_reference(policy: str | MemoryPolicy) -> tuple[str, float]:
+        result = run_policy(
+            graph, policy, big, engine_options=options, cache=cache,
+        )
         name = policy if isinstance(policy, str) else policy.name
-        for ratio in ratios:
-            capacity = max(1, int(requirement / ratio))
-            shrunk = gpu.with_memory(capacity)
-            result = run_policy(
-                graph, policy, shrunk, engine_options=options,
-            )
-            slowdown = (
-                result.iteration_time / reference[name]
-                if result.feasible and reference[name] not in (0.0, float("inf"))
-                else float("inf")
-            )
-            points.append(OversubscriptionPoint(
-                policy=name,
-                ratio=ratio,
-                capacity=capacity,
-                feasible=result.feasible,
-                throughput=result.throughput,
-                slowdown_vs_full=slowdown,
-            ))
-    return points
+        return name, result.iteration_time
+
+    reference = dict(parallel_map(run_reference, policies, parallel))
+
+    def run_point(
+        point: tuple[str | MemoryPolicy, float],
+    ) -> OversubscriptionPoint:
+        policy, ratio = point
+        name = policy if isinstance(policy, str) else policy.name
+        capacity = max(1, int(requirement / ratio))
+        shrunk = gpu.with_memory(capacity)
+        result = run_policy(
+            graph, policy, shrunk, engine_options=options, cache=cache,
+        )
+        slowdown = (
+            result.iteration_time / reference[name]
+            if result.feasible and reference[name] not in (0.0, float("inf"))
+            else float("inf")
+        )
+        return OversubscriptionPoint(
+            policy=name,
+            ratio=ratio,
+            capacity=capacity,
+            feasible=result.feasible,
+            throughput=result.throughput,
+            slowdown_vs_full=slowdown,
+        )
+
+    grid = [(policy, ratio) for policy in policies for ratio in ratios]
+    return parallel_map(run_point, grid, parallel)
 
 
 def survival_ratio(

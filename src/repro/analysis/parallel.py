@@ -1,0 +1,50 @@
+"""Shared fan-out helper for the analysis sweeps.
+
+Sweep points are independent (graph build + compile + simulated
+execution per point), so the sweeps expose a ``parallel=`` knob and fan
+out over threads. Threads — not processes — because model builders and
+policies are passed as arbitrary callables (often closures, not
+picklable) and the shared :class:`~repro.pipeline.CompileCache` must be
+shared by reference; NumPy-heavy simulation releases enough of the GIL
+for useful overlap.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+
+def resolve_workers(parallel: int | bool | None, n_items: int) -> int:
+    """Worker count for a ``parallel=`` setting.
+
+    ``None``/``False``/``0``/``1`` mean serial; ``True`` picks a default
+    from the CPU count; an integer caps the pool. Never more workers
+    than items.
+    """
+    if not parallel or n_items <= 1:
+        return 1
+    if parallel is True:
+        workers = min(8, os.cpu_count() or 4)
+    else:
+        workers = int(parallel)
+    return max(1, min(workers, n_items))
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    parallel: int | bool | None = None,
+) -> list:
+    """``[fn(x) for x in items]``, optionally across a thread pool.
+
+    Result order always matches input order, so serial and parallel
+    sweeps produce identical point lists.
+    """
+    items = items if isinstance(items, Sequence) else list(items)
+    workers = resolve_workers(parallel, len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))

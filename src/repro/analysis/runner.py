@@ -1,47 +1,30 @@
 """Run one (graph, policy, GPU) configuration end to end.
 
-The pipeline mirrors the paper's system flow: profile → plan (policy) →
-augment (sTensor graph generation) → execute (runtime engine). The
-result records feasibility: a configuration is *infeasible* when the
-policy itself gives up (:class:`~repro.errors.PlanningError` /
-:class:`~repro.errors.PolicyError`) or when the engine runs out of
-device memory executing the plan.
+Thin compatibility wrappers over the staged compilation pipeline
+(:mod:`repro.pipeline`): profile → plan (policy) → lower (sTensor graph
+generation) → execute (runtime engine). The result records feasibility:
+a configuration is *infeasible* when the policy itself gives up
+(:class:`~repro.errors.PlanningError` / :class:`~repro.errors.PolicyError`)
+or when the engine runs out of device memory executing the plan.
+
+Sweeps that repeat configurations should pass a shared
+:class:`~repro.pipeline.CompileCache` so profiles and plans are reused
+across calls; without one, every call compiles from scratch (the
+pre-pipeline behaviour).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.core.augment import AugmentOptions, augment_graph
-from repro.core.plan import Plan
+from repro.core.augment import AugmentOptions
 from repro.core.profiler import Profiler
-from repro.errors import OutOfMemoryError, PlanningError, PolicyError
 from repro.graph.graph import Graph
-from repro.graph.scheduler import dfs_schedule
 from repro.hardware.gpu import GPUSpec
-from repro.policies.base import MemoryPolicy, get_policy
-from repro.runtime.engine import Engine, EngineOptions
+from repro.pipeline import CompileCache, EvalResult, compile_run
+from repro.policies.base import MemoryPolicy
+from repro.runtime.engine import EngineOptions
 from repro.runtime.observers import EngineObserver
-from repro.runtime.trace import ExecutionTrace
 
-
-@dataclass
-class EvalResult:
-    """Outcome of one configuration run."""
-
-    policy: str
-    feasible: bool
-    plan: Plan | None = None
-    trace: ExecutionTrace | None = None
-    failure: str = ""
-
-    @property
-    def throughput(self) -> float:
-        return self.trace.throughput if self.trace else 0.0
-
-    @property
-    def iteration_time(self) -> float:
-        return self.trace.iteration_time if self.trace else float("inf")
+__all__ = ["EvalResult", "evaluate", "run_iterations", "run_policy"]
 
 
 def run_policy(
@@ -53,6 +36,7 @@ def run_policy(
     engine_options: EngineOptions | None = None,
     profiler: Profiler | None = None,
     observers: tuple[EngineObserver, ...] | list[EngineObserver] = (),
+    cache: CompileCache | None = None,
 ) -> EvalResult:
     """Plan, augment and execute; never raises for capacity failures.
 
@@ -60,37 +44,14 @@ def run_policy(
     :class:`~repro.runtime.observers.ChromeTraceObserver` for the CLI's
     ``trace`` command).
     """
-    if isinstance(policy, str):
-        policy = get_policy(policy)
-    schedule = dfs_schedule(graph)
-    profiler = profiler or Profiler(gpu)
-    profile = profiler.profile(graph)
-    try:
-        plan = policy.build_plan(
-            graph, gpu, schedule=schedule, profile=profile,
-        )
-    except (PolicyError, PlanningError) as exc:
-        return EvalResult(policy=policy.name, feasible=False, failure=str(exc))
-
-    if augment_options is None and policy.recompute_strategy is not None:
-        from repro.core.recompute import RecomputeStrategy
-
-        augment_options = AugmentOptions(
-            recompute_strategy=RecomputeStrategy(policy.recompute_strategy),
-        )
-    augmented = augment_graph(
-        graph, plan, profile, schedule=schedule, options=augment_options,
-    )
-    engine = Engine(gpu, engine_options)
-    try:
-        trace = engine.execute(augmented.program, observers=observers)
-    except OutOfMemoryError as exc:
-        return EvalResult(
-            policy=policy.name, feasible=False, plan=plan, failure=str(exc),
-        )
-    return EvalResult(
-        policy=policy.name, feasible=True, plan=plan, trace=trace,
-    )
+    return compile_run(
+        graph, policy, gpu,
+        cache=cache,
+        profiler=profiler,
+        augment_options=augment_options,
+        engine_options=engine_options,
+        observers=observers,
+    ).result
 
 
 def run_iterations(
@@ -101,6 +62,7 @@ def run_iterations(
     *,
     augment_options: AugmentOptions | None = None,
     profiler: Profiler | None = None,
+    cache: CompileCache | None = None,
 ) -> tuple[list[float], EvalResult]:
     """Plan once, execute ``iterations`` back-to-back iterations.
 
@@ -108,40 +70,15 @@ def run_iterations(
     entries) plus an :class:`EvalResult` whose trace aggregates the whole
     run. Infeasible configurations return an empty duration list.
     """
-    if isinstance(policy, str):
-        policy = get_policy(policy)
-    schedule = dfs_schedule(graph)
-    profiler = profiler or Profiler(gpu)
-    profile = profiler.profile(graph)
-    try:
-        plan = policy.build_plan(
-            graph, gpu, schedule=schedule, profile=profile,
-        )
-    except (PolicyError, PlanningError) as exc:
-        return [], EvalResult(
-            policy=policy.name, feasible=False, failure=str(exc),
-        )
-    if augment_options is None and policy.recompute_strategy is not None:
-        from repro.core.recompute import RecomputeStrategy
-
-        augment_options = AugmentOptions(
-            recompute_strategy=RecomputeStrategy(policy.recompute_strategy),
-        )
-    augmented = augment_graph(
-        graph, plan, profile, schedule=schedule, options=augment_options,
+    compiled = compile_run(
+        graph, policy, gpu,
+        cache=cache,
+        profiler=profiler,
+        augment_options=augment_options,
+        iterations=iterations,
     )
-    engine = Engine(gpu)
-    try:
-        durations, trace = engine.execute_iterations(
-            augmented.program, iterations,
-        )
-    except OutOfMemoryError as exc:
-        return [], EvalResult(
-            policy=policy.name, feasible=False, plan=plan, failure=str(exc),
-        )
-    return durations, EvalResult(
-        policy=policy.name, feasible=True, plan=plan, trace=trace,
-    )
+    durations = compiled.executed.durations if compiled.executed else []
+    return durations, compiled.result
 
 
 def evaluate(
@@ -154,6 +91,7 @@ def evaluate(
     augment_options: AugmentOptions | None = None,
     engine_options: EngineOptions | None = None,
     observers: tuple[EngineObserver, ...] | list[EngineObserver] = (),
+    cache: CompileCache | None = None,
     **model_overrides,
 ) -> EvalResult:
     """Build the model at the given scale and run one policy on it.
@@ -174,4 +112,5 @@ def evaluate(
         augment_options=augment_options,
         engine_options=engine_options,
         observers=observers,
+        cache=cache,
     )

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from repro.analysis.parallel import parallel_map
 from repro.analysis.runner import EvalResult, evaluate
 from repro.core.augment import AugmentOptions
 from repro.hardware.gpu import GPUSpec
+from repro.pipeline import CompileCache
 from repro.policies.base import MemoryPolicy, get_policy
 from repro.runtime.engine import EngineOptions
 
@@ -30,6 +32,7 @@ def _feasible(
     batch: int,
     param_scale: float,
     augment_options: AugmentOptions | None,
+    cache: CompileCache | None = None,
     **overrides,
 ) -> EvalResult:
     return evaluate(
@@ -37,6 +40,7 @@ def _feasible(
         param_scale=param_scale,
         augment_options=augment_options,
         engine_options=_FAST_ENGINE,
+        cache=cache,
         **overrides,
     )
 
@@ -85,6 +89,7 @@ def max_sample_scale(
     start: int = 8,
     cap: int = 4096,
     augment_options: AugmentOptions | None = None,
+    cache: CompileCache | None = None,
     **overrides,
 ) -> int:
     """Largest trainable batch size; 0 when even batch 1 fails."""
@@ -94,7 +99,7 @@ def max_sample_scale(
     def predicate(batch: int) -> bool:
         return _feasible(
             model, policy, gpu, batch, param_scale, augment_options,
-            **overrides,
+            cache=cache, **overrides,
         ).feasible
 
     return _search_max(predicate, start, cap)
@@ -109,6 +114,7 @@ def max_param_scale(
     start: int = 1,
     cap: int = 512,
     augment_options: AugmentOptions | None = None,
+    cache: CompileCache | None = None,
     **overrides,
 ) -> int:
     """Largest trainable integer parameter-scale multiplier; 0 if none."""
@@ -118,7 +124,7 @@ def max_param_scale(
     def predicate(k: int) -> bool:
         return _feasible(
             model, policy, gpu, batch, float(k), augment_options,
-            **overrides,
+            cache=cache, **overrides,
         ).feasible
 
     return _search_max(predicate, start, cap)
@@ -130,20 +136,34 @@ def scale_table(
     gpu: GPUSpec,
     *,
     axis: str = "sample",
+    parallel: int | bool | None = None,
+    cache: CompileCache | None = None,
     **kwargs,
 ) -> dict[str, dict[str, int]]:
     """Reproduce one of the paper's scale tables.
 
     Returns ``{model: {policy: max_scale}}``; 0 encodes both "infeasible
     at any scale" and "policy inapplicable" (the paper's "x").
+
+    Each (model, policy) cell is an independent search, so ``parallel=``
+    fans the cells out over threads; each search is itself sequential
+    (exponential probe + binary search). The shared ``cache`` lets
+    different policies probing the same (model, scale) point reuse one
+    profile.
     """
     if axis not in ("sample", "parameter"):
         raise ValueError(f"axis must be 'sample' or 'parameter', not {axis!r}")
     search = max_sample_scale if axis == "sample" else max_param_scale
-    table: dict[str, dict[str, int]] = {}
-    for model in models:
-        row: dict[str, int] = {}
-        for policy in policies:
-            row[policy] = search(model, policy, gpu, **kwargs)
-        table[model] = row
+    if cache is None:
+        cache = CompileCache()
+
+    def run_cell(cell: tuple[str, str]) -> int:
+        model, policy = cell
+        return search(model, policy, gpu, cache=cache, **kwargs)
+
+    cells = [(model, policy) for model in models for policy in policies]
+    results = parallel_map(run_cell, cells, parallel)
+    table: dict[str, dict[str, int]] = {model: {} for model in models}
+    for (model, policy), value in zip(cells, results):
+        table[model][policy] = value
     return table

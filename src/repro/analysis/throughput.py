@@ -11,8 +11,10 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
+from repro.analysis.parallel import parallel_map
 from repro.analysis.runner import evaluate
 from repro.hardware.gpu import GPUSpec
+from repro.pipeline import CompileCache
 from repro.runtime.engine import EngineOptions
 
 
@@ -37,42 +39,54 @@ def throughput_sweep(
     gpu: GPUSpec,
     *,
     param_scale: float = 1.0,
+    parallel: int | bool | None = None,
+    cache: CompileCache | None = None,
     **overrides,
 ) -> list[SweepPoint]:
-    """Measure throughput of each policy at each sample size."""
-    points: list[SweepPoint] = []
+    """Measure throughput of each policy at each sample size.
+
+    Points are independent; ``parallel=`` fans them out over threads.
+    The shared ``cache`` (created here when not supplied) means each
+    batch size is profiled once, not once per policy — point order and
+    values are identical either way.
+    """
     options = EngineOptions(record_trace=False)
-    for policy in policies:
-        for batch in batches:
-            result = evaluate(
-                model, policy, gpu, batch,
-                param_scale=param_scale,
-                engine_options=options,
-                **overrides,
+    if cache is None:
+        cache = CompileCache()
+
+    def run_point(point: tuple[str, int]) -> SweepPoint:
+        policy, batch = point
+        result = evaluate(
+            model, policy, gpu, batch,
+            param_scale=param_scale,
+            engine_options=options,
+            cache=cache,
+            **overrides,
+        )
+        if result.feasible and result.trace is not None:
+            trace = result.trace
+            return SweepPoint(
+                policy=policy,
+                batch=batch,
+                feasible=True,
+                throughput=trace.throughput,
+                iteration_time=trace.iteration_time,
+                pcie_utilization=trace.pcie_utilization,
+                peak_memory=trace.peak_memory,
             )
-            if result.feasible and result.trace is not None:
-                trace = result.trace
-                points.append(SweepPoint(
-                    policy=policy,
-                    batch=batch,
-                    feasible=True,
-                    throughput=trace.throughput,
-                    iteration_time=trace.iteration_time,
-                    pcie_utilization=trace.pcie_utilization,
-                    peak_memory=trace.peak_memory,
-                ))
-            else:
-                points.append(SweepPoint(
-                    policy=policy,
-                    batch=batch,
-                    feasible=False,
-                    throughput=0.0,
-                    iteration_time=float("inf"),
-                    pcie_utilization=0.0,
-                    peak_memory=0,
-                    failure=result.failure,
-                ))
-    return points
+        return SweepPoint(
+            policy=policy,
+            batch=batch,
+            feasible=False,
+            throughput=0.0,
+            iteration_time=float("inf"),
+            pcie_utilization=0.0,
+            peak_memory=0,
+            failure=result.failure,
+        )
+
+    grid = [(policy, batch) for policy in policies for batch in batches]
+    return parallel_map(run_point, grid, parallel)
 
 
 def speedups_over(

@@ -27,16 +27,19 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.plan import MemOption, Plan, TensorConfig
+from repro.core.plan import RESIDE, MemOption, Plan, TensorConfig
 from repro.core.profiler import ProfileData
 from repro.core.recompute import chain_compute_time, planning_chain
 from repro.core.simulate import (
     PREFETCH_OPS,
     TensorTimeline,
+    _contributions,
+    needs_whole_staging,
+    recompute_extra,
     tensor_timeline,
 )
 from repro.errors import PlanningError
@@ -49,7 +52,12 @@ from repro.graph.tensor import (
     TensorKind,
     TensorSpec,
 )
-from repro.core.split_rules import op_exec_split, op_supports_split
+from repro.core.split_rules import (
+    effective_split,
+    effective_split_config,
+    op_exec_split,
+    op_supports_split,
+)
 from repro.units import MB
 
 
@@ -69,12 +77,16 @@ class Candidate:
     #: same assignment may be retried from a different starting state).
     prior: tuple[tuple[int, TensorConfig], ...] = ()
 
-    @property
-    def ratio(self) -> float:
-        """The planner's greedy key ΔT / ΔM (lower is better)."""
-        if self.delta_m <= 0:
-            return float("inf")
-        return self.delta_t / self.delta_m
+    #: The planner's greedy key ΔT / ΔM (lower is better). Materialised
+    #: at construction: ``_better`` reads it twice per pairwise
+    #: comparison, which a property would recompute every time.
+    ratio: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        ratio = (
+            self.delta_t / self.delta_m if self.delta_m > 0 else float("inf")
+        )
+        object.__setattr__(self, "ratio", ratio)
 
     @property
     def key(self) -> tuple[frozenset, frozenset]:
@@ -106,6 +118,48 @@ class CostModelOptions:
     allow_swap: bool = True
 
 
+_CONFIG_INTERN: dict[tuple[MemOption, int, str], TensorConfig] = {}
+
+
+def _intern_config(
+    opt: MemOption, p_num: int = 1, dim: str = "sample",
+) -> TensorConfig:
+    """Value-interned :class:`TensorConfig` constructor.
+
+    Candidate generation builds the same few hundred configs hundreds of
+    thousands of times per planning run; interning skips the dataclass
+    construction and hash precomputation. Used only in incremental mode
+    so the reference mode keeps the pre-refactor allocation profile.
+    """
+    key = (opt, p_num, dim)
+    cfg = _CONFIG_INTERN.get(key)
+    if cfg is None:
+        cfg = TensorConfig(opt=opt, p_num=p_num, dim=dim)
+        _CONFIG_INTERN[key] = cfg
+    return cfg
+
+
+class _ProbePlan:
+    """Read-only plan overlay used for candidate probes.
+
+    Candidate scoring evaluates thousands of hypothetical plans per
+    decision; copying the committed config dict for each would dominate
+    the planner. Probes only ever *read* configs, so an overlay with the
+    candidate's member configs on top of the committed plan suffices.
+    """
+
+    __slots__ = ("_base", "_overrides")
+
+    def __init__(self, base: Plan, overrides: dict[int, TensorConfig]) -> None:
+        self._base = base
+        self._overrides = overrides
+
+    def config_for(self, tensor_id: int) -> TensorConfig:
+        """The override if present, else the committed config."""
+        cfg = self._overrides.get(tensor_id)
+        return cfg if cfg is not None else self._base.config_for(tensor_id)
+
+
 class CostModel:
     """ΔM / ΔT evaluation under a concrete plan state.
 
@@ -122,11 +176,19 @@ class CostModel:
         schedule: list[int],
         profile: ProfileData,
         options: CostModelOptions | None = None,
+        *,
+        caching: bool = True,
     ) -> None:
         self.graph = graph
         self.schedule = list(schedule)
         self.profile = profile
         self.options = options or CostModelOptions()
+        #: Point-evaluation caching (committed windows, probe windows,
+        #: recompute-ΔT, exec-split/staging predicates). Disabled by the
+        #: planner's ``incremental=False`` reference mode so that mode
+        #: reproduces the pre-refactor full-recompute cost profile the
+        #: benchmark measures against.
+        self.caching = caching
         self.liveness: LivenessInfo = compute_liveness(graph, schedule)
         self._timelines: dict[int, TensorTimeline | None] = {}
         # Filled by refresh():
@@ -134,6 +196,59 @@ class CostModel:
         self.op_begin = np.zeros(len(schedule) + 1)
         self._idle_d2h = np.zeros(len(schedule) + 1)
         self._idle_h2d = np.zeros(len(schedule) + 1)
+        # Caches valid for the *committed* plan object last passed to
+        # refresh(); probe plans bypass them (identity-checked). They let
+        # candidate generation reuse point evaluations across decisions:
+        # an incremental refresh(plan, changed=...) invalidates only the
+        # entries within the changed tensors' structural dependency
+        # radius, a full refresh clears them wholesale.
+        self._cached_plan: Plan | None = None
+        self._exec_cache: dict[int, tuple[str, int] | None] = {}
+        self._break_cache: dict[int, bool] = {}
+        #: tensor id -> committed occupancy windows (start, end, bytes).
+        self._windows_cache: dict[int, tuple[tuple[int, int, int], ...]] = {}
+        #: RECOMPUTE contribution chain deps: tid -> read tids / inverse.
+        self._contrib_deps: dict[int, tuple[int, ...]] = {}
+        self._contrib_index: dict[int, set[int]] = {}
+        #: tensor id -> {probe delta key -> windows}: candidate probes
+        #: repeat across decisions (the same split ladder is re-scored at
+        #: every bottleneck), so probe-side windows are cached too, keyed
+        #: by the probe's (tid, config) delta over the committed plan.
+        self._probe_cache: dict[
+            int, dict[tuple, tuple[tuple[int, int, int], ...]],
+        ] = {}
+        self._probe_deps: dict[tuple[int, tuple], tuple[int, ...]] = {}
+        self._probe_index: dict[int, set[tuple[int, tuple]]] = {}
+        # Recompute-ΔT survives across decisions: entries are invalidated
+        # per-tensor through the recorded chain dependencies.
+        self._rdt_cache: dict[int, float | PlanningError] = {}
+        self._rdt_deps: dict[int, tuple[int, ...]] = {}
+        self._rdt_index: dict[int, set[int]] = {}
+        # Static structural dependency sets (lazy) and static ΔT values.
+        self._op_adjacency: dict[int, frozenset[int]] = {}
+        self._break_deps: dict[int, frozenset[int]] = {}
+        #: tensor id -> break-predicate positions whose dep set holds it.
+        self._break_index: dict[int, set[int]] = {}
+        self._pswap_cache: dict[int, float] = {}
+        #: Step-1 eligible tensors (static filter), built lazily.
+        self._eviction_pool: list | None = None
+        #: (bottleneck, entries) — eviction pool narrowed by the static
+        #: per-step guards; see :meth:`_nonsplit_pool_at`.
+        self._nonsplit_eligible: tuple[int, list] | None = None
+        #: (tensor id, config) -> effective split. Pure in its key for a
+        #: fixed graph, so it never needs invalidation — valid across
+        #: committed plans and probes alike.
+        self._esplit_memo: dict[
+            tuple[int, TensorConfig], tuple[str, int] | None
+        ] = {}
+        #: Op id -> (outputs + inputs) tuple, in :func:`op_exec_split`'s
+        #: priority order. Graph structure is immutable during planning.
+        self._op_tids: dict[int, tuple[int, ...]] = {}
+        #: Committed point values at one step: every candidate of a
+        #: decision is scored at the same bottleneck, so the plan-side
+        #: window sums repeat. Cleared by refresh() and on step change.
+        self._point_step: int | None = None
+        self._point_cache: dict[int, float] = {}
 
     # -- timelines ------------------------------------------------------------
 
@@ -147,18 +262,123 @@ class CostModel:
 
     # -- refresh under a plan ----------------------------------------------------
 
-    def refresh(self, plan: Plan) -> None:
-        """Recompute op times, begin times and PCIe occupancy for a plan."""
+    def refresh(self, plan: Plan, changed: list[int] | None = None) -> None:
+        """Recompute op times, begin times and PCIe occupancy for a plan.
+
+        ``changed`` names the tensors whose configs were modified since
+        the previous refresh of the *same* plan object: only the ops
+        adjacent to them can change execution split factor, so only those
+        schedule positions are re-timed (per-tensor invalidation). The
+        PCIe occupancy is always re-simulated — transfers queue globally,
+        but the simulation is proportional to the number of configured
+        tensors, not to the schedule. Without ``changed`` (or for a new
+        plan object) everything is rebuilt.
+        """
+        self._point_step = None
+        self._point_cache.clear()
         steps = len(self.schedule)
-        times = np.empty(steps)
-        for idx, op_id in enumerate(self.schedule):
-            p_num = self._op_split_factor(plan, op_id)
-            times[idx] = self.profile.split_op_time(op_id, p_num)
-        self.op_times = times
+        if changed is None or self._cached_plan is not plan:
+            times = np.empty(steps)
+            for idx, op_id in enumerate(self.schedule):
+                p_num = self._op_split_factor(plan, op_id)
+                times[idx] = self.profile.split_op_time(op_id, p_num)
+            self.op_times = times
+            self._rdt_cache.clear()
+            self._rdt_deps.clear()
+            self._rdt_index.clear()
+            self._exec_cache.clear()
+            self._break_cache.clear()
+            self._windows_cache.clear()
+            self._contrib_deps.clear()
+            self._contrib_index.clear()
+            self._probe_cache.clear()
+            self._probe_deps.clear()
+            self._probe_index.clear()
+        else:
+            position = self.liveness.position
+            ops: set[int] = set()
+            for tid in changed:
+                tensor = self.graph.tensors[tid]
+                if tensor.producer is not None:
+                    ops.add(tensor.producer)
+                ops.update(tensor.consumers)
+            for op_id in ops:
+                pos = position.get(op_id)
+                if pos is None:
+                    continue
+                p_num = self._op_split_factor(plan, op_id)
+                self.op_times[pos] = self.profile.split_op_time(op_id, p_num)
+                self._exec_cache.pop(pos, None)
+            for tid in changed:
+                self._invalidate_rdt(tid)
+                for dependant in list(self._rdt_index.get(tid, ())):
+                    self._invalidate_rdt(dependant)
+                for pos in self._break_index.get(tid, ()):
+                    self._break_cache.pop(pos, None)
+                for victim in self._affected_tensors(tid):
+                    self._invalidate_contrib(victim)
+                for dependant in list(self._contrib_index.get(tid, ())):
+                    self._invalidate_contrib(dependant)
+                for entry in list(self._probe_index.get(tid, ())):
+                    entry_tid, entry_key = entry
+                    per_tensor = self._probe_cache.get(entry_tid)
+                    if per_tensor is not None:
+                        per_tensor.pop(entry_key, None)
+                    self._drop_probe_deps(entry)
         begin = np.zeros(steps + 1)
-        np.cumsum(times, out=begin[1:])
+        np.cumsum(self.op_times, out=begin[1:])
         self.op_begin = begin
         self._simulate_pcie(plan)
+        self._cached_plan = plan
+
+    def _invalidate_rdt(self, tid: int) -> None:
+        self._rdt_cache.pop(tid, None)
+        for dep in self._rdt_deps.pop(tid, ()):
+            dependants = self._rdt_index.get(dep)
+            if dependants is not None:
+                dependants.discard(tid)
+
+    def _invalidate_contrib(self, tid: int) -> None:
+        self._windows_cache.pop(tid, None)
+        for dep in self._contrib_deps.pop(tid, ()):
+            dependants = self._contrib_index.get(dep)
+            if dependants is not None:
+                dependants.discard(tid)
+        per_tensor = self._probe_cache.pop(tid, None)
+        if per_tensor:
+            for key in per_tensor:
+                self._drop_probe_deps((tid, key))
+
+    def _drop_probe_deps(self, entry: tuple[int, tuple]) -> None:
+        for dep in self._probe_deps.pop(entry, ()):
+            entries = self._probe_index.get(dep)
+            if entries is not None:
+                entries.discard(entry)
+
+    def _affected_tensors(self, tensor_id: int) -> set[int]:
+        """Tensors whose point contribution may read ``tensor_id``'s config.
+
+        Mirrors :meth:`repro.core.simulate.MemoryCurve._affected`: the
+        tensor itself, every tensor sharing an op with it (exec splits at
+        adjacent positions), and every tensor adjacent to a consumer of
+        an output of an adjacent op (the whole-staging predicate's
+        producer lookback). Chain dependants are tracked separately.
+        """
+        graph = self.graph
+        tensor = graph.tensors[tensor_id]
+        first_ops: set[int] = set(tensor.consumers)
+        if tensor.producer is not None:
+            first_ops.add(tensor.producer)
+        ops = set(first_ops)
+        for op_id in first_ops:
+            for out in graph.ops[op_id].outputs:
+                ops.update(graph.tensors[out].consumers)
+        tensors: set[int] = {tensor_id}
+        for op_id in ops:
+            op = graph.ops[op_id]
+            tensors.update(op.inputs)
+            tensors.update(op.outputs)
+        return tensors
 
     def _op_split_factor(self, plan: Plan, op_id: int) -> int:
         split = op_exec_split(self.graph, plan, self.graph.ops[op_id])
@@ -263,16 +483,45 @@ class CostModel:
         The chain is the one the augmenter will actually emit: swapped
         tensors count as sources (their swap-in cost is charged to their
         own configuration), RESIDE tensors only while still alive at the
-        regeneration step.
+        regeneration step. Results for the committed plan are cached per
+        tensor and invalidated through the chain's recorded config
+        dependencies (see :meth:`refresh`).
         """
-        timeline = self.timeline(tensor.tensor_id)
+        tid = tensor.tensor_id
+        committed = self.caching and plan is self._cached_plan
+        if committed:
+            cached = self._rdt_cache.get(tid)
+            if cached is not None:
+                if isinstance(cached, PlanningError):
+                    raise cached
+                return cached
+        timeline = self.timeline(tid)
         regen = timeline.bwd_uses[0] if timeline and timeline.bwd_uses else 0
-        chain = planning_chain(
-            self.graph, tensor.tensor_id, plan,
-            self.liveness.free_step, regen,
-            max_len=self.options.max_recompute_chain,
-        )
-        return chain_compute_time(chain, self.profile.op_time)
+        deps: set[int] | None = set() if committed else None
+        try:
+            chain = planning_chain(
+                self.graph, tid, plan,
+                self.liveness.free_step, regen,
+                max_len=self.options.max_recompute_chain,
+                deps=deps,
+            )
+        except PlanningError as exc:
+            if committed:
+                self._record_rdt(tid, exc, deps)
+            raise
+        value = chain_compute_time(chain, self.profile.op_time)
+        if committed:
+            self._record_rdt(tid, value, deps)
+        return value
+
+    def _record_rdt(
+        self, tid: int, value: float | PlanningError, deps: set[int],
+    ) -> None:
+        deps.discard(tid)
+        self._rdt_cache[tid] = value
+        self._rdt_deps[tid] = tuple(deps)
+        for dep in deps:
+            self._rdt_index.setdefault(dep, set()).add(tid)
 
     def split_delta_t(
         self,
@@ -341,51 +590,218 @@ class CostModel:
 
     # -- ΔM at the bottleneck ----------------------------------------------------
 
-    def contribution(self, tensor: TensorSpec, plan: Plan, step: int) -> float:
+    def _op_adj(self, op_id: int) -> frozenset[int]:
+        """Tensors whose configs decide the op's execution split."""
+        adj = self._op_adjacency.get(op_id)
+        if adj is None:
+            op = self.graph.ops[op_id]
+            adj = frozenset(list(op.inputs) + list(op.outputs))
+            self._op_adjacency[op_id] = adj
+        return adj
+
+    def _break_dep_set(self, pos: int) -> frozenset[int]:
+        """Tensors whose configs decide ``needs_whole_staging`` at ``pos``.
+
+        Superset by construction: the op's inputs (own config +
+        effective split), plus — for each input with a producer — that
+        producer's adjacency (its execution split).
+        """
+        deps = self._break_deps.get(pos)
+        if deps is None:
+            op = self.graph.ops[self.schedule[pos]]
+            acc: set[int] = set(op.inputs)
+            for tid in op.inputs:
+                producer = self.graph.tensors[tid].producer
+                if producer is not None:
+                    acc |= self._op_adj(producer)
+            deps = frozenset(acc)
+            self._break_deps[pos] = deps
+            for tid in deps:
+                self._break_index.setdefault(tid, set()).add(pos)
+        return deps
+
+    def _esplit(
+        self, tensor: TensorSpec, cfg: TensorConfig,
+    ) -> tuple[str, int] | None:
+        """Memoised :func:`effective_split_config` (incremental mode)."""
+        if not cfg.is_split:
+            return None
+        key = (tensor.tensor_id, cfg)
+        try:
+            return self._esplit_memo[key]
+        except KeyError:
+            value = effective_split_config(self.graph, tensor, cfg)
+            self._esplit_memo[key] = value
+            return value
+
+    def _op_exec_split(self, plan: Plan, op) -> tuple[str, int] | None:
+        """:func:`op_exec_split` through the effective-split memo."""
+        tensors = self.graph.tensors
+        tids = self._op_tids.get(op.op_id)
+        if tids is None:
+            tids = tuple(op.outputs) + tuple(op.inputs)
+            self._op_tids[op.op_id] = tids
+        config_for = plan.config_for
+        for tid in tids:
+            split = self._esplit(tensors[tid], config_for(tid))
+            if split is not None and op_supports_split(op.op_type, split[0]):
+                return split
+        return None
+
+    def _exec_split_at(
+        self,
+        plan: Plan,
+        pos: int,
+        changed: frozenset[int] | None = None,
+    ) -> tuple[str, int] | None:
+        """Execution split of the op at ``pos``, cached for the committed
+        plan; probe plans reuse the committed value when ``changed`` is
+        disjoint from the op's adjacency."""
+        committed = self.caching and plan is self._cached_plan
+        if not committed and (
+            not self.caching
+            or changed is None
+            or self._cached_plan is None
+            or not changed.isdisjoint(
+                self._op_adj(self.schedule[pos]))
+        ):
+            op = self.graph.ops[self.schedule[pos]]
+            if self.caching:
+                return self._op_exec_split(plan, op)
+            return op_exec_split(self.graph, plan, op)
+        cache = self._exec_cache
+        if pos not in cache:
+            cache[pos] = self._op_exec_split(
+                plan, self.graph.ops[self.schedule[pos]],
+            )
+        return cache[pos]
+
+    def _breaks_at(
+        self,
+        plan: Plan,
+        pos: int,
+        changed: frozenset[int] | None = None,
+    ) -> bool:
+        """Whole-staging predicate at ``pos``, cached like
+        :meth:`_exec_split_at` (dependency set: :meth:`_break_dep_set`)."""
+        committed = self.caching and plan is self._cached_plan
+        if not committed and (
+            not self.caching
+            or changed is None
+            or self._cached_plan is None
+            or not changed.isdisjoint(self._break_dep_set(pos))
+        ):
+            return needs_whole_staging(
+                self.graph, plan, self.graph.ops[self.schedule[pos]],
+                pos, self.timeline,
+            )
+        cache = self._break_cache
+        if pos not in cache:
+            self._break_dep_set(pos)  # register the invalidation index
+            cache[pos] = needs_whole_staging(
+                self.graph, plan, self.graph.ops[self.schedule[pos]],
+                pos, self.timeline,
+            )
+        return cache[pos]
+
+    def contribution(
+        self,
+        tensor: TensorSpec,
+        plan: Plan,
+        step: int,
+        changed: frozenset[int] | None = None,
+        probe_key: tuple | None = None,
+    ) -> float:
         """Bytes ``tensor`` occupies at ``step`` under ``plan``.
 
         Mirrors :func:`repro.core.simulate._contributions` — including
         the recompute-chain transient and the streaming-region rules —
         evaluated point-wise so candidates can be scored without a full
-        curve recomputation.
+        curve recomputation. Evaluations against the committed plan are
+        cached per (tensor, step) until the next :meth:`refresh`; probe
+        evaluations pass ``changed`` (the probe's modified tensor ids) so
+        the point predicates can reuse committed results where their
+        dependency sets are untouched.
         """
-        from repro.core.simulate import (
-            _contributions,
-            needs_whole_staging,
-            recompute_extra,
+        tid = tensor.tensor_id
+        committed = self.caching and plan is self._cached_plan
+        cacheable_probe = (
+            self.caching and not committed and changed is not None
+            and self._cached_plan is not None
         )
-        from repro.core.split_rules import effective_split
+        if committed:
+            if self._point_step != step:
+                self._point_step = step
+                self._point_cache.clear()
+            else:
+                point = self._point_cache.get(tid)
+                if point is not None:
+                    return point
+        windows: tuple[tuple[int, int, int], ...] | None = None
+        if committed:
+            windows = self._windows_cache.get(tid)
+        elif cacheable_probe:
+            if probe_key is None:
+                probe_key = tuple(
+                    (cid, plan.config_for(cid)) for cid in sorted(changed)
+                )
+            per_tensor = self._probe_cache.get(tid)
+            if per_tensor is not None:
+                windows = per_tensor.get(probe_key)
 
-        timeline = self.timeline(tensor.tensor_id)
-        if timeline is None:
-            return 0.0
-        cfg = plan.config_for(tensor.tensor_id)
-        if cfg.is_split and effective_split(self.graph, plan, tensor) is None:
-            cfg = TensorConfig(opt=cfg.opt)
-        chain_extra = 0
-        if cfg.opt is MemOption.RECOMPUTE:
-            chain_extra = recompute_extra(
-                self.graph, plan, self.liveness.free_step, tensor, timeline,
-            )
-
-        def exec_split_at(pos: int):
-            return op_exec_split(
-                self.graph, plan, self.graph.ops[self.schedule[pos]],
-            )
-
-        def breaks_at(pos: int):
-            return needs_whole_staging(
-                self.graph, plan, self.graph.ops[self.schedule[pos]],
-                pos, self.timeline,
-            )
+        if windows is None:
+            timeline = self.timeline(tid)
+            if timeline is None:
+                if committed:
+                    self._point_cache[tid] = 0.0
+                return 0.0
+            cfg = plan.config_for(tid)
+            if cfg.is_split:
+                split = (
+                    self._esplit(tensor, cfg) if self.caching
+                    else effective_split(self.graph, plan, tensor)
+                )
+                if split is None:
+                    cfg = (
+                        _intern_config(cfg.opt) if self.caching
+                        else TensorConfig(opt=cfg.opt)
+                    )
+            chain_extra = 0
+            deps: set[int] | None = None
+            if cfg.opt is MemOption.RECOMPUTE:
+                deps = set() if committed or cacheable_probe else None
+                chain_extra = recompute_extra(
+                    self.graph, plan, self.liveness.free_step, tensor,
+                    timeline, deps=deps,
+                )
+                if deps is not None:
+                    deps.discard(tid)
+            windows = tuple(_contributions(
+                self.graph, tensor, timeline, cfg, len(self.schedule) - 1,
+                chain_extra,
+                lambda pos: self._exec_split_at(plan, pos, changed),
+                lambda pos: self._breaks_at(plan, pos, changed),
+            ))
+            if committed:
+                self._windows_cache[tid] = windows
+                if deps:
+                    self._contrib_deps[tid] = tuple(deps)
+                    for dep in deps:
+                        self._contrib_index.setdefault(dep, set()).add(tid)
+            elif cacheable_probe:
+                self._probe_cache.setdefault(tid, {})[probe_key] = windows
+                if deps:
+                    entry = (tid, probe_key)
+                    self._probe_deps[entry] = tuple(deps)
+                    for dep in deps:
+                        self._probe_index.setdefault(dep, set()).add(entry)
 
         total = 0.0
-        for start, end, nbytes in _contributions(
-            self.graph, tensor, timeline, cfg, len(self.schedule) - 1,
-            chain_extra, exec_split_at, breaks_at,
-        ):
+        for start, end, nbytes in windows:
             if start <= step <= end:
                 total += nbytes
+        if committed:
+            self._point_cache[tid] = total
         return total
 
     def group_delta_m(
@@ -400,20 +816,65 @@ class CostModel:
         ``probe`` must already contain the group's configs. Includes the
         workspace shrink of the op executing at ``step``.
         """
+        changed = frozenset(tensor.tensor_id for tensor, _ in members)
+        probe_key = tuple(
+            (cid, probe.config_for(cid)) for cid in sorted(changed)
+        ) if self.caching else None
         reduction = 0.0
+        contribution = self.contribution
         for tensor, _ in members:
-            reduction += self.contribution(tensor, plan, step)
-            reduction -= self.contribution(tensor, probe, step)
+            reduction += contribution(tensor, plan, step)
+            reduction -= contribution(
+                tensor, probe, step, changed=changed, probe_key=probe_key,
+            )
         op = self.graph.ops[self.schedule[step]]
         if op.workspace_bytes:
-            old_split = op_exec_split(self.graph, plan, op)
-            new_split = op_exec_split(self.graph, probe, op)
+            old_split = self._exec_split_at(plan, step)
+            new_split = self._exec_split_at(probe, step, changed=changed)
             old_p = old_split[1] if old_split else 1
             new_p = new_split[1] if new_split else 1
             reduction += op.workspace_bytes * (1 / old_p - 1 / new_p)
         return reduction
 
     # -- candidate generation -------------------------------------------------
+
+    def _eviction_candidates(self):
+        """Yield Step-1-eligible tensors: the size, kind and lifetime
+        guards depend only on the graph, never on the plan or the
+        bottleneck, so incremental mode materialises this once
+        (``_eviction_pool``) instead of re-filtering every tensor on
+        every decision."""
+        persistent_kinds = (
+            TensorKind.PARAM, TensorKind.OPTIMIZER_STATE,
+            TensorKind.GRAD_PARAM,
+        )
+        for tensor in self.graph.tensors.values():
+            if tensor.size_bytes < self.options.min_evict_bytes:
+                continue
+            persistent = tensor.kind in persistent_kinds
+            if not persistent and tensor.kind is not TensorKind.ACTIVATION:
+                continue
+            timeline = self.timeline(tensor.tensor_id)
+            if timeline is None:
+                continue
+            yield tensor, timeline, persistent
+
+    def _probe(
+        self, plan: Plan, overrides: dict[int, TensorConfig],
+    ) -> Plan | _ProbePlan:
+        """Hypothetical plan for scoring one candidate.
+
+        Incremental mode layers the candidate's configs over the
+        committed plan without copying; the ``caching=False`` reference
+        mode keeps the pre-refactor full-copy probes so the planner
+        benchmark's baseline reflects the implementation this replaced.
+        """
+        if self.caching:
+            return _ProbePlan(plan, overrides)
+        probe = plan.copy()
+        for tid, cfg in overrides.items():
+            probe.set(tid, cfg)
+        return probe
 
     def persistent_swap_delta_t(self, tensor: TensorSpec) -> float:
         """ΔT of sharding a parameter / optimizer-state tensor to host.
@@ -423,33 +884,84 @@ class CostModel:
         persistent tensors once activations are exhausted (which is when
         the paper's parameter-scale experiments need it).
         """
-        timeline = self.timeline(tensor.tensor_id)
+        tid = tensor.tensor_id
+        cached = self._pswap_cache.get(tid) if self.caching else None
+        if cached is not None:
+            return cached
+        timeline = self.timeline(tid)
         if timeline is None:
             return 0.0
         transfer = self.profile.transfer_time(tensor.size_bytes)
         windows = max(1, len(timeline.use_positions))
-        return 2.0 * windows * transfer
+        value = 2.0 * windows * transfer
+        self._pswap_cache[tid] = value
+        return value
+
+    def _nonsplit_pool_at(self, bottleneck: int) -> list:
+        """Step-1 victims whose *static* guards pass at ``bottleneck``.
+
+        The exclusion set, persistent-use coverage and activation
+        lifetime-window checks depend only on the graph and the
+        bottleneck step — never on the plan — and a bottleneck persists
+        across many consecutive decisions, so incremental mode filters
+        the eviction pool once per bottleneck step instead of once per
+        decision. Entries are (tensor, timeline, persistent) in graph
+        order (candidate order must match the reference loop exactly).
+        """
+        cached = self._nonsplit_eligible
+        if cached is not None and cached[0] == bottleneck:
+            return cached[1]
+        current_op = self.graph.ops[self.schedule[bottleneck]]
+        excluded = set(current_op.inputs) | set(current_op.outputs)
+        if self._eviction_pool is None:
+            self._eviction_pool = list(self._eviction_candidates())
+        allow_swap = self.options.allow_swap
+        eligible = []
+        for entry in self._eviction_pool:
+            tensor, timeline, persistent = entry
+            if tensor.tensor_id in excluded:
+                continue
+            if persistent:
+                if not allow_swap:
+                    continue
+                covered = any(
+                    use - 1 <= bottleneck <= use
+                    for use in timeline.use_positions
+                )
+                if tensor.kind is TensorKind.GRAD_PARAM:
+                    covered = covered or timeline.alloc == bottleneck
+                if covered:
+                    continue
+            elif (
+                timeline.alloc >= bottleneck
+                or timeline.free <= bottleneck
+                or timeline.fwd_end >= bottleneck
+            ):
+                continue
+            eligible.append(entry)
+        self._nonsplit_eligible = (bottleneck, eligible)
+        return eligible
 
     def nonsplit_candidates(
         self, bottleneck: int, plan: Plan,
     ) -> list[Candidate]:
         """Step 1 of Algorithm 2: swap/recompute for live resident tensors."""
+        if self.caching:
+            return self._nonsplit_candidates_pooled(bottleneck, plan)
         current_op = self.graph.ops[self.schedule[bottleneck]]
         excluded = set(current_op.inputs) | set(current_op.outputs)
         candidates: list[Candidate] = []
-        for tensor in self.graph.tensors.values():
+        make_cfg = TensorConfig
+        configs = plan.configs
+        reside = MemOption.RESIDE
+        for tensor, timeline, persistent in self._eviction_candidates():
             tid = tensor.tensor_id
             if tid in excluded:
                 continue
-            if tensor.size_bytes < self.options.min_evict_bytes:
-                continue
-            cfg = plan.config_for(tid)
-            if cfg.opt is not MemOption.RESIDE:
+            cfg = configs.get(tid, RESIDE)
+            if cfg.opt is not reside:
                 continue  # already evicted; upgrades happen via split path
-            if tensor.kind in (
-                TensorKind.PARAM, TensorKind.OPTIMIZER_STATE,
-                TensorKind.GRAD_PARAM,
-            ):
+            if persistent:
                 # Shard to host memory, resident only around uses —
                 # how parameter-dominated workloads keep scaling after
                 # every activation is already evicted. Includes
@@ -460,9 +972,6 @@ class CostModel:
                 # window covers the bottleneck.
                 if not self.options.allow_swap:
                     continue
-                timeline = self.timeline(tid)
-                if timeline is None:
-                    continue
                 covered = any(
                     use - 1 <= bottleneck <= use
                     for use in timeline.use_positions
@@ -471,17 +980,14 @@ class CostModel:
                     covered = covered or timeline.alloc == bottleneck
                 if covered:
                     continue
-                new_cfg = TensorConfig(opt=MemOption.SWAP)
+                new_cfg = make_cfg(opt=MemOption.SWAP)
                 candidates.append(Candidate(
                     ((tid, new_cfg),), float(tensor.size_bytes),
                     self.persistent_swap_delta_t(tensor),
                     prior=((tid, cfg),),
                 ))
                 continue
-            if tensor.kind is not TensorKind.ACTIVATION:
-                continue
-            timeline = self.timeline(tid)
-            if timeline is None or timeline.alloc >= bottleneck:
+            if timeline.alloc >= bottleneck:
                 continue
             if timeline.free <= bottleneck:
                 continue  # about to be freed anyway
@@ -495,9 +1001,58 @@ class CostModel:
                     and not self.options.allow_recompute
                 ):
                     continue
-                new_cfg = TensorConfig(opt=option, p_num=cfg.p_num, dim=cfg.dim)
-                probe = plan.copy()
-                probe.set(tid, new_cfg)
+                new_cfg = make_cfg(opt=option, p_num=cfg.p_num, dim=cfg.dim)
+                probe = self._probe(plan, {tid: new_cfg})
+                dm = self.group_delta_m(
+                    [(tensor, new_cfg)], plan, probe, bottleneck,
+                )
+                if dm <= 0:
+                    continue
+                try:
+                    dt = (
+                        self.swap_delta_t(tensor, bottleneck)
+                        if option is MemOption.SWAP
+                        else self.recompute_delta_t(tensor, plan)
+                    )
+                except PlanningError:
+                    continue
+                candidates.append(Candidate(
+                    ((tid, new_cfg),), dm, dt,
+                    prior=((tid, cfg),),
+                ))
+        return candidates
+
+    def _nonsplit_candidates_pooled(
+        self, bottleneck: int, plan: Plan,
+    ) -> list[Candidate]:
+        """Incremental-mode Step 1: same candidates as
+        :meth:`nonsplit_candidates`, enumerated from the per-bottleneck
+        static pool so only the plan-dependent guards run per decision."""
+        candidates: list[Candidate] = []
+        configs = plan.configs
+        reside = MemOption.RESIDE
+        swap_cfg = _intern_config(MemOption.SWAP)
+        option_order = [
+            option for option, allowed in (
+                (MemOption.SWAP, self.options.allow_swap),
+                (MemOption.RECOMPUTE, self.options.allow_recompute),
+            ) if allowed
+        ]
+        for tensor, timeline, persistent in self._nonsplit_pool_at(bottleneck):
+            tid = tensor.tensor_id
+            cfg = configs.get(tid, RESIDE)
+            if cfg.opt is not reside:
+                continue  # already evicted; upgrades happen via split path
+            if persistent:
+                candidates.append(Candidate(
+                    ((tid, swap_cfg),), float(tensor.size_bytes),
+                    self.persistent_swap_delta_t(tensor),
+                    prior=((tid, cfg),),
+                ))
+                continue
+            for option in option_order:
+                new_cfg = _intern_config(option, cfg.p_num, cfg.dim)
+                probe = _ProbePlan(plan, {tid: new_cfg})
                 dm = self.group_delta_m(
                     [(tensor, new_cfg)], plan, probe, bottleneck,
                 )
@@ -604,9 +1159,9 @@ class CostModel:
                             changed = True
                     if not members or not changed:
                         continue
-                    probe = plan.copy()
-                    for tensor, cfg in members:
-                        probe.set(tensor.tensor_id, cfg)
+                    probe = self._probe(plan, {
+                        tensor.tensor_id: cfg for tensor, cfg in members
+                    })
                     dm = self.group_delta_m(members, plan, probe, bottleneck)
                     if dm <= 0:
                         continue
@@ -703,8 +1258,7 @@ class CostModel:
                     )
                     if new_cfg == old_cfg:
                         continue
-                    probe = plan.copy()
-                    probe.set(tid, new_cfg)
+                    probe = self._probe(plan, {tid: new_cfg})
                     dm = self.group_delta_m(
                         [(tensor, new_cfg)], plan, probe, bottleneck,
                     )

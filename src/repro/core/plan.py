@@ -42,6 +42,14 @@ class TensorConfig:
     def __post_init__(self) -> None:
         if self.p_num < 1:
             raise ValueError(f"p_num must be >= 1, got {self.p_num}")
+        # Configs are hashed millions of times per planning run (cycle
+        # guard keys, probe cache keys); precompute the hash once.
+        object.__setattr__(
+            self, "_hash", hash((self.opt, self.p_num, self.dim)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def is_split(self) -> bool:

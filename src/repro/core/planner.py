@@ -27,7 +27,7 @@ from repro.core.cost_model import Candidate, CostModel, CostModelOptions
 from repro.core.plan import Plan
 from repro.core.profiler import ProfileData, Profiler
 from repro.core.recompute import RecomputeStrategy
-from repro.core.simulate import simulate_memory
+from repro.core.simulate import MemoryCurve, simulate_memory
 from repro.errors import PlanningError
 from repro.graph.graph import Graph
 from repro.graph.scheduler import dfs_schedule
@@ -52,6 +52,12 @@ class PlannerOptions:
     #: "largest" (biggest ΔM first) or "fifo" (earliest-generated tensor
     #: first) — the latter two exist for the victim-selection ablation.
     ordering: str = "ratio"
+    #: Maintain the memory curve and cost-model timings incrementally
+    #: (delta updates per decision) instead of recomputing them from
+    #: scratch after every decision. Produces byte-identical plans; False
+    #: exists as the reference implementation for equivalence tests and
+    #: the planner benchmark.
+    incremental: bool = True
 
 
 @dataclass
@@ -132,10 +138,19 @@ class TsplitPlanner:
 
         budget = self.gpu.memory_bytes * (1.0 - self.options.memory_margin)
         plan = Plan(policy=self.policy_name)
-        cost_model = CostModel(graph, schedule, profile, self.options.cost)
+        incremental = self.options.incremental
+        cost_model = CostModel(
+            graph, schedule, profile, self.options.cost, caching=incremental,
+        )
         cost_model.refresh(plan)
-
-        curve = simulate_memory(graph, schedule, plan, cost_model.liveness)
+        curve_state: MemoryCurve | None = None
+        if incremental:
+            curve_state = MemoryCurve(
+                graph, schedule, plan, cost_model.liveness,
+            )
+            curve = curve_state.values
+        else:
+            curve = simulate_memory(graph, schedule, plan, cost_model.liveness)
         baseline_peak = int(curve.max()) if len(curve) else 0
         baseline_time = profile.total_compute_time(schedule)
         extra_time = 0.0
@@ -174,13 +189,25 @@ class TsplitPlanner:
                     f"budget {format_bytes(budget)}) has no remaining "
                     f"candidates"
                 )
+            old_configs = {
+                tid: plan.config_for(tid) for tid, _ in candidate.configs
+            }
             for tid, config in candidate.configs:
                 plan.set(tid, config)
             tried.add(candidate.key)
             extra_time += candidate.delta_t
             decisions.append(candidate)
-            cost_model.refresh(plan)
-            curve = simulate_memory(graph, schedule, plan, cost_model.liveness)
+            if incremental:
+                changed = [tid for tid, _ in candidate.configs]
+                cost_model.refresh(plan, changed=changed)
+                for tid, config in candidate.configs:
+                    curve_state.apply(tid, old_configs[tid], config)
+                curve = curve_state.values
+            else:
+                cost_model.refresh(plan)
+                curve = simulate_memory(
+                    graph, schedule, plan, cost_model.liveness,
+                )
 
         return PlanResult(
             plan=plan,
@@ -226,11 +253,3 @@ def _better(a: Candidate, b: Candidate, ordering: str = "ratio") -> bool:
     if a.ratio != b.ratio:
         return a.ratio < b.ratio
     return a.delta_m > b.delta_m
-
-
-def _first_bottleneck(curve: np.ndarray, budget: float) -> int | None:
-    """Index of the earliest op whose requirement exceeds the budget."""
-    over = np.nonzero(curve > budget)[0]
-    if len(over) == 0:
-        return None
-    return int(over[0])

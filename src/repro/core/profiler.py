@@ -123,6 +123,19 @@ class Profiler:
         self.kernel_model = KernelModel(gpu)
         self.pcie = PCIeModel(gpu)
 
+    def cache_token(self) -> dict:
+        """JSON-able identity of the profiler's measurement settings.
+
+        Everything that can change the produced :class:`ProfileData`
+        besides the graph and the GPU spec (those are fingerprinted
+        separately by the compilation cache).
+        """
+        return {
+            "noise_sigma": self.noise_sigma,
+            "samples": self.samples,
+            "seed": self.seed,
+        }
+
     def profile(self, graph: Graph) -> ProfileData:
         """Measure every non-transfer operator of the graph."""
         rng = np.random.default_rng(self.seed)

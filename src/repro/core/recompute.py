@@ -40,12 +40,17 @@ def recompute_chain(
     is_resident: Callable[[int], bool],
     *,
     max_len: int = 256,
+    deps: set[int] | None = None,
 ) -> list[int]:
     """Forward op ids needed to regenerate ``tensor_id``, in execution order.
 
     Walks producer edges backwards from the target until every required
     input is resident (a checkpoint, a parameter, or the graph input).
     Parameters and graph inputs are always considered available.
+
+    When ``deps`` is given, every tensor id whose residency was queried is
+    added to it — the exact set of tensors whose plan configuration this
+    chain depends on (incremental planning invalidates on them).
 
     Raises
     ------
@@ -84,6 +89,8 @@ def recompute_chain(
                 TensorKind.PARAM, TensorKind.INPUT, TensorKind.OPTIMIZER_STATE,
             ):
                 continue
+            if deps is not None:
+                deps.add(tid)
             if is_resident(tid):
                 continue
             producer = tensor.producer
@@ -115,6 +122,7 @@ def planning_chain(
     regen_step: int,
     *,
     max_len: int = 256,
+    deps: set[int] | None = None,
 ) -> list[int]:
     """The chain the *augmenter* will emit, predicted at planning time.
 
@@ -135,7 +143,9 @@ def planning_chain(
             return False
         return free_step.get(tid, -1) >= regen_step
 
-    return recompute_chain(graph, tensor_id, available, max_len=max_len)
+    return recompute_chain(
+        graph, tensor_id, available, max_len=max_len, deps=deps,
+    )
 
 
 def chain_extra_bytes(graph: Graph, chain: list[int], target_id: int) -> int:

@@ -143,12 +143,15 @@ def recompute_extra(
     free_step: dict[int, int],
     tensor: TensorSpec,
     timeline: TensorTimeline,
+    deps: set[int] | None = None,
 ) -> int:
     """Chain-transient bytes charged at a RECOMPUTE tensor's regen step.
 
     Regenerating a tensor may require re-materialising dead ancestors;
     free-as-you-go execution bounds the transient to the largest chain
     op's working set (see :func:`repro.core.recompute.chain_extra_bytes`).
+    ``deps`` collects the tensor ids whose configuration the chain read
+    (even on failure), so incremental callers know when to re-evaluate.
     """
     from repro.core.recompute import chain_extra_bytes, planning_chain
     from repro.errors import PlanningError
@@ -158,7 +161,7 @@ def recompute_extra(
     try:
         chain = planning_chain(
             graph, tensor.tensor_id, plan, free_step,
-            timeline.bwd_uses[0], max_len=512,
+            timeline.bwd_uses[0], max_len=512, deps=deps,
         )
     except PlanningError:
         return 0  # impossible chain: the augmenter will report it properly
@@ -361,3 +364,221 @@ def plan_peak_memory(
     """Peak of the simulated memory curve, in bytes."""
     curve = simulate_memory(graph, schedule, plan, liveness)
     return int(curve.max()) if len(curve) else 0
+
+
+class MemoryCurve:
+    """Incrementally-maintained :func:`simulate_memory` curve.
+
+    Holds the per-tensor occupancy intervals of one (graph, schedule,
+    plan) triple and updates them in place when a single tensor's config
+    changes (:meth:`apply`), instead of re-walking every tensor. The
+    planner's greedy loop applies one decision per iteration, so the
+    update cost is O(affected span), not O(tensors x steps).
+
+    Correctness rests on a structural dependency radius: a tensor ``u``'s
+    contribution reads (a) its own config, (b) the execution splits of
+    ops adjacent to ``u`` — which depend on configs of *their* adjacent
+    tensors, (c) the whole-staging predicate at ``u``'s consumer
+    positions — which additionally reads the exec splits of the producers
+    of those consumers' inputs, and (d) for RECOMPUTE tensors, the
+    configs queried while building the regeneration chain. Inverting
+    that: when ``t`` changes, the affected set is ``t``, every tensor
+    sharing an op with ``t``, every tensor adjacent to a consumer of an
+    output of an op adjacent to ``t``, plus the recorded chain
+    dependants. All interval bytes are integers (< 2^53), so removal and
+    re-addition are exact and the curve stays byte-identical to a from-
+    scratch :func:`simulate_memory` — asserted by the equivalence tests.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        schedule: list[int],
+        plan: Plan,
+        liveness: LivenessInfo | None = None,
+    ) -> None:
+        self.graph = graph
+        self.schedule = list(schedule)
+        self.plan = plan
+        self.liveness = liveness or compute_liveness(graph, schedule)
+        self.steps = len(self.schedule)
+        self._delta = np.zeros(self.steps + 1, dtype=np.float64)
+        self._workspace = np.zeros(self.steps, dtype=np.float64)
+        self._windows: dict[int, tuple[tuple[int, int, int], ...]] = {}
+        self._timelines: dict[int, TensorTimeline | None] = {}
+        #: RECOMPUTE tensor id -> tensor ids its chain read.
+        self._chain_deps: dict[int, tuple[int, ...]] = {}
+        #: tensor id -> RECOMPUTE tensors whose chains read it.
+        self._dep_index: dict[int, set[int]] = {}
+        self._values: np.ndarray | None = None
+
+        exec_memo: dict[int, tuple[str, int] | None] = {}
+        break_memo: dict[int, bool] = {}
+        for tid in graph.tensors:
+            self._add_tensor(tid, exec_memo, break_memo)
+        for pos in range(self.steps):
+            self._workspace[pos] = self._workspace_at(pos, exec_memo)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def values(self) -> np.ndarray:
+        """The per-step requirement curve (bytes); do not mutate."""
+        if self._values is None:
+            self._values = (
+                np.cumsum(self._delta[: self.steps]) + self._workspace
+            )
+        return self._values
+
+    def peak(self) -> int:
+        """Peak of the maintained curve, in bytes."""
+        curve = self.values
+        return int(curve.max()) if len(curve) else 0
+
+    def over_budget(self, budget: float) -> np.ndarray:
+        """Schedule positions whose requirement exceeds ``budget``."""
+        return np.nonzero(self.values > budget)[0]
+
+    # -- incremental update ----------------------------------------------------
+
+    def apply(
+        self,
+        tensor_id: int,
+        old_config: TensorConfig | None = None,
+        new_config: TensorConfig | None = None,
+    ) -> None:
+        """Re-derive every interval affected by one tensor's config change.
+
+        The owning :class:`~repro.core.plan.Plan` must already hold the
+        new config; ``old_config``/``new_config`` are advisory (equal
+        configs short-circuit). Multi-tensor decisions are applied by
+        calling this once per member after updating the plan — the union
+        of per-member affected sets covers the joint change because the
+        dependency radius is structural, not config-dependent.
+        """
+        if (
+            old_config is not None
+            and new_config is not None
+            and old_config == new_config
+        ):
+            return
+        tensors, positions = self._affected(tensor_id)
+        exec_memo: dict[int, tuple[str, int] | None] = {}
+        break_memo: dict[int, bool] = {}
+        for tid in tensors:
+            self._remove_tensor(tid)
+        for tid in tensors:
+            self._add_tensor(tid, exec_memo, break_memo)
+        for pos in positions:
+            self._workspace[pos] = self._workspace_at(pos, exec_memo)
+        self._values = None
+
+    def _affected(self, tensor_id: int) -> tuple[set[int], set[int]]:
+        """(tensor ids, workspace positions) to re-derive for one change."""
+        graph = self.graph
+        tensor = graph.tensors[tensor_id]
+        first_ops: set[int] = set(tensor.consumers)
+        if tensor.producer is not None:
+            first_ops.add(tensor.producer)
+        ops = set(first_ops)
+        for op_id in first_ops:
+            for out in graph.ops[op_id].outputs:
+                ops.update(graph.tensors[out].consumers)
+        tensors: set[int] = {tensor_id}
+        positions: set[int] = set()
+        position = self.liveness.position
+        for op_id in ops:
+            op = graph.ops[op_id]
+            tensors.update(op.inputs)
+            tensors.update(op.outputs)
+            pos = position.get(op_id)
+            if pos is not None:
+                positions.add(pos)
+        tensors.update(self._dep_index.get(tensor_id, ()))
+        return tensors, positions
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _timeline(self, tid: int) -> TensorTimeline | None:
+        if tid not in self._timelines:
+            self._timelines[tid] = tensor_timeline(
+                self.graph, self.liveness, self.graph.tensors[tid],
+            )
+        return self._timelines[tid]
+
+    def _remove_tensor(self, tid: int) -> None:
+        for start, end, nbytes in self._windows.pop(tid, ()):
+            self._delta[start] -= nbytes
+            self._delta[min(end + 1, self.steps)] += nbytes
+        for dep in self._chain_deps.pop(tid, ()):
+            dependants = self._dep_index.get(dep)
+            if dependants is not None:
+                dependants.discard(tid)
+
+    def _add_tensor(
+        self,
+        tid: int,
+        exec_memo: dict[int, tuple[str, int] | None],
+        break_memo: dict[int, bool],
+    ) -> None:
+        graph, plan = self.graph, self.plan
+        tensor = graph.tensors[tid]
+        timeline = self._timeline(tid)
+        if timeline is None:
+            return
+        cfg = plan.config_for(tid)
+        if cfg.is_split and effective_split(graph, plan, tensor) is None:
+            cfg = TensorConfig(opt=cfg.opt)
+        chain_extra = 0
+        if cfg.opt is MemOption.RECOMPUTE:
+            deps: set[int] = set()
+            chain_extra = recompute_extra(
+                graph, plan, self.liveness.free_step, tensor, timeline,
+                deps=deps,
+            )
+            deps.discard(tid)
+            if deps:
+                self._chain_deps[tid] = tuple(deps)
+                for dep in deps:
+                    self._dep_index.setdefault(dep, set()).add(tid)
+
+        def exec_split_at(pos: int) -> tuple[str, int] | None:
+            if pos not in exec_memo:
+                exec_memo[pos] = op_exec_split(
+                    graph, plan, graph.ops[self.schedule[pos]],
+                )
+            return exec_memo[pos]
+
+        def breaks_at(pos: int) -> bool:
+            if pos not in break_memo:
+                break_memo[pos] = needs_whole_staging(
+                    graph, plan, graph.ops[self.schedule[pos]], pos,
+                    self._timeline,
+                )
+            return break_memo[pos]
+
+        windows = tuple(
+            (start, end, nbytes)
+            for start, end, nbytes in _contributions(
+                graph, tensor, timeline, cfg, self.steps - 1, chain_extra,
+                exec_split_at, breaks_at,
+            )
+            if end >= start
+        )
+        if windows:
+            self._windows[tid] = windows
+            for start, end, nbytes in windows:
+                self._delta[start] += nbytes
+                self._delta[min(end + 1, self.steps)] -= nbytes
+
+    def _workspace_at(
+        self, pos: int, exec_memo: dict[int, tuple[str, int] | None],
+    ) -> float:
+        op = self.graph.ops[self.schedule[pos]]
+        if not op.workspace_bytes:
+            return 0.0
+        if pos not in exec_memo:
+            exec_memo[pos] = op_exec_split(self.graph, self.plan, op)
+        split = exec_memo[pos]
+        p_num = split[1] if split else 1
+        return op.workspace_bytes / p_num

@@ -13,6 +13,8 @@ the planner's view of a plan diverges from what the runtime executes:
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.graph.graph import Graph
 from repro.graph.ops import Operator, OpType
 from repro.graph.tensor import (
@@ -37,8 +39,13 @@ _ATTR_SPLIT_OK = frozenset({
 })
 
 
+@lru_cache(maxsize=None)
 def op_supports_split(op_type: OpType, dim: str) -> bool:
-    """Whether a kernel can run on micro-tensors of the given dimension."""
+    """Whether a kernel can run on micro-tensors of the given dimension.
+
+    Pure function of (op type, dimension); memoised because the planner's
+    candidate generation asks it millions of times per plan.
+    """
     if dim == DIM_SAMPLE:
         return op_type.info.sample_splittable
     if dim == DIM_PARAMETER:
@@ -57,7 +64,19 @@ def effective_split(
     producing kernel to support it, and the axis extent to cover the
     part count.
     """
-    cfg = plan.config_for(tensor.tensor_id)
+    return effective_split_config(
+        graph, tensor, plan.config_for(tensor.tensor_id),
+    )
+
+
+def effective_split_config(
+    graph: Graph, tensor: TensorSpec, cfg,
+) -> tuple[str, int] | None:
+    """:func:`effective_split` for an explicit config.
+
+    Pure in (tensor, cfg) for a fixed graph, which is what lets the cost
+    model memoise it across plans and probes.
+    """
     if not cfg.is_split:
         return None
     if cfg.dim not in tensor.split_axes:

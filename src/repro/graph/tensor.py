@@ -98,14 +98,18 @@ class TensorSpec:
                     f"tensor {self.name!r}: split axis {axis} for "
                     f"{dim_name!r} out of range for shape {self.shape}"
                 )
+        # Shape is immutable after validation; precompute the hot sizes
+        # (the planner asks for size_bytes millions of times per plan).
+        self._numel = numel(self.shape)
+        self._size_bytes = self._numel * self.dtype.nbytes
 
     @property
     def numel(self) -> int:
-        return numel(self.shape)
+        return self._numel
 
     @property
     def size_bytes(self) -> int:
-        return self.numel * self.dtype.nbytes
+        return self._size_bytes
 
     def splittable_dims(self) -> tuple[str, ...]:
         """Named dimensions on which this tensor may be split."""

@@ -1,0 +1,48 @@
+"""Staged compilation pipeline: Profile → Plan → Lower → Execute.
+
+:func:`compile_run` is the single entry point; pass a
+:class:`CompileCache` to make repeated compilations (sweeps) incremental.
+"""
+
+from repro.pipeline.cache import (
+    CompileCache,
+    fingerprint,
+    gpu_capacity_signature,
+    gpu_perf_signature,
+    graph_signature,
+)
+from repro.pipeline.compile import CompiledRun, compile_run
+from repro.pipeline.stages import (
+    EvalResult,
+    ExecuteArtifact,
+    ExecuteStage,
+    LowerArtifact,
+    LowerStage,
+    PlanArtifact,
+    PlanStage,
+    ProfileArtifact,
+    ProfileStage,
+    default_augment_options,
+    resolve_policy,
+)
+
+__all__ = [
+    "CompileCache",
+    "CompiledRun",
+    "EvalResult",
+    "ExecuteArtifact",
+    "ExecuteStage",
+    "LowerArtifact",
+    "LowerStage",
+    "PlanArtifact",
+    "PlanStage",
+    "ProfileArtifact",
+    "ProfileStage",
+    "compile_run",
+    "default_augment_options",
+    "fingerprint",
+    "gpu_capacity_signature",
+    "gpu_perf_signature",
+    "graph_signature",
+    "resolve_policy",
+]

@@ -1,0 +1,119 @@
+"""Content-addressed caching for the staged compilation pipeline.
+
+Stage artifacts are keyed by *what produced them*, not by who asked:
+
+* a **profile** is determined by the graph's structure, the GPU's
+  performance characteristics (capacity excluded — profiling measures
+  kernels and transfers, not fit) and the profiler's measurement
+  settings;
+* a **plan** is determined by the profile it was planned against, the
+  device capacity it had to fit, and the policy (including its full
+  configuration).
+
+Keys are SHA-256 fingerprints of canonical JSON, so two sweeps probing
+the same (model, GPU) pair — or the same model on devices differing only
+in memory capacity, as over-subscription sweeps do — share one profile.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, is_dataclass
+
+from repro.graph.graph import Graph
+from repro.graph.serialize import graph_to_dict
+from repro.hardware.gpu import GPUSpec
+
+#: GPUSpec fields that do not influence profiling results (capacity
+#: bounds what *fits*, not how fast kernels run or links move bytes).
+_CAPACITY_FIELDS = ("memory_bytes", "host_memory_bytes")
+
+
+def _jsonify(obj):
+    """``json.dumps`` default hook: dataclasses, enums, sets, tuples."""
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return asdict(obj)
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    raise TypeError(f"{type(obj).__name__} is not fingerprintable")
+
+
+def fingerprint(obj) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``obj``."""
+    encoded = json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), default=_jsonify,
+    )
+    return hashlib.sha256(encoded.encode()).hexdigest()
+
+
+def graph_signature(graph: Graph) -> str:
+    """Structural fingerprint of a graph (tensors, ops, attributes)."""
+    return fingerprint(graph_to_dict(graph))
+
+
+def gpu_perf_signature(gpu: GPUSpec) -> dict:
+    """The GPU's performance identity — every field except capacity."""
+    spec = asdict(gpu)
+    for field in _CAPACITY_FIELDS:
+        spec.pop(field, None)
+    return spec
+
+
+def gpu_capacity_signature(gpu: GPUSpec) -> dict:
+    """The GPU's capacity identity — what a plan had to fit into."""
+    return {field: getattr(gpu, field) for field in _CAPACITY_FIELDS}
+
+
+class CompileCache:
+    """Thread-safe LRU store for pipeline stage artifacts.
+
+    One instance can be shared by concurrent sweep workers (the analysis
+    modules' ``parallel=`` mode): lookups and insertions hold a lock, and
+    artifacts are treated as immutable once stored.
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str):
+        """Return the cached artifact or ``None``; counts hit/miss."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: str, value) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }

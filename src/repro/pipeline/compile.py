@@ -1,0 +1,109 @@
+"""The single entry point of the staged compilation pipeline.
+
+:func:`compile_run` threads one (graph, policy, GPU) configuration
+through Profile → Plan → Lower → Execute and returns every stage's
+artifact alongside the rolled-up :class:`~repro.pipeline.stages.EvalResult`
+the analysis layer consumes. Passing a
+:class:`~repro.pipeline.cache.CompileCache` makes the two expensive
+deterministic stages incremental across calls: a batch-size sweep
+profiles each graph once per GPU *performance* identity, and an
+over-subscription sweep (same device, shrunk capacity) re-plans against
+a cached profile instead of re-measuring kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.augment import AugmentOptions
+from repro.core.profiler import Profiler
+from repro.graph.graph import Graph
+from repro.hardware.gpu import GPUSpec
+from repro.pipeline.cache import CompileCache
+from repro.pipeline.stages import (
+    EvalResult,
+    ExecuteArtifact,
+    ExecuteStage,
+    LowerArtifact,
+    LowerStage,
+    PlanArtifact,
+    PlanStage,
+    ProfileArtifact,
+    ProfileStage,
+    default_augment_options,
+    resolve_policy,
+)
+from repro.policies.base import MemoryPolicy
+from repro.runtime.engine import EngineOptions
+from repro.runtime.observers import EngineObserver
+
+
+@dataclass
+class CompiledRun:
+    """Every stage artifact for one compiled configuration.
+
+    ``lowered`` and ``executed`` are ``None`` when planning failed (there
+    is nothing to lower); ``result`` always exists and mirrors the
+    pre-pipeline ``run_policy`` contract.
+    """
+
+    result: EvalResult
+    profile: ProfileArtifact
+    plan: PlanArtifact
+    lowered: LowerArtifact | None = None
+    executed: ExecuteArtifact | None = None
+
+
+def compile_run(
+    graph: Graph,
+    policy: MemoryPolicy | str,
+    gpu: GPUSpec,
+    *,
+    cache: CompileCache | None = None,
+    profiler: Profiler | None = None,
+    augment_options: AugmentOptions | None = None,
+    engine_options: EngineOptions | None = None,
+    observers: tuple[EngineObserver, ...] | list[EngineObserver] = (),
+    iterations: int | None = None,
+) -> CompiledRun:
+    """Profile, plan, lower and execute one configuration.
+
+    Never raises for capacity failures — planning errors and engine OOMs
+    surface as ``result.feasible == False`` with the failure message,
+    matching the analysis layer's sweep contract. With ``iterations``
+    set, the execute stage runs that many back-to-back iterations and
+    records per-iteration durations in ``executed.durations``.
+    """
+    policy = resolve_policy(policy)
+    profiler = profiler or Profiler(gpu)
+
+    profile = ProfileStage(profiler).run(graph, gpu, cache=cache)
+    plan = PlanStage(policy).run(graph, gpu, profile, cache=cache)
+    if not plan.feasible:
+        return CompiledRun(
+            result=EvalResult(
+                policy=policy.name, feasible=False, failure=plan.error,
+            ),
+            profile=profile,
+            plan=plan,
+        )
+
+    options = default_augment_options(policy, augment_options)
+    lowered = LowerStage(options).run(graph, plan.plan, profile)
+    executed = ExecuteStage(engine_options, observers).run(
+        gpu, lowered, iterations=iterations,
+    )
+    if not executed.feasible:
+        result = EvalResult(
+            policy=policy.name, feasible=False,
+            plan=plan.plan, failure=executed.error,
+        )
+    else:
+        result = EvalResult(
+            policy=policy.name, feasible=True,
+            plan=plan.plan, trace=executed.trace,
+        )
+    return CompiledRun(
+        result=result, profile=profile, plan=plan,
+        lowered=lowered, executed=executed,
+    )

@@ -56,6 +56,21 @@ class MemoryPolicy(abc.ABC):
     ) -> Plan:
         ...
 
+    def cache_token(self) -> dict:
+        """JSON-able identity for plan-cache keys.
+
+        Includes the instance's public constructor state so two
+        differently-configured instances of the same policy (e.g. a
+        tsplit planner with a custom ``ordering``) never collide in the
+        compilation cache. Dataclasses and enums in the state are
+        handled by the cache's canonical JSON encoder.
+        """
+        state = {
+            key: value for key, value in vars(self).items()
+            if not key.startswith("_")
+        }
+        return {"policy": self.name, "state": state}
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
 

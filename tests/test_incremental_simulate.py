@@ -1,0 +1,131 @@
+"""Incremental memory-curve maintenance vs from-scratch simulation.
+
+The planner's greedy loop maintains a :class:`MemoryCurve` across
+decisions instead of re-simulating after each one. Its correctness
+contract is *exact* equality — every interval is integer bytes, so the
+difference-array update must reproduce :func:`simulate_memory` bit for
+bit, not approximately.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.plan import MemOption, Plan, TensorConfig
+from repro.core.planner import PlannerOptions, TsplitPlanner
+from repro.core.simulate import MemoryCurve, simulate_memory
+from repro.graph.scheduler import dfs_schedule
+from repro.hardware.gpu import GPU_PRESETS
+from repro.models.random_net import build_random_cnn
+from repro.models.registry import build_model
+
+
+def replay_decisions(model: str, batch: int, gpu_name: str) -> int:
+    """Re-apply a planned decision sequence, checking the curve after
+    every decision against a from-scratch simulation."""
+    graph = build_model(model, batch)
+    gpu = GPU_PRESETS[gpu_name]
+    result = TsplitPlanner(gpu).plan(graph)
+    assert result.decisions, "planner made no decisions; test is vacuous"
+
+    schedule = result.schedule
+    plan = Plan(policy="replay")
+    curve = MemoryCurve(graph, schedule, plan)
+    np.testing.assert_array_equal(
+        curve.values, simulate_memory(graph, schedule, plan),
+    )
+    for decision in result.decisions:
+        old = {tid: plan.config_for(tid) for tid, _ in decision.configs}
+        for tid, config in decision.configs:
+            plan.set(tid, config)
+        for tid, config in decision.configs:
+            curve.apply(tid, old[tid], config)
+        expected = simulate_memory(graph, schedule, plan)
+        np.testing.assert_array_equal(curve.values, expected)
+    assert curve.peak() == result.peak_memory
+    return len(result.decisions)
+
+
+class TestDecisionReplay:
+    def test_vgg16(self):
+        assert replay_decisions("vgg16", 512, "gtx_1080ti") > 0
+
+    def test_bert_large(self):
+        assert replay_decisions("bert_large", 64, "gtx_1080ti") > 0
+
+
+class TestRandomPlans:
+    """Property test: arbitrary config mutations on random graphs."""
+
+    OPTIONS = [
+        TensorConfig(opt=MemOption.RESIDE),
+        TensorConfig(opt=MemOption.SWAP),
+        TensorConfig(opt=MemOption.RECOMPUTE),
+        TensorConfig(opt=MemOption.RESIDE, p_num=2, dim="sample"),
+        TensorConfig(opt=MemOption.SWAP, p_num=4, dim="sample"),
+        TensorConfig(opt=MemOption.RECOMPUTE, p_num=2, dim="sample"),
+        TensorConfig(opt=MemOption.RESIDE, p_num=2, dim="parameter"),
+    ]
+
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_random_mutation_sequence(self, seed):
+        rng = random.Random(seed)
+        graph = build_random_cnn(seed)
+        schedule = dfs_schedule(graph)
+        plan = Plan(policy="fuzz")
+        curve = MemoryCurve(graph, schedule, plan)
+        tensor_ids = sorted(graph.tensors)
+        for _ in range(30):
+            tid = rng.choice(tensor_ids)
+            old = plan.config_for(tid)
+            new = rng.choice(self.OPTIONS)
+            plan.set(tid, new)
+            curve.apply(tid, old, new)
+            np.testing.assert_array_equal(
+                curve.values, simulate_memory(graph, schedule, plan),
+            )
+
+    def test_noop_apply_keeps_curve(self):
+        graph = build_random_cnn(7)
+        schedule = dfs_schedule(graph)
+        plan = Plan(policy="fuzz")
+        curve = MemoryCurve(graph, schedule, plan)
+        before = curve.values.copy()
+        tid = sorted(graph.tensors)[0]
+        cfg = plan.config_for(tid)
+        curve.apply(tid, cfg, cfg)
+        np.testing.assert_array_equal(curve.values, before)
+
+
+class TestPlannerModesAgree:
+    """incremental=True and the reference mode must produce identical
+    plans: same decision sequence, same configs, same peak."""
+
+    MATRIX = [
+        ("vgg16", 512, "gtx_1080ti"),
+        ("resnet50", 256, "v100_16gb"),
+        ("bert_large", 64, "gtx_1080ti"),
+    ]
+
+    @pytest.mark.parametrize("model,batch,gpu_name", MATRIX)
+    def test_byte_identical_plans(self, model, batch, gpu_name):
+        graph = build_model(model, batch)
+        gpu = GPU_PRESETS[gpu_name]
+        outcomes = {}
+        for incremental in (True, False):
+            result = TsplitPlanner(
+                gpu, PlannerOptions(incremental=incremental),
+            ).plan(graph)
+            outcomes[incremental] = (
+                [
+                    (tid, cfg)
+                    for d in result.decisions
+                    for tid, cfg in d.configs
+                ],
+                dict(result.plan.configs),
+                result.peak_memory,
+            )
+        assert outcomes[True] == outcomes[False]

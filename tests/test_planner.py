@@ -158,3 +158,98 @@ class TestAblation:
             cfg.opt is not MemOption.SWAP
             for cfg in result.plan.configs.values()
         )
+
+
+class TestOrdering:
+    """The ``PlannerOptions.ordering`` victim-selection rules."""
+
+    @staticmethod
+    def cand(tid, delta_m, delta_t):
+        from repro.core.cost_model import Candidate
+        from repro.core.plan import TensorConfig
+
+        return Candidate(
+            configs=((tid, TensorConfig(opt=MemOption.SWAP)),),
+            delta_m=delta_m,
+            delta_t=delta_t,
+        )
+
+    def test_ratio_prefers_cheaper_per_byte(self):
+        from repro.core.planner import _better
+
+        cheap = self.cand(1, delta_m=100.0, delta_t=1.0)
+        dear = self.cand(2, delta_m=100.0, delta_t=5.0)
+        assert _better(cheap, dear, "ratio")
+        assert not _better(dear, cheap, "ratio")
+
+    def test_ratio_tie_goes_to_larger_delta_m(self):
+        from repro.core.planner import _better
+
+        # Equal ratios (1/100 == 2/200): larger ΔM wins the tie.
+        small = self.cand(1, delta_m=100.0, delta_t=1.0)
+        large = self.cand(2, delta_m=200.0, delta_t=2.0)
+        assert _better(large, small, "ratio")
+        assert not _better(small, large, "ratio")
+
+    def test_largest_prefers_bigger_delta_m(self):
+        from repro.core.planner import _better
+
+        big = self.cand(1, delta_m=500.0, delta_t=9.0)
+        cheap = self.cand(2, delta_m=100.0, delta_t=0.1)
+        assert _better(big, cheap, "largest")
+        assert not _better(cheap, big, "largest")
+
+    def test_largest_tie_goes_to_smaller_delta_t(self):
+        from repro.core.planner import _better
+
+        fast = self.cand(1, delta_m=100.0, delta_t=1.0)
+        slow = self.cand(2, delta_m=100.0, delta_t=2.0)
+        assert _better(fast, slow, "largest")
+        assert not _better(slow, fast, "largest")
+
+    def test_fifo_prefers_earlier_tensor(self):
+        from repro.core.planner import _better
+
+        early = self.cand(3, delta_m=1.0, delta_t=9.0)
+        late = self.cand(7, delta_m=900.0, delta_t=0.1)
+        assert _better(early, late, "fifo")
+        assert not _better(late, early, "fifo")
+
+    def test_fifo_tie_goes_to_better_ratio(self):
+        from repro.core.planner import _better
+
+        good = self.cand(3, delta_m=100.0, delta_t=1.0)
+        bad = self.cand(3, delta_m=100.0, delta_t=5.0)
+        assert _better(good, bad, "fifo")
+        assert not _better(bad, good, "fifo")
+
+    @pytest.mark.parametrize("ordering", ["ratio", "largest", "fifo"])
+    def test_planner_meets_budget_under_every_ordering(self, ordering):
+        graph = build_tiny_cnn(batch=64, image=32)
+        baseline = TsplitPlanner(BIG_GPU).plan(graph).baseline_peak
+        gpu = gpu_with(int(baseline * 0.7))
+        options = PlannerOptions(
+            ordering=ordering,
+            cost=CostModelOptions(min_split_bytes=0, min_evict_bytes=0),
+        )
+        result = TsplitPlanner(gpu, options).plan(graph)
+        assert result.peak_memory <= gpu.memory_bytes
+        assert result.decisions
+
+    def test_orderings_can_disagree(self):
+        """The ablation is meaningful only if the rules actually pick
+        different victims somewhere along the way."""
+        graph = build_tiny_cnn(batch=64, image=32)
+        baseline = TsplitPlanner(BIG_GPU).plan(graph).baseline_peak
+        gpu = gpu_with(int(baseline * 0.7))
+        plans = {}
+        for ordering in ("ratio", "largest", "fifo"):
+            options = PlannerOptions(
+                ordering=ordering,
+                cost=CostModelOptions(min_split_bytes=0, min_evict_bytes=0),
+            )
+            result = TsplitPlanner(gpu, options).plan(graph)
+            plans[ordering] = [
+                (tid, cfg) for d in result.decisions for tid, cfg in d.configs
+            ]
+        assert len({tuple(p) for p in plans.values()}) > 1
