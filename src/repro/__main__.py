@@ -22,6 +22,10 @@ Show the plan TSPLIT chooses::
 Export a Chrome trace (open in chrome://tracing or ui.perfetto.dev)::
 
     python -m repro trace vgg16 tsplit --batch 256 --out trace.json
+
+Explain every planner decision (provenance report)::
+
+    python -m repro explain resnet152 --batch-size 256
 """
 
 from __future__ import annotations
@@ -178,6 +182,71 @@ def cmd_trace(args: argparse.Namespace) -> None:
           f"stall: {trace.memory_stall * 1e3:.1f} ms")
 
 
+def cmd_explain(args: argparse.Namespace) -> None:
+    """Compile one configuration with full telemetry and explain it.
+
+    Runs the staged pipeline inside a telemetry session (metrics +
+    spans + provenance), then renders the planner's decision record —
+    every split/swap/recompute decision with its cost delta and
+    peak-memory effect — as markdown (or JSON with ``--json``).
+    ``--trace`` additionally writes a single Chrome-trace file merging
+    the pipeline spans with the engine's execution events.
+    """
+    import json as json_module
+
+    from repro import telemetry
+    from repro.analysis.report import explain_json, explain_markdown
+    from repro.pipeline.cache import CompileCache
+    from repro.pipeline.compile import compile_run
+    from repro.runtime.observers import ChromeTraceObserver
+
+    gpu = _gpu(args.gpu)
+    graph = build_model(
+        args.model, args.batch_size,
+        param_scale=args.param_scale, precision=args.precision,
+    )
+    observer = ChromeTraceObserver()
+    with telemetry.session() as tel:
+        run = compile_run(
+            graph, args.policy, gpu, observers=(observer,),
+            cache=CompileCache(),
+        )
+        if args.trace:
+            merged = telemetry.merge_traces(
+                tel.tracer, observer,
+                names=("compiler pipeline", "engine execution"),
+            )
+            telemetry.write_trace(args.trace, merged)
+        if args.metrics:
+            tel.metrics.write_jsonl(args.metrics)
+    if not run.result.feasible:
+        print(f"INFEASIBLE: {run.result.failure}")
+        sys.exit(1)
+    explanation = run.plan.plan.explanation
+    trace = run.result.trace
+    if explanation is None:
+        print(f"(policy {args.policy!r} records no decision provenance; "
+              f"only the tsplit planner explains its decisions)")
+        if trace is not None:
+            print(trace.describe())
+    elif args.json:
+        payload = explain_json(
+            explanation, graph=graph, plan=run.plan.plan,
+            trace=trace, top=args.top,
+        )
+        print(json_module.dumps(payload, indent=2))
+    else:
+        print(explain_markdown(
+            explanation, graph=graph, plan=run.plan.plan,
+            trace=trace, top=args.top,
+        ))
+    if args.trace:
+        print(f"\nwrote merged Chrome trace to {args.trace}",
+              file=sys.stderr)
+    if args.metrics:
+        print(f"wrote metrics JSONL to {args.metrics}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> None:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -233,6 +302,34 @@ def main(argv: list[str] | None = None) -> None:
     trace_parser.add_argument("--out", default="trace.json",
                               help="output path for the trace JSON")
     trace_parser.set_defaults(func=cmd_trace)
+
+    explain_parser = sub.add_parser(
+        "explain",
+        help="explain every planner decision for one configuration",
+    )
+    explain_parser.add_argument(
+        "model", help=f"model name ({', '.join(model_names())})",
+    )
+    explain_parser.add_argument(
+        "--batch-size", "--batch", dest="batch_size", type=int, default=64,
+    )
+    explain_parser.add_argument("--policy", default="tsplit")
+    explain_parser.add_argument("--gpu", default="rtx_titan",
+                                help=f"GPU preset ({', '.join(GPU_PRESETS)})")
+    explain_parser.add_argument("--param-scale", type=float, default=1.0)
+    explain_parser.add_argument("--precision", choices=("fp32", "fp16"),
+                                default="fp32")
+    explain_parser.add_argument("--top", type=int, default=10,
+                                help="most expensive decisions to detail")
+    explain_parser.add_argument("--json", action="store_true",
+                                help="emit the report as JSON")
+    explain_parser.add_argument(
+        "--trace", default="", metavar="PATH",
+        help="write a merged Chrome trace (pipeline spans + engine events)")
+    explain_parser.add_argument(
+        "--metrics", default="", metavar="PATH",
+        help="write the session's metrics as JSONL")
+    explain_parser.set_defaults(func=cmd_explain)
 
     args = parser.parse_args(argv)
     args.func(args)

@@ -3,6 +3,10 @@
 Everything renders to monospace text (no plotting dependencies), sized
 for terminals and logs. Used by the examples, handy when debugging plans
 ("where does the peak sit?", "is the D2H stream actually busy?").
+
+The ``explain_*`` functions at the bottom render planner decision
+provenance (:class:`~repro.telemetry.provenance.PlanExplanation`) as a
+markdown or JSON report — the backend of ``python -m repro explain``.
 """
 
 from __future__ import annotations
@@ -10,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.runtime.trace import ExecutionTrace
-from repro.units import format_bytes
+from repro.units import format_bytes, format_time
 
 _BARS = " ▁▂▃▄▅▆▇█"
 
@@ -104,6 +108,160 @@ def trace_report(trace: ExecutionTrace, width: int = 72) -> str:
             f"host memory peak: {format_bytes(trace.host_peak_bytes)}"
         )
     return "\n".join(sections)
+
+
+def stall_attribution(trace: ExecutionTrace) -> dict:
+    """Where the iteration's non-compute time went.
+
+    Returns absolute seconds and fractions-of-iteration for memory
+    stalls, D2H/H2D transfer busy time, recomputation, and the
+    full-duplex PCIe utilisation — the runtime counterpart of the
+    planner's estimated ΔT.
+    """
+    horizon = max(trace.iteration_time, 1e-12)
+    return {
+        "iteration_time": trace.iteration_time,
+        "memory_stall": trace.memory_stall,
+        "stall_fraction": trace.stall_fraction,
+        "d2h_busy": trace.d2h_busy,
+        "h2d_busy": trace.h2d_busy,
+        "recompute_time": trace.recompute_time,
+        "recompute_fraction": min(1.0, trace.recompute_time / horizon),
+        "pcie_utilization": trace.pcie_utilization,
+        "compute_utilization": trace.compute_utilization,
+    }
+
+
+def _strategy_bytes(plan, graph) -> dict:
+    """Per-strategy byte totals for a plan (Figure 14b shape)."""
+    totals = {
+        option.value: nbytes
+        for option, nbytes in plan.option_bytes(graph).items()
+    }
+    split_ids = plan.split_tensors()
+    totals["split"] = sum(
+        graph.tensors[tid].size_bytes for tid in split_ids
+    )
+    return {"bytes": totals, "split_tensors": len(split_ids)}
+
+
+def explain_json(
+    explanation, *, graph=None, plan=None, trace=None, top: int = 10,
+) -> dict:
+    """Machine-readable explain report.
+
+    Bundles the full decision provenance with the per-strategy byte
+    totals (when ``plan`` + ``graph`` are given) and the runtime stall
+    attribution (when ``trace`` is given).
+    """
+    payload = {
+        "explanation": explanation.to_dict(),
+        "kind_counts": explanation.kind_counts(),
+        "total_delta_t": explanation.total_delta_t(),
+        "top_decisions": [d.index for d in explanation.top_decisions(top)],
+    }
+    if plan is not None and graph is not None:
+        payload["strategies"] = _strategy_bytes(plan, graph)
+    if trace is not None:
+        payload["runtime"] = stall_attribution(trace)
+    return payload
+
+
+def _decision_row(decision) -> str:
+    peak = decision.peak_delta
+    return (
+        f"| {decision.index} | {decision.step} | {decision.op} | "
+        f"{decision.tensor} | {decision.strategy} | "
+        f"{decision.delta_m / 2**20:.1f} | "
+        f"{decision.delta_t * 1e3:.3f} | "
+        f"{format_bytes(decision.peak_before)} → "
+        f"{format_bytes(decision.peak_after)} "
+        f"({peak / 2**20:+.1f}MB) |"
+    )
+
+
+def explain_markdown(
+    explanation, *, graph=None, plan=None, trace=None, top: int = 10,
+) -> str:
+    """Render a PlanExplanation as a markdown report.
+
+    Sections: planning summary, the full decision table (every accepted
+    split/swap/recompute decision with its cost delta and peak-memory
+    effect), the ``top`` most expensive decisions with their rejected
+    alternatives, per-strategy byte totals, and — when a trace is given
+    — the runtime stall attribution.
+    """
+    lines = [
+        f"# Plan explanation: {explanation.graph} "
+        f"[{explanation.policy}]",
+        "",
+        f"- capacity {format_bytes(explanation.capacity)}, "
+        f"budget {format_bytes(int(explanation.budget))}",
+        f"- peak memory {format_bytes(explanation.baseline_peak)} → "
+        f"{format_bytes(explanation.final_peak)}",
+        f"- estimated iteration time "
+        f"{explanation.baseline_time * 1e3:.1f} → "
+        f"{explanation.estimated_time * 1e3:.1f} ms "
+        f"(ΔT {explanation.total_delta_t() * 1e3:.1f} ms)",
+        f"- {len(explanation.decisions)} decisions: "
+        + ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(explanation.kind_counts().items())
+        ),
+        "",
+        "## Decisions",
+        "",
+        "| # | step | op | tensor | strategy | ΔM (MB) | ΔT (ms) "
+        "| peak before → after |",
+        "|---|------|----|--------|----------|---------|---------"
+        "|---------------------|",
+    ]
+    for decision in explanation.decisions:
+        lines.append(_decision_row(decision))
+    expensive = explanation.top_decisions(top)
+    if expensive:
+        lines += ["", f"## Top {len(expensive)} most expensive decisions", ""]
+        for decision in expensive:
+            lines.append(
+                f"- **#{decision.index}** [{decision.kind}] "
+                f"{decision.tensor}: {decision.strategy} at op "
+                f"{decision.op!r} (step {decision.step}) — "
+                f"ΔT {decision.delta_t * 1e3:.3f} ms, "
+                f"ΔM {decision.delta_m / 2**20:.1f} MB, "
+                f"ratio {decision.ratio:.3e}; "
+                f"{decision.rejected_count} alternatives rejected"
+            )
+            for alt in decision.alternatives:
+                lines.append(
+                    f"  - rejected [{alt.kind}] {alt.tensor}: "
+                    f"{alt.strategy} (ratio {alt.ratio:.3e}) — "
+                    f"{alt.reason}"
+                )
+    if plan is not None and graph is not None:
+        strategies = _strategy_bytes(plan, graph)
+        lines += ["", "## Bytes per strategy", ""]
+        for name, nbytes in sorted(strategies["bytes"].items()):
+            if nbytes:
+                lines.append(f"- {name}: {format_bytes(nbytes)}")
+        lines.append(
+            f"- split tensors: {strategies['split_tensors']}"
+        )
+    if trace is not None:
+        runtime = stall_attribution(trace)
+        lines += [
+            "",
+            "## Runtime stall attribution",
+            "",
+            f"- iteration {format_time(runtime['iteration_time'])}",
+            f"- memory stall {format_time(runtime['memory_stall'])} "
+            f"({runtime['stall_fraction']:.1%} of iteration)",
+            f"- transfers: d2h {format_time(runtime['d2h_busy'])}, "
+            f"h2d {format_time(runtime['h2d_busy'])} "
+            f"(pcie {runtime['pcie_utilization']:.1%})",
+            f"- recompute {format_time(runtime['recompute_time'])} "
+            f"({runtime['recompute_fraction']:.1%} of iteration)",
+        ]
+    return "\n".join(lines)
 
 
 def comparison_table(

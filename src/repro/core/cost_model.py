@@ -103,6 +103,34 @@ class Candidate:
         """Primary config (first member), for reports."""
         return self.configs[0][1]
 
+    @property
+    def kind(self) -> str:
+        """Coarse strategy classification for provenance and reports.
+
+        ``"swap"`` / ``"recompute"`` for whole-tensor evictions,
+        ``"split"`` for pure streaming splits, ``"split-swap"`` /
+        ``"split-recompute"`` when the group's evicting members pair a
+        split with an eviction (the paper's split-swap / split-recompute
+        mechanisms).
+        """
+        has_split = any(cfg.is_split for _, cfg in self.configs)
+        evict_opt = next(
+            (cfg.opt.value for _, cfg in self.configs if cfg.evicts), None,
+        )
+        if has_split:
+            return f"split-{evict_opt}" if evict_opt else "split"
+        return evict_opt or self.configs[0][1].opt.value
+
+    def describe(self) -> str:
+        """Compact form: member configs plus the scored deltas."""
+        members = ", ".join(
+            f"t{tid}:{cfg.describe()}" for tid, cfg in self.configs
+        )
+        return (
+            f"[{self.kind}] {members} "
+            f"(dM={self.delta_m / MB:.1f}MB, dT={self.delta_t * 1e3:.3f}ms)"
+        )
+
 
 @dataclass(frozen=True)
 class CostModelOptions:

@@ -87,11 +87,19 @@ class Plan:
     cpu_update:
         Whether optimizer-update ops run on the host CPU (ZeRO-Offload /
         FairScale behaviour).
+    explanation:
+        Planner decision provenance
+        (:class:`~repro.telemetry.provenance.PlanExplanation`), attached
+        when telemetry provenance is enabled. Pure observation: excluded
+        from equality, never consulted by the augmenter or engine.
     """
 
     policy: str = "base"
     configs: dict[int, TensorConfig] = field(default_factory=dict)
     cpu_update: bool = False
+    explanation: object | None = field(
+        default=None, compare=False, repr=False,
+    )
 
     def config_for(self, tensor_id: int) -> TensorConfig:
         return self.configs.get(tensor_id, RESIDE)
@@ -141,6 +149,7 @@ class Plan:
             policy=self.policy,
             configs=dict(self.configs),
             cpu_update=self.cpu_update,
+            explanation=self.explanation,
         )
 
 

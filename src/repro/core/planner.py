@@ -32,6 +32,8 @@ from repro.errors import PlanningError
 from repro.graph.graph import Graph
 from repro.graph.scheduler import dfs_schedule
 from repro.hardware.gpu import GPUSpec
+from repro.telemetry import get_telemetry
+from repro.telemetry.provenance import PlanExplanation, PlanRecorder
 from repro.units import format_bytes
 
 
@@ -71,6 +73,11 @@ class PlanResult:
     estimated_time: float
     baseline_time: float
     decisions: list[Candidate]
+
+    @property
+    def explanation(self) -> PlanExplanation | None:
+        """Decision provenance, when recorded (see :mod:`repro.telemetry`)."""
+        return self.plan.explanation
 
     @property
     def estimated_overhead(self) -> float:
@@ -122,8 +129,16 @@ class TsplitPlanner:
         graph: Graph,
         schedule: list[int] | None = None,
         profile: ProfileData | None = None,
+        *,
+        explain: bool | None = None,
     ) -> PlanResult:
         """Search a strategy combination that fits the GPU memory budget.
+
+        ``explain=True`` records decision provenance
+        (:class:`~repro.telemetry.provenance.PlanExplanation`) on the
+        produced plan; ``None`` follows the active telemetry session.
+        Provenance is observation only — the decision sequence is
+        byte-identical with it on or off.
 
         Raises
         ------
@@ -138,6 +153,16 @@ class TsplitPlanner:
 
         budget = self.gpu.memory_bytes * (1.0 - self.options.memory_margin)
         plan = Plan(policy=self.policy_name)
+        if explain is None:
+            explain = get_telemetry().provenance
+        recorder: PlanRecorder | None = None
+        if explain:
+            recorder = PlanRecorder(
+                graph, schedule,
+                policy=self.policy_name,
+                capacity=self.gpu.memory_bytes,
+                budget=budget,
+            )
         incremental = self.options.incremental
         cost_model = CostModel(
             graph, schedule, profile, self.options.cost, caching=incremental,
@@ -153,6 +178,8 @@ class TsplitPlanner:
             curve = simulate_memory(graph, schedule, plan, cost_model.liveness)
         baseline_peak = int(curve.max()) if len(curve) else 0
         baseline_time = profile.total_compute_time(schedule)
+        if recorder is not None:
+            recorder.begin(baseline_peak, baseline_time)
         extra_time = 0.0
         decisions: list[Candidate] = []
         # Cycle guard: a (tensor, config) pair is applied at most once, so
@@ -174,9 +201,14 @@ class TsplitPlanner:
             # only a side effect of it.
             candidate = None
             bottleneck = int(over_budget[0])
+            pool: list[Candidate] | None = (
+                [] if recorder is not None else None
+            )
             for step in over_budget:
+                if pool is not None:
+                    pool.clear()
                 candidate = self._best_candidate(
-                    cost_model, int(step), plan, tried,
+                    cost_model, int(step), plan, tried, pool=pool,
                 )
                 if candidate is not None:
                     bottleneck = int(step)
@@ -189,6 +221,7 @@ class TsplitPlanner:
                     f"budget {format_bytes(budget)}) has no remaining "
                     f"candidates"
                 )
+            peak_before = int(curve.max()) if recorder is not None else 0
             old_configs = {
                 tid: plan.config_for(tid) for tid, _ in candidate.configs
             }
@@ -208,11 +241,24 @@ class TsplitPlanner:
                 curve = simulate_memory(
                     graph, schedule, plan, cost_model.liveness,
                 )
+            if recorder is not None:
+                recorder.record(
+                    candidate,
+                    step=bottleneck,
+                    rejected=self._rejections(candidate, pool, tried),
+                    peak_before=peak_before,
+                    peak_after=int(curve.max()) if len(curve) else 0,
+                )
 
+        final_peak = int(curve.max()) if len(curve) else 0
+        if recorder is not None:
+            plan.explanation = recorder.finish(
+                final_peak, baseline_time + extra_time,
+            )
         return PlanResult(
             plan=plan,
             schedule=schedule,
-            peak_memory=int(curve.max()) if len(curve) else 0,
+            peak_memory=final_peak,
             baseline_peak=baseline_peak,
             estimated_time=baseline_time + extra_time,
             baseline_time=baseline_time,
@@ -225,18 +271,52 @@ class TsplitPlanner:
         bottleneck: int,
         plan: Plan,
         tried: set[tuple[frozenset, frozenset]],
+        pool: list[Candidate] | None = None,
     ) -> Candidate | None:
-        """Steps 1-3 of Algorithm 2: propose, compare, select."""
+        """Steps 1-3 of Algorithm 2: propose, compare, select.
+
+        ``pool``, when given, receives every generated candidate
+        (including cycle-guarded ones) for provenance recording; it
+        never influences the selection.
+        """
         best: Candidate | None = None
         step1 = cost_model.nonsplit_candidates(bottleneck, plan)
         step2 = cost_model.split_candidates(bottleneck, plan)
         step2b = cost_model.regen_candidates(bottleneck, plan)
         for candidate in step1 + step2 + step2b:
+            if pool is not None:
+                pool.append(candidate)
             if candidate.key in tried:
                 continue
             if best is None or _better(candidate, best, self.options.ordering):
                 best = candidate
         return best
+
+    def _rejections(
+        self,
+        accepted: Candidate,
+        pool: list[Candidate] | None,
+        tried: set[tuple[frozenset, frozenset]],
+    ) -> list[tuple[Candidate, str]]:
+        """Pair each non-accepted pool candidate with its rejection reason."""
+        if not pool:
+            return []
+        ordering = self.options.ordering
+        rejected: list[tuple[Candidate, str]] = []
+        for candidate in pool:
+            if candidate is accepted:
+                continue
+            if candidate.key in tried and candidate.key != accepted.key:
+                reason = "cycle guard: transition already applied"
+            elif ordering == "ratio":
+                reason = (
+                    f"dT/dM {candidate.ratio:.3e} not better than "
+                    f"accepted {accepted.ratio:.3e}"
+                )
+            else:
+                reason = f"lost {ordering!r} victim-selection ordering"
+            rejected.append((candidate, reason))
+        return rejected
 
 
 def _better(a: Candidate, b: Candidate, ordering: str = "ratio") -> bool:

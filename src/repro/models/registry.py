@@ -13,7 +13,7 @@ from repro.models.bert import build_bert_large
 from repro.models.densenet import build_densenet121
 from repro.models.gpt import build_gpt
 from repro.models.inception import build_inception_v4
-from repro.models.resnet import build_resnet50, build_resnet101
+from repro.models.resnet import build_resnet50, build_resnet101, build_resnet152
 from repro.models.transformer import build_transformer
 from repro.models.vgg import build_vgg16, build_vgg19
 
@@ -37,6 +37,7 @@ MODEL_REGISTRY: dict[str, Callable[..., Graph]] = {
     "vgg19": build_vgg19,
     "resnet50": build_resnet50,
     "resnet101": build_resnet101,
+    "resnet152": build_resnet152,
     "inception_v4": build_inception_v4,
     "transformer": build_transformer,
     "bert_large": _bert_adapter,

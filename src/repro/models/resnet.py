@@ -1,4 +1,4 @@
-"""ResNet-50 / ResNet-101 (He et al.) with bottleneck blocks.
+"""ResNet-50 / ResNet-101 / ResNet-152 (He et al.) with bottleneck blocks.
 
 Multi-branch residual architecture: every block input feeds both the
 residual branch and the shortcut, so gradient accumulation nodes appear in
@@ -18,6 +18,7 @@ from repro.models.layers import ModelBuilder
 _STAGES = {
     "resnet50": (3, 4, 6, 3),
     "resnet101": (3, 4, 23, 3),
+    "resnet152": (3, 8, 36, 3),
 }
 _STAGE_CHANNELS = (64, 128, 256, 512)  # bottleneck inner widths
 _EXPANSION = 4
@@ -117,5 +118,21 @@ def build_resnet101(
     """ResNet-101 training graph at the given sample/parameter scale."""
     return _build_resnet(
         "resnet101", batch, param_scale, image_size, num_classes,
+        optimizer, precision,
+    )
+
+
+def build_resnet152(
+    batch: int = 32,
+    *,
+    param_scale: float = 1.0,
+    image_size: int = 224,
+    num_classes: int = 1000,
+    optimizer: str = "sgd_momentum",
+    precision: str = "fp32",
+) -> Graph:
+    """ResNet-152 training graph at the given sample/parameter scale."""
+    return _build_resnet(
+        "resnet152", batch, param_scale, image_size, num_classes,
         optimizer, precision,
     )

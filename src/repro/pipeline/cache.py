@@ -27,6 +27,7 @@ from dataclasses import asdict, is_dataclass
 from repro.graph.graph import Graph
 from repro.graph.serialize import graph_to_dict
 from repro.hardware.gpu import GPUSpec
+from repro.telemetry import get_telemetry
 
 #: GPUSpec fields that do not influence profiling results (capacity
 #: bounds what *fits*, not how fast kernels run or links move bytes).
@@ -76,6 +77,12 @@ class CompileCache:
     One instance can be shared by concurrent sweep workers (the analysis
     modules' ``parallel=`` mode): lookups and insertions hold a lock, and
     artifacts are treated as immutable once stored.
+
+    Hits, misses and evictions are counted per artifact *kind* (the
+    stage name callers pass to :meth:`get` / :meth:`put`) and exposed
+    through :meth:`cache_stats`; when a telemetry session with metrics
+    is active, the same events increment ``compile_cache.<kind>.*``
+    counters on its registry.
     """
 
     def __init__(self, max_entries: int = 512) -> None:
@@ -86,25 +93,45 @@ class CompileCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._kind_stats: dict[str, dict[str, int]] = {}
+        #: key -> kind, so evictions are attributed to the right kind.
+        self._kind_of: dict[str, str] = {}
 
-    def get(self, key: str):
+    def _bump(self, kind: str, event: str) -> None:
+        """Count one event against a kind (lock held by the caller)."""
+        stats = self._kind_stats.get(kind)
+        if stats is None:
+            stats = {"hits": 0, "misses": 0, "evictions": 0}
+            self._kind_stats[kind] = stats
+        stats[event] += 1
+        metrics = get_telemetry().metrics
+        if metrics.enabled:
+            metrics.counter(f"compile_cache.{kind or 'any'}.{event}").inc()
+
+    def get(self, key: str, kind: str = ""):
         """Return the cached artifact or ``None``; counts hit/miss."""
         with self._lock:
             try:
                 value = self._entries[key]
             except KeyError:
                 self.misses += 1
+                self._bump(kind, "misses")
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            self._bump(kind, "hits")
             return value
 
-    def put(self, key: str, value) -> None:
+    def put(self, key: str, value, kind: str = "") -> None:
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
+            self._kind_of[key] = kind
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                evicted_key, _ = self._entries.popitem(last=False)
+                self.evictions += 1
+                self._bump(self._kind_of.pop(evicted_key, ""), "evictions")
 
     def __len__(self) -> int:
         with self._lock:
@@ -116,4 +143,23 @@ class CompileCache:
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def cache_stats(self) -> dict:
+        """Aggregate plus per-kind hit/miss/eviction counts.
+
+        ``{"entries": ..., "hits": ..., "misses": ..., "evictions": ...,
+        "kinds": {"profile": {"hits": ...}, "plan": {...}}}``
+        """
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "kinds": {
+                    kind: dict(stats)
+                    for kind, stats in sorted(self._kind_stats.items())
+                },
             }

@@ -36,6 +36,7 @@ from repro.pipeline.stages import (
 from repro.policies.base import MemoryPolicy
 from repro.runtime.engine import EngineOptions
 from repro.runtime.observers import EngineObserver
+from repro.telemetry import get_telemetry
 
 
 @dataclass
@@ -76,10 +77,20 @@ def compile_run(
     """
     policy = resolve_policy(policy)
     profiler = profiler or Profiler(gpu)
+    telemetry = get_telemetry()
+    tracer = telemetry.tracer
+    metrics = telemetry.metrics
 
-    profile = ProfileStage(profiler).run(graph, gpu, cache=cache)
-    plan = PlanStage(policy).run(graph, gpu, profile, cache=cache)
+    with tracer.span("profile", model=graph.name, gpu=gpu.name):
+        profile = ProfileStage(profiler).run(graph, gpu, cache=cache)
+    if profile.cached:
+        metrics.counter("pipeline.profile.cached").inc()
+    with tracer.span("plan", model=graph.name, policy=policy.name):
+        plan = PlanStage(policy).run(graph, gpu, profile, cache=cache)
+    if plan.cached:
+        metrics.counter("pipeline.plan.cached").inc()
     if not plan.feasible:
+        metrics.counter("pipeline.plan.infeasible").inc()
         return CompiledRun(
             result=EvalResult(
                 policy=policy.name, feasible=False, failure=plan.error,
@@ -89,10 +100,12 @@ def compile_run(
         )
 
     options = default_augment_options(policy, augment_options)
-    lowered = LowerStage(options).run(graph, plan.plan, profile)
-    executed = ExecuteStage(engine_options, observers).run(
-        gpu, lowered, iterations=iterations,
-    )
+    with tracer.span("lower", model=graph.name, policy=policy.name):
+        lowered = LowerStage(options).run(graph, plan.plan, profile)
+    with tracer.span("execute", model=graph.name, policy=policy.name):
+        executed = ExecuteStage(engine_options, observers).run(
+            gpu, lowered, iterations=iterations,
+        )
     if not executed.feasible:
         result = EvalResult(
             policy=policy.name, feasible=False,

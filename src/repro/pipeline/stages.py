@@ -33,6 +33,7 @@ from repro.policies.base import MemoryPolicy, get_policy
 from repro.runtime.engine import Engine, EngineOptions
 from repro.runtime.observers import EngineObserver
 from repro.runtime.trace import ExecutionTrace
+from repro.telemetry import get_telemetry
 
 
 @dataclass
@@ -145,9 +146,13 @@ class ProfileStage:
         self, graph: Graph, gpu: GPUSpec, cache: CompileCache | None = None,
     ) -> ProfileArtifact:
         """Profile the graph, or return the cached artifact for its key."""
-        key = self.key(graph, gpu) if cache is not None else ""
+        key = ""
         if cache is not None:
-            hit = cache.get(key)
+            metrics = get_telemetry().metrics
+            with metrics.timer("compile_cache.profile.key_seconds").time():
+                key = self.key(graph, gpu)
+        if cache is not None:
+            hit = cache.get(key, kind="profile")
             if hit is not None:
                 return ProfileArtifact(
                     key=key,
@@ -163,7 +168,7 @@ class ProfileStage:
             profile=self.profiler.profile(graph),
         )
         if cache is not None:
-            cache.put(key, artifact)
+            cache.put(key, artifact, kind="profile")
         return artifact
 
 
@@ -192,9 +197,13 @@ class PlanStage:
     ) -> PlanArtifact:
         """Plan against a profile; planning failures become artifacts
         too (``error`` set), never exceptions."""
-        key = self.key(profile, gpu) if cache is not None and profile.key else ""
+        key = ""
+        if cache is not None and profile.key:
+            metrics = get_telemetry().metrics
+            with metrics.timer("compile_cache.plan.key_seconds").time():
+                key = self.key(profile, gpu)
         if key:
-            hit = cache.get(key)
+            hit = cache.get(key, kind="plan")
             if hit is not None:
                 return PlanArtifact(
                     key=key,
@@ -217,7 +226,7 @@ class PlanStage:
                 key=key, policy=self.policy.name, plan=plan,
             )
         if key:
-            cache.put(key, artifact)
+            cache.put(key, artifact, kind="plan")
         return artifact
 
 

@@ -24,6 +24,7 @@ is already known.
 
 from __future__ import annotations
 
+import itertools
 import json
 from typing import TYPE_CHECKING
 
@@ -161,15 +162,30 @@ class MemoryTimelineObserver(EngineObserver):
         self._sample(time, used)
 
     def curve(self) -> np.ndarray:
-        """(time, used_bytes) as a 2-column array, chronological."""
+        """(time, used_bytes) as a 2-column array.
+
+        Guaranteed non-decreasing in time: the engine dispatches ledger
+        events chronologically, so samples arrive sorted; if an exotic
+        observer composition ever feeds out-of-order points, they are
+        stably re-sorted here rather than returned unordered.
+        """
         if not self.points:
             return np.zeros((0, 2))
-        return np.array(self.points, dtype=np.float64)
+        array = np.array(self.points, dtype=np.float64)
+        times = array[:, 0]
+        if np.any(np.diff(times) < 0):
+            array = array[np.argsort(times, kind="stable")]
+        return array
 
 
 #: Stable Chrome-trace thread ids for the engine's streams.
 _CHROME_TIDS = {"compute": 0, "d2h": 1, "h2d": 2, "cpu": 3}
 _STALL_TID = 4
+
+#: Process-id allocator shared by every ChromeTraceObserver: multiple
+#: observers (or multiple runs through one observer) written into one
+#: trace file must land on distinct process tracks, not collide on 0.
+_CHROME_PIDS = itertools.count(1)
 
 
 class ChromeTraceObserver(EngineObserver):
@@ -180,17 +196,37 @@ class ChromeTraceObserver(EngineObserver):
     CPU), a track for memory stalls, and a counter track with the
     chronological device-memory level. Timestamps are microseconds, as
     the format requires.
+
+    Each observer instance gets a unique process id (unless ``pid`` is
+    pinned explicitly), and every additional run through the *same*
+    observer allocates a fresh pid + process name — so a sweep that
+    funnels several runs into one trace file shows one named process
+    group per run instead of interleaving them all on pid 0.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, pid: int | None = None, process_name: str | None = None,
+    ) -> None:
         self.events: list[dict] = []
-        self._pid = 0
+        self._auto_pid = pid is None
+        self._pid = next(_CHROME_PIDS) if pid is None else pid
+        self._process_name = process_name
+        self._runs = 0
 
     def on_run_begin(self, program: "Program", gpu: "GPUSpec") -> None:
         """Emit process/thread metadata naming the tracks."""
+        self._runs += 1
+        if self._runs > 1 and self._auto_pid:
+            self._pid = next(_CHROME_PIDS)
+        name = (
+            self._process_name
+            or f"{program.name or 'program'} on {gpu.name}"
+        )
+        if self._runs > 1:
+            name = f"{name} (run {self._runs})"
         self.events.append({
             "ph": "M", "name": "process_name", "pid": self._pid,
-            "args": {"name": f"{program.name or 'program'} on {gpu.name}"},
+            "args": {"name": name},
         })
         names = dict(_CHROME_TIDS)
         for stream, tid in sorted(names.items(), key=lambda kv: kv[1]):

@@ -104,6 +104,13 @@ class ExecutionTrace:
             return 0.0
         return self.iteration_time / self.compute_busy - 1.0
 
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of the iteration spent stalled waiting for memory."""
+        if self.iteration_time <= 0:
+            return 0.0
+        return min(1.0, self.memory_stall / self.iteration_time)
+
     def memory_curve(self) -> np.ndarray:
         """(time, used_bytes) samples as a 2-column array."""
         if not self.memory_samples:
@@ -114,11 +121,21 @@ class ExecutionTrace:
         )
 
     def describe(self) -> str:
+        """One-line summary with consistent stall + PCIe attribution.
+
+        Stall is reported both as absolute time and as its fraction of
+        the iteration; the PCIe figure is the same full-duplex busy
+        fraction :attr:`pcie_utilization` exposes, with the per-direction
+        busy times broken out so the two always agree.
+        """
         return (
             f"{self.name}: iter {format_time(self.iteration_time)} "
             f"({self.throughput:.1f} samples/s), peak "
             f"{format_bytes(self.peak_memory)}, pcie "
-            f"{self.pcie_utilization:.1%}, stall "
-            f"{format_time(self.memory_stall)}, recompute "
+            f"{self.pcie_utilization:.1%} "
+            f"(d2h {format_time(self.d2h_busy)}, "
+            f"h2d {format_time(self.h2d_busy)}), stall "
+            f"{format_time(self.memory_stall)} "
+            f"({self.stall_fraction:.1%} of iter), recompute "
             f"{format_time(self.recompute_time)}"
         )

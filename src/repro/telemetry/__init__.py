@@ -1,0 +1,133 @@
+"""Unified telemetry: metrics, pipeline spans, planner provenance.
+
+One observability spine for the whole stack, with three legs:
+
+* :class:`~repro.telemetry.metrics.MetricsRegistry` — counters, gauges,
+  timers, histograms with JSON/JSONL export (compile-cache hit rates,
+  key-derivation timings, stage counts);
+* :class:`~repro.telemetry.spans.SpanTracer` — wall-clock spans over the
+  Profile → Plan → Lower → Execute pipeline, exported as Chrome
+  trace-events and merged with the engine's simulated-time trace via
+  :func:`~repro.telemetry.chrome.merge_traces`;
+* planner **decision provenance** — a
+  :class:`~repro.telemetry.provenance.PlanExplanation` recording why
+  every split/swap/recompute decision was taken, attached to the
+  produced plan.
+
+Telemetry is *observation only*: plans, traces and every other artifact
+are byte-identical with telemetry enabled or disabled. The default
+state is disabled, where every hook degrades to a cheap no-op.
+
+Usage::
+
+    from repro import telemetry
+
+    with telemetry.session() as tel:
+        run = compile_run(graph, "tsplit", gpu)
+        print(run.plan.plan.explanation.top_decisions(5))
+        tel.metrics.write_jsonl("metrics.jsonl")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.telemetry.chrome import merge_traces, write_trace
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.telemetry.provenance import (
+    PlanDecision,
+    PlanExplanation,
+    PlanRecorder,
+    RejectedAlternative,
+)
+from repro.telemetry.spans import Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PlanDecision",
+    "PlanExplanation",
+    "PlanRecorder",
+    "RejectedAlternative",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "Timer",
+    "disable",
+    "enable",
+    "get_telemetry",
+    "merge_traces",
+    "session",
+    "write_trace",
+]
+
+
+class Telemetry:
+    """One telemetry session: a metrics registry, a tracer, and the
+    provenance switch. Instrumented code reads the active session via
+    :func:`get_telemetry`."""
+
+    def __init__(
+        self,
+        *,
+        metrics: bool = False,
+        spans: bool = False,
+        provenance: bool = False,
+    ) -> None:
+        self.metrics = MetricsRegistry(enabled=metrics)
+        self.tracer = SpanTracer(enabled=spans)
+        self.provenance = provenance
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.metrics.enabled or self.tracer.enabled or self.provenance
+        )
+
+
+#: The permanently-disabled session active by default. Never mutated,
+#: so `disable()` can restore it without allocating.
+_DISABLED = Telemetry()
+_active = _DISABLED
+
+
+def get_telemetry() -> Telemetry:
+    """The active telemetry session (disabled no-op by default)."""
+    return _active
+
+
+def enable(
+    *, metrics: bool = True, spans: bool = True, provenance: bool = True,
+) -> Telemetry:
+    """Install (and return) a fresh enabled session."""
+    global _active
+    _active = Telemetry(metrics=metrics, spans=spans, provenance=provenance)
+    return _active
+
+
+def disable() -> None:
+    """Restore the disabled default session."""
+    global _active
+    _active = _DISABLED
+
+
+@contextmanager
+def session(
+    *, metrics: bool = True, spans: bool = True, provenance: bool = True,
+):
+    """Scoped telemetry session; restores the previous one on exit."""
+    global _active
+    previous = _active
+    _active = Telemetry(metrics=metrics, spans=spans, provenance=provenance)
+    try:
+        yield _active
+    finally:
+        _active = previous

@@ -1,0 +1,71 @@
+"""Merging Chrome trace-event streams into one Perfetto-loadable file.
+
+The engine's :class:`~repro.runtime.observers.ChromeTraceObserver`
+emits simulated-time events; :class:`~repro.telemetry.spans.SpanTracer`
+emits wall-clock pipeline spans. Both clocks start at zero, so merging
+them into one file gives a shared-timeline view of compile + runtime.
+:func:`merge_traces` remaps process ids so sources never collide, even
+when each source numbered its own pids from zero.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def _events_of(source) -> list[dict]:
+    """Extract trace events from any supported source shape."""
+    if hasattr(source, "to_chrome_events"):      # SpanTracer
+        return source.to_chrome_events()
+    if hasattr(source, "events"):                # ChromeTraceObserver
+        return source.events
+    if isinstance(source, dict):                 # parsed trace JSON
+        return source.get("traceEvents", [])
+    if isinstance(source, list):                 # raw event list
+        return source
+    raise TypeError(
+        f"cannot extract trace events from {type(source).__name__}"
+    )
+
+
+def merge_traces(*sources, names: list[str] | None = None) -> dict:
+    """Merge trace-event sources into one Chrome-trace payload.
+
+    Every distinct ``(source, pid)`` pair is renumbered to a fresh pid,
+    so two observers that both used pid 0 end up on separate process
+    tracks. ``names`` optionally overrides each source's process
+    name(s); a source with no ``process_name`` metadata gets one.
+    """
+    merged: list[dict] = []
+    next_pid = 0
+    for index, source in enumerate(sources):
+        events = _events_of(source)
+        pid_map: dict[int, int] = {}
+        named: set[int] = set()
+        override = names[index] if names and index < len(names) else None
+        for event in events:
+            old_pid = event.get("pid", 0)
+            new_pid = pid_map.get(old_pid)
+            if new_pid is None:
+                new_pid = next_pid
+                pid_map[old_pid] = new_pid
+                next_pid += 1
+            event = dict(event)
+            event["pid"] = new_pid
+            if event.get("ph") == "M" and event.get("name") == "process_name":
+                named.add(new_pid)
+                if override is not None:
+                    event["args"] = {"name": override}
+            merged.append(event)
+        for pid in sorted(set(pid_map.values()) - named):
+            merged.append({
+                "ph": "M", "name": "process_name", "pid": pid,
+                "args": {"name": override or f"source {index}"},
+            })
+    return {"traceEvents": merged, "displayTimeUnit": "ms"}
+
+
+def write_trace(path, payload: dict) -> None:
+    """Write a merged trace payload as JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)

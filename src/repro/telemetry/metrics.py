@@ -1,0 +1,209 @@
+"""Lightweight metrics registry: counters, gauges, timers, histograms.
+
+Instrumentation sites ask the registry for a metric by name and poke it
+(`inc`, `set`, `observe`, `time`). A *disabled* registry hands back
+shared null sinks whose methods are empty — the cost of a hook on a
+disabled registry is one dict-free method call, so hot paths (the
+planner loop, the compile cache) can stay instrumented unconditionally.
+
+Snapshots export as plain dicts, JSON, or JSONL (one metric per line —
+the format CI uploads as a workflow artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+
+class _NullMetric:
+    """Shared no-op sink returned by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def time(self) -> "_NullTimerContext":
+        return _NULL_TIMER_CONTEXT
+
+
+class _NullTimerContext:
+    """Reusable no-op context manager for ``_NullMetric.time()``."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_METRIC = _NullMetric()
+_NULL_TIMER_CONTEXT = _NullTimerContext()
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-write-wins point-in-time value."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Streaming summary of observed values (count/total/min/max/mean)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one value into the running summary."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class Timer(Histogram):
+    """Histogram of wall-clock durations, fed by a context manager."""
+
+    kind = "timer"
+    __slots__ = ()
+
+    def time(self) -> "_TimerContext":
+        return _TimerContext(self)
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+
+    def __enter__(self) -> None:
+        self._start = time.perf_counter()
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        self._timer.observe(time.perf_counter() - self._start)
+        return False
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use.
+
+    A registry constructed with ``enabled=False`` returns
+    :data:`NULL_METRIC` from every accessor and records nothing; its
+    :meth:`snapshot` is always empty.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        if not self.enabled:
+            return NULL_METRIC
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, dict]:
+        """name -> {"kind": ..., **metric fields}, sorted by name."""
+        return {
+            name: {"kind": metric.kind, **metric.snapshot()}
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def to_jsonl(self) -> str:
+        """One ``{"name": ..., "kind": ..., ...}`` object per line."""
+        lines = [
+            json.dumps({"name": name, **fields})
+            for name, fields in self.snapshot().items()
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())

@@ -1,0 +1,217 @@
+"""Planner decision provenance: *why* each sTensor got its strategy.
+
+The greedy planner (Algorithm 2) applies one candidate per iteration.
+With provenance enabled it additionally records, per decision, the
+accepted candidate (tensor, strategy, split rule, scored ΔM/ΔT), the
+memory-curve peak before and after applying it, and the top rejected
+alternatives with their rejection reasons. The result is a
+:class:`PlanExplanation` attached to the produced
+:class:`~repro.core.plan.Plan` — pure observation, never a decision
+input: plans are byte-identical with provenance on or off (tested in
+``tests/test_telemetry.py``).
+
+The recorder is deliberately decoupled from planner types: it reads
+``Candidate`` attributes (``configs``, ``delta_m``, ``delta_t``,
+``ratio``, ``kind``) and graph tensors duck-typed, so this module
+imports nothing from ``repro.core``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class RejectedAlternative:
+    """A candidate considered at one decision but not applied."""
+
+    tensor_id: int
+    tensor: str
+    strategy: str
+    kind: str
+    delta_m: float
+    delta_t: float
+    ratio: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """One accepted planner decision and its local context."""
+
+    index: int
+    #: Schedule position of the memory bottleneck this decision attacked.
+    step: int
+    #: Name of the op executing at that position.
+    op: str
+    #: Primary tensor (first group member).
+    tensor_id: int
+    tensor: str
+    #: Human-readable strategy of the primary member, e.g.
+    #: ``"swap+split(p=4, dim=sample)"``.
+    strategy: str
+    #: Coarse classification: swap / recompute / split / split-swap /
+    #: split-recompute.
+    kind: str
+    #: Split rule of the primary member (``None`` when unsplit).
+    split_dim: str | None
+    p_num: int
+    #: Every (tensor id, tensor name, config description) the decision
+    #: applied atomically (group splits configure several tensors).
+    configs: tuple[tuple[int, str, str], ...]
+    delta_m: float
+    delta_t: float
+    ratio: float
+    #: Memory-curve peak immediately before / after applying.
+    peak_before: int
+    peak_after: int
+    #: Top rejected candidates of the same decision, best-first.
+    alternatives: tuple[RejectedAlternative, ...] = ()
+    #: Total number of candidates scored and not chosen (alternatives
+    #: holds only the best few).
+    rejected_count: int = 0
+
+    @property
+    def peak_delta(self) -> int:
+        """Peak-memory effect of this decision (negative = reduction)."""
+        return self.peak_after - self.peak_before
+
+
+@dataclass
+class PlanExplanation:
+    """Structured provenance of one planning run."""
+
+    policy: str
+    graph: str
+    capacity: int
+    budget: float
+    baseline_peak: int
+    final_peak: int = 0
+    baseline_time: float = 0.0
+    estimated_time: float = 0.0
+    decisions: list[PlanDecision] = field(default_factory=list)
+
+    def top_decisions(self, k: int = 10) -> list[PlanDecision]:
+        """The ``k`` most expensive decisions by extra iteration time."""
+        return sorted(
+            self.decisions, key=lambda d: d.delta_t, reverse=True,
+        )[:k]
+
+    def kind_counts(self) -> dict[str, int]:
+        """Decision count per strategy kind."""
+        counts: dict[str, int] = {}
+        for decision in self.decisions:
+            counts[decision.kind] = counts.get(decision.kind, 0) + 1
+        return counts
+
+    def total_delta_t(self) -> float:
+        return sum(d.delta_t for d in self.decisions)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+class PlanRecorder:
+    """Collects decision provenance during one planning run.
+
+    Constructed by the planner only when provenance is enabled; all
+    methods are pure observation. ``max_alternatives`` bounds how many
+    rejected candidates are kept per decision (the full pool can run to
+    thousands).
+    """
+
+    def __init__(
+        self,
+        graph,
+        schedule: list[int],
+        *,
+        policy: str,
+        capacity: int,
+        budget: float,
+        max_alternatives: int = 5,
+    ) -> None:
+        self._graph = graph
+        self._schedule = schedule
+        self._max_alternatives = max_alternatives
+        self.explanation = PlanExplanation(
+            policy=policy,
+            graph=graph.name,
+            capacity=capacity,
+            budget=budget,
+            baseline_peak=0,
+        )
+
+    def _tensor_name(self, tensor_id: int) -> str:
+        tensor = self._graph.tensors.get(tensor_id)
+        return tensor.name if tensor is not None else f"t{tensor_id}"
+
+    def begin(self, baseline_peak: int, baseline_time: float) -> None:
+        """Record the unplanned baseline before the first decision."""
+        self.explanation.baseline_peak = baseline_peak
+        self.explanation.baseline_time = baseline_time
+
+    def record(
+        self,
+        candidate,
+        *,
+        step: int,
+        rejected: list[tuple[object, str]],
+        peak_before: int,
+        peak_after: int,
+    ) -> None:
+        """Record one accepted decision.
+
+        ``rejected`` pairs every other scored candidate with its
+        rejection reason; only the ``max_alternatives`` best (smallest
+        ΔT/ΔM) are kept.
+        """
+        rejected_sorted = sorted(rejected, key=lambda pair: pair[0].ratio)
+        alternatives = tuple(
+            RejectedAlternative(
+                tensor_id=alt.tensor_id,
+                tensor=self._tensor_name(alt.tensor_id),
+                strategy=alt.config.describe(),
+                kind=alt.kind,
+                delta_m=alt.delta_m,
+                delta_t=alt.delta_t,
+                ratio=alt.ratio,
+                reason=reason,
+            )
+            for alt, reason in rejected_sorted[: self._max_alternatives]
+        )
+        op = self._graph.ops[self._schedule[step]]
+        primary_cfg = candidate.config
+        self.explanation.decisions.append(PlanDecision(
+            index=len(self.explanation.decisions),
+            step=step,
+            op=op.name,
+            tensor_id=candidate.tensor_id,
+            tensor=self._tensor_name(candidate.tensor_id),
+            strategy=primary_cfg.describe(),
+            kind=candidate.kind,
+            split_dim=primary_cfg.dim if primary_cfg.is_split else None,
+            p_num=primary_cfg.p_num,
+            configs=tuple(
+                (tid, self._tensor_name(tid), cfg.describe())
+                for tid, cfg in candidate.configs
+            ),
+            delta_m=candidate.delta_m,
+            delta_t=candidate.delta_t,
+            ratio=candidate.ratio,
+            peak_before=peak_before,
+            peak_after=peak_after,
+            alternatives=alternatives,
+            rejected_count=len(rejected),
+        ))
+
+    def finish(
+        self, final_peak: int, estimated_time: float,
+    ) -> PlanExplanation:
+        """Seal and return the explanation after the last decision."""
+        self.explanation.final_peak = final_peak
+        self.explanation.estimated_time = estimated_time
+        return self.explanation

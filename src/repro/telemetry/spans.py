@@ -1,0 +1,125 @@
+"""Span-based tracing for the compilation pipeline.
+
+A :class:`SpanTracer` measures nested wall-clock regions (Profile →
+Plan → Lower → Execute, cache key derivation, report rendering) on a
+monotonic clock whose zero is the tracer's creation. Spans export as
+Chrome trace-event slices, so :func:`repro.telemetry.chrome.merge_traces`
+can put compile-time spans and the engine's simulated-time events into
+one Perfetto view.
+
+A disabled tracer returns a shared no-op context manager from
+:meth:`SpanTracer.span` — no allocation, no clock read.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed region: half-open ``[start, end)`` in tracer time."""
+
+    name: str
+    cat: str
+    start: float
+    end: float
+    #: Nesting depth at entry (0 = top level). Parent spans close after
+    #: their children, so depth reconstructs the hierarchy.
+    depth: int
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class _SpanContext:
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_start")
+
+    def __init__(self, tracer: "SpanTracer", name: str, cat: str,
+                 args: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._args = args
+
+    def __enter__(self) -> None:
+        tracer = self._tracer
+        self._start = tracer._now()
+        tracer._depth += 1
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        tracer = self._tracer
+        tracer._depth -= 1
+        tracer.spans.append(Span(
+            self._name, self._cat, self._start, tracer._now(),
+            tracer._depth, self._args,
+        ))
+        return False
+
+
+class SpanTracer:
+    """Collects nested spans on a monotonic clock starting at zero.
+
+    Thread-unsafe by design: one tracer belongs to one compilation
+    session (sweep workers should each own a tracer, or share none).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self._depth = 0
+        self._epoch = time.perf_counter() if enabled else 0.0
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def span(self, name: str, cat: str = "pipeline", **args):
+        """Context manager timing one region; no-op when disabled."""
+        if not self.enabled:
+            return _NULL_SPAN_CONTEXT
+        return _SpanContext(self, name, cat, args)
+
+    def to_chrome_events(
+        self, pid: int = 0, process_name: str = "compiler pipeline",
+    ) -> list[dict]:
+        """Spans as Chrome trace-event dicts (timestamps in µs).
+
+        Properly nested complete ("X") events on one thread render as a
+        nested flame in Perfetto; process/thread metadata names the
+        track.
+        """
+        events: list[dict] = [
+            {
+                "ph": "M", "name": "process_name", "pid": pid,
+                "args": {"name": process_name},
+            },
+            {
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": 0,
+                "args": {"name": "pipeline"},
+            },
+        ]
+        for span in sorted(self.spans, key=lambda s: (s.start, s.depth)):
+            events.append({
+                "ph": "X", "name": span.name, "cat": span.cat,
+                "pid": pid, "tid": 0,
+                "ts": span.start * 1e6, "dur": span.duration * 1e6,
+                "args": dict(span.args),
+            })
+        return events

@@ -81,3 +81,47 @@ class TestPlan:
         out = capsys.readouterr().out
         assert "configured tensors" in out
         assert "plan[tsplit]" in out
+
+
+class TestExplain:
+    def test_explain_report(self, capsys, tmp_path):
+        trace_path = tmp_path / "merged.json"
+        metrics_path = tmp_path / "metrics.jsonl"
+        main(["explain", "vgg16", "--batch-size", "256",
+              "--gpu", "gtx_1080ti",
+              "--trace", str(trace_path), "--metrics", str(metrics_path)])
+        out = capsys.readouterr().out
+        assert "Plan explanation" in out
+        assert "## Decisions" in out
+        assert "peak memory" in out
+        assert "Runtime stall attribution" in out
+        import json
+
+        merged = json.loads(trace_path.read_text())
+        names = {e["args"]["name"] for e in merged["traceEvents"]
+                 if e.get("name") == "process_name"}
+        assert "compiler pipeline" in names
+        assert "engine execution" in names
+        assert metrics_path.read_text().strip()
+
+    def test_explain_json(self, capsys):
+        main(["explain", "vgg16", "--batch", "256",
+              "--gpu", "gtx_1080ti", "--json"])
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["explanation"]["decisions"]
+        assert "kind_counts" in payload
+
+    def test_explain_non_tsplit_policy(self, capsys):
+        main(["explain", "vgg16", "--batch-size", "2",
+              "--policy", "base"])
+        out = capsys.readouterr().out
+        assert "no decision provenance" in out
+
+    def test_explain_infeasible_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explain", "vgg16", "--batch-size", "4096",
+                  "--policy", "base"])
+        assert excinfo.value.code == 1
+        assert "INFEASIBLE" in capsys.readouterr().out

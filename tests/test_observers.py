@@ -257,3 +257,40 @@ class TestTraceObserverStandalone:
         assert [r.label for r in tracer.records] == ["a"]
         assert any(label == "t0" and n == MB
                    for _, label, n in tracer.alloc_events)
+
+
+class TestChromeTracePids:
+    def test_two_observers_use_distinct_pids(self):
+        first, second = ChromeTraceObserver(), ChromeTraceObserver()
+        for observer in (first, second):
+            Engine(SLOW_PCIE_GPU).execute(
+                _stall_program(), observers=(observer,),
+            )
+        first_pids = {e["pid"] for e in first.events}
+        second_pids = {e["pid"] for e in second.events}
+        assert first_pids.isdisjoint(second_pids)
+
+    def test_repeat_runs_get_distinct_process_tracks(self):
+        """A sweep funnelled through one observer must not collide."""
+        observer = ChromeTraceObserver()
+        for _ in range(2):
+            Engine(SLOW_PCIE_GPU).execute(
+                _stall_program(), observers=(observer,),
+            )
+        names = [e for e in observer.events
+                 if e["ph"] == "M" and e["name"] == "process_name"]
+        assert len(names) == 2
+        assert names[0]["pid"] != names[1]["pid"]
+        assert names[0]["args"]["name"] != names[1]["args"]["name"]
+
+    def test_explicit_pid_is_pinned(self):
+        observer = ChromeTraceObserver(pid=42, process_name="mine")
+        for _ in range(2):
+            Engine(SLOW_PCIE_GPU).execute(
+                _stall_program(), observers=(observer,),
+            )
+        assert {e["pid"] for e in observer.events} == {42}
+        names = [e["args"]["name"] for e in observer.events
+                 if e["ph"] == "M" and e["name"] == "process_name"]
+        assert names[0] == "mine"
+        assert names[1] == "mine (run 2)"

@@ -143,3 +143,23 @@ class TestCacheEviction:
     def test_rejects_zero_capacity(self):
         with pytest.raises(ValueError):
             CompileCache(max_entries=0)
+
+
+class TestCacheStats:
+    def test_kind_breakdown_tracks_stage_traffic(self, graph):
+        cache = CompileCache()
+        compile_run(graph, "base", GPU, cache=cache)
+        compile_run(graph, "base", GPU, cache=cache)
+        stats = cache.cache_stats()
+        assert stats["hits"] == cache.stats()["hits"]
+        assert stats["kinds"]["profile"] == \
+            {"hits": 1, "misses": 1, "evictions": 0}
+        assert stats["kinds"]["plan"] == \
+            {"hits": 1, "misses": 1, "evictions": 0}
+
+    def test_eviction_counted_against_evicted_kind(self):
+        cache = CompileCache(max_entries=1)
+        cache.put("a", 1, kind="profile")
+        cache.put("b", 2, kind="plan")
+        assert cache.cache_stats()["kinds"]["profile"]["evictions"] == 1
+        assert cache.stats()["evictions"] == 1
