@@ -1,0 +1,211 @@
+"""Disabled-fault-injection overhead benchmark for the plan+run pipeline.
+
+An infrastructure extension rather than a paper table: it guards the
+fault layer's zero-overhead-when-off contract, the same way
+``bench_telemetry_overhead.py`` guards telemetry's: with ``faults=None``
+every fault-path hook in the engine degrades to a single attribute read
+or ``is None`` check — no RNG draws, no retry loops, no recovery
+bookkeeping — and the traces are byte-identical to a build without the
+fault layer at all.
+
+Two checks:
+
+1. **Microbenchmark bound** — times each disabled fault primitive in a
+   tight loop (the ``faults is None`` branch, the ``cand.skip`` read,
+   the ``self._recovery`` guard, ``pcie.transfer_time`` with its default
+   ``rate_scale``), multiplies by a generous census of how many times
+   one compile+run executes each, and asserts the estimated overhead is
+   **under 2 %** of the measured plan+run wall time. CI enforces this.
+2. **End-to-end comparison** — wall-times ``compile_run`` with
+   ``faults=None`` vs an attached noisy :class:`FaultConfig`, reported
+   informationally, and asserts the ``faults=None`` trace is identical
+   across repeated runs (determinism spot-check).
+
+Writes ``BENCH_faults.json`` for the CI artifact upload.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fault_overhead.py          # full
+    PYTHONPATH=src python benchmarks/bench_fault_overhead.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.faults import FaultConfig  # noqa: E402
+from repro.hardware.gpu import GPU_PRESETS  # noqa: E402
+from repro.hardware.pcie import PCIeModel  # noqa: E402
+from repro.models.registry import build_model  # noqa: E402
+from repro.pipeline.cache import CompileCache  # noqa: E402
+from repro.pipeline.compile import compile_run  # noqa: E402
+
+#: CI-enforced ceiling on the estimated disabled-fault overhead.
+MAX_DISABLED_OVERHEAD = 0.02
+
+FULL_CONFIG = ("vgg16", 512, "gtx_1080ti")
+SMOKE_CONFIG = ("vgg16", 256, "gtx_1080ti")
+
+NOISY = FaultConfig(
+    seed=0, kernel_noise=0.05, pcie_jitter=0.1,
+    pcie_degradation=0.2, transfer_failure_rate=0.2,
+)
+
+
+def _time_loop(fn, n: int = 100_000) -> float:
+    """Per-call seconds of ``fn`` over ``n`` iterations."""
+    start = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return (time.perf_counter() - start) / n
+
+
+def microbench_disabled_primitives() -> dict:
+    """Per-call cost of every fault primitive on the ``faults=None`` path."""
+
+    class _Carrier:
+        __slots__ = ("faults", "skip", "_recovery")
+
+        def __init__(self):
+            self.faults = None
+            self.skip = False
+            self._recovery = False
+
+    carrier = _Carrier()
+    pcie = PCIeModel(GPU_PRESETS["gtx_1080ti"])
+
+    def none_check():
+        if carrier.faults is not None:  # pragma: no cover - never taken
+            raise AssertionError
+
+    def skip_read():
+        if carrier.skip:  # pragma: no cover - never taken
+            raise AssertionError
+
+    def recovery_guard():
+        if carrier._recovery:  # pragma: no cover - never taken
+            raise AssertionError
+
+    def clean_transfer_time():
+        pcie.transfer_time(1 << 20)
+
+    return {
+        "faults_is_none_s": _time_loop(none_check),
+        "cand_skip_read_s": _time_loop(skip_read),
+        "recovery_guard_s": _time_loop(recovery_guard),
+        "clean_transfer_time_s": _time_loop(clean_transfer_time),
+    }
+
+
+def estimate_overhead(hooks: dict, instructions: int) -> float:
+    """Upper-bound seconds of disabled-fault work in one compile+run.
+
+    Census per executed instruction: one ``cand.skip`` read at dispatch,
+    one ``faults is None`` check (compute duration or PCIe schedule),
+    and at most two ``self._recovery`` guards (free + release paths).
+    ``transfer_time`` itself predates the fault layer; only the default
+    ``rate_scale=1.0`` keyword is new, and its cost is already inside
+    the measured per-call time, so counting one full call per
+    instruction over-counts safely.
+    """
+    per_instr = (
+        hooks["cand_skip_read_s"]
+        + hooks["faults_is_none_s"]
+        + 2 * hooks["recovery_guard_s"]
+        + hooks["clean_transfer_time_s"]
+    )
+    return instructions * per_instr
+
+
+def run_pipeline(model: str, batch: int, gpu_name: str,
+                 faults: FaultConfig | None) -> dict:
+    """One timed compile_run with or without an attached fault config."""
+    graph = build_model(model, batch)
+    gpu = GPU_PRESETS[gpu_name]
+    start = time.perf_counter()
+    run = compile_run(graph, "tsplit", gpu, cache=CompileCache(),
+                      faults=faults)
+    elapsed = time.perf_counter() - start
+    if not run.result.feasible:
+        raise AssertionError(f"{model} b={batch} {gpu_name}: infeasible")
+    trace = run.result.trace
+    return {
+        "elapsed_s": elapsed,
+        "instructions": len(trace.records),
+        "iteration_time_s": trace.iteration_time,
+        "recovery_actions": trace.recovery_actions,
+        "fingerprint": (
+            trace.iteration_time, trace.peak_memory,
+            len(trace.records), len(trace.alloc_events),
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller batch for CI")
+    parser.add_argument("--out", default="BENCH_faults.json")
+    args = parser.parse_args(argv)
+
+    model, batch, gpu_name = SMOKE_CONFIG if args.smoke else FULL_CONFIG
+
+    hooks = microbench_disabled_primitives()
+    for name, per_call in sorted(hooks.items()):
+        print(f"{name:24s} {per_call * 1e9:8.1f} ns/call", flush=True)
+
+    clean_a = run_pipeline(model, batch, gpu_name, faults=None)
+    clean_b = run_pipeline(model, batch, gpu_name, faults=None)
+    assert clean_a["fingerprint"] == clean_b["fingerprint"], (
+        "faults=None runs are not deterministic"
+    )
+    assert clean_a["recovery_actions"] == 0
+    noisy = run_pipeline(model, batch, gpu_name, faults=NOISY)
+
+    estimated = estimate_overhead(hooks, clean_a["instructions"])
+    ratio = estimated / clean_a["elapsed_s"]
+    e2e_delta = (
+        (noisy["elapsed_s"] - clean_a["elapsed_s"]) / clean_a["elapsed_s"]
+    )
+    print(
+        f"\n{model} b={batch} {gpu_name}: plan+run "
+        f"{clean_a['elapsed_s']:.2f}s clean, "
+        f"{noisy['elapsed_s']:.2f}s with faults attached "
+        f"({noisy['recovery_actions']} recovery actions, "
+        f"e2e delta {e2e_delta:+.1%}, informational)"
+    )
+    print(
+        f"estimated disabled-fault overhead: {estimated * 1e3:.3f} ms "
+        f"= {ratio:.4%} of plan+run (limit {MAX_DISABLED_OVERHEAD:.0%})"
+    )
+
+    payload = {
+        "benchmark": "fault_overhead",
+        "mode": "smoke" if args.smoke else "full",
+        "config": {"model": model, "batch": batch, "gpu": gpu_name},
+        "hooks_ns": {k: v * 1e9 for k, v in hooks.items()},
+        "clean": {k: v for k, v in clean_a.items() if k != "fingerprint"},
+        "noisy": {k: v for k, v in noisy.items() if k != "fingerprint"},
+        "estimated_overhead_s": estimated,
+        "estimated_overhead_ratio": ratio,
+        "e2e_delta_ratio": e2e_delta,
+        "limit": MAX_DISABLED_OVERHEAD,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    assert ratio < MAX_DISABLED_OVERHEAD, (
+        f"disabled fault-injection overhead {ratio:.4%} exceeds "
+        f"{MAX_DISABLED_OVERHEAD:.0%} of plan+run time"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,11 @@ Export a Chrome trace (open in chrome://tracing or ui.perfetto.dev)::
 Explain every planner decision (provenance report)::
 
     python -m repro explain resnet152 --batch-size 256
+
+Sweep fault intensity and report slowdown + recovery statistics::
+
+    python -m repro chaos vgg16 --batch 256 --intensities 0,0.5,1,2 \
+        --seeds 5 --capacity-frac 0.9 --json chaos.json
 """
 
 from __future__ import annotations
@@ -247,6 +252,60 @@ def cmd_explain(args: argparse.Namespace) -> None:
         print(f"wrote metrics JSONL to {args.metrics}", file=sys.stderr)
 
 
+def cmd_chaos(args: argparse.Namespace) -> None:
+    """Sweep fault intensity over one configuration and report.
+
+    Runs the configuration clean, then across an intensity ladder ×
+    seeds with fault injection attached; prints per-level slowdown and
+    recovery statistics and optionally writes the full report as JSON.
+    ``--capacity-frac`` shrinks the device below the preset to provoke
+    the emergency-eviction path; ``--no-eviction`` disables graceful
+    degradation so unrecoverable points surface as infeasible instead.
+    """
+    import dataclasses
+    import json as json_module
+
+    from repro.faults.chaos import chaos_sweep
+
+    gpu = _gpu(args.gpu)
+    if args.capacity_frac != 1.0:
+        if args.capacity_frac <= 0:
+            sys.exit(f"--capacity-frac must be > 0, got {args.capacity_frac}")
+        gpu = dataclasses.replace(
+            gpu,
+            name=f"{gpu.name} (x{args.capacity_frac:g} capacity)",
+            memory_bytes=int(gpu.memory_bytes * args.capacity_frac),
+        )
+    graph = build_model(
+        args.model, args.batch,
+        param_scale=args.param_scale, precision=args.precision,
+    )
+    if args.smoke:
+        intensities: tuple[float, ...] = (0.0, 1.0)
+        seed_count = 2
+    else:
+        try:
+            intensities = tuple(
+                float(x) for x in args.intensities.split(",") if x.strip()
+            )
+        except ValueError:
+            sys.exit(f"bad --intensities list: {args.intensities!r}")
+        seed_count = args.seeds
+    report = chaos_sweep(
+        graph, args.policy, gpu,
+        intensities=intensities, seeds=tuple(range(seed_count)),
+        emergency_eviction=not args.no_eviction,
+    )
+    print(report.describe())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote chaos report to {args.json}", file=sys.stderr)
+    if not report.clean_feasible:
+        sys.exit(1)
+
+
 def main(argv: list[str] | None = None) -> None:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -330,6 +389,42 @@ def main(argv: list[str] | None = None) -> None:
         "--metrics", default="", metavar="PATH",
         help="write the session's metrics as JSONL")
     explain_parser.set_defaults(func=cmd_explain)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="sweep fault intensity and report slowdown + recovery stats",
+    )
+    chaos_parser.add_argument(
+        "model", help=f"model name ({', '.join(model_names())})",
+    )
+    chaos_parser.add_argument("--policy", default="tsplit")
+    chaos_parser.add_argument("--batch", type=int, default=64)
+    chaos_parser.add_argument("--gpu", default="rtx_titan",
+                              help=f"GPU preset ({', '.join(GPU_PRESETS)})")
+    chaos_parser.add_argument("--param-scale", type=float, default=1.0)
+    chaos_parser.add_argument("--precision", choices=("fp32", "fp16"),
+                              default="fp32")
+    chaos_parser.add_argument(
+        "--intensities", default="0,0.5,1,2",
+        help="comma-separated fault-intensity ladder (0 = clean-equivalent)")
+    chaos_parser.add_argument(
+        "--seeds", type=int, default=5,
+        help="fault seeds per intensity (0..N-1)")
+    chaos_parser.add_argument(
+        "--capacity-frac", type=float, default=1.0,
+        help="shrink device memory to this fraction of the preset "
+             "(provokes the emergency-eviction path)")
+    chaos_parser.add_argument(
+        "--no-eviction", action="store_true",
+        help="disable graceful degradation (unrecoverable points become "
+             "infeasible)")
+    chaos_parser.add_argument(
+        "--json", default="", metavar="PATH",
+        help="write the full report as JSON")
+    chaos_parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny ladder for CI (intensities 0,1 x 2 seeds)")
+    chaos_parser.set_defaults(func=cmd_chaos)
 
     args = parser.parse_args(argv)
     args.func(args)

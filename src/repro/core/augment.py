@@ -191,7 +191,7 @@ class _Augmenter:
             )
             if exec_split is None:
                 self._issue_prefetches(pos)
-                self._materialize_inputs(op)
+                self._materialize_inputs(op, pos)
                 self._emit_whole_op(pos, op, device)
                 self._post_op(pos, op)
                 pos += 1
@@ -284,7 +284,7 @@ class _Augmenter:
     # -- input materialisation ---------------------------------------------------
 
     def _materialize_inputs(
-        self, op: Operator, skip: set[int] | None = None,
+        self, op: Operator, pos: int, skip: set[int] | None = None,
     ) -> None:
         if self.plan.cpu_update and op.phase is Phase.UPDATE:
             # CPU-offloaded updates read host copies; nothing to stage.
@@ -305,7 +305,7 @@ class _Augmenter:
                     self.program.append(SwapInInstr(ref))
                 state.location = "gpu"
             elif state.location == "freed":
-                self._emit_recompute(tensor, keep=set(op.inputs))
+                self._emit_recompute(tensor, keep=set(op.inputs), pos=pos)
             elif state.location == "unborn":
                 raise RuntimeExecutionError(
                     f"op {op.name!r} consumes unborn tensor {tensor.name!r}"
@@ -340,13 +340,16 @@ class _Augmenter:
         ))
         state.split = None
 
-    def _emit_recompute(self, target: TensorSpec, keep: set[int]) -> None:
+    def _emit_recompute(
+        self, target: TensorSpec, keep: set[int], pos: int,
+    ) -> None:
         """Emit the forward chain regenerating ``target`` (and deps).
 
         Under the memory-centric strategy the chain frees each
         regenerated intermediate as soon as no remaining chain op needs
         it (O(1) extra memory, Section V-D); ``keep`` lists tensors the
-        imminent consumer op still requires.
+        imminent consumer op still requires, ``pos`` is the schedule
+        position of that consumer.
         """
         chain = recompute_chain(
             self.graph,
@@ -420,6 +423,32 @@ class _Augmenter:
                 if state.host_copy:
                     # The host copy keeps whatever shape was swapped out
                     # (micro pieces stay micro pieces).
+                    state.location = "host"
+                else:
+                    state.location = "freed"
+                    state.split = None
+                state.regen = False
+                self._lru_discard(tid)
+        # Regenerated stepping-stones whose natural last use already
+        # passed (rebuilt only as dependencies on the way to ``target``)
+        # have no later op left to die at under any strategy: free them
+        # here or they stay resident to the end of the program.
+        for op_id in chain:
+            for tid in self.graph.ops[op_id].outputs:
+                if tid in keep or tid == target.tensor_id:
+                    continue
+                tensor = self.graph.tensors[tid]
+                state = self.state[tid]
+                if not self.tracked(tensor) or state.location != "gpu":
+                    continue
+                if not state.regen:
+                    continue
+                timeline = self.timeline(tid)
+                if timeline is None or timeline.free >= pos:
+                    continue
+                for ref in self.refs(tensor):
+                    self.program.append(FreeInstr(ref, missing_ok=True))
+                if state.host_copy:
                     state.location = "host"
                 else:
                     state.location = "freed"
@@ -659,7 +688,7 @@ class _Augmenter:
                     # micro-kernel is about to issue, so earlier region
                     # ops' releases have already been emitted.
                     op = self.graph.ops[self.schedule[pos]]
-                    self._materialize_inputs(op, skip=region_outputs)
+                    self._materialize_inputs(op, pos, skip=region_outputs)
                     entries.append(
                         (pos, self._classify_split_op(op, exec_split)),
                     )

@@ -8,6 +8,12 @@ complete issue list instead of the first crash:
 * every (micro-)tensor is produced before use, never double-allocated,
   never double-freed;
 * swap-ins have a host copy (a prior swap-out or an initial-host shard);
+* swap-outs and frees act on keys that exist: an eviction of a
+  non-resident tensor is flagged, and one whose key was *never*
+  allocated anywhere (not produced, not an initial-host shard) is a
+  distinct, more serious issue class — as is a free (even
+  ``missing_ok``) of a never-allocated key, which indicates the
+  lowering invented a ref;
 * every scheduled operator is computed: once normally, plus optionally
   as recompute re-executions;
 * the program ends clean — every transient allocation was released.
@@ -37,6 +43,10 @@ def verify_program(
     program = augmented.program
     resident: set[tuple[int, int]] = set()
     host: set[tuple[int, int]] = {ref.key for ref in program.initial_host}
+    #: Keys that were ever materialised anywhere (produced on device or
+    #: present on host) — distinguishes "non-resident right now" from
+    #: "this ref was invented out of thin air".
+    ever_allocated: set[tuple[int, int]] = set(host)
     compute_counts: dict[int, int] = defaultdict(int)
     recompute_counts: dict[int, int] = defaultdict(int)
 
@@ -61,6 +71,7 @@ def verify_program(
                         f"{ref.label!r}"
                     )
                 resident.add(ref.key)
+                ever_allocated.add(ref.key)
             if instr.tag == "merge":
                 for ref in instr.inputs:
                     resident.discard(ref.key)
@@ -71,6 +82,14 @@ def verify_program(
                     compute_counts[instr.op_id] += 1
         elif isinstance(instr, SwapOutInstr):
             if instr.ref.key not in resident:
+                if instr.ref.key not in ever_allocated:
+                    issues.append(
+                        f"{where} swap-out of never-allocated "
+                        f"{instr.ref.label!r}"
+                    )
+                    # Don't fabricate a host copy for an invented ref —
+                    # that would mask the downstream swap-in issue.
+                    continue
                 issues.append(
                     f"{where} swap-out of non-resident {instr.ref.label!r}"
                 )
@@ -88,9 +107,18 @@ def verify_program(
                     f"{instr.ref.label!r}"
                 )
             resident.add(instr.ref.key)
+            ever_allocated.add(instr.ref.key)
         elif isinstance(instr, FreeInstr):
             if instr.ref.key not in resident:
-                if not instr.missing_ok:
+                if instr.ref.key not in ever_allocated:
+                    # Even missing_ok frees must name a key that existed
+                    # at some point; an unknown key means the lowering
+                    # invented the ref.
+                    issues.append(
+                        f"{where} free of never-allocated "
+                        f"{instr.ref.label!r}"
+                    )
+                elif not instr.missing_ok:
                     issues.append(
                         f"{where} free of non-resident {instr.ref.label!r}"
                     )

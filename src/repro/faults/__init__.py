@@ -1,0 +1,60 @@
+"""Fault injection and graceful degradation for the simulated runtime.
+
+The planner prices plans against a *perfect-world* device model: every
+kernel takes exactly its profiled time, every PCIe transfer moves at the
+nominal bandwidth, and every allocation that was planned to fit does
+fit. Real devices are noisier — the paper's own profiling (Figure 5)
+is measurement-based precisely because analytic models drift, and the
+dynamic baselines it compares against (SuperNeurons' on-demand eviction,
+vDNN's transfer scheduling) exist because runtime conditions deviate
+from any static plan.
+
+This package supplies the adversarial half of the simulator:
+
+* :class:`~repro.faults.model.FaultConfig` — a frozen, seeded
+  description of how hostile the simulated hardware is (kernel-time
+  noise, PCIe bandwidth jitter and persistent degradation, transient
+  transfer failures, and whether the engine may degrade gracefully on
+  an over-capacity allocation);
+* :class:`~repro.faults.model.FaultModel` — the per-run deterministic
+  sampler the engine draws perturbations from (same seed ⇒ byte-identical
+  execution);
+* :func:`~repro.faults.chaos.chaos_sweep` — sweep fault intensity over
+  one configuration and report slowdown + recovery statistics against
+  the clean run (the ``python -m repro chaos`` command).
+
+The engine-side recovery semantics (retry with exponential backoff for
+failed transfers; emergency eviction of the coldest resident
+(micro-)tensors instead of aborting on OOM) live in
+:mod:`repro.runtime.engine` and are documented in DESIGN.md §9.
+"""
+
+from __future__ import annotations
+
+from repro.faults.model import FaultConfig, FaultModel, fault_signature
+
+__all__ = [
+    "ChaosPoint",
+    "ChaosReport",
+    "FaultConfig",
+    "FaultModel",
+    "chaos_sweep",
+    "fault_signature",
+    "intensity_config",
+]
+
+#: Chaos names resolved lazily (PEP 562): the sweep layer imports the
+#: compilation pipeline, which transitively imports the engine — which
+#: imports this package for the fault model. Deferring the chaos import
+#: keeps ``repro.faults`` importable from anywhere in that cycle.
+_CHAOS_NAMES = frozenset(
+    {"ChaosPoint", "ChaosReport", "chaos_sweep", "intensity_config"},
+)
+
+
+def __getattr__(name: str):
+    if name in _CHAOS_NAMES:
+        from repro.faults import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,288 @@
+"""Chaos sweeps: fault-intensity ladders over one configuration.
+
+A chaos sweep answers "is this plan robust, not just optimal": it
+compiles and runs one (model, policy, GPU) configuration clean, then
+re-runs it across a ladder of fault intensities × seeds and reports the
+slowdown and recovery statistics of every point. The
+``python -m repro chaos`` command is a thin wrapper over
+:func:`chaos_sweep`.
+
+Intensity is a single scalar knob mapped onto the individual
+:class:`~repro.faults.model.FaultConfig` axes by
+:func:`intensity_config`: intensity 0 is the all-zero (null) config —
+timing-identical to a clean run by the fault model's construction —
+and intensity 1 is an already-hostile device (±5 % kernel jitter, ±10 %
+bandwidth jitter, 25 % persistent bandwidth loss, 15 % transfer-failure
+rate). Sweeps typically ladder 0 → 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from typing import TYPE_CHECKING
+
+from repro.errors import HardwareError
+from repro.faults.model import FaultConfig
+from repro.hardware.gpu import GPUSpec
+from repro.units import format_bytes, format_time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.graph.graph import Graph
+    from repro.pipeline.cache import CompileCache
+
+#: Per-unit-intensity slope of each fault axis (see intensity_config).
+_KERNEL_NOISE_SLOPE = 0.05
+_PCIE_JITTER_SLOPE = 0.10
+_PCIE_DEGRADATION_SLOPE = 0.25
+_FAILURE_RATE_SLOPE = 0.15
+#: Ceilings keeping high intensities valid FaultConfigs.
+_MAX_DEGRADATION = 0.75
+_MAX_FAILURE_RATE = 0.90
+
+
+def intensity_config(
+    intensity: float,
+    seed: int = 0,
+    *,
+    emergency_eviction: bool = True,
+) -> FaultConfig:
+    """Map a scalar intensity onto a :class:`FaultConfig`.
+
+    Intensity 0 yields the null config (every noise term zero — the
+    fault model then never draws from its RNG and timing is identical
+    to a clean run); degradation and failure rate saturate at ceilings
+    that keep arbitrarily large intensities valid.
+    """
+    if intensity < 0:
+        raise HardwareError(f"chaos intensity must be >= 0, got {intensity}")
+    return FaultConfig(
+        seed=seed,
+        kernel_noise=_KERNEL_NOISE_SLOPE * intensity,
+        pcie_jitter=_PCIE_JITTER_SLOPE * intensity,
+        pcie_degradation=min(
+            _MAX_DEGRADATION, _PCIE_DEGRADATION_SLOPE * intensity,
+        ),
+        transfer_failure_rate=min(
+            _MAX_FAILURE_RATE, _FAILURE_RATE_SLOPE * intensity,
+        ),
+        emergency_eviction=emergency_eviction,
+    )
+
+
+@dataclass(frozen=True)
+class ChaosPoint:
+    """One (intensity, seed) run of the sweep."""
+
+    intensity: float
+    seed: int
+    feasible: bool
+    failure: str = ""
+    iteration_time: float = 0.0
+    #: Iteration time relative to the clean run (1.0 = no slowdown).
+    slowdown: float = 0.0
+    peak_memory: int = 0
+    transfer_retries: int = 0
+    retry_backoff_time: float = 0.0
+    emergency_evictions: int = 0
+    emergency_evicted_bytes: int = 0
+    emergency_refetches: int = 0
+    recovered_skips: int = 0
+
+    @property
+    def recovery_actions(self) -> int:
+        return (
+            self.transfer_retries
+            + self.emergency_evictions
+            + self.emergency_refetches
+            + self.recovered_skips
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "intensity": self.intensity,
+            "seed": self.seed,
+            "feasible": self.feasible,
+            "failure": self.failure,
+            "iteration_time_s": self.iteration_time,
+            "slowdown": self.slowdown,
+            "peak_memory_bytes": self.peak_memory,
+            "transfer_retries": self.transfer_retries,
+            "retry_backoff_time_s": self.retry_backoff_time,
+            "emergency_evictions": self.emergency_evictions,
+            "emergency_evicted_bytes": self.emergency_evicted_bytes,
+            "emergency_refetches": self.emergency_refetches,
+            "recovered_skips": self.recovered_skips,
+            "recovery_actions": self.recovery_actions,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Clean baseline + every chaos point of one sweep."""
+
+    model: str
+    policy: str
+    gpu: str
+    batch: int
+    capacity_bytes: int
+    clean_feasible: bool
+    clean_failure: str = ""
+    clean_iteration_time: float = 0.0
+    clean_peak_memory: int = 0
+    points: list[ChaosPoint] = field(default_factory=list)
+
+    @property
+    def survived(self) -> int:
+        """Chaos points that completed (recovered from every fault)."""
+        return sum(1 for p in self.points if p.feasible)
+
+    @property
+    def survival_rate(self) -> float:
+        return self.survived / len(self.points) if self.points else 0.0
+
+    @property
+    def worst_slowdown(self) -> float:
+        """Largest slowdown among the surviving chaos points."""
+        feasible = [p.slowdown for p in self.points if p.feasible]
+        return max(feasible) if feasible else 0.0
+
+    @property
+    def total_recovery_actions(self) -> int:
+        return sum(p.recovery_actions for p in self.points)
+
+    def to_dict(self) -> dict:
+        return {
+            "report": "chaos_sweep",
+            "model": self.model,
+            "policy": self.policy,
+            "gpu": self.gpu,
+            "batch": self.batch,
+            "capacity_bytes": self.capacity_bytes,
+            "clean": {
+                "feasible": self.clean_feasible,
+                "failure": self.clean_failure,
+                "iteration_time_s": self.clean_iteration_time,
+                "peak_memory_bytes": self.clean_peak_memory,
+            },
+            "survived": self.survived,
+            "survival_rate": self.survival_rate,
+            "worst_slowdown": self.worst_slowdown,
+            "total_recovery_actions": self.total_recovery_actions,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    def describe(self) -> str:
+        """Human-readable sweep summary, one line per intensity level."""
+        lines = [
+            f"{self.model} b={self.batch} under {self.policy} on "
+            f"{self.gpu} (capacity {format_bytes(self.capacity_bytes)})",
+        ]
+        if not self.clean_feasible:
+            lines.append(f"clean run INFEASIBLE: {self.clean_failure}")
+            return "\n".join(lines)
+        lines.append(
+            f"clean: iter {format_time(self.clean_iteration_time)}, "
+            f"peak {format_bytes(self.clean_peak_memory)}"
+        )
+        lines.append(
+            f"{'intensity':>9s} {'runs':>5s} {'ok':>4s} {'slowdown':>12s} "
+            f"{'retries':>8s} {'evict':>6s} {'refetch':>8s} {'skips':>6s}"
+        )
+        by_level: dict[float, list[ChaosPoint]] = {}
+        for point in self.points:
+            by_level.setdefault(point.intensity, []).append(point)
+        for intensity in sorted(by_level):
+            level = by_level[intensity]
+            ok = [p for p in level if p.feasible]
+            slowdowns = [p.slowdown for p in ok]
+            span = (
+                f"{min(slowdowns):.2f}-{max(slowdowns):.2f}x"
+                if slowdowns else "-"
+            )
+            lines.append(
+                f"{intensity:9.2f} {len(level):5d} {len(ok):4d} "
+                f"{span:>12s} "
+                f"{sum(p.transfer_retries for p in level):8d} "
+                f"{sum(p.emergency_evictions for p in level):6d} "
+                f"{sum(p.emergency_refetches for p in level):8d} "
+                f"{sum(p.recovered_skips for p in level):6d}"
+            )
+        lines.append(
+            f"survived {self.survived}/{len(self.points)} chaos runs, "
+            f"worst slowdown {self.worst_slowdown:.2f}x, "
+            f"{self.total_recovery_actions} recovery actions"
+        )
+        return "\n".join(lines)
+
+
+def chaos_sweep(
+    graph: Graph,
+    policy,
+    gpu: GPUSpec,
+    *,
+    intensities: tuple[float, ...] | list[float] = (0.0, 0.5, 1.0, 2.0),
+    seeds: tuple[int, ...] | list[int] = tuple(range(5)),
+    emergency_eviction: bool = True,
+    cache: CompileCache | None = None,
+) -> ChaosReport:
+    """Run one configuration clean, then across intensities × seeds.
+
+    Every chaos point goes through the full staged pipeline with a
+    fault configuration attached (so plan cache keys separate by fault
+    signature; the profile is shared — it is fault-independent). A
+    point that cannot recover (engine OOM with eviction disabled, or a
+    genuinely unsatisfiable allocation) is reported infeasible, never
+    raised.
+    """
+    from repro.pipeline.cache import CompileCache
+    from repro.pipeline.compile import compile_run
+
+    cache = cache if cache is not None else CompileCache()
+    clean = compile_run(graph, policy, gpu, cache=cache)
+    report = ChaosReport(
+        model=graph.name,
+        policy=clean.result.policy,
+        gpu=gpu.name,
+        batch=0,
+        capacity_bytes=gpu.memory_bytes,
+        clean_feasible=clean.result.feasible,
+        clean_failure=clean.result.failure,
+    )
+    if not clean.result.feasible:
+        return report
+    clean_trace = clean.result.trace
+    report.batch = clean_trace.batch
+    report.clean_iteration_time = clean_trace.iteration_time
+    report.clean_peak_memory = clean_trace.peak_memory
+    for intensity in intensities:
+        for seed in seeds:
+            faults = intensity_config(
+                intensity, seed, emergency_eviction=emergency_eviction,
+            )
+            run = compile_run(graph, policy, gpu, cache=cache, faults=faults)
+            if not run.result.feasible:
+                report.points.append(ChaosPoint(
+                    intensity=intensity, seed=seed, feasible=False,
+                    failure=run.result.failure,
+                ))
+                continue
+            trace = run.result.trace
+            report.points.append(ChaosPoint(
+                intensity=intensity,
+                seed=seed,
+                feasible=True,
+                iteration_time=trace.iteration_time,
+                slowdown=(
+                    trace.iteration_time / clean_trace.iteration_time
+                    if clean_trace.iteration_time > 0 else 0.0
+                ),
+                peak_memory=trace.peak_memory,
+                transfer_retries=trace.transfer_retries,
+                retry_backoff_time=trace.retry_backoff_time,
+                emergency_evictions=trace.emergency_evictions,
+                emergency_evicted_bytes=trace.emergency_evicted_bytes,
+                emergency_refetches=trace.emergency_refetches,
+                recovered_skips=trace.recovered_skips,
+            ))
+    return report

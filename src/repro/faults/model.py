@@ -1,0 +1,175 @@
+"""The seeded, deterministic fault model.
+
+A :class:`FaultConfig` is a frozen value object describing how hostile
+the simulated hardware is; it travels in
+:class:`~repro.runtime.engine.EngineOptions` and — through
+:func:`fault_signature` — into the compilation-pipeline cache keys, so
+two sweeps at different fault intensities never share artifacts that
+could become fault-dependent.
+
+A :class:`FaultModel` is the *per-run* sampler the engine instantiates
+from a config: it owns one ``random.Random`` seeded from the config, so
+every perturbation is a pure function of (config, dispatch order) and a
+re-run with the same seed reproduces the execution byte for byte. The
+engine's dispatcher is itself deterministic, which makes this the whole
+determinism story — there is no wall-clock or global RNG anywhere in
+the fault path.
+
+Failure semantics are *transient* (the SuperNeurons / DELTA setting:
+a cudaMemcpyAsync that must be reissued, not a dead link): each transfer
+attempt fails independently with ``transfer_failure_rate``, but the
+model guarantees success within ``max_transfer_retries`` retries, so a
+retrying engine always converges and every injected failure is
+recoverable by construction.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import asdict, dataclass
+
+from repro.errors import HardwareError
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """How hostile the simulated hardware is. All-zero = perfect world.
+
+    Attributes
+    ----------
+    seed:
+        Seed of the per-run sampler. Same seed (and same program) ⇒
+        byte-identical traces; different seeds diverge whenever any
+        noise term is non-zero.
+    kernel_noise:
+        Sigma of the lognormal multiplier applied to every GPU kernel
+        duration (0 disables). 0.05 ≈ ±5 % timing jitter.
+    pcie_jitter:
+        Sigma of the lognormal multiplier applied to every transfer's
+        effective bandwidth (0 disables).
+    pcie_degradation:
+        Persistent fraction of PCIe bandwidth lost for the whole run
+        (link training down a generation, neighbour traffic, ...).
+    transfer_failure_rate:
+        Per-attempt probability that a D2H/H2D transfer fails
+        transiently and must be retried.
+    max_transfer_retries:
+        Retries after which a transfer is guaranteed to succeed (the
+        failures are transient by contract, so the engine never sees an
+        unrecoverable transfer).
+    retry_backoff:
+        Base backoff delay in seconds before the first retry; doubles
+        per subsequent retry (exponential backoff).
+    failed_fraction:
+        Fraction of the attempt's transfer time spent on the wire before
+        the failure is detected (the copy engine is busy that long).
+    emergency_eviction:
+        Allow the engine to degrade gracefully on an over-capacity
+        allocation by evicting the coldest resident (micro-)tensors
+        (SuperNeurons-style) instead of raising OOM.
+    """
+
+    seed: int = 0
+    kernel_noise: float = 0.0
+    pcie_jitter: float = 0.0
+    pcie_degradation: float = 0.0
+    transfer_failure_rate: float = 0.0
+    max_transfer_retries: int = 6
+    retry_backoff: float = 100e-6
+    failed_fraction: float = 0.5
+    emergency_eviction: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kernel_noise < 0 or self.pcie_jitter < 0:
+            raise HardwareError("fault noise sigmas must be >= 0")
+        if not 0.0 <= self.pcie_degradation < 1.0:
+            raise HardwareError(
+                f"pcie_degradation must be in [0, 1), got "
+                f"{self.pcie_degradation}"
+            )
+        if not 0.0 <= self.transfer_failure_rate <= 1.0:
+            raise HardwareError(
+                f"transfer_failure_rate must be in [0, 1], got "
+                f"{self.transfer_failure_rate}"
+            )
+        if self.max_transfer_retries < 1:
+            raise HardwareError("max_transfer_retries must be >= 1")
+        if self.retry_backoff < 0:
+            raise HardwareError("retry_backoff must be >= 0")
+        if not 0.0 < self.failed_fraction <= 1.0:
+            raise HardwareError(
+                f"failed_fraction must be in (0, 1], got "
+                f"{self.failed_fraction}"
+            )
+
+    @property
+    def perturbs_timing(self) -> bool:
+        """Whether any noise term can change a clean run's timing."""
+        return bool(
+            self.kernel_noise
+            or self.pcie_jitter
+            or self.pcie_degradation
+            or self.transfer_failure_rate
+        )
+
+    def signature(self) -> dict:
+        """Canonical dict identity, for pipeline cache keys."""
+        return asdict(self)
+
+
+def fault_signature(faults: "FaultConfig | None") -> dict | None:
+    """Cache-key identity of a fault configuration (``None`` stays
+    ``None`` so pre-fault cache keys are preserved bit for bit)."""
+    return None if faults is None else faults.signature()
+
+
+class FaultModel:
+    """Per-run sampler over one :class:`FaultConfig`.
+
+    Owns the run's RNG; the engine creates one per execution so repeated
+    runs of one program under one config are identical, and state never
+    leaks between runs sharing an :class:`~repro.runtime.engine.
+    EngineOptions` instance.
+    """
+
+    __slots__ = ("config", "_rng")
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+
+    def kernel_scale(self) -> float:
+        """Multiplier on one GPU kernel's duration (lognormal, mean~1)."""
+        sigma = self.config.kernel_noise
+        if sigma == 0.0:
+            return 1.0
+        return math.exp(self._rng.gauss(0.0, sigma))
+
+    def transfer_rate_scale(self) -> float:
+        """Multiplier on one transfer attempt's effective bandwidth.
+
+        Combines the persistent degradation with per-attempt jitter;
+        always strictly positive, so transfer times stay finite.
+        """
+        scale = 1.0 - self.config.pcie_degradation
+        sigma = self.config.pcie_jitter
+        if sigma:
+            scale *= math.exp(self._rng.gauss(0.0, sigma))
+        return scale
+
+    def transfer_fails(self, attempt: int) -> bool:
+        """Whether transfer ``attempt`` (0-based) fails transiently.
+
+        Guaranteed ``False`` once ``attempt`` reaches
+        ``max_transfer_retries`` — the failures are transient by
+        contract, so a retrying engine always converges.
+        """
+        rate = self.config.transfer_failure_rate
+        if rate == 0.0 or attempt >= self.config.max_transfer_retries:
+            return False
+        return self._rng.random() < rate
+
+    def backoff(self, attempt: int) -> float:
+        """Exponential backoff before retrying after failure ``attempt``."""
+        return self.config.retry_backoff * (2.0 ** attempt)

@@ -23,13 +23,23 @@ class PCIeModel:
 
     gpu: GPUSpec
 
-    def transfer_time(self, nbytes: int) -> float:
-        """Seconds to move ``nbytes`` in one direction."""
+    def transfer_time(self, nbytes: int, *, rate_scale: float = 1.0) -> float:
+        """Seconds to move ``nbytes`` in one direction.
+
+        ``rate_scale`` scales the effective bandwidth for this one
+        transfer — the fault layer's jitter/degradation hook. The
+        default of 1.0 is float-exact (``bw * 1.0 == bw``), so clean
+        runs are byte-identical to a model without the parameter.
+        """
         if nbytes < 0:
             raise HardwareError(f"negative transfer size: {nbytes}")
+        if rate_scale <= 0:
+            raise HardwareError(f"non-positive rate_scale: {rate_scale}")
         if nbytes == 0:
             return 0.0
-        return self.gpu.pcie_latency + nbytes / self.gpu.pcie_bandwidth
+        return self.gpu.pcie_latency + nbytes / (
+            self.gpu.pcie_bandwidth * rate_scale
+        )
 
     def bandwidth(self) -> float:
         """Effective bandwidth ``B`` used by the planner's Equation 3."""

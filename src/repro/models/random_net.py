@@ -1,9 +1,28 @@
 """Random-but-valid model generator, for fuzzing the whole pipeline.
 
-Generates seeded random CNNs (chains with occasional residual fan-out
-and pooling) whose training graphs exercise the planner, augmenter and
-engine on shapes nobody hand-picked. Used by the property-based
-integration tests; also handy for stress experiments.
+Generates seeded random CNNs whose training graphs exercise the
+planner, augmenter and engine on shapes nobody hand-picked. Beyond the
+plain chain, the generator rolls per-block topology:
+
+* **chain** — conv (+ optional bn) + activation, optional residual add;
+* **diamond** — two parallel branches off one tensor, re-merged by an
+  elementwise add (the fan-out/fan-in pattern that stresses liveness:
+  the fork tensor stays live across both branches);
+* **branchy** — 2-3 parallel conv branches of *different* widths merged
+  by a channel concat (Inception-style, exercising the merge path of
+  split tensors).
+
+Degenerate shapes are drawn on purpose: batch 1, single-channel inputs,
+4x4 images pooled down to 1x1, 1x1 convolutions, and 1-feature linear
+bottlenecks — the 4-byte edges that expose off-by-one bugs in split
+planning and memory accounting. Zero-*byte* edges cannot exist at the
+graph level (:class:`~repro.graph.tensor.TensorSpec` rejects empty
+shapes); they enter lowered programs through the offload policies'
+zero-byte "parameter updated" marker refs, so property tests that want
+them run these graphs under ``zero_offload``/``fairscale_offload``.
+
+Used by the property-based integration tests; also handy for stress
+experiments.
 """
 
 from __future__ import annotations
@@ -24,42 +43,84 @@ def build_random_cnn(
 ) -> Graph:
     """A seeded random CNN training graph.
 
-    Structure: input -> [conv (+ optional bn) + activation, optional
-    residual add, occasional pooling] x N -> head. All shape choices are
-    drawn from ranges that keep graphs small and always valid.
+    Structure: input -> [chain | diamond | branchy block, occasional
+    pooling] x N -> head. All shape choices are drawn from ranges that
+    keep graphs small and always valid; degenerate shapes (batch 1,
+    1-channel tensors, 1x1 spatial dims) are included deliberately.
     """
     rng = random.Random(seed)
-    batch = batch or rng.choice([2, 4, 8, 16])
-    image = rng.choice([8, 16, 32])
+    batch = batch or rng.choice([1, 2, 4, 8, 16])
+    image = rng.choice([4, 8, 16, 32])
     builder = ModelBuilder(f"random_cnn[seed={seed}]", batch)
     x = builder.input_image(rng.choice([1, 3]), image, image)
 
     blocks = rng.randint(1, max_blocks)
     for index in range(blocks):
-        channels = rng.choice([4, 8, 12, 16])
-        kernel = rng.choice([1, 3])
-        y = builder.conv2d(
-            x, channels, kernel,
-            padding=kernel // 2,
-            name=f"conv{index}",
-        )
-        if rng.random() < 0.4:
-            y = builder.batchnorm(y, name=f"bn{index}")
-        y = (
-            builder.relu(y, name=f"act{index}")
-            if rng.random() < 0.7
-            else builder.gelu(y, name=f"act{index}")
-        )
-        if y.shape == x.shape and rng.random() < 0.35:
-            y = builder.add(x, y, name=f"res{index}")
-        x = y
-        if x.shape[2] >= 4 and rng.random() < 0.35:
+        roll = rng.random()
+        if roll < 0.5:
+            x = _chain_block(builder, rng, x, index)
+        elif roll < 0.8:
+            x = _diamond_block(builder, rng, x, index)
+        else:
+            x = _branchy_block(builder, rng, x, index)
+        if x.shape[2] >= 2 and rng.random() < 0.35:
+            # Pooling may legitimately reach 1x1 spatial dims.
             x = builder.maxpool(x, 2, name=f"pool{index}")
 
     flat = builder.flatten(x)
     if rng.random() < 0.5:
-        flat = builder.linear(flat, rng.choice([16, 32]), name="hidden")
+        # A 1-feature hidden layer is a deliberate 4*batch-byte edge.
+        flat = builder.linear(flat, rng.choice([1, 16, 32]), name="hidden")
         flat = builder.relu(flat, name="hidden_act")
     logits = builder.linear(flat, rng.choice([2, 10]), name="logits")
     loss = builder.cross_entropy_loss(logits)
     return build_training_graph(builder.graph, loss, optimizer=optimizer)
+
+
+def _conv_act(builder: ModelBuilder, rng: random.Random, x, channels: int,
+              name: str):
+    """conv (+ optional bn) + activation, padding-preserved spatial dims."""
+    kernel = rng.choice([1, 1, 3]) if x.shape[2] < 3 else rng.choice([1, 3])
+    y = builder.conv2d(
+        x, channels, kernel, padding=kernel // 2, name=name,
+    )
+    if rng.random() < 0.4:
+        y = builder.batchnorm(y, name=f"{name}_bn")
+    return (
+        builder.relu(y, name=f"{name}_act")
+        if rng.random() < 0.7
+        else builder.gelu(y, name=f"{name}_act")
+    )
+
+
+def _chain_block(builder: ModelBuilder, rng: random.Random, x, index: int):
+    """The classic chain block with an optional residual add."""
+    channels = rng.choice([1, 4, 8, 12, 16])
+    y = _conv_act(builder, rng, x, channels, f"conv{index}")
+    if y.shape == x.shape and rng.random() < 0.35:
+        y = builder.add(x, y, name=f"res{index}")
+    return y
+
+
+def _diamond_block(builder: ModelBuilder, rng: random.Random, x, index: int):
+    """Fork x into two same-shaped branches, re-merge with an add.
+
+    The fork tensor stays live until both branches have consumed it —
+    the diamond liveness pattern linear chains never produce.
+    """
+    channels = rng.choice([1, 4, 8, 16])
+    left = _conv_act(builder, rng, x, channels, f"dia{index}_l")
+    right = _conv_act(builder, rng, x, channels, f"dia{index}_r")
+    if rng.random() < 0.5:
+        right = _conv_act(builder, rng, right, channels, f"dia{index}_r2")
+    return builder.add(left, right, name=f"dia{index}_merge")
+
+
+def _branchy_block(builder: ModelBuilder, rng: random.Random, x, index: int):
+    """2-3 parallel branches of different widths, channel-concatenated."""
+    widths = rng.sample([1, 2, 4, 8, 12], k=rng.choice([2, 3]))
+    branches = [
+        _conv_act(builder, rng, x, width, f"br{index}_{b}")
+        for b, width in enumerate(widths)
+    ]
+    return builder.concat(branches, axis=1, name=f"br{index}_cat")

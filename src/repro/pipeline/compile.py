@@ -13,10 +13,11 @@ a cached profile instead of re-measuring kernels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.augment import AugmentOptions
 from repro.core.profiler import Profiler
+from repro.faults.model import FaultConfig
 from repro.graph.graph import Graph
 from repro.hardware.gpu import GPUSpec
 from repro.pipeline.cache import CompileCache
@@ -66,6 +67,7 @@ def compile_run(
     engine_options: EngineOptions | None = None,
     observers: tuple[EngineObserver, ...] | list[EngineObserver] = (),
     iterations: int | None = None,
+    faults: FaultConfig | None = None,
 ) -> CompiledRun:
     """Profile, plan, lower and execute one configuration.
 
@@ -74,9 +76,20 @@ def compile_run(
     matching the analysis layer's sweep contract. With ``iterations``
     set, the execute stage runs that many back-to-back iterations and
     records per-iteration durations in ``executed.durations``.
+
+    ``faults`` attaches a fault-injection configuration to the execute
+    stage (overriding any on ``engine_options``) and folds its
+    signature into the plan-stage cache key, so chaos sweeps never share
+    plan artifacts across fault configurations. ``faults=None`` leaves
+    every stage — and every cache key — byte-identical to a fault-free
+    pipeline.
     """
     policy = resolve_policy(policy)
     profiler = profiler or Profiler(gpu)
+    if faults is not None:
+        engine_options = replace(
+            engine_options or EngineOptions(), faults=faults,
+        )
     telemetry = get_telemetry()
     tracer = telemetry.tracer
     metrics = telemetry.metrics
@@ -86,7 +99,10 @@ def compile_run(
     if profile.cached:
         metrics.counter("pipeline.profile.cached").inc()
     with tracer.span("plan", model=graph.name, policy=policy.name):
-        plan = PlanStage(policy).run(graph, gpu, profile, cache=cache)
+        plan = PlanStage(policy).run(
+            graph, gpu, profile, cache=cache,
+            faults=(engine_options.faults if engine_options else None),
+        )
     if plan.cached:
         metrics.counter("pipeline.plan.cached").inc()
     if not plan.feasible:

@@ -19,6 +19,7 @@ from repro.core.augment import AugmentedProgram, AugmentOptions, augment_graph
 from repro.core.plan import Plan
 from repro.core.profiler import ProfileData, Profiler
 from repro.errors import OutOfMemoryError, PlanningError, PolicyError
+from repro.faults.model import FaultConfig, fault_signature
 from repro.graph.graph import Graph
 from repro.graph.scheduler import dfs_schedule
 from repro.hardware.gpu import GPUSpec
@@ -178,15 +179,31 @@ class PlanStage:
     def __init__(self, policy: MemoryPolicy) -> None:
         self.policy = policy
 
-    def key(self, profile: ProfileArtifact, gpu: GPUSpec) -> str:
+    def key(
+        self,
+        profile: ProfileArtifact,
+        gpu: GPUSpec,
+        faults: FaultConfig | None = None,
+    ) -> str:
         """Plans depend on the profile they were planned against, the
-        capacity they had to fit, and the policy's full configuration."""
-        return fingerprint({
+        capacity they had to fit, and the policy's full configuration.
+
+        A fault configuration joins the payload only when one is set:
+        fault-free keys are bit-identical to pre-fault keys (caches
+        survive the upgrade), while chaos sweeps at different
+        intensities never share plan artifacts that could become
+        fault-dependent.
+        """
+        payload = {
             "stage": "plan",
             "profile": profile.key,
             "capacity": gpu_capacity_signature(gpu),
             "policy": self.policy.cache_token(),
-        })
+        }
+        signature = fault_signature(faults)
+        if signature is not None:
+            payload["faults"] = signature
+        return fingerprint(payload)
 
     def run(
         self,
@@ -194,6 +211,7 @@ class PlanStage:
         gpu: GPUSpec,
         profile: ProfileArtifact,
         cache: CompileCache | None = None,
+        faults: FaultConfig | None = None,
     ) -> PlanArtifact:
         """Plan against a profile; planning failures become artifacts
         too (``error`` set), never exceptions."""
@@ -201,7 +219,7 @@ class PlanStage:
         if cache is not None and profile.key:
             metrics = get_telemetry().metrics
             with metrics.timer("compile_cache.plan.key_seconds").time():
-                key = self.key(profile, gpu)
+                key = self.key(profile, gpu, faults)
         if key:
             hit = cache.get(key, kind="plan")
             if hit is not None:

@@ -25,8 +25,18 @@ true discrete-event system:
   ever satisfy them;
 * pluggable :class:`~repro.runtime.observers.EngineObserver` instances
   that watch the chronological event stream (instruction start/end,
-  alloc/free, stall begin/end, OOM) — tracing cost is opt-in per
-  observer.
+  alloc/free, stall begin/end, fault/recovery, OOM) — tracing cost is
+  opt-in per observer;
+* optional **fault injection with graceful degradation**: with a
+  :class:`~repro.faults.model.FaultConfig` attached, kernel times and
+  PCIe bandwidth jitter, transfers fail transiently and are retried
+  with exponential backoff, and an allocation that can never fit
+  triggers emergency eviction of the coldest resident (micro-)tensors
+  (SuperNeurons-style) — with automatic re-fetch when an evicted tensor
+  is consumed again — instead of aborting. Every recovery action is
+  recorded in the trace and telemetry. With ``faults=None`` the fault
+  machinery is completely inert and runs are byte-identical to a
+  pre-fault engine.
 
 The engine is deliberately *not* given the plan or the graph: everything
 it needs is in the instruction stream, which keeps the augmenter honest
@@ -39,10 +49,11 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import OutOfMemoryError, RuntimeExecutionError
+from repro.faults.model import FaultConfig, FaultModel
 from repro.hardware.gpu import GPUSpec
 from repro.hardware.memory_pool import DeviceMemoryLedger
 from repro.hardware.pcie import PCIeModel
-from repro.hardware.streams import Stream, StreamSet
+from repro.hardware.streams import Event, Stream, StreamSet
 from repro.runtime.instructions import (
     ComputeInstr,
     Device,
@@ -51,6 +62,7 @@ from repro.runtime.instructions import (
     Program,
     SwapInInstr,
     SwapOutInstr,
+    TensorRef,
     XferInstr,
     instr_reads,
     instr_stream,
@@ -71,6 +83,10 @@ class EngineOptions:
     #: Observers attached to every run of this engine, in addition to
     #: any passed per-call to :meth:`Engine.execute`.
     observers: tuple[EngineObserver, ...] = ()
+    #: Fault-injection configuration; ``None`` (the default) keeps every
+    #: fault/recovery code path inert and execution byte-identical to an
+    #: engine without the fault layer.
+    faults: FaultConfig | None = None
 
 
 class Engine:
@@ -146,7 +162,8 @@ class _Lane:
 class _Candidate:
     """A dispatchable lane head with its resolved start time."""
 
-    __slots__ = ("start", "issue", "lane", "instr", "not_before", "need")
+    __slots__ = ("start", "issue", "lane", "instr", "not_before", "need",
+                 "skip")
 
     def __init__(
         self,
@@ -156,6 +173,7 @@ class _Candidate:
         instr: Instruction,
         not_before: float = 0.0,
         need: int = 0,
+        skip: bool = False,
     ) -> None:
         self.start = start
         self.issue = issue
@@ -163,6 +181,10 @@ class _Candidate:
         self.instr = instr
         self.not_before = not_before
         self.need = need
+        #: Recovery no-op: the instruction's effect already happened out
+        #: of band (emergency eviction / re-fetch), so dispatch only
+        #: updates bookkeeping without touching streams or the ledger.
+        self.skip = skip
 
 
 class _Blocked:
@@ -171,15 +193,33 @@ class _Blocked:
     Carries the error to raise if the whole machine turns out to be
     stuck on it; transient blocks (a dependency produced by a not yet
     dispatched earlier instruction) clear on their own as other lanes
-    advance, so the error only surfaces when no lane can move.
+    advance, so the error only surfaces when no lane can move. With the
+    recovery layer enabled it additionally carries what a recovery
+    could do about the block: refs to re-fetch from host, or the
+    allocation shape (need/credit/protected keys) an emergency eviction
+    would have to satisfy.
     """
 
-    __slots__ = ("issue", "error", "label")
+    __slots__ = ("issue", "error", "label", "refetch", "need", "credit",
+                 "protect")
 
-    def __init__(self, issue: int, error: Exception, label: str = "") -> None:
+    def __init__(
+        self,
+        issue: int,
+        error: Exception,
+        label: str = "",
+        refetch: tuple[TensorRef, ...] = (),
+        need: int = 0,
+        credit: int = 0,
+        protect: tuple[tuple[int, int], ...] = (),
+    ) -> None:
         self.issue = issue
         self.error = error
         self.label = label
+        self.refetch = refetch
+        self.need = need
+        self.credit = credit
+        self.protect = protect
 
 
 class _Run:
@@ -228,6 +268,30 @@ class _Run:
         self.split_kernels = 0
         #: Latest completion event dispatched so far (the event clock).
         self.clock = 0.0
+        #: Per-run fault sampler; ``None`` keeps every fault path inert.
+        self.faults: FaultModel | None = (
+            FaultModel(options.faults) if options.faults is not None else None
+        )
+        self._recovery = (
+            options.faults is not None and options.faults.emergency_eviction
+        )
+        #: Keys whose current *non*-residency is an emergency eviction
+        #: the plan doesn't know about (skip planned swap-out/free,
+        #: re-fetch on demand).
+        self._emergency: set[tuple[int, int]] = set()
+        #: Keys currently resident because of an emergency re-fetch the
+        #: plan doesn't know about (skip the planned swap-in).
+        self._refetched: set[tuple[int, int]] = set()
+        #: Fault/recovery statistics (all stay zero with faults=None).
+        self.transfer_retries = 0
+        self.retry_backoff_time = 0.0
+        self.emergency_evictions = 0
+        self.emergency_evicted_bytes = 0
+        self.emergency_refetches = 0
+        self.recovered_skips = 0
+        #: Consecutive recovery actions with no dispatch in between
+        #: (defensive thrash guard).
+        self._recovery_streak = 0
         self._key_labels: dict[tuple[int, int], str] = {}
         self.lanes = {
             "compute": _Lane("compute", self.streams.compute),
@@ -337,6 +401,22 @@ class _Run:
             observer.on_instr_start(label, kind, stream, start, nbytes, tag)
             observer.on_instr_end(label, kind, stream, start, end, nbytes, tag)
 
+    def _notify_fault(
+        self, time: float, kind: str, label: str, nbytes: int = 0,
+    ) -> None:
+        """Record one fault/recovery action in observers and telemetry.
+
+        Only reachable from fault paths, so the clean-run hot path never
+        pays for the telemetry lookup.
+        """
+        for observer in self.observers:
+            observer.on_fault(time, kind, label, nbytes)
+        from repro.telemetry import get_telemetry
+
+        metrics = get_telemetry().metrics
+        if metrics.enabled:
+            metrics.counter(f"engine.faults.{kind}").inc()
+
     # -- execution ---------------------------------------------------------------
 
     def execute(self) -> ExecutionTrace:
@@ -367,6 +447,7 @@ class _Run:
         while remaining:
             best: _Candidate | None = None
             stuck: _Blocked | None = None
+            blocked: list[_Blocked] = []
             for lane in self.lanes.values():
                 if not lane.queue:
                     continue
@@ -374,6 +455,8 @@ class _Run:
                 if isinstance(head, _Blocked):
                     if stuck is None or head.issue < stuck.issue:
                         stuck = head
+                    if self._recovery:
+                        blocked.append(head)
                     continue
                 if best is None or (head.start, head.issue) < (
                     best.start, best.issue,
@@ -385,6 +468,13 @@ class _Run:
                         f"{self.program.name}: dispatcher wedged with "
                         f"{remaining} instructions left"
                     )
+                # Graceful degradation: with recovery enabled, a wedged
+                # machine gets one recovery action (re-fetch an
+                # emergency-evicted dependency, or evict cold residents
+                # to satisfy a terminal allocation failure) and the
+                # dispatch loop retries.
+                if self._recovery and self._recover(blocked):
+                    continue
                 error = stuck.error
                 if isinstance(error, OutOfMemoryError):
                     for observer in self.observers:
@@ -396,6 +486,7 @@ class _Run:
             best.lane.queue.popleft()
             self._dispatch(best)
             self._dispatched[best.issue] = True
+            self._recovery_streak = 0
             for ref in instr_reads(best.instr):
                 key = ref.key
                 self._reads_done[key] = self._reads_done.get(key, 0) + 1
@@ -425,6 +516,13 @@ class _Run:
             records=tracer.records if tracer else [],
             memory_samples=tracer.samples if tracer else [],
             alloc_events=tracer.alloc_events if tracer else [],
+            transfer_retries=self.transfer_retries,
+            retry_backoff_time=self.retry_backoff_time,
+            emergency_evictions=self.emergency_evictions,
+            emergency_evicted_bytes=self.emergency_evicted_bytes,
+            emergency_refetches=self.emergency_refetches,
+            recovered_skips=self.recovered_skips,
+            fault_events=tracer.fault_events if tracer else [],
         )
         for observer in self.observers:
             observer.on_run_end(trace)
@@ -476,10 +574,21 @@ class _Run:
         for ref in instr.inputs:
             time = self.ready.get(ref.key)
             if time is None:
+                refetch: tuple[TensorRef, ...] = ()
+                if self._recovery:
+                    # Inputs whose absence is an emergency eviction can
+                    # be re-materialised from their host copy if the
+                    # machine wedges on this block.
+                    refetch = tuple(
+                        r for r in instr.inputs
+                        if r.key not in self.ready
+                        and r.key in self._emergency
+                        and r.key in self.host_copy
+                    )
                 return _Blocked(issue, RuntimeExecutionError(
                     f"{self.program.name}: {instr.label!r} uses tensor "
                     f"{ref.key} which is not resident"
-                ), instr.label)
+                ), instr.label, refetch=refetch)
             deps = max(deps, time)
         need = instr.transient_bytes
         for ref in (*instr.outputs, *instr.alloc_only):
@@ -506,8 +615,13 @@ class _Run:
         not_before = max(lane.stream.earliest_start(deps), self.ledger.time)
         start = self.ledger.earliest_fit(need, not_before, credit=credit)
         if start is None:
+            protect = (
+                tuple(ref.key for ref in (*instr.inputs, *instr.finishes))
+                if self._recovery else ()
+            )
             return _Blocked(issue, self._device_oom(instr.label, need, credit),
-                            instr.label)
+                            instr.label, need=need, credit=credit,
+                            protect=protect)
         return _Candidate(start, issue, lane, instr, not_before, need)
 
     def _prepare_cpu(
@@ -533,6 +647,12 @@ class _Run:
             return held
         time = self.ready.get(instr.ref.key)
         if time is None:
+            if self._recovery and instr.ref.key in self._emergency:
+                # Already on host via an emergency eviction: the planned
+                # swap-out is satisfied; dispatch as a bookkeeping no-op.
+                return _Candidate(
+                    lane.stream.clock, issue, lane, instr, skip=True,
+                )
             return _Blocked(issue, RuntimeExecutionError(
                 f"{self.program.name}: 'swap_out({instr.ref.label})' uses "
                 f"tensor {instr.ref.key} which is not resident"
@@ -552,6 +672,12 @@ class _Run:
                 f"without a host copy"
             ), instr.ref.label)
         if key in self.resident:
+            if self._recovery and key in self._refetched:
+                # Already brought back by an emergency re-fetch: the
+                # planned swap-in is satisfied; dispatch as a no-op.
+                return _Candidate(
+                    lane.stream.clock, issue, lane, instr, skip=True,
+                )
             return _Blocked(issue, RuntimeExecutionError(
                 f"{self.program.name}: swap-in of already-resident "
                 f"{instr.ref.label!r}"
@@ -566,6 +692,7 @@ class _Run:
             label = f"swap_in({instr.ref.label})"
             return _Blocked(
                 issue, self._device_oom(label, instr.ref.nbytes, 0), label,
+                need=instr.ref.nbytes,
             )
         return _Candidate(
             start, issue, lane, instr, not_before, instr.ref.nbytes,
@@ -578,6 +705,12 @@ class _Run:
         if held is not None:
             return held
         if instr.ref.key not in self.resident and not instr.missing_ok:
+            if self._recovery and instr.ref.key in self._emergency:
+                # The bytes were already reclaimed by an emergency
+                # eviction; the planned free is satisfied.
+                return _Candidate(
+                    lane.stream.clock, issue, lane, instr, skip=True,
+                )
             return _Blocked(issue, RuntimeExecutionError(
                 f"{self.program.name}: free of non-resident "
                 f"{instr.ref.label!r}"
@@ -625,6 +758,9 @@ class _Run:
     def _dispatch(self, cand: _Candidate) -> None:
         """Apply one instruction's effects at its resolved start time."""
         instr = cand.instr
+        if cand.skip:
+            self._dispatch_skip(cand)
+            return
         if isinstance(instr, ComputeInstr):
             if instr.device is Device.CPU:
                 self._dispatch_cpu(cand, instr)
@@ -651,8 +787,11 @@ class _Run:
             for ref in instr.inputs:
                 self._release(ref.key, start, instr.label)
         self.ledger.allocate(need, start, self._free_hook)
+        duration = instr.duration
+        if self.faults is not None:
+            duration = duration * self.faults.kernel_scale()
         event = cand.lane.stream.schedule(
-            instr.duration, after=start, label=instr.label,
+            duration, after=start, label=instr.label,
         )
         self.clock = max(self.clock, event.time)
         if instr.transient_bytes:
@@ -679,7 +818,7 @@ class _Run:
             if event.time > self._read_end.get(key, 0.0):
                 self._read_end[key] = event.time
         if instr.tag == "recompute":
-            self.recompute_time += instr.duration
+            self.recompute_time += duration
             self.recompute_ops += 1
         if "[" in instr.label:
             self.split_kernels += 1
@@ -706,11 +845,53 @@ class _Run:
         self._notify_instr(instr.label, "compute", "cpu", cand.start,
                            event.time, tag=instr.tag)
 
+    def _pcie_schedule(
+        self, stream: Stream, nbytes: int, after: float, label: str,
+    ) -> tuple[Event, float]:
+        """Schedule one PCIe transfer, injecting faults when configured.
+
+        Clean path (``faults=None``): exactly one schedule at nominal
+        bandwidth — byte-identical to the pre-fault engine. Fault path:
+        each attempt's bandwidth is jittered/degraded; a transiently
+        failing attempt occupies the copy engine for ``failed_fraction``
+        of its would-be duration, then the stream backs off
+        exponentially before retrying. The fault model guarantees
+        success within ``max_transfer_retries``, so the loop always
+        terminates. Returns ``(completion event, successful-attempt
+        duration)``.
+        """
+        faults = self.faults
+        if faults is None or nbytes == 0:
+            duration = self.pcie.transfer_time(nbytes)
+            return stream.schedule(duration, after=after, label=label), duration
+        attempt = 0
+        start_after = after
+        while True:
+            duration = self.pcie.transfer_time(
+                nbytes, rate_scale=faults.transfer_rate_scale(),
+            )
+            if not faults.transfer_fails(attempt):
+                event = stream.schedule(
+                    duration, after=start_after, label=label,
+                )
+                return event, duration
+            wasted = duration * faults.config.failed_fraction
+            fail = stream.schedule(
+                wasted, after=start_after, label=f"{label}!fail",
+            )
+            backoff = faults.backoff(attempt)
+            start_after = fail.time + backoff
+            attempt += 1
+            self.transfer_retries += 1
+            self.retry_backoff_time += backoff
+            self.clock = max(self.clock, fail.time)
+            self._notify_fault(fail.time, "transfer_retry", label, nbytes)
+
     def _dispatch_swap_out(self, cand: _Candidate, instr: SwapOutInstr) -> None:
         key = instr.ref.key
-        duration = self.pcie.transfer_time(instr.ref.nbytes)
-        event = cand.lane.stream.schedule(
-            duration, after=cand.start, label=f"d2h({instr.ref.label})",
+        event, duration = self._pcie_schedule(
+            cand.lane.stream, instr.ref.nbytes, cand.start,
+            f"d2h({instr.ref.label})",
         )
         self.clock = max(self.clock, event.time)
         # The buffer dies when both the transfer and every earlier
@@ -747,9 +928,9 @@ class _Run:
         key = instr.ref.key
         start = cand.start
         self.ledger.allocate(instr.ref.nbytes, start, self._free_hook)
-        duration = self.pcie.transfer_time(instr.ref.nbytes)
-        event = cand.lane.stream.schedule(
-            duration, after=start, label=f"h2d({instr.ref.label})",
+        event, duration = self._pcie_schedule(
+            cand.lane.stream, instr.ref.nbytes, start,
+            f"h2d({instr.ref.label})",
         )
         self.clock = max(self.clock, event.time)
         self.resident[key] = instr.ref.nbytes
@@ -765,7 +946,13 @@ class _Run:
     def _dispatch_free(self, cand: _Candidate, instr: FreeInstr) -> None:
         key = instr.ref.key
         if key not in self.resident:
-            return  # missing_ok; _prepare_free rejected the other case
+            # missing_ok; _prepare_free rejected the other case. If the
+            # absence is an emergency eviction, the planned free is the
+            # key's official end of life — forget the recovery state so
+            # a later reuse of the key id starts clean.
+            if self._recovery:
+                self._emergency.discard(key)
+            return
         # The buffer dies when the compute stream has passed its last
         # consumer — no earlier than its ready time, the compute clock,
         # the finish of any dispatched reader on another lane, or the
@@ -779,9 +966,8 @@ class _Run:
         self._release(key, at, f"free({instr.ref.label})")
 
     def _dispatch_xfer(self, cand: _Candidate, instr: XferInstr) -> None:
-        duration = self.pcie.transfer_time(instr.nbytes)
-        event = cand.lane.stream.schedule(
-            duration, after=cand.start, label=instr.label,
+        event, duration = self._pcie_schedule(
+            cand.lane.stream, instr.nbytes, cand.start, instr.label,
         )
         self.clock = max(self.clock, event.time)
         if instr.direction == "h2d":
@@ -805,6 +991,173 @@ class _Run:
                 f"{self.program.name}: {label} releases non-resident {key}"
             )
         self.ready.pop(key, None)
+        if self._recovery:
+            # A planned eviction/free of a re-fetched tensor is its
+            # normal end of life; the re-fetch marker must not outlive
+            # residency.
+            self._refetched.discard(key)
         self.ledger.schedule_free(
             nbytes, at, self._key_labels.pop(key, label),
         )
+
+    # -- fault recovery (graceful degradation) -----------------------------------
+
+    def _dispatch_skip(self, cand: _Candidate) -> None:
+        """Bookkeeping no-op for a planned instruction whose effect an
+        emergency action already produced out of band."""
+        instr = cand.instr
+        key = instr.ref.key  # type: ignore[union-attr]
+        if isinstance(instr, SwapInInstr):
+            self._refetched.discard(key)
+            kind = "skip_swap_in"
+        elif isinstance(instr, SwapOutInstr):
+            self._emergency.discard(key)
+            kind = "skip_swap_out"
+        else:
+            self._emergency.discard(key)
+            kind = "skip_free"
+        self.recovered_skips += 1
+        self._notify_fault(cand.start, kind, instr.ref.label,
+                           instr.ref.nbytes)
+
+    def _recover(self, blocked: list[_Blocked]) -> bool:
+        """One recovery action for a fully-wedged machine.
+
+        Preference order: re-materialise an emergency-evicted dependency
+        of the lowest-issue block that carries re-fetch hints, otherwise
+        emergency-evict cold residents to satisfy the lowest-issue
+        terminal allocation failure. Returns True when an action was
+        taken (the dispatch loop then retries head preparation), False
+        to let the original error surface.
+        """
+        self._recovery_streak += 1
+        if self._recovery_streak > 4 * len(self.program.instructions) + 64:
+            return False  # thrashing; surface the underlying error
+        for head in sorted(blocked, key=lambda b: b.issue):
+            if head.refetch and self._refetch(head.refetch):
+                return True
+        for head in sorted(blocked, key=lambda b: b.issue):
+            if isinstance(head.error, OutOfMemoryError) and head.need > 0:
+                if self._evict_until_fits(
+                    head.need, head.credit, set(head.protect), head.label,
+                ):
+                    return True
+        return False
+
+    def _refetch(self, refs: tuple[TensorRef, ...]) -> bool:
+        """Re-materialise emergency-evicted tensors from their host copies."""
+        done = False
+        for ref in refs:
+            key = ref.key
+            if key in self.resident or key not in self._emergency:
+                continue
+            host_ready = self.host_copy.get(key)
+            if host_ready is None:  # pragma: no cover - defensive
+                continue
+            not_before = max(
+                self.streams.h2d.earliest_start(host_ready), self.ledger.time,
+            )
+            start = self.ledger.earliest_fit(ref.nbytes, not_before)
+            if start is None:
+                if not self._evict_until_fits(
+                    ref.nbytes, 0, {key}, f"refetch({ref.label})",
+                ):
+                    continue
+                start = self.ledger.earliest_fit(ref.nbytes, not_before)
+                if start is None:  # pragma: no cover - defensive
+                    continue
+            self.ledger.allocate(ref.nbytes, start, self._free_hook)
+            event, duration = self._pcie_schedule(
+                self.streams.h2d, ref.nbytes, start, f"refetch({ref.label})",
+            )
+            self.clock = max(self.clock, event.time)
+            self.resident[key] = ref.nbytes
+            self.ready[key] = event.time
+            self._key_labels[key] = ref.label
+            self._emergency.discard(key)
+            self._refetched.add(key)
+            self.swapped_in += ref.nbytes
+            self.emergency_refetches += 1
+            self._notify_alloc(start, ref.label, ref.nbytes)
+            self._notify_instr(
+                ref.label, "swap_in", "h2d", event.time - duration,
+                event.time, nbytes=ref.nbytes, tag="refetch",
+            )
+            self._notify_fault(start, "refetch", ref.label, ref.nbytes)
+            done = True
+        return done
+
+    def _evict_until_fits(
+        self,
+        need: int,
+        credit: int,
+        protect: set[tuple[int, int]],
+        label: str,
+    ) -> bool:
+        """Emergency-evict coldest residents until ``need`` can ever fit."""
+        evicted = False
+        while self.ledger.best_case_free(credit=credit) < need:
+            victim = self._coldest_victim(protect)
+            if victim is None:
+                return False
+            self._emergency_evict(victim)
+            evicted = True
+        return evicted
+
+    def _coldest_victim(
+        self, protect: set[tuple[int, int]],
+    ) -> tuple[int, int] | None:
+        """Coldest evictable resident tensor (SuperNeurons-style).
+
+        Coldness is the last instant the tensor was touched —
+        ``max(ready time, latest dispatched read end)`` — oldest first;
+        ties prefer the largest buffer (fewest evictions), then the
+        smallest key for determinism. Buffers still being written
+        (alloc_only, not yet in ``ready``) and protected keys (the
+        blocked instruction's own operands) are never victims.
+        """
+        best_key: tuple[int, int] | None = None
+        best_rank: tuple[float, int, tuple[int, int]] | None = None
+        for key, nbytes in self.resident.items():
+            if nbytes <= 0 or key in protect:
+                continue
+            ready = self.ready.get(key)
+            if ready is None:
+                continue
+            rank = (
+                max(ready, self._read_end.get(key, 0.0)), -nbytes, key,
+            )
+            if best_rank is None or rank < best_rank:
+                best_key, best_rank = key, rank
+        return best_key
+
+    def _emergency_evict(self, key: tuple[int, int]) -> None:
+        """Evict one resident tensor to host, out of band of the plan."""
+        nbytes = self.resident[key]
+        label = self._key_labels.get(key, f"tensor{key}")
+        after = max(
+            self.ready.get(key, 0.0), self.streams.d2h.clock,
+            self.ledger.time,
+        )
+        event, duration = self._pcie_schedule(
+            self.streams.d2h, nbytes, after, f"evict({label})",
+        )
+        self.clock = max(self.clock, event.time)
+        release_at = max(
+            event.time, self._read_end.get(key, 0.0), self.ledger.time,
+        )
+        self._release(key, release_at, f"evict({label})")
+        if key not in self.host_copy:
+            self.host_used += nbytes
+            self.host_peak = max(self.host_peak, self.host_used)
+        self.host_copy[key] = event.time
+        self.swapped_out += nbytes
+        self.emergency_evictions += 1
+        self.emergency_evicted_bytes += nbytes
+        self._emergency.add(key)
+        self._notify_instr(
+            label, "swap_out", "d2h", event.time - duration, event.time,
+            nbytes=nbytes, tag="emergency",
+        )
+        self._notify_fault(event.time - duration, "emergency_evict",
+                           label, nbytes)

@@ -83,6 +83,20 @@ class EngineObserver:
     ) -> None:
         """No amount of waiting can satisfy ``requested`` bytes."""
 
+    def on_fault(
+        self, time: float, kind: str, label: str, nbytes: int = 0,
+    ) -> None:
+        """A fault was injected or a recovery action taken at ``time``.
+
+        Kinds: ``transfer_retry`` (transient transfer failure, retried
+        with backoff), ``emergency_evict`` (cold resident evicted to
+        dodge an over-capacity allocation), ``refetch`` (evicted tensor
+        re-materialised on demand), ``skip_swap_out`` / ``skip_swap_in``
+        / ``skip_free`` (planned instruction already satisfied by an
+        emergency action, dispatched as a no-op). Never fires on clean
+        runs (``faults=None``).
+        """
+
     def on_run_end(self, trace: ExecutionTrace) -> None:
         """Called once with the finalized trace."""
 
@@ -100,6 +114,7 @@ class TraceObserver(EngineObserver):
         self.records: list[InstrRecord] = []
         self.samples: list[MemorySample] = []
         self.alloc_events: list[tuple[float, str, int]] = []
+        self.fault_events: list[tuple[float, str, str, int]] = []
 
     def on_instr_end(
         self, label: str, kind: str, stream: str, start: float, end: float,
@@ -125,6 +140,12 @@ class TraceObserver(EngineObserver):
         if nbytes:
             self.alloc_events.append((time, label, -nbytes))
         self.samples.append(MemorySample(time, used))
+
+    def on_fault(
+        self, time: float, kind: str, label: str, nbytes: int = 0,
+    ) -> None:
+        """Log one fault/recovery action (empty for clean runs)."""
+        self.fault_events.append((time, kind, label, nbytes))
 
 
 class MemoryTimelineObserver(EngineObserver):
@@ -181,6 +202,7 @@ class MemoryTimelineObserver(EngineObserver):
 #: Stable Chrome-trace thread ids for the engine's streams.
 _CHROME_TIDS = {"compute": 0, "d2h": 1, "h2d": 2, "cpu": 3}
 _STALL_TID = 4
+_FAULT_TID = 5
 
 #: Process-id allocator shared by every ChromeTraceObserver: multiple
 #: observers (or multiple runs through one observer) written into one
@@ -238,6 +260,10 @@ class ChromeTraceObserver(EngineObserver):
             "ph": "M", "name": "thread_name", "pid": self._pid,
             "tid": _STALL_TID, "args": {"name": "memory stalls"},
         })
+        self.events.append({
+            "ph": "M", "name": "thread_name", "pid": self._pid,
+            "tid": _FAULT_TID, "args": {"name": "faults & recovery"},
+        })
 
     def on_instr_end(
         self, label: str, kind: str, stream: str, start: float, end: float,
@@ -258,6 +284,16 @@ class ChromeTraceObserver(EngineObserver):
             "pid": self._pid, "tid": _STALL_TID,
             "ts": (time - stalled) * 1e6, "dur": stalled * 1e6,
             "args": {},
+        })
+
+    def on_fault(
+        self, time: float, kind: str, label: str, nbytes: int = 0,
+    ) -> None:
+        """Emit an instant event on the dedicated fault/recovery track."""
+        self.events.append({
+            "ph": "i", "name": f"{kind}({label})", "cat": "fault",
+            "pid": self._pid, "tid": _FAULT_TID, "ts": time * 1e6,
+            "s": "t", "args": {"kind": kind, "nbytes": nbytes},
         })
 
     def _counter(self, time: float, used: int) -> None:

@@ -66,12 +66,32 @@ class ExecutionTrace:
     split_kernels: int
     #: Peak host (CPU) memory holding swapped-out copies.
     host_peak_bytes: int = 0
+    #: Fault/recovery statistics (all zero for clean runs, ``faults=None``).
+    #: Transient transfer failures that were retried with backoff.
+    transfer_retries: int = 0
+    #: Total simulated seconds spent in retry backoff.
+    retry_backoff_time: float = 0.0
+    #: Emergency evictions of cold residents on over-capacity allocation.
+    emergency_evictions: int = 0
+    emergency_evicted_bytes: int = 0
+    #: Emergency-evicted tensors re-materialised on demand.
+    emergency_refetches: int = 0
+    #: Planned instructions satisfied out of band by a recovery action
+    #: and dispatched as bookkeeping no-ops.
+    recovered_skips: int = 0
     records: list[InstrRecord] = field(default_factory=list)
     memory_samples: list[MemorySample] = field(default_factory=list)
     #: Chronologically-ordered (time, label, +/-bytes) allocation events,
     #: recorded when tracing is on; consumed by the allocator-replay
     #: analysis to study pool placement and fragmentation.
     alloc_events: list[tuple[float, str, int]] = field(default_factory=list)
+    #: Chronological ``(time, kind, label, nbytes)`` fault/recovery log,
+    #: recorded when tracing is on. Kinds: ``transfer_retry``,
+    #: ``emergency_evict``, ``refetch``, ``skip_swap_out``,
+    #: ``skip_swap_in``, ``skip_free``.
+    fault_events: list[tuple[float, str, str, int]] = field(
+        default_factory=list,
+    )
 
     @property
     def throughput(self) -> float:
@@ -103,6 +123,16 @@ class ExecutionTrace:
         if self.compute_busy <= 0:
             return 0.0
         return self.iteration_time / self.compute_busy - 1.0
+
+    @property
+    def recovery_actions(self) -> int:
+        """Total fault-recovery actions taken (zero for clean runs)."""
+        return (
+            self.transfer_retries
+            + self.emergency_evictions
+            + self.emergency_refetches
+            + self.recovered_skips
+        )
 
     @property
     def stall_fraction(self) -> float:

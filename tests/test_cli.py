@@ -125,3 +125,46 @@ class TestExplain:
                   "--policy", "base"])
         assert excinfo.value.code == 1
         assert "INFEASIBLE" in capsys.readouterr().out
+
+
+class TestChaos:
+    def test_chaos_smoke_report(self, capsys):
+        main(["chaos", "vgg16", "--batch", "2", "--policy", "base",
+              "--smoke"])
+        out = capsys.readouterr().out
+        assert "intensity" in out
+        assert "survived" in out
+        assert "clean: iter" in out
+
+    def test_chaos_json_artifact(self, capsys, tmp_path):
+        report_path = tmp_path / "chaos.json"
+        main(["chaos", "vgg16", "--batch", "2", "--policy", "base",
+              "--smoke", "--json", str(report_path)])
+        import json
+
+        payload = json.loads(report_path.read_text())
+        assert payload["report"] == "chaos_sweep"
+        assert payload["clean"]["feasible"] is True
+        assert payload["survival_rate"] == 1.0
+        # --smoke runs 2 intensities x 2 seeds.
+        assert len(payload["points"]) == 4
+        zero = [p for p in payload["points"] if p["intensity"] == 0.0]
+        assert all(p["recovery_actions"] == 0 for p in zero)
+
+    def test_chaos_intensity_list(self, capsys):
+        main(["chaos", "vgg16", "--batch", "2", "--policy", "base",
+              "--intensities", "0,1", "--seeds", "1"])
+        out = capsys.readouterr().out
+        assert "survived 2/2" in out
+
+    def test_chaos_bad_intensities_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "vgg16", "--batch", "2",
+                  "--intensities", "0,potato"])
+
+    def test_chaos_infeasible_clean_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos", "vgg16", "--batch", "4096", "--policy", "base",
+                  "--smoke"])
+        assert excinfo.value.code == 1
+        assert "INFEASIBLE" in capsys.readouterr().out

@@ -1,0 +1,380 @@
+"""The fault-injection layer: determinism, recovery, zero overhead.
+
+Covers the tentpole contracts of the ``repro.faults`` subsystem:
+
+* config validation and the fault model's transient-failure guarantee;
+* ``faults=None`` and the null (all-zero) config are byte-identical to
+  clean runs;
+* same seed => byte-identical traces and telemetry counters; different
+  seeds => documented divergence;
+* transient transfer failures are retried to completion; over-capacity
+  allocations degrade gracefully via emergency eviction instead of
+  aborting, and every recovered program still passes the verifier with
+  engine-vs-replay peak agreement;
+* the 50-seed chaos acceptance sweep on tiny_cnn + tiny_resnet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import telemetry
+from repro.analysis.allocator_replay import chronological_peak
+from repro.core.verify import verify_program
+from repro.errors import HardwareError
+from repro.faults import (
+    ChaosReport,
+    FaultConfig,
+    FaultModel,
+    chaos_sweep,
+    fault_signature,
+    intensity_config,
+)
+from repro.hardware.pcie import PCIeModel
+from repro.pipeline.compile import compile_run
+from repro.pipeline.stages import PlanStage, ProfileStage
+from repro.policies.base import get_policy
+from repro.runtime.engine import Engine, EngineOptions
+from tests.conftest import BIG_GPU, build_tiny_cnn, build_tiny_resnet
+
+#: A hostile-but-recoverable config used across the recovery tests.
+NOISY = FaultConfig(
+    seed=7, kernel_noise=0.05, pcie_jitter=0.1,
+    pcie_degradation=0.15, transfer_failure_rate=0.3,
+)
+
+
+def trace_fingerprint(trace) -> tuple:
+    """Every observable field of a trace, for byte-identity assertions."""
+    return (
+        trace.iteration_time, trace.compute_busy, trace.cpu_busy,
+        trace.d2h_busy, trace.h2d_busy, trace.memory_stall,
+        trace.peak_memory, trace.persistent_bytes,
+        trace.swapped_out_bytes, trace.swapped_in_bytes,
+        trace.recompute_time, trace.recompute_ops, trace.split_kernels,
+        trace.host_peak_bytes, trace.transfer_retries,
+        trace.retry_backoff_time, trace.emergency_evictions,
+        trace.emergency_evicted_bytes, trace.emergency_refetches,
+        trace.recovered_skips, tuple(trace.records),
+        tuple(trace.memory_samples), tuple(trace.alloc_events),
+        tuple(trace.fault_events),
+    )
+
+
+def shrunk_gpu(peak: int, frac: float):
+    """BIG_GPU with capacity at ``frac`` of a measured clean peak."""
+    return replace(
+        BIG_GPU, name="shrunk-gpu", memory_bytes=int(peak * frac),
+    )
+
+
+class TestFaultConfig:
+    def test_defaults_are_null(self):
+        config = FaultConfig()
+        assert not config.perturbs_timing
+        assert config.emergency_eviction
+
+    @pytest.mark.parametrize("kwargs", [
+        {"kernel_noise": -0.1},
+        {"pcie_jitter": -1.0},
+        {"pcie_degradation": 1.0},
+        {"pcie_degradation": -0.1},
+        {"transfer_failure_rate": 1.5},
+        {"transfer_failure_rate": -0.5},
+        {"max_transfer_retries": 0},
+        {"retry_backoff": -1e-6},
+        {"failed_fraction": 0.0},
+        {"failed_fraction": 1.5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(HardwareError):
+            FaultConfig(**kwargs)
+
+    def test_signature_round_trip(self):
+        config = FaultConfig(seed=3, kernel_noise=0.05)
+        assert fault_signature(config) == config.signature()
+        assert fault_signature(None) is None
+        assert config.signature()["seed"] == 3
+
+    def test_intensity_zero_is_null(self):
+        config = intensity_config(0.0, seed=9)
+        assert not config.perturbs_timing
+        assert config.seed == 9
+
+    def test_intensity_saturates(self):
+        config = intensity_config(100.0)
+        assert 0.0 <= config.pcie_degradation < 1.0
+        assert 0.0 <= config.transfer_failure_rate <= 1.0
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(HardwareError):
+            intensity_config(-1.0)
+
+
+class TestFaultModel:
+    def test_null_config_never_draws(self):
+        model = FaultModel(FaultConfig())
+        state = model._rng.getstate()
+        assert model.kernel_scale() == 1.0
+        assert model.transfer_rate_scale() == 1.0
+        assert model.transfer_fails(0) is False
+        assert model._rng.getstate() == state
+
+    def test_transfer_failure_is_transient_by_contract(self):
+        config = FaultConfig(transfer_failure_rate=1.0,
+                             max_transfer_retries=4)
+        model = FaultModel(config)
+        for attempt in range(4):
+            assert model.transfer_fails(attempt) is True
+        assert model.transfer_fails(4) is False
+        assert model.transfer_fails(100) is False
+
+    def test_backoff_is_exponential(self):
+        model = FaultModel(FaultConfig(retry_backoff=1e-4))
+        assert model.backoff(0) == pytest.approx(1e-4)
+        assert model.backoff(3) == pytest.approx(8e-4)
+
+    def test_rate_scale_includes_degradation(self):
+        model = FaultModel(FaultConfig(pcie_degradation=0.5))
+        assert model.transfer_rate_scale() == pytest.approx(0.5)
+
+    def test_pcie_rate_scale_parameter(self):
+        pcie = PCIeModel(BIG_GPU)
+        assert pcie.transfer_time(1 << 20, rate_scale=1.0) == \
+            pcie.transfer_time(1 << 20)
+        assert pcie.transfer_time(1 << 20, rate_scale=0.5) > \
+            pcie.transfer_time(1 << 20)
+        with pytest.raises(HardwareError):
+            pcie.transfer_time(1 << 20, rate_scale=0.0)
+
+
+def compile_swapping(graph, faults=None, gpu=BIG_GPU):
+    """vdnn_all forces swaps on every conv activation — transfer-heavy."""
+    return compile_run(graph, "vdnn_all", gpu, faults=faults)
+
+
+class TestZeroOverheadIdentity:
+    def test_faults_none_is_deterministic(self):
+        graph = build_tiny_cnn()
+        a = compile_swapping(graph).result.trace
+        b = compile_swapping(graph).result.trace
+        assert trace_fingerprint(a) == trace_fingerprint(b)
+
+    def test_null_config_byte_identical_to_clean(self):
+        """An attached all-zero FaultConfig must not change a single
+        float: the fault model never draws, rate_scale 1.0 is exact."""
+        graph = build_tiny_cnn()
+        clean = compile_swapping(graph).result.trace
+        null = compile_swapping(graph, faults=FaultConfig()).result.trace
+        assert trace_fingerprint(clean) == trace_fingerprint(null)
+        assert null.recovery_actions == 0
+        assert null.fault_events == []
+
+    def test_clean_runs_emit_no_fault_telemetry(self):
+        graph = build_tiny_cnn()
+        with telemetry.session() as tel:
+            compile_swapping(graph)
+            names = tel.metrics.snapshot().keys()
+        assert not any(name.startswith("engine.faults.") for name in names)
+
+
+class TestSeededDeterminism:
+    def test_same_seed_byte_identical(self):
+        graph = build_tiny_cnn()
+        a = compile_swapping(graph, faults=NOISY).result.trace
+        b = compile_swapping(graph, faults=NOISY).result.trace
+        assert trace_fingerprint(a) == trace_fingerprint(b)
+
+    def test_same_seed_identical_telemetry_counters(self):
+        graph = build_tiny_cnn()
+        snapshots = []
+        for _ in range(2):
+            with telemetry.session() as tel:
+                compile_swapping(graph, faults=NOISY)
+                snapshots.append({
+                    name: value
+                    for name, value in tel.metrics.snapshot().items()
+                    if name.startswith("engine.faults.")
+                })
+        assert snapshots[0] == snapshots[1]
+        assert snapshots[0], "noisy run recorded no fault counters"
+
+    def test_different_seeds_diverge(self):
+        """With non-zero noise, different seeds draw different
+        perturbations — iteration times (and usually retry counts)
+        diverge. This is the documented contract: divergence across
+        seeds is expected, not a reproducibility bug."""
+        graph = build_tiny_cnn()
+        a = compile_swapping(graph, faults=NOISY).result.trace
+        b = compile_swapping(
+            graph, faults=replace(NOISY, seed=NOISY.seed + 1),
+        ).result.trace
+        assert trace_fingerprint(a) != trace_fingerprint(b)
+        assert a.iteration_time != b.iteration_time
+
+
+class TestTransferRetries:
+    def test_failures_are_retried_to_completion(self):
+        graph = build_tiny_cnn()
+        run = compile_swapping(graph, faults=NOISY)
+        assert run.result.feasible, run.result.failure
+        trace = run.result.trace
+        assert trace.transfer_retries > 0
+        assert trace.retry_backoff_time > 0.0
+        retry_events = [
+            e for e in trace.fault_events if e[1] == "transfer_retry"
+        ]
+        assert len(retry_events) == trace.transfer_retries
+
+    def test_retries_slow_the_run_down(self):
+        graph = build_tiny_cnn()
+        clean = compile_swapping(graph).result.trace
+        config = FaultConfig(seed=1, transfer_failure_rate=0.5,
+                             pcie_degradation=0.3)
+        noisy = compile_swapping(graph, faults=config).result.trace
+        assert noisy.iteration_time > clean.iteration_time
+
+    def test_peak_agreement_under_retries(self):
+        graph = build_tiny_cnn()
+        trace = compile_swapping(graph, faults=NOISY).result.trace
+        assert trace.peak_memory == chronological_peak(trace)
+
+
+class TestEmergencyEviction:
+    def setup_method(self):
+        self.graph = build_tiny_cnn()
+        clean = compile_run(self.graph, "base", BIG_GPU)
+        assert clean.result.feasible
+        self.clean_trace = clean.result.trace
+
+    def test_oom_without_recovery(self):
+        gpu = shrunk_gpu(self.clean_trace.peak_memory, 0.9)
+        run = compile_run(self.graph, "base", gpu)
+        assert not run.result.feasible
+        assert "can ever free up" in run.result.failure
+
+    def test_eviction_rescues_the_oom(self):
+        gpu = shrunk_gpu(self.clean_trace.peak_memory, 0.9)
+        run = compile_run(self.graph, "base", gpu,
+                          faults=FaultConfig(seed=0))
+        assert run.result.feasible, run.result.failure
+        trace = run.result.trace
+        assert trace.emergency_evictions > 0
+        assert trace.emergency_evicted_bytes > 0
+        assert trace.peak_memory <= gpu.memory_bytes
+        assert trace.peak_memory == chronological_peak(trace)
+        assert verify_program(self.graph, run.lowered.program) == []
+        kinds = {e[1] for e in trace.fault_events}
+        assert "emergency_evict" in kinds
+
+    def test_eviction_disabled_stays_infeasible(self):
+        gpu = shrunk_gpu(self.clean_trace.peak_memory, 0.9)
+        run = compile_run(
+            self.graph, "base", gpu,
+            faults=FaultConfig(seed=0, emergency_eviction=False),
+        )
+        assert not run.result.feasible
+
+    def test_recovered_run_is_seed_deterministic(self):
+        gpu = shrunk_gpu(self.clean_trace.peak_memory, 0.9)
+        faults = FaultConfig(seed=2, transfer_failure_rate=0.2)
+        a = compile_run(self.graph, "base", gpu, faults=faults)
+        b = compile_run(self.graph, "base", gpu, faults=faults)
+        assert a.result.feasible
+        assert trace_fingerprint(a.result.trace) == \
+            trace_fingerprint(b.result.trace)
+
+
+class TestPlannedSkips:
+    def test_emergency_eviction_skips_planned_eviction(self):
+        """When the emergency evicts a tensor the plan would later swap
+        out or free, the planned instruction dispatches as a no-op and
+        is counted — no double-free, no missing-tensor error."""
+        graph = build_tiny_cnn()
+        clean = compile_run(graph, "vdnn_all", BIG_GPU)
+        assert clean.result.feasible
+        gpu = shrunk_gpu(clean.result.trace.peak_memory, 0.85)
+        run = compile_run(graph, "vdnn_all", gpu,
+                          faults=FaultConfig(seed=0))
+        if run.result.feasible and run.result.trace.emergency_evictions:
+            trace = run.result.trace
+            assert trace.peak_memory == chronological_peak(trace)
+
+
+class TestPipelineIntegration:
+    def test_engine_options_carry_faults(self):
+        graph = build_tiny_cnn()
+        engine = Engine(BIG_GPU, EngineOptions(faults=NOISY))
+        run = compile_run(graph, "vdnn_all", BIG_GPU)
+        trace = engine.execute(run.lowered.program.program)
+        assert trace.transfer_retries > 0
+
+    def test_plan_cache_key_separates_fault_signatures(self):
+        graph = build_tiny_cnn()
+        gpu = BIG_GPU
+        stage = PlanStage(get_policy("base"))
+        from repro.core.profiler import Profiler
+
+        profile = ProfileStage(Profiler(gpu)).run(graph, gpu)
+        profile = replace(profile, key="stable-profile-key")
+        clean_key = stage.key(profile, gpu)
+        assert stage.key(profile, gpu, None) == clean_key
+        faulted = stage.key(profile, gpu, NOISY)
+        assert faulted != clean_key
+        assert stage.key(profile, gpu, replace(NOISY, seed=99)) != faulted
+        assert stage.key(profile, gpu, NOISY) == faulted
+
+
+class TestChaosSweep:
+    def test_sweep_shape_and_survival(self):
+        graph = build_tiny_cnn()
+        report = chaos_sweep(
+            graph, "vdnn_all", BIG_GPU,
+            intensities=(0.0, 1.0), seeds=(0, 1),
+        )
+        assert isinstance(report, ChaosReport)
+        assert report.clean_feasible
+        assert len(report.points) == 4
+        assert report.survived == 4
+        zero = [p for p in report.points if p.intensity == 0.0]
+        assert all(p.slowdown == pytest.approx(1.0) for p in zero)
+        assert all(p.recovery_actions == 0 for p in zero)
+        payload = report.to_dict()
+        assert payload["survival_rate"] == 1.0
+        assert len(payload["points"]) == 4
+        assert report.describe()
+
+    def test_sweep_on_infeasible_clean_run(self):
+        graph = build_tiny_cnn()
+        gpu = replace(BIG_GPU, memory_bytes=1 << 17)
+        report = chaos_sweep(graph, "base", gpu, intensities=(1.0,),
+                             seeds=(0,))
+        assert not report.clean_feasible
+        assert report.points == []
+        assert "INFEASIBLE" in report.describe()
+
+
+@pytest.mark.parametrize("build", [build_tiny_cnn, build_tiny_resnet],
+                         ids=["tiny_cnn", "tiny_resnet"])
+def test_chaos_acceptance_50_seeds(build):
+    """The PR's acceptance sweep: 50 fault seeds on a capacity-squeezed
+    device; every injected failure must be retried or degraded-around
+    (no unhandled errors, every run feasible), and every recovered
+    program still passes the verifier with exact peak agreement."""
+    graph = build()
+    clean = compile_run(graph, "base", BIG_GPU)
+    assert clean.result.feasible
+    gpu = shrunk_gpu(clean.result.trace.peak_memory, 0.92)
+    for seed in range(50):
+        faults = FaultConfig(
+            seed=seed, kernel_noise=0.05, pcie_jitter=0.1,
+            transfer_failure_rate=0.25,
+        )
+        run = compile_run(graph, "base", gpu, faults=faults)
+        assert run.result.feasible, (seed, run.result.failure)
+        trace = run.result.trace
+        assert trace.peak_memory <= gpu.memory_bytes
+        assert trace.peak_memory == chronological_peak(trace)
+        assert verify_program(graph, run.lowered.program) == []

@@ -1,16 +1,27 @@
 """Static program verification + whole-pipeline fuzzing on random models."""
 
+from dataclasses import replace
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.analysis.allocator_replay import chronological_peak
 from repro.analysis.runner import run_policy
 from repro.core.augment import augment_graph
 from repro.core.plan import MemOption, Plan, TensorConfig
 from repro.core.profiler import Profiler
 from repro.core.verify import assert_valid_program, verify_program
 from repro.errors import RuntimeExecutionError
+from repro.faults import FaultConfig
 from repro.models.random_net import build_random_cnn
-from repro.runtime.instructions import ComputeInstr, TensorRef
+from repro.pipeline.compile import compile_run
+from repro.runtime.instructions import (
+    ComputeInstr,
+    FreeInstr,
+    SwapInInstr,
+    SwapOutInstr,
+    TensorRef,
+)
 from tests.conftest import BIG_GPU
 
 
@@ -101,3 +112,135 @@ def test_fuzz_pipeline_end_to_end(seed):
     assert verify_program(graph, augmented) == []
     result = run_policy(graph, "base", BIG_GPU)
     assert result.feasible
+
+
+def test_recompute_stepping_stones_do_not_leak():
+    """A recompute chain may regenerate a tensor whose only scheduled
+    use was in the forward pass (e.g. one feeding just a ReLU, whose
+    backward reads the output). Under the speed-centric strategy such a
+    stepping-stone has no later op to die at — the augmenter must free
+    it at the end of the chain or it stays resident forever. Found by
+    the policies x capacities x faults fuzz (seed 0, checkpoints)."""
+    graph = build_random_cnn(0, batch=4, max_blocks=3)
+    run = compile_run(graph, "checkpoints", BIG_GPU)
+    assert run.result.feasible, run.result.failure
+    assert verify_program(graph, run.lowered.program) == []
+
+
+class TestVerifierNeverAllocated:
+    """The two issue classes added with the fault layer: evictions and
+    frees naming keys that never existed anywhere."""
+
+    def test_swap_out_of_never_allocated_ref(self, tiny_cnn):
+        augmented = lower(tiny_cnn, Plan())
+        bogus = SwapOutInstr(TensorRef(88_888, 512, label="phantom"))
+        augmented.program.instructions.insert(0, bogus)
+        issues = verify_program(tiny_cnn, augmented)
+        assert any("swap-out of never-allocated" in i and "phantom" in i
+                   for i in issues)
+        # The invented ref must not fabricate a host copy: a swap-in of
+        # the same key stays flagged too.
+        augmented.program.instructions.insert(
+            1, SwapInInstr(TensorRef(88_888, 512, label="phantom")),
+        )
+        issues = verify_program(tiny_cnn, augmented)
+        assert any("without a host copy" in i for i in issues)
+
+    def test_swap_out_of_evicted_ref_is_distinct_class(self, tiny_cnn):
+        plan = Plan()
+        tensor = tiny_cnn.activations()[0]
+        plan.set(tensor.tensor_id, TensorConfig(opt=MemOption.SWAP))
+        augmented = lower(tiny_cnn, plan)
+        instructions = augmented.program.instructions
+        first_swap = next(
+            i for i, instr in enumerate(instructions)
+            if isinstance(instr, SwapOutInstr)
+        )
+        # A second eviction right after the first: the key existed, so
+        # this is "non-resident", not "never-allocated".
+        instructions.insert(
+            first_swap + 1, instructions[first_swap],
+        )
+        issues = verify_program(tiny_cnn, augmented)
+        assert any("swap-out of non-resident" in i for i in issues)
+        assert not any("never-allocated" in i for i in issues)
+
+    def test_free_of_never_allocated_ref(self, tiny_cnn):
+        augmented = lower(tiny_cnn, Plan())
+        bogus = FreeInstr(TensorRef(77_777, 64, label="ghost_free"),
+                          missing_ok=False)
+        augmented.program.instructions.insert(0, bogus)
+        issues = verify_program(tiny_cnn, augmented)
+        assert any("free of never-allocated" in i and "ghost_free" in i
+                   for i in issues)
+
+    def test_missing_ok_does_not_excuse_never_allocated(self, tiny_cnn):
+        augmented = lower(tiny_cnn, Plan())
+        bogus = FreeInstr(TensorRef(77_777, 64, label="ghost_free"),
+                          missing_ok=True)
+        augmented.program.instructions.insert(0, bogus)
+        issues = verify_program(tiny_cnn, augmented)
+        assert any("free of never-allocated" in i for i in issues)
+
+    def test_missing_ok_free_of_once_allocated_stays_clean(self, tiny_cnn):
+        augmented = lower(tiny_cnn, Plan())
+        instructions = augmented.program.instructions
+        last_free = max(
+            i for i, instr in enumerate(instructions)
+            if isinstance(instr, FreeInstr)
+        )
+        ref = instructions[last_free].ref
+        instructions.insert(
+            last_free + 1, FreeInstr(ref, missing_ok=True),
+        )
+        assert verify_program(tiny_cnn, augmented) == []
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    policy=st.sampled_from(
+        ["base", "vdnn_all", "checkpoints", "zero_offload", "tsplit"],
+    ),
+    capacity_frac=st.sampled_from([1.0, 0.7, 0.45]),
+    fault_seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_fuzz_policies_capacities_faults(seed, policy, capacity_frac,
+                                         fault_seed):
+    """Policies x capacities x fault seeds: the pipeline either completes
+    — with a verifier-clean program and engine-vs-replay peak agreement
+    — or reports infeasible gracefully; it never raises.
+
+    The offload policies additionally thread zero-byte "parameter
+    updated" marker refs through the executed programs, covering the
+    zero-byte-edge case the graph layer cannot express.
+    """
+    graph = build_random_cnn(seed, batch=4, max_blocks=3)
+    clean = compile_run(graph, policy, BIG_GPU)
+    if not clean.result.feasible:
+        assert clean.result.failure
+        return
+    assert verify_program(graph, clean.lowered.program) == []
+    clean_trace = clean.result.trace
+    assert clean_trace.peak_memory == chronological_peak(clean_trace)
+    assert clean_trace.recovery_actions == 0
+
+    capacity = max(
+        int(clean_trace.peak_memory * capacity_frac),
+        clean_trace.persistent_bytes + 1,
+    )
+    gpu = replace(BIG_GPU, name="fuzz-gpu", memory_bytes=capacity)
+    faults = FaultConfig(
+        seed=fault_seed,
+        kernel_noise=0.05,
+        pcie_jitter=0.1,
+        transfer_failure_rate=0.2,
+    )
+    run = compile_run(graph, policy, gpu, faults=faults)
+    if not run.result.feasible:
+        assert run.result.failure
+        return
+    assert verify_program(graph, run.lowered.program) == []
+    trace = run.result.trace
+    assert trace.peak_memory == chronological_peak(trace)
+    assert trace.peak_memory <= capacity
