@@ -10,6 +10,17 @@ with the reference implementation that recomputes curves from scratch —
 and verifies the two produce byte-identical plans before reporting the
 speedup. Results land in ``BENCH_planner.json``.
 
+Two sweep-infrastructure sections ride along:
+
+* **serial vs process** — the same 8-point multi-model throughput sweep
+  through the serial backend and a ``ProcessPoolExecutor`` (the planner
+  and engine are pure Python, so this, not threads, is where sweep
+  overlap comes from), asserting the point lists are byte-identical;
+* **cold vs warm disk cache** — the sweep against a fresh persistent
+  cache directory, then again with a new (empty-memory) cache on the
+  same directory, proving via ``disk_hit``/``disk_miss`` counters that
+  the warm run recomputed no profile or plan.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_planner.py            # full matrix
@@ -22,16 +33,27 @@ upload and compare across commits.
 from __future__ import annotations
 
 import argparse
+import functools
 import json
+import os
+import shutil
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.analysis.parallel import parallel_map  # noqa: E402
+from repro.analysis.sweep_tasks import (  # noqa: E402
+    ThroughputTaskSpec,
+    canonical_point_bytes,
+    run_throughput_point,
+)
 from repro.core.planner import PlannerOptions, TsplitPlanner  # noqa: E402
 from repro.hardware.gpu import GPU_PRESETS  # noqa: E402
 from repro.models.registry import build_model  # noqa: E402
+from repro.pipeline import CompileCache  # noqa: E402
 
 #: (model, batch, GPU preset). Batches are chosen so the raw graph
 #: over-subscribes the device and the planner has real work to do.
@@ -48,6 +70,113 @@ SMOKE_MATRIX = [
     ("vgg16", 512, "gtx_1080ti"),
     ("resnet50", 256, "v100_16gb"),
 ]
+
+#: The 8-point multi-model sweep for the backend and disk-cache
+#: sections: every point is feasible and compute-bound (profile + plan
+#: + simulated execution), so the process backend has real work to
+#: overlap and the warm disk-cache run has real work to skip.
+SWEEP_POINTS = [
+    ("resnet101", 128, "gtx_1080ti"),
+    ("resnet101", 192, "gtx_1080ti"),
+    ("resnet101", 256, "gtx_1080ti"),
+    ("resnet152", 64, "v100_16gb"),
+    ("resnet152", 128, "v100_16gb"),
+    ("inception_v4", 64, "v100_16gb"),
+    ("bert_large", 64, "v100_16gb"),
+    ("bert_large", 128, "v100_16gb"),
+]
+
+
+def _sweep_specs(cache_dir: str | None = None) -> list[ThroughputTaskSpec]:
+    return [
+        ThroughputTaskSpec(
+            model=model, policy="tsplit", batch=batch,
+            gpu=GPU_PRESETS[gpu], cache_dir=cache_dir,
+        )
+        for model, batch, gpu in SWEEP_POINTS
+    ]
+
+
+def bench_sweep_backends(workers: int) -> dict:
+    """Serial vs process backend over the 8-point sweep.
+
+    Both runs start cold (fresh caches); the speedup therefore measures
+    pure GIL-sidestepping overlap, bounded above by the CPU count —
+    expect ~1x on a single-core container and >= 2x from 4 cores up.
+    """
+    specs = _sweep_specs()
+    serial_fn = functools.partial(run_throughput_point, cache=CompileCache())
+    start = time.perf_counter()
+    serial_points = parallel_map(serial_fn, specs, None, backend="serial")
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    process_points = parallel_map(
+        run_throughput_point, specs, workers, backend="process",
+    )
+    process_s = time.perf_counter() - start
+
+    identical = (
+        canonical_point_bytes(serial_points)
+        == canonical_point_bytes(process_points)
+    )
+    if not identical:
+        raise AssertionError(
+            "process-backend sweep diverged from the serial point list"
+        )
+    return {
+        "points": len(specs),
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "serial_s": serial_s,
+        "process_s": process_s,
+        "process_speedup": serial_s / process_s if process_s > 0 else 0.0,
+        "identical_across_backends": identical,
+        "feasible_points": sum(p.feasible for p in serial_points),
+    }
+
+
+def bench_disk_cache() -> dict:
+    """Cold vs warm persistent-cache run over the 8-point sweep.
+
+    The warm run uses a fresh in-memory cache on the same directory, so
+    every profile/plan lookup must come from disk: ``disk_misses == 0``
+    proves no profile or plan was recomputed.
+    """
+    cache_dir = tempfile.mkdtemp(prefix="bench-planner-cache-")
+    try:
+        specs = _sweep_specs()
+        cold_cache = CompileCache(disk_dir=cache_dir)
+        start = time.perf_counter()
+        cold_points = [run_throughput_point(s, cache=cold_cache) for s in specs]
+        cold_s = time.perf_counter() - start
+
+        warm_cache = CompileCache(disk_dir=cache_dir)
+        start = time.perf_counter()
+        warm_points = [run_throughput_point(s, cache=warm_cache) for s in specs]
+        warm_s = time.perf_counter() - start
+
+        stats = warm_cache.cache_stats()
+        if stats["disk_misses"] != 0 or stats["disk_hits"] < 2 * len(specs):
+            raise AssertionError(
+                f"warm run was expected to serve every profile/plan from "
+                f"disk, got {stats}"
+            )
+        if canonical_point_bytes(cold_points) != canonical_point_bytes(
+            warm_points
+        ):
+            raise AssertionError("warm sweep diverged from the cold run")
+        return {
+            "points": len(specs),
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "warm_speedup": cold_s / warm_s if warm_s > 0 else 0.0,
+            "warm_disk_hits": stats["disk_hits"],
+            "warm_disk_misses": stats["disk_misses"],
+            "all_profile_plan_from_disk": True,
+        }
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
 
 
 def _plan_once(graph, gpu, incremental: bool):
@@ -116,6 +245,13 @@ def main(argv: list[str] | None = None) -> int:
         "--repeats", type=int, default=None,
         help="timing runs per mode (default: 1 for --smoke, 2 otherwise)")
     parser.add_argument("--out", default="BENCH_planner.json")
+    parser.add_argument(
+        "--sweep-workers", type=int, default=0, metavar="N",
+        help="process-pool size for the sweep section "
+             "(default: min(8, cpu count))")
+    parser.add_argument(
+        "--skip-sweep", action="store_true",
+        help="planner matrix only; skip the backend + disk-cache sections")
     args = parser.parse_args(argv)
 
     matrix = SMOKE_MATRIX if args.smoke else FULL_MATRIX
@@ -146,6 +282,29 @@ def main(argv: list[str] | None = None) -> int:
             "all_identical": all(e["identical"] for e in results),
         },
     }
+
+    if not args.skip_sweep:
+        workers = args.sweep_workers or min(8, os.cpu_count() or 1)
+        backends = bench_sweep_backends(workers)
+        print(
+            f"\nsweep backends: {backends['points']} points, "
+            f"serial {backends['serial_s']:.2f}s, "
+            f"process[{workers}] {backends['process_s']:.2f}s "
+            f"({backends['process_speedup']:.2f}x, "
+            f"{backends['cpu_count']} cpus), identical point lists",
+            flush=True,
+        )
+        disk = bench_disk_cache()
+        print(
+            f"disk cache:     cold {disk['cold_s']:.2f}s, "
+            f"warm {disk['warm_s']:.2f}s "
+            f"({disk['warm_speedup']:.2f}x; {disk['warm_disk_hits']} disk "
+            f"hits, {disk['warm_disk_misses']} disk misses — every "
+            f"profile/plan served from disk)",
+            flush=True,
+        )
+        payload["sweep"] = {"backends": backends, "disk_cache": disk}
+
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.out}: largest model {largest['model']} "
           f"speedup {largest['speedup']:.2f}x")

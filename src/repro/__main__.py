@@ -121,17 +121,49 @@ def cmd_scale(args: argparse.Namespace) -> None:
 
 
 def cmd_sweep(args: argparse.Namespace) -> None:
-    """Print a throughput table across batch sizes and policies."""
+    """Print a throughput table across batch sizes and policies.
+
+    ``--parallel N --backend process`` fans points out over worker
+    processes (the planner and engine are pure Python, so threads don't
+    overlap compute); ``--cache-dir`` persists profiles and plans on
+    disk so warm re-runs — and concurrent worker processes — skip
+    recompilation. ``--cache-stats PATH`` writes the driver cache's
+    hit/miss/disk counters as JSON (serial/thread backends only: worker
+    processes keep their own caches, so the driver has no counters to
+    report).
+    """
+    import json as json_module
+
+    from repro.analysis.parallel import resolve_backend
+    from repro.pipeline.cache import CompileCache
+
     gpu = _gpu(args.gpu)
     policies = args.policies.split(",")
     batches = [int(b) for b in args.batches.split(",")]
     for policy in policies:
         get_policy(policy)  # fail fast on typos
+    backend = resolve_backend(args.backend, args.parallel)
+    cache = None
+    if backend != "process":
+        cache = CompileCache(disk_dir=args.cache_dir)
+    elif args.cache_stats:
+        sys.exit("--cache-stats needs a driver-side cache; use "
+                 "--backend serial or --backend thread (process workers "
+                 "keep their own caches)")
     points = throughput_sweep(
         args.model, policies, batches, gpu,
         param_scale=args.param_scale, precision=args.precision,
-        parallel=args.parallel,
+        parallel=args.parallel, backend=backend,
+        cache=cache, cache_dir=args.cache_dir,
     )
+    if args.cache_stats:
+        stats = cache.cache_stats()
+        with open(args.cache_stats, "w", encoding="utf-8") as handle:
+            json_module.dump(stats, handle, indent=2)
+            handle.write("\n")
+        print(f"cache: {stats['hits']} hits, {stats['misses']} misses, "
+              f"{stats['disk_hits']} disk hits "
+              f"(stats -> {args.cache_stats})", file=sys.stderr)
     width = max(len(p) for p in policies) + 2
     print("batch".rjust(8) + "".join(p.rjust(max(width, 12)) for p in policies))
     for batch in batches:
@@ -335,7 +367,21 @@ def main(argv: list[str] | None = None) -> None:
     sweep_parser.add_argument("--batches", default="64,128,256")
     sweep_parser.add_argument(
         "--parallel", type=int, default=0, metavar="N",
-        help="fan sweep points out over N worker threads (0 = serial)")
+        help="fan sweep points out over N workers (0 = serial)")
+    sweep_parser.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default=None,
+        help="worker pool for --parallel: threads share one in-memory "
+             "cache, processes sidestep the GIL and share via --cache-dir "
+             "(default: thread when --parallel is set)")
+    sweep_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist compiled profiles/plans as content-addressed files "
+             "under DIR (e.g. ~/.cache/repro); warm re-runs and process "
+             "workers reuse them")
+    sweep_parser.add_argument(
+        "--cache-stats", default="", metavar="PATH",
+        help="write the driver cache's hit/miss/disk counters as JSON "
+             "(serial/thread backends)")
     sweep_parser.set_defaults(func=cmd_sweep)
 
     plan_parser = sub.add_parser("plan", help="show TSPLIT's plan")

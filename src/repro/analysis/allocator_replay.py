@@ -77,6 +77,14 @@ def replay_allocations(
     at equal timestamps (the engine's accounting commits pending frees
     before allocating). Releases without a live handle (e.g. events
     trimmed by tracing) are ignored.
+
+    A release event carries the freed byte count, and labels are not
+    unique — one label can have several live allocations of *different*
+    sizes (e.g. a tensor's full buffer and a micro-piece). The freed
+    handle is therefore matched to the event's ``|nbytes|`` among the
+    label's live handles, falling back to FIFO only when no size
+    matches; freeing per-label FIFO regardless of size would release the
+    wrong block and silently diverge the pool from the ledger.
     """
     events = sorted(
         trace.alloc_events,
@@ -92,27 +100,37 @@ def replay_allocations(
                 strategy=strategy, succeeded=False,
                 failed_at="<persistent region>",
             )
-    handles: dict[str, list[int]] = {}
+    #: label -> live (handle, requested bytes) pairs, oldest first.
+    handles: dict[str, list[tuple[int, int]]] = {}
     max_frag = 0.0
     for _, label, nbytes in events:
         if nbytes > 0:
             try:
                 handle = pool.alloc(nbytes)
             except OutOfMemoryError:
+                # Fragmentation at the failure instant, not as of the
+                # last successful event — an OOM caused by external
+                # fragmentation must not be understated.
                 return ReplayResult(
                     strategy=strategy,
                     succeeded=False,
                     failed_at=label,
                     peak_used=pool.stats.peak_used,
-                    max_fragmentation=max_frag,
+                    max_fragmentation=max(max_frag, pool.fragmentation()),
                     alloc_count=pool.stats.alloc_count,
                 )
-            handles.setdefault(label, []).append(handle)
+            handles.setdefault(label, []).append((handle, nbytes))
         else:
             pending = handles.get(label)
             if pending:
+                size = -nbytes
+                index = next(
+                    (i for i, (_, sz) in enumerate(pending) if sz == size),
+                    0,  # no size match: fall back to oldest-first
+                )
+                handle, _ = pending.pop(index)
                 try:
-                    pool.free(pending.pop(0))
+                    pool.free(handle)
                 except AllocationError:  # pragma: no cover - defensive
                     pass
         max_frag = max(max_frag, pool.fragmentation())

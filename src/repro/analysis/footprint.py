@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
-from repro.analysis.parallel import parallel_map
+from repro.analysis.parallel import parallel_map, resolve_backend
+from repro.analysis.sweep_tasks import (
+    FootprintCellSpec,
+    freeze_overrides,
+    run_footprint_cell,
+)
 from repro.graph.graph import Graph
 from repro.graph.liveness import memory_curve
 from repro.graph.scheduler import dfs_schedule
@@ -25,32 +30,39 @@ def model_memory_requirement(graph: Graph) -> int:
 
 
 def memory_requirement_grid(
-    builder: Callable[..., Graph],
+    builder: str | Callable[..., Graph],
     sample_scales: Sequence[int],
     param_scales: Sequence[float],
     *,
     parallel: int | bool | None = None,
+    backend: str | None = None,
     **overrides,
 ) -> dict[tuple[int, float], int]:
     """Peak memory for every (batch, param_scale) combination.
 
-    ``builder`` follows the registry signature
-    ``(batch, *, param_scale=..., **overrides)``. Grid cells are
-    independent (build + liveness, no execution) and fan out over
-    threads with ``parallel=``.
+    ``builder`` is a registry model name or a callable following the
+    registry signature ``(batch, *, param_scale=..., **overrides)``.
+    Grid cells are independent (build + liveness, no execution) and fan
+    out over the chosen ``backend`` with ``parallel=`` (use a registry
+    name — or any picklable callable — with ``backend="process"``).
     """
     cells = [
         (batch, scale)
         for batch in sample_scales
         for scale in param_scales
     ]
-
-    def run_cell(cell: tuple[int, float]) -> int:
-        batch, scale = cell
-        graph = builder(batch, param_scale=scale, **overrides)
-        return model_memory_requirement(graph)
-
-    return dict(zip(cells, parallel_map(run_cell, cells, parallel)))
+    specs = [
+        FootprintCellSpec(
+            builder=builder, batch=batch, param_scale=scale,
+            overrides=freeze_overrides(overrides),
+        )
+        for batch, scale in cells
+    ]
+    backend = resolve_backend(backend, parallel)
+    return dict(zip(
+        cells, parallel_map(run_footprint_cell, specs, parallel,
+                            backend=backend),
+    ))
 
 
 def max_trainable_scale(

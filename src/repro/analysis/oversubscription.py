@@ -10,18 +10,24 @@ Tables IV/V, which fix the device and grow the workload.)
 
 from __future__ import annotations
 
+import functools
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.analysis.parallel import parallel_map
-from repro.analysis.runner import run_policy
+from repro.analysis.parallel import parallel_map, resolve_backend
+from repro.analysis.sweep_tasks import (
+    OversubscriptionReferenceSpec,
+    OversubscriptionTaskSpec,
+    resolve_sweep_cache,
+    run_oversubscription_point,
+    run_oversubscription_reference,
+)
 from repro.graph.graph import Graph
 from repro.graph.liveness import peak_memory
 from repro.graph.scheduler import dfs_schedule
 from repro.hardware.gpu import GPUSpec
 from repro.pipeline import CompileCache
 from repro.policies.base import MemoryPolicy
-from repro.runtime.engine import EngineOptions
 
 
 @dataclass(frozen=True)
@@ -43,7 +49,9 @@ def oversubscription_sweep(
     ratios: Sequence[float] = (1.0, 1.25, 1.5, 2.0, 3.0, 4.0),
     *,
     parallel: int | bool | None = None,
+    backend: str | None = None,
     cache: CompileCache | None = None,
+    cache_dir: str | None = None,
 ) -> list[OversubscriptionPoint]:
     """Measure each policy as the device shrinks below the requirement.
 
@@ -51,53 +59,56 @@ def oversubscription_sweep(
     unoptimised execution, r=2 halves the device.
 
     The shrunk devices differ only in capacity, which the pipeline's
-    profile keys ignore — with the shared ``cache`` the graph is
-    profiled exactly once for the whole sweep, and each run re-plans
-    against the cached profile.
+    profile keys ignore — with the shared ``cache`` (thread/serial
+    backends) the graph is profiled exactly once for the whole sweep and
+    each run re-plans against the cached profile; ``backend="process"``
+    gets the same sharing through the ``cache_dir`` disk tier (the graph
+    travels to the workers by pickle).
     """
     requirement = peak_memory(graph, dfs_schedule(graph))
-    options = EngineOptions(record_trace=False)
-    if cache is None:
-        cache = CompileCache()
+    backend = resolve_backend(backend, parallel)
+    cache = resolve_sweep_cache(backend, cache, cache_dir)
+
+    def name_of(policy: str | MemoryPolicy) -> str:
+        return policy if isinstance(policy, str) else policy.name
 
     # Unconstrained reference time per policy (big enough device).
-    big = gpu.with_memory(int(requirement * 1.2))
-
-    def run_reference(policy: str | MemoryPolicy) -> tuple[str, float]:
-        result = run_policy(
-            graph, policy, big, engine_options=options, cache=cache,
+    big_capacity = int(requirement * 1.2)
+    reference_specs = [
+        OversubscriptionReferenceSpec(
+            graph=graph, policy=policy, capacity=big_capacity,
+            gpu=gpu, cache_dir=cache_dir,
         )
-        name = policy if isinstance(policy, str) else policy.name
-        return name, result.iteration_time
+        for policy in policies
+    ]
+    reference_fn = (
+        run_oversubscription_reference
+        if cache is None
+        else functools.partial(run_oversubscription_reference, cache=cache)
+    )
+    reference = dict(
+        parallel_map(reference_fn, reference_specs, parallel, backend=backend)
+    )
 
-    reference = dict(parallel_map(run_reference, policies, parallel))
-
-    def run_point(
-        point: tuple[str | MemoryPolicy, float],
-    ) -> OversubscriptionPoint:
-        policy, ratio = point
-        name = policy if isinstance(policy, str) else policy.name
-        capacity = max(1, int(requirement / ratio))
-        shrunk = gpu.with_memory(capacity)
-        result = run_policy(
-            graph, policy, shrunk, engine_options=options, cache=cache,
-        )
-        slowdown = (
-            result.iteration_time / reference[name]
-            if result.feasible and reference[name] not in (0.0, float("inf"))
-            else float("inf")
-        )
-        return OversubscriptionPoint(
-            policy=name,
+    specs = [
+        OversubscriptionTaskSpec(
+            graph=graph,
+            policy=policy,
             ratio=ratio,
-            capacity=capacity,
-            feasible=result.feasible,
-            throughput=result.throughput,
-            slowdown_vs_full=slowdown,
+            capacity=max(1, int(requirement / ratio)),
+            gpu=gpu,
+            reference_time=reference[name_of(policy)],
+            cache_dir=cache_dir,
         )
-
-    grid = [(policy, ratio) for policy in policies for ratio in ratios]
-    return parallel_map(run_point, grid, parallel)
+        for policy in policies
+        for ratio in ratios
+    ]
+    fn = (
+        run_oversubscription_point
+        if cache is None
+        else functools.partial(run_oversubscription_point, cache=cache)
+    )
+    return parallel_map(fn, specs, parallel, backend=backend)
 
 
 def survival_ratio(

@@ -1,50 +1,129 @@
 """Shared fan-out helper for the analysis sweeps.
 
 Sweep points are independent (graph build + compile + simulated
-execution per point), so the sweeps expose a ``parallel=`` knob and fan
-out over threads. Threads — not processes — because model builders and
-policies are passed as arbitrary callables (often closures, not
-picklable) and the shared :class:`~repro.pipeline.CompileCache` must be
-shared by reference; NumPy-heavy simulation releases enough of the GIL
-for useful overlap.
+execution per point), so the sweeps expose ``parallel=`` / ``backend=``
+knobs and fan out over a worker pool. Two pools are available, and the
+distinction matters because the planner and the discrete-event engine
+are **pure Python** — the GIL serialises them in threads:
+
+* ``backend="thread"`` shares one in-memory
+  :class:`~repro.pipeline.CompileCache` by reference, so it is the right
+  choice when most points are cache hits (re-plans against a warm
+  profile) or when point work is dominated by the blocking IO of a
+  disk-backed cache. Compute-bound points do **not** overlap.
+* ``backend="process"`` sidesteps the GIL entirely and is the right
+  choice for compute-bound sweeps (cold profiling + planning). Worker
+  processes cannot share memory, so the per-point callable and its items
+  must be picklable (:mod:`repro.analysis.sweep_tasks` provides
+  registry-name task specs) and cache sharing goes through the
+  persistent disk tier (``cache_dir=``).
+* ``backend="serial"`` runs the plain list comprehension.
+
+Result order always matches input order and the per-point computation is
+deterministic, so all three backends produce byte-identical point lists.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+BACKENDS = ("serial", "thread", "process")
+
+#: Environment override capping every resolved worker count (useful on
+#: shared CI machines where ``os.cpu_count()`` over-reports).
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+
+def _max_workers_cap() -> int | None:
+    """The ``REPRO_MAX_WORKERS`` cap, or ``None`` when unset/invalid."""
+    raw = os.environ.get(MAX_WORKERS_ENV)
+    if not raw:
+        return None
+    try:
+        cap = int(raw)
+    except ValueError:
+        return None
+    return cap if cap >= 1 else None
 
 
 def resolve_workers(parallel: int | bool | None, n_items: int) -> int:
     """Worker count for a ``parallel=`` setting.
 
-    ``None``/``False``/``0``/``1`` mean serial; ``True`` picks a default
-    from the CPU count; an integer caps the pool. Never more workers
-    than items.
+    ``None``/``False``/``0``/``1`` mean serial; ``True`` uses the full
+    machine (``os.cpu_count()``); an integer caps the pool. Never more
+    workers than items, and the ``REPRO_MAX_WORKERS`` environment
+    variable, when set, caps every resolved count.
     """
     if not parallel or n_items <= 1:
         return 1
     if parallel is True:
-        workers = min(8, os.cpu_count() or 4)
+        workers = os.cpu_count() or 4
     else:
         workers = int(parallel)
+    cap = _max_workers_cap()
+    if cap is not None:
+        workers = min(workers, cap)
     return max(1, min(workers, n_items))
+
+
+def resolve_backend(
+    backend: str | None, parallel: int | bool | None,
+) -> str:
+    """Normalise a ``backend=`` setting against the ``parallel=`` knob.
+
+    ``None`` keeps the historical behaviour: threads when ``parallel``
+    asks for workers, serial otherwise. An explicit backend name is
+    validated against :data:`BACKENDS`.
+    """
+    if backend is None:
+        return "thread" if parallel else "serial"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+def _check_picklable(fn: Callable, items: Sequence) -> None:
+    """Fail fast (and helpfully) before handing work to child processes."""
+    try:
+        pickle.dumps(fn)
+        if items:
+            pickle.dumps(items[0])
+    except Exception as exc:
+        raise ValueError(
+            "backend='process' requires a picklable task function and "
+            "picklable task specs (module-level functions and registry "
+            "model/policy names, not closures or local callables); "
+            f"pickling failed with: {exc}"
+        ) from exc
 
 
 def parallel_map(
     fn: Callable,
     items: Iterable,
     parallel: int | bool | None = None,
+    *,
+    backend: str | None = None,
 ) -> list:
-    """``[fn(x) for x in items]``, optionally across a thread pool.
+    """``[fn(x) for x in items]``, optionally across a worker pool.
 
-    Result order always matches input order, so serial and parallel
-    sweeps produce identical point lists.
+    ``backend`` selects the pool (:data:`BACKENDS`); ``None`` means
+    threads when ``parallel`` is set, serial otherwise. Result order
+    always matches input order, so every backend produces identical
+    point lists.
     """
     items = items if isinstance(items, Sequence) else list(items)
+    backend = resolve_backend(backend, parallel)
     workers = resolve_workers(parallel, len(items))
-    if workers <= 1:
+    if backend == "serial" or workers <= 1:
         return [fn(item) for item in items]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
+    if backend == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    _check_picklable(fn, items)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(fn, items))

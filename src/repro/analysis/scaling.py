@@ -9,10 +9,17 @@ growth followed by binary search over the feasibility predicate
 
 from __future__ import annotations
 
+import functools
 from collections.abc import Callable
 
-from repro.analysis.parallel import parallel_map
+from repro.analysis.parallel import parallel_map, resolve_backend
 from repro.analysis.runner import EvalResult, evaluate
+from repro.analysis.sweep_tasks import (
+    ScaleCellSpec,
+    freeze_overrides,
+    resolve_sweep_cache,
+    run_scale_cell,
+)
 from repro.core.augment import AugmentOptions
 from repro.hardware.gpu import GPUSpec
 from repro.pipeline import CompileCache
@@ -137,7 +144,9 @@ def scale_table(
     *,
     axis: str = "sample",
     parallel: int | bool | None = None,
+    backend: str | None = None,
     cache: CompileCache | None = None,
+    cache_dir: str | None = None,
     **kwargs,
 ) -> dict[str, dict[str, int]]:
     """Reproduce one of the paper's scale tables.
@@ -146,23 +155,30 @@ def scale_table(
     at any scale" and "policy inapplicable" (the paper's "x").
 
     Each (model, policy) cell is an independent search, so ``parallel=``
-    fans the cells out over threads; each search is itself sequential
-    (exponential probe + binary search). The shared ``cache`` lets
+    fans the cells out over the chosen ``backend``; each search is
+    itself sequential (exponential probe + binary search). The shared
+    ``cache`` (threads) or the ``cache_dir`` disk tier (processes) lets
     different policies probing the same (model, scale) point reuse one
     profile.
     """
     if axis not in ("sample", "parameter"):
         raise ValueError(f"axis must be 'sample' or 'parameter', not {axis!r}")
-    search = max_sample_scale if axis == "sample" else max_param_scale
-    if cache is None:
-        cache = CompileCache()
-
-    def run_cell(cell: tuple[str, str]) -> int:
-        model, policy = cell
-        return search(model, policy, gpu, cache=cache, **kwargs)
-
+    backend = resolve_backend(backend, parallel)
+    cache = resolve_sweep_cache(backend, cache, cache_dir)
     cells = [(model, policy) for model in models for policy in policies]
-    results = parallel_map(run_cell, cells, parallel)
+    specs = [
+        ScaleCellSpec(
+            model=model, policy=policy, gpu=gpu, axis=axis,
+            kwargs=freeze_overrides(kwargs), cache_dir=cache_dir,
+        )
+        for model, policy in cells
+    ]
+    fn = (
+        run_scale_cell
+        if cache is None
+        else functools.partial(run_scale_cell, cache=cache)
+    )
+    results = parallel_map(fn, specs, parallel, backend=backend)
     table: dict[str, dict[str, int]] = {model: {} for model in models}
     for (model, policy), value in zip(cells, results):
         table[model][policy] = value

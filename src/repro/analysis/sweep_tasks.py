@@ -1,0 +1,312 @@
+"""Picklable sweep task specs and their module-level executors.
+
+The sweeps in :mod:`repro.analysis` used to fan out closures, which a
+thread pool happily runs but a :class:`~concurrent.futures.ProcessPoolExecutor`
+cannot (closures don't pickle). Each sweep now describes a point as a
+frozen **task spec** — registry model name + parameters, never callables
+captured in a closure — and the functions in this module execute one
+spec. Both halves pickle, so the same specs drive the serial, thread and
+process backends and produce byte-identical point lists.
+
+Worker processes cannot share the driver's in-memory
+:class:`~repro.pipeline.CompileCache`; instead a spec names a
+``cache_dir`` and :func:`worker_cache` materialises one disk-backed
+cache *per process* per directory. Points running in the same worker
+share the in-memory tier; points in different workers — and later
+sessions — share profiles and plans through the content-addressed files.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.hardware.gpu import GPUSpec
+from repro.pipeline import CompileCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.analysis.oversubscription import OversubscriptionPoint
+    from repro.analysis.throughput import SweepPoint
+    from repro.graph.graph import Graph
+
+#: Process-global cache registry: one CompileCache per cache directory
+#: (``None`` -> one shared in-memory cache for the whole process).
+_CACHES: dict[str | None, CompileCache] = {}
+_CACHES_LOCK = threading.Lock()
+
+
+def worker_cache(cache_dir: str | os.PathLike | None) -> CompileCache:
+    """The calling process's :class:`CompileCache` for a cache directory.
+
+    Created on first use and then reused for the process lifetime, so
+    every point a worker executes shares one in-memory tier; with a
+    ``cache_dir`` the cache is additionally disk-backed and shared
+    across workers and sessions.
+    """
+    key = (
+        os.path.abspath(os.path.expanduser(os.fspath(cache_dir)))
+        if cache_dir is not None
+        else None
+    )
+    with _CACHES_LOCK:
+        cache = _CACHES.get(key)
+        if cache is None:
+            cache = CompileCache(disk_dir=key)
+            _CACHES[key] = cache
+        return cache
+
+
+def freeze_overrides(overrides: dict) -> tuple:
+    """Model-builder keyword overrides as a picklable, frozen tuple."""
+    return tuple(sorted(overrides.items()))
+
+
+def canonical_point_bytes(points) -> bytes:
+    """Canonical byte encoding of a sweep's point list.
+
+    Dataclass points are flattened to sorted-key JSON; floats keep their
+    shortest round-trip repr, so two lists encode identically iff every
+    field is bit-identical. This is how tests and benchmarks assert that
+    serial, thread and process sweeps agree — comparing raw pickles
+    would false-negative on memoisation framing (the serial list shares
+    string objects across points; IPC-returned points do not).
+    """
+    import json
+    from dataclasses import asdict, is_dataclass
+
+    def flatten(point):
+        return asdict(point) if is_dataclass(point) else point
+
+    return json.dumps(
+        [flatten(p) for p in points], sort_keys=True, default=str,
+    ).encode()
+
+
+def _cache_or_worker(
+    cache: CompileCache | None, cache_dir: str | None,
+) -> CompileCache:
+    return cache if cache is not None else worker_cache(cache_dir)
+
+
+def resolve_sweep_cache(
+    backend: str,
+    cache: CompileCache | None,
+    cache_dir: str | None,
+) -> CompileCache | None:
+    """The driver-side cache a sweep should close over, if any.
+
+    Thread and serial backends share one in-memory (optionally
+    disk-backed) cache by reference. The process backend returns ``None``
+    — workers build their own through :func:`worker_cache` — and rejects
+    an explicit in-memory ``cache``, which cannot cross process
+    boundaries.
+    """
+    if backend == "process":
+        if cache is not None:
+            raise ValueError(
+                "backend='process' cannot share the driver's in-memory "
+                "CompileCache; pass cache_dir= to share artifacts "
+                "through the persistent disk tier instead"
+            )
+        return None
+    if cache is not None:
+        return cache
+    return CompileCache(disk_dir=cache_dir)
+
+
+# -- throughput ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ThroughputTaskSpec:
+    """One (policy, batch) throughput point, by name."""
+
+    model: str | Callable
+    policy: str
+    batch: int
+    gpu: GPUSpec
+    param_scale: float = 1.0
+    overrides: tuple = ()
+    cache_dir: str | None = None
+
+
+def run_throughput_point(
+    spec: ThroughputTaskSpec, cache: CompileCache | None = None,
+) -> "SweepPoint":
+    """Execute one throughput point (the old sweep closure, unrolled)."""
+    from repro.analysis.runner import evaluate
+    from repro.analysis.throughput import SweepPoint
+    from repro.runtime.engine import EngineOptions
+
+    cache = _cache_or_worker(cache, spec.cache_dir)
+    result = evaluate(
+        spec.model, spec.policy, spec.gpu, spec.batch,
+        param_scale=spec.param_scale,
+        engine_options=EngineOptions(record_trace=False),
+        cache=cache,
+        **dict(spec.overrides),
+    )
+    if result.feasible and result.trace is not None:
+        trace = result.trace
+        return SweepPoint(
+            policy=spec.policy,
+            batch=spec.batch,
+            feasible=True,
+            throughput=trace.throughput,
+            iteration_time=trace.iteration_time,
+            pcie_utilization=trace.pcie_utilization,
+            peak_memory=trace.peak_memory,
+        )
+    return SweepPoint(
+        policy=spec.policy,
+        batch=spec.batch,
+        feasible=False,
+        throughput=0.0,
+        iteration_time=float("inf"),
+        pcie_utilization=0.0,
+        peak_memory=0,
+        failure=result.failure,
+    )
+
+
+# -- scaling ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScaleCellSpec:
+    """One (model, policy) max-scale search cell, by name."""
+
+    model: str | Callable
+    policy: str
+    gpu: GPUSpec
+    axis: str = "sample"
+    kwargs: tuple = ()
+    cache_dir: str | None = None
+
+
+def run_scale_cell(
+    spec: ScaleCellSpec, cache: CompileCache | None = None,
+) -> int:
+    """Run one scale-table cell's exponential probe + binary search."""
+    from repro.analysis.scaling import max_param_scale, max_sample_scale
+
+    cache = _cache_or_worker(cache, spec.cache_dir)
+    search = max_sample_scale if spec.axis == "sample" else max_param_scale
+    return search(
+        spec.model, spec.policy, spec.gpu, cache=cache, **dict(spec.kwargs),
+    )
+
+
+# -- oversubscription ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OversubscriptionTaskSpec:
+    """One (policy, ratio) point of an over-subscription sweep.
+
+    Carries the (picklable) graph itself — over-subscription fixes the
+    workload, so there is no registry name + batch to rebuild it from —
+    plus the unconstrained reference iteration time computed up front.
+    ``policy`` is a registry name or a (picklable) policy instance.
+    """
+
+    graph: "Graph"
+    policy: object
+    ratio: float
+    capacity: int
+    gpu: GPUSpec
+    reference_time: float
+    cache_dir: str | None = None
+
+
+@dataclass(frozen=True)
+class OversubscriptionReferenceSpec:
+    """The unconstrained (big-device) reference run for one policy."""
+
+    graph: "Graph"
+    policy: object
+    capacity: int
+    gpu: GPUSpec
+    cache_dir: str | None = None
+
+
+def _policy_name(policy) -> str:
+    return policy if isinstance(policy, str) else policy.name
+
+
+def run_oversubscription_reference(
+    spec: OversubscriptionReferenceSpec, cache: CompileCache | None = None,
+) -> tuple[str, float]:
+    """One policy's reference iteration time on an unconstrained device."""
+    from repro.analysis.runner import run_policy
+    from repro.runtime.engine import EngineOptions
+
+    cache = _cache_or_worker(cache, spec.cache_dir)
+    result = run_policy(
+        spec.graph, spec.policy, spec.gpu.with_memory(spec.capacity),
+        engine_options=EngineOptions(record_trace=False), cache=cache,
+    )
+    return _policy_name(spec.policy), result.iteration_time
+
+
+def run_oversubscription_point(
+    spec: OversubscriptionTaskSpec, cache: CompileCache | None = None,
+) -> "OversubscriptionPoint":
+    """Execute one over-subscription point on the shrunk device."""
+    from repro.analysis.oversubscription import OversubscriptionPoint
+    from repro.analysis.runner import run_policy
+    from repro.runtime.engine import EngineOptions
+
+    cache = _cache_or_worker(cache, spec.cache_dir)
+    result = run_policy(
+        spec.graph, spec.policy, spec.gpu.with_memory(spec.capacity),
+        engine_options=EngineOptions(record_trace=False), cache=cache,
+    )
+    slowdown = (
+        result.iteration_time / spec.reference_time
+        if result.feasible and spec.reference_time not in (0.0, float("inf"))
+        else float("inf")
+    )
+    return OversubscriptionPoint(
+        policy=_policy_name(spec.policy),
+        ratio=spec.ratio,
+        capacity=spec.capacity,
+        feasible=result.feasible,
+        throughput=result.throughput,
+        slowdown_vs_full=slowdown,
+    )
+
+
+# -- footprint -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FootprintCellSpec:
+    """One (batch, param_scale) memory-requirement grid cell."""
+
+    builder: str | Callable
+    batch: int
+    param_scale: float
+    overrides: tuple = ()
+
+
+def run_footprint_cell(spec: FootprintCellSpec) -> int:
+    """Build one grid cell's graph and measure its liveness peak."""
+    from repro.analysis.footprint import model_memory_requirement
+
+    overrides = dict(spec.overrides)
+    if isinstance(spec.builder, str):
+        from repro.models.registry import build_model
+
+        graph = build_model(
+            spec.builder, spec.batch,
+            param_scale=spec.param_scale, **overrides,
+        )
+    else:
+        graph = spec.builder(
+            spec.batch, param_scale=spec.param_scale, **overrides,
+        )
+    return model_memory_requirement(graph)

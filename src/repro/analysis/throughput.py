@@ -8,14 +8,19 @@ exactly as the paper's figures show policies "failing to run".
 
 from __future__ import annotations
 
+import functools
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
-from repro.analysis.parallel import parallel_map
-from repro.analysis.runner import evaluate
+from repro.analysis.parallel import parallel_map, resolve_backend
+from repro.analysis.sweep_tasks import (
+    ThroughputTaskSpec,
+    freeze_overrides,
+    resolve_sweep_cache,
+    run_throughput_point,
+)
 from repro.hardware.gpu import GPUSpec
 from repro.pipeline import CompileCache
-from repro.runtime.engine import EngineOptions
 
 
 @dataclass(frozen=True)
@@ -40,53 +45,39 @@ def throughput_sweep(
     *,
     param_scale: float = 1.0,
     parallel: int | bool | None = None,
+    backend: str | None = None,
     cache: CompileCache | None = None,
+    cache_dir: str | None = None,
     **overrides,
 ) -> list[SweepPoint]:
     """Measure throughput of each policy at each sample size.
 
-    Points are independent; ``parallel=`` fans them out over threads.
-    The shared ``cache`` (created here when not supplied) means each
-    batch size is profiled once, not once per policy — point order and
-    values are identical either way.
+    Points are independent; ``parallel=`` fans them out over the chosen
+    ``backend`` (threads by default; ``"process"`` sidesteps the GIL for
+    compute-bound sweeps but requires a registry ``model`` name). With
+    threads the shared ``cache`` (created here when not supplied) means
+    each batch size is profiled once, not once per policy; with
+    processes the same sharing goes through the ``cache_dir`` disk tier.
+    Point order and values are identical across backends.
     """
-    options = EngineOptions(record_trace=False)
-    if cache is None:
-        cache = CompileCache()
-
-    def run_point(point: tuple[str, int]) -> SweepPoint:
-        policy, batch = point
-        result = evaluate(
-            model, policy, gpu, batch,
+    backend = resolve_backend(backend, parallel)
+    cache = resolve_sweep_cache(backend, cache, cache_dir)
+    specs = [
+        ThroughputTaskSpec(
+            model=model, policy=policy, batch=batch, gpu=gpu,
             param_scale=param_scale,
-            engine_options=options,
-            cache=cache,
-            **overrides,
+            overrides=freeze_overrides(overrides),
+            cache_dir=cache_dir,
         )
-        if result.feasible and result.trace is not None:
-            trace = result.trace
-            return SweepPoint(
-                policy=policy,
-                batch=batch,
-                feasible=True,
-                throughput=trace.throughput,
-                iteration_time=trace.iteration_time,
-                pcie_utilization=trace.pcie_utilization,
-                peak_memory=trace.peak_memory,
-            )
-        return SweepPoint(
-            policy=policy,
-            batch=batch,
-            feasible=False,
-            throughput=0.0,
-            iteration_time=float("inf"),
-            pcie_utilization=0.0,
-            peak_memory=0,
-            failure=result.failure,
-        )
-
-    grid = [(policy, batch) for policy in policies for batch in batches]
-    return parallel_map(run_point, grid, parallel)
+        for policy in policies
+        for batch in batches
+    ]
+    fn = (
+        run_throughput_point
+        if cache is None
+        else functools.partial(run_throughput_point, cache=cache)
+    )
+    return parallel_map(fn, specs, parallel, backend=backend)
 
 
 def speedups_over(

@@ -5,7 +5,9 @@
 """
 
 from repro.pipeline.cache import (
+    CACHE_FORMAT_VERSION,
     CompileCache,
+    default_cache_dir,
     fingerprint,
     gpu_capacity_signature,
     gpu_perf_signature,
@@ -27,8 +29,10 @@ from repro.pipeline.stages import (
 )
 
 __all__ = [
+    "CACHE_FORMAT_VERSION",
     "CompileCache",
     "CompiledRun",
+    "default_cache_dir",
     "EvalResult",
     "ExecuteArtifact",
     "ExecuteStage",

@@ -13,6 +13,14 @@ Stage artifacts are keyed by *what produced them*, not by who asked:
 Keys are SHA-256 fingerprints of canonical JSON, so two sweeps probing
 the same (model, GPU) pair — or the same model on devices differing only
 in memory capacity, as over-subscription sweeps do — share one profile.
+
+The in-memory LRU can be backed by a **disk tier** (``disk_dir=``):
+artifacts are pickled to content-addressed files, written atomically
+(temp file + ``os.replace``) so concurrent sweep worker processes never
+observe a torn entry, and stamped with :data:`CACHE_FORMAT_VERSION` so a
+format change invalidates old files instead of misreading them. Loads
+are corruption-tolerant: an unreadable, truncated, version-mismatched or
+mis-keyed file counts as a miss and the caller recomputes.
 """
 
 from __future__ import annotations
@@ -20,9 +28,13 @@ from __future__ import annotations
 import enum
 import hashlib
 import json
+import os
+import pickle
+import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import asdict, is_dataclass
+from pathlib import Path
 
 from repro.graph.graph import Graph
 from repro.graph.serialize import graph_to_dict
@@ -32,6 +44,22 @@ from repro.telemetry import get_telemetry
 #: GPUSpec fields that do not influence profiling results (capacity
 #: bounds what *fits*, not how fast kernels run or links move bytes).
 _CAPACITY_FIELDS = ("memory_bytes", "host_memory_bytes")
+
+#: Bumped whenever the pickled artifact layout changes incompatibly;
+#: disk entries live under a ``v<N>`` subdirectory so old versions are
+#: simply never consulted (no migration, no misreads).
+CACHE_FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """The persistent cache location: ``$REPRO_CACHE_DIR`` if set, else
+    ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path("~/.cache").expanduser()
+    return base / "repro"
 
 
 def _jsonify(obj):
@@ -78,22 +106,43 @@ class CompileCache:
     modules' ``parallel=`` mode): lookups and insertions hold a lock, and
     artifacts are treated as immutable once stored.
 
+    With ``disk_dir`` set, the LRU gains a persistent tier: every
+    :meth:`put` also pickles the artifact to a content-addressed file
+    under ``<disk_dir>/v<CACHE_FORMAT_VERSION>/``, and a memory miss
+    falls through to disk before reporting a miss. Worker *processes*
+    (the sweeps' ``backend="process"`` mode) and later sessions pointed
+    at the same directory therefore share profiles and plans; memory
+    evictions never delete disk files.
+
     Hits, misses and evictions are counted per artifact *kind* (the
     stage name callers pass to :meth:`get` / :meth:`put`) and exposed
-    through :meth:`cache_stats`; when a telemetry session with metrics
-    is active, the same events increment ``compile_cache.<kind>.*``
-    counters on its registry.
+    through :meth:`cache_stats` — disk-backed caches additionally count
+    ``disk_hits`` / ``disk_misses`` — and when a telemetry session with
+    metrics is active, the same events increment
+    ``compile_cache.<kind>.*`` counters on its registry.
     """
 
-    def __init__(self, max_entries: int = 512) -> None:
+    def __init__(
+        self,
+        max_entries: int = 512,
+        disk_dir: str | os.PathLike | None = None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
+        self.disk_dir: Path | None = None
+        if disk_dir is not None:
+            self.disk_dir = (
+                Path(disk_dir).expanduser() / f"v{CACHE_FORMAT_VERSION}"
+            )
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
         self._entries: OrderedDict[str, object] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
         self._kind_stats: dict[str, dict[str, int]] = {}
         #: key -> kind, so evictions are attributed to the right kind.
         self._kind_of: dict[str, str] = {}
@@ -103,35 +152,122 @@ class CompileCache:
         stats = self._kind_stats.get(kind)
         if stats is None:
             stats = {"hits": 0, "misses": 0, "evictions": 0}
+            if self.disk_dir is not None:
+                stats["disk_hits"] = 0
+                stats["disk_misses"] = 0
             self._kind_stats[kind] = stats
-        stats[event] += 1
+        stats[event] = stats.get(event, 0) + 1
         metrics = get_telemetry().metrics
         if metrics.enabled:
             metrics.counter(f"compile_cache.{kind or 'any'}.{event}").inc()
 
+    # -- disk tier ---------------------------------------------------------
+
+    def _disk_path(self, key: str, kind: str) -> Path:
+        return self.disk_dir / f"{kind or 'any'}-{key}.pkl"
+
+    def _disk_load(self, key: str, kind: str):
+        """Load one disk entry, or ``None`` on any failure.
+
+        Anything short of a well-formed, version- and key-matching
+        payload — missing file, torn/truncated write survivor, foreign
+        pickle, stale format — is treated as a miss: the caller
+        recomputes and the next :meth:`put` overwrites the bad file.
+        """
+        try:
+            raw = self._disk_path(key, kind).read_bytes()
+            payload = pickle.loads(raw)
+        except Exception:
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if (
+            payload.get("version") != CACHE_FORMAT_VERSION
+            or payload.get("key") != key
+            or payload.get("kind") != kind
+        ):
+            return None
+        return payload.get("artifact")
+
+    def _disk_store(self, key: str, value, kind: str) -> None:
+        """Atomically persist one entry (best-effort: IO errors are
+        swallowed — a failed write just means a future miss)."""
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "kind": kind,
+            "key": key,
+            "artifact": value,
+        }
+        try:
+            encoded = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.disk_dir, prefix=".tmp-", suffix=".pkl",
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(encoded)
+                os.replace(tmp_name, self._disk_path(key, kind))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError):
+            pass
+
     def get(self, key: str, kind: str = ""):
-        """Return the cached artifact or ``None``; counts hit/miss."""
+        """Return the cached artifact or ``None``; counts hit/miss.
+
+        Memory first; with a disk tier, a memory miss probes the disk
+        file and a disk hit is promoted into the in-memory LRU. Only a
+        miss in *every* tier counts as a miss.
+        """
         with self._lock:
             try:
                 value = self._entries[key]
             except KeyError:
+                pass
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                self._bump(kind, "hits")
+                return value
+            if self.disk_dir is None:
                 self.misses += 1
                 self._bump(kind, "misses")
                 return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            self._bump(kind, "hits")
-            return value
+        # Disk IO happens outside the lock; content-addressed entries
+        # make concurrent promotion idempotent.
+        value = self._disk_load(key, kind)
+        with self._lock:
+            if value is not None:
+                self.disk_hits += 1
+                self._bump(kind, "disk_hits")
+                self._insert(key, value, kind)
+                return value
+            self.disk_misses += 1
+            self._bump(kind, "disk_misses")
+            self.misses += 1
+            self._bump(kind, "misses")
+            return None
+
+    def _insert(self, key: str, value, kind: str) -> None:
+        """Memory-tier insertion + LRU eviction (lock held)."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        self._kind_of[key] = kind
+        while len(self._entries) > self.max_entries:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+            self._bump(self._kind_of.pop(evicted_key, ""), "evictions")
 
     def put(self, key: str, value, kind: str = "") -> None:
+        """Store an artifact in memory and, when enabled, on disk."""
         with self._lock:
-            self._entries[key] = value
-            self._entries.move_to_end(key)
-            self._kind_of[key] = kind
-            while len(self._entries) > self.max_entries:
-                evicted_key, _ = self._entries.popitem(last=False)
-                self.evictions += 1
-                self._bump(self._kind_of.pop(evicted_key, ""), "evictions")
+            self._insert(key, value, kind)
+        if self.disk_dir is not None:
+            self._disk_store(key, value, kind)
 
     def __len__(self) -> int:
         with self._lock:
@@ -144,12 +280,15 @@ class CompileCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "disk_hits": self.disk_hits,
+                "disk_misses": self.disk_misses,
             }
 
     def cache_stats(self) -> dict:
         """Aggregate plus per-kind hit/miss/eviction counts.
 
         ``{"entries": ..., "hits": ..., "misses": ..., "evictions": ...,
+        "disk_hits": ..., "disk_misses": ...,
         "kinds": {"profile": {"hits": ...}, "plan": {...}}}``
         """
         with self._lock:
@@ -158,6 +297,8 @@ class CompileCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "disk_hits": self.disk_hits,
+                "disk_misses": self.disk_misses,
                 "kinds": {
                     kind: dict(stats)
                     for kind, stats in sorted(self._kind_stats.items())

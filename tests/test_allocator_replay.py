@@ -1,9 +1,18 @@
 """Allocator replay: pool placement effects on real traces."""
 
-from repro.analysis.allocator_replay import replay_allocations
+import pytest
+
+from repro.analysis.allocator_replay import (
+    chronological_peak,
+    replay_allocations,
+)
 from repro.analysis.runner import run_policy
+from repro.runtime.trace import ExecutionTrace
 from repro.units import GB
 from tests.conftest import BIG_GPU, build_tiny_cnn
+
+#: Every pool placement strategy the replay accepts.
+STRATEGIES = ("best_fit", "first_fit", "worst_fit", "segregated")
 
 
 def swap_heavy_trace():
@@ -11,6 +20,17 @@ def swap_heavy_trace():
     result = run_policy(graph, "vdnn_all", BIG_GPU)
     assert result.feasible
     return result.trace
+
+
+def synthetic_trace(events, persistent=0):
+    """A minimal trace carrying only an allocation event stream."""
+    return ExecutionTrace(
+        name="synthetic", batch=1, iteration_time=1.0, compute_busy=1.0,
+        cpu_busy=0.0, d2h_busy=0.0, h2d_busy=0.0, memory_stall=0.0,
+        peak_memory=0, persistent_bytes=persistent, swapped_out_bytes=0,
+        swapped_in_bytes=0, recompute_time=0.0, recompute_ops=0,
+        split_kernels=0, alloc_events=list(events),
+    )
 
 
 class TestReplay:
@@ -50,3 +70,94 @@ class TestReplay:
         assert result.succeeded
         # Base has no transfers but every compute output is allocated.
         assert result.alloc_count > 0
+
+
+class TestSizeMatchedFrees:
+    """Regression: a release must free the same-size live handle for its
+    label, not whichever was allocated first."""
+
+    def test_free_matches_event_size_not_fifo_order(self):
+        # "x" has two live allocations of different sizes; the -512
+        # release refers to the second. Freeing per-label FIFO would
+        # release the 256 B block instead, leaving [0, 256) free and
+        # [256, 768) occupied — and the 768 B allocation below would
+        # spuriously OOM in a 1024 B pool.
+        trace = synthetic_trace([
+            (0.0, "x", 256),
+            (1.0, "x", 512),
+            (2.0, "x", -512),
+            (3.0, "y", 768),
+        ])
+        result = replay_allocations(trace, 1024)
+        assert result.succeeded
+        assert result.peak_used == 1024
+
+    def test_same_size_duplicates_free_oldest_first(self):
+        trace = synthetic_trace([
+            (0.0, "x", 256),
+            (1.0, "x", 256),
+            (2.0, "x", -256),
+            (3.0, "x", -256),
+        ])
+        result = replay_allocations(trace, 1024)
+        assert result.succeeded
+        assert result.alloc_count == 2
+
+    def test_unmatched_size_falls_back_to_fifo(self):
+        # A release whose size matches no live handle (e.g. the matching
+        # allocation was trimmed from the trace) still frees something
+        # rather than leaking the label's oldest block.
+        trace = synthetic_trace([
+            (0.0, "x", 256),
+            (1.0, "x", -512),
+            (2.0, "y", 1024),
+        ])
+        result = replay_allocations(trace, 1024)
+        assert result.succeeded
+
+    def test_release_without_live_handle_ignored(self):
+        trace = synthetic_trace([(0.0, "ghost", -256)])
+        assert replay_allocations(trace, 1024).succeeded
+
+
+class TestFailureReporting:
+    def test_fragmentation_reported_at_failure_instant(self):
+        # Alternating frees leave 512 B free in two 256 B holes; the
+        # 512 B request OOMs purely from external fragmentation, and the
+        # result must report that state (1 - 256/512), not understate it.
+        trace = synthetic_trace([
+            (0.0, "a", 256),
+            (1.0, "b", 256),
+            (2.0, "c", 256),
+            (3.0, "d", 256),
+            (4.0, "a", -256),
+            (5.0, "c", -256),
+            (6.0, "big", 512),
+        ])
+        result = replay_allocations(trace, 1024)
+        assert not result.succeeded
+        assert result.failed_at == "big"
+        assert result.max_fragmentation == pytest.approx(0.5)
+        assert result.peak_used == 1024
+
+    def test_persistent_region_failure(self):
+        trace = synthetic_trace([], persistent=2048)
+        result = replay_allocations(trace, 1024)
+        assert not result.succeeded
+        assert result.failed_at == "<persistent region>"
+
+
+class TestReplayVsLedger:
+    def test_replay_peak_bounds_ledger_peak_every_strategy(self):
+        """Placement can only add overhead on top of byte accounting:
+        the pool's peak (alignment + persistent region included) is
+        never below the engine ledger's chronological peak."""
+        trace = swap_heavy_trace()
+        ledger_peak = chronological_peak(trace)
+        assert ledger_peak == trace.peak_memory
+        for strategy in STRATEGIES:
+            result = replay_allocations(
+                trace, BIG_GPU.memory_bytes, strategy=strategy,
+            )
+            assert result.succeeded, strategy
+            assert result.peak_used >= ledger_peak, strategy

@@ -1,5 +1,7 @@
 """The `python -m repro` command-line driver."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -50,6 +52,42 @@ class TestSweep:
     def test_bad_policy_fails_fast(self):
         with pytest.raises(KeyError):
             main(["sweep", "--policies", "base,nonsense", "--batches", "2"])
+
+    def test_sweep_process_backend(self, capsys):
+        main(["sweep", "--model", "vgg16", "--policies", "base",
+              "--batches", "2,4", "--parallel", "2",
+              "--backend", "process"])
+        out = capsys.readouterr().out
+        assert "base" in out and "/s" in out
+
+    def test_sweep_warm_cache_dir_hits_disk(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        stats_path = tmp_path / "stats.json"
+        argv = ["sweep", "--model", "vgg16", "--policies", "base",
+                "--batches", "2", "--cache-dir", str(cache_dir),
+                "--cache-stats", str(stats_path)]
+        main(argv)
+        cold = json.loads(stats_path.read_text())
+        assert cold["disk_hits"] == 0 and cold["misses"] > 0
+        capsys.readouterr()
+        main(argv)  # same process, but a fresh driver cache per run
+        warm = json.loads(stats_path.read_text())
+        assert warm["disk_hits"] > 0
+        assert warm["disk_misses"] == 0
+        err = capsys.readouterr().err
+        assert "disk hits" in err
+
+    def test_sweep_cache_stats_rejected_for_process_backend(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--model", "vgg16", "--policies", "base",
+                  "--batches", "2", "--backend", "process",
+                  "--cache-stats", str(tmp_path / "stats.json")])
+        assert "cache" in str(excinfo.value)
+
+    def test_sweep_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--model", "vgg16", "--policies", "base",
+                  "--batches", "2", "--backend", "fiber"])
 
 
 class TestTrace:

@@ -1,0 +1,155 @@
+"""The CompileCache's persistent disk tier."""
+
+import pickle
+
+import pytest
+
+from repro.pipeline import compile_run
+from repro.pipeline.cache import (
+    CACHE_FORMAT_VERSION,
+    CompileCache,
+    default_cache_dir,
+)
+from tests.conftest import BIG_GPU, build_tiny_cnn
+
+
+class TestDiskTier:
+    def test_put_writes_content_addressed_file(self, tmp_path):
+        cache = CompileCache(disk_dir=tmp_path)
+        cache.put("k1", {"answer": 42}, kind="profile")
+        files = list((tmp_path / f"v{CACHE_FORMAT_VERSION}").glob("*.pkl"))
+        assert [f.name for f in files] == ["profile-k1.pkl"]
+
+    def test_cross_instance_sharing(self, tmp_path):
+        first = CompileCache(disk_dir=tmp_path)
+        first.put("k1", {"answer": 42}, kind="profile")
+        second = CompileCache(disk_dir=tmp_path)
+        assert second.get("k1", kind="profile") == {"answer": 42}
+        assert second.disk_hits == 1 and second.hits == 0
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        CompileCache(disk_dir=tmp_path).put("k1", "v", kind="plan")
+        cache = CompileCache(disk_dir=tmp_path)
+        assert cache.get("k1", kind="plan") == "v"
+        assert cache.get("k1", kind="plan") == "v"
+        stats = cache.cache_stats()
+        assert stats["disk_hits"] == 1 and stats["hits"] == 1
+        assert stats["kinds"]["plan"]["disk_hits"] == 1
+
+    def test_full_miss_counts_both_tiers(self, tmp_path):
+        cache = CompileCache(disk_dir=tmp_path)
+        assert cache.get("absent", kind="profile") is None
+        stats = cache.cache_stats()
+        assert stats["misses"] == 1 and stats["disk_misses"] == 1
+        assert stats["kinds"]["profile"] == {
+            "hits": 0, "misses": 1, "evictions": 0,
+            "disk_hits": 0, "disk_misses": 1,
+        }
+
+    def test_memory_only_cache_reports_no_disk_kind_keys(self):
+        cache = CompileCache()
+        cache.get("absent", kind="profile")
+        stats = cache.cache_stats()
+        assert stats["disk_hits"] == 0 and stats["disk_misses"] == 0
+        assert stats["kinds"]["profile"] == \
+            {"hits": 0, "misses": 1, "evictions": 0}
+
+    def test_memory_eviction_keeps_disk_entry(self, tmp_path):
+        cache = CompileCache(max_entries=1, disk_dir=tmp_path)
+        cache.put("k1", "v1", kind="plan")
+        cache.put("k2", "v2", kind="plan")  # evicts k1 from memory only
+        assert cache.get("k1", kind="plan") == "v1"
+        assert cache.disk_hits == 1
+
+    def test_corrupt_file_is_a_miss_then_overwritten(self, tmp_path):
+        cache = CompileCache(disk_dir=tmp_path)
+        cache.put("k1", "good", kind="plan")
+        path = tmp_path / f"v{CACHE_FORMAT_VERSION}" / "plan-k1.pkl"
+        path.write_bytes(b"\x80\x04 this is not a pickle")
+        fresh = CompileCache(disk_dir=tmp_path)
+        assert fresh.get("k1", kind="plan") is None
+        assert fresh.disk_misses == 1
+        fresh.put("k1", "recomputed", kind="plan")
+        assert CompileCache(disk_dir=tmp_path).get("k1", kind="plan") == \
+            "recomputed"
+
+    def test_truncated_file_is_a_miss(self, tmp_path):
+        cache = CompileCache(disk_dir=tmp_path)
+        cache.put("k1", list(range(1000)), kind="profile")
+        path = tmp_path / f"v{CACHE_FORMAT_VERSION}" / "profile-k1.pkl"
+        path.write_bytes(path.read_bytes()[:20])
+        assert CompileCache(disk_dir=tmp_path).get("k1", "profile") is None
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        cache = CompileCache(disk_dir=tmp_path)
+        path = cache._disk_path("k1", "plan")
+        payload = {
+            "version": CACHE_FORMAT_VERSION + 1,
+            "kind": "plan", "key": "k1", "artifact": "future",
+        }
+        path.write_bytes(pickle.dumps(payload))
+        assert cache.get("k1", kind="plan") is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        cache = CompileCache(disk_dir=tmp_path)
+        path = cache._disk_path("k1", "plan")
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "kind": "plan", "key": "other", "artifact": "misplaced",
+        }
+        path.write_bytes(pickle.dumps(payload))
+        assert cache.get("k1", kind="plan") is None
+
+    def test_no_temp_file_survivors(self, tmp_path):
+        cache = CompileCache(disk_dir=tmp_path)
+        for i in range(5):
+            cache.put(f"k{i}", i, kind="profile")
+        leftovers = list((tmp_path / f"v{CACHE_FORMAT_VERSION}").glob(".tmp-*"))
+        assert leftovers == []
+
+
+class TestPipelineWarmStart:
+    def test_second_session_recompiles_nothing(self, tmp_path):
+        graph = build_tiny_cnn(batch=8)
+        cold = CompileCache(disk_dir=tmp_path)
+        first = compile_run(graph, "tsplit", BIG_GPU, cache=cold)
+        # A "later session": fresh memory tier, same directory.
+        warm = CompileCache(disk_dir=tmp_path)
+        second = compile_run(graph, "tsplit", BIG_GPU, cache=warm)
+        assert second.profile.cached and second.plan.cached
+        assert warm.cache_stats()["disk_hits"] == 2
+        assert warm.cache_stats()["disk_misses"] == 0
+        assert second.result.trace.peak_memory == \
+            first.result.trace.peak_memory
+        assert second.plan.plan == first.plan.plan
+
+    def test_planning_failure_survives_the_disk_roundtrip(self, tmp_path):
+        graph = build_tiny_cnn(batch=8)
+        tiny = BIG_GPU.with_memory(64 * 1024)
+        cold = CompileCache(disk_dir=tmp_path)
+        first = compile_run(graph, "tsplit", tiny, cache=cold)
+        assert not first.result.feasible
+        warm = CompileCache(disk_dir=tmp_path)
+        second = compile_run(graph, "tsplit", tiny, cache=warm)
+        assert second.plan.cached and not second.result.feasible
+        assert second.result.failure == first.result.failure
+
+
+class TestDefaultCacheDir:
+    def test_env_override_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro"
+
+    def test_home_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        assert default_cache_dir().name == "repro"
+
+    def test_bad_max_entries_still_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            CompileCache(max_entries=0, disk_dir=tmp_path)

@@ -4,7 +4,11 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import AllocationError, OutOfMemoryError
-from repro.hardware.memory_pool import ALIGNMENT, MemoryPool
+from repro.hardware.memory_pool import (
+    ALIGNMENT,
+    SEGREGATION_THRESHOLD,
+    MemoryPool,
+)
 from repro.units import KB, MB
 
 
@@ -111,6 +115,60 @@ class TestStrategies:
         pool.alloc(10 * KB)
         assert pool.largest_free_block == 90 * KB
 
+    def test_segregated_micro_allocs_carve_from_top(self):
+        pool = MemoryPool(
+            capacity=SEGREGATION_THRESHOLD * 4, strategy="segregated",
+        )
+        pool.alloc(KB)
+        # The micro-tensor sits at the top: the single free block still
+        # starts at offset 0.
+        assert pool._free[0].offset == 0
+        assert pool.largest_free_block == pool.capacity - KB
+
+    def test_alloc_exactly_at_segregation_threshold_goes_bottom(self):
+        """The threshold is exclusive: a request of exactly
+        SEGREGATION_THRESHOLD bytes is a *large* buffer and must take
+        the best-fit bottom path, not the top carve."""
+        pool = MemoryPool(
+            capacity=SEGREGATION_THRESHOLD * 4, strategy="segregated",
+        )
+        pool.alloc(SEGREGATION_THRESHOLD)
+        assert pool._free[0].offset == SEGREGATION_THRESHOLD
+        # One byte less is a micro-tensor and carves from the top.
+        pool.alloc(SEGREGATION_THRESHOLD - ALIGNMENT)
+        assert pool._free[0].offset == SEGREGATION_THRESHOLD
+        assert len(pool._free) == 1
+
+    def test_segregated_coalesces_top_carve_with_bottom_block(self):
+        """Freeing a bottom (large) buffer adjacent to a freed top carve
+        must merge back into one hole."""
+        capacity = SEGREGATION_THRESHOLD * 2
+        pool = MemoryPool(capacity=capacity, strategy="segregated")
+        bottom = pool.alloc(SEGREGATION_THRESHOLD)        # [0, T)
+        top = pool.alloc(capacity - SEGREGATION_THRESHOLD)  # [T, 2T)
+        assert pool.free_bytes == 0
+        pool.free(top)
+        pool.free(bottom)
+        assert pool.largest_free_block == capacity
+        assert pool.fragmentation() == 0.0
+
+    def test_segregated_micro_free_merges_with_neighbour_carves(self):
+        pool = MemoryPool(
+            capacity=SEGREGATION_THRESHOLD, strategy="segregated",
+        )
+        handles = [pool.alloc(4 * KB) for _ in range(3)]
+        for handle in handles:
+            pool.free(handle)
+        assert pool.largest_free_block == pool.capacity
+        assert pool.fragmentation() == 0.0
+
+    def test_segregated_double_free_rejected(self):
+        pool = MemoryPool(capacity=1 * MB, strategy="segregated")
+        handle = pool.alloc(KB)
+        pool.free(handle)
+        with pytest.raises(AllocationError):
+            pool.free(handle)
+
     def test_stats_accumulate(self):
         pool = MemoryPool(capacity=MB)
         handle = pool.alloc(KB)
@@ -132,7 +190,9 @@ class TestStrategies:
         st.tuples(st.booleans(), st.integers(min_value=1, max_value=64 * KB)),
         min_size=1, max_size=60,
     ),
-    strategy=st.sampled_from(["best_fit", "first_fit", "worst_fit"]),
+    strategy=st.sampled_from(
+        ["best_fit", "first_fit", "worst_fit", "segregated"],
+    ),
 )
 def test_pool_invariants_under_random_workload(ops, strategy):
     """Accounting invariants hold for any alloc/free sequence."""

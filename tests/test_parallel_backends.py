@@ -1,0 +1,206 @@
+"""Sweep fan-out backends: serial / thread / process equivalence."""
+
+import os
+
+import pytest
+
+from repro.analysis.footprint import memory_requirement_grid
+from repro.analysis.oversubscription import oversubscription_sweep
+from repro.analysis.parallel import (
+    BACKENDS,
+    MAX_WORKERS_ENV,
+    _check_picklable,
+    parallel_map,
+    resolve_backend,
+    resolve_workers,
+)
+from repro.analysis.scaling import scale_table
+from repro.analysis.sweep_tasks import (
+    ThroughputTaskSpec,
+    canonical_point_bytes,
+    resolve_sweep_cache,
+    run_throughput_point,
+    worker_cache,
+)
+from repro.analysis.throughput import throughput_sweep
+from repro.hardware.gpu import GPU_PRESETS
+from repro.pipeline import CompileCache
+from tests.conftest import BIG_GPU, build_tiny_cnn
+
+GPU = GPU_PRESETS["gtx_1080ti"]
+
+
+class TestResolveWorkers:
+    def test_serial_settings(self):
+        assert resolve_workers(None, 10) == 1
+        assert resolve_workers(False, 10) == 1
+        assert resolve_workers(0, 10) == 1
+        assert resolve_workers(1, 10) == 1
+
+    def test_single_item_is_serial(self):
+        assert resolve_workers(8, 1) == 1
+
+    def test_integer_caps_at_item_count(self):
+        assert resolve_workers(4, 2) == 2
+        assert resolve_workers(2, 100) == 2
+
+    def test_true_uses_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(MAX_WORKERS_ENV, raising=False)
+        assert resolve_workers(True, 10_000) == (os.cpu_count() or 4)
+
+    def test_env_cap_applies(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "2")
+        assert resolve_workers(True, 100) == min(2, os.cpu_count() or 4)
+        assert resolve_workers(16, 100) == 2
+
+    def test_invalid_env_cap_ignored(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "not-a-number")
+        assert resolve_workers(4, 100) == 4
+        monkeypatch.setenv(MAX_WORKERS_ENV, "0")
+        assert resolve_workers(4, 100) == 4
+
+
+class TestResolveBackend:
+    def test_default_tracks_parallel_knob(self):
+        assert resolve_backend(None, None) == "serial"
+        assert resolve_backend(None, 4) == "thread"
+        assert resolve_backend(None, True) == "thread"
+
+    def test_explicit_backend_wins(self):
+        assert resolve_backend("process", None) == "process"
+        assert resolve_backend("serial", 8) == "serial"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("greenlet", None)
+
+    def test_backends_tuple(self):
+        assert BACKENDS == ("serial", "thread", "process")
+
+
+class TestParallelMap:
+    def test_order_preserved_all_backends(self):
+        expected = [x * x for x in range(20)]
+        for backend in ("serial", "thread"):
+            assert parallel_map(
+                lambda x: x * x, range(20), 4, backend=backend,
+            ) == expected
+
+    def test_process_backend_rejects_closures(self):
+        captured = 3
+        with pytest.raises(ValueError, match="picklable"):
+            parallel_map(
+                lambda x: x * captured, range(4), 2, backend="process",
+            )
+
+    def test_check_picklable_passes_module_level(self):
+        _check_picklable(
+            run_throughput_point,
+            [ThroughputTaskSpec(
+                model="vgg16", policy="base", batch=8, gpu=GPU,
+            )],
+        )
+
+
+class TestSweepCacheResolution:
+    def test_process_backend_rejects_in_memory_cache(self):
+        with pytest.raises(ValueError, match="cache_dir"):
+            resolve_sweep_cache("process", CompileCache(), None)
+
+    def test_process_backend_returns_none(self):
+        assert resolve_sweep_cache("process", None, None) is None
+
+    def test_thread_backend_passes_cache_through(self):
+        cache = CompileCache()
+        assert resolve_sweep_cache("thread", cache, None) is cache
+
+    def test_serial_backend_builds_disk_cache(self, tmp_path):
+        cache = resolve_sweep_cache("serial", None, str(tmp_path))
+        assert cache is not None and cache.disk_dir is not None
+
+    def test_worker_cache_is_per_directory_singleton(self, tmp_path):
+        a = worker_cache(str(tmp_path))
+        b = worker_cache(str(tmp_path))
+        c = worker_cache(None)
+        assert a is b and a is not c
+
+
+class TestBackendEquivalence:
+    """The acceptance bar: byte-identical point lists per backend."""
+
+    POLICIES = ["base", "tsplit"]
+    BATCHES = [64, 128]
+
+    def _sweep(self, backend, **kwargs):
+        return throughput_sweep(
+            "vgg16", self.POLICIES, self.BATCHES, GPU,
+            parallel=2, backend=backend, **kwargs,
+        )
+
+    def test_three_backends_byte_identical(self):
+        serial = self._sweep("serial")
+        thread = self._sweep("thread")
+        process = self._sweep("process")
+        assert (
+            canonical_point_bytes(serial)
+            == canonical_point_bytes(thread)
+            == canonical_point_bytes(process)
+        )
+        assert len(serial) == len(self.POLICIES) * len(self.BATCHES)
+
+    def test_process_backend_with_disk_cache_dir(self, tmp_path):
+        first = self._sweep("process", cache_dir=str(tmp_path))
+        second = self._sweep("serial", cache_dir=str(tmp_path))
+        assert canonical_point_bytes(first) == canonical_point_bytes(second)
+
+    def test_process_backend_rejects_shared_cache(self):
+        with pytest.raises(ValueError, match="in-memory"):
+            self._sweep("process", cache=CompileCache())
+
+    def test_infeasible_points_identical_too(self):
+        tiny = GPU.with_memory(32 * 2**20)
+        serial = throughput_sweep(
+            "vgg16", ["base"], [256], tiny, backend="serial",
+        )
+        process = throughput_sweep(
+            "vgg16", ["base"], [256], tiny, parallel=2, backend="process",
+        )
+        assert not serial[0].feasible
+        assert canonical_point_bytes(serial) == canonical_point_bytes(process)
+
+
+class TestOtherSweepsAcceptBackend:
+    def test_scale_table_backends_agree(self):
+        gpu = BIG_GPU.with_memory(4 * 1024 * 1024)
+        serial = scale_table(
+            [build_tiny_cnn], ["base", "vdnn_all"], gpu,
+            axis="sample", backend="serial", cap=64,
+        )
+        process = scale_table(
+            [build_tiny_cnn], ["base", "vdnn_all"], gpu,
+            axis="sample", parallel=2, backend="process", cap=64,
+        )
+        assert serial == process
+        assert serial[build_tiny_cnn]["base"] > 0
+
+    def test_oversubscription_backends_agree(self):
+        graph = build_tiny_cnn(batch=16)
+        serial = oversubscription_sweep(
+            graph, ["base", "vdnn_all"], BIG_GPU,
+            ratios=(1.0, 2.0), backend="serial",
+        )
+        process = oversubscription_sweep(
+            graph, ["base", "vdnn_all"], BIG_GPU,
+            ratios=(1.0, 2.0), parallel=2, backend="process",
+        )
+        assert canonical_point_bytes(serial) == canonical_point_bytes(process)
+
+    def test_footprint_grid_backends_agree(self):
+        serial = memory_requirement_grid(
+            "vgg16", [16, 32], [1.0], backend="serial",
+        )
+        process = memory_requirement_grid(
+            "vgg16", [16, 32], [1.0], parallel=2, backend="process",
+        )
+        assert serial == process
+        assert all(peak > 0 for peak in serial.values())

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis.parallel import parallel_map, resolve_workers
@@ -99,11 +101,12 @@ class TestCompileRun:
 
 
 class TestParallelSweep:
-    def test_resolve_workers(self):
+    def test_resolve_workers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MAX_WORKERS", raising=False)
         assert resolve_workers(None, 10) == 1
         assert resolve_workers(0, 10) == 1
         assert resolve_workers(4, 2) == 2
-        assert 1 <= resolve_workers(True, 100) <= 8
+        assert resolve_workers(True, 100) == min(os.cpu_count() or 4, 100)
 
     def test_map_preserves_order(self):
         assert parallel_map(lambda x: x * x, range(20), 4) == [
