@@ -338,6 +338,62 @@ def cmd_chaos(args: argparse.Namespace) -> None:
         sys.exit(1)
 
 
+def cmd_cluster(args: argparse.Namespace) -> None:
+    """Simulate one configuration on an N-rank homogeneous cluster.
+
+    Compiles the model under the chosen parallelism mode (``dp``
+    gradient all-reduce, ``zero_shard`` multi-rank ZeRO sharding, ``pp``
+    1F1B pipeline), runs all ranks under one global event clock, and
+    prints per-rank peaks plus cluster aggregates. ``--trace`` writes a
+    merged Chrome trace with one named process track per rank.
+    """
+    from repro import telemetry
+    from repro.cluster import bubble_fraction, compile_cluster
+    from repro.hardware.cluster import LINK_PRESETS, ClusterSpec
+    from repro.pipeline.cache import CompileCache
+    from repro.runtime.observers import ChromeTraceObserver
+
+    gpu = _gpu(args.gpu)
+    if args.link not in LINK_PRESETS:
+        sys.exit(f"unknown link {args.link!r}; available: "
+                 f"{', '.join(LINK_PRESETS)}")
+    cluster = ClusterSpec.homogeneous(gpu, args.world, link=args.link)
+    compiled = compile_cluster(
+        args.model, args.batch, args.policy, cluster,
+        mode=args.mode, micros=args.micros or None,
+        cache=CompileCache(), param_scale=args.param_scale,
+    )
+    if not compiled.feasible:
+        print(f"INFEASIBLE: {compiled.failure}")
+        sys.exit(1)
+    observers = None
+    if args.trace:
+        observers = [
+            [ChromeTraceObserver(pid=rank)] for rank in range(args.world)
+        ]
+    trace = compiled.execute(observers=observers)
+    micros = compiled.meta.get("micros")
+    print(f"{trace.name}: {args.world}x {gpu.name} over "
+          f"{cluster.intra_link.name} ({args.mode})")
+    print(f"  makespan:       {trace.makespan * 1e3:9.1f} ms")
+    print(f"  throughput:     {trace.throughput:9.1f} samples/s")
+    for rank, rank_trace in enumerate(trace.ranks):
+        print(f"  rank {rank}: peak {format_bytes(rank_trace.peak_memory):>10} "
+              f"comm {trace.comm_busy[rank] * 1e3:7.1f} ms "
+              f"collective {format_bytes(trace.collective_bytes[rank])}")
+    if args.mode == "pp" and micros:
+        print(f"  pipeline:       {args.world} stages x {micros} micros, "
+              f"bubble fraction {bubble_fraction(args.world, micros):.1%}")
+    if args.trace:
+        merged = telemetry.merge_traces(
+            *(obs[0] for obs in observers),
+            names=[f"rank {r} ({gpu.name})" for r in range(args.world)],
+        )
+        telemetry.write_trace(args.trace, merged)
+        print(f"\nwrote merged Chrome trace to {args.trace}",
+              file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> None:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -471,6 +527,38 @@ def main(argv: list[str] | None = None) -> None:
         "--smoke", action="store_true",
         help="tiny ladder for CI (intensities 0,1 x 2 seeds)")
     chaos_parser.set_defaults(func=cmd_chaos)
+
+    cluster_parser = sub.add_parser(
+        "cluster",
+        help="simulate one configuration on an N-rank cluster",
+    )
+    cluster_parser.add_argument(
+        "model", help=f"model name ({', '.join(model_names())})",
+    )
+    cluster_parser.add_argument("--policy", default="tsplit")
+    cluster_parser.add_argument("--batch", type=int, default=64,
+                                help="global batch, divided across ranks "
+                                     "(dp/zero_shard) or micro-batches (pp)")
+    cluster_parser.add_argument("--gpu", default="rtx_titan",
+                                help=f"GPU preset ({', '.join(GPU_PRESETS)})")
+    cluster_parser.add_argument("--world", type=int, default=2,
+                                help="number of ranks")
+    cluster_parser.add_argument(
+        "--mode", choices=("dp", "zero_shard", "pp"), default="dp",
+        help="parallelism: data-parallel all-reduce, multi-rank ZeRO "
+             "sharding, or 1F1B pipeline stages")
+    cluster_parser.add_argument(
+        "--micros", type=int, default=0,
+        help="pipeline micro-batch count (pp only; 0 = 2 x world)")
+    cluster_parser.add_argument(
+        "--link", default="nvlink",
+        help="link preset between ranks "
+             "(nvlink, pcie, ethernet, or any LINK_PRESETS key)")
+    cluster_parser.add_argument("--param-scale", type=float, default=1.0)
+    cluster_parser.add_argument(
+        "--trace", default="", metavar="PATH",
+        help="write a merged Chrome trace with one process per rank")
+    cluster_parser.set_defaults(func=cmd_cluster)
 
     args = parser.parse_args(argv)
     args.func(args)

@@ -1,0 +1,27 @@
+"""Multi-rank parallelism: transforms, schedules, cluster compilation.
+
+This package rewrites a single-GPU model graph into per-rank programs
+joined by collective operations, then co-plans TSPLIT split/swap/
+recompute per rank under each rank's memory budget:
+
+* :mod:`repro.cluster.schedule` — the 1F1B pipeline micro-batch order;
+* :mod:`repro.cluster.transforms` — program-level splices: data-parallel
+  gradient all-reduce and multi-rank ZeRO parameter/gradient sharding;
+* :mod:`repro.cluster.compiler` — :func:`~repro.cluster.compiler.
+  compile_cluster`, the staged Profile → Plan → Lower pipeline applied
+  per rank with rank-aware cache keys, producing programs for the
+  :class:`~repro.runtime.cluster_engine.ClusterEngine`.
+"""
+
+from repro.cluster.compiler import ClusterCompiled, compile_cluster
+from repro.cluster.schedule import bubble_fraction, one_f_one_b_order
+from repro.cluster.transforms import splice_all_reduce, splice_zero_shard
+
+__all__ = [
+    "ClusterCompiled",
+    "compile_cluster",
+    "bubble_fraction",
+    "one_f_one_b_order",
+    "splice_all_reduce",
+    "splice_zero_shard",
+]

@@ -1,0 +1,74 @@
+"""The 1F1B (one-forward-one-backward) pipeline schedule.
+
+PipeDream-style non-interleaved 1F1B: each stage runs a warm-up of
+forward micro-batches (deeper stages warm up less), then alternates one
+forward with one backward in steady state, then drains the remaining
+backwards. Relative to GPipe's all-forwards-then-all-backwards order it
+bounds in-flight activations per stage at ``min(micros, n_stages -
+rank)`` instead of ``micros``, which is what makes pipeline parallelism
+composable with TSPLIT's per-rank memory planning.
+
+The order is a pure function of ``(n_stages, rank, micros)`` so schedule
+properties (bubble count, no overlapping micro-batches on one rank) are
+testable without running the engine.
+"""
+
+from __future__ import annotations
+
+
+def one_f_one_b_order(
+    n_stages: int, rank: int, micros: int,
+) -> list[tuple[str, int]]:
+    """The 1F1B work order of one stage: ``[("F", m) | ("B", m), ...]``.
+
+    Every stage emits exactly ``micros`` forwards and ``micros``
+    backwards; backward ``m`` always follows forward ``m``; the warm-up
+    depth ``min(micros, n_stages - 1 - rank)`` shrinks toward the last
+    stage, which alternates from the first micro-batch.
+    """
+    if n_stages < 1:
+        raise ValueError(f"n_stages must be >= 1, got {n_stages}")
+    if not 0 <= rank < n_stages:
+        raise ValueError(f"rank {rank} out of range for {n_stages} stages")
+    if micros < 1:
+        raise ValueError(f"micros must be >= 1, got {micros}")
+    warmup = min(micros, n_stages - 1 - rank)
+    order = [("F", m) for m in range(warmup)]
+    forward, backward = warmup, 0
+    while forward < micros or backward < micros:
+        if forward < micros:
+            order.append(("F", forward))
+            forward += 1
+        if backward < micros:
+            order.append(("B", backward))
+            backward += 1
+    return order
+
+
+def bubble_count(n_stages: int, rank: int, micros: int) -> int:
+    """Warm-up slots this stage spends idle before its first forward.
+
+    Stage ``rank`` cannot start micro-batch 0 until the ``rank``
+    upstream stages have each forwarded it once — the leading edge of
+    the pipeline bubble. By symmetry the same count drains at the tail,
+    giving the classic ``(n_stages - 1)`` bubble per pipeline.
+    """
+    if not 0 <= rank < n_stages:
+        raise ValueError(f"rank {rank} out of range for {n_stages} stages")
+    if micros < 1:
+        raise ValueError(f"micros must be >= 1, got {micros}")
+    return rank
+
+
+def bubble_fraction(n_stages: int, micros: int) -> float:
+    """Ideal bubble fraction ``(S - 1) / (M + S - 1)`` of 1F1B.
+
+    With uniform stage times the pipeline is busy for ``micros`` slots
+    and idle for ``n_stages - 1`` fill/drain slots; real fractions come
+    out higher when stages are imbalanced or communication-bound.
+    """
+    if n_stages < 1:
+        raise ValueError(f"n_stages must be >= 1, got {n_stages}")
+    if micros < 1:
+        raise ValueError(f"micros must be >= 1, got {micros}")
+    return (n_stages - 1) / (micros + n_stages - 1)

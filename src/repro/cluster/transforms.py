@@ -1,0 +1,368 @@
+"""Program-level parallelism transforms: DP all-reduce, ZeRO sharding.
+
+Both transforms rewrite an already-lowered instruction program — after
+TSPLIT has co-planned split/swap/recompute for the rank — by splicing
+:class:`~repro.runtime.instructions.CollectiveInstr` shares at the
+points the parallelism scheme requires:
+
+* **data-parallel** (:func:`splice_all_reduce`): every rank trains a
+  full replica on ``batch / N`` samples; each parameter gradient is
+  all-reduced in place right after its final producer, so the optimizer
+  update (a later consumer of the gradient key) is automatically held
+  until the collective completes;
+* **ZeRO sharding** (:func:`splice_zero_shard`): parameters and
+  optimizer state are sharded ``1/N`` per rank (persistent bytes drop
+  accordingly); an all-gather materialises the missing ``(N-1)/N`` of a
+  parameter just before each phase window that consumes it and frees it
+  after; gradients are reduce-scattered — the full-size gradient buffer
+  is retired by the collective and later consumers (the update, frees)
+  are rewritten onto the ``1/N`` shard.
+
+With ``world_size == 1`` both transforms return the program unchanged —
+that degenerate case is the refactor's byte-identity safety net.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.graph.graph import Graph
+from repro.graph.ops import Phase
+from repro.graph.tensor import TensorKind
+from repro.runtime.instructions import (
+    CollectiveInstr,
+    ComputeInstr,
+    FreeInstr,
+    Instruction,
+    Program,
+    SwapInInstr,
+    SwapOutInstr,
+    TensorRef,
+)
+
+
+def _grad_tensors(graph: Graph) -> list[int]:
+    """Parameter-gradient tensor ids consumed by update ops, op order."""
+    grads: list[int] = []
+    seen: set[int] = set()
+    for op in graph.ops.values():
+        if op.phase is not Phase.UPDATE:
+            continue
+        for tid in op.inputs:
+            if (
+                graph.tensors[tid].kind is TensorKind.GRAD_PARAM
+                and tid not in seen
+            ):
+                seen.add(tid)
+                grads.append(tid)
+    return grads
+
+
+def _final_refs(
+    program: Program, tids: set[int],
+) -> dict[int, tuple[int, tuple[TensorRef, ...]]]:
+    """Last producer index and surviving refs of each tracked tensor.
+
+    A split tensor's micro pieces are produced individually and replaced
+    by the whole buffer at the merge, so "the refs alive after the final
+    producer" is whatever the last producing instruction leaves behind:
+    the whole ref after a merge, or the full set of micro refs when the
+    plan keeps the tensor split.
+    """
+    live: dict[int, dict[tuple[int, int], TensorRef]] = {t: {} for t in tids}
+    last: dict[int, int] = {}
+    for idx, instr in enumerate(program.instructions):
+        if not isinstance(instr, ComputeInstr):
+            continue
+        if instr.tag == "merge":
+            for ref in instr.inputs:
+                if ref.tensor_id in live:
+                    live[ref.tensor_id].pop(ref.key, None)
+        for ref in (*instr.outputs, *instr.finishes):
+            if ref.tensor_id in live:
+                live[ref.tensor_id][ref.key] = ref
+                last[ref.tensor_id] = idx
+    return {
+        tid: (last[tid], tuple(live[tid].values()))
+        for tid in tids if tid in last and live[tid]
+    }
+
+
+def _ref_keys(instr: Instruction) -> tuple[tuple[int, int], ...]:
+    """Every storage key an instruction references."""
+    if isinstance(instr, ComputeInstr):
+        refs = (*instr.inputs, *instr.outputs, *instr.alloc_only,
+                *instr.finishes)
+    elif isinstance(instr, (SwapOutInstr, SwapInInstr, FreeInstr)):
+        refs = (instr.ref,)
+    elif isinstance(instr, CollectiveInstr):
+        refs = (*instr.inputs, *instr.outputs, *instr.frees)
+    else:
+        refs = ()
+    return tuple(ref.key for ref in refs)
+
+
+def remap_refs(
+    instr: Instruction, mapping: dict[tuple[int, int], TensorRef],
+) -> Instruction:
+    """Rewrite an instruction's tensor refs through ``mapping`` keys."""
+
+    def one(ref: TensorRef) -> TensorRef:
+        return mapping.get(ref.key, ref)
+
+    def many(refs: tuple[TensorRef, ...]) -> tuple[TensorRef, ...]:
+        return tuple(one(ref) for ref in refs)
+
+    if isinstance(instr, ComputeInstr):
+        return dataclasses.replace(
+            instr,
+            inputs=many(instr.inputs),
+            outputs=many(instr.outputs),
+            alloc_only=many(instr.alloc_only),
+            finishes=many(instr.finishes),
+        )
+    if isinstance(instr, (SwapOutInstr, SwapInInstr, FreeInstr)):
+        return dataclasses.replace(instr, ref=one(instr.ref))
+    if isinstance(instr, CollectiveInstr):
+        return dataclasses.replace(
+            instr,
+            inputs=many(instr.inputs),
+            outputs=many(instr.outputs),
+            frees=many(instr.frees),
+        )
+    return instr  # XferInstr.after are ordering markers, never storage
+
+
+def _rebuild(
+    program: Program,
+    *,
+    before: dict[int, list[Instruction]] | None = None,
+    after: dict[int, list[Instruction]] | None = None,
+    replace: dict[int, Instruction] | None = None,
+    name: str = "",
+    persistent_bytes: int | None = None,
+) -> Program:
+    """A new program with per-index insertions/replacements applied."""
+    before = before or {}
+    after = after or {}
+    replace = replace or {}
+    instructions: list[Instruction] = []
+    for idx, instr in enumerate(program.instructions):
+        instructions.extend(before.get(idx, ()))
+        instructions.append(replace.get(idx, instr))
+        instructions.extend(after.get(idx, ()))
+    return Program(
+        instructions=instructions,
+        persistent_bytes=(
+            program.persistent_bytes if persistent_bytes is None
+            else persistent_bytes
+        ),
+        initial_host=list(program.initial_host),
+        batch=program.batch,
+        name=name or program.name,
+    )
+
+
+def splice_all_reduce(
+    graph: Graph,
+    program: Program,
+    world_size: int,
+    *,
+    comm_start: int = 0,
+) -> Program:
+    """Data-parallel transform: all-reduce each parameter gradient.
+
+    The collective is inserted immediately after the gradient's final
+    producer with the gradient refs as in-place operands: the engine
+    pushes their ready time to the collective's end, so the optimizer
+    update — and any planned eviction of the gradient — waits for the
+    reduction without any extra marker plumbing. ``comm_start`` offsets
+    the ``comm_id`` sequence; every rank must use the same offset so the
+    (identical) replica programs rendezvous.
+    """
+    if world_size <= 1:
+        return program
+    grads = _grad_tensors(graph)
+    sites = _final_refs(program, set(grads))
+    group = tuple(range(world_size))
+    after: dict[int, list[Instruction]] = {}
+    comm = comm_start
+    for tid in grads:
+        site = sites.get(tid)
+        if site is None:
+            continue
+        idx, refs = site
+        tensor = graph.tensors[tid]
+        after.setdefault(idx, []).append(CollectiveInstr(
+            kind="all_reduce",
+            comm_id=comm,
+            group=group,
+            nbytes=tensor.size_bytes,
+            label=f"all_reduce({tensor.name})",
+            inputs=refs,
+        ))
+        comm += 1
+    return _rebuild(
+        program, after=after, name=f"{program.name}@dp{world_size}",
+    )
+
+
+def zero_shard_savings(graph: Graph, world_size: int) -> tuple[int, int]:
+    """ZeRO sharding headroom: ``(persistent savings, max gather bytes)``.
+
+    Savings are the persistent parameter + optimizer-state bytes a rank
+    no longer holds (each keeps a ``ceil(size / N)`` shard); the second
+    value is the largest transient all-gather buffer (the missing
+    ``(N-1)/N`` of the biggest parameter), which the planner must keep
+    headroom for. Plan against
+    ``gpu.with_memory(memory + savings - max_gather)`` for a
+    capacity-consistent single-GPU view of the sharded rank.
+    """
+    if world_size <= 1:
+        return 0, 0
+    savings = 0
+    max_gather = 0
+    for tensor in graph.tensors.values():
+        if tensor.kind not in (TensorKind.PARAM, TensorKind.OPTIMIZER_STATE):
+            continue
+        size = tensor.size_bytes
+        shard = -(-size // world_size)
+        savings += size - shard
+        if tensor.kind is TensorKind.PARAM:
+            max_gather = max(max_gather, size - shard)
+    return savings, max_gather
+
+
+def splice_zero_shard(
+    graph: Graph,
+    program: Program,
+    world_size: int,
+    *,
+    comm_start: int = 0,
+) -> Program:
+    """ZeRO transform: shard params + optimizer state, gather on demand.
+
+    Persistent bytes drop by the sharded fraction. For every parameter,
+    an ``all_gather`` materialising the missing ``(N-1)/N`` bytes is
+    inserted before each phase window (forward; backward + recompute)
+    that consumes it, gating the consumers through the gathered ref, and
+    a free retires the gather buffer after the window. Each gradient is
+    ``reduce_scatter``-ed at its final producer: the full-size buffer is
+    retired by the collective and all later consumers are rewritten onto
+    the ``1/N`` shard. Optimizer updates run on the shard — no gather.
+
+    Parameters and optimizer state must be planned RESIDE (the shard is
+    held, not swapped); :func:`repro.cluster.compiler.compile_cluster`
+    sanitises plans accordingly.
+    """
+    if world_size <= 1:
+        return program
+    savings, _ = zero_shard_savings(graph, world_size)
+    group = tuple(range(world_size))
+    fresh = graph._next_tensor_id + 1  # noqa: SLF001 - id headroom
+    comm = comm_start
+    before: dict[int, list[Instruction]] = {}
+    after: dict[int, list[Instruction]] = {}
+    replace: dict[int, Instruction] = {}
+
+    # Parameter gather windows. Persistent RESIDE params are untracked
+    # (never appear in instruction refs), so consumers are found through
+    # each instruction's graph op.
+    consumers: dict[int, list[tuple[int, str]]] = {}
+    for idx, instr in enumerate(program.instructions):
+        if not isinstance(instr, ComputeInstr) or instr.op_id is None:
+            continue
+        if instr.tag not in ("forward", "backward", "recompute"):
+            continue
+        op = graph.ops.get(instr.op_id)
+        if op is None:
+            continue
+        for tid in op.inputs:
+            if graph.tensors[tid].kind is TensorKind.PARAM:
+                consumers.setdefault(tid, []).append((idx, instr.tag))
+    gates: dict[int, list[TensorRef]] = {}
+    for tid in sorted(consumers):
+        tensor = graph.tensors[tid]
+        size = tensor.size_bytes
+        missing = size - (-(-size // world_size))
+        if missing <= 0:
+            continue
+        windows = [
+            [i for i, tag in consumers[tid] if tag == "forward"],
+            [i for i, tag in consumers[tid] if tag != "forward"],
+        ]
+        for window in windows:
+            if not window:
+                continue
+            ref = TensorRef(fresh, missing, label=f"{tensor.name}/gather")
+            fresh += 1
+            before.setdefault(min(window), []).append(CollectiveInstr(
+                kind="all_gather",
+                comm_id=comm,
+                group=group,
+                nbytes=size,
+                label=f"all_gather({tensor.name})",
+                outputs=(ref,),
+            ))
+            comm += 1
+            after.setdefault(max(window), []).append(
+                FreeInstr(ref),
+            )
+            for i in window:
+                gates.setdefault(i, []).append(ref)
+    for idx, refs in gates.items():
+        instr = program.instructions[idx]
+        assert isinstance(instr, ComputeInstr)
+        replace[idx] = dataclasses.replace(
+            instr, inputs=(*instr.inputs, *refs),
+        )
+
+    # Gradient reduce-scatter at each gradient's final producer, with
+    # later consumers rewritten onto the shard. A gradient's mapping
+    # only activates past its own site — its producers keep writing the
+    # full-size refs the collective retires.
+    grads = _grad_tensors(graph)
+    sites = _final_refs(program, set(grads))
+    pending: list[tuple[int, dict[tuple[int, int], TensorRef]]] = []
+    for tid in grads:
+        site = sites.get(tid)
+        if site is None:
+            continue
+        idx, refs = site
+        tensor = graph.tensors[tid]
+        size = tensor.size_bytes
+        shard = TensorRef(
+            fresh, -(-size // world_size), label=f"{tensor.name}/shard",
+        )
+        fresh += 1
+        after.setdefault(idx, []).append(CollectiveInstr(
+            kind="reduce_scatter",
+            comm_id=comm,
+            group=group,
+            nbytes=size,
+            label=f"reduce_scatter({tensor.name})",
+            outputs=(shard,),
+            frees=refs,
+        ))
+        comm += 1
+        pending.append((idx, {ref.key: shard for ref in refs}))
+    if pending:
+        pending.sort(key=lambda site: site[0])
+        active: dict[tuple[int, int], TensorRef] = {}
+        nxt = 0
+        for idx in range(pending[0][0] + 1, len(program.instructions)):
+            while nxt < len(pending) and pending[nxt][0] < idx:
+                active.update(pending[nxt][1])
+                nxt += 1
+            instr = replace.get(idx, program.instructions[idx])
+            if any(key in active for key in _ref_keys(instr)):
+                replace[idx] = remap_refs(instr, active)
+
+    return _rebuild(
+        program,
+        before=before,
+        after=after,
+        replace=replace,
+        name=f"{program.name}@zero{world_size}",
+        persistent_bytes=program.persistent_bytes - savings,
+    )

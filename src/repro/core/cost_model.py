@@ -263,6 +263,10 @@ class CostModel:
         #: (bottleneck, entries) — eviction pool narrowed by the static
         #: per-step guards; see :meth:`_nonsplit_pool_at`.
         self._nonsplit_eligible: tuple[int, list] | None = None
+        #: Columnar (alloc, free, fwd_end, positions) arrays over the
+        #: non-persistent pool entries plus the persistent positions —
+        #: the static guards of :meth:`_nonsplit_pool_at`, vectorised.
+        self._pool_static: tuple | None = None
         #: (tensor id, config) -> effective split. Pure in its key for a
         #: fixed graph, so it never needs invalidation — valid across
         #: committed plans and probes alike.
@@ -943,30 +947,44 @@ class CostModel:
         excluded = set(current_op.inputs) | set(current_op.outputs)
         if self._eviction_pool is None:
             self._eviction_pool = list(self._eviction_candidates())
-        allow_swap = self.options.allow_swap
-        eligible = []
-        for entry in self._eviction_pool:
-            tensor, timeline, persistent = entry
-            if tensor.tensor_id in excluded:
-                continue
-            if persistent:
-                if not allow_swap:
-                    continue
+        pool = self._eviction_pool
+        if self._pool_static is None:
+            nonp = [i for i, entry in enumerate(pool) if not entry[2]]
+            self._pool_static = (
+                np.fromiter(
+                    (pool[i][1].alloc for i in nonp), np.int64, len(nonp),
+                ),
+                np.fromiter(
+                    (pool[i][1].free for i in nonp), np.int64, len(nonp),
+                ),
+                np.fromiter(
+                    (pool[i][1].fwd_end for i in nonp), np.int64, len(nonp),
+                ),
+                np.asarray(nonp, dtype=np.intp),
+                [i for i, entry in enumerate(pool) if entry[2]],
+            )
+        alloc, free, fwd_end, nonp_pos, pers_pos = self._pool_static
+        # Activation lifetime windows, all entries at once.
+        keep = nonp_pos[
+            (alloc < bottleneck) & (free > bottleneck)
+            & (fwd_end < bottleneck)
+        ].tolist()
+        if self.options.allow_swap:
+            for i in pers_pos:
+                tensor, timeline, _ = pool[i]
                 covered = any(
                     use - 1 <= bottleneck <= use
                     for use in timeline.use_positions
                 )
                 if tensor.kind is TensorKind.GRAD_PARAM:
                     covered = covered or timeline.alloc == bottleneck
-                if covered:
-                    continue
-            elif (
-                timeline.alloc >= bottleneck
-                or timeline.free <= bottleneck
-                or timeline.fwd_end >= bottleneck
-            ):
-                continue
-            eligible.append(entry)
+                if not covered:
+                    keep.append(i)
+            keep.sort()
+        eligible = [
+            pool[i] for i in keep
+            if pool[i][0].tensor_id not in excluded
+        ]
         self._nonsplit_eligible = (bottleneck, eligible)
         return eligible
 

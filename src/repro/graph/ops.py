@@ -166,6 +166,20 @@ class OpType(enum.Enum):
     SWAP_IN = OpTypeInfo(
         "swap_in", ComputeClass.TRANSFER, _SAVE_NONE)
 
+    # -- multi-rank collectives (cluster parallelism transforms) -----------
+    # First-class transfer ops: they occupy communication lanes, are
+    # priced by the cluster link cost model (repro.hardware.cluster),
+    # and — like swaps — are never profiled or split by the planner.
+    ALL_REDUCE = OpTypeInfo(
+        "all_reduce", ComputeClass.TRANSFER, _SAVE_NONE,
+        sample_splittable=False)
+    ALL_GATHER = OpTypeInfo(
+        "all_gather", ComputeClass.TRANSFER, _SAVE_NONE,
+        sample_splittable=False)
+    REDUCE_SCATTER = OpTypeInfo(
+        "reduce_scatter", ComputeClass.TRANSFER, _SAVE_NONE,
+        sample_splittable=False)
+
     @property
     def info(self) -> OpTypeInfo:
         return self.value

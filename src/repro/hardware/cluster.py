@@ -1,0 +1,170 @@
+"""Cluster topology: N GPU lanes joined by typed interconnect links.
+
+A :class:`ClusterSpec` groups N :class:`~repro.hardware.gpu.GPUSpec`
+devices and describes how collectives move bytes between them. Links are
+typed (NVLink / PCIe peer-to-peer / network), each with its own
+bandwidth + latency model — the intra-node link serves groups contained
+in one node, the inter-node link bottlenecks any group that spans nodes.
+This sits alongside the per-device host link
+(:class:`~repro.hardware.pcie.PCIeModel`), which keeps modelling
+swap traffic between each rank and its own host memory.
+
+Collective cost models follow the standard ring algorithm accounting
+(as used by NCCL and by the distributed-training simulator literature):
+
+* ring all-reduce moves ``2 (N-1) / N`` of the payload through the
+  bottleneck link in ``2 (N-1)`` latency-bound steps;
+* all-gather and reduce-scatter are one-way halves of that ring;
+* point-to-point send/recv is a single hop.
+
+Every model degenerates to zero cost at ``N = 1``, which is what makes
+the 1-rank data-parallel configuration byte-identical to the
+single-GPU engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.gpu import GPUSpec
+
+#: Link kinds with distinct physical transports.
+LINK_KINDS = ("nvlink", "pcie", "network")
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One interconnect type: a bandwidth + latency pipe."""
+
+    name: str
+    kind: str  # "nvlink" | "pcie" | "network"
+    bandwidth: float  # bytes/second, per direction
+    latency: float  # seconds per hop
+
+    def __post_init__(self) -> None:
+        if self.kind not in LINK_KINDS:
+            raise ValueError(
+                f"link kind must be one of {LINK_KINDS}, got {self.kind!r}"
+            )
+        if self.bandwidth <= 0:
+            raise ValueError(f"link bandwidth must be > 0, got {self.bandwidth}")
+        if self.latency < 0:
+            raise ValueError(f"link latency must be >= 0, got {self.latency}")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """One point-to-point hop: latency plus serialisation."""
+        return self.latency + nbytes / self.bandwidth
+
+
+#: Interconnect presets (per-direction effective bandwidths).
+LINK_PRESETS: dict[str, LinkSpec] = {
+    "nvlink": LinkSpec("NVLink2", "nvlink", 150e9, 2e-6),
+    "pcie": LinkSpec("PCIe3-p2p", "pcie", 24e9, 5e-6),
+    "ethernet": LinkSpec("100GbE", "network", 12.5e9, 15e-6),
+}
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """N GPUs, an intra-node link, and (optionally) an inter-node link.
+
+    ``node_size`` ranks share a node and communicate over
+    ``intra_link``; a collective group spanning node boundaries is
+    bottlenecked by ``inter_link`` (which defaults to the intra link for
+    single-node clusters).
+    """
+
+    name: str
+    gpus: tuple[GPUSpec, ...]
+    intra_link: LinkSpec = field(default=LINK_PRESETS["nvlink"])
+    inter_link: LinkSpec | None = None
+    node_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.gpus:
+            raise ValueError("a cluster needs at least one GPU")
+        if self.node_size is not None and self.node_size < 1:
+            raise ValueError(f"node_size must be >= 1, got {self.node_size}")
+
+    @classmethod
+    def homogeneous(
+        cls,
+        gpu: GPUSpec,
+        world_size: int,
+        *,
+        link: LinkSpec | str = "nvlink",
+        inter_link: LinkSpec | None = None,
+        node_size: int | None = None,
+        name: str = "",
+    ) -> "ClusterSpec":
+        """The common case: ``world_size`` identical GPUs on one fabric."""
+        if isinstance(link, str):
+            link = LINK_PRESETS[link]
+        return cls(
+            name=name or f"{world_size}x {gpu.name}",
+            gpus=(gpu,) * world_size,
+            intra_link=link,
+            inter_link=inter_link,
+            node_size=node_size,
+        )
+
+    @property
+    def world_size(self) -> int:
+        return len(self.gpus)
+
+    def node_of(self, rank: int) -> int:
+        """Which node a rank lives on (all on node 0 without node_size)."""
+        if self.node_size is None:
+            return 0
+        return rank // self.node_size
+
+    def link_for(self, group: tuple[int, ...]) -> LinkSpec:
+        """Bottleneck link of a collective over ``group`` ranks."""
+        nodes = {self.node_of(rank) for rank in group}
+        if len(nodes) > 1 and self.inter_link is not None:
+            return self.inter_link
+        return self.intra_link
+
+    def collective_time(
+        self, kind: str, group: tuple[int, ...], nbytes: int,
+    ) -> float:
+        """Simulated duration of one collective over ``group``."""
+        link = self.link_for(group)
+        n = len(group)
+        if kind == "all_reduce":
+            return all_reduce_time(link, nbytes, n)
+        if kind == "all_gather":
+            return all_gather_time(link, nbytes, n)
+        if kind == "reduce_scatter":
+            return reduce_scatter_time(link, nbytes, n)
+        if kind in ("send", "recv"):
+            return send_recv_time(link, nbytes)
+        raise ValueError(f"unknown collective kind {kind!r}")
+
+
+def all_reduce_time(link: LinkSpec, nbytes: int, world_size: int) -> float:
+    """Ring all-reduce: reduce-scatter then all-gather, 2(N-1) steps."""
+    if world_size <= 1:
+        return 0.0
+    steps = 2 * (world_size - 1)
+    chunk = nbytes / world_size
+    return steps * (chunk / link.bandwidth + link.latency)
+
+
+def all_gather_time(link: LinkSpec, nbytes: int, world_size: int) -> float:
+    """Ring all-gather: each rank forwards N-1 chunks of size/N."""
+    if world_size <= 1:
+        return 0.0
+    steps = world_size - 1
+    chunk = nbytes / world_size
+    return steps * (chunk / link.bandwidth + link.latency)
+
+
+def reduce_scatter_time(link: LinkSpec, nbytes: int, world_size: int) -> float:
+    """Ring reduce-scatter: the mirror half of the all-reduce ring."""
+    return all_gather_time(link, nbytes, world_size)
+
+
+def send_recv_time(link: LinkSpec, nbytes: int) -> float:
+    """One point-to-point hop (pipeline-parallel boundary transfer)."""
+    return link.transfer_time(nbytes)

@@ -174,10 +174,20 @@ class ProfileStage:
 
 
 class PlanStage:
-    """Run one policy against a profiled graph."""
+    """Run one policy against a profiled graph.
 
-    def __init__(self, policy: MemoryPolicy) -> None:
+    ``extra`` distinguishes otherwise-identical planning contexts in the
+    cache — e.g. the cluster compiler keys each rank's plan by parallelism
+    mode, world size and rank-visible budget, so a 4-rank ZeRO plan never
+    collides with a single-GPU plan of the same graph. When unset the key
+    payload is bit-identical to pre-cluster keys (caches survive).
+    """
+
+    def __init__(
+        self, policy: MemoryPolicy, extra: dict | None = None,
+    ) -> None:
         self.policy = policy
+        self.extra = extra or None
 
     def key(
         self,
@@ -203,6 +213,8 @@ class PlanStage:
         signature = fault_signature(faults)
         if signature is not None:
             payload["faults"] = signature
+        if self.extra:
+            payload["extra"] = self.extra
         return fingerprint(payload)
 
     def run(

@@ -6,6 +6,14 @@ backward pass, performs the optimizer update on the CPU, and copies the
 updated parameters back to the GPU. Activations are untouched — which is
 why, for CNNs whose footprint is dominated by feature maps rather than
 parameters, it "achieves almost the least sample scale" (Section VI-D).
+
+This is the *single-GPU* member of the ZeRO family: one rank trades
+PCIe traffic for host memory, and no collectives are involved. Sharding
+optimizer state and gradients *across ranks* (ZeRO-1/2 proper) is a
+cluster transform, not a policy — see
+:func:`repro.cluster.transforms.splice_zero_shard` and
+``compile_cluster(..., mode="zero_shard")``, which keep every shard in
+GPU memory and pay all-gather/reduce-scatter time instead of PCIe time.
 """
 
 from __future__ import annotations

@@ -1,0 +1,251 @@
+"""The N-rank discrete-event cluster engine.
+
+Generalises the single-GPU :class:`~repro.runtime.engine.Engine` to a
+cluster: one :class:`~repro.runtime.engine._Run` per rank (its own
+stream set, lanes and :class:`~repro.hardware.memory_pool.
+DeviceMemoryLedger`), advanced by a single global dispatcher under one
+event clock. Non-collective instructions dispatch exactly as on the
+single engine — the earliest-starting lane head across *all* ranks wins,
+ties broken by (rank, issue order) — which is why a one-rank cluster
+executes byte-identically to the plain engine.
+
+Collectives synchronise ranks at dispatch time: a
+:class:`~repro.runtime.instructions.CollectiveInstr` becomes
+dispatchable only when the matching instruction (same ``comm_id``) is
+the locally-ready lane head on **every** rank of its group. The group
+then starts together at the latest member's local ready time and
+occupies each member's lane for the duration given by the cluster's
+link cost model (:mod:`repro.hardware.cluster`). A program whose
+collective wiring can never rendezvous (mismatched orders, missing
+peers) wedges the dispatcher and raises, exactly like a data-dependency
+deadlock on the single engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OutOfMemoryError, RuntimeExecutionError
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.pcie import PCIeModel
+from repro.runtime.engine import EngineOptions, _Blocked, _Candidate, _Run
+from repro.runtime.instructions import CollectiveInstr, Program
+from repro.runtime.observers import EngineObserver
+from repro.runtime.trace import ExecutionTrace
+
+
+def _kinds_match(a: str, b: str) -> bool:
+    """Whether two members can be shares of one collective.
+
+    Symmetric collectives require identical kinds; a point-to-point
+    transfer pairs a ``send`` with a ``recv``.
+    """
+    return a == b or {a, b} == {"send", "recv"}
+
+
+@dataclass
+class ClusterTrace:
+    """Per-rank execution traces plus cluster-level aggregates."""
+
+    name: str
+    world_size: int
+    #: Global makespan: the latest completion event on any rank.
+    makespan: float
+    ranks: list[ExecutionTrace] = field(default_factory=list)
+    #: Busy time of each rank's communication lanes.
+    comm_busy: list[float] = field(default_factory=list)
+    #: Logical payload bytes each rank moved through collectives.
+    collective_bytes: list[int] = field(default_factory=list)
+
+    @property
+    def peak_memory(self) -> int:
+        """Largest per-rank device-memory peak."""
+        return max((trace.peak_memory for trace in self.ranks), default=0)
+
+    @property
+    def per_rank_peak(self) -> list[int]:
+        return [trace.peak_memory for trace in self.ranks]
+
+    @property
+    def throughput(self) -> float:
+        """Samples/second summed over ranks (data-parallel semantics)."""
+        if self.makespan <= 0:
+            return 0.0
+        return sum(trace.batch for trace in self.ranks) / self.makespan
+
+
+class ClusterEngine:
+    """Executes one program per rank against a simulated cluster."""
+
+    def __init__(
+        self, cluster: ClusterSpec, options: EngineOptions | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.options = options or EngineOptions()
+        if self.options.faults is not None:
+            raise ValueError(
+                "fault injection is not supported by the cluster engine; "
+                "run per-rank programs on the single-GPU Engine instead"
+            )
+
+    def execute(
+        self,
+        programs: list[Program],
+        observers: list[list[EngineObserver]] | None = None,
+    ) -> ClusterTrace:
+        """Run one program per rank to completion under one event clock.
+
+        ``observers[rank]`` attaches extra observers to that rank's run.
+
+        Raises
+        ------
+        OutOfMemoryError
+            When any rank's allocation can never be satisfied.
+        RuntimeExecutionError
+            On inconsistent programs or unmatchable collective wiring.
+        """
+        world = self.cluster.world_size
+        if len(programs) != world:
+            raise RuntimeExecutionError(
+                f"cluster of {world} ranks needs {world} programs, "
+                f"got {len(programs)}"
+            )
+        runs: list[_Run] = []
+        for rank, (gpu, program) in enumerate(
+            zip(self.cluster.gpus, programs),
+        ):
+            extra = observers[rank] if observers else ()
+            runs.append(_Run(gpu, PCIeModel(gpu), program, self.options, extra))
+        self._dispatch_all(runs)
+        traces = [run.finalize() for run in runs]
+        return ClusterTrace(
+            name=programs[0].name,
+            world_size=world,
+            makespan=max((run.clock for run in runs), default=0.0),
+            ranks=traces,
+            comm_busy=[run.comm_busy() for run in runs],
+            collective_bytes=[run.collective_bytes for run in runs],
+        )
+
+    # -- global dispatch ---------------------------------------------------------
+
+    def _dispatch_all(self, runs: list[_Run]) -> None:
+        remaining = sum(run._enqueue_pass() for run in runs)
+        while remaining:
+            best: tuple[tuple[float, int, int], _Run, _Candidate] | None = None
+            stuck: tuple[tuple[int, int], _Blocked, _Run] | None = None
+            pending: dict[int, list[tuple[int, _Run, _Candidate]]] = {}
+            for rank, run in enumerate(runs):
+                for lane in run.lanes.values():
+                    if not lane.queue:
+                        continue
+                    head = run._prepare_head(lane)
+                    if isinstance(head, _Blocked):
+                        rank_key = (head.issue, rank)
+                        if stuck is None or rank_key < stuck[0]:
+                            stuck = (rank_key, head, run)
+                        continue
+                    instr = head.instr
+                    if (
+                        isinstance(instr, CollectiveInstr)
+                        and len(instr.group) > 1
+                    ):
+                        pending.setdefault(instr.comm_id, []).append(
+                            (rank, run, head),
+                        )
+                        continue
+                    order = (head.start, rank, head.issue)
+                    if best is None or order < best[0]:
+                        best = (order, run, head)
+            ready = self._ready_collective(pending)
+            if best is not None and (ready is None or best[0] <= ready[0]):
+                _, run, cand = best
+                cand.lane.queue.popleft()
+                run._dispatch(cand)
+                run._commit_dispatch(cand)
+                remaining -= 1
+                continue
+            if ready is not None:
+                order, members = ready
+                start = order[0]
+                instr = members[0][2].instr
+                # A point-to-point recv advertises zero payload; the
+                # transfer is priced by the largest member share.
+                nbytes = max(m[2].instr.nbytes for m in members)
+                duration = self.cluster.collective_time(
+                    instr.kind, instr.group, nbytes,
+                )
+                for _, run, cand in members:
+                    cand.lane.queue.popleft()
+                    run._dispatch_collective(cand, start, duration)
+                    run._commit_dispatch(cand)
+                remaining -= len(members)
+                continue
+            self._raise_wedged(stuck, pending, remaining)
+
+    def _ready_collective(
+        self, pending: dict[int, list[tuple[int, _Run, _Candidate]]],
+    ) -> tuple[tuple[float, int, int], list[tuple[int, _Run, _Candidate]]] | None:
+        """The dispatchable collective with the earliest group start."""
+        chosen = None
+        for comm_id, members in pending.items():
+            instr = members[0][2].instr
+            assert isinstance(instr, CollectiveInstr)
+            for _, _, cand in members[1:]:
+                peer = cand.instr
+                if (
+                    not isinstance(peer, CollectiveInstr)
+                    or peer.group != instr.group
+                    or not _kinds_match(peer.kind, instr.kind)
+                ):
+                    raise RuntimeExecutionError(
+                        f"collective comm {comm_id} is wired inconsistently: "
+                        f"{instr.label!r} vs {peer.label!r}"
+                    )
+            if len(members) != len(instr.group):
+                continue
+            ranks = sorted(rank for rank, _, _ in members)
+            if ranks != sorted(instr.group):
+                raise RuntimeExecutionError(
+                    f"collective comm {comm_id} ({instr.label!r}) expects "
+                    f"ranks {sorted(instr.group)} but matched {ranks}"
+                )
+            start = max(cand.start for _, _, cand in members)
+            order = (
+                start,
+                min(rank for rank, _, _ in members),
+                min(cand.issue for _, _, cand in members),
+            )
+            if chosen is None or order < chosen[0]:
+                chosen = (order, members)
+        return chosen
+
+    def _raise_wedged(
+        self,
+        stuck: tuple[tuple[int, int], _Blocked, _Run] | None,
+        pending: dict[int, list[tuple[int, _Run, _Candidate]]],
+        remaining: int,
+    ) -> None:
+        if stuck is not None:
+            _, head, run = stuck
+            error = head.error
+            if isinstance(error, OutOfMemoryError):
+                for observer in run.observers:
+                    observer.on_oom(
+                        run.ledger.time, head.label,
+                        error.requested, error.available,
+                    )
+            raise error
+        if pending:
+            waiting = {
+                comm_id: sorted(rank for rank, _, _ in members)
+                for comm_id, members in sorted(pending.items())
+            }
+            raise RuntimeExecutionError(
+                f"cluster dispatcher wedged with {remaining} instructions "
+                f"left: collectives {waiting} never complete their groups "
+                f"(mismatched send/recv ordering between ranks?)"
+            )
+        raise RuntimeExecutionError(  # pragma: no cover - defensive
+            f"cluster dispatcher wedged with {remaining} instructions left"
+        )

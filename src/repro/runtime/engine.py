@@ -55,6 +55,7 @@ from repro.hardware.memory_pool import DeviceMemoryLedger
 from repro.hardware.pcie import PCIeModel
 from repro.hardware.streams import Event, Stream, StreamSet
 from repro.runtime.instructions import (
+    CollectiveInstr,
     ComputeInstr,
     Device,
     FreeInstr,
@@ -67,8 +68,14 @@ from repro.runtime.instructions import (
     instr_reads,
     instr_stream,
 )
+
 from repro.runtime.observers import EngineObserver, TraceObserver
 from repro.runtime.trace import ExecutionTrace
+
+#: The engine's built-in serial lanes; anything else (collective comm
+#: lanes, pipeline point-to-point lanes) is created on demand, so
+#: programs without collectives see exactly the classic four streams.
+FIXED_LANES = ("compute", "d2h", "h2d", "cpu")
 
 
 @dataclass(frozen=True)
@@ -307,7 +314,10 @@ class _Run:
         self._reads_done: dict[tuple[int, int], int] = {}
         self._dispatched: list[bool] = []
         self._read_guard: dict[int, int] = {}
+        self._coll_read_guard: dict[int, tuple[tuple[tuple[int, int], int], ...]] = {}
         self._dep_guard: dict[int, tuple[int, ...]] = {}
+        #: Payload bytes moved by collectives dispatched on this rank.
+        self.collective_bytes = 0
         self._precompute_guards()
         observers: list[EngineObserver] = [
             *options.observers, *extra_observers,
@@ -329,6 +339,8 @@ class _Run:
                     *instr.finishes)
         elif isinstance(instr, XferInstr):
             refs = instr.after
+        elif isinstance(instr, CollectiveInstr):
+            refs = (*instr.inputs, *instr.outputs, *instr.frees)
         else:
             refs = (instr.ref,)
         return tuple(ref.key for ref in refs)
@@ -356,6 +368,12 @@ class _Run:
         for issue, instr in enumerate(self.program.instructions):
             if isinstance(instr, (SwapOutInstr, FreeInstr)):
                 self._read_guard[issue] = counts.get(instr.ref.key, 0)
+            elif isinstance(instr, CollectiveInstr) and instr.frees:
+                # A collective that retires buffers is an eviction of
+                # each of them: hold it until their earlier readers ran.
+                self._coll_read_guard[issue] = tuple(
+                    (ref.key, counts.get(ref.key, 0)) for ref in instr.frees
+                )
             guards = {
                 changer[key] for key in self._guard_keys(instr)
                 if key in changer
@@ -370,6 +388,12 @@ class _Run:
                     changer[ref.key] = issue
             elif isinstance(instr, (SwapInInstr, SwapOutInstr, FreeInstr)):
                 changer[instr.ref.key] = issue
+            elif isinstance(instr, CollectiveInstr):
+                # Inputs count too: an in-place collective pushes its
+                # operands' ready times, so later consumers must observe
+                # it dispatched before they resolve their start.
+                for ref in (*instr.inputs, *instr.outputs, *instr.frees):
+                    changer[ref.key] = issue
 
     # -- observer notification ---------------------------------------------------
 
@@ -439,11 +463,7 @@ class _Run:
         dispatch, the block at the lowest issue position is a genuine
         program error (or OOM) and its error is raised.
         """
-        self._reads_done = {}
-        self._dispatched = [False] * len(self.program.instructions)
-        for issue, instr in enumerate(self.program.instructions):
-            self.lanes[instr_stream(instr)].queue.append((issue, instr))
-        remaining = len(self.program.instructions)
+        remaining = self._enqueue_pass()
         while remaining:
             best: _Candidate | None = None
             stuck: _Blocked | None = None
@@ -485,12 +505,41 @@ class _Run:
                 raise error
             best.lane.queue.popleft()
             self._dispatch(best)
-            self._dispatched[best.issue] = True
-            self._recovery_streak = 0
-            for ref in instr_reads(best.instr):
-                key = ref.key
-                self._reads_done[key] = self._reads_done.get(key, 0) + 1
+            self._commit_dispatch(best)
             remaining -= 1
+
+    def _enqueue_pass(self) -> int:
+        """Reset per-pass state and queue every instruction on its lane.
+
+        Lanes beyond the four fixed streams (collective ``comm`` lanes,
+        pipeline point-to-point lanes) are created on first use, so
+        programs without collectives see exactly the classic stream set.
+        """
+        self._reads_done = {}
+        self._dispatched = [False] * len(self.program.instructions)
+        for issue, instr in enumerate(self.program.instructions):
+            name = instr_stream(instr)
+            lane = self.lanes.get(name)
+            if lane is None:
+                lane = self.lanes[name] = _Lane(name, Stream(name))
+            lane.queue.append((issue, instr))
+        return len(self.program.instructions)
+
+    def _commit_dispatch(self, cand: _Candidate) -> None:
+        """Bookkeeping after one dispatched candidate (guard progress)."""
+        self._dispatched[cand.issue] = True
+        self._recovery_streak = 0
+        for ref in instr_reads(cand.instr):
+            key = ref.key
+            self._reads_done[key] = self._reads_done.get(key, 0) + 1
+
+    def comm_busy(self) -> float:
+        """Busy time summed over the on-demand communication lanes."""
+        return sum(
+            lane.stream.busy_time()
+            for name, lane in self.lanes.items()
+            if name not in FIXED_LANES
+        )
 
     def finalize(self) -> ExecutionTrace:
         """Aggregate stream/memory statistics into a trace."""
@@ -551,9 +600,53 @@ class _Run:
             return self._prepare_free(issue, instr, lane)
         if isinstance(instr, XferInstr):
             return self._prepare_xfer(issue, instr, lane)
+        if isinstance(instr, CollectiveInstr):
+            return self._prepare_collective(issue, instr, lane)
         raise RuntimeExecutionError(  # pragma: no cover - defensive
             f"unknown instruction {instr!r}"
         )
+
+    def _prepare_collective(
+        self, issue: int, instr: CollectiveInstr, lane: _Lane,
+    ) -> _Candidate | _Blocked:
+        """Local readiness of one rank's share of a collective.
+
+        The returned candidate's ``start`` is when *this rank* could
+        join; the actual start is the maximum over the group, resolved
+        by the dispatcher that owns the rendezvous (the cluster engine,
+        or trivially this run for single-member groups).
+        """
+        for key, guard in self._coll_read_guard.get(issue, ()):
+            if self._reads_done.get(key, 0) < guard:
+                return _Blocked(issue, RuntimeExecutionError(
+                    f"{self.program.name}: collective {instr.label!r} "
+                    f"deadlocked waiting for earlier consumers of {key}"
+                ), instr.label)
+        deps = 0.0
+        for ref in (*instr.inputs, *instr.frees):
+            time = self.ready.get(ref.key)
+            if time is None:
+                return _Blocked(issue, RuntimeExecutionError(
+                    f"{self.program.name}: collective {instr.label!r} uses "
+                    f"tensor {ref.key} which is not resident"
+                ), instr.label)
+            deps = max(deps, time)
+        need = 0
+        for ref in instr.outputs:
+            if ref.key in self.resident:
+                return _Blocked(issue, RuntimeExecutionError(
+                    f"{self.program.name}: collective {instr.label!r} "
+                    f"re-allocates resident tensor {ref.label!r}"
+                ), instr.label)
+            need += ref.nbytes
+        not_before = max(lane.stream.earliest_start(deps), self.ledger.time)
+        start = self.ledger.earliest_fit(need, not_before)
+        if start is None:
+            return _Blocked(
+                issue, self._device_oom(instr.label, need, 0), instr.label,
+                need=need,
+            )
+        return _Candidate(start, issue, lane, instr, not_before, need)
 
     def _eviction_guard(
         self, issue: int, instr: SwapOutInstr | FreeInstr,
@@ -772,8 +865,71 @@ class _Run:
             self._dispatch_swap_in(cand, instr)
         elif isinstance(instr, FreeInstr):
             self._dispatch_free(cand, instr)
+        elif isinstance(instr, CollectiveInstr):
+            self._dispatch_collective(
+                cand, cand.start, self._collective_duration(instr),
+            )
         else:
             self._dispatch_xfer(cand, instr)
+
+    def _collective_duration(self, instr: CollectiveInstr) -> float:
+        """Cost of a collective dispatched without a cluster context.
+
+        A single-GPU engine has no peers: only degenerate single-member
+        groups (zero cost) are executable here. Multi-rank programs must
+        run under the cluster engine, which owns the rendezvous and the
+        link cost model.
+        """
+        if len(instr.group) > 1:
+            raise RuntimeExecutionError(
+                f"{self.program.name}: collective {instr.label!r} spans "
+                f"ranks {instr.group}; multi-rank programs must run on a "
+                f"ClusterEngine"
+            )
+        return 0.0
+
+    def _dispatch_collective(
+        self, cand: _Candidate, start: float, duration: float,
+    ) -> None:
+        """Apply one rank's share of a collective at the group's start."""
+        instr = cand.instr
+        assert isinstance(instr, CollectiveInstr)
+        need = cand.need
+        stall = start - cand.not_before
+        if stall > 0 and need:
+            self.memory_stall += stall
+            for observer in self.observers:
+                observer.on_stall_begin(cand.not_before, instr.label, need)
+                observer.on_stall_end(start, instr.label, stall)
+        if need:
+            self.ledger.allocate(need, start, self._free_hook)
+        event = cand.lane.stream.schedule(
+            duration, after=start, label=instr.label,
+        )
+        self.clock = max(self.clock, event.time)
+        for ref in instr.outputs:
+            self.resident[ref.key] = ref.nbytes
+            self.ready[ref.key] = event.time
+            self._key_labels[ref.key] = ref.label
+            self._notify_alloc(start, ref.label, ref.nbytes)
+        for ref in instr.inputs:
+            # In-place operand: rewritten by the collective, so its
+            # ready time moves to the collective's completion.
+            key = ref.key
+            self.ready[key] = event.time
+            if event.time > self._read_end.get(key, 0.0):
+                self._read_end[key] = event.time
+        for ref in instr.frees:
+            release_at = max(
+                event.time, self._read_end.get(ref.key, 0.0),
+                self.ledger.time,
+            )
+            self._release(ref.key, release_at, f"{instr.kind}({ref.label})")
+        self.collective_bytes += instr.nbytes
+        self._notify_instr(
+            instr.label, instr.kind, cand.lane.name, start, event.time,
+            nbytes=instr.nbytes, tag="collective",
+        )
 
     def _dispatch_compute(self, cand: _Candidate, instr: ComputeInstr) -> None:
         start, not_before, need = cand.start, cand.not_before, cand.need

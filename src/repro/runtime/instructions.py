@@ -112,7 +112,45 @@ class XferInstr:
     after: tuple[TensorRef, ...] = ()
 
 
-Instruction = ComputeInstr | SwapOutInstr | SwapInInstr | FreeInstr | XferInstr
+@dataclass(frozen=True)
+class CollectiveInstr:
+    """One rank's share of a multi-rank collective operation.
+
+    Matching instructions (same ``comm_id``) on every rank in ``group``
+    rendezvous at dispatch time: the collective starts when every member
+    rank is locally ready, and its duration comes from the cluster's
+    link cost model. Semantics per ref set:
+
+    * ``inputs`` — in-place operands: must be ready at start; their
+      ready time is pushed to the collective's end (an all-reduce
+      rewrites the gradient buffer, so later consumers wait for it);
+    * ``outputs`` — fresh buffers allocated at start, ready at end
+      (an all-gather's assembled shards, a recv's payload marker);
+    * ``frees`` — buffers released when the collective completes
+      (a reduce-scatter retires the full-size gradient).
+
+    ``nbytes`` is the logical payload the cost model prices (the full
+    tensor size, not this rank's shard). ``lane`` names the serial
+    queue the instruction occupies — ``"comm"`` for symmetric
+    collectives; pipeline send/recv use per-peer-per-direction lanes so
+    opposite-direction traffic cannot head-of-line deadlock.
+    """
+
+    kind: str  # "all_reduce" | "all_gather" | "reduce_scatter" | "send" | "recv"
+    comm_id: int
+    group: tuple[int, ...]
+    nbytes: int
+    label: str = ""
+    inputs: tuple[TensorRef, ...] = ()
+    outputs: tuple[TensorRef, ...] = ()
+    frees: tuple[TensorRef, ...] = ()
+    lane: str = "comm"
+
+
+Instruction = (
+    ComputeInstr | SwapOutInstr | SwapInInstr | FreeInstr | XferInstr
+    | CollectiveInstr
+)
 
 
 def instr_stream(instr: Instruction) -> str:
@@ -132,6 +170,8 @@ def instr_stream(instr: Instruction) -> str:
         return "compute"
     if isinstance(instr, XferInstr):
         return instr.direction
+    if isinstance(instr, CollectiveInstr):
+        return instr.lane
     raise TypeError(f"unknown instruction {instr!r}")
 
 
@@ -149,6 +189,8 @@ def instr_reads(instr: Instruction) -> tuple[TensorRef, ...]:
         return (instr.ref,)
     if isinstance(instr, XferInstr):
         return instr.after
+    if isinstance(instr, CollectiveInstr):
+        return (*instr.inputs, *instr.frees)
     return ()
 
 

@@ -234,12 +234,37 @@ class ChromeTraceObserver(EngineObserver):
         self._pid = next(_CHROME_PIDS) if pid is None else pid
         self._process_name = process_name
         self._runs = 0
+        self._tids = dict(_CHROME_TIDS)
+        self._next_tid = _FAULT_TID + 1
+
+    def _stream_tid(self, stream: str) -> int:
+        """Resolve a stream to its thread track, naming new ones lazily.
+
+        The four fixed engine lanes keep their stable ids; any other
+        lane (cluster communication lanes like ``"comm"`` or
+        ``"send:1:t42"``) gets the next free tid plus a ``thread_name``
+        metadata event on first sight, so merged multi-rank traces stay
+        human-readable in Perfetto.
+        """
+        tid = self._tids.get(stream)
+        if tid is None:
+            tid = self._tids[stream] = self._next_tid
+            self._next_tid += 1
+            self.events.append({
+                "ph": "M", "name": "thread_name", "pid": self._pid,
+                "tid": tid, "args": {"name": stream},
+            })
+        return tid
 
     def on_run_begin(self, program: "Program", gpu: "GPUSpec") -> None:
         """Emit process/thread metadata naming the tracks."""
         self._runs += 1
         if self._runs > 1 and self._auto_pid:
             self._pid = next(_CHROME_PIDS)
+            # Fresh pid, fresh thread-name namespace: dynamic lanes must
+            # re-announce themselves under the new process.
+            self._tids = dict(_CHROME_TIDS)
+            self._next_tid = _FAULT_TID + 1
         name = (
             self._process_name
             or f"{program.name or 'program'} on {gpu.name}"
@@ -272,7 +297,7 @@ class ChromeTraceObserver(EngineObserver):
         """Emit one complete ("X") slice on the instruction's stream."""
         self.events.append({
             "ph": "X", "name": label, "cat": tag or kind,
-            "pid": self._pid, "tid": _CHROME_TIDS.get(stream, 9),
+            "pid": self._pid, "tid": self._stream_tid(stream),
             "ts": start * 1e6, "dur": (end - start) * 1e6,
             "args": {"kind": kind, "nbytes": nbytes},
         })

@@ -34,7 +34,10 @@ def merge_traces(*sources, names: list[str] | None = None) -> dict:
     Every distinct ``(source, pid)`` pair is renumbered to a fresh pid,
     so two observers that both used pid 0 end up on separate process
     tracks. ``names`` optionally overrides each source's process
-    name(s); a source with no ``process_name`` metadata gets one.
+    name(s); a source with no ``process_name`` metadata gets one, and
+    any ``(pid, tid)`` track that carries events but no ``thread_name``
+    metadata gets a readable fallback — Perfetto otherwise shows bare
+    numeric track ids.
     """
     merged: list[dict] = []
     next_pid = 0
@@ -42,6 +45,8 @@ def merge_traces(*sources, names: list[str] | None = None) -> dict:
         events = _events_of(source)
         pid_map: dict[int, int] = {}
         named: set[int] = set()
+        thread_named: set[tuple[int, int]] = set()
+        threads_seen: set[tuple[int, int]] = set()
         override = names[index] if names and index < len(names) else None
         for event in events:
             old_pid = event.get("pid", 0)
@@ -56,11 +61,20 @@ def merge_traces(*sources, names: list[str] | None = None) -> dict:
                 named.add(new_pid)
                 if override is not None:
                     event["args"] = {"name": override}
+            elif event.get("ph") == "M" and event.get("name") == "thread_name":
+                thread_named.add((new_pid, event.get("tid", 0)))
+            elif "tid" in event:
+                threads_seen.add((new_pid, event["tid"]))
             merged.append(event)
         for pid in sorted(set(pid_map.values()) - named):
             merged.append({
                 "ph": "M", "name": "process_name", "pid": pid,
                 "args": {"name": override or f"source {index}"},
+            })
+        for pid, tid in sorted(threads_seen - thread_named):
+            merged.append({
+                "ph": "M", "name": "thread_name", "pid": pid,
+                "tid": tid, "args": {"name": f"thread {tid}"},
             })
     return {"traceEvents": merged, "displayTimeUnit": "ms"}
 

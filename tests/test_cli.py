@@ -206,3 +206,46 @@ class TestChaos:
                   "--smoke"])
         assert excinfo.value.code == 1
         assert "INFEASIBLE" in capsys.readouterr().out
+
+
+class TestCluster:
+    def test_dp_run_prints_per_rank_lines(self, capsys):
+        main(["cluster", "transformer", "--policy", "base", "--batch", "8",
+              "--world", "2", "--gpu", "v100_16gb"])
+        out = capsys.readouterr().out
+        assert "2x V100 16GB" in out
+        assert "rank 0:" in out and "rank 1:" in out
+        assert "makespan" in out and "throughput" in out
+
+    def test_pp_reports_bubble_fraction(self, capsys):
+        main(["cluster", "transformer", "--policy", "base", "--batch", "8",
+              "--world", "2", "--mode", "pp", "--micros", "4",
+              "--gpu", "v100_16gb"])
+        out = capsys.readouterr().out
+        assert "2 stages x 4 micros" in out
+        assert "bubble fraction" in out
+
+    def test_trace_artifact_names_ranks(self, capsys, tmp_path):
+        path = tmp_path / "cluster.json"
+        main(["cluster", "transformer", "--policy", "base", "--batch", "8",
+              "--world", "2", "--gpu", "v100_16gb",
+              "--trace", str(path)])
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        names = {
+            event["args"]["name"]
+            for event in payload["traceEvents"]
+            if event.get("ph") == "M" and event["name"] == "process_name"
+        }
+        assert names == {"rank 0 (V100 16GB)", "rank 1 (V100 16GB)"}
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "transformer", "--link", "carrier-pigeon"])
+
+    def test_infeasible_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cluster", "vgg16", "--policy", "tsplit",
+                  "--batch", "8192", "--world", "2", "--gpu", "gtx_1080ti"])
+        assert excinfo.value.code == 1
+        assert "INFEASIBLE" in capsys.readouterr().out

@@ -1,0 +1,76 @@
+"""1F1B pipeline schedule: per-stage work orders and bubble accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.schedule import (
+    bubble_count,
+    bubble_fraction,
+    one_f_one_b_order,
+)
+
+
+@pytest.mark.parametrize("n_stages", [1, 2, 4])
+@pytest.mark.parametrize("micros", [1, 4, 8])
+def test_every_stage_runs_each_micro_once_each_way(n_stages, micros):
+    for rank in range(n_stages):
+        order = one_f_one_b_order(n_stages, rank, micros)
+        forwards = [m for kind, m in order if kind == "F"]
+        backwards = [m for kind, m in order if kind == "B"]
+        assert forwards == list(range(micros))
+        assert backwards == list(range(micros))
+        assert len(order) == 2 * micros
+
+
+@pytest.mark.parametrize("n_stages,micros", [(2, 4), (4, 8), (4, 2)])
+def test_backward_never_precedes_its_forward(n_stages, micros):
+    for rank in range(n_stages):
+        order = one_f_one_b_order(n_stages, rank, micros)
+        for micro in range(micros):
+            assert order.index(("F", micro)) < order.index(("B", micro))
+
+
+def test_warmup_depth_shrinks_toward_last_stage():
+    n_stages, micros = 4, 8
+    for rank in range(n_stages):
+        order = one_f_one_b_order(n_stages, rank, micros)
+        warmup = min(micros, n_stages - 1 - rank)
+        assert all(kind == "F" for kind, _ in order[:warmup])
+        if warmup < micros:
+            # Steady state starts immediately after warm-up: F then B.
+            assert order[warmup][0] == "F"
+            assert order[warmup + 1][0] == "B"
+
+
+def test_last_stage_alternates_from_the_first_micro():
+    order = one_f_one_b_order(4, 3, 4)
+    assert order == [
+        ("F", 0), ("B", 0), ("F", 1), ("B", 1),
+        ("F", 2), ("B", 2), ("F", 3), ("B", 3),
+    ]
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError, match="n_stages"):
+        one_f_one_b_order(0, 0, 1)
+    with pytest.raises(ValueError, match="out of range"):
+        one_f_one_b_order(2, 2, 1)
+    with pytest.raises(ValueError, match="micros"):
+        one_f_one_b_order(2, 0, 0)
+    with pytest.raises(ValueError, match="out of range"):
+        bubble_count(4, 4, 1)
+    with pytest.raises(ValueError, match="n_stages"):
+        bubble_fraction(0, 4)
+
+
+def test_bubble_count_is_the_fill_depth():
+    assert [bubble_count(4, rank, 8) for rank in range(4)] == [0, 1, 2, 3]
+
+
+def test_bubble_fraction_formula_and_limits():
+    assert bubble_fraction(1, 4) == 0.0
+    assert bubble_fraction(4, 4) == pytest.approx(3 / 7)
+    # More micro-batches amortise the fixed fill/drain bubble.
+    fractions = [bubble_fraction(4, m) for m in (1, 2, 8, 64)]
+    assert fractions == sorted(fractions, reverse=True)

@@ -1,0 +1,112 @@
+"""Cluster hardware model: link specs and ring collective cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.cluster import (
+    LINK_PRESETS,
+    ClusterSpec,
+    LinkSpec,
+    all_gather_time,
+    all_reduce_time,
+    reduce_scatter_time,
+    send_recv_time,
+)
+from repro.hardware.gpu import GPU_PRESETS
+
+GPU = GPU_PRESETS["v100_16gb"]
+NVLINK = LINK_PRESETS["nvlink"]
+
+
+class TestLinkSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="link kind"):
+            LinkSpec("bad", "infiniband", 1e9, 1e-6)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            LinkSpec("bad", "nvlink", 0.0, 1e-6)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError, match="latency"):
+            LinkSpec("bad", "nvlink", 1e9, -1e-6)
+
+    def test_transfer_time_is_latency_plus_serialisation(self):
+        link = LinkSpec("l", "pcie", 10e9, 5e-6)
+        assert link.transfer_time(100e9) == pytest.approx(5e-6 + 10.0)
+        assert link.transfer_time(0) == pytest.approx(5e-6)
+
+    def test_presets_cover_all_kinds(self):
+        kinds = {link.kind for link in LINK_PRESETS.values()}
+        assert kinds == {"nvlink", "pcie", "network"}
+
+
+class TestRingCostModels:
+    def test_single_rank_collectives_are_free(self):
+        for fn in (all_reduce_time, all_gather_time, reduce_scatter_time):
+            assert fn(NVLINK, 1 << 30, 1) == 0.0
+
+    def test_all_reduce_matches_ring_formula(self):
+        nbytes, world = 1 << 30, 4
+        chunk = nbytes / world
+        expected = 2 * (world - 1) * (chunk / NVLINK.bandwidth + NVLINK.latency)
+        assert all_reduce_time(NVLINK, nbytes, world) == pytest.approx(expected)
+
+    def test_all_gather_is_half_an_all_reduce(self):
+        nbytes, world = 1 << 28, 8
+        assert all_gather_time(NVLINK, nbytes, world) == pytest.approx(
+            all_reduce_time(NVLINK, nbytes, world) / 2,
+        )
+
+    def test_reduce_scatter_mirrors_all_gather(self):
+        assert reduce_scatter_time(NVLINK, 12345678, 4) == all_gather_time(
+            NVLINK, 12345678, 4,
+        )
+
+    def test_send_recv_is_one_hop(self):
+        assert send_recv_time(NVLINK, 1 << 20) == pytest.approx(
+            NVLINK.transfer_time(1 << 20),
+        )
+
+    def test_monotone_in_bytes_and_latency_bound_in_world(self):
+        times = [all_reduce_time(NVLINK, n, 4) for n in (1, 1 << 20, 1 << 30)]
+        assert times == sorted(times)
+        # Fixed payload, growing ring: more latency hops, so never faster.
+        rings = [all_reduce_time(NVLINK, 1 << 10, w) for w in (2, 4, 8, 16)]
+        assert rings == sorted(rings)
+
+
+class TestClusterSpec:
+    def test_requires_at_least_one_gpu(self):
+        with pytest.raises(ValueError, match="at least one GPU"):
+            ClusterSpec(name="empty", gpus=())
+
+    def test_homogeneous_builds_world(self):
+        cluster = ClusterSpec.homogeneous(GPU, 4, link="pcie")
+        assert cluster.world_size == 4
+        assert cluster.intra_link is LINK_PRESETS["pcie"]
+        assert all(gpu is GPU for gpu in cluster.gpus)
+        assert cluster.name == f"4x {GPU.name}"
+
+    def test_link_for_picks_inter_link_across_nodes(self):
+        cluster = ClusterSpec.homogeneous(
+            GPU, 4, link="nvlink",
+            inter_link=LINK_PRESETS["ethernet"], node_size=2,
+        )
+        assert cluster.node_of(1) == 0
+        assert cluster.node_of(2) == 1
+        assert cluster.link_for((0, 1)) is LINK_PRESETS["nvlink"]
+        assert cluster.link_for((0, 3)) is LINK_PRESETS["ethernet"]
+
+    def test_collective_time_dispatch(self):
+        cluster = ClusterSpec.homogeneous(GPU, 4)
+        nbytes = 1 << 26
+        assert cluster.collective_time(
+            "all_reduce", (0, 1, 2, 3), nbytes,
+        ) == pytest.approx(all_reduce_time(NVLINK, nbytes, 4))
+        assert cluster.collective_time(
+            "send", (0, 1), nbytes,
+        ) == pytest.approx(send_recv_time(NVLINK, nbytes))
+        with pytest.raises(ValueError, match="unknown collective"):
+            cluster.collective_time("broadcast", (0, 1), nbytes)

@@ -1,0 +1,163 @@
+"""Parallelism transforms: gradient all-reduce and multi-rank ZeRO."""
+
+from __future__ import annotations
+
+from repro.cluster.transforms import (
+    splice_all_reduce,
+    splice_zero_shard,
+    zero_shard_savings,
+)
+from repro.core.profiler import Profiler
+from repro.graph.tensor import TensorKind
+from repro.pipeline.stages import (
+    LowerStage,
+    PlanStage,
+    ProfileStage,
+    default_augment_options,
+    resolve_policy,
+)
+from repro.runtime.instructions import CollectiveInstr, ComputeInstr
+
+from tests.conftest import BIG_GPU
+
+
+def _compile(graph, gpu, policy_name="base"):
+    policy = resolve_policy(policy_name)
+    profile = ProfileStage(Profiler(gpu)).run(graph, gpu)
+    plan_art = PlanStage(policy).run(graph, gpu, profile)
+    assert plan_art.plan is not None, plan_art.error
+    options = default_augment_options(policy, None)
+    return LowerStage(options).run(graph, plan_art.plan, profile).program.program
+
+
+def _collectives(program) -> list[CollectiveInstr]:
+    return [
+        instr for instr in program.instructions
+        if isinstance(instr, CollectiveInstr)
+    ]
+
+
+def _grad_param_tids(graph) -> set[int]:
+    return {
+        tid for tid, tensor in graph.tensors.items()
+        if tensor.kind is TensorKind.GRAD_PARAM
+    }
+
+
+class TestSpliceAllReduce:
+    def test_world_one_is_identity(self, tiny_cnn):
+        program = _compile(tiny_cnn, BIG_GPU)
+        assert splice_all_reduce(tiny_cnn, program, 1) is program
+
+    def test_one_all_reduce_per_gradient(self, tiny_cnn):
+        program = _compile(tiny_cnn, BIG_GPU)
+        spliced = splice_all_reduce(tiny_cnn, program, 2)
+        collectives = _collectives(spliced)
+        grads = _grad_param_tids(tiny_cnn)
+        assert len(collectives) == len(grads)
+        reduced = set()
+        for instr in collectives:
+            assert instr.kind == "all_reduce"
+            assert instr.group == (0, 1)
+            assert instr.lane == "comm"
+            assert instr.inputs and not instr.outputs and not instr.frees
+            tids = {ref.tensor_id for ref in instr.inputs}
+            assert tids <= grads
+            assert instr.nbytes == sum(ref.nbytes for ref in instr.inputs)
+            reduced |= tids
+        assert reduced == grads
+        # comm_ids follow graph update-op order; the backward pass emits
+        # gradients (and so the spliced collectives) in reverse.
+        comm_ids = [instr.comm_id for instr in collectives]
+        assert sorted(comm_ids) == list(range(len(collectives)))
+
+    def test_reduction_precedes_the_update(self, tiny_cnn):
+        spliced = splice_all_reduce(
+            tiny_cnn, _compile(tiny_cnn, BIG_GPU), 2,
+        )
+        instrs = spliced.instructions
+        for index, instr in enumerate(instrs):
+            if not isinstance(instr, CollectiveInstr):
+                continue
+            grad_tids = {ref.tensor_id for ref in instr.inputs}
+            updates = [
+                at for at, other in enumerate(instrs)
+                if isinstance(other, ComputeInstr) and other.tag == "update"
+                and grad_tids & {ref.tensor_id for ref in other.inputs}
+            ]
+            assert updates and min(updates) > index
+
+    def test_unchanged_instruction_multiset_otherwise(self, tiny_cnn):
+        program = _compile(tiny_cnn, BIG_GPU)
+        spliced = splice_all_reduce(tiny_cnn, program, 4)
+        base = program.counts()
+        after = spliced.counts()
+        assert after.pop("CollectiveInstr") == len(_grad_param_tids(tiny_cnn))
+        assert after == base
+
+
+class TestZeroShard:
+    def test_savings_formula(self, tiny_cnn):
+        world = 4
+        savings, max_gather = zero_shard_savings(tiny_cnn, world)
+        expected = 0
+        expected_gather = 0
+        for tensor in tiny_cnn.tensors.values():
+            if tensor.kind not in (
+                TensorKind.PARAM, TensorKind.OPTIMIZER_STATE,
+            ):
+                continue
+            shard = -(-tensor.size_bytes // world)
+            expected += tensor.size_bytes - shard
+            if tensor.kind is TensorKind.PARAM:
+                expected_gather = max(
+                    expected_gather, tensor.size_bytes - shard,
+                )
+        assert savings == expected > 0
+        assert max_gather == expected_gather > 0
+        assert zero_shard_savings(tiny_cnn, 1) == (0, 0)
+
+    def test_splice_shrinks_persistent_and_adds_collectives(self, tiny_cnn):
+        world = 4
+        program = _compile(tiny_cnn, BIG_GPU)
+        savings, _ = zero_shard_savings(tiny_cnn, world)
+        spliced = splice_zero_shard(tiny_cnn, program, world)
+        assert spliced.persistent_bytes == program.persistent_bytes - savings
+        kinds = {instr.kind for instr in _collectives(spliced)}
+        assert kinds == {"all_gather", "reduce_scatter"}
+
+    def test_one_reduce_scatter_per_gradient(self, tiny_cnn):
+        spliced = splice_zero_shard(
+            tiny_cnn, _compile(tiny_cnn, BIG_GPU), 4,
+        )
+        scatters = [
+            instr for instr in _collectives(spliced)
+            if instr.kind == "reduce_scatter"
+        ]
+        grads = _grad_param_tids(tiny_cnn)
+        assert len(scatters) == len(grads)
+        for instr in scatters:
+            # The full-size gradient is retired; a shard survives.
+            assert instr.frees
+            assert instr.outputs
+            shard = sum(ref.nbytes for ref in instr.outputs)
+            full = sum(ref.nbytes for ref in instr.frees)
+            assert 0 < shard < full
+
+    def test_gathers_are_paired_with_frees(self, tiny_cnn):
+        spliced = splice_zero_shard(
+            tiny_cnn, _compile(tiny_cnn, BIG_GPU), 4,
+        )
+        gathered = set()
+        for instr in _collectives(spliced):
+            if instr.kind == "all_gather":
+                for ref in instr.outputs:
+                    gathered.add(ref.key)
+        assert gathered
+        from repro.runtime.instructions import FreeInstr
+
+        freed = {
+            instr.ref.key for instr in spliced.instructions
+            if isinstance(instr, FreeInstr)
+        }
+        assert gathered <= freed

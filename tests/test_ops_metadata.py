@@ -14,7 +14,7 @@ class TestEnumIntegrity:
     def test_all_members_distinct(self):
         """Equal-valued members would silently alias (a real bug we hit):
         every OpType must be its own member."""
-        assert len(list(OpType)) == 23
+        assert len(list(OpType)) == 26
         kernels = [m.value.kernel for m in OpType]
         assert len(set(kernels)) == len(kernels)
 
