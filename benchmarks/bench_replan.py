@@ -1,0 +1,198 @@
+"""Static plans vs the DELTA-style dynamic replanning feedback loop.
+
+An infrastructure extension, not a paper artifact: a benchmark for the
+``compile_run(replan=...)`` loop
+(:mod:`repro.pipeline.replan`): chaos sweeps compare every point run
+twice under the *same* seeded fault schedule — once on the compile-time
+plan, once with the pressure monitor + replanner attached — across
+isolated fault classes. Three contracts are CI-enforced:
+
+1. **Never loses** — on every comparable point of every fault class the
+   dynamic run ends no slower than the static run beyond the measured
+   trial's revert tolerance. The controller's trial-and-revert protocol
+   guarantees this by construction; the sweep checks the construction.
+2. **Clean byte-identity** — at intensity 0 (and generally whenever the
+   monitor stays quiet) the dynamic run is *exactly* the static run:
+   zero replans and identical end-to-end time.
+3. **Degraded-PCIe wins** — on the fault class replanning is built for
+   (persistent link bandwidth loss) the mean end-to-end speedup is
+   strictly positive: re-planning against the observed bandwidth trades
+   swap traffic for recompute and beats the stale static plan.
+
+Writes ``BENCH_replan.json`` for the CI artifact upload.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_replan.py          # full
+    PYTHONPATH=src python benchmarks/bench_replan.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.faults.chaos import replan_chaos_sweep  # noqa: E402
+from repro.hardware.gpu import GPU_PRESETS  # noqa: E402
+from repro.models.registry import build_model  # noqa: E402
+from repro.pipeline.cache import CompileCache  # noqa: E402
+
+#: Tolerance on "never loses": one reverted trial iteration of overhead.
+REVERT_TOLERANCE = 0.02
+
+#: Swap-heavy configurations — replanning can only react when the plan
+#: actually moves bytes over the link. (model, batch, gpu, capacity
+#: fraction, policy.)
+FULL_CONFIGS = [
+    ("bert_large", 32, "gtx_1080ti", 0.5, "tsplit"),
+    ("resnet152", 64, "gtx_1080ti", 0.5, "tsplit"),
+]
+SMOKE_CONFIGS = [
+    ("bert_large", 32, "gtx_1080ti", 0.5, "tsplit"),
+    ("resnet152", 64, "gtx_1080ti", 0.5, "tsplit"),
+]
+
+FAULT_CLASSES = ["degraded_pcie", "flaky_link", "noisy", "mixed"]
+
+#: degraded_pcie gets the deep seed ladder (>= 50 points — the paper
+#: claim the acceptance criteria pin); the other classes guard the
+#: never-loses contract with a lighter ladder.
+FULL_INTENSITIES = (0.0, 0.5, 1.0, 2.0)
+FULL_DEEP_SEEDS = 13   # x4 intensities = 52 points
+FULL_LIGHT_SEEDS = 3
+SMOKE_INTENSITIES = (0.0, 1.0)
+SMOKE_SEEDS = 2
+FULL_ITERATIONS = 4
+SMOKE_ITERATIONS = 3
+
+
+def run_config(
+    model: str, batch: int, gpu_name: str, frac: float, policy: str,
+    *, smoke: bool,
+) -> tuple[list[dict], list[str]]:
+    """All fault-class sweeps for one configuration."""
+    graph = build_model(model, batch)
+    gpu = GPU_PRESETS[gpu_name]
+    if frac != 1.0:
+        gpu = gpu.with_memory(int(gpu.memory_bytes * frac))
+    cache = CompileCache()
+    intensities = SMOKE_INTENSITIES if smoke else FULL_INTENSITIES
+    iterations = SMOKE_ITERATIONS if smoke else FULL_ITERATIONS
+    classes = ["degraded_pcie", "mixed"] if smoke else FAULT_CLASSES
+    payloads: list[dict] = []
+    failures: list[str] = []
+    for fault_class in classes:
+        if smoke:
+            seed_count = SMOKE_SEEDS
+        else:
+            seed_count = (
+                FULL_DEEP_SEEDS if fault_class == "degraded_pcie"
+                else FULL_LIGHT_SEEDS
+            )
+        start = time.perf_counter()
+        report = replan_chaos_sweep(
+            graph, policy, gpu,
+            intensities=intensities, seeds=tuple(range(seed_count)),
+            iterations=iterations, fault_class=fault_class, cache=cache,
+        )
+        elapsed = time.perf_counter() - start
+        label = f"{model} b={batch} {policy} @{frac:g}x {fault_class}"
+        print(report.describe(), flush=True)
+        print(f"[{label}: {len(report.points)} points in {elapsed:.1f}s]\n",
+              flush=True)
+        failures.extend(check_report(label, report))
+        payload = report.to_dict()
+        payload["elapsed_s"] = elapsed
+        payloads.append(payload)
+    return payloads, failures
+
+
+def check_report(label: str, report) -> list[str]:
+    """The three CI contracts for one sweep report."""
+    failures: list[str] = []
+    if not report.comparable:
+        failures.append(f"{label}: no comparable points")
+        return failures
+    if not report.never_loses(REVERT_TOLERANCE):
+        losers = [
+            (p.intensity, p.seed, p.speedup) for p in report.comparable
+            if p.dynamic_time > p.static_time * (1 + REVERT_TOLERANCE)
+        ]
+        failures.append(f"{label}: dynamic LOSES at {losers}")
+    for point in report.points:
+        if point.intensity == 0.0 and point.static_feasible:
+            if point.replans or point.reverts:
+                failures.append(
+                    f"{label}: clean point seed={point.seed} replanned "
+                    f"({point.replans} replans, {point.reverts} reverts)"
+                )
+            if point.dynamic_time != point.static_time:
+                failures.append(
+                    f"{label}: clean point seed={point.seed} diverged "
+                    f"({point.dynamic_time} != {point.static_time})"
+                )
+    if report.fault_class == "degraded_pcie":
+        nonzero = [p for p in report.comparable if p.intensity > 0]
+        if nonzero:
+            mean = sum(p.speedup for p in nonzero) / len(nonzero)
+            if mean <= 1.0:
+                failures.append(
+                    f"{label}: no mean win under degraded PCIe "
+                    f"({mean:.3f}x over {len(nonzero)} points)"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="two small sweeps for CI")
+    parser.add_argument("--out", default="BENCH_replan.json")
+    args = parser.parse_args(argv)
+
+    configs = SMOKE_CONFIGS if args.smoke else FULL_CONFIGS
+    sweeps: list[dict] = []
+    failures: list[str] = []
+    for model, batch, gpu_name, frac, policy in configs:
+        payloads, errors = run_config(
+            model, batch, gpu_name, frac, policy, smoke=args.smoke,
+        )
+        sweeps.extend(payloads)
+        failures.extend(errors)
+
+    degraded = [s for s in sweeps if s["fault_class"] == "degraded_pcie"]
+    payload = {
+        "benchmark": "replan",
+        "mode": "smoke" if args.smoke else "full",
+        "revert_tolerance": REVERT_TOLERANCE,
+        "never_loses": all(s["never_loses"] for s in sweeps),
+        "degraded_pcie_mean_speedup": (
+            sum(s["mean_speedup"] for s in degraded) / len(degraded)
+            if degraded else 0.0
+        ),
+        "failures": failures,
+        "sweeps": sweeps,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"all contracts hold over "
+        f"{sum(len(s['points']) for s in sweeps)} points "
+        f"({payload['degraded_pcie_mean_speedup']:.2f}x mean speedup "
+        f"on degraded PCIe)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -228,11 +228,15 @@ def cmd_explain(args: argparse.Namespace) -> None:
     peak-memory effect — as markdown (or JSON with ``--json``).
     ``--trace`` additionally writes a single Chrome-trace file merging
     the pipeline spans with the engine's execution events.
+    ``--fault-intensity`` attaches seeded fault injection so the report
+    surfaces the engine's recovery activity (retries, emergency
+    evictions, refetched bytes).
     """
     import json as json_module
 
     from repro import telemetry
     from repro.analysis.report import explain_json, explain_markdown
+    from repro.faults.chaos import intensity_config
     from repro.pipeline.cache import CompileCache
     from repro.pipeline.compile import compile_run
     from repro.runtime.observers import ChromeTraceObserver
@@ -242,11 +246,14 @@ def cmd_explain(args: argparse.Namespace) -> None:
         args.model, args.batch_size,
         param_scale=args.param_scale, precision=args.precision,
     )
+    faults = None
+    if args.fault_intensity:
+        faults = intensity_config(args.fault_intensity, args.fault_seed)
     observer = ChromeTraceObserver()
     with telemetry.session() as tel:
         run = compile_run(
             graph, args.policy, gpu, observers=(observer,),
-            cache=CompileCache(),
+            cache=CompileCache(), faults=faults,
         )
         if args.trace:
             merged = telemetry.merge_traces(
@@ -293,11 +300,20 @@ def cmd_chaos(args: argparse.Namespace) -> None:
     ``--capacity-frac`` shrinks the device below the preset to provoke
     the emergency-eviction path; ``--no-eviction`` disables graceful
     degradation so unrecoverable points surface as infeasible instead.
+
+    ``--dynamic`` switches to the static-vs-replanning comparison
+    (:func:`~repro.faults.chaos.replan_chaos_sweep`): every point runs
+    twice over ``--iterations`` back-to-back iterations — once on the
+    compile-time plan, once with the DELTA-style feedback loop attached
+    — and the report shows per-intensity speedups, replan/revert counts
+    and whether dynamic ever lost. ``--fault-class`` selects the
+    isolated fault axis; ``--trace-dir`` writes collision-free
+    per-point Chrome traces with the replan spans merged in.
     """
     import dataclasses
     import json as json_module
 
-    from repro.faults.chaos import chaos_sweep
+    from repro.faults.chaos import chaos_sweep, replan_chaos_sweep
 
     gpu = _gpu(args.gpu)
     if args.capacity_frac != 1.0:
@@ -323,18 +339,36 @@ def cmd_chaos(args: argparse.Namespace) -> None:
         except ValueError:
             sys.exit(f"bad --intensities list: {args.intensities!r}")
         seed_count = args.seeds
-    report = chaos_sweep(
-        graph, args.policy, gpu,
-        intensities=intensities, seeds=tuple(range(seed_count)),
-        emergency_eviction=not args.no_eviction,
-    )
+    if args.dynamic:
+        if args.iterations < 2:
+            sys.exit(
+                f"--dynamic needs --iterations >= 2 (there are no "
+                f"iteration boundaries to replan at), got {args.iterations}"
+            )
+        report = replan_chaos_sweep(
+            graph, args.policy, gpu,
+            intensities=intensities, seeds=tuple(range(seed_count)),
+            iterations=args.iterations, fault_class=args.fault_class,
+            emergency_eviction=not args.no_eviction,
+            trace_dir=args.trace_dir or None,
+        )
+        failed = not report.points or not any(
+            p.static_feasible for p in report.points
+        )
+    else:
+        report = chaos_sweep(
+            graph, args.policy, gpu,
+            intensities=intensities, seeds=tuple(range(seed_count)),
+            emergency_eviction=not args.no_eviction,
+        )
+        failed = not report.clean_feasible
     print(report.describe())
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json_module.dump(report.to_dict(), handle, indent=2)
             handle.write("\n")
         print(f"wrote chaos report to {args.json}", file=sys.stderr)
-    if not report.clean_feasible:
+    if failed:
         sys.exit(1)
 
 
@@ -490,6 +524,13 @@ def main(argv: list[str] | None = None) -> None:
     explain_parser.add_argument(
         "--metrics", default="", metavar="PATH",
         help="write the session's metrics as JSONL")
+    explain_parser.add_argument(
+        "--fault-intensity", type=float, default=0.0,
+        help="attach fault injection at this chaos intensity (the "
+             "report then includes the fault-recovery section)")
+    explain_parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="fault-schedule seed for --fault-intensity")
     explain_parser.set_defaults(func=cmd_explain)
 
     chaos_parser = sub.add_parser(
@@ -526,6 +567,23 @@ def main(argv: list[str] | None = None) -> None:
     chaos_parser.add_argument(
         "--smoke", action="store_true",
         help="tiny ladder for CI (intensities 0,1 x 2 seeds)")
+    chaos_parser.add_argument(
+        "--dynamic", action="store_true",
+        help="compare static plans against the DELTA-style replanning "
+             "feedback loop at every point")
+    chaos_parser.add_argument(
+        "--iterations", type=int, default=4,
+        help="back-to-back iterations per point under --dynamic "
+             "(replans happen at iteration boundaries)")
+    chaos_parser.add_argument(
+        "--fault-class",
+        choices=("mixed", "degraded_pcie", "flaky_link", "noisy"),
+        default="mixed",
+        help="isolated fault axis for --dynamic sweeps")
+    chaos_parser.add_argument(
+        "--trace-dir", default="", metavar="DIR",
+        help="with --dynamic: write per-point merged Chrome traces "
+             "(names embed model, policy, intensity and seed)")
     chaos_parser.set_defaults(func=cmd_chaos)
 
     cluster_parser = sub.add_parser(

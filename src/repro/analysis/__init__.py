@@ -40,6 +40,7 @@ from repro.analysis.oversubscription import (
 )
 from repro.analysis.report import (
     comparison_table,
+    fault_recovery,
     memory_timeline,
     sparkline,
     stream_gantt,
@@ -68,6 +69,7 @@ __all__ = [
     "oversubscription_sweep",
     "survival_ratio",
     "comparison_table",
+    "fault_recovery",
     "memory_timeline",
     "sparkline",
     "stream_gantt",

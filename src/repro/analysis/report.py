@@ -164,7 +164,28 @@ def explain_json(
         payload["strategies"] = _strategy_bytes(plan, graph)
     if trace is not None:
         payload["runtime"] = stall_attribution(trace)
+        payload["recovery"] = fault_recovery(trace)
     return payload
+
+
+def fault_recovery(trace: ExecutionTrace) -> dict:
+    """The trace's fault-recovery and replanning activity, rolled up.
+
+    All zeros on a clean static run; non-zero entries mean the engine
+    retried failed transfers, emergency-evicted under pressure, refetched
+    evicted tensors, or hot-swapped a replanned program mid-run.
+    """
+    return {
+        "recovery_actions": trace.recovery_actions,
+        "transfer_retries": trace.transfer_retries,
+        "retry_backoff_time": trace.retry_backoff_time,
+        "emergency_evictions": trace.emergency_evictions,
+        "emergency_evicted_bytes": trace.emergency_evicted_bytes,
+        "emergency_refetches": trace.emergency_refetches,
+        "emergency_refetched_bytes": trace.emergency_refetched_bytes,
+        "recovered_skips": trace.recovered_skips,
+        "plan_swaps": trace.plan_swaps,
+    }
 
 
 def _decision_row(decision) -> str:
@@ -261,6 +282,21 @@ def explain_markdown(
             f"- recompute {format_time(runtime['recompute_time'])} "
             f"({runtime['recompute_fraction']:.1%} of iteration)",
         ]
+        recovery = fault_recovery(trace)
+        if recovery["recovery_actions"] or recovery["plan_swaps"]:
+            lines += [
+                "",
+                "## Fault recovery",
+                "",
+                f"- {recovery['transfer_retries']} transfer retries "
+                f"(backoff {format_time(recovery['retry_backoff_time'])})",
+                f"- {recovery['emergency_evictions']} emergency evictions "
+                f"({format_bytes(recovery['emergency_evicted_bytes'])}), "
+                f"{recovery['emergency_refetches']} refetches "
+                f"({format_bytes(recovery['emergency_refetched_bytes'])})",
+                f"- {recovery['recovered_skips']} recovered skips, "
+                f"{recovery['plan_swaps']} plan swaps",
+            ]
     return "\n".join(lines)
 
 

@@ -310,3 +310,75 @@ def run_footprint_cell(spec: FootprintCellSpec) -> int:
             spec.batch, param_scale=spec.param_scale, **overrides,
         )
     return model_memory_requirement(graph)
+
+# -- dynamic replanning ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplanTaskSpec:
+    """One (intensity, seed) static-vs-dynamic replanning point, by name.
+
+    Everything is registry names plus scalars, so the spec pickles to
+    the process backend; the executor returns a plain dict whose
+    ``stream_digest`` is the content hash of the dynamic run's executed
+    program history — byte-identical digests across serial, thread and
+    process backends are the replan-determinism contract.
+    """
+
+    model: str
+    batch: int
+    policy: str
+    gpu: GPUSpec
+    fault_class: str
+    intensity: float
+    seed: int
+    iterations: int = 4
+    param_scale: float = 1.0
+    overrides: tuple = ()
+    cache_dir: str | None = None
+
+
+def run_replan_point(
+    spec: ReplanTaskSpec, cache: CompileCache | None = None,
+) -> dict:
+    """Execute one replanning point: the same seeded fault schedule run
+    statically and with the feedback loop attached."""
+    from repro.faults.chaos import fault_class_config
+    from repro.models.registry import build_model
+    from repro.pipeline.compile import compile_run
+
+    cache = _cache_or_worker(cache, spec.cache_dir)
+    graph = build_model(
+        spec.model, spec.batch,
+        param_scale=spec.param_scale, **dict(spec.overrides),
+    )
+    faults = fault_class_config(spec.fault_class, spec.intensity, spec.seed)
+    static = compile_run(
+        graph, spec.policy, spec.gpu, cache=cache,
+        iterations=spec.iterations, faults=faults,
+    )
+    dynamic = compile_run(
+        graph, spec.policy, spec.gpu, cache=cache,
+        iterations=spec.iterations, faults=faults, replan=True,
+    )
+    rep = dynamic.replan
+    return {
+        "model": spec.model,
+        "policy": spec.policy,
+        "fault_class": spec.fault_class,
+        "intensity": spec.intensity,
+        "seed": spec.seed,
+        "static_feasible": static.result.feasible,
+        "dynamic_feasible": dynamic.result.feasible,
+        "static_time_s": (
+            sum(static.executed.durations)
+            if static.result.feasible else 0.0
+        ),
+        "dynamic_time_s": (
+            sum(dynamic.executed.durations)
+            if dynamic.result.feasible else 0.0
+        ),
+        "replans": rep.replans if rep else 0,
+        "reverts": rep.reverts if rep else 0,
+        "stream_digest": rep.stream_digest() if rep else "",
+    }

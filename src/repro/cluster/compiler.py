@@ -121,6 +121,31 @@ class ClusterCompiled:
         engine = ClusterEngine(self.cluster, engine_options)
         return engine.execute(self.programs, observers=observers)
 
+    def execute_iterations(
+        self,
+        iterations: int,
+        engine_options: EngineOptions | None = None,
+        observers: list[list[EngineObserver]] | None = None,
+        boundary_hook=None,
+    ) -> tuple[list[list[float]], ClusterTrace]:
+        """Run every rank back to back, with optional rank-local replans.
+
+        Thin passthrough to :meth:`~repro.runtime.cluster_engine.
+        ClusterEngine.execute_iterations`; pair with a
+        :class:`~repro.pipeline.replan.ClusterReplanController` to
+        attach per-rank pressure monitors (``observers``) and rank-local
+        replan decisions (``boundary_hook``).
+        """
+        if not self.feasible:
+            raise PlanningError(
+                f"cannot execute an infeasible cluster compile: {self.failure}"
+            )
+        engine = ClusterEngine(self.cluster, engine_options)
+        return engine.execute_iterations(
+            self.programs, iterations,
+            observers=observers, boundary_hook=boundary_hook,
+        )
+
 
 def compile_cluster(
     model: str | Graph,

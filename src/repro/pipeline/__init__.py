@@ -14,6 +14,14 @@ from repro.pipeline.cache import (
     graph_signature,
 )
 from repro.pipeline.compile import CompiledRun, compile_run
+from repro.pipeline.replan import (
+    ClusterReplanController,
+    ReplanConfig,
+    ReplanController,
+    ReplanRecord,
+    ReplanReport,
+    program_digest,
+)
 from repro.pipeline.stages import (
     EvalResult,
     ExecuteArtifact,
@@ -30,8 +38,14 @@ from repro.pipeline.stages import (
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
+    "ClusterReplanController",
     "CompileCache",
     "CompiledRun",
+    "ReplanConfig",
+    "ReplanController",
+    "ReplanRecord",
+    "ReplanReport",
+    "program_digest",
     "default_cache_dir",
     "EvalResult",
     "ExecuteArtifact",

@@ -34,6 +34,7 @@ from repro.pipeline.stages import (
     default_augment_options,
     resolve_policy,
 )
+from repro.pipeline.replan import ReplanConfig, ReplanController, ReplanReport
 from repro.policies.base import MemoryPolicy
 from repro.runtime.engine import EngineOptions
 from repro.runtime.observers import EngineObserver
@@ -46,7 +47,8 @@ class CompiledRun:
 
     ``lowered`` and ``executed`` are ``None`` when planning failed (there
     is nothing to lower); ``result`` always exists and mirrors the
-    pre-pipeline ``run_policy`` contract.
+    pre-pipeline ``run_policy`` contract. ``replan`` carries the dynamic
+    feedback loop's report when one was attached (``None`` otherwise).
     """
 
     result: EvalResult
@@ -54,6 +56,7 @@ class CompiledRun:
     plan: PlanArtifact
     lowered: LowerArtifact | None = None
     executed: ExecuteArtifact | None = None
+    replan: ReplanReport | None = None
 
 
 def compile_run(
@@ -68,6 +71,7 @@ def compile_run(
     observers: tuple[EngineObserver, ...] | list[EngineObserver] = (),
     iterations: int | None = None,
     faults: FaultConfig | None = None,
+    replan: ReplanConfig | bool | None = None,
 ) -> CompiledRun:
     """Profile, plan, lower and execute one configuration.
 
@@ -83,6 +87,17 @@ def compile_run(
     plan artifacts across fault configurations. ``faults=None`` leaves
     every stage — and every cache key — byte-identical to a fault-free
     pipeline.
+
+    ``replan`` (``True`` or a :class:`ReplanConfig`) closes the
+    DELTA-style feedback loop: a
+    :class:`~repro.runtime.pressure.PressureMonitor` watches the run and
+    a :class:`ReplanController` may hot-swap re-planned programs at
+    iteration boundaries, reusing ``cache`` as the warm plan store.
+    Requires ``iterations >= 2`` (there are no boundaries otherwise —
+    the loop stays inert and the run is static), and hot-swaps need
+    ``iterations >= 3`` so every swap's measured trial has a later
+    boundary to revert at. Without pressure the monitor never triggers
+    and the executed stream is byte-identical to the static plan.
     """
     policy = resolve_policy(policy)
     profiler = profiler or Profiler(gpu)
@@ -118,9 +133,23 @@ def compile_run(
     options = default_augment_options(policy, augment_options)
     with tracer.span("lower", model=graph.name, policy=policy.name):
         lowered = LowerStage(options).run(graph, plan.plan, profile)
+    replan_config = ReplanConfig.coerce(replan)
+    controller = None
+    boundary_hook = None
+    run_observers = observers
+    if replan_config is not None and iterations is not None and iterations > 1:
+        controller = ReplanController(
+            graph, policy, gpu, profile, plan, lowered,
+            config=replan_config, augment_options=options, cache=cache,
+            faults=(engine_options.faults if engine_options else None),
+            total_iterations=iterations,
+        )
+        run_observers = (*tuple(observers), controller.monitor)
+        boundary_hook = controller.boundary_hook
     with tracer.span("execute", model=graph.name, policy=policy.name):
-        executed = ExecuteStage(engine_options, observers).run(
+        executed = ExecuteStage(engine_options, run_observers).run(
             gpu, lowered, iterations=iterations,
+            boundary_hook=boundary_hook,
         )
     if not executed.feasible:
         result = EvalResult(
@@ -135,4 +164,5 @@ def compile_run(
     return CompiledRun(
         result=result, profile=profile, plan=plan,
         lowered=lowered, executed=executed,
+        replan=controller.finalize() if controller is not None else None,
     )

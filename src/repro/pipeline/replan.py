@@ -1,0 +1,640 @@
+"""Dynamic replanning: close the loop from pressure signals to plans.
+
+The static pipeline compiles once and runs; the recovery layer (PR 4)
+keeps degraded runs *alive* but leaves the plan blind to the degradation
+— a plan priced at 12 GB/s PCIe keeps swapping at full tilt over a link
+now delivering 6 GB/s. This module is the *acting* half of the
+DELTA-style feedback loop whose sensing half is
+:class:`~repro.runtime.pressure.PressureMonitor`:
+
+1. the monitor closes a signal window at every iteration boundary and
+   emits :class:`~repro.runtime.pressure.PressureEvent`\\ s past its
+   thresholds;
+2. the :class:`ReplanController`'s boundary hook quantises the observed
+   conditions into a *replan condition* — a (bandwidth ratio, extra
+   memory margin) pair — and re-enters the incremental planner through
+   the normal :class:`~repro.pipeline.stages.PlanStage` against a
+   **derived profile** whose PCIe model runs at the observed (not
+   profiled) bandwidth, with the warm
+   :class:`~repro.pipeline.cache.CompileCache` keyed by the condition;
+3. if the replanned configs differ from the running plan's, the fresh
+   lowering is hot-swapped at the iteration boundary
+   (:meth:`~repro.runtime.engine._Run.swap_program`); the next window
+   then serves as a measured *trial* — a swap that fails to beat the
+   pre-swap iteration time (beyond a small tolerance) is reverted and
+   its condition blacklisted, which is what enforces the
+   dynamic-never-loses contract even when the cost model misjudges.
+
+Everything is deterministic: conditions are quantised, the planner is
+deterministic, and trials compare simulated clocks — so the same seed
+and fault schedule replays to byte-identical instruction streams on any
+sweep backend. With faults off the monitor never emits, the hook never
+fires, and execution is byte-identical to a static run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+
+from repro.core.augment import AugmentOptions
+from repro.core.planner import PlannerOptions
+from repro.core.profiler import ProfileData
+from repro.faults.model import FaultConfig
+from repro.graph.graph import Graph
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.pcie import PCIeModel
+from repro.pipeline.cache import CompileCache
+from repro.pipeline.stages import (
+    LowerArtifact,
+    LowerStage,
+    PlanArtifact,
+    PlanStage,
+    ProfileArtifact,
+)
+from repro.policies.base import MemoryPolicy
+from repro.runtime.instructions import Program
+from repro.runtime.pressure import (
+    PressureEvent,
+    PressureMonitor,
+    PressureThresholds,
+)
+from repro.telemetry import get_telemetry
+
+#: A replan condition: (quantised bandwidth ratio, extra memory margin).
+#: ``(1.0, 0.0)`` is the static compile-time condition.
+Condition = tuple[float, float]
+
+BASE_CONDITION: Condition = (1.0, 0.0)
+
+
+def program_digest(program: Program) -> str:
+    """Content hash of an instruction stream.
+
+    Stable across processes (instruction ``repr``\\ s are value-based),
+    so serial/thread/process sweep backends can assert byte-identical
+    replanned streams by comparing digests.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"{program.name}|{program.batch}|"
+                  f"{program.persistent_bytes}\n".encode())
+    for instr in program.instructions:
+        hasher.update(repr(instr).encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class ReplanConfig:
+    """Knobs of the feedback loop."""
+
+    #: Master switch; a disabled config compiles to a purely static run.
+    enabled: bool = True
+    thresholds: PressureThresholds | None = None
+    #: Iterations pooled per monitor evaluation window.
+    window: int = 1
+    #: Hard cap on plan hot-swaps per run (reverts included).
+    max_replans: int = 8
+    #: Boundaries to wait after a swap/revert before replanning again.
+    cooldown_iterations: int = 1
+    #: A trial iteration slower than the pre-swap iteration by more than
+    #: this fraction loses: the swap is reverted, the condition
+    #: blacklisted. Guarantees dynamic never *ends* worse than static.
+    revert_tolerance: float = 0.02
+    #: A candidate plan must beat the running plan by at least this
+    #: fraction in the scratch pre-screen simulation before it is
+    #: hot-swapped; marginal predicted wins are not worth a trial risk.
+    min_benefit: float = 0.02
+    #: Extra memory margin added per ``thrash``/``stall`` signal, and
+    #: its cap (margins are planner-budget shrink, see PlannerOptions).
+    margin_step: float = 0.02
+    max_margin_bump: float = 0.08
+
+    @staticmethod
+    def coerce(value: "ReplanConfig | bool | None") -> "ReplanConfig | None":
+        """Normalise the ``compile_run(replan=...)`` argument.
+
+        ``None``/``False`` → no replanning; ``True`` → defaults; a
+        config instance passes through (``enabled=False`` → ``None``).
+        """
+        if value is None or value is False:
+            return None
+        if value is True:
+            return ReplanConfig()
+        return value if value.enabled else None
+
+
+@dataclass(frozen=True)
+class ReplanRecord:
+    """Provenance of one boundary decision that did something.
+
+    ``action`` is one of ``swap`` (new plan hot-swapped), ``revert``
+    (trial lost, previous plan restored), ``no_change`` (replanned plan
+    identical to the running one), ``no_gain`` (the scratch pre-screen
+    predicted no meaningful improvement), ``infeasible`` (replanning
+    failed at the observed condition) or ``incompatible`` (replanned
+    program cannot be hot-swapped, e.g. it moves persistent tensors).
+    """
+
+    iteration: int
+    action: str
+    condition: Condition
+    plan_key: str = ""
+    events: tuple[str, ...] = ()
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "iteration": self.iteration,
+            "action": self.action,
+            "bandwidth_ratio": self.condition[0],
+            "margin_bump": self.condition[1],
+            "plan_key": self.plan_key,
+            "events": list(self.events),
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ReplanReport:
+    """What the feedback loop did over one run."""
+
+    enabled: bool = True
+    replans: int = 0
+    reverts: int = 0
+    records: list[ReplanRecord] = field(default_factory=list)
+    #: ``(first iteration, plan key, program digest)`` per executed
+    #: program segment; a static run has exactly one segment.
+    segments: list[tuple[int, str, str]] = field(default_factory=list)
+    #: Every pressure event the monitor emitted (drained or not).
+    events: list[PressureEvent] = field(default_factory=list)
+
+    @property
+    def triggered(self) -> bool:
+        return bool(self.records)
+
+    def stream_digest(self) -> str:
+        """One hash over the full replanned instruction-stream history."""
+        hasher = hashlib.sha256()
+        for iteration, key, digest in self.segments:
+            hasher.update(f"{iteration}|{key}|{digest}\n".encode())
+        return hasher.hexdigest()
+
+    def to_dict(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "replans": self.replans,
+            "reverts": self.reverts,
+            "stream_digest": self.stream_digest(),
+            "segments": [
+                {"iteration": it, "plan_key": key, "digest": digest}
+                for it, key, digest in self.segments
+            ],
+            "records": [record.to_dict() for record in self.records],
+            "pressure_events": [
+                {
+                    "kind": event.kind,
+                    "iteration": event.iteration,
+                    "severity": round(event.severity, 6),
+                    "bandwidth_ratio": round(event.bandwidth_ratio, 6),
+                }
+                for event in self.events
+            ],
+        }
+
+
+class ReplanController:
+    """Owns the monitor, the replan decisions and the program history.
+
+    Create one per executed run (it is stateful), attach
+    :attr:`monitor` as an engine observer, and pass
+    :meth:`boundary_hook` to ``execute_iterations``. The controller
+    re-enters the planner through the same ``PlanStage``/``LowerStage``
+    used at compile time, so every replanned plan lands in (and is
+    served from) the warm compile cache under a key extended with the
+    observed condition — replanning a condition seen before is a pure
+    cache hit, and replanning back to ``(1.0, 0.0)`` returns the exact
+    static plan object.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        policy: MemoryPolicy,
+        gpu: GPUSpec,
+        profile: ProfileArtifact,
+        plan: PlanArtifact,
+        lowered: LowerArtifact,
+        *,
+        config: ReplanConfig | None = None,
+        augment_options: AugmentOptions | None = None,
+        cache: CompileCache | None = None,
+        faults: FaultConfig | None = None,
+        total_iterations: int | None = None,
+    ) -> None:
+        self.graph = graph
+        self.policy = policy
+        self.gpu = gpu
+        self.profile = profile
+        self.cache = cache
+        self.faults = faults
+        self.total_iterations = total_iterations
+        self.config = config or ReplanConfig()
+        self.augment_options = augment_options
+        self.monitor = PressureMonitor(
+            self.config.thresholds, window=self.config.window, gpu=gpu,
+        )
+        base_program = lowered.program.program
+        self._condition: Condition = BASE_CONDITION
+        self._current_plan = plan
+        self._current_program = base_program
+        #: condition -> (plan artifact, lowered program or None).
+        self._compiled: dict[Condition, tuple[PlanArtifact, Program | None]] = {
+            BASE_CONDITION: (plan, base_program),
+        }
+        self._rejected: set[Condition] = set()
+        #: condition -> predicted per-iteration time of its program in a
+        #: one-iteration scratch simulation under the run's fault config.
+        self._scratch: dict[Condition, float] = {}
+        #: In-flight measured trial: (previous condition, previous plan,
+        #: previous program, pre-swap iteration duration).
+        self._trial: (
+            tuple[Condition, PlanArtifact, Program, float] | None
+        ) = None
+        self._margin_bump = 0.0
+        self._last_action = -10**9
+        self.report = ReplanReport(
+            enabled=self.config.enabled,
+            segments=[(0, plan.key or "static", program_digest(base_program))],
+        )
+
+    # -- the boundary hook -------------------------------------------------------
+
+    def boundary_hook(self, index: int, run) -> Program | None:
+        """Decide at iteration boundary ``index`` (0-based).
+
+        Returns a replacement :class:`Program` to hot-swap, or ``None``
+        to keep running the current one. Passed verbatim to
+        :meth:`~repro.runtime.engine.Engine.execute_iterations`.
+        """
+        window = self.monitor.last_window()
+        if window is None or not self.config.enabled:
+            return None
+        reverted = self._check_trial(index, window.duration)
+        if reverted is not None:
+            return reverted
+        events = self.monitor.take_events()
+        if not events:
+            return None
+        self.report.events.extend(events)
+        metrics = get_telemetry().metrics
+        if metrics.enabled:
+            metrics.counter("pipeline.replan.triggered").inc()
+        if self.report.replans + self.report.reverts >= self.config.max_replans:
+            return None
+        if index - self._last_action < self.config.cooldown_iterations:
+            return None
+        if (
+            self.total_iterations is not None
+            and self.total_iterations - (index + 1) < 2
+        ):
+            # Too late: a swap now would run its measured trial on the
+            # final iteration with no boundary left to revert at, so a
+            # cost-model misjudgement could not be undone.
+            return None
+        condition = self._derive_condition(events, window)
+        if condition == self._condition or condition in self._rejected:
+            return None
+        kinds = tuple(event.kind for event in events)
+        artifact, program = self._compile(condition, index, kinds)
+        if artifact is None or not artifact.feasible:
+            self._rejected.add(condition)
+            self._record(index, "infeasible", condition, kinds,
+                         detail=artifact.error if artifact else "")
+            return None
+        if program is None or self._same_configs(artifact):
+            # The planner agrees with the running plan under the
+            # observed condition; remember so the window doesn't
+            # re-trigger every boundary.
+            self._condition = condition
+            self._record(index, "no_change", condition, kinds,
+                         plan_key=artifact.key)
+            return None
+        if (
+            program.persistent_bytes != self._current_program.persistent_bytes
+            or program.batch != self._current_program.batch
+        ):
+            self._rejected.add(condition)
+            self._record(index, "incompatible", condition, kinds,
+                         plan_key=artifact.key,
+                         detail="replanned program moves the persistent "
+                                "region; cannot hot-swap")
+            return None
+        current = self._scratch_time(self._condition, self._current_program)
+        candidate = self._scratch_time(condition, program)
+        if candidate >= current * (1.0 - self.config.min_benefit):
+            # The pre-screen simulation predicts no meaningful win; the
+            # trial risk (one possibly-slower iteration before a revert)
+            # is not worth taking. Blacklist the condition so the same
+            # window does not re-trigger every boundary.
+            self._rejected.add(condition)
+            self._record(
+                index, "no_gain", condition, kinds, plan_key=artifact.key,
+                detail=f"pre-screen predicts {candidate / max(current, 1e-12):.3f}x "
+                       f"the running plan's iteration; not swapped",
+            )
+            return None
+        self._trial = (
+            self._condition, self._current_plan, self._current_program,
+            window.duration,
+        )
+        self._condition = condition
+        self._current_plan = artifact
+        self._current_program = program
+        self._last_action = index
+        self.report.replans += 1
+        self._record(index, "swap", condition, kinds, plan_key=artifact.key)
+        self.report.segments.append(
+            (index + 1, artifact.key or "replanned", program_digest(program)),
+        )
+        if metrics.enabled:
+            metrics.counter("pipeline.replan.swapped").inc()
+        return program
+
+    def _check_trial(self, index: int, duration: float) -> Program | None:
+        """Score the first post-swap iteration; revert a losing swap."""
+        if self._trial is None:
+            return None
+        prev_condition, prev_plan, prev_program, prev_duration = self._trial
+        self._trial = None
+        tolerance = 1.0 + self.config.revert_tolerance
+        if duration <= prev_duration * tolerance:
+            return None
+        # Trial lost: the replanned program ran slower than the plan it
+        # replaced. Restore it and never try this condition again.
+        self.monitor.take_events()  # signals measured under the loser
+        self._rejected.add(self._condition)
+        losing = self._condition
+        self._condition = prev_condition
+        self._current_plan = prev_plan
+        self._current_program = prev_program
+        self._last_action = index
+        self.report.reverts += 1
+        self._record(
+            index, "revert", prev_condition,
+            detail=f"trial at condition {losing} ran "
+                   f"{duration / max(prev_duration, 1e-12):.3f}x the "
+                   f"pre-swap iteration; reverted",
+        )
+        self.report.segments.append((
+            index + 1, prev_plan.key or "static",
+            program_digest(prev_program),
+        ))
+        metrics = get_telemetry().metrics
+        if metrics.enabled:
+            metrics.counter("pipeline.replan.reverted").inc()
+        return prev_program
+
+    # -- condition derivation ----------------------------------------------------
+
+    def _derive_condition(
+        self, events: list[PressureEvent], window,
+    ) -> Condition:
+        """Map the drained events onto the quantised condition grid."""
+        limits = self.monitor.thresholds
+        ratio = self.monitor.observed_bandwidth_ratio()
+        kinds = {event.kind for event in events}
+        if "flaky_link" in kinds and window.transfer_count:
+            # Failed attempts and backoff never appear in the transfer
+            # records, so retries discount the observed bandwidth: a
+            # link failing a fraction p of transfers delivers roughly
+            # 1/(1+p) of its apparent rate end to end.
+            failure = window.retries / (window.retries + window.transfer_count)
+            ratio *= 1.0 / (1.0 + failure)
+        if kinds & {"thrash", "stall"}:
+            self._margin_bump = min(
+                self._margin_bump + self.config.margin_step,
+                self.config.max_margin_bump,
+            )
+        if kinds == {"headroom"}:
+            # Pressure receded: relax bandwidth back to nominal but keep
+            # the margin bump sticky — thrash signals mean the profiled
+            # footprint was optimistic, which recovering bandwidth does
+            # not refute.
+            return (1.0, round(self._margin_bump, 4))
+        quantum = limits.quantum
+        if ratio >= limits.headroom_ratio:
+            quantised = 1.0
+        else:
+            # The epsilon keeps float dust (0.3999999...) from landing
+            # one grid step below the exact ratio it represents.
+            steps = int(ratio / quantum + 1e-9)
+            quantised = max(quantum, round(steps * quantum, 10))
+        return (quantised, round(self._margin_bump, 4))
+
+    # -- replanning --------------------------------------------------------------
+
+    def _same_configs(self, artifact: PlanArtifact) -> bool:
+        current = self._current_plan.plan
+        fresh = artifact.plan
+        return (
+            fresh.configs == current.configs
+            and fresh.cpu_update == current.cpu_update
+        )
+
+    def _observed_gpu(self, ratio: float) -> GPUSpec:
+        if ratio >= 1.0:
+            return self.gpu
+        return replace(
+            self.gpu, pcie_bandwidth=self.gpu.pcie_bandwidth * ratio,
+        )
+
+    def _observed_profile(self, gpu: GPUSpec) -> ProfileArtifact:
+        """The compile-time profile re-priced at the observed bandwidth.
+
+        Kernel timings, the kernel model and the memoised split-time
+        cache are *shared* with the base profile (they do not depend on
+        the link); only the PCIe model is swapped, which is the one
+        lever the planner's swap costs flow through. The artifact keeps
+        the base profile key: the plan key distinguishes conditions via
+        its ``extra`` payload.
+        """
+        base = self.profile.profile
+        observed = ProfileData(
+            gpu=gpu,
+            op_times=base.op_times,
+            kernel_model=base.kernel_model,
+            pcie=PCIeModel(gpu),
+            _split_cache=base._split_cache,
+            _ops=base._ops,
+        )
+        return ProfileArtifact(
+            key=self.profile.key,
+            graph_signature=self.profile.graph_signature,
+            schedule=self.profile.schedule,
+            profile=observed,
+            cached=True,
+        )
+
+    def _observed_policy(self, bump: float) -> MemoryPolicy:
+        """The policy re-configured with the bumped memory margin.
+
+        Only planner-backed policies expose a margin; static baselines
+        replan unchanged (their plans don't depend on the margin, so the
+        result is a ``no_change`` decision — harmless by construction).
+        """
+        if bump <= 0.0:
+            return self.policy
+        options = getattr(self.policy, "options", None)
+        if not isinstance(options, PlannerOptions):
+            return self.policy
+        bumped = replace(
+            options, memory_margin=round(options.memory_margin + bump, 4),
+        )
+        return type(self.policy)(bumped)
+
+    def _scratch_time(self, condition: Condition, program: Program) -> float:
+        """Predicted per-iteration time of a program, by simulation.
+
+        Runs one iteration of the program on a scratch engine under the
+        run's fault configuration — cheap in a simulator, deterministic,
+        and far more faithful than the planner's cost model (which
+        misjudges overlap often enough that acting on it alone can make
+        dynamic *lose*). Memoised per condition; only ever invoked once
+        a non-base condition is being considered, so clean runs never
+        simulate and stay byte-identical to static plans.
+        """
+        from repro.runtime.engine import Engine, EngineOptions
+
+        cached = self._scratch.get(condition)
+        if cached is not None:
+            return cached
+        options = EngineOptions(record_trace=False, faults=self.faults)
+        try:
+            trace = Engine(self.gpu, options).execute(program)
+            predicted = trace.iteration_time
+        except Exception:  # infeasible at runtime: never worth swapping to
+            predicted = float("inf")
+        self._scratch[condition] = predicted
+        return predicted
+
+    def _compile(
+        self, condition: Condition, index: int, kinds: tuple[str, ...],
+    ) -> tuple[PlanArtifact | None, Program | None]:
+        """Plan + lower for a condition, memoised per controller.
+
+        Conditions hit the warm :class:`CompileCache` across controllers
+        (sweep points replanning under the same degradation share plan
+        artifacts); the per-controller memo additionally pins the
+        lowered program so a revert back to a seen condition is free.
+        """
+        entry = self._compiled.get(condition)
+        if entry is not None:
+            return entry
+        ratio, bump = condition
+        telemetry = get_telemetry()
+        with telemetry.tracer.span(
+            "replan", model=self.graph.name, policy=self.policy.name,
+            iteration=index, bandwidth_ratio=ratio, margin_bump=bump,
+            signals=",".join(kinds),
+        ):
+            gpu = self._observed_gpu(ratio)
+            profile = (
+                self.profile if ratio >= 1.0 else self._observed_profile(gpu)
+            )
+            extra = None
+            if condition != BASE_CONDITION:
+                extra = {
+                    "replan": {
+                        "bandwidth_ratio": ratio, "margin_bump": bump,
+                    },
+                }
+            stage = PlanStage(self._observed_policy(bump), extra=extra)
+            artifact = stage.run(
+                self.graph, gpu, profile,
+                cache=self.cache, faults=self.faults,
+            )
+            program: Program | None = None
+            if artifact.feasible:
+                lowered = LowerStage(self.augment_options).run(
+                    self.graph, artifact.plan, self.profile,
+                )
+                program = lowered.program.program
+        self._compiled[condition] = (artifact, program)
+        return artifact, program
+
+    def _record(
+        self,
+        iteration: int,
+        action: str,
+        condition: Condition,
+        events: tuple[str, ...] = (),
+        *,
+        plan_key: str = "",
+        detail: str = "",
+    ) -> None:
+        self.report.records.append(ReplanRecord(
+            iteration=iteration,
+            action=action,
+            condition=condition,
+            plan_key=plan_key,
+            events=events,
+            detail=detail,
+        ))
+
+    def finalize(self) -> ReplanReport:
+        """The report, with any undrained monitor events folded in."""
+        self.report.events.extend(self.monitor.take_events())
+        return self.report
+
+
+class ClusterReplanController:
+    """Rank-local feedback loops for a cluster run.
+
+    Holds one :class:`ReplanController` per participating rank (sparse:
+    ranks without a controller still get a passive
+    :class:`PressureMonitor`). :attr:`observers` plugs into
+    ``ClusterEngine.execute_iterations(observers=...)`` and
+    :meth:`boundary_hook` into its ``boundary_hook=``; each rank replans
+    against its own signals and only its own program is swapped.
+    """
+
+    def __init__(
+        self,
+        world_size: int,
+        controllers: dict[int, ReplanController] | None = None,
+        *,
+        thresholds: PressureThresholds | None = None,
+    ) -> None:
+        self.controllers = dict(controllers or {})
+        for rank in self.controllers:
+            if not 0 <= rank < world_size:
+                raise ValueError(
+                    f"controller rank {rank} outside world of {world_size}"
+                )
+        self.monitors = [
+            self.controllers[rank].monitor if rank in self.controllers
+            else PressureMonitor(thresholds)
+            for rank in range(world_size)
+        ]
+
+    @property
+    def observers(self) -> list[list[PressureMonitor]]:
+        """Per-rank observer lists (one monitor each)."""
+        return [[monitor] for monitor in self.monitors]
+
+    def boundary_hook(self, index: int, runs) -> dict[int, Program]:
+        """Collect each rank-local decision into a swap mapping."""
+        swaps: dict[int, Program] = {}
+        for rank, controller in sorted(self.controllers.items()):
+            program = controller.boundary_hook(index, runs[rank])
+            if program is not None:
+                swaps[rank] = program
+        return swaps
+
+    def finalize(self) -> dict[int, ReplanReport]:
+        """Per-rank replan reports for ranks that had controllers."""
+        return {
+            rank: controller.finalize()
+            for rank, controller in sorted(self.controllers.items())
+        }

@@ -293,19 +293,30 @@ class ExecuteStage:
         gpu: GPUSpec,
         lowered: LowerArtifact,
         iterations: int | None = None,
+        boundary_hook=None,
     ) -> ExecuteArtifact:
         """Execute the program (optionally ``iterations`` times); an
-        engine OOM becomes an infeasible artifact, not an exception."""
+        engine OOM becomes an infeasible artifact, not an exception.
+
+        ``boundary_hook`` is forwarded to
+        :meth:`~repro.runtime.engine.Engine.execute_iterations` — the
+        dynamic-replanning entry point; it requires ``iterations``.
+        """
         engine = Engine(gpu, self.options)
         try:
             if iterations is None:
+                if boundary_hook is not None:
+                    raise ValueError(
+                        "boundary_hook requires iterations: replanning "
+                        "hot-swaps at iteration boundaries"
+                    )
                 trace = engine.execute(
                     lowered.program.program, observers=self.observers,
                 )
                 return ExecuteArtifact(trace=trace)
             durations, trace = engine.execute_iterations(
                 lowered.program.program, iterations,
-                observers=self.observers,
+                observers=self.observers, boundary_hook=boundary_hook,
             )
             return ExecuteArtifact(trace=trace, durations=durations)
         except OutOfMemoryError as exc:

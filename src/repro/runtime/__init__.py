@@ -30,6 +30,12 @@ from repro.runtime.observers import (
     MemoryTimelineObserver,
     TraceObserver,
 )
+from repro.runtime.pressure import (
+    PressureEvent,
+    PressureMonitor,
+    PressureThresholds,
+    WindowStats,
+)
 from repro.runtime.trace import ExecutionTrace, MemorySample
 
 __all__ = [
@@ -48,4 +54,8 @@ __all__ = [
     "ChromeTraceObserver",
     "ExecutionTrace",
     "MemorySample",
+    "PressureEvent",
+    "PressureMonitor",
+    "PressureThresholds",
+    "WindowStats",
 ]

@@ -127,6 +127,71 @@ class ClusterEngine:
             collective_bytes=[run.collective_bytes for run in runs],
         )
 
+    def execute_iterations(
+        self,
+        programs: list[Program],
+        iterations: int,
+        observers: list[list[EngineObserver]] | None = None,
+        *,
+        boundary_hook=None,
+    ) -> tuple[list[list[float]], ClusterTrace]:
+        """Run every rank's program back to back ``iterations`` times.
+
+        The cluster analogue of
+        :meth:`~repro.runtime.engine.Engine.execute_iterations`: one
+        global event clock across all passes, per-rank state (streams,
+        host copies, residency) carried across iterations. Each rank's
+        observers get ``on_iteration_end`` with that rank's own window;
+        between iterations an optional ``boundary_hook(index, runs)``
+        may return a ``{rank: Program}`` mapping of *rank-local*
+        replacement programs to hot-swap — other ranks keep running
+        their current program, so replanning decisions stay local to the
+        rank whose monitor triggered.
+
+        Returns per-rank duration lists (``durations[rank][i]`` is how
+        much the global clock advanced rank ``i``'s completion front)
+        plus the aggregate :class:`ClusterTrace`.
+        """
+        world = self.cluster.world_size
+        if len(programs) != world:
+            raise RuntimeExecutionError(
+                f"cluster of {world} ranks needs {world} programs, "
+                f"got {len(programs)}"
+            )
+        if iterations < 1:
+            raise RuntimeExecutionError(
+                f"iterations must be >= 1, got {iterations}"
+            )
+        runs: list[_Run] = []
+        for rank, (gpu, program) in enumerate(
+            zip(self.cluster.gpus, programs),
+        ):
+            extra = observers[rank] if observers else ()
+            runs.append(_Run(gpu, PCIeModel(gpu), program, self.options, extra))
+        durations: list[list[float]] = [[] for _ in range(world)]
+        previous = [0.0] * world
+        for index in range(iterations):
+            self._dispatch_all(runs)
+            for rank, run in enumerate(runs):
+                start, previous[rank] = previous[rank], run.clock
+                durations[rank].append(run.clock - start)
+                for observer in run.observers:
+                    observer.on_iteration_end(index, start, run.clock)
+            if boundary_hook is not None and index + 1 < iterations:
+                swaps = boundary_hook(index, runs) or {}
+                for rank, program in sorted(swaps.items()):
+                    if program is not None and program is not runs[rank].program:
+                        runs[rank].swap_program(program)
+        traces = [run.finalize() for run in runs]
+        return durations, ClusterTrace(
+            name=programs[0].name,
+            world_size=world,
+            makespan=max((run.clock for run in runs), default=0.0),
+            ranks=traces,
+            comm_busy=[run.comm_busy() for run in runs],
+            collective_bytes=[run.collective_bytes for run in runs],
+        )
+
     # -- global dispatch ---------------------------------------------------------
 
     def _dispatch_all(self, runs: list[_Run]) -> None:

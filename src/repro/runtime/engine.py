@@ -128,6 +128,8 @@ class Engine:
         program: Program,
         iterations: int,
         observers: tuple[EngineObserver, ...] | list[EngineObserver] = (),
+        *,
+        boundary_hook=None,
     ) -> tuple[list[float], ExecutionTrace]:
         """Run the same iteration program back to back.
 
@@ -139,6 +141,15 @@ class Engine:
         event dispatched so far), so the durations sum exactly to the
         aggregate makespan.
 
+        After every iteration each observer's ``on_iteration_end`` fires;
+        between iterations (never after the last) an optional
+        ``boundary_hook(index, run)`` may return a replacement
+        :class:`~repro.runtime.instructions.Program` to hot-swap via
+        :meth:`_Run.swap_program` — the dynamic-replanning entry point.
+        Returning ``None`` (or the current program) keeps execution
+        untouched, and with no hook the loop is byte-identical to the
+        pre-hook engine.
+
         Raises the same errors as :meth:`execute`.
         """
         if iterations < 1:
@@ -148,10 +159,16 @@ class Engine:
         run = _Run(self.gpu, self.pcie, program, self.options, observers)
         durations: list[float] = []
         previous = 0.0
-        for _ in range(iterations):
+        for index in range(iterations):
             run.execute_instructions()
-            durations.append(run.clock - previous)
-            previous = run.clock
+            start, previous = previous, run.clock
+            durations.append(run.clock - start)
+            for observer in run.observers:
+                observer.on_iteration_end(index, start, run.clock)
+            if boundary_hook is not None and index + 1 < iterations:
+                replacement = boundary_hook(index, run)
+                if replacement is not None and replacement is not run.program:
+                    run.swap_program(replacement)
         return durations, run.finalize()
 
 
@@ -295,7 +312,10 @@ class _Run:
         self.emergency_evictions = 0
         self.emergency_evicted_bytes = 0
         self.emergency_refetches = 0
+        self.emergency_refetched_bytes = 0
         self.recovered_skips = 0
+        #: Mid-run plan hot-swaps applied via :meth:`swap_program`.
+        self.plan_swaps = 0
         #: Consecutive recovery actions with no dispatch in between
         #: (defensive thrash guard).
         self._recovery_streak = 0
@@ -394,6 +414,76 @@ class _Run:
                 # it dispatched before they resolve their start.
                 for ref in (*instr.inputs, *instr.outputs, *instr.frees):
                     changer[ref.key] = issue
+
+    # -- mid-run plan swap -------------------------------------------------------
+
+    def swap_program(self, program: Program) -> None:
+        """Hot-swap the iteration program at an iteration boundary.
+
+        The replacement must be a lowering of the *same* training step
+        (same batch, same persistent region, graph-stable tensor keys),
+        so residency, host copies and the recovery markers carry across
+        untouched — the ledger keeps its chronological history and no
+        buffer is double-freed or leaked; any genuine inconsistency the
+        new instruction stream introduces surfaces as the usual engine
+        state-machine error on dispatch. Only the issue-order guards are
+        program-shaped, so they are recomputed from scratch; host copies
+        the new lowering expects pinned from the start (its
+        ``initial_host``) are materialised at the swap instant.
+        """
+        for lane in self.lanes.values():
+            if lane.queue:
+                raise RuntimeExecutionError(
+                    f"{self.program.name}: cannot swap programs "
+                    f"mid-iteration ({sum(len(l.queue) for l in self.lanes.values())} "
+                    f"instructions still queued)"
+                )
+        if program.persistent_bytes != self.program.persistent_bytes:
+            raise RuntimeExecutionError(
+                f"{program.name}: plan swap changes the persistent region "
+                f"({self.program.persistent_bytes} B -> "
+                f"{program.persistent_bytes} B); replans must keep "
+                f"weights/optimizer placement fixed"
+            )
+        if program.batch != self.program.batch:
+            raise RuntimeExecutionError(
+                f"{program.name}: plan swap changes the batch size "
+                f"({self.program.batch} -> {program.batch})"
+            )
+        for ref in program.initial_host:
+            if ref.key not in self.host_copy:
+                self.host_copy[ref.key] = self.clock
+                self.host_used += ref.nbytes
+                self.host_peak = max(self.host_peak, self.host_used)
+        self.program = program
+        self._read_guard = {}
+        self._coll_read_guard = {}
+        self._dep_guard = {}
+        self._precompute_guards()
+        self.plan_swaps += 1
+
+    def attach_observer(self, observer: EngineObserver) -> None:
+        """Attach an observer mid-run.
+
+        Takes effect at the next dispatch; ``on_run_begin`` does not
+        fire retroactively (the observer sees events from now on).
+        """
+        self.observers = (*self.observers, observer)
+        self._free_hook = self._on_ledger_free
+
+    def detach_observer(self, observer: EngineObserver) -> None:
+        """Detach a previously-attached observer mid-run.
+
+        Detaching an observer that is not attached is a no-op; with no
+        observers left the ledger free hook is dropped so the clean-run
+        fast path is restored.
+        """
+        self.observers = tuple(
+            existing for existing in self.observers
+            if existing is not observer
+        )
+        if not self.observers:
+            self._free_hook = None
 
     # -- observer notification ---------------------------------------------------
 
@@ -570,7 +660,9 @@ class _Run:
             emergency_evictions=self.emergency_evictions,
             emergency_evicted_bytes=self.emergency_evicted_bytes,
             emergency_refetches=self.emergency_refetches,
+            emergency_refetched_bytes=self.emergency_refetched_bytes,
             recovered_skips=self.recovered_skips,
+            plan_swaps=self.plan_swaps,
             fault_events=tracer.fault_events if tracer else [],
         )
         for observer in self.observers:
@@ -1234,6 +1326,7 @@ class _Run:
             self._refetched.add(key)
             self.swapped_in += ref.nbytes
             self.emergency_refetches += 1
+            self.emergency_refetched_bytes += ref.nbytes
             self._notify_alloc(start, ref.label, ref.nbytes)
             self._notify_instr(
                 ref.label, "swap_in", "h2d", event.time - duration,

@@ -97,6 +97,16 @@ class EngineObserver:
         runs (``faults=None``).
         """
 
+    def on_iteration_end(self, index: int, start: float, end: float) -> None:
+        """Iteration ``index`` (0-based) ran from ``start`` to ``end``.
+
+        Fires only under :meth:`~repro.runtime.engine.Engine.
+        execute_iterations` (single-pass ``execute`` has no iteration
+        boundaries). This is the natural point to close a measurement
+        window: every instruction of the iteration has dispatched and
+        its completion time is known.
+        """
+
     def on_run_end(self, trace: ExecutionTrace) -> None:
         """Called once with the finalized trace."""
 

@@ -1,0 +1,370 @@
+"""Runtime pressure monitoring for the dynamic-replanning feedback loop.
+
+TSPLIT's plans are static: they price swaps at the *profiled* PCIe
+bandwidth and assume allocations land exactly where the cost model
+predicted. Under runtime drift — fault-degraded links, transient
+transfer failures, emergency evictions from the recovery layer — a
+static plan keeps paying for bandwidth it no longer has. DELTA (arXiv
+2203.15980) shows a dynamic joint recomputation+swap loop beats any
+static plan under such pressure; this module supplies the *sensing*
+half of that loop.
+
+:class:`PressureMonitor` is a plain
+:class:`~repro.runtime.observers.EngineObserver`: it accumulates
+per-iteration windows of transfer traffic, stall time and recovery
+activity from the chronological event stream, closes a window on every
+``on_iteration_end``, and emits typed :class:`PressureEvent`\\ s when a
+:class:`PressureThresholds` bound is crossed. It never mutates engine
+state — acting on the events is the replan stage's job
+(:mod:`repro.pipeline.replan`).
+
+The bandwidth signal is latency-corrected: each PCIe transfer costs
+``latency + nbytes / bandwidth``, so the effective bandwidth of a
+window is ``bytes / (busy - transfers * latency)``. On a clean run this
+recovers the nominal bandwidth exactly (up to float rounding), which is
+what guarantees the monitor *observes but never triggers* when faults
+are off — a hard requirement for dynamic runs to stay byte-identical
+to static plans in the absence of pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.runtime.observers import EngineObserver
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.hardware.gpu import GPUSpec
+    from repro.runtime.instructions import Program
+
+#: Instruction kinds that occupy a PCIe copy lane.
+_TRANSFER_KINDS = frozenset({"swap_out", "swap_in", "xfer"})
+
+
+@dataclass(frozen=True)
+class PressureThresholds:
+    """When a window's signals become a :class:`PressureEvent`.
+
+    The defaults are deliberately conservative: profiling noise and
+    float rounding must never trip them on a clean run (the monitor's
+    never-triggers-clean contract), while a 25%-degraded link or a
+    thrashing recovery layer trips them within one window.
+    """
+
+    #: Observed/nominal PCIe bandwidth below this emits
+    #: ``bandwidth_degraded``; at or above :attr:`headroom_ratio` while
+    #: a degraded condition is active emits ``headroom``.
+    bandwidth_ratio: float = 0.90
+    headroom_ratio: float = 0.97
+    #: Windows that moved less than this over PCIe carry too little
+    #: signal for a bandwidth estimate and never emit bandwidth events.
+    min_transfer_bytes: int = 1 << 20
+    #: Emergency evictions + refetches per window at or above this emit
+    #: ``thrash`` (the plan's working set no longer fits as planned).
+    eviction_rate: float = 1.0
+    #: Transfer retries per window at or above this emit ``flaky_link``.
+    retry_rate: float = 2.0
+    #: Stall fraction exceeding the best prior window's by more than
+    #: this margin emits ``stall``.
+    stall_margin: float = 0.10
+    #: Bandwidth-ratio quantisation step for replan conditions; coarse
+    #: steps keep jittery links from producing a new plan every window.
+    quantum: float = 0.05
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Signals accumulated over one iteration window."""
+
+    index: int
+    start: float
+    end: float
+    transfer_bytes: int
+    transfer_busy: float
+    transfer_count: int
+    stall_time: float
+    retries: int
+    evictions: int
+    refetches: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def stall_fraction(self) -> float:
+        """Stall share of the window (0 for degenerate windows)."""
+        if self.duration <= 0:
+            return 0.0
+        return min(1.0, self.stall_time / self.duration)
+
+    @property
+    def swap_lane_utilization(self) -> float:
+        """Copy-lane busy time as a fraction of the window."""
+        if self.duration <= 0:
+            return 0.0
+        return self.transfer_busy / (2.0 * self.duration)
+
+
+@dataclass(frozen=True)
+class PressureEvent:
+    """One threshold crossing, with the signal snapshot that caused it.
+
+    Kinds: ``bandwidth_degraded`` (effective PCIe bandwidth fell below
+    the profiled value), ``flaky_link`` (transfer retries), ``thrash``
+    (emergency evictions / refetches — the plan under-reserves memory),
+    ``stall`` (allocation stalls grew vs the best window seen), and
+    ``headroom`` (a previously-degraded signal recovered — the plan can
+    relax back towards the static optimum).
+    """
+
+    kind: str
+    iteration: int
+    time: float
+    #: How far past the threshold the signal is, in [0, 1]-ish units
+    #: (e.g. ``1 - bandwidth_ratio`` for degradation).
+    severity: float
+    #: Observed/nominal PCIe bandwidth over the window (1.0 = nominal).
+    bandwidth_ratio: float = 1.0
+    stall_fraction: float = 0.0
+    evictions: int = 0
+    retries: int = 0
+    detail: str = ""
+
+
+class PressureMonitor(EngineObserver):
+    """Sliding-window pressure sensor over the engine's event stream.
+
+    Attach like any observer (``compile_run(..., observers=[monitor])``
+    or mid-run via ``run.attach_observer``); windows close on iteration
+    boundaries, so single-pass ``execute`` runs accumulate one open
+    window that is never evaluated. ``window`` iterations are pooled
+    per evaluation (a window of 2 smooths single-iteration blips).
+
+    The monitor is pure observation: reading :attr:`history`, calling
+    :meth:`take_events` and :meth:`observed_bandwidth_ratio` never
+    perturbs execution, so a clean run with a monitor attached stays
+    byte-identical to one without.
+    """
+
+    def __init__(
+        self,
+        thresholds: PressureThresholds | None = None,
+        *,
+        window: int = 1,
+        gpu: "GPUSpec | None" = None,
+    ) -> None:
+        self.thresholds = thresholds or PressureThresholds()
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.gpu = gpu
+        #: Closed windows, oldest first.
+        self.history: list[WindowStats] = []
+        self.events: list[PressureEvent] = []
+        #: All events ever emitted (``take_events`` drains only
+        #: :attr:`events`); useful for reports.
+        self.event_log: list[PressureEvent] = []
+        #: Whether a degraded/thrash condition is currently signalled
+        #: (cleared by a ``headroom`` emission).
+        self._degraded = False
+        self._window_start = 0.0
+        self._reset_accumulators()
+
+    def _reset_accumulators(self) -> None:
+        self._xfer_bytes = 0
+        self._xfer_busy = 0.0
+        self._xfer_count = 0
+        self._stall_time = 0.0
+        self._retries = 0
+        self._evictions = 0
+        self._refetches = 0
+
+    # -- observer callbacks ------------------------------------------------------
+
+    def on_run_begin(self, program: "Program", gpu: "GPUSpec") -> None:
+        """Bind the nominal link parameters and reset the window."""
+        self.gpu = gpu
+        self._window_start = 0.0
+        self._reset_accumulators()
+
+    def on_instr_end(
+        self, label: str, kind: str, stream: str, start: float, end: float,
+        nbytes: int = 0, tag: str = "",
+    ) -> None:
+        """Accumulate PCIe traffic (planned swaps, evictions, refetches)."""
+        if kind in _TRANSFER_KINDS and nbytes > 0:
+            self._xfer_bytes += nbytes
+            self._xfer_busy += end - start
+            self._xfer_count += 1
+
+    def on_stall_end(self, time: float, label: str, stalled: float) -> None:
+        """Accumulate allocation-stall time."""
+        self._stall_time += stalled
+
+    def on_fault(
+        self, time: float, kind: str, label: str, nbytes: int = 0,
+    ) -> None:
+        """Count recovery-layer activity (never fires on clean runs)."""
+        if kind == "transfer_retry":
+            self._retries += 1
+        elif kind == "emergency_evict":
+            self._evictions += 1
+        elif kind == "refetch":
+            self._refetches += 1
+
+    def on_iteration_end(self, index: int, start: float, end: float) -> None:
+        """Close the window ending at this boundary and evaluate it."""
+        stats = WindowStats(
+            index=index,
+            start=self._window_start,
+            end=end,
+            transfer_bytes=self._xfer_bytes,
+            transfer_busy=self._xfer_busy,
+            transfer_count=self._xfer_count,
+            stall_time=self._stall_time,
+            retries=self._retries,
+            evictions=self._evictions,
+            refetches=self._refetches,
+        )
+        self.history.append(stats)
+        self._window_start = end
+        self._reset_accumulators()
+        self._evaluate(stats)
+
+    # -- signal derivation -------------------------------------------------------
+
+    def _pooled(self) -> WindowStats:
+        """The last ``window`` iterations merged into one stats block."""
+        tail = self.history[-self.window:]
+        first, last = tail[0], tail[-1]
+        return WindowStats(
+            index=last.index,
+            start=first.start,
+            end=last.end,
+            transfer_bytes=sum(w.transfer_bytes for w in tail),
+            transfer_busy=sum(w.transfer_busy for w in tail),
+            transfer_count=sum(w.transfer_count for w in tail),
+            stall_time=sum(w.stall_time for w in tail),
+            retries=sum(w.retries for w in tail),
+            evictions=sum(w.evictions for w in tail),
+            refetches=sum(w.refetches for w in tail),
+        )
+
+    def observed_bandwidth_ratio(
+        self, stats: WindowStats | None = None,
+    ) -> float:
+        """Effective/nominal PCIe bandwidth over a window.
+
+        Latency-corrected (see module docstring); returns 1.0 when the
+        window moved too few bytes for a meaningful estimate or no GPU
+        spec is bound yet (mid-run attach before any run begin).
+        """
+        if stats is None:
+            if not self.history:
+                return 1.0
+            stats = self._pooled()
+        if (
+            self.gpu is None
+            or stats.transfer_bytes < self.thresholds.min_transfer_bytes
+        ):
+            return 1.0
+        pure = stats.transfer_busy - stats.transfer_count * self.gpu.pcie_latency
+        if pure <= 0.0:
+            return 1.0
+        observed = stats.transfer_bytes / pure
+        return observed / self.gpu.pcie_bandwidth
+
+    def quantized_bandwidth_ratio(self) -> float:
+        """Current bandwidth ratio snapped down to the quantisation grid.
+
+        Replan conditions are keyed on this value, so a jittering link
+        maps to a small set of plans (and the warm cache absorbs
+        repeats) instead of producing a fresh plan every window. Clean
+        links snap to exactly 1.0.
+        """
+        ratio = min(1.0, self.observed_bandwidth_ratio())
+        quantum = self.thresholds.quantum
+        if ratio >= self.thresholds.headroom_ratio:
+            return 1.0
+        # Epsilon so float dust (0.3999...986 for a 60%-degraded link)
+        # still lands on the grid step it represents.
+        steps = int(ratio / quantum + 1e-9)
+        return max(quantum, round(steps * quantum, 10))
+
+    def _baseline_stall(self) -> float:
+        """Best (lowest) stall fraction over prior windows."""
+        prior = self.history[:-1]
+        if not prior:
+            return self.history[-1].stall_fraction
+        return min(w.stall_fraction for w in prior)
+
+    def _evaluate(self, latest: WindowStats) -> None:
+        """Emit events for every threshold the pooled window crosses."""
+        limits = self.thresholds
+        stats = self._pooled()
+        windows = min(self.window, len(self.history))
+        ratio = self.observed_bandwidth_ratio(stats)
+        emitted = False
+
+        def emit(kind: str, severity: float, detail: str) -> None:
+            nonlocal emitted
+            event = PressureEvent(
+                kind=kind,
+                iteration=latest.index,
+                time=latest.end,
+                severity=severity,
+                bandwidth_ratio=ratio,
+                stall_fraction=stats.stall_fraction,
+                evictions=stats.evictions + stats.refetches,
+                retries=stats.retries,
+                detail=detail,
+            )
+            self.events.append(event)
+            self.event_log.append(event)
+            emitted = True
+
+        if ratio < limits.bandwidth_ratio:
+            emit(
+                "bandwidth_degraded", 1.0 - ratio,
+                f"effective PCIe bandwidth at {ratio:.0%} of profiled",
+            )
+        if stats.evictions + stats.refetches >= limits.eviction_rate * windows:
+            emit(
+                "thrash",
+                (stats.evictions + stats.refetches) / max(1, windows),
+                f"{stats.evictions} emergency evictions / "
+                f"{stats.refetches} refetches in window",
+            )
+        if stats.retries >= limits.retry_rate * windows:
+            emit(
+                "flaky_link", stats.retries / max(1, windows),
+                f"{stats.retries} transfer retries in window",
+            )
+        baseline = self._baseline_stall()
+        if stats.stall_fraction > baseline + limits.stall_margin:
+            emit(
+                "stall", stats.stall_fraction - baseline,
+                f"stall fraction {stats.stall_fraction:.0%} vs baseline "
+                f"{baseline:.0%}",
+            )
+        if emitted:
+            self._degraded = True
+        elif self._degraded and ratio >= limits.headroom_ratio:
+            self._degraded = False
+            emit(
+                "headroom", ratio - limits.headroom_ratio,
+                "pressure receded; static-optimal plan viable again",
+            )
+
+    # -- consumption -------------------------------------------------------------
+
+    def take_events(self) -> list[PressureEvent]:
+        """Drain and return the pending events (oldest first)."""
+        events, self.events = self.events, []
+        return events
+
+    def last_window(self) -> WindowStats | None:
+        """The most recently closed iteration window, if any."""
+        return self.history[-1] if self.history else None

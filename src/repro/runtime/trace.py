@@ -76,9 +76,14 @@ class ExecutionTrace:
     emergency_evicted_bytes: int = 0
     #: Emergency-evicted tensors re-materialised on demand.
     emergency_refetches: int = 0
+    #: Bytes moved back to the device by those re-fetches.
+    emergency_refetched_bytes: int = 0
     #: Planned instructions satisfied out of band by a recovery action
     #: and dispatched as bookkeeping no-ops.
     recovered_skips: int = 0
+    #: Mid-run plan hot-swaps applied at iteration boundaries (dynamic
+    #: replanning); zero for static runs.
+    plan_swaps: int = 0
     records: list[InstrRecord] = field(default_factory=list)
     memory_samples: list[MemorySample] = field(default_factory=list)
     #: Chronologically-ordered (time, label, +/-bytes) allocation events,
@@ -156,9 +161,12 @@ class ExecutionTrace:
         Stall is reported both as absolute time and as its fraction of
         the iteration; the PCIe figure is the same full-duplex busy
         fraction :attr:`pcie_utilization` exposes, with the per-direction
-        busy times broken out so the two always agree.
+        busy times broken out so the two always agree. Runs that took
+        fault-recovery actions (or dynamic plan swaps) get an extra
+        recovery clause so static and dynamic runs are diagnosable from
+        the same one-liner; clean static runs print exactly as before.
         """
-        return (
+        text = (
             f"{self.name}: iter {format_time(self.iteration_time)} "
             f"({self.throughput:.1f} samples/s), peak "
             f"{format_bytes(self.peak_memory)}, pcie "
@@ -169,3 +177,16 @@ class ExecutionTrace:
             f"({self.stall_fraction:.1%} of iter), recompute "
             f"{format_time(self.recompute_time)}"
         )
+        if self.recovery_actions:
+            text += (
+                f", recovery [{self.transfer_retries} retries "
+                f"(backoff {format_time(self.retry_backoff_time)}), "
+                f"{self.emergency_evictions} emergency evictions "
+                f"({format_bytes(self.emergency_evicted_bytes)}), "
+                f"{self.emergency_refetches} refetches "
+                f"({format_bytes(self.emergency_refetched_bytes)}), "
+                f"{self.recovered_skips} skips]"
+            )
+        if self.plan_swaps:
+            text += f", replans {self.plan_swaps}"
+        return text

@@ -1,0 +1,341 @@
+"""The pressure monitor: signals, thresholds, and observation purity.
+
+Covers the sensing half of the dynamic-replanning feedback loop:
+
+* window accounting and the latency-corrected bandwidth estimate;
+* threshold crossings emit the right typed events, clean windows none;
+* the never-triggers-clean contract on a real engine run;
+* quantisation snapping (grid steps, headroom snap-to-1.0, float dust);
+* mid-run observer attach/detach through the engine's ``_Run`` API.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.model import FaultConfig
+from repro.hardware.gpu import GPUSpec
+from repro.pipeline.cache import CompileCache
+from repro.pipeline.compile import compile_run
+from repro.runtime.engine import Engine, EngineOptions
+from repro.runtime.observers import EngineObserver
+from repro.runtime.pressure import (
+    PressureMonitor,
+    PressureThresholds,
+    WindowStats,
+)
+from repro.units import MB, TFLOPS
+from tests.conftest import build_tiny_cnn
+
+#: A device whose tsplit plan swaps (capacity below the tiny CNN's
+#: peak, compute slow enough that swapping beats recomputing).
+SWAPPY_GPU = GPUSpec(
+    name="swappy-gpu",
+    memory_bytes=28 * MB,
+    peak_flops=0.05 * TFLOPS,
+    mem_bandwidth=100e9,
+    pcie_bandwidth=12e9,
+)
+
+
+def swappy_graph():
+    return build_tiny_cnn(32, image=64)
+
+
+def feed_window(
+    monitor: PressureMonitor,
+    *,
+    index: int = 0,
+    start: float = 0.0,
+    end: float = 1.0,
+    transfers: list[tuple[int, float]] = (),
+    stalls: list[float] = (),
+    retries: int = 0,
+    evictions: int = 0,
+    refetches: int = 0,
+) -> None:
+    """Drive one iteration window through the observer callbacks."""
+    clock = start
+    for nbytes, busy in transfers:
+        monitor.on_instr_end(
+            "t", "swap_out", "d2h", clock, clock + busy, nbytes=nbytes,
+        )
+        clock += busy
+    for stalled in stalls:
+        monitor.on_stall_end(clock, "alloc", stalled)
+    for _ in range(retries):
+        monitor.on_fault(clock, "transfer_retry", "t")
+    for _ in range(evictions):
+        monitor.on_fault(clock, "emergency_evict", "t")
+    for _ in range(refetches):
+        monitor.on_fault(clock, "refetch", "t")
+    monitor.on_iteration_end(index, start, end)
+
+
+def transfer(gpu: GPUSpec, nbytes: int, ratio: float = 1.0):
+    """A (bytes, busy) pair priced at ``ratio`` of nominal bandwidth."""
+    return (nbytes, gpu.pcie_latency + nbytes / (gpu.pcie_bandwidth * ratio))
+
+
+class TestWindowAccounting:
+    def test_windows_close_on_iteration_end(self):
+        monitor = PressureMonitor(gpu=SWAPPY_GPU)
+        feed_window(monitor, index=0, end=1.0,
+                    transfers=[transfer(SWAPPY_GPU, 4 * MB)])
+        feed_window(monitor, index=1, start=1.0, end=2.5)
+        assert len(monitor.history) == 2
+        first, second = monitor.history
+        assert first.transfer_bytes == 4 * MB
+        assert first.transfer_count == 1
+        assert second.transfer_bytes == 0
+        assert second.duration == pytest.approx(1.5)
+        assert monitor.last_window() is second
+
+    def test_stall_and_recovery_accumulation(self):
+        monitor = PressureMonitor(gpu=SWAPPY_GPU)
+        feed_window(monitor, stalls=[0.1, 0.15], retries=3,
+                    evictions=2, refetches=1)
+        window = monitor.last_window()
+        assert window.stall_time == pytest.approx(0.25)
+        assert window.stall_fraction == pytest.approx(0.25)
+        assert (window.retries, window.evictions, window.refetches) == (3, 2, 1)
+
+    def test_non_transfer_instructions_ignored(self):
+        monitor = PressureMonitor(gpu=SWAPPY_GPU)
+        monitor.on_instr_end("k", "compute", "compute", 0.0, 1.0, nbytes=0)
+        monitor.on_instr_end("r", "recompute", "compute", 1.0, 2.0,
+                             nbytes=4 * MB)
+        monitor.on_iteration_end(0, 0.0, 2.0)
+        assert monitor.last_window().transfer_bytes == 0
+
+    def test_degenerate_window_fractions(self):
+        stats = WindowStats(
+            index=0, start=1.0, end=1.0, transfer_bytes=0,
+            transfer_busy=0.0, transfer_count=0, stall_time=0.5,
+            retries=0, evictions=0, refetches=0,
+        )
+        assert stats.stall_fraction == 0.0
+        assert stats.swap_lane_utilization == 0.0
+
+    def test_window_pooling(self):
+        monitor = PressureMonitor(gpu=SWAPPY_GPU, window=2)
+        feed_window(monitor, index=0, end=1.0,
+                    transfers=[transfer(SWAPPY_GPU, 2 * MB)])
+        feed_window(monitor, index=1, start=1.0, end=2.0,
+                    transfers=[transfer(SWAPPY_GPU, 2 * MB)])
+        pooled = monitor._pooled()
+        assert pooled.transfer_bytes == 4 * MB
+        assert pooled.transfer_count == 2
+        assert pooled.duration == pytest.approx(2.0)
+
+    def test_bad_window_size_rejected(self):
+        with pytest.raises(ValueError):
+            PressureMonitor(window=0)
+
+
+class TestBandwidthSignal:
+    def test_clean_transfers_recover_nominal_exactly_enough(self):
+        monitor = PressureMonitor(gpu=SWAPPY_GPU)
+        feed_window(monitor, transfers=[
+            transfer(SWAPPY_GPU, 4 * MB), transfer(SWAPPY_GPU, 2 * MB),
+        ])
+        assert monitor.observed_bandwidth_ratio() == pytest.approx(1.0)
+        assert monitor.quantized_bandwidth_ratio() == 1.0
+        assert monitor.take_events() == []
+
+    def test_degraded_link_observed(self):
+        monitor = PressureMonitor(gpu=SWAPPY_GPU)
+        feed_window(monitor, transfers=[
+            transfer(SWAPPY_GPU, 4 * MB, ratio=0.4),
+            transfer(SWAPPY_GPU, 4 * MB, ratio=0.4),
+        ])
+        assert monitor.observed_bandwidth_ratio() == pytest.approx(0.4)
+        # Float dust must not drop the ratio one grid step low.
+        assert monitor.quantized_bandwidth_ratio() == pytest.approx(0.4)
+        events = monitor.take_events()
+        assert [e.kind for e in events] == ["bandwidth_degraded"]
+        assert events[0].bandwidth_ratio == pytest.approx(0.4)
+        assert events[0].severity == pytest.approx(0.6)
+
+    def test_tiny_windows_carry_no_bandwidth_signal(self):
+        monitor = PressureMonitor(gpu=SWAPPY_GPU)
+        feed_window(monitor, transfers=[
+            transfer(SWAPPY_GPU, 64 * 1024, ratio=0.1),
+        ])
+        assert monitor.observed_bandwidth_ratio() == 1.0
+        assert monitor.take_events() == []
+
+    def test_no_gpu_bound_means_no_signal(self):
+        monitor = PressureMonitor()
+        feed_window(monitor, transfers=[(4 * MB, 1.0)])
+        assert monitor.observed_bandwidth_ratio() == 1.0
+
+    def test_quantisation_snaps_near_nominal_to_one(self):
+        monitor = PressureMonitor(gpu=SWAPPY_GPU)
+        feed_window(monitor, transfers=[transfer(SWAPPY_GPU, 8 * MB, 0.98)])
+        assert monitor.quantized_bandwidth_ratio() == 1.0
+
+
+class TestThresholdEvents:
+    def test_thrash_and_flaky_and_stall(self):
+        monitor = PressureMonitor(gpu=SWAPPY_GPU)
+        feed_window(monitor, index=0, end=1.0)          # clean baseline
+        feed_window(monitor, index=1, start=1.0, end=2.0,
+                    stalls=[0.5], retries=3, evictions=1, refetches=1)
+        kinds = {e.kind for e in monitor.take_events()}
+        assert kinds == {"thrash", "flaky_link", "stall"}
+
+    def test_headroom_emitted_only_after_degradation(self):
+        monitor = PressureMonitor(gpu=SWAPPY_GPU)
+        feed_window(monitor, index=0, end=1.0,
+                    transfers=[transfer(SWAPPY_GPU, 4 * MB)])
+        assert monitor.take_events() == []  # clean: no headroom either
+        feed_window(monitor, index=1, start=1.0, end=2.0,
+                    transfers=[transfer(SWAPPY_GPU, 4 * MB, 0.5)])
+        assert [e.kind for e in monitor.take_events()] == [
+            "bandwidth_degraded",
+        ]
+        feed_window(monitor, index=2, start=2.0, end=3.0,
+                    transfers=[transfer(SWAPPY_GPU, 4 * MB)])
+        events = monitor.take_events()
+        assert [e.kind for e in events] == ["headroom"]
+        # Recovered: further clean windows emit nothing more.
+        feed_window(monitor, index=3, start=3.0, end=4.0,
+                    transfers=[transfer(SWAPPY_GPU, 4 * MB)])
+        assert monitor.take_events() == []
+
+    def test_event_log_keeps_drained_events(self):
+        monitor = PressureMonitor(gpu=SWAPPY_GPU)
+        feed_window(monitor, transfers=[transfer(SWAPPY_GPU, 4 * MB, 0.5)])
+        drained = monitor.take_events()
+        assert drained and monitor.events == []
+        assert monitor.event_log == drained
+
+    def test_custom_thresholds(self):
+        monitor = PressureMonitor(
+            PressureThresholds(bandwidth_ratio=0.5), gpu=SWAPPY_GPU,
+        )
+        feed_window(monitor, transfers=[transfer(SWAPPY_GPU, 4 * MB, 0.6)])
+        assert monitor.take_events() == []
+
+
+class TestOnRealRuns:
+    def test_clean_run_observes_but_never_triggers(self):
+        cache = CompileCache()
+        monitor = PressureMonitor()
+        run = compile_run(
+            swappy_graph(), "tsplit", SWAPPY_GPU, cache=cache,
+            iterations=3, observers=(monitor,),
+        )
+        assert run.result.feasible
+        assert len(monitor.history) == 3
+        assert monitor.last_window().transfer_bytes > 0
+        assert monitor.observed_bandwidth_ratio() == pytest.approx(1.0)
+        assert monitor.event_log == []
+
+    def test_degraded_run_triggers(self):
+        cache = CompileCache()
+        monitor = PressureMonitor()
+        run = compile_run(
+            swappy_graph(), "tsplit", SWAPPY_GPU, cache=cache,
+            iterations=2, observers=(monitor,),
+            faults=FaultConfig(seed=1, pcie_degradation=0.5),
+        )
+        assert run.result.feasible
+        assert monitor.observed_bandwidth_ratio() == pytest.approx(0.5)
+        assert any(
+            e.kind == "bandwidth_degraded" for e in monitor.event_log
+        )
+
+    def test_monitor_attached_run_is_byte_identical(self):
+        cache = CompileCache()
+        bare = compile_run(
+            swappy_graph(), "tsplit", SWAPPY_GPU, cache=cache, iterations=2,
+        )
+        monitored = compile_run(
+            swappy_graph(), "tsplit", SWAPPY_GPU, cache=cache, iterations=2,
+            observers=(PressureMonitor(),),
+        )
+        assert bare.result.trace.records == monitored.result.trace.records
+        assert bare.executed.durations == monitored.executed.durations
+
+
+class _Counter(EngineObserver):
+    """Counts instruction completions (for attach/detach tests)."""
+
+    def __init__(self):
+        self.seen = 0
+
+    def on_instr_end(self, *args, **kwargs):
+        self.seen += 1
+
+
+class TestMidRunAttachDetach:
+    def make_hook(self, actions: dict[int, tuple[str, EngineObserver]]):
+        def hook(index, run):
+            action = actions.get(index)
+            if action is not None:
+                verb, observer = action
+                if verb == "attach":
+                    run.attach_observer(observer)
+                else:
+                    run.detach_observer(observer)
+            return None
+        return hook
+
+    def lowered_program(self, cache):
+        run = compile_run(swappy_graph(), "tsplit", SWAPPY_GPU, cache=cache)
+        return run.lowered.program.program
+
+    def test_attach_mid_run_sees_only_later_windows(self):
+        cache = CompileCache()
+        program = self.lowered_program(cache)
+        engine = Engine(SWAPPY_GPU, EngineOptions())
+        late = PressureMonitor(gpu=SWAPPY_GPU)
+        durations, trace = engine.execute_iterations(
+            program, 4,
+            boundary_hook=self.make_hook({1: ("attach", late)}),
+        )
+        # Attached at the boundary after iteration 1: sees windows 2, 3.
+        assert [w.index for w in late.history] == [2, 3]
+        assert late.history[0].transfer_bytes > 0
+        assert late.observed_bandwidth_ratio() == pytest.approx(1.0)
+
+    def test_detach_mid_run_stops_observation(self):
+        cache = CompileCache()
+        program = self.lowered_program(cache)
+        engine = Engine(SWAPPY_GPU, EngineOptions())
+        counter = _Counter()
+        durations, trace = engine.execute_iterations(
+            program, 4, observers=(counter,),
+            boundary_hook=self.make_hook({0: ("detach", counter)}),
+        )
+        per_iteration = counter.seen  # only iteration 0 was observed
+        assert 0 < per_iteration < len(trace.records)
+        assert len(trace.records) == 4 * per_iteration
+
+    def test_attach_detach_does_not_perturb_execution(self):
+        cache = CompileCache()
+        program = self.lowered_program(cache)
+        plain, trace_plain = Engine(SWAPPY_GPU).execute_iterations(program, 4)
+        observer = _Counter()
+        hooked, trace_hooked = Engine(SWAPPY_GPU).execute_iterations(
+            program, 4,
+            boundary_hook=self.make_hook({
+                0: ("attach", observer), 2: ("detach", observer),
+            }),
+        )
+        assert plain == hooked
+        assert trace_plain.records == trace_hooked.records
+
+    def test_detach_unknown_observer_is_noop(self):
+        cache = CompileCache()
+        program = self.lowered_program(cache)
+        engine = Engine(SWAPPY_GPU)
+        stranger = _Counter()
+        durations, trace = engine.execute_iterations(
+            program, 2,
+            boundary_hook=self.make_hook({0: ("detach", stranger)}),
+        )
+        assert stranger.seen == 0
+        assert len(durations) == 2
