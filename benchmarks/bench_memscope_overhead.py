@@ -1,0 +1,231 @@
+"""Disabled-memscope overhead benchmark for the plan+run pipeline.
+
+An infrastructure guard rather than a paper table: it enforces the
+memscope observatory's two-sided contract from DESIGN.md §13.
+
+1. **Byte identity** — the execution trace of a ``compile_run`` with a
+   :class:`MemscopeObserver` attached is byte-for-byte identical to one
+   without it. Memscope is a pure observer: it derives its shadow
+   address space from callbacks and never feeds anything back into the
+   engine, so this must hold exactly (asserted, not sampled).
+2. **Disabled-path cost under 2 %** — with no observer attached, the
+   only residue this subsystem leaves in the plan+run hot path is a
+   ``recorder is None`` branch per pool event and a stall-event append
+   per engine stall. The microbenchmark times those primitives in a
+   tight loop, multiplies by a generous hook census taken from the
+   real run (every alloc event twice, every stall once), and asserts
+   the estimate stays **under 2 %** of the measured plan+run wall
+   time. Like the telemetry bench, the microbenchmark bound is what CI
+   enforces; the end-to-end delta of two noisy runs is reported
+   informationally.
+
+It also writes the artifacts CI uploads: ``BENCH_memscope.json`` and a
+sample merged Perfetto trace (engine slices + memscope address-space
+counter tracks) from an enabled run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_memscope_overhead.py          # full
+    PYTHONPATH=src python benchmarks/bench_memscope_overhead.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import telemetry  # noqa: E402
+from repro.analysis.memscope import MemscopeObserver, run_memscope  # noqa: E402
+from repro.hardware.gpu import GPU_PRESETS  # noqa: E402
+from repro.hardware.memory_pool import MemoryPool  # noqa: E402
+from repro.models.registry import build_model  # noqa: E402
+from repro.pipeline.cache import CompileCache  # noqa: E402
+from repro.pipeline.compile import compile_run  # noqa: E402
+from repro.runtime.observers import TraceObserver  # noqa: E402
+
+#: CI-enforced ceiling on the estimated disabled-path overhead.
+MAX_DISABLED_OVERHEAD = 0.02
+
+FULL_CONFIG = ("vgg16", 512, "gtx_1080ti")
+SMOKE_CONFIG = ("vgg16", 256, "gtx_1080ti")
+
+
+def _time_loop(fn, n: int = 100_000) -> float:
+    """Per-call seconds of ``fn`` over ``n`` iterations."""
+    start = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return (time.perf_counter() - start) / n
+
+
+def microbench_disabled_hooks() -> dict:
+    """Per-call cost of every disabled memscope primitive.
+
+    ``recorder_none_check`` is the branch a recorder-less pool pays per
+    alloc/free; ``stall_append`` is what the engine's TraceObserver pays
+    per stall to keep ``trace.stall_events``. ``pool_event_residue``
+    additionally includes the shape-stat mirror
+    (``_update_shape_stats``) — reported informationally, because that
+    mirror is the pool's own stat-reporting feature (allocator replay
+    and OOM forensics read it), not residue the plan+run pipeline pays:
+    the engine accounts bytes in a ledger and never drives a
+    MemoryPool.
+    """
+    pool = MemoryPool(capacity=1 << 20)
+
+    def recorder_none_check():
+        if pool.recorder is not None:  # pragma: no cover - always False
+            raise AssertionError
+
+    def pool_event_residue():
+        if pool.recorder is not None:  # pragma: no cover - always False
+            raise AssertionError
+        pool._update_shape_stats()
+
+    stalls: list[tuple[float, str, int, float]] = []
+
+    def stall_append():
+        stalls.append((0.0, "x", 0, 0.0))
+        if len(stalls) > 4096:
+            stalls.clear()
+
+    return {
+        "recorder_none_check_s": _time_loop(recorder_none_check),
+        "pool_event_residue_s": _time_loop(pool_event_residue),
+        "stall_append_s": _time_loop(stall_append),
+    }
+
+
+def estimate_overhead(hooks: dict, alloc_events: int, stalls: int) -> float:
+    """Upper-bound seconds of disabled-path work in one compile+run.
+
+    Hook census: one stall-event append per engine stall, plus —
+    generously, since the engine's ledger never touches a MemoryPool —
+    two recorder-``None`` branches per alloc event (one alloc + one
+    free) in case a pool-backed execution path is ever wired in. The
+    shape-stat mirror is deliberately excluded: it only runs inside
+    pool-driving analyses (allocator replay, memscope itself), whose
+    callers asked for exactly those statistics.
+    """
+    return (
+        2 * alloc_events * hooks["recorder_none_check_s"]
+        + stalls * hooks["stall_append_s"]
+    )
+
+
+def trace_bytes(trace) -> bytes:
+    """Canonical serialization for byte-identity comparison."""
+    return json.dumps(
+        dataclasses.asdict(trace), sort_keys=True, default=str,
+    ).encode()
+
+
+def run_pipeline(model: str, batch: int, gpu_name: str, *,
+                 memscope: bool) -> dict:
+    """One timed compile_run, with or without a MemscopeObserver."""
+    graph = build_model(model, batch)
+    gpu = GPU_PRESETS[gpu_name]
+    observers = [TraceObserver()]
+    scope = None
+    if memscope:
+        scope = MemscopeObserver()
+        observers.append(scope)
+    start = time.perf_counter()
+    run = compile_run(graph, "tsplit", gpu, cache=CompileCache(),
+                      observers=tuple(observers))
+    elapsed = time.perf_counter() - start
+    if not run.result.feasible:
+        raise AssertionError(f"{model} b={batch} {gpu_name}: infeasible")
+    trace = run.result.trace
+    return {
+        "elapsed_s": elapsed,
+        "alloc_events": len(trace.alloc_events),
+        "stalls": len(trace.stall_events),
+        "records": len(scope.pool.recorder.records) if scope else 0,
+        "_trace": trace,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller batch for CI")
+    parser.add_argument("--out", default="BENCH_memscope.json")
+    parser.add_argument("--trace-out", default="memscope_trace.json")
+    args = parser.parse_args(argv)
+
+    model, batch, gpu_name = SMOKE_CONFIG if args.smoke else FULL_CONFIG
+
+    hooks = microbench_disabled_hooks()
+    for name, per_call in sorted(hooks.items()):
+        print(f"{name:24s} {per_call * 1e9:8.1f} ns/call", flush=True)
+
+    disabled = run_pipeline(model, batch, gpu_name, memscope=False)
+    enabled = run_pipeline(model, batch, gpu_name, memscope=True)
+
+    # Contract 1: attaching memscope never perturbs the execution trace.
+    identical = trace_bytes(disabled["_trace"]) == trace_bytes(
+        enabled["_trace"],
+    )
+    assert identical, "memscope observer perturbed the execution trace"
+    print("byte-identity: traces with/without memscope are identical")
+
+    # Contract 2: the disabled-path residue stays under the ceiling.
+    estimated = estimate_overhead(
+        hooks, disabled["alloc_events"], disabled["stalls"],
+    )
+    ratio = estimated / disabled["elapsed_s"]
+    e2e_delta = (
+        (enabled["elapsed_s"] - disabled["elapsed_s"])
+        / disabled["elapsed_s"]
+    )
+    print(
+        f"\n{model} b={batch} {gpu_name}: plan+run "
+        f"{disabled['elapsed_s']:.2f}s disabled, "
+        f"{enabled['elapsed_s']:.2f}s with memscope "
+        f"(e2e delta {e2e_delta:+.1%}, informational; "
+        f"{enabled['records']} provenance records)"
+    )
+    print(
+        f"estimated disabled-path overhead: {estimated * 1e3:.3f} ms "
+        f"= {ratio:.4%} of plan+run (limit {MAX_DISABLED_OVERHEAD:.0%})"
+    )
+
+    # Sample merged Perfetto trace: engine slices + address-space tracks.
+    sample = run_memscope(
+        model, "tsplit", GPU_PRESETS[gpu_name], batch,
+        cache=CompileCache(), with_chrome=True,
+    )
+    telemetry.write_trace(args.trace_out, sample.merged_trace())
+
+    payload = {
+        "benchmark": "memscope_overhead",
+        "mode": "smoke" if args.smoke else "full",
+        "config": {"model": model, "batch": batch, "gpu": gpu_name},
+        "hooks_ns": {k: v * 1e9 for k, v in hooks.items()},
+        "disabled": {k: v for k, v in disabled.items() if k != "_trace"},
+        "enabled": {k: v for k, v in enabled.items() if k != "_trace"},
+        "traces_identical": identical,
+        "estimated_overhead_s": estimated,
+        "estimated_overhead_ratio": ratio,
+        "e2e_delta_ratio": e2e_delta,
+        "limit": MAX_DISABLED_OVERHEAD,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}, {args.trace_out}")
+
+    assert ratio < MAX_DISABLED_OVERHEAD, (
+        f"disabled memscope overhead {ratio:.4%} exceeds "
+        f"{MAX_DISABLED_OVERHEAD:.0%} of plan+run time"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

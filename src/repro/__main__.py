@@ -230,7 +230,9 @@ def cmd_explain(args: argparse.Namespace) -> None:
     the pipeline spans with the engine's execution events.
     ``--fault-intensity`` attaches seeded fault injection so the report
     surfaces the engine's recovery activity (retries, emergency
-    evictions, refetched bytes).
+    evictions, refetched bytes). ``--memscope`` attaches the
+    allocation-level observatory and embeds its per-tensor residency
+    and address-space forensics section in the report.
     """
     import json as json_module
 
@@ -250,9 +252,16 @@ def cmd_explain(args: argparse.Namespace) -> None:
     if args.fault_intensity:
         faults = intensity_config(args.fault_intensity, args.fault_seed)
     observer = ChromeTraceObserver()
+    observers: list = [observer]
+    scope = None
+    if args.memscope:
+        from repro.analysis.memscope import MemscopeObserver
+
+        scope = MemscopeObserver()
+        observers.append(scope)
     with telemetry.session() as tel:
         run = compile_run(
-            graph, args.policy, gpu, observers=(observer,),
+            graph, args.policy, gpu, observers=tuple(observers),
             cache=CompileCache(), faults=faults,
         )
         if args.trace:
@@ -266,6 +275,12 @@ def cmd_explain(args: argparse.Namespace) -> None:
     if not run.result.feasible:
         print(f"INFEASIBLE: {run.result.failure}")
         sys.exit(1)
+    memscope_report = None
+    if scope is not None:
+        memscope_report = scope.report(
+            gpu=gpu.name, policy=str(args.policy),
+            feasible=run.result.feasible, failure=run.result.failure or "",
+        )
     explanation = run.plan.plan.explanation
     trace = run.result.trace
     if explanation is None:
@@ -273,16 +288,18 @@ def cmd_explain(args: argparse.Namespace) -> None:
               f"only the tsplit planner explains its decisions)")
         if trace is not None:
             print(trace.describe())
+        if memscope_report is not None:
+            print(memscope_report.to_markdown(top=args.top))
     elif args.json:
         payload = explain_json(
             explanation, graph=graph, plan=run.plan.plan,
-            trace=trace, top=args.top,
+            trace=trace, top=args.top, memscope=memscope_report,
         )
         print(json_module.dumps(payload, indent=2))
     else:
         print(explain_markdown(
             explanation, graph=graph, plan=run.plan.plan,
-            trace=trace, top=args.top,
+            trace=trace, top=args.top, memscope=memscope_report,
         ))
     if args.trace:
         print(f"\nwrote merged Chrome trace to {args.trace}",
@@ -428,6 +445,105 @@ def cmd_cluster(args: argparse.Namespace) -> None:
               file=sys.stderr)
 
 
+def cmd_memscope(args: argparse.Namespace) -> None:
+    """Allocation-level memory observatory for one configuration.
+
+    Runs the configuration with the memscope observer attached (a
+    shadow address-space allocator driven from the engine's event
+    stream) and prints the report: per-tensor residency, pool shape,
+    and — when the run OOMs — the forensic postmortem (capacity vs
+    fragmentation, blocking tensors, minimal eviction set). The
+    executed plan and trace are byte-identical to an unobserved run;
+    memscope only watches.
+
+    ``--capacity-frac`` shrinks the device to provoke pressure;
+    ``--trace`` writes one Perfetto file merging the engine's execution
+    slices with memscope's address-space counter tracks; ``--heatmap``
+    writes the address x time occupancy grid as JSON; ``--world N``
+    switches to the cluster path with one shadow pool per rank. An
+    infeasible run still exits 0 — the postmortem is the product.
+    """
+    import json as json_module
+
+    from repro import telemetry
+    from repro.analysis.memscope import run_memscope, run_memscope_cluster
+    from repro.hardware.cluster import LINK_PRESETS, ClusterSpec
+    from repro.pipeline.cache import CompileCache
+
+    gpu = _gpu(args.gpu)
+    if args.capacity_frac <= 0:
+        sys.exit(f"--capacity-frac must be > 0, got {args.capacity_frac}")
+    if args.world > 1:
+        if args.link not in LINK_PRESETS:
+            sys.exit(f"unknown link {args.link!r}; available: "
+                     f"{', '.join(LINK_PRESETS)}")
+        if args.capacity_frac != 1.0:
+            import dataclasses
+
+            gpu = dataclasses.replace(
+                gpu,
+                name=f"{gpu.name} (x{args.capacity_frac:g} capacity)",
+                memory_bytes=int(gpu.memory_bytes * args.capacity_frac),
+            )
+        cluster = ClusterSpec.homogeneous(gpu, args.world, link=args.link)
+        runs, cluster_trace = run_memscope_cluster(
+            args.model, args.batch, args.policy, cluster,
+            mode=args.mode, micros=args.micros or None,
+            strategy=args.strategy, param_scale=args.param_scale,
+            cache=CompileCache(),
+        )
+        if args.json:
+            payload = {
+                "cluster": cluster_trace.describe(),
+                "ranks": [run.report.to_json() for run in runs],
+            }
+            print(json_module.dumps(payload, indent=2))
+        else:
+            print(cluster_trace.describe())
+            for run in runs:
+                print()
+                print(run.report.to_markdown(top=args.top))
+        if args.trace:
+            merged = telemetry.merge_traces(
+                *(run.chrome for run in runs),
+                *(run.report.timeline.to_chrome_events() for run in runs),
+                names=[
+                    *(f"rank {r} ({gpu.name})" for r in range(args.world)),
+                    *(f"rank {r} memscope" for r in range(args.world)),
+                ],
+            )
+            telemetry.write_trace(args.trace, merged)
+            print(f"\nwrote merged Chrome trace to {args.trace}",
+                  file=sys.stderr)
+        if args.heatmap:
+            grids = [
+                run.report.timeline.heatmap() for run in runs
+            ]
+            with open(args.heatmap, "w", encoding="utf-8") as handle:
+                json_module.dump(grids, handle)
+            print(f"wrote heatmaps to {args.heatmap}", file=sys.stderr)
+        return
+    run = run_memscope(
+        args.model, args.policy, gpu, args.batch,
+        param_scale=args.param_scale, precision=args.precision,
+        capacity_frac=args.capacity_frac, strategy=args.strategy,
+        cache=CompileCache(), with_chrome=bool(args.trace),
+    )
+    report = run.report
+    if args.json:
+        print(json_module.dumps(report.to_json(), indent=2))
+    else:
+        print(report.to_markdown(top=args.top))
+    if args.trace:
+        telemetry.write_trace(args.trace, run.merged_trace())
+        print(f"\nwrote merged Chrome trace to {args.trace}",
+              file=sys.stderr)
+    if args.heatmap:
+        with open(args.heatmap, "w", encoding="utf-8") as handle:
+            json_module.dump(report.timeline.heatmap(), handle)
+        print(f"wrote heatmap to {args.heatmap}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> None:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -531,6 +647,10 @@ def main(argv: list[str] | None = None) -> None:
     explain_parser.add_argument(
         "--fault-seed", type=int, default=0,
         help="fault-schedule seed for --fault-intensity")
+    explain_parser.add_argument(
+        "--memscope", action="store_true",
+        help="attach the allocation-level memory observatory and embed "
+             "its residency/forensics report")
     explain_parser.set_defaults(func=cmd_explain)
 
     chaos_parser = sub.add_parser(
@@ -617,6 +737,53 @@ def main(argv: list[str] | None = None) -> None:
         "--trace", default="", metavar="PATH",
         help="write a merged Chrome trace with one process per rank")
     cluster_parser.set_defaults(func=cmd_cluster)
+
+    memscope_parser = sub.add_parser(
+        "memscope",
+        help="allocation-level memory observatory with OOM forensics",
+    )
+    memscope_parser.add_argument(
+        "model", help=f"model name ({', '.join(model_names())})",
+    )
+    memscope_parser.add_argument("--policy", default="tsplit")
+    memscope_parser.add_argument("--batch", type=int, default=64)
+    memscope_parser.add_argument("--gpu", default="rtx_titan",
+                                 help=f"GPU preset ({', '.join(GPU_PRESETS)})")
+    memscope_parser.add_argument("--param-scale", type=float, default=1.0)
+    memscope_parser.add_argument("--precision", choices=("fp32", "fp16"),
+                                 default="fp32")
+    memscope_parser.add_argument(
+        "--capacity-frac", type=float, default=1.0,
+        help="shrink device memory to this fraction of the preset "
+             "(provokes pressure; the OOM postmortem needs a failure)")
+    memscope_parser.add_argument(
+        "--strategy",
+        choices=("best_fit", "first_fit", "worst_fit", "segregated"),
+        default="best_fit",
+        help="shadow-pool placement strategy")
+    memscope_parser.add_argument("--top", type=int, default=15,
+                                 help="residency rows to show")
+    memscope_parser.add_argument("--json", action="store_true",
+                                 help="emit the report as JSON")
+    memscope_parser.add_argument(
+        "--trace", default="", metavar="PATH",
+        help="write one Perfetto trace merging engine execution with "
+             "memscope's address-space counter tracks")
+    memscope_parser.add_argument(
+        "--heatmap", default="", metavar="PATH",
+        help="write the address x time occupancy heatmap as JSON")
+    memscope_parser.add_argument("--world", type=int, default=1,
+                                 help="ranks (>1 = cluster memscope)")
+    memscope_parser.add_argument(
+        "--mode", choices=("dp", "zero_shard", "pp"), default="dp",
+        help="cluster parallelism mode (with --world > 1)")
+    memscope_parser.add_argument(
+        "--micros", type=int, default=0,
+        help="pipeline micro-batch count (pp only; 0 = 2 x world)")
+    memscope_parser.add_argument(
+        "--link", default="nvlink",
+        help="link preset between ranks (with --world > 1)")
+    memscope_parser.set_defaults(func=cmd_memscope)
 
     args = parser.parse_args(argv)
     args.func(args)

@@ -32,7 +32,14 @@ from repro.runtime.trace import ExecutionTrace
 
 @dataclass(frozen=True)
 class ReplayResult:
-    """Pool behaviour over one execution's allocation stream."""
+    """Pool behaviour over one execution's allocation stream.
+
+    ``largest_free_block`` and ``free_block_count`` describe the pool's
+    free-space structure *at the failure instant* when the replay OOMed
+    (the forensically relevant state: a large ``free_block_count`` with
+    a small ``largest_free_block`` means the failure was fragmentation,
+    not capacity), and at the end of the stream otherwise.
+    """
 
     strategy: str
     succeeded: bool
@@ -40,25 +47,27 @@ class ReplayResult:
     peak_used: int = 0
     max_fragmentation: float = 0.0
     alloc_count: int = 0
+    largest_free_block: int = 0
+    free_block_count: int = 0
 
 
 def chronological_peak(trace: ExecutionTrace) -> int:
     """Peak bytes live at any instant, re-derived from the allocation log.
 
-    Sorts ``alloc_events`` by time (releases before allocations at equal
-    timestamps, mirroring how the engine's ledger commits pending frees
-    before applying an allocation at the same instant) and accumulates
-    on top of the persistent region. Cross-checks the engine's
-    chronologically-exact ``peak_memory``: the two are equal for every
-    traced run.
+    Accumulates ``alloc_events`` *in recorded order* on top of the
+    persistent region. The log is appended exactly as the engine's
+    ledger applies each event, so the recorded order already encodes
+    the ledger's conventions — pending frees commit before a later
+    allocation at the same instant, but a zero-duration op's output
+    allocation lands *before* its inputs' releases at that instant
+    (both buffers are resident while the kernel runs). Re-sorting with
+    frees-first at equal timestamps would understate the peak in that
+    second case. Cross-checks the engine's chronologically-exact
+    ``peak_memory``: the two are equal for every traced run.
     """
-    events = sorted(
-        trace.alloc_events,
-        key=lambda e: (e[0], 0 if e[2] < 0 else 1),
-    )
     used = trace.persistent_bytes
     peak = used
-    for _, _, nbytes in events:
+    for _, _, nbytes in trace.alloc_events:
         used += nbytes
         if used > peak:
             peak = used
@@ -73,10 +82,11 @@ def replay_allocations(
 ) -> ReplayResult:
     """Replay a trace's alloc/free events through a pool.
 
-    Events are ordered by time with releases applied before allocations
-    at equal timestamps (the engine's accounting commits pending frees
-    before allocating). Releases without a live handle (e.g. events
-    trimmed by tracing) are ignored.
+    Events are applied in recorded order — the engine's exact ledger
+    application order, which already commits pending frees before a
+    later allocation at the same instant but keeps a zero-duration
+    op's inputs resident until after its output allocation. Releases
+    without a live handle (e.g. events trimmed by tracing) are ignored.
 
     A release event carries the freed byte count, and labels are not
     unique — one label can have several live allocations of *different*
@@ -86,10 +96,7 @@ def replay_allocations(
     matches; freeing per-label FIFO regardless of size would release the
     wrong block and silently diverge the pool from the ledger.
     """
-    events = sorted(
-        trace.alloc_events,
-        key=lambda e: (e[0], 0 if e[2] < 0 else 1),
-    )
+    events = trace.alloc_events
     pool = MemoryPool(capacity=capacity, strategy=strategy)
     persistent_handle = None
     if trace.persistent_bytes:
@@ -99,6 +106,8 @@ def replay_allocations(
             return ReplayResult(
                 strategy=strategy, succeeded=False,
                 failed_at="<persistent region>",
+                largest_free_block=pool.stats.largest_free_block,
+                free_block_count=pool.stats.free_block_count,
             )
     #: label -> live (handle, requested bytes) pairs, oldest first.
     handles: dict[str, list[tuple[int, int]]] = {}
@@ -110,7 +119,9 @@ def replay_allocations(
             except OutOfMemoryError:
                 # Fragmentation at the failure instant, not as of the
                 # last successful event — an OOM caused by external
-                # fragmentation must not be understated.
+                # fragmentation must not be understated. The free-list
+                # shape stats are likewise frozen at this instant
+                # (``alloc`` mirrors them before raising).
                 return ReplayResult(
                     strategy=strategy,
                     succeeded=False,
@@ -118,6 +129,8 @@ def replay_allocations(
                     peak_used=pool.stats.peak_used,
                     max_fragmentation=max(max_frag, pool.fragmentation()),
                     alloc_count=pool.stats.alloc_count,
+                    largest_free_block=pool.stats.largest_free_block,
+                    free_block_count=pool.stats.free_block_count,
                 )
             handles.setdefault(label, []).append((handle, nbytes))
         else:
@@ -141,4 +154,6 @@ def replay_allocations(
         peak_used=pool.stats.peak_used,
         max_fragmentation=max_frag,
         alloc_count=pool.stats.alloc_count,
+        largest_free_block=pool.stats.largest_free_block,
+        free_block_count=pool.stats.free_block_count,
     )

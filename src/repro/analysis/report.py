@@ -146,13 +146,16 @@ def _strategy_bytes(plan, graph) -> dict:
 
 
 def explain_json(
-    explanation, *, graph=None, plan=None, trace=None, top: int = 10,
+    explanation, *, graph=None, plan=None, trace=None, memscope=None,
+    top: int = 10,
 ) -> dict:
     """Machine-readable explain report.
 
     Bundles the full decision provenance with the per-strategy byte
-    totals (when ``plan`` + ``graph`` are given) and the runtime stall
-    attribution (when ``trace`` is given).
+    totals (when ``plan`` + ``graph`` are given), the runtime stall
+    attribution (when ``trace`` is given), and the allocation-level
+    memscope findings (when a :class:`~repro.analysis.memscope.
+    MemscopeReport` is given).
     """
     payload = {
         "explanation": explanation.to_dict(),
@@ -165,6 +168,8 @@ def explain_json(
     if trace is not None:
         payload["runtime"] = stall_attribution(trace)
         payload["recovery"] = fault_recovery(trace)
+    if memscope is not None:
+        payload["memscope"] = memscope.to_json()
     return payload
 
 
@@ -202,15 +207,18 @@ def _decision_row(decision) -> str:
 
 
 def explain_markdown(
-    explanation, *, graph=None, plan=None, trace=None, top: int = 10,
+    explanation, *, graph=None, plan=None, trace=None, memscope=None,
+    top: int = 10,
 ) -> str:
     """Render a PlanExplanation as a markdown report.
 
     Sections: planning summary, the full decision table (every accepted
     split/swap/recompute decision with its cost delta and peak-memory
     effect), the ``top`` most expensive decisions with their rejected
-    alternatives, per-strategy byte totals, and — when a trace is given
-    — the runtime stall attribution.
+    alternatives, per-strategy byte totals, the runtime stall
+    attribution (when a trace is given), and — when a
+    :class:`~repro.analysis.memscope.MemscopeReport` is given — the
+    allocation-level residency/forensics sections.
     """
     lines = [
         f"# Plan explanation: {explanation.graph} "
@@ -297,6 +305,12 @@ def explain_markdown(
                 f"- {recovery['recovered_skips']} recovered skips, "
                 f"{recovery['plan_swaps']} plan swaps",
             ]
+    if memscope is not None:
+        # The memscope report carries its own "# " heading; demote it so
+        # the combined document keeps a single top-level title.
+        section = memscope.to_markdown(top=top)
+        section = section.replace("\n## ", "\n### ")
+        lines += ["", section.replace("# Memscope:", "## Memscope:", 1)]
     return "\n".join(lines)
 
 

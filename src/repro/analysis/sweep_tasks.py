@@ -338,6 +338,63 @@ class ReplanTaskSpec:
     cache_dir: str | None = None
 
 
+# -- memscope --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MemscopeTaskSpec:
+    """One memscope-instrumented run, by name.
+
+    Registry names plus scalars only, so the spec pickles to every
+    backend; the executor returns a plain dict whose ``timeline_digest``
+    and ``report_digest`` are content hashes of the shadow pool's
+    address-space timeline and the full report — byte-identical digests
+    across serial, thread and process backends are the memscope
+    determinism contract.
+    """
+
+    model: str
+    policy: str
+    batch: int
+    gpu: GPUSpec
+    capacity_frac: float = 1.0
+    strategy: str = "best_fit"
+    param_scale: float = 1.0
+    overrides: tuple = ()
+    cache_dir: str | None = None
+
+
+def run_memscope_point(
+    spec: MemscopeTaskSpec, cache: CompileCache | None = None,
+) -> dict:
+    """Execute one memscope point and hash its artifacts."""
+    from repro.analysis.memscope import run_memscope
+
+    cache = _cache_or_worker(cache, spec.cache_dir)
+    run = run_memscope(
+        spec.model, spec.policy, spec.gpu, spec.batch,
+        param_scale=spec.param_scale, capacity_frac=spec.capacity_frac,
+        strategy=spec.strategy, cache=cache, **dict(spec.overrides),
+    )
+    report = run.report
+    postmortem = run.observer.postmortem
+    return {
+        "model": spec.model,
+        "policy": spec.policy,
+        "batch": spec.batch,
+        "capacity_frac": spec.capacity_frac,
+        "strategy": spec.strategy,
+        "feasible": report.feasible,
+        "peak_memory": report.peak_memory,
+        "records": len(report.timeline.records),
+        "classification": (
+            postmortem.classification if postmortem is not None else ""
+        ),
+        "timeline_digest": report.timeline.digest(),
+        "report_digest": report.digest(),
+    }
+
+
 def run_replan_point(
     spec: ReplanTaskSpec, cache: CompileCache | None = None,
 ) -> dict:

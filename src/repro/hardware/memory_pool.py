@@ -33,13 +33,22 @@ def _align(nbytes: int) -> int:
 
 @dataclass
 class PoolStats:
-    """Counters accumulated over a pool's lifetime."""
+    """Counters accumulated over a pool's lifetime.
+
+    ``largest_free_block`` and ``free_block_count`` mirror the pool's
+    free-list shape as of the *most recent* alloc/free attempt —
+    including failed allocations, so an OOM report can state the
+    free-space structure at the failure instant, not as of the last
+    successful event.
+    """
 
     alloc_count: int = 0
     free_count: int = 0
     failed_allocs: int = 0
     peak_used: int = 0
     bytes_allocated_total: int = 0
+    largest_free_block: int = 0
+    free_block_count: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -48,7 +57,155 @@ class PoolStats:
             "failed_allocs": self.failed_allocs,
             "peak_used": self.peak_used,
             "bytes_allocated_total": self.bytes_allocated_total,
+            "largest_free_block": self.largest_free_block,
+            "free_block_count": self.free_block_count,
         }
+
+
+@dataclass(frozen=True)
+class PoolSnapshot:
+    """The pool's free-space structure at one instant.
+
+    ``free_block_histogram`` buckets the free blocks by size in
+    powers-of-two of :data:`ALIGNMENT`-aligned bytes: entry ``i`` counts
+    blocks with ``2**i KiB <= size < 2**(i+1) KiB`` (entry 0 holds
+    everything below 2 KiB).
+    """
+
+    time: float
+    used_bytes: int
+    free_bytes: int
+    largest_free_block: int
+    free_block_count: int
+    fragmentation: float
+    free_block_histogram: tuple[int, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "used_bytes": self.used_bytes,
+            "free_bytes": self.free_bytes,
+            "largest_free_block": self.largest_free_block,
+            "free_block_count": self.free_block_count,
+            "fragmentation": self.fragmentation,
+            "free_block_histogram": list(self.free_block_histogram),
+        }
+
+
+@dataclass
+class AllocationRecord:
+    """Provenance of one pool allocation: who, where, and when.
+
+    ``death`` stays ``None`` while the allocation is live; ``offset`` is
+    the concrete address within the pool's address space. ``nbytes`` is
+    the requested size, ``size`` the :data:`ALIGNMENT`-rounded span the
+    allocation actually occupies.
+    """
+
+    handle: int
+    label: str
+    offset: int
+    size: int
+    nbytes: int
+    birth: float
+    death: float | None = None
+    instr: str = ""
+
+    @property
+    def live(self) -> bool:
+        return self.death is None
+
+    def to_dict(self) -> dict:
+        return {
+            "handle": self.handle,
+            "label": self.label,
+            "offset": self.offset,
+            "size": self.size,
+            "nbytes": self.nbytes,
+            "birth": self.birth,
+            "death": self.death,
+            "instr": self.instr,
+        }
+
+
+class PoolRecorder:
+    """Accumulates per-allocation provenance and per-event snapshots.
+
+    Attach to a :class:`MemoryPool` (``pool.recorder = PoolRecorder()``)
+    and every subsequent ``alloc``/``free`` appends an
+    :class:`AllocationRecord` / closes one, plus a :class:`PoolSnapshot`
+    of the free-space structure after the event. Failed allocations
+    record a snapshot too — the forensically interesting instant.
+
+    With no recorder attached the pool pays one ``is not None`` check
+    per event and nothing else.
+    """
+
+    __slots__ = ("records", "snapshots", "failures", "_by_handle",
+                 "snapshot_every", "_events")
+
+    def __init__(self, snapshot_every: int = 1) -> None:
+        #: Every allocation ever made, in birth order.
+        self.records: list[AllocationRecord] = []
+        #: Free-space structure after each recorded event.
+        self.snapshots: list[PoolSnapshot] = []
+        #: ``(time, label, requested bytes)`` of failed allocations.
+        self.failures: list[tuple[float, str, int]] = []
+        self._by_handle: dict[int, AllocationRecord] = {}
+        #: Snapshot cadence: 1 records the structure after every event;
+        #: larger values thin the snapshot stream (records are always
+        #: complete).
+        self.snapshot_every = max(1, snapshot_every)
+        self._events = 0
+
+    def live_records(self) -> list[AllocationRecord]:
+        """Records whose allocation is still live, in birth order."""
+        return [r for r in self.records if r.death is None]
+
+    def record(self, handle: int) -> AllocationRecord | None:
+        """The (live or dead) record for a pool handle, if any."""
+        return self._by_handle.get(handle)
+
+    # -- hooks driven by MemoryPool -------------------------------------------
+
+    def on_alloc(
+        self, pool: "MemoryPool", handle: int, offset: int, size: int,
+        nbytes: int, label: str, time: float, instr: str,
+    ) -> None:
+        """Open a provenance record for a fresh allocation."""
+        record = AllocationRecord(
+            handle=handle, label=label, offset=offset, size=size,
+            nbytes=nbytes, birth=time, instr=instr,
+        )
+        self.records.append(record)
+        self._by_handle[handle] = record
+        self._snapshot(pool, time)
+
+    def on_free(self, pool: "MemoryPool", handle: int, time: float) -> None:
+        """Stamp the handle's record dead at ``time``."""
+        record = self._by_handle.get(handle)
+        if record is not None:
+            record.death = time
+        self._snapshot(pool, time)
+
+    def on_fail(
+        self, pool: "MemoryPool", nbytes: int, label: str, time: float,
+    ) -> None:
+        """Log a failed allocation and always snapshot the instant."""
+        self.failures.append((time, label, nbytes))
+        self.snapshots.append(pool.snapshot(time))
+
+    def on_reset(self, pool: "MemoryPool", time: float) -> None:
+        """Close every live record at ``time`` and snapshot the wipe."""
+        for record in self.records:
+            if record.death is None:
+                record.death = time
+        self.snapshots.append(pool.snapshot(time))
+
+    def _snapshot(self, pool: "MemoryPool", time: float) -> None:
+        self._events += 1
+        if self._events % self.snapshot_every == 0:
+            self.snapshots.append(pool.snapshot(time))
 
 
 class DeviceMemoryLedger:
@@ -164,6 +321,11 @@ class MemoryPool:
     _allocated: dict[int, _Block] = field(default_factory=dict, repr=False)
     _next_handle: int = 0
     stats: PoolStats = field(default_factory=PoolStats)
+    #: Optional provenance recorder (:class:`PoolRecorder`); ``None``
+    #: keeps alloc/free at one extra ``is not None`` check per event.
+    recorder: PoolRecorder | None = field(
+        default=None, repr=False, compare=False,
+    )
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -189,7 +351,12 @@ class MemoryPool:
         return max((b.size for b in self._free), default=0)
 
     def fragmentation(self) -> float:
-        """1 - largest_free / total_free; 0 means perfectly coalesced."""
+        """1 - largest_free / total_free; 0 means perfectly coalesced.
+
+        A pool with no free bytes at all (fully allocated *or* empty
+        with zero free space) has no holes to fragment, so the result is
+        0.0 — never a division by zero.
+        """
         free = self.free_bytes
         if free == 0:
             return 0.0
@@ -198,10 +365,58 @@ class MemoryPool:
     def can_alloc(self, nbytes: int) -> bool:
         return self.largest_free_block >= _align(nbytes)
 
+    def free_blocks(self) -> tuple[tuple[int, int], ...]:
+        """The free list as ``(offset, size)`` pairs, address-ordered."""
+        return tuple((b.offset, b.size) for b in self._free)
+
+    def allocated_blocks(self) -> tuple[tuple[int, int, int], ...]:
+        """Live allocations as ``(offset, size, handle)``, address-ordered."""
+        return tuple(sorted(
+            (b.offset, b.size, handle)
+            for handle, b in self._allocated.items()
+        ))
+
+    def free_block_histogram(self) -> tuple[int, ...]:
+        """Free-block counts bucketed by ``floor(log2(size in KiB))``."""
+        if not self._free:
+            return ()
+        buckets: dict[int, int] = {}
+        top = 0
+        for block in self._free:
+            index = max(0, (block.size // 1024).bit_length() - 1)
+            buckets[index] = buckets.get(index, 0) + 1
+            top = max(top, index)
+        return tuple(buckets.get(i, 0) for i in range(top + 1))
+
+    def snapshot(self, time: float = 0.0) -> PoolSnapshot:
+        """The free-space structure at this instant as a value object."""
+        return PoolSnapshot(
+            time=time,
+            used_bytes=self.used_bytes,
+            free_bytes=self.free_bytes,
+            largest_free_block=self.largest_free_block,
+            free_block_count=len(self._free),
+            fragmentation=self.fragmentation(),
+            free_block_histogram=self.free_block_histogram(),
+        )
+
+    def _update_shape_stats(self) -> None:
+        """Mirror the free-list shape into the lifetime stats."""
+        self.stats.largest_free_block = self.largest_free_block
+        self.stats.free_block_count = len(self._free)
+
     # -- allocation --------------------------------------------------------------
 
-    def alloc(self, nbytes: int) -> int:
+    def alloc(
+        self, nbytes: int, *, label: str = "", time: float = 0.0,
+        instr: str = "",
+    ) -> int:
         """Allocate ``nbytes``; returns an opaque handle.
+
+        ``label``, ``time`` and ``instr`` are provenance-only: they are
+        recorded when a :class:`PoolRecorder` is attached (owning
+        tensor, event-clock birth time, requesting instruction) and
+        ignored otherwise.
 
         Raises
         ------
@@ -215,6 +430,9 @@ class MemoryPool:
         index = self._pick_block(size)
         if index is None:
             self.stats.failed_allocs += 1
+            self._update_shape_stats()
+            if self.recorder is not None:
+                self.recorder.on_fail(self, nbytes, label, time)
             raise OutOfMemoryError(
                 requested=size,
                 available=self.largest_free_block,
@@ -240,9 +458,14 @@ class MemoryPool:
         self.stats.alloc_count += 1
         self.stats.bytes_allocated_total += size
         self.stats.peak_used = max(self.stats.peak_used, self.used_bytes)
+        self._update_shape_stats()
+        if self.recorder is not None:
+            self.recorder.on_alloc(
+                self, handle, offset, size, nbytes, label, time, instr,
+            )
         return handle
 
-    def free(self, handle: int) -> None:
+    def free(self, handle: int, *, time: float = 0.0) -> None:
         """Release an allocation and coalesce with adjacent free blocks."""
         try:
             block = self._allocated.pop(handle)
@@ -250,6 +473,9 @@ class MemoryPool:
             raise AllocationError(f"unknown or double-freed handle {handle}") from None
         self.stats.free_count += 1
         self._insert_free(block)
+        self._update_shape_stats()
+        if self.recorder is not None:
+            self.recorder.on_free(self, handle, time)
 
     def _pick_block(self, size: int) -> int | None:
         """Index into the free list per the placement strategy."""
@@ -300,7 +526,15 @@ class MemoryPool:
             free[lo - 1].size += block.size
             del free[lo]
 
-    def reset(self) -> None:
-        """Free everything (end of iteration); stats are preserved."""
+    def reset(self, *, time: float = 0.0) -> None:
+        """Free everything (end of iteration); stats are preserved.
+
+        With a recorder attached, every live allocation's provenance
+        record is closed at ``time`` so ``live_records()`` never reports
+        allocations the pool has already discarded.
+        """
         self._allocated.clear()
         self._free = [_Block(0, self.capacity)]
+        self._update_shape_stats()
+        if self.recorder is not None:
+            self.recorder.on_reset(self, time)

@@ -73,6 +73,37 @@ class ClusterTrace:
             return 0.0
         return sum(trace.batch for trace in self.ranks) / self.makespan
 
+    def describe(self) -> str:
+        """One-line cluster summary plus one line per rank.
+
+        The cluster counterpart of :meth:`~repro.runtime.trace.
+        ExecutionTrace.describe`: makespan, aggregate throughput, and
+        each rank's peak memory / communication busy time / collective
+        payload, so multi-rank reports (``repro memscope --world N``)
+        don't have to re-derive the aggregates.
+        """
+        from repro.units import format_bytes, format_time
+
+        lines = [
+            f"{self.name}: {self.world_size} rank(s), makespan "
+            f"{format_time(self.makespan)} "
+            f"({self.throughput:.1f} samples/s), peak "
+            f"{format_bytes(self.peak_memory)}",
+        ]
+        for rank, trace in enumerate(self.ranks):
+            comm = self.comm_busy[rank] if rank < len(self.comm_busy) else 0.0
+            nbytes = (
+                self.collective_bytes[rank]
+                if rank < len(self.collective_bytes) else 0
+            )
+            lines.append(
+                f"  rank {rank}: peak "
+                f"{format_bytes(trace.peak_memory):>10s}, comm "
+                f"{format_time(comm)}, collective {format_bytes(nbytes)}, "
+                f"stall {format_time(trace.memory_stall)}"
+            )
+        return "\n".join(lines)
+
 
 class ClusterEngine:
     """Executes one program per rank against a simulated cluster."""

@@ -664,6 +664,7 @@ class _Run:
             recovered_skips=self.recovered_skips,
             plan_swaps=self.plan_swaps,
             fault_events=tracer.fault_events if tracer else [],
+            stall_events=tracer.stall_events if tracer else [],
         )
         for observer in self.observers:
             observer.on_run_end(trace)
@@ -1153,7 +1154,7 @@ class _Run:
             self.host_used += instr.ref.nbytes
             self.host_peak = max(self.host_peak, self.host_used)
             if self.host_used > self.gpu.host_memory_bytes:
-                raise OutOfMemoryError(
+                error = OutOfMemoryError(
                     requested=instr.ref.nbytes,
                     available=self.gpu.host_memory_bytes - self.host_used
                     + instr.ref.nbytes,
@@ -1165,6 +1166,14 @@ class _Run:
                         f"{self.gpu.host_memory_bytes} B host RAM)"
                     ),
                 )
+                # Host OOMs are as terminal as device OOMs; observers
+                # (and memscope's postmortem) must hear about both.
+                for observer in self.observers:
+                    observer.on_oom(
+                        event.time, f"swap_out({instr.ref.label})",
+                        error.requested, error.available,
+                    )
+                raise error
         self.host_copy[key] = event.time
         self.swapped_out += instr.ref.nbytes
         self._notify_instr(

@@ -125,6 +125,7 @@ class TraceObserver(EngineObserver):
         self.samples: list[MemorySample] = []
         self.alloc_events: list[tuple[float, str, int]] = []
         self.fault_events: list[tuple[float, str, str, int]] = []
+        self.stall_events: list[tuple[float, str, float]] = []
 
     def on_instr_end(
         self, label: str, kind: str, stream: str, start: float, end: float,
@@ -150,6 +151,10 @@ class TraceObserver(EngineObserver):
         if nbytes:
             self.alloc_events.append((time, label, -nbytes))
         self.samples.append(MemorySample(time, used))
+
+    def on_stall_end(self, time: float, label: str, stalled: float) -> None:
+        """Log one completed memory stall."""
+        self.stall_events.append((time, label, stalled))
 
     def on_fault(
         self, time: float, kind: str, label: str, nbytes: int = 0,

@@ -97,6 +97,13 @@ class ExecutionTrace:
     fault_events: list[tuple[float, str, str, int]] = field(
         default_factory=list,
     )
+    #: Chronological ``(end_time, label, stalled_seconds)`` memory-stall
+    #: log, recorded when tracing is on; ``end_time - stalled_seconds``
+    #: is when the allocation began waiting. Memscope attributes stall
+    #: time to resident tensors from this log.
+    stall_events: list[tuple[float, str, float]] = field(
+        default_factory=list,
+    )
 
     @property
     def throughput(self) -> float:

@@ -79,6 +79,37 @@ def merge_traces(*sources, names: list[str] | None = None) -> dict:
     return {"traceEvents": merged, "displayTimeUnit": "ms"}
 
 
+def counter_track_events(
+    name: str,
+    points: list[tuple[float, dict]] | list[tuple[float, int]],
+    *,
+    pid: int = 0,
+    process_name: str | None = None,
+) -> list[dict]:
+    """Build a Chrome counter ("C") track from ``(time, value)`` points.
+
+    ``points`` holds ``(seconds, value)`` pairs where ``value`` is either
+    a number (emitted under the series key ``"value"``) or a dict of
+    series-name -> number, letting one track stack several series (as
+    Perfetto renders multi-series counters). Includes a ``process_name``
+    metadata event when requested so the track is labelled without the
+    caller having to remember the "M"-event incantation.
+    """
+    events: list[dict] = []
+    if process_name is not None:
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid,
+            "args": {"name": process_name},
+        })
+    for time, value in points:
+        args = value if isinstance(value, dict) else {"value": value}
+        events.append({
+            "ph": "C", "name": name, "pid": pid,
+            "ts": time * 1e6, "args": args,
+        })
+    return events
+
+
 def write_trace(path, payload: dict) -> None:
     """Write a merged trace payload as JSON to ``path``."""
     with open(path, "w", encoding="utf-8") as handle:

@@ -146,6 +146,60 @@ class TestFailureReporting:
         assert not result.succeeded
         assert result.failed_at == "<persistent region>"
 
+    def test_shape_stats_at_fragmentation_failure(self):
+        # Same alternating-free layout as above: at the failure instant
+        # the pool holds two 256 B holes, and the result must carry that
+        # exact free-list shape (not the post-mortem or initial one).
+        trace = synthetic_trace([
+            (0.0, "a", 256),
+            (1.0, "b", 256),
+            (2.0, "c", 256),
+            (3.0, "d", 256),
+            (4.0, "a", -256),
+            (5.0, "c", -256),
+            (6.0, "big", 512),
+        ])
+        result = replay_allocations(trace, 1024)
+        assert not result.succeeded
+        assert result.largest_free_block == 256
+        assert result.free_block_count == 2
+
+    def test_shape_stats_at_persistent_failure(self):
+        trace = synthetic_trace([], persistent=2048)
+        result = replay_allocations(trace, 1024)
+        assert not result.succeeded
+        # The whole (untouched) pool is one capacity-sized block.
+        assert result.largest_free_block == 1024
+        assert result.free_block_count == 1
+
+    def test_same_instant_alloc_before_free_counts_both(self):
+        # A zero-duration op allocates its output at the same instant
+        # its input's release lands, with the alloc recorded first —
+        # both buffers are resident while the kernel runs, so the
+        # replayed peak must count them together. A frees-first re-sort
+        # at equal timestamps would understate this (the bug hypothesis
+        # found on a fault-recovery trace).
+        trace = synthetic_trace([
+            (0.0, "in", 512),
+            (1.0, "out", 512),
+            (1.0, "in", -512),
+        ])
+        assert chronological_peak(trace) == 1024
+        result = replay_allocations(trace, 1024)
+        assert result.succeeded
+        assert result.peak_used == 1024
+
+    def test_shape_stats_on_success(self):
+        trace = synthetic_trace([
+            (0.0, "a", 256),
+            (1.0, "a", -256),
+        ])
+        result = replay_allocations(trace, 1024)
+        assert result.succeeded
+        # Final state: everything freed and coalesced back to one block.
+        assert result.largest_free_block == 1024
+        assert result.free_block_count == 1
+
 
 class TestReplayVsLedger:
     def test_replay_peak_bounds_ledger_peak_every_strategy(self):

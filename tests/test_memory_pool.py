@@ -8,6 +8,8 @@ from repro.hardware.memory_pool import (
     ALIGNMENT,
     SEGREGATION_THRESHOLD,
     MemoryPool,
+    PoolRecorder,
+    _align,
 )
 from repro.units import KB, MB
 
@@ -215,3 +217,119 @@ def test_pool_invariants_under_random_workload(ops, strategy):
         pool.free(handle)
     assert pool.used_bytes == 0
     assert pool.largest_free_block == pool.capacity
+
+
+class TestFreePathAccounting:
+    """Regression coverage for the free-path / shape-stat audit."""
+
+    def test_empty_pool_fragmentation_is_zero(self):
+        pool = MemoryPool(capacity=MB)
+        assert pool.fragmentation() == 0.0
+        assert pool.largest_free_block == MB
+        assert pool.free_bytes == MB
+
+    def test_full_pool_fragmentation_is_zero(self):
+        pool = MemoryPool(capacity=MB)
+        pool.alloc(MB)
+        assert pool.free_bytes == 0
+        assert pool.largest_free_block == 0
+        assert pool.fragmentation() == 0.0  # no holes, not a div-by-zero
+
+    def test_free_list_sum_matches_free_bytes(self):
+        pool = MemoryPool(capacity=MB)
+        handles = [pool.alloc(50 * KB) for _ in range(6)]
+        for handle in handles[::2]:
+            pool.free(handle)
+        assert sum(size for _, size in pool.free_blocks()) == pool.free_bytes
+        assert pool.stats.largest_free_block == pool.largest_free_block
+        assert pool.stats.free_block_count == len(pool.free_blocks())
+
+    def test_segregated_threshold_boundary(self):
+        # Exactly at the threshold an allocation is "large" (best fit,
+        # low addresses); one byte below it is "small" (carved from the
+        # top of the highest hole).
+        pool = MemoryPool(
+            capacity=SEGREGATION_THRESHOLD * 4, strategy="segregated",
+        )
+        large = pool.alloc(SEGREGATION_THRESHOLD)
+        small = pool.alloc(SEGREGATION_THRESHOLD - ALIGNMENT)
+        blocks = {h: (off, size) for off, size, h in pool.allocated_blocks()}
+        assert blocks[large][0] == 0
+        assert blocks[small][0] + blocks[small][1] == pool.capacity
+        pool.free(large)
+        pool.free(small)
+        assert pool.largest_free_block == pool.capacity
+        assert pool.fragmentation() == 0.0
+
+    def test_shape_stats_track_failed_alloc(self):
+        pool = MemoryPool(capacity=256 * KB)
+        keep = pool.alloc(64 * KB)
+        hole_maker = pool.alloc(64 * KB)
+        pool.alloc(64 * KB)
+        pool.free(hole_maker)
+        with pytest.raises(OutOfMemoryError):
+            pool.alloc(128 * KB)
+        # Stats mirror the free-list shape at the failure instant.
+        assert pool.stats.failed_allocs == 1
+        assert pool.stats.largest_free_block == pool.largest_free_block
+        assert pool.stats.free_block_count == len(pool.free_blocks())
+        assert pool.stats.free_block_count == 2  # the hole + the tail
+        pool.free(keep)
+
+    def test_shape_stats_follow_reset(self):
+        pool = MemoryPool(capacity=MB)
+        pool.alloc(KB)
+        pool.alloc(KB)
+        pool.reset()
+        assert pool.stats.largest_free_block == MB
+        assert pool.stats.free_block_count == 1
+
+
+class TestPoolRecorder:
+    def test_records_and_death_stamping(self):
+        pool = MemoryPool(capacity=MB)
+        pool.recorder = PoolRecorder()
+        a = pool.alloc(KB, label="a", time=1.0, instr="op1")
+        b = pool.alloc(2 * KB, label="b", time=2.0)
+        pool.free(a, time=3.0)
+        records = pool.recorder.records
+        assert [r.label for r in records] == ["a", "b"]
+        assert records[0].death == 3.0
+        assert records[0].instr == "op1"
+        assert records[0].nbytes == KB
+        assert records[0].size == _align(KB)
+        assert [r.label for r in pool.recorder.live_records()] == ["b"]
+        assert pool.recorder.record(b).live
+
+    def test_failure_and_snapshot_stream(self):
+        pool = MemoryPool(capacity=64 * KB)
+        pool.recorder = PoolRecorder()
+        pool.alloc(32 * KB, label="x", time=1.0)
+        with pytest.raises(OutOfMemoryError):
+            pool.alloc(MB, label="too-big", time=2.0)
+        assert pool.recorder.failures == [(2.0, "too-big", MB)]
+        # One snapshot per event: the alloc and the failure.
+        assert len(pool.recorder.snapshots) == 2
+        failure_snap = pool.recorder.snapshots[-1]
+        assert failure_snap.largest_free_block == pool.largest_free_block
+        assert failure_snap.free_block_count == len(pool.free_blocks())
+
+    def test_snapshot_cadence_thins_stream(self):
+        pool = MemoryPool(capacity=MB)
+        pool.recorder = PoolRecorder(snapshot_every=3)
+        handles = [pool.alloc(KB, time=float(i)) for i in range(6)]
+        for i, handle in enumerate(handles):
+            pool.free(handle, time=10.0 + i)
+        # 12 events at cadence 3 -> 4 snapshots; records stay complete.
+        assert len(pool.recorder.snapshots) == 4
+        assert len(pool.recorder.records) == 6
+
+    def test_reset_closes_live_records(self):
+        pool = MemoryPool(capacity=MB)
+        pool.recorder = PoolRecorder()
+        pool.alloc(KB, label="a", time=1.0)
+        pool.alloc(KB, label="b", time=2.0)
+        pool.reset(time=5.0)
+        assert pool.recorder.live_records() == []
+        assert all(r.death == 5.0 for r in pool.recorder.records)
+        assert pool.recorder.snapshots[-1].used_bytes == 0
