@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import AllocationError, OutOfMemoryError
-from repro.hardware.memory_pool import MemoryPool
+from repro.hardware.memory_pool import PERSISTENT_LABEL, MemoryPool
 from repro.runtime.trace import ExecutionTrace
 
 
@@ -39,6 +39,18 @@ class ReplayResult:
     (the forensically relevant state: a large ``free_block_count`` with
     a small ``largest_free_block`` means the failure was fragmentation,
     not capacity), and at the end of the stream otherwise.
+
+    The ``max_fragmentation_time`` / ``frag_*`` fields freeze the
+    free-space shape at the *time-of-max-fragmentation* instant — also
+    on non-failing runs, so bench tables and postmortems can compare
+    strategies that never OOMed (failure-instant stats alone say
+    nothing about a replay that survived).
+
+    ``peak_extent`` is the high-watermark address the placement
+    actually touched (``max(offset + size)``); under the ``"planned"``
+    strategy it reproduces the address plan's ``packed_peak``
+    byte-for-byte when every allocation hit its planned slot
+    (``plan_misses == 0``).
     """
 
     strategy: str
@@ -49,6 +61,13 @@ class ReplayResult:
     alloc_count: int = 0
     largest_free_block: int = 0
     free_block_count: int = 0
+    max_fragmentation_time: float = 0.0
+    frag_largest_free_block: int = 0
+    frag_free_block_count: int = 0
+    frag_free_bytes: int = 0
+    peak_extent: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
 
 
 def chronological_peak(trace: ExecutionTrace) -> int:
@@ -79,6 +98,7 @@ def replay_allocations(
     capacity: int,
     *,
     strategy: str = "best_fit",
+    plan=None,
 ) -> ReplayResult:
     """Replay a trace's alloc/free events through a pool.
 
@@ -95,13 +115,34 @@ def replay_allocations(
     label's live handles, falling back to FIFO only when no size
     matches; freeing per-label FIFO regardless of size would release the
     wrong block and silently diverge the pool from the ledger.
+
+    ``plan`` threads an :class:`~repro.planner.address_plan.AddressPlan`
+    into the pool — required by (and only meaningful under) the
+    ``"planned"`` strategy.
     """
     events = trace.alloc_events
-    pool = MemoryPool(capacity=capacity, strategy=strategy)
+    pool = MemoryPool(capacity=capacity, strategy=strategy, plan=plan)
+    #: Max-fragmentation snapshot: (fragmentation, time, largest free
+    #: block, free block count, free bytes) at the worst instant so far.
+    max_frag = 0.0
+    frag_snapshot = (0.0, 0, 0, 0)
+
+    def watch_fragmentation(time: float) -> None:
+        nonlocal max_frag, frag_snapshot
+        frag = pool.fragmentation()
+        if frag > max_frag:
+            max_frag = frag
+            frag_snapshot = (
+                time, pool.largest_free_block, len(pool.free_blocks()),
+                pool.free_bytes,
+            )
+
     persistent_handle = None
     if trace.persistent_bytes:
         try:
-            persistent_handle = pool.alloc(trace.persistent_bytes)
+            persistent_handle = pool.alloc(
+                trace.persistent_bytes, label=PERSISTENT_LABEL, time=0.0,
+            )
         except OutOfMemoryError:
             return ReplayResult(
                 strategy=strategy, succeeded=False,
@@ -111,11 +152,10 @@ def replay_allocations(
             )
     #: label -> live (handle, requested bytes) pairs, oldest first.
     handles: dict[str, list[tuple[int, int]]] = {}
-    max_frag = 0.0
-    for _, label, nbytes in events:
+    for time, label, nbytes in events:
         if nbytes > 0:
             try:
-                handle = pool.alloc(nbytes)
+                handle = pool.alloc(nbytes, label=label, time=time)
             except OutOfMemoryError:
                 # Fragmentation at the failure instant, not as of the
                 # last successful event — an OOM caused by external
@@ -131,6 +171,13 @@ def replay_allocations(
                     alloc_count=pool.stats.alloc_count,
                     largest_free_block=pool.stats.largest_free_block,
                     free_block_count=pool.stats.free_block_count,
+                    max_fragmentation_time=frag_snapshot[0],
+                    frag_largest_free_block=frag_snapshot[1],
+                    frag_free_block_count=frag_snapshot[2],
+                    frag_free_bytes=frag_snapshot[3],
+                    peak_extent=pool.stats.peak_extent,
+                    plan_hits=pool.stats.plan_hits,
+                    plan_misses=pool.stats.plan_misses,
                 )
             handles.setdefault(label, []).append((handle, nbytes))
         else:
@@ -143,10 +190,10 @@ def replay_allocations(
                 )
                 handle, _ = pending.pop(index)
                 try:
-                    pool.free(handle)
+                    pool.free(handle, time=time)
                 except AllocationError:  # pragma: no cover - defensive
                     pass
-        max_frag = max(max_frag, pool.fragmentation())
+        watch_fragmentation(time)
     assert persistent_handle is None or persistent_handle >= 0
     return ReplayResult(
         strategy=strategy,
@@ -156,4 +203,11 @@ def replay_allocations(
         alloc_count=pool.stats.alloc_count,
         largest_free_block=pool.stats.largest_free_block,
         free_block_count=pool.stats.free_block_count,
+        max_fragmentation_time=frag_snapshot[0],
+        frag_largest_free_block=frag_snapshot[1],
+        frag_free_block_count=frag_snapshot[2],
+        frag_free_bytes=frag_snapshot[3],
+        peak_extent=pool.stats.peak_extent,
+        plan_hits=pool.stats.plan_hits,
+        plan_misses=pool.stats.plan_misses,
     )

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import AllocationError, OutOfMemoryError
 from repro.hardware.memory_pool import (
+    PERSISTENT_LABEL,
     AllocationRecord,
     MemoryPool,
     PoolRecorder,
@@ -53,9 +54,9 @@ from repro.runtime.observers import EngineObserver
 from repro.runtime.trace import ExecutionTrace
 from repro.units import format_bytes, format_time
 
-#: Label of the shadow pool's pre-allocated persistent region (weights,
-#: optimizer state, inputs). Protected from eviction-set proposals.
-PERSISTENT_LABEL = "<persistent>"
+# ``PERSISTENT_LABEL`` lives in ``repro.hardware.memory_pool`` (the
+# address planner needs it without importing analysis code) and stays
+# re-exported here for existing importers.
 
 #: Address bands the Perfetto export groups allocation slices into.
 _ADDR_BANDS = 16
@@ -375,6 +376,7 @@ class AddressSpaceTimeline:
         *,
         strategy: str = "best_fit",
         snapshot_every: int = 1,
+        plan=None,
     ) -> "AddressSpaceTimeline":
         """Rebuild a timeline offline from a traced run's allocation log.
 
@@ -382,9 +384,11 @@ class AddressSpaceTimeline:
         recorded order (the log is the engine's exact dispatch order, so
         re-sorting would shift same-timestamp placements); placement
         failures during replay are tolerated — the offending allocation
-        simply gets no rectangle.
+        simply gets no rectangle. ``plan`` threads an
+        :class:`~repro.planner.address_plan.AddressPlan` into the
+        shadow pool for the ``"planned"`` strategy.
         """
-        pool = MemoryPool(capacity=capacity, strategy=strategy)
+        pool = MemoryPool(capacity=capacity, strategy=strategy, plan=plan)
         recorder = PoolRecorder(snapshot_every=snapshot_every)
         pool.recorder = recorder
         handles: dict[str, list[tuple[int, int]]] = {}
@@ -670,10 +674,14 @@ class MemscopeObserver(EngineObserver):
         capacity: int | None = None,
         strategy: str = "best_fit",
         snapshot_every: int = 1,
+        plan=None,
     ) -> None:
         self._capacity_override = capacity
         self.strategy = strategy
         self.snapshot_every = snapshot_every
+        #: Address plan threaded into the shadow pool (``"planned"``
+        #: strategy); lets memscope audit a planned placement live.
+        self.plan = plan
         self._reset()
 
     def _reset(self) -> None:
@@ -717,7 +725,7 @@ class MemscopeObserver(EngineObserver):
 
     def _open_pool(self) -> None:
         self.pool = MemoryPool(
-            capacity=self.capacity, strategy=self.strategy,
+            capacity=self.capacity, strategy=self.strategy, plan=self.plan,
         )
         self.recorder = PoolRecorder(snapshot_every=self.snapshot_every)
         self.pool.recorder = self.recorder

@@ -11,14 +11,20 @@ and fragmentation statistics.
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import dataclass, field
 
 from repro.errors import AllocationError, OutOfMemoryError
 
-_STRATEGIES = ("best_fit", "first_fit", "worst_fit", "segregated")
+_STRATEGIES = ("best_fit", "first_fit", "worst_fit", "segregated", "planned")
 
 #: Allocation granularity; real pools round to 256-byte aligned chunks.
 ALIGNMENT = 256
+
+#: Label of the pre-allocated persistent region (weights, optimizer
+#: state, inputs). Shared by the allocator replay, memscope's shadow
+#: pool and the address planner so planned streams line up.
+PERSISTENT_LABEL = "<persistent>"
 
 #: "segregated" strategy: allocations below this size are carved from
 #: the *top* of the highest free block, keeping micro-tensors away from
@@ -49,6 +55,13 @@ class PoolStats:
     bytes_allocated_total: int = 0
     largest_free_block: int = 0
     free_block_count: int = 0
+    #: High-watermark address (``max(offset + size)`` over every
+    #: placement) — the address-space extent the run actually needed.
+    peak_extent: int = 0
+    #: ``"planned"`` strategy only: allocations placed at their planned
+    #: offset vs allocations that fell back to best-fit.
+    plan_hits: int = 0
+    plan_misses: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -59,6 +72,9 @@ class PoolStats:
             "bytes_allocated_total": self.bytes_allocated_total,
             "largest_free_block": self.largest_free_block,
             "free_block_count": self.free_block_count,
+            "peak_extent": self.peak_extent,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
         }
 
 
@@ -312,7 +328,20 @@ class MemoryPool:
     capacity:
         Pool size in bytes (the GPU memory handed to the framework).
     strategy:
-        ``"best_fit"`` (paper default), ``"first_fit"`` or ``"worst_fit"``.
+        ``"best_fit"`` (paper default), ``"first_fit"``, ``"worst_fit"``,
+        ``"segregated"``, or ``"planned"`` (requires ``plan``).
+    plan:
+        An :class:`~repro.planner.address_plan.AddressPlan` (duck-typed:
+        anything with ``entries`` carrying ``size``/``label``/``offset``
+        and a ``loop_start``) consumed by the ``"planned"`` strategy. A
+        cursor walks the plan's entries in stream order; each allocation
+        matching the cursor entry (same aligned size and label) is
+        carved at its planned offset in O(log n). Any mismatch — an
+        unplanned allocation such as a fault-recovery refetch, or a
+        planned offset already occupied after an earlier fallback —
+        falls back **loudly** to best-fit placement (one
+        ``RuntimeWarning`` per pool, ``stats.plan_misses`` counted,
+        ``plan_fallbacks`` recorded) without corrupting the pool.
     """
 
     capacity: int
@@ -326,6 +355,13 @@ class MemoryPool:
     recorder: PoolRecorder | None = field(
         default=None, repr=False, compare=False,
     )
+    #: Address plan for the ``"planned"`` strategy (``None`` otherwise).
+    plan: object | None = field(default=None, repr=False, compare=False)
+    #: ``(time, label, nbytes)`` of every planned-strategy fallback.
+    plan_fallbacks: list = field(
+        default_factory=list, repr=False, compare=False,
+    )
+    _plan_cursor: int = field(default=0, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -333,6 +369,10 @@ class MemoryPool:
         if self.strategy not in _STRATEGIES:
             raise AllocationError(
                 f"unknown strategy {self.strategy!r}; expected {_STRATEGIES}"
+            )
+        if self.strategy == "planned" and self.plan is None:
+            raise AllocationError(
+                "strategy 'planned' requires an AddressPlan (plan=...)"
             )
         self._free = [_Block(0, self.capacity)]
 
@@ -375,6 +415,13 @@ class MemoryPool:
             (b.offset, b.size, handle)
             for handle, b in self._allocated.items()
         ))
+
+    def block_offset(self, handle: int) -> int:
+        """Concrete address of a live allocation."""
+        try:
+            return self._allocated[handle].offset
+        except KeyError:
+            raise AllocationError(f"unknown handle {handle}") from None
 
     def free_block_histogram(self) -> tuple[int, ...]:
         """Free-block counts bucketed by ``floor(log2(size in KiB))``."""
@@ -427,37 +474,59 @@ class MemoryPool:
         if nbytes <= 0:
             raise AllocationError(f"non-positive allocation of {nbytes} B")
         size = _align(nbytes)
-        index = self._pick_block(size)
-        if index is None:
-            self.stats.failed_allocs += 1
-            self._update_shape_stats()
-            if self.recorder is not None:
-                self.recorder.on_fail(self, nbytes, label, time)
-            raise OutOfMemoryError(
-                requested=size,
-                available=self.largest_free_block,
-                capacity=self.capacity,
+        offset: int | None = None
+        if self.strategy == "planned":
+            entry = self._next_plan_entry(size, label)
+            if entry is not None and self._carve_at(entry.offset, size):
+                offset = entry.offset
+                self.stats.plan_hits += 1
+            else:
+                # Loud fallback: the request is not the next planned
+                # allocation (stale plan, recovery refetch) or its
+                # planned offset is occupied by an earlier fallback.
+                self.stats.plan_misses += 1
+                self.plan_fallbacks.append((time, label, nbytes))
+                if len(self.plan_fallbacks) == 1:
+                    warnings.warn(
+                        f"planned pool falling back to best-fit for "
+                        f"{label or '<unlabelled>'} ({nbytes} B): "
+                        f"allocation not in the address plan",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+        if offset is None:
+            index = self._pick_block(size)
+            if index is None:
+                self.stats.failed_allocs += 1
+                self._update_shape_stats()
+                if self.recorder is not None:
+                    self.recorder.on_fail(self, nbytes, label, time)
+                raise OutOfMemoryError(
+                    requested=size,
+                    available=self.largest_free_block,
+                    capacity=self.capacity,
+                )
+            block = self._free[index]
+            carve_from_top = (
+                self.strategy == "segregated" and size < SEGREGATION_THRESHOLD
             )
-        block = self._free[index]
-        carve_from_top = (
-            self.strategy == "segregated" and size < SEGREGATION_THRESHOLD
-        )
-        if block.size == size:
-            offset = block.offset
-            del self._free[index]
-        elif carve_from_top:
-            block.size -= size
-            offset = block.offset + block.size
-        else:
-            offset = block.offset
-            block.offset += size
-            block.size -= size
+            if block.size == size:
+                offset = block.offset
+                del self._free[index]
+            elif carve_from_top:
+                block.size -= size
+                offset = block.offset + block.size
+            else:
+                offset = block.offset
+                block.offset += size
+                block.size -= size
         handle = self._next_handle
         self._next_handle += 1
         self._allocated[handle] = _Block(offset, size)
         self.stats.alloc_count += 1
         self.stats.bytes_allocated_total += size
         self.stats.peak_used = max(self.stats.peak_used, self.used_bytes)
+        self.stats.peak_extent = max(self.stats.peak_extent, offset + size)
         self._update_shape_stats()
         if self.recorder is not None:
             self.recorder.on_alloc(
@@ -477,8 +546,75 @@ class MemoryPool:
         if self.recorder is not None:
             self.recorder.on_free(self, handle, time)
 
+    def _next_plan_entry(self, size: int, label: str):
+        """The plan entry this allocation should land on, or ``None``.
+
+        A cursor walks the plan's entries in stream order; a request
+        matches when its aligned size equals the cursor entry's and the
+        labels agree (an empty label on either side matches anything —
+        callers that do not thread labels still get planned
+        placements). On a match the cursor advances *even if the
+        subsequent carve fails* — the plan slot is consumed either way.
+        An exhausted cursor wraps to ``loop_start`` (past the one-time
+        persistent entry) so multi-iteration streams keep matching.
+        """
+        entries = getattr(self.plan, "entries", ())
+        cursor = self._plan_cursor
+        if cursor >= len(entries):
+            cursor = getattr(self.plan, "loop_start", 0)
+            self._plan_cursor = cursor
+            if cursor >= len(entries):
+                return None
+        entry = entries[cursor]
+        if entry.size == size and (
+            not label or not entry.label or entry.label == label
+        ):
+            self._plan_cursor = cursor + 1
+            return entry
+        return None
+
+    def _carve_at(self, offset: int, size: int) -> bool:
+        """Carve ``[offset, offset + size)`` out of the free list.
+
+        Binary-searches the (offset-sorted) free list for the block
+        containing the range and splits it in place; returns ``False``
+        — leaving the free list untouched — when the range is not
+        entirely free (the planned-strategy fallback trigger).
+        """
+        free = self._free
+        lo, hi = 0, len(free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if free[mid].offset <= offset:
+                lo = mid + 1
+            else:
+                hi = mid
+        index = lo - 1
+        if index < 0:
+            return False
+        block = free[index]
+        if offset + size > block.offset + block.size:
+            return False
+        left = offset - block.offset
+        right = block.offset + block.size - (offset + size)
+        if left and right:
+            block.size = left
+            free.insert(index + 1, _Block(offset + size, right))
+        elif left:
+            block.size = left
+        elif right:
+            block.offset = offset + size
+            block.size = right
+        else:
+            del free[index]
+        return True
+
     def _pick_block(self, size: int) -> int | None:
-        """Index into the free list per the placement strategy."""
+        """Index into the free list per the placement strategy.
+
+        The ``"planned"`` strategy only reaches here on fallback and
+        places like best-fit.
+        """
         if self.strategy == "segregated":
             if size < SEGREGATION_THRESHOLD:
                 # Highest-offset hole that fits: micro-tensors cluster
@@ -488,6 +624,8 @@ class MemoryPool:
                         return index
                 return None
             # Large buffers: best fit among the low holes.
+            strategy = "best_fit"
+        elif self.strategy == "planned":
             strategy = "best_fit"
         else:
             strategy = self.strategy
@@ -535,6 +673,7 @@ class MemoryPool:
         """
         self._allocated.clear()
         self._free = [_Block(0, self.capacity)]
+        self._plan_cursor = 0
         self._update_shape_stats()
         if self.recorder is not None:
             self.recorder.on_reset(self, time)

@@ -22,6 +22,8 @@ from repro.graph.graph import Graph
 from repro.hardware.gpu import GPUSpec
 from repro.pipeline.cache import CompileCache
 from repro.pipeline.stages import (
+    AddressPlanArtifact,
+    AddressPlanStage,
     EvalResult,
     ExecuteArtifact,
     ExecuteStage,
@@ -35,6 +37,7 @@ from repro.pipeline.stages import (
     resolve_policy,
 )
 from repro.pipeline.replan import ReplanConfig, ReplanController, ReplanReport
+from repro.planner.address_plan import plan_stale_reasons
 from repro.policies.base import MemoryPolicy
 from repro.runtime.engine import EngineOptions
 from repro.runtime.observers import EngineObserver
@@ -57,6 +60,11 @@ class CompiledRun:
     lowered: LowerArtifact | None = None
     executed: ExecuteArtifact | None = None
     replan: ReplanReport | None = None
+    #: Offline address plan (``compile_run(address_plan=True)``);
+    #: ``None`` when the stage was not requested or planning failed
+    #: upstream. Stamped ``stale`` post-execution if the run deviated
+    #: from the measured allocation stream.
+    address_plan: AddressPlanArtifact | None = None
 
 
 def compile_run(
@@ -72,6 +80,7 @@ def compile_run(
     iterations: int | None = None,
     faults: FaultConfig | None = None,
     replan: ReplanConfig | bool | None = None,
+    address_plan: bool = False,
 ) -> CompiledRun:
     """Profile, plan, lower and execute one configuration.
 
@@ -98,6 +107,15 @@ def compile_run(
     ``iterations >= 3`` so every swap's measured trial has a later
     boundary to revert at. Without pressure the monitor never triggers
     and the executed stream is byte-identical to the static plan.
+
+    ``address_plan=True`` adds the optional post-Lower
+    :class:`~repro.pipeline.stages.AddressPlanStage`: a clean
+    measurement pass of the lowered program is strip-packed into
+    concrete addresses (``CompiledRun.address_plan``), content-cached
+    by the instruction stream's hash. Purely additive — the executed
+    plan and trace are byte-identical with ``address_plan=False``; the
+    artifact is marked ``stale`` after execution when the run deviated
+    from the measured stream (hot-swaps, emergency recovery).
     """
     policy = resolve_policy(policy)
     profiler = profiler or Profiler(gpu)
@@ -133,6 +151,16 @@ def compile_run(
     options = default_augment_options(policy, augment_options)
     with tracer.span("lower", model=graph.name, policy=policy.name):
         lowered = LowerStage(options).run(graph, plan.plan, profile)
+    address_artifact: AddressPlanArtifact | None = None
+    if address_plan:
+        with tracer.span(
+            "address_plan", model=graph.name, policy=policy.name,
+        ):
+            address_artifact = AddressPlanStage().run(
+                gpu, lowered, cache=cache,
+            )
+        if address_artifact.cached:
+            metrics.counter("pipeline.address_plan.cached").inc()
     replan_config = ReplanConfig.coerce(replan)
     controller = None
     boundary_hook = None
@@ -161,8 +189,18 @@ def compile_run(
             policy=policy.name, feasible=True,
             plan=plan.plan, trace=executed.trace,
         )
+    if address_artifact is not None and executed.feasible:
+        # A cached artifact may be shared across runs — never mutate it.
+        reasons = plan_stale_reasons(executed.trace)
+        if reasons:
+            address_artifact = replace(
+                address_artifact,
+                stale=True, stale_reason="; ".join(reasons),
+            )
+            metrics.counter("pipeline.address_plan.stale").inc()
     return CompiledRun(
         result=result, profile=profile, plan=plan,
         lowered=lowered, executed=executed,
         replan=controller.finalize() if controller is not None else None,
+        address_plan=address_artifact,
     )

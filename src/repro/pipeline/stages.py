@@ -23,12 +23,18 @@ from repro.faults.model import FaultConfig, fault_signature
 from repro.graph.graph import Graph
 from repro.graph.scheduler import dfs_schedule
 from repro.hardware.gpu import GPUSpec
+from repro.hardware.memory_pool import ALIGNMENT
 from repro.pipeline.cache import (
     CompileCache,
     fingerprint,
     gpu_capacity_signature,
     gpu_perf_signature,
     graph_signature,
+)
+from repro.planner.address_plan import (
+    AddressPlan,
+    plan_addresses,
+    program_signature,
 )
 from repro.policies.base import MemoryPolicy, get_policy
 from repro.runtime.engine import Engine, EngineOptions
@@ -91,6 +97,30 @@ class LowerArtifact:
 
     program: AugmentedProgram
     options: AugmentOptions | None = None
+
+
+@dataclass
+class AddressPlanArtifact:
+    """An offline address plan for the lowered program (or its failure).
+
+    ``error`` is set when the clean measurement pass OOMed — there is
+    no stream to pack. ``stale`` is stamped by the pipeline *after*
+    execution when the run deviated from the measured stream (plan
+    hot-swaps, emergency evictions/refetches, recovery skips): the
+    plan's addresses no longer correspond to the executed allocations,
+    and consumers must fall back to an online strategy.
+    """
+
+    key: str
+    plan: AddressPlan | None = None
+    error: str = ""
+    cached: bool = False
+    stale: bool = False
+    stale_reason: str = ""
+
+    @property
+    def feasible(self) -> bool:
+        return self.plan is not None
 
 
 @dataclass
@@ -275,6 +305,61 @@ class LowerStage:
             schedule=profile.schedule, options=self.options,
         )
         return LowerArtifact(program=program, options=self.options)
+
+
+class AddressPlanStage:
+    """Pack the lowered program's allocation stream into addresses.
+
+    An optional post-Lower stage: one *clean* measurement pass (no
+    observers, no faults — the engine is deterministic, so the
+    measured stream is exactly what a fault-free execution allocates)
+    recovers every tensor's birth/death, and
+    :func:`~repro.planner.address_plan.plan_addresses` strip-packs the
+    stream into an :class:`~repro.planner.address_plan.AddressPlan`.
+    Content-addressed by the lowered instruction stream and the device
+    capacity, so sweeps re-plan only when the program changes.
+    """
+
+    def key(self, lowered: LowerArtifact, gpu: GPUSpec) -> str:
+        """Plans depend on the exact instruction stream, the capacity
+        the measurement pass ran against, and the pool alignment."""
+        return fingerprint({
+            "stage": "address_plan",
+            "program": program_signature(lowered.program.program),
+            "capacity": gpu_capacity_signature(gpu),
+            "alignment": ALIGNMENT,
+        })
+
+    def run(
+        self,
+        gpu: GPUSpec,
+        lowered: LowerArtifact,
+        cache: CompileCache | None = None,
+    ) -> AddressPlanArtifact:
+        """Measure + pack, or return the cached plan for this key; a
+        measurement-pass OOM becomes an error artifact, not an
+        exception (the execute stage will report the same failure)."""
+        key = ""
+        if cache is not None:
+            metrics = get_telemetry().metrics
+            with metrics.timer("compile_cache.address_plan.key_seconds").time():
+                key = self.key(lowered, gpu)
+            hit = cache.get(key, kind="address_plan")
+            if hit is not None:
+                return AddressPlanArtifact(
+                    key=key, plan=hit.plan, error=hit.error, cached=True,
+                )
+        try:
+            trace = Engine(gpu).execute(lowered.program.program)
+        except OutOfMemoryError as exc:
+            artifact = AddressPlanArtifact(key=key, error=str(exc))
+        else:
+            artifact = AddressPlanArtifact(
+                key=key, plan=plan_addresses(trace, source_key=key),
+            )
+        if key:
+            cache.put(key, artifact, kind="address_plan")
+        return artifact
 
 
 class ExecuteStage:

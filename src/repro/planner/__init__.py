@@ -1,0 +1,23 @@
+"""Offline allocator planning: concrete addresses ahead of execution."""
+
+from repro.planner.address_plan import (
+    AddressPlan,
+    AllocationInterval,
+    PlannedAlloc,
+    best_fit_extent,
+    extract_intervals,
+    packed_feasible,
+    plan_addresses,
+    program_signature,
+)
+
+__all__ = [
+    "AddressPlan",
+    "AllocationInterval",
+    "PlannedAlloc",
+    "best_fit_extent",
+    "extract_intervals",
+    "packed_feasible",
+    "plan_addresses",
+    "program_signature",
+]

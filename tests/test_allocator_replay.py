@@ -215,3 +215,57 @@ class TestReplayVsLedger:
             )
             assert result.succeeded, strategy
             assert result.peak_used >= ledger_peak, strategy
+
+
+class TestMaxFragmentationSnapshot:
+    """Regression: the time-of-max-fragmentation snapshot must be
+    surfaced for *non-failing* replays too (it used to exist only as a
+    side effect of the failure path), so strategies that survived can
+    still be compared forensically."""
+
+    def fragmented_events(self):
+        # Alternating frees: two 256 B holes at t=5.0 is the worst
+        # free-space shape this stream ever reaches (frag = 0.5).
+        return [
+            (0.0, "a", 256),
+            (1.0, "b", 256),
+            (2.0, "c", 256),
+            (3.0, "d", 256),
+            (4.0, "a", -256),
+            (5.0, "c", -256),
+        ]
+
+    def test_snapshot_surfaced_on_success(self):
+        trace = synthetic_trace(self.fragmented_events())
+        result = replay_allocations(trace, 1024)
+        assert result.succeeded
+        assert result.max_fragmentation == pytest.approx(0.5)
+        assert result.max_fragmentation_time == 5.0
+        assert result.frag_largest_free_block == 256
+        assert result.frag_free_block_count == 2
+        assert result.frag_free_bytes == 512
+
+    def test_snapshot_frozen_at_failure_instant_too(self):
+        trace = synthetic_trace(
+            self.fragmented_events() + [(6.0, "big", 512)],
+        )
+        result = replay_allocations(trace, 1024)
+        assert not result.succeeded
+        assert result.max_fragmentation_time == 5.0
+        assert result.frag_largest_free_block == 256
+        assert result.frag_free_block_count == 2
+        assert result.frag_free_bytes == 512
+
+    def test_unfragmented_run_reports_zero_time(self):
+        trace = synthetic_trace([(1.0, "a", 256), (2.0, "a", -256)])
+        result = replay_allocations(trace, 1024)
+        assert result.succeeded
+        assert result.max_fragmentation == 0.0
+        assert result.max_fragmentation_time == 0.0
+
+    def test_peak_extent_and_plan_counters_default(self):
+        trace = synthetic_trace([(0.0, "a", 256), (1.0, "b", 512)])
+        result = replay_allocations(trace, 4096)
+        assert result.succeeded
+        assert result.peak_extent == 768
+        assert result.plan_hits == 0 and result.plan_misses == 0

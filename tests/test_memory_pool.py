@@ -333,3 +333,126 @@ class TestPoolRecorder:
         assert pool.recorder.live_records() == []
         assert all(r.death == 5.0 for r in pool.recorder.records)
         assert pool.recorder.snapshots[-1].used_bytes == 0
+
+
+class TestPlannedStrategy:
+    """The ``"planned"`` strategy: O(1) plan-directed placement with a
+    loud best-fit fallback for off-plan requests."""
+
+    def plan(self, entries, loop_start=0, persistent=0):
+        from repro.planner.address_plan import AddressPlan
+
+        peak = max((e.offset + e.size for e in entries), default=0)
+        return AddressPlan(
+            name="unit", alignment=ALIGNMENT, persistent_size=persistent,
+            packed_peak=peak, baseline_extent=peak, heuristic="bfd",
+            end_time=1.0, entries=tuple(entries), loop_start=loop_start,
+        )
+
+    def entry(self, seq, label, nbytes, offset):
+        from repro.planner.address_plan import PlannedAlloc
+
+        return PlannedAlloc(
+            seq=seq, label=label, nbytes=nbytes, size=_align(nbytes),
+            offset=offset, birth=0.0,
+        )
+
+    def test_planned_without_plan_rejected(self):
+        with pytest.raises(AllocationError, match="plan"):
+            MemoryPool(capacity=MB, strategy="planned")
+
+    def test_placements_follow_the_plan_exactly(self):
+        # The plan deliberately inverts allocation order in address
+        # space (first alloc at the higher offset) — only plan-directed
+        # placement, not any online strategy, produces this layout.
+        plan = self.plan([
+            self.entry(0, "a", 256, 512),
+            self.entry(1, "b", 512, 0),
+        ])
+        pool = MemoryPool(capacity=1024, strategy="planned", plan=plan)
+        a = pool.alloc(256, label="a")
+        b = pool.alloc(512, label="b")
+        assert pool.block_offset(a) == 512
+        assert pool.block_offset(b) == 0
+        assert pool.stats.plan_hits == 2
+        assert pool.stats.plan_misses == 0
+        assert pool.stats.peak_extent == 768
+        pool.free(a)
+        pool.free(b)
+        assert pool.used_bytes == 0
+
+    def test_carve_splits_the_containing_free_block(self):
+        plan = self.plan([self.entry(0, "mid", 256, 512)])
+        pool = MemoryPool(capacity=1024, strategy="planned", plan=plan)
+        pool.alloc(256, label="mid")
+        # [0, 512) and [768, 1024) remain free around the carve.
+        assert pool.free_blocks() == ((0, 512), (768, 256))
+
+    def test_off_plan_request_falls_back_loudly(self):
+        plan = self.plan([self.entry(0, "a", 256, 0)])
+        pool = MemoryPool(capacity=1024, strategy="planned", plan=plan)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            # Size mismatch: not the planned next allocation. The
+            # cursor must NOT advance — the slot is still a's.
+            stray = pool.alloc(512, label="a")
+        assert pool.stats.plan_misses == 1
+        assert pool.plan_fallbacks == [(0.0, "a", 512)]
+        assert pool.block_offset(stray) == 0  # best-fit placement
+        # a's planned offset is now occupied by the fallback: the slot
+        # is consumed (cursor advances) even though the carve fails.
+        a = pool.alloc(256, label="a")
+        assert pool.stats.plan_misses == 2
+        assert pool.block_offset(a) == 512
+        assert pool.stats.plan_hits == 0
+
+    def test_label_mismatch_is_a_miss(self):
+        plan = self.plan([self.entry(0, "a", 256, 0)])
+        pool = MemoryPool(capacity=1024, strategy="planned", plan=plan)
+        with pytest.warns(RuntimeWarning):
+            pool.alloc(256, label="not-a")
+        assert pool.stats.plan_misses == 1
+
+    def test_empty_label_matches_anything(self):
+        plan = self.plan([self.entry(0, "a", 256, 256)])
+        pool = MemoryPool(capacity=1024, strategy="planned", plan=plan)
+        handle = pool.alloc(256)  # unlabelled request
+        assert pool.block_offset(handle) == 256
+        assert pool.stats.plan_hits == 1
+
+    def test_cursor_wraps_past_persistent_entry(self):
+        from repro.hardware.memory_pool import PERSISTENT_LABEL
+
+        plan = self.plan([
+            self.entry(0, PERSISTENT_LABEL, 1024, 0),
+            self.entry(1, "a", 256, 1024),
+            self.entry(2, "b", 256, 1280),
+        ], loop_start=1, persistent=1024)
+        pool = MemoryPool(capacity=2048, strategy="planned", plan=plan)
+        pool.alloc(1024, label=PERSISTENT_LABEL)
+        for _ in range(3):  # three "iterations" over the loop body
+            a = pool.alloc(256, label="a")
+            b = pool.alloc(256, label="b")
+            assert pool.block_offset(a) == 1024
+            assert pool.block_offset(b) == 1280
+            pool.free(a)
+            pool.free(b)
+        assert pool.stats.plan_hits == 7
+        assert pool.stats.plan_misses == 0
+
+    def test_reset_rewinds_the_cursor(self):
+        plan = self.plan([
+            self.entry(0, "a", 256, 0),
+            self.entry(1, "b", 256, 256),
+        ])
+        pool = MemoryPool(capacity=1024, strategy="planned", plan=plan)
+        pool.alloc(256, label="a")
+        pool.reset()
+        # After reset the next request matches entry 0 again.
+        handle = pool.alloc(256, label="a")
+        assert pool.block_offset(handle) == 0
+        assert pool.stats.plan_misses == 0
+
+    def test_block_offset_rejects_unknown_handle(self):
+        pool = MemoryPool(capacity=1024)
+        with pytest.raises(AllocationError, match="handle"):
+            pool.block_offset(12345)
