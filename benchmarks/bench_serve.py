@@ -1,0 +1,387 @@
+"""Load benchmark for the plan-serving daemon (``repro serve``).
+
+An infrastructure benchmark rather than a paper figure: it drives a
+mixed request stream against one daemon and checks the serving layer's
+four contracts under load:
+
+1. **Coalescing** — a burst of identical cold requests shares one
+   in-flight compile (coalescing ratio > 1, exactly one plan compile
+   per unique configuration);
+2. **Warm cache** — after the cold phase, the shared
+   :class:`~repro.pipeline.CompileCache` serves repeat configurations
+   without recompiling (high folded hit rate, coherent counters);
+3. **Availability** — zero failed requests across the whole run
+   (admission limits are sized above the client concurrency, so any
+   rejection is a bug);
+4. **Fidelity** — served plan digests are byte-identical to a direct
+   in-process :func:`~repro.pipeline.compile.compile_run` of the same
+   configuration.
+
+Two phases: a **cold burst** fires ``BURST`` concurrent duplicates of
+each configuration at an empty daemon (this is where coalescing must
+show), then a **warm mixed** phase spreads the remaining requests
+round-robin over every configuration from a client thread pool (this is
+where latency and plans/sec are measured).
+
+By default the benchmark boots an in-process daemon on an ephemeral
+port; ``--url`` points it at an externally-started daemon instead (the
+CI smoke job boots ``python -m repro serve`` and targets it). All
+daemon-side counters are read as before/after *deltas* of ``/stats``,
+so a pre-warmed external daemon does not skew the assertions.
+
+Writes ``BENCH_serve.json`` and exits nonzero when any contract is
+violated.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # 10k requests
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke    # ~600, CI
+    PYTHONPATH=src python benchmarks/bench_serve.py --url http://127.0.0.1:8757
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.hardware.gpu import GPU_PRESETS  # noqa: E402
+from repro.models.registry import build_model  # noqa: E402
+from repro.pipeline.compile import compile_run  # noqa: E402
+from repro.serve import (  # noqa: E402
+    PlanService,
+    ServeConfig,
+    plan_digest,
+    start_server,
+)
+from repro.serve.client import ServeClient, ServeError  # noqa: E402
+
+#: Concurrent duplicates per configuration in the cold burst phase.
+BURST = 8
+SMOKE_BURST = 4
+
+#: Client-side request concurrency in the warm mixed phase (kept well
+#: under the daemon's admission limits so rejections count as bugs).
+CLIENT_WORKERS = 12
+SMOKE_CLIENT_WORKERS = 8
+
+#: Tenants cycled through the request stream (exercises per-tenant
+#: accounting without ever approaching the per-tenant quota).
+TENANTS = ("alice", "bob", "carol", "dave")
+
+
+def full_configs() -> list[dict]:
+    """The ~20-configuration full-mode mix: several models, batch
+    sizes, devices, policies, capacity fractions, and a couple of
+    run-mode entries."""
+    configs = []
+    for batch in (8, 16, 32, 48, 64):
+        configs.append({
+            "model": "vgg16", "policy": "tsplit",
+            "gpu": "rtx_titan", "batch": batch,
+        })
+    for batch in (8, 16, 32):
+        configs.append({
+            "model": "vgg16", "policy": "base",
+            "gpu": "gtx_1080ti", "batch": batch,
+        })
+    for batch in (8, 16, 32):
+        configs.append({
+            "model": "resnet50", "policy": "tsplit",
+            "gpu": "rtx_titan", "batch": batch,
+        })
+    for batch in (8, 16):
+        configs.append({
+            "model": "resnet50", "policy": "superneurons",
+            "gpu": "gtx_1080ti", "batch": batch,
+        })
+    for batch in (8, 16):
+        configs.append({
+            "model": "transformer", "policy": "tsplit",
+            "gpu": "rtx_titan", "batch": batch,
+        })
+    for frac in (0.75, 0.5):
+        configs.append({
+            "model": "vgg16", "policy": "tsplit", "gpu": "rtx_titan",
+            "batch": 32, "capacity_frac": frac,
+        })
+    configs.append({
+        "model": "vgg16", "policy": "tsplit", "gpu": "rtx_titan",
+        "batch": 16, "mode": "run",
+    })
+    configs.append({
+        "model": "vgg16", "policy": "base", "gpu": "gtx_1080ti",
+        "batch": 16, "mode": "run",
+    })
+    return configs
+
+
+def smoke_configs() -> list[dict]:
+    """The 6-configuration smoke mix (plan mode only, small batches)."""
+    return [
+        {"model": "vgg16", "policy": "tsplit", "gpu": "rtx_titan",
+         "batch": 8},
+        {"model": "vgg16", "policy": "tsplit", "gpu": "rtx_titan",
+         "batch": 16},
+        {"model": "vgg16", "policy": "base", "gpu": "gtx_1080ti",
+         "batch": 8},
+        {"model": "vgg16", "policy": "tsplit", "gpu": "gtx_1080ti",
+         "batch": 16},
+        {"model": "resnet50", "policy": "tsplit", "gpu": "rtx_titan",
+         "batch": 8},
+        {"model": "vgg16", "policy": "tsplit", "gpu": "rtx_titan",
+         "batch": 16, "capacity_frac": 0.5},
+    ]
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """The ``q``-quantile of an ascending list (nearest-rank)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[rank]
+
+
+def direct_digest(config: dict) -> str:
+    """The reference plan digest: a direct in-process compile."""
+    graph = build_model(config["model"], config["batch"])
+    gpu = GPU_PRESETS[config["gpu"]]
+    frac = config.get("capacity_frac", 1.0)
+    if frac != 1.0:
+        gpu = gpu.with_memory(int(gpu.memory_bytes * frac))
+    run = compile_run(graph, config["policy"], gpu)
+    return plan_digest(run.plan.plan)
+
+
+class LoadStats:
+    """Accumulates per-request outcomes across both phases."""
+
+    def __init__(self) -> None:
+        self.latencies_ms: list[float] = []
+        self.coalesced = 0
+        self.failures: list[str] = []
+        self.digests: dict[str, set] = {}
+
+    def record(self, config_key: str, body: dict, elapsed_ms: float) -> None:
+        """Count one completed request."""
+        self.latencies_ms.append(elapsed_ms)
+        if body.get("coalesced"):
+            self.coalesced += 1
+        if not body.get("feasible"):
+            self.failures.append(
+                f"{config_key}: infeasible: {body.get('failure')}"
+            )
+        self.digests.setdefault(config_key, set()).add(
+            body.get("plan_digest", ""),
+        )
+
+
+def fire(client: ServeClient, config: dict, tenant: str,
+         stats: LoadStats) -> None:
+    """One timed request; failures are recorded, never raised."""
+    key = json.dumps(config, sort_keys=True)
+    payload = {**config, "tenant": tenant}
+    start = time.perf_counter()
+    try:
+        body = client.plan(**payload)
+    except (ServeError, OSError) as exc:
+        stats.failures.append(f"{key}: {exc}")
+        return
+    stats.record(key, body, (time.perf_counter() - start) * 1e3)
+
+
+def run_load(client: ServeClient, configs: list[dict], total: int,
+             burst: int, workers: int) -> tuple[LoadStats, dict]:
+    """Both phases against one daemon; returns stats + phase timings."""
+    stats = LoadStats()
+
+    cold_start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=burst) as pool:
+        for config in configs:
+            futures = [
+                pool.submit(fire, client, config, TENANTS[i % len(TENANTS)],
+                            stats)
+                for i in range(burst)
+            ]
+            for future in futures:
+                future.result()
+    cold_s = time.perf_counter() - cold_start
+
+    warm_total = max(0, total - len(configs) * burst)
+    warm_start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(
+                fire, client, configs[i % len(configs)],
+                TENANTS[i % len(TENANTS)], stats,
+            )
+            for i in range(warm_total)
+        ]
+        for future in futures:
+            future.result()
+    warm_s = time.perf_counter() - warm_start
+
+    return stats, {
+        "cold_requests": len(configs) * burst,
+        "cold_s": cold_s,
+        "warm_requests": warm_total,
+        "warm_s": warm_s,
+        "warm_plans_per_sec": warm_total / warm_s if warm_s else 0.0,
+    }
+
+
+def stats_delta(before: dict, after: dict) -> dict:
+    """Daemon-side counter deltas between two ``/stats`` snapshots."""
+    flights = after["coalescing"]["flights"] - before["coalescing"]["flights"]
+    joins = after["coalescing"]["joins"] - before["coalescing"]["joins"]
+    lookups = after["cache"]["lookups"] - before["cache"]["lookups"]
+    hits = after["cache"]["total_hits"] - before["cache"]["total_hits"]
+    plan_kinds = after["cache"].get("kinds", {}).get("plan", {})
+    plan_kinds_before = before["cache"].get("kinds", {}).get("plan", {})
+    return {
+        "flights": flights,
+        "joins": joins,
+        "coalescing_ratio": (
+            (flights + joins) / flights if flights else 0.0
+        ),
+        "cache_lookups": lookups,
+        "cache_hits": hits,
+        "cache_hit_rate": hits / lookups if lookups else 0.0,
+        "plan_compiles": (
+            plan_kinds.get("misses", 0) - plan_kinds_before.get("misses", 0)
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the load benchmark; returns a process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="~600 requests over 6 configs for CI")
+    parser.add_argument("--url", default="",
+                        help="target a running daemon instead of booting "
+                             "one in-process")
+    parser.add_argument("--requests", type=int, default=0,
+                        help="override the total request count")
+    parser.add_argument("--out", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+
+    configs = smoke_configs() if args.smoke else full_configs()
+    total = args.requests or (600 if args.smoke else 10_000)
+    burst = SMOKE_BURST if args.smoke else BURST
+    workers = SMOKE_CLIENT_WORKERS if args.smoke else CLIENT_WORKERS
+
+    server = None
+    if args.url:
+        client = ServeClient(args.url)
+    else:
+        service = PlanService(ServeConfig(
+            workers=4, max_inflight=128, tenant_quota=64,
+        ))
+        server, _thread = start_server(service)
+        client = ServeClient(server.url)
+    print(
+        f"target {client.url} | {len(configs)} configs, {total} requests "
+        f"(burst {burst}, {workers} client workers)", flush=True,
+    )
+
+    try:
+        before = client.stats()
+        load, phases = run_load(client, configs, total, burst, workers)
+        after = client.stats()
+    finally:
+        if server is not None:
+            server.drain()
+            server.server_close()
+
+    delta = stats_delta(before, after)
+    latencies = sorted(load.latencies_ms)
+    summary = {
+        "p50_ms": percentile(latencies, 0.50),
+        "p90_ms": percentile(latencies, 0.90),
+        "p99_ms": percentile(latencies, 0.99),
+        "completed": len(latencies),
+        "coalesced_responses": load.coalesced,
+        "failed": len(load.failures),
+    }
+    print(
+        f"cold burst: {phases['cold_requests']} requests in "
+        f"{phases['cold_s']:.2f}s | warm: {phases['warm_requests']} in "
+        f"{phases['warm_s']:.2f}s = "
+        f"{phases['warm_plans_per_sec']:.0f} plans/sec"
+    )
+    print(
+        f"latency p50 {summary['p50_ms']:.2f} ms, "
+        f"p99 {summary['p99_ms']:.2f} ms | coalescing ratio "
+        f"{delta['coalescing_ratio']:.2f} | cache hit rate "
+        f"{delta['cache_hit_rate']:.1%} | plan compiles "
+        f"{delta['plan_compiles']} for {len(configs)} configs"
+    )
+
+    violations = []
+    if load.failures:
+        violations.append(
+            f"{len(load.failures)} failed requests "
+            f"(first: {load.failures[0]})"
+        )
+    if summary["completed"] != total:
+        violations.append(
+            f"completed {summary['completed']} of {total} requests"
+        )
+    if delta["coalescing_ratio"] <= 1.0:
+        violations.append(
+            f"coalescing ratio {delta['coalescing_ratio']:.2f} <= 1 "
+            "(cold bursts never shared a flight)"
+        )
+    if delta["plan_compiles"] > len(configs):
+        violations.append(
+            f"{delta['plan_compiles']} plan compiles for "
+            f"{len(configs)} unique configs (duplicated work)"
+        )
+    for key, digests in sorted(load.digests.items()):
+        if len(digests) != 1:
+            violations.append(f"{key}: inconsistent digests {digests}")
+    for config in configs:
+        key = json.dumps(config, sort_keys=True)
+        served = load.digests.get(key, set())
+        expected = direct_digest(config)
+        if served != {expected}:
+            violations.append(
+                f"{key}: served digest {served} != direct "
+                f"compile_run digest {expected!r}"
+            )
+    print(
+        "byte-identity: every served digest matches direct compile_run"
+        if not any("digest" in v for v in violations)
+        else "byte-identity check FAILED"
+    )
+
+    payload = {
+        "benchmark": "serve",
+        "mode": "smoke" if args.smoke else "full",
+        "target": "external" if args.url else "in-process",
+        "configs": configs,
+        "total_requests": total,
+        "phases": phases,
+        "latency": summary,
+        "daemon_delta": delta,
+        "violations": violations,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if violations:
+        for violation in violations:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    print("all serve contracts held")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -120,6 +120,53 @@ def cmd_scale(args: argparse.Namespace) -> None:
               f"on {gpu.name}: {value if value else 'x (inapplicable)'}")
 
 
+def cmd_serve(args: argparse.Namespace) -> None:
+    """Boot the plan-serving daemon (planning-as-a-service).
+
+    A long-lived HTTP server multiplexing concurrent JSON plan/run
+    requests over one warm, shared CompileCache: admission control with
+    per-tenant quotas, single-flight coalescing of identical in-flight
+    compiles, and a bounded compile pool whose slots split the machine's
+    worker budget. SIGINT/SIGTERM drain gracefully (in-flight work
+    lands, new requests get 503).
+    """
+    import signal
+    import threading
+
+    from repro import telemetry
+    from repro.serve import PlanHTTPServer, PlanService, ServeConfig
+
+    if args.telemetry:
+        telemetry.enable(metrics=True, spans=False, provenance=False)
+    service = PlanService(ServeConfig(
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        tenant_quota=args.tenant_quota,
+        cache_dir=args.cache_dir or None,
+        cache_entries=args.cache_entries,
+    ))
+    server = PlanHTTPServer(
+        (args.host, args.port), service, quiet=not args.verbose,
+    )
+    print(f"repro serve listening on {server.url} "
+          f"(workers={args.workers}, budget_share={service.budget_share}"
+          f"{', cache_dir=' + args.cache_dir if args.cache_dir else ''})",
+          file=sys.stderr)
+
+    def _drain(signum, frame) -> None:
+        print("draining in-flight requests ...", file=sys.stderr)
+        threading.Thread(target=server.drain, daemon=True).start()
+
+    signal.signal(signal.SIGINT, _drain)
+    signal.signal(signal.SIGTERM, _drain)
+    try:
+        server.serve_forever()
+    finally:
+        service.close(drain=True)
+        server.server_close()
+        print("repro serve stopped", file=sys.stderr)
+
+
 def cmd_sweep(args: argparse.Namespace) -> None:
     """Print a throughput table across batch sizes and policies.
 
@@ -589,6 +636,39 @@ def main(argv: list[str] | None = None) -> None:
         help="write the driver cache's hit/miss/disk counters as JSON "
              "(serial/thread backends)")
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="boot the plan-serving daemon (JSON plan/run over HTTP)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8757,
+                              help="listen port (0 = ephemeral)")
+    serve_parser.add_argument(
+        "--workers", type=int, default=4,
+        help="compile worker slots (HTTP threads only wait; each slot "
+             "gets an equal share of the machine worker budget)")
+    serve_parser.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="admission cap on requests in flight (excess gets 429)")
+    serve_parser.add_argument(
+        "--tenant-quota", type=int, default=16,
+        help="per-tenant in-flight cap")
+    serve_parser.add_argument(
+        "--cache-dir", default="", metavar="DIR",
+        help="persist compiled profiles/plans under DIR (restarts and "
+             "sweep workers share them)")
+    serve_parser.add_argument(
+        "--cache-entries", type=int, default=2048,
+        help="in-memory LRU capacity of the shared compile cache")
+    serve_parser.add_argument(
+        "--no-telemetry", dest="telemetry", action="store_false",
+        help="skip the metrics-only telemetry session (/stats then "
+             "reports no telemetry counters)")
+    serve_parser.add_argument(
+        "--verbose", action="store_true",
+        help="log every HTTP request to stderr")
+    serve_parser.set_defaults(func=cmd_serve)
 
     plan_parser = sub.add_parser("plan", help="show TSPLIT's plan")
     _add_common(plan_parser)

@@ -25,16 +25,30 @@ deterministic, so all three backends produce byte-identical point lists.
 
 from __future__ import annotations
 
+import contextvars
 import os
 import pickle
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
 
 BACKENDS = ("serial", "thread", "process")
 
 #: Environment override capping every resolved worker count (useful on
-#: shared CI machines where ``os.cpu_count()`` over-reports).
+#: shared CI machines where ``os.cpu_count()`` over-reports). When a
+#: :func:`worker_budget` context is active the cap is treated as a
+#: *machine-wide* budget: the budget carves each concurrent caller's
+#: share out of it rather than granting the full cap to everyone.
 MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+#: Context-local worker budget (``None`` = unbudgeted). Set by layers
+#: that multiplex many concurrent sweeps over one machine — the serve
+#: daemon enters :func:`worker_budget` around each request so N
+#: concurrent ``backend="process"`` sweeps cannot each claim the whole
+#: ``REPRO_MAX_WORKERS`` cap and oversubscribe N × cap workers.
+_WORKER_BUDGET: contextvars.ContextVar[int | None] = contextvars.ContextVar(
+    "repro_worker_budget", default=None,
+)
 
 
 def _max_workers_cap() -> int | None:
@@ -49,13 +63,58 @@ def _max_workers_cap() -> int | None:
     return cap if cap >= 1 else None
 
 
-def resolve_workers(parallel: int | bool | None, n_items: int) -> int:
+def active_worker_budget() -> int | None:
+    """The context's worker budget, or ``None`` when unbudgeted."""
+    return _WORKER_BUDGET.get()
+
+
+@contextmanager
+def worker_budget(budget: int | None):
+    """Scope a worker budget over the calling context.
+
+    Every :func:`resolve_workers` call made while the context is active
+    (including deep inside a sweep) resolves at most ``budget`` workers,
+    regardless of what ``parallel=`` asked for. Budgets compose by
+    shrinking: entering a smaller budget inside a larger one tightens
+    the cap, entering a larger one does not loosen it. ``None`` is a
+    no-op scope (useful for optional plumbing).
+
+    This is the hook pool-like layers use to treat the machine — not
+    each request — as the unit of provisioning: a server with W request
+    slots enters ``worker_budget(machine_cap // W)`` around each
+    request, so W concurrent sweeps collectively stay within the
+    machine cap instead of oversubscribing W × cap workers.
+    """
+    if budget is not None:
+        budget = max(1, int(budget))
+        current = _WORKER_BUDGET.get()
+        if current is not None:
+            budget = min(budget, current)
+    token = _WORKER_BUDGET.set(budget)
+    try:
+        yield budget
+    finally:
+        _WORKER_BUDGET.reset(token)
+
+
+def resolve_workers(
+    parallel: int | bool | None,
+    n_items: int,
+    *,
+    budget: int | None = None,
+) -> int:
     """Worker count for a ``parallel=`` setting.
 
     ``None``/``False``/``0``/``1`` mean serial; ``True`` uses the full
     machine (``os.cpu_count()``); an integer caps the pool. Never more
     workers than items, and the ``REPRO_MAX_WORKERS`` environment
     variable, when set, caps every resolved count.
+
+    ``budget`` (explicit argument, or the enclosing
+    :func:`worker_budget` context when the argument is ``None``) caps
+    the count further: it is the caller's *share* of the machine when
+    several sweeps run concurrently, so the environment cap holds
+    machine-wide instead of per-sweep.
     """
     if not parallel or n_items <= 1:
         return 1
@@ -66,6 +125,10 @@ def resolve_workers(parallel: int | bool | None, n_items: int) -> int:
     cap = _max_workers_cap()
     if cap is not None:
         workers = min(workers, cap)
+    if budget is None:
+        budget = _WORKER_BUDGET.get()
+    if budget is not None:
+        workers = min(workers, max(1, int(budget)))
     return max(1, min(workers, n_items))
 
 
@@ -88,18 +151,38 @@ def resolve_backend(
 
 
 def _check_picklable(fn: Callable, items: Sequence) -> None:
-    """Fail fast (and helpfully) before handing work to child processes."""
+    """Fail fast (and helpfully) before handing work to child processes.
+
+    Probes the task function plus **one item per distinct item type** —
+    a heterogeneous spec list (say, dataclass specs with one stray
+    closure-holding entry) used to pass a first-item-only probe and
+    then die deep inside the pool with an opaque ``PicklingError``; the
+    per-type probe stays cheap (one ``pickle.dumps`` per type, not per
+    item) while naming the failing index and type.
+    """
     try:
         pickle.dumps(fn)
-        if items:
-            pickle.dumps(items[0])
     except Exception as exc:
         raise ValueError(
-            "backend='process' requires a picklable task function and "
-            "picklable task specs (module-level functions and registry "
-            "model/policy names, not closures or local callables); "
-            f"pickling failed with: {exc}"
+            "backend='process' requires a picklable task function "
+            "(a module-level function, not a closure or local "
+            f"callable); pickling {fn!r} failed with: {exc}"
         ) from exc
+    probed: set[type] = set()
+    for index, item in enumerate(items):
+        item_type = type(item)
+        if item_type in probed:
+            continue
+        probed.add(item_type)
+        try:
+            pickle.dumps(item)
+        except Exception as exc:
+            raise ValueError(
+                "backend='process' requires picklable task specs "
+                "(registry model/policy names, not closures or local "
+                f"callables); item {index} of type {item_type.__name__} "
+                f"failed to pickle with: {exc}"
+            ) from exc
 
 
 def parallel_map(

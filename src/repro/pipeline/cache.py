@@ -120,6 +120,14 @@ class CompileCache:
     ``disk_hits`` / ``disk_misses`` — and when a telemetry session with
     metrics is active, the same events increment
     ``compile_cache.<kind>.*`` counters on its registry.
+
+    Accounting invariant: every :meth:`get` resolves as exactly one of a
+    memory hit (``hits``), a disk hit (``disk_hits``) or a miss
+    (``misses``), so ``lookups == total_hits + misses`` with
+    ``total_hits = hits + disk_hits``. :meth:`stats` /
+    :meth:`cache_stats` report the folded ``lookups`` / ``total_hits`` /
+    ``hit_rate`` so a warm-*disk* cache (every lookup served from files,
+    none from memory) still reports the hit rate it actually delivers.
     """
 
     def __init__(
@@ -273,32 +281,45 @@ class CompileCache:
         with self._lock:
             return len(self._entries)
 
+    def _aggregate_stats(self) -> dict:
+        """Tier counters folded into coherent totals (lock held).
+
+        ``hits`` stays the *memory*-tier count (its historical meaning);
+        ``total_hits`` folds the disk tier in, and
+        ``lookups == total_hits + misses`` holds across every path a
+        :meth:`get` can take.
+        """
+        total_hits = self.hits + self.disk_hits
+        lookups = total_hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "disk_misses": self.disk_misses,
+            "lookups": lookups,
+            "total_hits": total_hits,
+            "hit_rate": total_hits / lookups if lookups else 0.0,
+        }
+
     def stats(self) -> dict:
+        """Aggregate counters, including the folded ``lookups`` /
+        ``total_hits`` / ``hit_rate`` totals."""
         with self._lock:
-            return {
-                "entries": len(self._entries),
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-                "disk_hits": self.disk_hits,
-                "disk_misses": self.disk_misses,
-            }
+            return self._aggregate_stats()
 
     def cache_stats(self) -> dict:
         """Aggregate plus per-kind hit/miss/eviction counts.
 
         ``{"entries": ..., "hits": ..., "misses": ..., "evictions": ...,
-        "disk_hits": ..., "disk_misses": ...,
+        "disk_hits": ..., "disk_misses": ..., "lookups": ...,
+        "total_hits": ..., "hit_rate": ...,
         "kinds": {"profile": {"hits": ...}, "plan": {...}}}``
         """
         with self._lock:
             return {
-                "entries": len(self._entries),
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-                "disk_hits": self.disk_hits,
-                "disk_misses": self.disk_misses,
+                **self._aggregate_stats(),
                 "kinds": {
                     kind: dict(stats)
                     for kind, stats in sorted(self._kind_stats.items())

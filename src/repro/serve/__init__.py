@@ -1,0 +1,50 @@
+"""Plan-serving daemon: planning-as-a-service for fleet traffic.
+
+``python -m repro serve`` boots a long-lived HTTP daemon that accepts
+concurrent JSON plan/run requests and multiplexes them over one warm
+:class:`~repro.pipeline.CompileCache`. The package splits transport
+from logic:
+
+* :class:`~repro.serve.service.PlanService` — the core: an
+  admission-controlled request path with per-tenant quotas, a keyed
+  single-flight table coalescing identical in-flight compiles, a warm
+  graph/profiler cache, a bounded compile worker pool budgeted against
+  the machine (:func:`~repro.analysis.parallel.worker_budget`), and a
+  graceful drain;
+* :class:`~repro.serve.http.PlanHTTPServer` — the stdlib
+  ``ThreadingHTTPServer`` transport exposing ``POST /plan``,
+  ``GET /healthz`` and ``GET /stats``;
+* :class:`~repro.serve.client.ServeClient` — a tiny stdlib client used
+  by the load-generator benchmark and the tutorial examples.
+
+The response for a plan request carries a canonical content digest of
+the produced plan (:func:`~repro.serve.service.plan_digest`), so
+clients — and the benchmark's acceptance contract — can verify that
+daemon-served plans are byte-identical to a direct
+:func:`~repro.pipeline.compile.compile_run` for the same inputs.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.http import PlanHTTPServer, start_server
+from repro.serve.service import (
+    AdmissionController,
+    AdmissionRejected,
+    PlanService,
+    ServeConfig,
+    SingleFlight,
+    plan_digest,
+    request_key,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "PlanHTTPServer",
+    "PlanService",
+    "ServeClient",
+    "ServeConfig",
+    "SingleFlight",
+    "plan_digest",
+    "request_key",
+    "start_server",
+]

@@ -1,0 +1,61 @@
+"""Minimal stdlib client for the serve daemon.
+
+Used by the load-generator benchmark and the tutorial walkthrough; any
+HTTP client works (the protocol is plain JSON over HTTP), this one just
+keeps the repo dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+
+class ServeError(RuntimeError):
+    """A non-2xx daemon response, carrying status and decoded body."""
+
+    def __init__(self, status: int, body: dict) -> None:
+        super().__init__(f"HTTP {status}: {body.get('error', body)}")
+        self.status = status
+        self.body = body
+
+
+class ServeClient:
+    """Talk to one daemon: ``plan()``, ``healthz()``, ``stats()``."""
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, path: str, payload: dict | None = None) -> dict:
+        data = json.dumps(payload).encode() if payload is not None else None
+        request = urllib.request.Request(
+            f"{self.url}{path}", data=data,
+            headers={"Content-Type": "application/json"},
+            method="POST" if data is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout,
+            ) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read())
+            except (ValueError, json.JSONDecodeError):
+                body = {"error": str(exc)}
+            raise ServeError(exc.code, body) from exc
+
+    def plan(self, **payload) -> dict:
+        """POST one plan/run request; raises :class:`ServeError` on
+        non-2xx (status 429 = admission rejected, 503 = draining)."""
+        return self._request("/plan", payload)
+
+    def healthz(self) -> dict:
+        """GET the liveness payload."""
+        return self._request("/healthz")
+
+    def stats(self) -> dict:
+        """GET the full stats payload."""
+        return self._request("/stats")

@@ -1,0 +1,143 @@
+"""HTTP transport for the plan service (stdlib only).
+
+A :class:`PlanHTTPServer` wraps one
+:class:`~repro.serve.service.PlanService` behind a
+``ThreadingHTTPServer``: each connection is handled on its own thread,
+but handler threads only parse/wait — actual compiles run on the
+service's bounded worker pool, so HTTP concurrency never oversubscribes
+the machine.
+
+Endpoints:
+
+* ``POST /plan`` — one JSON plan/run request; responses carry the plan
+  digest, cache provenance and coalescing flag. Errors map to status
+  codes: 400 (malformed), 429 (admission rejected; the body names the
+  exceeded limit), 503 (draining), 500 (unexpected).
+* ``GET /healthz`` — liveness + occupancy.
+* ``GET /stats`` — server counters, coalescing ratio, admission
+  occupancy, the shared cache's folded hit-rate stats, and the active
+  telemetry session's metric snapshot.
+
+Graceful shutdown: :meth:`PlanHTTPServer.drain` stops accepting,
+rejects new requests with 503, and waits for in-flight compiles to
+land before the socket closes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.service import (
+    AdmissionRejected,
+    PlanService,
+    RequestError,
+    ServiceClosed,
+)
+
+
+class _PlanRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs/paths onto the owning server's service."""
+
+    server: "PlanHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, body: dict) -> None:
+        encoded = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        """Serve the introspection endpoints: /healthz and /stats."""
+        service = self.server.service
+        if self.path == "/healthz":
+            self._reply(200, service.healthz())
+        elif self.path == "/stats":
+            self._reply(200, service.stats())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler contract)
+        """Serve one plan/run request (``POST /plan``)."""
+        if self.path not in ("/plan", "/v1/plan"):
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": f"malformed JSON body: {exc}"})
+            return
+        service = self.server.service
+        try:
+            self._reply(200, service.handle_plan(payload))
+        except RequestError as exc:
+            self._reply(400, {"error": str(exc)})
+        except AdmissionRejected as exc:
+            self._reply(429, {"error": str(exc), "scope": exc.scope})
+        except ServiceClosed as exc:
+            self._reply(503, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive surface
+            service._count("errors")
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+
+class PlanHTTPServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` bound to one :class:`PlanService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: PlanService,
+        *,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, _PlanRequestHandler)
+        self.service = service
+        self.quiet = quiet
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound socket (useful with port 0)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def drain(self) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight work."""
+        self.service.close(drain=True)
+        self.shutdown()
+
+
+def start_server(
+    service: PlanService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    quiet: bool = True,
+) -> tuple[PlanHTTPServer, threading.Thread]:
+    """Boot a serving thread; returns ``(server, thread)``.
+
+    ``port=0`` binds an ephemeral port (see :attr:`PlanHTTPServer.url`).
+    The thread is a daemon: callers should still :meth:`~PlanHTTPServer.drain`
+    for a graceful stop.
+    """
+    server = PlanHTTPServer((host, port), service, quiet=quiet)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-http", daemon=True,
+    )
+    thread.start()
+    return server, thread

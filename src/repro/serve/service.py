@@ -1,0 +1,584 @@
+"""The plan service: admission, coalescing, warm compile state.
+
+Transport-agnostic core of the serve daemon. One
+:class:`PlanService` owns:
+
+* a shared persistent :class:`~repro.pipeline.CompileCache` (memory
+  LRU, optionally disk-backed) that every request compiles against —
+  profiles stay resident across requests, so a warm daemon re-plans in
+  milliseconds;
+* a warm **graph cache** (model registry name + batch + scale → built
+  training graph), so repeated requests skip model construction; the
+  compile path never mutates graphs, so cached graphs are shared
+  read-only across concurrent computes;
+* an :class:`AdmissionController` bounding total in-flight requests and
+  per-tenant shares (overload sheds load at the door with a typed
+  rejection instead of queueing unboundedly);
+* a :class:`SingleFlight` table coalescing identical concurrent
+  requests — N callers asking for the same ``(model, policy, GPU,
+  capacity, options)`` key join one in-flight compute and share its
+  result;
+* a bounded compile worker pool whose slots each run under a
+  :func:`~repro.analysis.parallel.worker_budget` share of the machine,
+  so nested sweep fan-out inside a request cannot multiply into
+  ``slots × REPRO_MAX_WORKERS`` workers.
+
+Requests are plain dicts (the HTTP layer passes parsed JSON bodies
+straight through); responses are plain dicts ready to serialise.
+Validation problems raise :class:`RequestError`, overload raises
+:class:`AdmissionRejected`, and a draining service raises
+:class:`ServiceClosed` — the transport maps each to a status code.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.analysis.parallel import _max_workers_cap, worker_budget
+from repro.core.plan import Plan
+from repro.core.profiler import Profiler
+from repro.hardware.gpu import GPU_PRESETS
+from repro.models.registry import build_model, model_names
+from repro.pipeline.cache import CompileCache, fingerprint
+from repro.pipeline.compile import compile_run
+from repro.pipeline.stages import PlanStage, ProfileStage, resolve_policy
+from repro.policies.base import get_policy
+from repro.runtime.engine import EngineOptions
+from repro.telemetry import get_telemetry
+
+
+class RequestError(ValueError):
+    """A malformed or unserviceable request (HTTP 400)."""
+
+
+class AdmissionRejected(RuntimeError):
+    """Load shed at the door: queue full or tenant over quota (429)."""
+
+    def __init__(self, reason: str, scope: str) -> None:
+        super().__init__(reason)
+        #: ``"queue"`` or ``"tenant"`` — which limit rejected us.
+        self.scope = scope
+
+
+class ServiceClosed(RuntimeError):
+    """The service is draining or closed; no new work (HTTP 503)."""
+
+
+def plan_digest(plan: Plan | None) -> str:
+    """Canonical content digest of a plan (empty string for ``None``).
+
+    SHA-256 over the sorted-key JSON of the plan's semantic payload
+    (policy, cpu_update, per-tensor configs) — provenance is excluded,
+    matching :class:`~repro.core.plan.Plan` equality. Two plans digest
+    identically iff they configure identically, so a daemon-served plan
+    can be checked byte-for-byte against a direct
+    :func:`~repro.pipeline.compile.compile_run` without shipping the
+    object itself.
+    """
+    if plan is None:
+        return ""
+    return fingerprint({
+        "policy": plan.policy,
+        "cpu_update": plan.cpu_update,
+        "configs": {
+            tid: {
+                "opt": cfg.opt.value, "p_num": cfg.p_num, "dim": cfg.dim,
+            }
+            for tid, cfg in plan.configs.items()
+        },
+    })
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One validated, normalised plan/run request."""
+
+    model: str
+    policy: str
+    gpu: str
+    batch: int
+    param_scale: float = 1.0
+    capacity_frac: float = 1.0
+    mode: str = "plan"
+    iterations: int | None = None
+    overrides: tuple = ()
+    tenant: str = "anonymous"
+
+    @property
+    def key(self) -> str:
+        """Single-flight/coalescing key: everything but the tenant."""
+        return request_key(self)
+
+
+def request_key(request: PlanRequest) -> str:
+    """Coalescing key: two requests that would compile and execute the
+    exact same configuration share one fingerprint (tenant excluded —
+    identical work coalesces across tenants)."""
+    return fingerprint({
+        "model": request.model,
+        "policy": request.policy,
+        "gpu": request.gpu,
+        "batch": request.batch,
+        "param_scale": request.param_scale,
+        "capacity_frac": request.capacity_frac,
+        "mode": request.mode,
+        "iterations": request.iterations,
+        "overrides": request.overrides,
+    })
+
+
+class SingleFlight:
+    """Keyed single-flight table: duplicate concurrent calls join one.
+
+    The first caller for a key becomes the *leader* and executes the
+    supplier; callers arriving while the flight is open wait on its
+    event and share the outcome (value or exception). The entry is
+    removed once the flight lands, so a later request with the same key
+    starts a fresh flight (it will typically be a cache hit instead).
+    """
+
+    class _Flight:
+        __slots__ = ("event", "value", "error")
+
+        def __init__(self) -> None:
+            self.event = threading.Event()
+            self.value = None
+            self.error: BaseException | None = None
+
+    def __init__(self) -> None:
+        self._flights: dict[str, SingleFlight._Flight] = {}
+        self._lock = threading.Lock()
+        self.flights = 0
+        self.joins = 0
+
+    def run(self, key: str, supplier) -> tuple[object, bool]:
+        """``(outcome, coalesced)``: lead the flight or join one."""
+        with self._lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = SingleFlight._Flight()
+                self._flights[key] = flight
+                self.flights += 1
+            else:
+                self.joins += 1
+        if leader:
+            try:
+                flight.value = supplier()
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                with self._lock:
+                    self._flights.pop(key, None)
+                flight.event.set()
+            return flight.value, False
+        flight.event.wait()
+        if flight.error is not None:
+            raise flight.error
+        return flight.value, True
+
+    def stats(self) -> dict:
+        """Flight/join counters plus the derived coalescing ratio."""
+        with self._lock:
+            flights, joins = self.flights, self.joins
+        return {
+            "flights": flights,
+            "joins": joins,
+            "coalescing_ratio": (
+                (flights + joins) / flights if flights else 0.0
+            ),
+        }
+
+
+class AdmissionController:
+    """Bounded admission: a global in-flight cap and per-tenant quotas.
+
+    ``acquire`` either admits (counting the request against both
+    limits) or raises :class:`AdmissionRejected`; ``release`` must be
+    called exactly once per successful acquire.
+    """
+
+    def __init__(self, max_inflight: int, tenant_quota: int) -> None:
+        if max_inflight < 1 or tenant_quota < 1:
+            raise ValueError("admission limits must be >= 1")
+        self.max_inflight = max_inflight
+        self.tenant_quota = tenant_quota
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._by_tenant: dict[str, int] = {}
+        self.rejected_queue = 0
+        self.rejected_tenant = 0
+
+    def acquire(self, tenant: str) -> None:
+        """Admit one request for ``tenant`` or raise."""
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self.rejected_queue += 1
+                raise AdmissionRejected(
+                    f"request queue full ({self.max_inflight} in flight)",
+                    scope="queue",
+                )
+            held = self._by_tenant.get(tenant, 0)
+            if held >= self.tenant_quota:
+                self.rejected_tenant += 1
+                raise AdmissionRejected(
+                    f"tenant {tenant!r} over quota "
+                    f"({held}/{self.tenant_quota} in flight)",
+                    scope="tenant",
+                )
+            self._inflight += 1
+            self._by_tenant[tenant] = held + 1
+
+    def release(self, tenant: str) -> None:
+        """Return one admitted slot."""
+        with self._lock:
+            self._inflight -= 1
+            held = self._by_tenant.get(tenant, 0) - 1
+            if held <= 0:
+                self._by_tenant.pop(tenant, None)
+            else:
+                self._by_tenant[tenant] = held
+
+    def stats(self) -> dict:
+        """In-flight occupancy and rejection counters."""
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+                "tenant_quota": self.tenant_quota,
+                "by_tenant": dict(sorted(self._by_tenant.items())),
+                "rejected_queue": self.rejected_queue,
+                "rejected_tenant": self.rejected_tenant,
+            }
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one :class:`PlanService` instance."""
+
+    #: Compile worker slots (bounds CPU concurrency; HTTP handler
+    #: threads only wait, they never compile).
+    workers: int = 4
+    #: Global admission cap: requests in flight (executing + waiting).
+    max_inflight: int = 64
+    #: Per-tenant in-flight cap.
+    tenant_quota: int = 16
+    #: Persistent cache directory (``None`` = memory-only tier).
+    cache_dir: str | None = None
+    #: In-memory LRU capacity of the shared compile cache.
+    cache_entries: int = 2048
+    #: Warm graph (model build) LRU capacity.
+    graph_cache_entries: int = 64
+    #: Default tenant for requests that do not name one.
+    default_tenant: str = "anonymous"
+
+
+@dataclass
+class _ServerCounters:
+    """Process-lifetime request counters (lock owned by the service)."""
+
+    requests: int = 0
+    ok: int = 0
+    infeasible: int = 0
+    invalid: int = 0
+    closed: int = 0
+    errors: int = 0
+    by_tenant: dict = field(default_factory=dict)
+
+
+class PlanService:
+    """The serve daemon's core: warm, admission-controlled planning."""
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        *,
+        cache: CompileCache | None = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.cache = cache if cache is not None else CompileCache(
+            max_entries=self.config.cache_entries,
+            disk_dir=self.config.cache_dir,
+        )
+        self.admission = AdmissionController(
+            self.config.max_inflight, self.config.tenant_quota,
+        )
+        self.flights = SingleFlight()
+        self._counters = _ServerCounters()
+        self._counters_lock = threading.Lock()
+        self._graphs: OrderedDict[tuple, object] = OrderedDict()
+        self._graphs_lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve",
+        )
+        machine_cap = _max_workers_cap() or os.cpu_count() or 4
+        #: Each compile slot's share of the machine: nested sweep
+        #: fan-out inside a request resolves at most this many workers,
+        #: so `workers` concurrent requests stay within the machine cap.
+        self.budget_share = max(1, machine_cap // self.config.workers)
+        self._closed = False
+        self._started = time.time()
+
+    # -- request path ------------------------------------------------------
+
+    def parse_request(self, payload: dict) -> PlanRequest:
+        """Validate a raw JSON payload into a :class:`PlanRequest`."""
+        if not isinstance(payload, dict):
+            raise RequestError("request body must be a JSON object")
+        unknown = set(payload) - {
+            "model", "policy", "gpu", "batch", "param_scale",
+            "capacity_frac", "mode", "iterations", "overrides", "tenant",
+            "precision",
+        }
+        if unknown:
+            raise RequestError(f"unknown fields: {sorted(unknown)}")
+        model = payload.get("model", "")
+        if model not in model_names():
+            raise RequestError(
+                f"unknown model {model!r}; available: {model_names()}"
+            )
+        policy = payload.get("policy", "tsplit")
+        try:
+            get_policy(policy)  # populates the lazy registry, validates
+        except Exception as exc:
+            raise RequestError(str(exc)) from exc
+        gpu = payload.get("gpu", "rtx_titan")
+        if gpu not in GPU_PRESETS:
+            raise RequestError(
+                f"unknown GPU {gpu!r}; available: {list(GPU_PRESETS)}"
+            )
+        try:
+            batch = int(payload.get("batch", 64))
+            param_scale = float(payload.get("param_scale", 1.0))
+            capacity_frac = float(payload.get("capacity_frac", 1.0))
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"malformed numeric field: {exc}") from exc
+        if batch < 1:
+            raise RequestError(f"batch must be >= 1, got {batch}")
+        if not 0.0 < capacity_frac <= 1.0:
+            raise RequestError(
+                f"capacity_frac must be in (0, 1], got {capacity_frac}"
+            )
+        mode = payload.get("mode", "plan")
+        if mode not in ("plan", "run"):
+            raise RequestError(f"mode must be 'plan' or 'run', got {mode!r}")
+        iterations = payload.get("iterations")
+        if iterations is not None:
+            try:
+                iterations = int(iterations)
+            except (TypeError, ValueError) as exc:
+                raise RequestError(f"malformed iterations: {exc}") from exc
+            if iterations < 1:
+                raise RequestError("iterations must be >= 1")
+            if mode != "run":
+                raise RequestError("iterations requires mode='run'")
+        overrides = dict(payload.get("overrides") or {})
+        precision = payload.get("precision")
+        if precision is not None:
+            if precision not in ("fp32", "fp16"):
+                raise RequestError(
+                    f"precision must be fp32 or fp16, got {precision!r}"
+                )
+            overrides["precision"] = precision
+        tenant = str(payload.get("tenant") or self.config.default_tenant)
+        return PlanRequest(
+            model=model, policy=policy, gpu=gpu, batch=batch,
+            param_scale=param_scale, capacity_frac=capacity_frac,
+            mode=mode, iterations=iterations,
+            overrides=tuple(sorted(overrides.items())), tenant=tenant,
+        )
+
+    def handle_plan(self, payload: dict) -> dict:
+        """Serve one plan/run request end to end.
+
+        Raises :class:`RequestError` (bad payload),
+        :class:`AdmissionRejected` (overload) or :class:`ServiceClosed`
+        (draining); every other outcome — including infeasible
+        configurations — is a response dict.
+        """
+        started = time.perf_counter()
+        if self._closed:
+            self._count("closed")
+            raise ServiceClosed("service is draining")
+        try:
+            request = self.parse_request(payload)
+        except RequestError:
+            self._count("invalid")
+            raise
+        self._count("requests", tenant=request.tenant)
+        self.admission.acquire(request.tenant)
+        try:
+            body, coalesced = self.flights.run(
+                request.key, lambda: self._submit(request),
+            )
+        finally:
+            self.admission.release(request.tenant)
+        # Joiners share the leader's body; personalise the envelope.
+        body = dict(body)
+        body["coalesced"] = coalesced
+        body["elapsed_ms"] = (time.perf_counter() - started) * 1e3
+        self._count("ok" if body["feasible"] else "infeasible")
+        return body
+
+    def _count(self, name: str, tenant: str | None = None) -> None:
+        with self._counters_lock:
+            setattr(self._counters, name, getattr(self._counters, name) + 1)
+            if tenant is not None:
+                by_tenant = self._counters.by_tenant
+                by_tenant[tenant] = by_tenant.get(tenant, 0) + 1
+
+    def _submit(self, request: PlanRequest):
+        """Run the compute on a bounded worker slot (leader only)."""
+        if self._closed:
+            raise ServiceClosed("service is draining")
+        try:
+            future = self._executor.submit(self._compute, request)
+        except RuntimeError as exc:  # executor already shut down
+            raise ServiceClosed("service is draining") from exc
+        return future.result()
+
+    # -- warm state --------------------------------------------------------
+
+    def _graph(self, request: PlanRequest):
+        """The (cached) built training graph for a request."""
+        key = (
+            request.model, request.batch, request.param_scale,
+            request.overrides,
+        )
+        with self._graphs_lock:
+            graph = self._graphs.get(key)
+            if graph is not None:
+                self._graphs.move_to_end(key)
+                return graph
+        graph = build_model(
+            request.model, request.batch,
+            param_scale=request.param_scale, **dict(request.overrides),
+        )
+        with self._graphs_lock:
+            self._graphs[key] = graph
+            self._graphs.move_to_end(key)
+            while len(self._graphs) > self.config.graph_cache_entries:
+                self._graphs.popitem(last=False)
+        return graph
+
+    # -- compute -----------------------------------------------------------
+
+    def _compute(self, request: PlanRequest) -> dict:
+        """One compile against the warm caches (runs on a worker slot)."""
+        with worker_budget(self.budget_share):
+            graph = self._graph(request)
+            gpu = GPU_PRESETS[request.gpu]
+            if request.capacity_frac != 1.0:
+                gpu = gpu.with_memory(
+                    int(gpu.memory_bytes * request.capacity_frac),
+                )
+            base = {
+                "model": request.model,
+                "policy": request.policy,
+                "gpu": request.gpu,
+                "batch": request.batch,
+                "mode": request.mode,
+                "key": request.key,
+            }
+            if request.mode == "plan":
+                profile = ProfileStage(Profiler(gpu)).run(
+                    graph, gpu, cache=self.cache,
+                )
+                plan = PlanStage(resolve_policy(request.policy)).run(
+                    graph, gpu, profile, cache=self.cache,
+                )
+                return {
+                    **base,
+                    "feasible": plan.feasible,
+                    "failure": plan.error,
+                    "plan_digest": plan_digest(plan.plan),
+                    "plan_summary": (
+                        plan.plan.summary(graph) if plan.feasible else ""
+                    ),
+                    "cached": {
+                        "profile": profile.cached, "plan": plan.cached,
+                    },
+                }
+            compiled = compile_run(
+                graph, request.policy, gpu,
+                cache=self.cache,
+                engine_options=EngineOptions(record_trace=False),
+                iterations=request.iterations,
+            )
+            result = compiled.result
+            body = {
+                **base,
+                "feasible": result.feasible,
+                "failure": result.failure,
+                "plan_digest": plan_digest(result.plan),
+                "plan_summary": (
+                    result.plan.summary(graph)
+                    if result.plan is not None else ""
+                ),
+                "cached": {
+                    "profile": compiled.profile.cached,
+                    "plan": compiled.plan.cached,
+                },
+            }
+            if result.feasible:
+                trace = result.trace
+                body.update({
+                    "iteration_time": trace.iteration_time,
+                    "throughput": trace.throughput,
+                    "peak_memory": trace.peak_memory,
+                })
+            return body
+
+    # -- introspection + lifecycle ----------------------------------------
+
+    def healthz(self) -> dict:
+        """Liveness payload: status, uptime, occupancy."""
+        return {
+            "status": "draining" if self._closed else "ok",
+            "uptime_s": time.time() - self._started,
+            "inflight": self.admission.stats()["inflight"],
+            "workers": self.config.workers,
+        }
+
+    def stats(self) -> dict:
+        """Everything `/stats` surfaces: server counters, single-flight
+        coalescing, admission occupancy, cache stats, telemetry."""
+        with self._counters_lock:
+            counters = {
+                "requests": self._counters.requests,
+                "ok": self._counters.ok,
+                "infeasible": self._counters.infeasible,
+                "invalid": self._counters.invalid,
+                "closed": self._counters.closed,
+                "errors": self._counters.errors,
+                "by_tenant": dict(sorted(self._counters.by_tenant.items())),
+            }
+        telemetry = get_telemetry()
+        return {
+            "server": {
+                **counters,
+                "uptime_s": time.time() - self._started,
+                "workers": self.config.workers,
+                "budget_share": self.budget_share,
+            },
+            "coalescing": self.flights.stats(),
+            "admission": self.admission.stats(),
+            "cache": self.cache.cache_stats(),
+            "telemetry": (
+                telemetry.metrics.snapshot()
+                if telemetry.metrics.enabled else {}
+            ),
+        }
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop admitting work; with ``drain`` wait for in-flight
+        computes to land before returning (graceful shutdown)."""
+        self._closed = True
+        self._executor.shutdown(wait=drain, cancel_futures=not drain)

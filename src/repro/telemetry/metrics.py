@@ -8,11 +8,18 @@ planner loop, the compile cache) can stay instrumented unconditionally.
 
 Snapshots export as plain dicts, JSON, or JSONL (one metric per line —
 the format CI uploads as a workflow artifact).
+
+Metrics are process-global and may be poked from many threads at once
+(the serve daemon's request handlers all share one registry), so metric
+creation and every mutation are lock-protected. The disabled path stays
+lock-free: a disabled registry hands back the shared null sinks, which
+touch nothing.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 
 
@@ -51,17 +58,19 @@ _NULL_TIMER_CONTEXT = _NullTimerContext()
 
 
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count; increments are thread-safe."""
 
     kind = "counter"
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict:
         return {"value": self.value}
@@ -85,10 +94,15 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values (count/total/min/max/mean)."""
+    """Streaming summary of observed values (count/total/min/max/mean).
+
+    Observations are thread-safe: the count/total/min/max quadruple is
+    updated atomically, so a snapshot taken between observations is
+    always internally consistent (no torn count-without-total states).
+    """
 
     kind = "histogram"
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -96,28 +110,31 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Fold one value into the running summary."""
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def snapshot(self) -> dict:
-        return {
-            "count": self.count,
-            "total": self.total,
-            "mean": self.mean,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
-        }
+        with self._lock:
+            return {
+                "count": self.count,
+                "total": self.total,
+                "mean": self.mean,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+            }
 
 
 class Timer(Histogram):
@@ -156,20 +173,22 @@ class MetricsRegistry:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._metrics: dict[str, object] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, cls):
         if not self.enabled:
             return NULL_METRIC
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name)
-            self._metrics[name] = metric
-        elif type(metric) is not cls:
-            raise ValueError(
-                f"metric {name!r} already registered as "
-                f"{type(metric).__name__}, not {cls.__name__}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name)
+                self._metrics[name] = metric
+            elif type(metric) is not cls:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter)
@@ -188,9 +207,11 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, dict]:
         """name -> {"kind": ..., **metric fields}, sorted by name."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
         return {
             name: {"kind": metric.kind, **metric.snapshot()}
-            for name, metric in sorted(self._metrics.items())
+            for name, metric in metrics
         }
 
     def to_json(self, indent: int | None = 2) -> str:

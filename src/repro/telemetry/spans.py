@@ -7,14 +7,32 @@ Chrome trace-event slices, so :func:`repro.telemetry.chrome.merge_traces`
 can put compile-time spans and the engine's simulated-time events into
 one Perfetto view.
 
+One tracer may be shared by concurrent requests (the serve daemon runs
+many ``compile_run`` calls against one telemetry session): the *nesting
+state* lives in a :mod:`contextvars` context variable, so each thread —
+and each asyncio task, should one ever host a pipeline — sees only its
+own span stack, while the completed-span list is appended under a lock.
+Every span records the logical track (``tid``) it was opened on, so two
+interleaved requests export as two properly-nested flames instead of
+one malformed interleaving.
+
 A disabled tracer returns a shared no-op context manager from
 :meth:`SpanTracer.span` — no allocation, no clock read.
 """
 
 from __future__ import annotations
 
+import contextvars
+import threading
 import time
 from dataclasses import dataclass, field
+
+#: Per-context span nesting depth. One variable serves every tracer:
+#: a context runs its spans against one active tracer at a time, and
+#: depth always returns to its entry value when a span closes.
+_DEPTH: contextvars.ContextVar[int] = contextvars.ContextVar(
+    "repro_span_depth", default=0,
+)
 
 
 @dataclass(frozen=True)
@@ -29,6 +47,10 @@ class Span:
     #: their children, so depth reconstructs the hierarchy.
     depth: int
     args: dict = field(default_factory=dict)
+    #: Logical track: 0 for the first recording thread, a fresh small
+    #: integer for every other thread that records through this tracer.
+    #: Spans nest only within their own track.
+    tid: int = 0
 
     @property
     def duration(self) -> float:
@@ -49,7 +71,8 @@ _NULL_SPAN_CONTEXT = _NullSpanContext()
 
 
 class _SpanContext:
-    __slots__ = ("_tracer", "_name", "_cat", "_args", "_start")
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_start", "_depth",
+                 "_token")
 
     def __init__(self, tracer: "SpanTracer", name: str, cat: str,
                  args: dict) -> None:
@@ -59,17 +82,16 @@ class _SpanContext:
         self._args = args
 
     def __enter__(self) -> None:
-        tracer = self._tracer
-        self._start = tracer._now()
-        tracer._depth += 1
+        self._start = self._tracer._now()
+        self._depth = _DEPTH.get()
+        self._token = _DEPTH.set(self._depth + 1)
         return None
 
     def __exit__(self, *exc) -> bool:
-        tracer = self._tracer
-        tracer._depth -= 1
-        tracer.spans.append(Span(
-            self._name, self._cat, self._start, tracer._now(),
-            tracer._depth, self._args,
+        _DEPTH.reset(self._token)
+        self._tracer._record(Span(
+            self._name, self._cat, self._start, self._tracer._now(),
+            self._depth, self._args, self._tracer._track_id(),
         ))
         return False
 
@@ -77,18 +99,35 @@ class _SpanContext:
 class SpanTracer:
     """Collects nested spans on a monotonic clock starting at zero.
 
-    Thread-unsafe by design: one tracer belongs to one compilation
-    session (sweep workers should each own a tracer, or share none).
+    Safe to share across threads: nesting depth is context-local (each
+    request sees its own stack), recorded spans carry their track id,
+    and the span list is appended under a lock.
     """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.spans: list[Span] = []
-        self._depth = 0
+        self._lock = threading.Lock()
+        #: thread ident -> small stable track id, first-come ordering.
+        self._tracks: dict[int, int] = {}
         self._epoch = time.perf_counter() if enabled else 0.0
 
     def _now(self) -> float:
         return time.perf_counter() - self._epoch
+
+    def _track_id(self) -> int:
+        """The recording thread's stable track id (0 = first thread)."""
+        ident = threading.get_ident()
+        with self._lock:
+            track = self._tracks.get(ident)
+            if track is None:
+                track = len(self._tracks)
+                self._tracks[ident] = track
+            return track
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
 
     def span(self, name: str, cat: str = "pipeline", **args):
         """Context manager timing one region; no-op when disabled."""
@@ -101,24 +140,29 @@ class SpanTracer:
     ) -> list[dict]:
         """Spans as Chrome trace-event dicts (timestamps in µs).
 
-        Properly nested complete ("X") events on one thread render as a
-        nested flame in Perfetto; process/thread metadata names the
-        track.
+        Properly nested complete ("X") events per thread render as
+        nested flames in Perfetto; process/thread metadata names every
+        track one of the recording threads used.
         """
+        with self._lock:
+            spans = list(self.spans)
+        tids = sorted({span.tid for span in spans}) or [0]
         events: list[dict] = [
             {
                 "ph": "M", "name": "process_name", "pid": pid,
                 "args": {"name": process_name},
             },
-            {
-                "ph": "M", "name": "thread_name", "pid": pid, "tid": 0,
-                "args": {"name": "pipeline"},
-            },
         ]
-        for span in sorted(self.spans, key=lambda s: (s.start, s.depth)):
+        for tid in tids:
+            name = "pipeline" if tid == 0 else f"pipeline-{tid}"
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": name},
+            })
+        for span in sorted(spans, key=lambda s: (s.tid, s.start, s.depth)):
             events.append({
                 "ph": "X", "name": span.name, "cat": span.cat,
-                "pid": pid, "tid": 0,
+                "pid": pid, "tid": span.tid,
                 "ts": span.start * 1e6, "dur": span.duration * 1e6,
                 "args": dict(span.args),
             })

@@ -108,6 +108,66 @@ class TestDiskTier:
         assert leftovers == []
 
 
+class TestAccountingInvariant:
+    """Regression: every get resolves as exactly one of memory hit,
+    disk hit or miss, so ``lookups == total_hits + misses`` always.
+
+    Pre-fix, a disk-tier hit bumped ``disk_hits`` but not any aggregate
+    hit total, so a warm-*disk* cache (every lookup served from files)
+    reported a zero hit rate.
+    """
+
+    @staticmethod
+    def _assert_coherent(stats):
+        assert stats["total_hits"] == stats["hits"] + stats["disk_hits"]
+        assert stats["lookups"] == stats["total_hits"] + stats["misses"]
+
+    def test_all_three_paths_fold_coherently(self, tmp_path):
+        CompileCache(disk_dir=tmp_path).put("k1", "v", kind="plan")
+        cache = CompileCache(disk_dir=tmp_path)
+        cache.get("absent", kind="plan")  # miss in both tiers
+        cache.get("k1", kind="plan")      # disk hit (promotes to memory)
+        cache.get("k1", kind="plan")      # memory hit
+        stats = cache.cache_stats()
+        assert (stats["hits"], stats["disk_hits"], stats["misses"]) == \
+            (1, 1, 1)
+        assert stats["lookups"] == 3
+        assert stats["total_hits"] == 2
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+        self._assert_coherent(stats)
+
+    def test_warm_disk_cache_reports_its_real_hit_rate(self, tmp_path):
+        CompileCache(disk_dir=tmp_path).put("k1", "v", kind="profile")
+        # Every "session" has a cold memory tier: all hits come from
+        # disk, and the reported hit rate must say so.
+        for _ in range(3):
+            cache = CompileCache(disk_dir=tmp_path)
+            assert cache.get("k1", kind="profile") == "v"
+            stats = cache.stats()
+            assert stats["hits"] == 0 and stats["disk_hits"] == 1
+            assert stats["hit_rate"] == 1.0
+            self._assert_coherent(stats)
+
+    def test_memory_only_cache_folds_too(self):
+        cache = CompileCache()
+        cache.get("absent")
+        cache.put("k", "v")
+        cache.get("k")
+        stats = cache.stats()
+        assert stats["lookups"] == 2 and stats["total_hits"] == 1
+        assert stats["hit_rate"] == 0.5
+        self._assert_coherent(stats)
+
+    def test_pipeline_stats_stay_coherent(self, tmp_path):
+        graph = build_tiny_cnn(batch=8)
+        shared_dir = tmp_path / "cache"
+        for _ in range(2):
+            cache = CompileCache(disk_dir=shared_dir)
+            compile_run(graph, "tsplit", BIG_GPU, cache=cache)
+            compile_run(graph, "tsplit", BIG_GPU, cache=cache)
+            self._assert_coherent(cache.cache_stats())
+
+
 class TestPipelineWarmStart:
     def test_second_session_recompiles_nothing(self, tmp_path):
         graph = build_tiny_cnn(batch=8)

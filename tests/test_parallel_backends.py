@@ -1,18 +1,23 @@
 """Sweep fan-out backends: serial / thread / process equivalence."""
 
 import os
+import pickle
+import threading
 
 import pytest
 
+from repro.analysis import parallel as parallel_mod
 from repro.analysis.footprint import memory_requirement_grid
 from repro.analysis.oversubscription import oversubscription_sweep
 from repro.analysis.parallel import (
     BACKENDS,
     MAX_WORKERS_ENV,
     _check_picklable,
+    active_worker_budget,
     parallel_map,
     resolve_backend,
     resolve_workers,
+    worker_budget,
 )
 from repro.analysis.scaling import scale_table
 from repro.analysis.sweep_tasks import (
@@ -60,6 +65,86 @@ class TestResolveWorkers:
         assert resolve_workers(4, 100) == 4
 
 
+class TestWorkerBudget:
+    """Regression: ``REPRO_MAX_WORKERS`` is a machine-wide budget.
+
+    Pre-fix, N concurrent sweeps (e.g. serve requests fanning out with
+    ``parallel=True``) each resolved the full cap and oversubscribed
+    N × cap workers; :func:`worker_budget` scopes each caller's share.
+    """
+
+    def test_budget_context_caps_resolution(self, monkeypatch):
+        monkeypatch.delenv(MAX_WORKERS_ENV, raising=False)
+        with worker_budget(2):
+            assert resolve_workers(16, 100) == 2
+            assert resolve_workers(True, 100) == \
+                min(2, os.cpu_count() or 4)
+        assert resolve_workers(16, 100) == 16  # scope exited
+
+    def test_explicit_budget_argument(self, monkeypatch):
+        monkeypatch.delenv(MAX_WORKERS_ENV, raising=False)
+        assert resolve_workers(8, 100, budget=3) == 3
+        assert resolve_workers(2, 100, budget=8) == 2  # never raises
+        assert resolve_workers(8, 100, budget=0) == 1  # floor of one
+
+    def test_budgets_compose_by_shrinking(self):
+        assert active_worker_budget() is None
+        with worker_budget(4):
+            with worker_budget(8):  # a larger inner scope cannot loosen
+                assert active_worker_budget() == 4
+            with worker_budget(2):
+                assert active_worker_budget() == 2
+            assert active_worker_budget() == 4
+        assert active_worker_budget() is None
+
+    def test_none_budget_is_a_noop_scope(self):
+        with worker_budget(None):
+            assert active_worker_budget() is None
+
+    def test_concurrent_sweeps_stay_within_machine_cap(self, monkeypatch):
+        """N budgeted sweeps collectively never exceed the env cap."""
+        monkeypatch.setenv(MAX_WORKERS_ENV, "4")
+        recorded = []
+        recorded_lock = threading.Lock()
+        real_pool = parallel_mod.ThreadPoolExecutor
+
+        class RecordingPool(real_pool):
+            """Captures each fan-out's resolved worker count."""
+
+            def __init__(self, max_workers=None, **kwargs):
+                with recorded_lock:
+                    recorded.append(max_workers)
+                super().__init__(max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(
+            parallel_mod, "ThreadPoolExecutor", RecordingPool,
+        )
+        slots = 2
+        share = 4 // slots
+        barrier = threading.Barrier(slots)
+
+        def one_sweep():
+            barrier.wait()  # both sweeps genuinely concurrent
+            with worker_budget(share):
+                # parallel=4 asks for more than the share on purpose —
+                # the budget must be what actually bounds the pool.
+                throughput_sweep(
+                    "vgg16", ["base"], [16, 32], GPU,
+                    parallel=4, backend="thread",
+                )
+
+        threads = [
+            threading.Thread(target=one_sweep) for _ in range(slots)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(recorded) == slots
+        assert all(workers == share for workers in recorded)
+        assert sum(recorded) <= 4  # the cap holds machine-wide
+
+
 class TestResolveBackend:
     def test_default_tracks_parallel_knob(self):
         assert resolve_backend(None, None) == "serial"
@@ -100,6 +185,34 @@ class TestParallelMap:
                 model="vgg16", policy="base", batch=8, gpu=GPU,
             )],
         )
+
+    def test_probe_names_failing_index_and_type(self):
+        """Regression: a heterogeneous spec list with one stray closure
+        used to pass a first-item-only probe and die inside the pool."""
+        specs = [
+            ThroughputTaskSpec(
+                model="vgg16", policy="base", batch=8, gpu=GPU,
+            ),
+            lambda: None,  # the stray unpicklable entry, *not* first
+        ]
+        with pytest.raises(ValueError, match="item 1 of type function"):
+            _check_picklable(run_throughput_point, specs)
+
+    def test_probe_is_per_type_not_per_item(self, monkeypatch):
+        calls = []
+        real_dumps = pickle.dumps
+
+        def counting_dumps(obj, *args, **kwargs):
+            calls.append(type(obj).__name__)
+            return real_dumps(obj, *args, **kwargs)
+
+        monkeypatch.setattr(
+            parallel_mod.pickle, "dumps", counting_dumps,
+        )
+        _check_picklable(len, list(range(100)) + ["one string"])
+        # One probe for the function, one per distinct item type.
+        assert len(calls) == 3
+        assert calls.count("int") == 1 and calls.count("str") == 1
 
 
 class TestSweepCacheResolution:

@@ -1,0 +1,493 @@
+"""The plan-serving daemon: coalescing, admission, warm cache sharing.
+
+Concurrency tests use event-gated fake computes where determinism
+matters (every duplicate *must* overlap its flight) and real compiles
+where the contract is about artifacts (byte-identity with direct
+``compile_run``, exactly-once planning per unique key).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import telemetry
+from repro.hardware.gpu import GPU_PRESETS
+from repro.models.registry import build_model
+from repro.pipeline import CompileCache, compile_run
+from repro.serve import (
+    AdmissionController,
+    AdmissionRejected,
+    PlanService,
+    ServeConfig,
+    SingleFlight,
+    plan_digest,
+    start_server,
+)
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.service import RequestError, ServiceClosed
+
+
+def make_service(**overrides) -> PlanService:
+    defaults = dict(workers=4, max_inflight=32, tenant_quota=8)
+    defaults.update(overrides)
+    return PlanService(ServeConfig(**defaults))
+
+
+PLAN_PAYLOAD = {
+    "model": "vgg16", "policy": "tsplit", "gpu": "rtx_titan", "batch": 16,
+}
+
+
+class TestSingleFlight:
+    def test_concurrent_duplicates_share_one_compute(self):
+        table = SingleFlight()
+        release = threading.Event()
+        computes = []
+
+        def compute():
+            computes.append(1)
+            assert release.wait(5.0)
+            return "value"
+
+        results = []
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            futures = [
+                pool.submit(table.run, "k", compute) for _ in range(6)
+            ]
+            # Wait until every joiner is parked on the flight.
+            deadline = time.time() + 5.0
+            while table.joins < 5 and time.time() < deadline:
+                time.sleep(0.01)
+            release.set()
+            results = [f.result() for f in futures]
+        assert len(computes) == 1
+        assert sorted(coalesced for _, coalesced in results) == \
+            [False] + [True] * 5
+        assert all(value == "value" for value, _ in results)
+        stats = table.stats()
+        assert stats == {
+            "flights": 1, "joins": 5, "coalescing_ratio": 6.0,
+        }
+
+    def test_sequential_calls_start_fresh_flights(self):
+        table = SingleFlight()
+        assert table.run("k", lambda: 1) == (1, False)
+        assert table.run("k", lambda: 2) == (2, False)
+        assert table.stats()["flights"] == 2
+
+    def test_distinct_keys_do_not_coalesce(self):
+        table = SingleFlight()
+        table.run("a", lambda: 1)
+        table.run("b", lambda: 2)
+        assert table.stats() == {
+            "flights": 2, "joins": 0, "coalescing_ratio": 1.0,
+        }
+
+    def test_leader_error_propagates_to_joiners(self):
+        table = SingleFlight()
+        release = threading.Event()
+
+        def explode():
+            assert release.wait(5.0)
+            raise RuntimeError("boom")
+
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            futures = [
+                pool.submit(table.run, "k", explode) for _ in range(3)
+            ]
+            deadline = time.time() + 5.0
+            while table.joins < 2 and time.time() < deadline:
+                time.sleep(0.01)
+            release.set()
+            for future in futures:
+                with pytest.raises(RuntimeError, match="boom"):
+                    future.result()
+
+
+class TestAdmissionController:
+    def test_global_cap_rejects_with_queue_scope(self):
+        admission = AdmissionController(max_inflight=2, tenant_quota=2)
+        admission.acquire("a")
+        admission.acquire("b")
+        with pytest.raises(AdmissionRejected) as exc:
+            admission.acquire("c")
+        assert exc.value.scope == "queue"
+        assert admission.stats()["rejected_queue"] == 1
+
+    def test_tenant_quota_rejects_with_tenant_scope(self):
+        admission = AdmissionController(max_inflight=10, tenant_quota=1)
+        admission.acquire("a")
+        with pytest.raises(AdmissionRejected) as exc:
+            admission.acquire("a")
+        assert exc.value.scope == "tenant"
+        admission.acquire("b")  # other tenants unaffected
+        assert admission.stats()["rejected_tenant"] == 1
+
+    def test_release_frees_both_limits(self):
+        admission = AdmissionController(max_inflight=1, tenant_quota=1)
+        admission.acquire("a")
+        admission.release("a")
+        admission.acquire("a")  # does not raise
+        assert admission.stats()["inflight"] == 1
+        assert admission.stats()["by_tenant"] == {"a": 1}
+
+
+class TestRequestValidation:
+    def test_unknown_model_policy_gpu_mode(self):
+        service = make_service()
+        for bad in (
+            {"model": "nope"},
+            {**PLAN_PAYLOAD, "policy": "nope"},
+            {**PLAN_PAYLOAD, "gpu": "nope"},
+            {**PLAN_PAYLOAD, "mode": "nope"},
+            {**PLAN_PAYLOAD, "unknown_field": 1},
+            {**PLAN_PAYLOAD, "batch": "not-a-number"},
+            {**PLAN_PAYLOAD, "batch": 0},
+            {**PLAN_PAYLOAD, "capacity_frac": 0.0},
+            {**PLAN_PAYLOAD, "iterations": 3},  # requires mode="run"
+            {**PLAN_PAYLOAD, "precision": "fp64"},
+            "not a dict",
+        ):
+            with pytest.raises(RequestError):
+                service.handle_plan(bad)
+        service.close()
+
+    def test_key_excludes_tenant_but_not_config(self):
+        service = make_service()
+        base = service.parse_request(PLAN_PAYLOAD)
+        other_tenant = service.parse_request(
+            {**PLAN_PAYLOAD, "tenant": "team-b"},
+        )
+        other_batch = service.parse_request({**PLAN_PAYLOAD, "batch": 32})
+        other_mode = service.parse_request({**PLAN_PAYLOAD, "mode": "run"})
+        assert base.key == other_tenant.key
+        assert base.key != other_batch.key
+        assert base.key != other_mode.key
+        service.close()
+
+    def test_precision_folds_into_overrides(self):
+        service = make_service()
+        request = service.parse_request(
+            {**PLAN_PAYLOAD, "precision": "fp16"},
+        )
+        assert ("precision", "fp16") in request.overrides
+        service.close()
+
+
+class TestPlanService:
+    def test_plan_digest_matches_direct_compile_run(self):
+        service = make_service()
+        body = service.handle_plan(PLAN_PAYLOAD)
+        assert body["feasible"]
+        assert body["cached"] == {"profile": False, "plan": False}
+        direct = compile_run(
+            build_model("vgg16", 16), "tsplit", GPU_PRESETS["rtx_titan"],
+        )
+        assert body["plan_digest"] == plan_digest(direct.plan.plan)
+        assert body["plan_summary"] == direct.plan.plan.summary(
+            build_model("vgg16", 16),
+        )
+        # Second request: warm graph cache + warm compile cache.
+        warm = service.handle_plan(PLAN_PAYLOAD)
+        assert warm["cached"] == {"profile": True, "plan": True}
+        assert warm["plan_digest"] == body["plan_digest"]
+        service.close()
+
+    def test_run_mode_reports_trace_metrics(self):
+        service = make_service()
+        body = service.handle_plan({**PLAN_PAYLOAD, "mode": "run"})
+        assert body["feasible"]
+        assert body["throughput"] > 0
+        assert body["peak_memory"] > 0
+        assert body["iteration_time"] > 0
+        service.close()
+
+    def test_infeasible_is_a_response_not_an_error(self):
+        service = make_service()
+        body = service.handle_plan({
+            "model": "vgg16", "policy": "tsplit", "gpu": "rtx_titan",
+            "batch": 64, "capacity_frac": 0.02,
+        })
+        assert not body["feasible"]
+        assert body["failure"]
+        assert body["plan_digest"] == ""
+        service.close()
+
+    def test_concurrent_duplicates_coalesce(self, monkeypatch):
+        service = make_service(workers=2)
+        release = threading.Event()
+        computes = []
+        original = service._compute
+
+        def gated(request):
+            computes.append(request.key)
+            assert release.wait(5.0)
+            return original(request)
+
+        monkeypatch.setattr(service, "_compute", gated)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [
+                pool.submit(service.handle_plan, dict(PLAN_PAYLOAD))
+                for _ in range(8)
+            ]
+            deadline = time.time() + 5.0
+            while service.flights.joins < 7 and time.time() < deadline:
+                time.sleep(0.01)
+            release.set()
+            bodies = [f.result() for f in futures]
+        assert len(computes) == 1  # one flight computed, 7 joined
+        assert sorted(b["coalesced"] for b in bodies) == \
+            [False] + [True] * 7
+        digests = {b["plan_digest"] for b in bodies}
+        assert len(digests) == 1
+        assert service.flights.stats()["coalescing_ratio"] == 8.0
+        service.close()
+
+    def test_tenant_quota_rejection_through_handle_plan(self, monkeypatch):
+        service = make_service(workers=2, max_inflight=16, tenant_quota=1)
+        release = threading.Event()
+        original = service._compute
+
+        def gated(request):
+            assert release.wait(5.0)
+            return original(request)
+
+        monkeypatch.setattr(service, "_compute", gated)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            first = pool.submit(
+                service.handle_plan, {**PLAN_PAYLOAD, "tenant": "a"},
+            )
+            deadline = time.time() + 5.0
+            while (
+                service.admission.stats()["inflight"] < 1
+                and time.time() < deadline
+            ):
+                time.sleep(0.01)
+            # Same tenant, *different* config: quota must trip (the
+            # identical config would coalesce, not queue).
+            with pytest.raises(AdmissionRejected) as exc:
+                service.handle_plan(
+                    {**PLAN_PAYLOAD, "batch": 32, "tenant": "a"},
+                )
+            assert exc.value.scope == "tenant"
+            release.set()
+            assert first.result()["feasible"]
+        service.close()
+
+    def test_close_drains_inflight_then_rejects(self, monkeypatch):
+        service = make_service(workers=2)
+        started = threading.Event()
+        original = service._compute
+
+        def slow(request):
+            started.set()
+            time.sleep(0.2)
+            return original(request)
+
+        monkeypatch.setattr(service, "_compute", slow)
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(service.handle_plan, dict(PLAN_PAYLOAD))
+            assert started.wait(5.0)
+            service.close(drain=True)  # waits for the in-flight compute
+            assert future.result()["feasible"]
+        with pytest.raises(ServiceClosed):
+            service.handle_plan(dict(PLAN_PAYLOAD))
+
+    def test_budget_share_respects_machine_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "8")
+        service = make_service(workers=4)
+        assert service.budget_share == 2
+        service.close()
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "2")
+        tight = make_service(workers=4)
+        assert tight.budget_share == 1  # floor: never zero
+        tight.close()
+
+
+class TestConcurrentCacheSharing:
+    """N threads against one shared CompileCache (the stress contract).
+
+    Exactly one *planning* computation per unique key (every duplicate
+    either coalesces into the in-flight compile or hits the warm
+    cache), coherent counters (no torn lookups), and artifacts
+    byte-identical to a serial ``compile_run``.
+    """
+
+    CONFIGS = [
+        {"model": "vgg16", "policy": "tsplit", "gpu": "rtx_titan",
+         "batch": 8},
+        {"model": "vgg16", "policy": "base", "gpu": "rtx_titan",
+         "batch": 8},
+        {"model": "vgg16", "policy": "tsplit", "gpu": "gtx_1080ti",
+         "batch": 16},
+        {"model": "resnet50", "policy": "tsplit", "gpu": "rtx_titan",
+         "batch": 8},
+    ]
+
+    def test_stress_exactly_one_plan_per_unique_key(self):
+        service = make_service(workers=4, max_inflight=64,
+                               tenant_quota=64)
+        requests = [dict(config) for config in self.CONFIGS] * 6
+        with ThreadPoolExecutor(max_workers=12) as pool:
+            bodies = list(pool.map(service.handle_plan, requests))
+        assert all(b["feasible"] for b in bodies)
+
+        stats = service.cache.cache_stats()
+        # Coherent counters under concurrency: every lookup resolved
+        # as exactly one of memory hit / disk hit / miss.
+        assert stats["lookups"] == stats["total_hits"] + stats["misses"]
+        # Exactly one planning computation per unique config, one
+        # profiling run per unique (model, batch, GPU-perf) identity
+        # (capacity excluded; both rtx/1080ti differ in perf too).
+        assert stats["kinds"]["plan"]["misses"] == len(self.CONFIGS)
+        assert stats["kinds"]["profile"]["misses"] == 3
+
+        # Served plans byte-identical to serial compile_run artifacts.
+        by_key = {}
+        for config, body in zip(requests, bodies):
+            by_key.setdefault(json.dumps(config, sort_keys=True), []).append(
+                body,
+            )
+        for config in self.CONFIGS:
+            serial = compile_run(
+                build_model(config["model"], config["batch"]),
+                config["policy"], GPU_PRESETS[config["gpu"]],
+            )
+            expected = plan_digest(serial.plan.plan)
+            for body in by_key[json.dumps(config, sort_keys=True)]:
+                assert body["plan_digest"] == expected
+        service.close()
+
+    def test_torn_counter_free_stats_snapshots(self):
+        """cache_stats() snapshots taken *during* traffic stay coherent."""
+        service = make_service(workers=4, max_inflight=64,
+                               tenant_quota=64)
+        stop = threading.Event()
+        violations = []
+
+        def watch():
+            while not stop.is_set():
+                stats = service.cache.stats()
+                if stats["lookups"] != \
+                        stats["total_hits"] + stats["misses"]:
+                    violations.append(stats)
+                time.sleep(0.001)
+
+        watcher = threading.Thread(target=watch)
+        watcher.start()
+        requests = [dict(config) for config in self.CONFIGS] * 4
+        try:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                list(pool.map(service.handle_plan, requests))
+        finally:
+            stop.set()
+            watcher.join()
+        assert violations == []
+        service.close()
+
+
+class TestServeTelemetry:
+    def test_concurrent_requests_emit_well_nested_spans(self):
+        """The serve stress case for the contextvars span fix: many
+        compile_run calls against one tracer yield per-track flames
+        whose intervals nest properly (no cross-request interleaving).
+        """
+        with telemetry.session(
+            metrics=True, spans=True, provenance=False,
+        ) as tel:
+            service = make_service(workers=4)
+            requests = [
+                {**PLAN_PAYLOAD, "mode": "run", "batch": batch}
+                for batch in (8, 12, 16, 24)
+            ] * 3
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                bodies = list(pool.map(service.handle_plan, requests))
+            assert all(b["feasible"] for b in bodies)
+            service.close()
+
+            by_tid = {}
+            for span in tel.tracer.spans:
+                by_tid.setdefault(span.tid, []).append(span)
+            assert len(by_tid) > 1  # several worker threads recorded
+            for spans in by_tid.values():
+                for span in spans:
+                    containers = [
+                        other for other in spans
+                        if other is not span
+                        and other.start <= span.start
+                        and span.end <= other.end
+                    ]
+                    overlaps = [
+                        other for other in spans
+                        if other is not span
+                        and other.start < span.end
+                        and span.start < other.end
+                        and other not in containers
+                        and not (
+                            span.start <= other.start
+                            and other.end <= span.end
+                        )
+                    ]
+                    assert overlaps == [], (
+                        "malformed nesting on one track"
+                    )
+
+    def test_stats_surfaces_cache_and_telemetry(self):
+        with telemetry.session(
+            metrics=True, spans=False, provenance=False,
+        ):
+            service = make_service()
+            service.handle_plan(dict(PLAN_PAYLOAD))
+            service.handle_plan(dict(PLAN_PAYLOAD))
+            stats = service.stats()
+            assert stats["server"]["requests"] == 2
+            cache = stats["cache"]
+            assert cache["lookups"] == cache["total_hits"] + cache["misses"]
+            assert cache["hit_rate"] > 0  # second request was warm
+            assert any(
+                name.startswith("compile_cache.")
+                for name in stats["telemetry"]
+            )
+            service.close()
+
+
+class TestServeHTTP:
+    @pytest.fixture()
+    def server(self):
+        service = make_service(workers=2)
+        server, _thread = start_server(service)
+        yield server
+        server.drain()
+        server.server_close()
+
+    def test_healthz_plan_stats_roundtrip(self, server):
+        client = ServeClient(server.url)
+        health = client.healthz()
+        assert health["status"] == "ok"
+        body = client.plan(**PLAN_PAYLOAD)
+        assert body["feasible"]
+        assert body["plan_digest"]
+        stats = client.stats()
+        assert stats["server"]["requests"] == 1
+        assert stats["coalescing"]["flights"] == 1
+
+    def test_error_statuses(self, server):
+        client = ServeClient(server.url)
+        with pytest.raises(ServeError) as exc:
+            client.plan(model="nope")
+        assert exc.value.status == 400
+        with pytest.raises(ServeError) as exc:
+            client._request("/plan", None)  # GET on a POST-only path
+        assert exc.value.status == 404
+
+    def test_draining_service_returns_503(self, server):
+        client = ServeClient(server.url)
+        server.service.close(drain=True)
+        with pytest.raises(ServeError) as exc:
+            client.plan(**PLAN_PAYLOAD)
+        assert exc.value.status == 503

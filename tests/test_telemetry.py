@@ -7,6 +7,7 @@ registry/tracer must record nothing.
 """
 
 import json
+import threading
 
 import pytest
 
@@ -110,6 +111,91 @@ class TestSpanTracer:
         assert slices[0]["pid"] == 3
         assert slices[0]["args"] == {"model": "m"}
         assert any(e["name"] == "process_name" for e in events)
+
+
+class TestConcurrentSpans:
+    """Regression: span nesting state is context-local, not shared.
+
+    Pre-fix, one tracer kept a single mutable span stack; two threads
+    recording through it interleaved, inflating depths and producing
+    malformed Chrome flames. Now depth lives in a context variable and
+    every span carries the track (``tid``) it was opened on.
+    """
+
+    def test_threads_get_distinct_tracks_with_local_depth(self):
+        tracer = SpanTracer()
+        barrier = threading.Barrier(4)
+
+        def one_request(n):
+            barrier.wait()  # maximise overlap across threads
+            with tracer.span(f"outer-{n}"):
+                with tracer.span(f"inner-{n}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=one_request, args=(n,))
+            for n in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer.spans) == 8
+        # Depth never exceeds each thread's true nesting (a shared stack
+        # would have climbed towards 8 under full overlap).
+        assert max(s.depth for s in tracer.spans) == 1
+        by_tid = {}
+        for span in tracer.spans:
+            by_tid.setdefault(span.tid, []).append(span)
+        assert sorted(by_tid) == [0, 1, 2, 3]
+        for spans in by_tid.values():
+            by_depth = {s.depth: s for s in spans}
+            assert set(by_depth) == {0, 1}
+            # Each track holds exactly one request's pair.
+            assert by_depth[0].name.split("-")[1] == \
+                by_depth[1].name.split("-")[1]
+            assert by_depth[0].start <= by_depth[1].start
+            assert by_depth[1].end <= by_depth[0].end
+
+    def test_chrome_export_names_every_track(self):
+        tracer = SpanTracer()
+
+        def record(name):
+            with tracer.span(name):
+                pass
+
+        record("main")
+        worker = threading.Thread(target=record, args=("worker",))
+        worker.start()
+        worker.join()
+        events = tracer.to_chrome_events()
+        thread_names = {
+            e["tid"]: e["args"]["name"]
+            for e in events if e.get("name") == "thread_name"
+        }
+        assert thread_names == {0: "pipeline", 1: "pipeline-1"}
+        slices = {e["name"]: e["tid"] for e in events if e["ph"] == "X"}
+        assert slices == {"main": 0, "worker": 1}
+
+    def test_concurrent_counters_do_not_tear(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        histogram = registry.histogram("h")
+
+        def spin():
+            for _ in range(5000):
+                counter.inc()
+                histogram.observe(1.0)
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = registry.snapshot()
+        assert snap["c"]["value"] == 40_000
+        assert snap["h"]["count"] == 40_000
+        assert snap["h"]["mean"] == 1.0
 
 
 class TestProvenanceInert:
